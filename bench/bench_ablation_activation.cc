@@ -1,0 +1,76 @@
+// Activation-bound ablation: CRSS's u parameter spans the design space the
+// paper frames — u = 1 serializes fetches (BBSS-like interquery behavior),
+// u = NumDisks is the paper's choice, u -> infinity approaches FPSS's
+// uncontrolled fan-out. Response time and pages fetched per query expose
+// the parallelism-vs-waste trade-off that motivates CRSS.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/crss.h"
+#include "core/sequential_executor.h"
+
+namespace sqp::bench {
+namespace {
+
+void Run() {
+  const workload::Dataset data =
+      workload::MakeGaussian(40000, 5, kDatasetSeed);
+  const int disks = 10;
+  auto index = BuildIndex(data, disks, kResponseTimePageSize);
+  const auto queries = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+  const size_t k = 20;
+  const double lambda = 6.0;
+
+  PrintHeader("Ablation: CRSS activation bound u",
+              "Set: gaussian 40k, Dimensions: 5, Disks: 10, NNs: 20, "
+              "lambda=6 q/s (u = 10 is the paper's NumOfDisks setting)");
+  PrintRow({"u", "resp(s)", "pages/query", "max batch"}, 14);
+  for (int u : {1, 2, 5, 10, 20, 1 << 20}) {
+    // Response time through the simulator.
+    const auto arrivals =
+        workload::PoissonArrivalTimes(queries.size(), lambda, kArrivalSeed);
+    std::vector<sim::QueryJob> jobs;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      jobs.push_back({arrivals[i], queries[i], k});
+    }
+    const sim::SimConfig cfg = MakeSimConfig(kResponseTimePageSize);
+    const sim::SimulationResult result = sim::RunSimulation(
+        *index, jobs,
+        [&](const geometry::Point& q, size_t kk) {
+          core::CrssOptions options;
+          options.max_activation = u;
+          return std::make_unique<core::Crss>(index->tree(), q, kk,
+                                              options);
+        },
+        cfg);
+
+    // Page counts and achieved batch width, sequentially.
+    double pages = 0.0, max_batch = 0.0;
+    for (const auto& q : queries) {
+      core::CrssOptions options;
+      options.max_activation = u;
+      core::Crss algo(index->tree(), q, k, options);
+      const core::ExecutionStats stats =
+          core::RunToCompletion(index->tree(), &algo);
+      pages += static_cast<double>(stats.pages_fetched);
+      max_batch += static_cast<double>(stats.max_batch);
+    }
+    const double nq = static_cast<double>(queries.size());
+    PrintRow({u > (1 << 19) ? "inf" : std::to_string(u),
+              Fmt(result.MeanResponseTime()), Fmt(pages / nq, 1),
+              Fmt(max_batch / nq, 1)},
+             14);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf(
+      "bench_ablation_activation — parallelism vs waste trade-off in CRSS\n");
+  sqp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Analytical model vs. simulation (§5 future work #1, implemented):
+// predicted k-NN radius, weak-optimal page accesses, and M/G/1 response
+// times against the measured/simulated values, across k and lambda.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/cost_model.h"
+#include "bench/bench_util.h"
+#include "core/exact_knn.h"
+#include "core/sequential_executor.h"
+#include "rstar/tree_stats.h"
+
+namespace sqp::bench {
+namespace {
+
+void Run() {
+  const workload::Dataset data =
+      workload::MakeUniform(50000, 2, kDatasetSeed);
+  const int disks = 10;
+  auto index = BuildIndex(data, disks, kResponseTimePageSize);
+  const rstar::TreeStats stats = rstar::ComputeTreeStats(index->tree());
+  // Interior queries: the analytical model ignores boundary effects.
+  std::vector<geometry::Point> queries;
+  {
+    common::Rng rng(kQuerySeed);
+    for (int i = 0; i < 100; ++i) {
+      queries.push_back(geometry::Point{0.25 + 0.5 * rng.Uniform(),
+                                        0.25 + 0.5 * rng.Uniform()});
+    }
+  }
+
+  PrintHeader("Cost model vs simulation (uniform 50k 2-d, 10 disks)",
+              "predicted k-NN radius / weak-optimal pages vs measured");
+  PrintRow({"k", "r-pred", "r-meas", "pages-pred", "pages-meas"}, 12);
+  for (size_t k : {1u, 10u, 50u, 200u}) {
+    double r_meas = 0.0, pages_meas = 0.0;
+    for (const auto& q : queries) {
+      const core::ExactKnnOutput out = core::ExactKnn(index->tree(), q, k);
+      r_meas += std::sqrt(out.result.KthDistSq());
+      pages_meas += static_cast<double>(out.pages_accessed);
+    }
+    r_meas /= static_cast<double>(queries.size());
+    pages_meas /= static_cast<double>(queries.size());
+    const double r_pred = analysis::ExpectedKnnDistance(data.size(), 2, k);
+    const double pages_pred =
+        analysis::ExpectedWeakOptimalAccesses(stats, 2, r_pred);
+    PrintRow({std::to_string(k), Fmt(r_pred, 4), Fmt(r_meas, 4),
+              Fmt(pages_pred, 1), Fmt(pages_meas, 1)},
+             12);
+  }
+
+  PrintHeader("Response time: M/G/1 prediction vs simulation",
+              "algorithm: BBSS (serial) and CRSS (batched), k=20");
+  PrintRow({"algo", "lambda", "rho", "pred(s)", "sim(s)"}, 10);
+  const size_t k = 20;
+  const sim::SimConfig cfg = MakeSimConfig(kResponseTimePageSize);
+  for (core::AlgorithmKind kind :
+       {core::AlgorithmKind::kBbss, core::AlgorithmKind::kCrss}) {
+    // Per-algorithm page/batch profile.
+    double pages = 0.0, batches = 0.0;
+    for (const auto& q : queries) {
+      auto algo = core::MakeAlgorithm(kind, index->tree(), q, k, disks);
+      const core::ExecutionStats s =
+          core::RunToCompletion(index->tree(), algo.get());
+      pages += static_cast<double>(s.pages_fetched);
+      batches += static_cast<double>(s.steps);
+    }
+    pages /= static_cast<double>(queries.size());
+    batches /= static_cast<double>(queries.size());
+
+    for (double lambda : {2.0, 6.0, 12.0}) {
+      analysis::WorkloadPoint w;
+      w.lambda = lambda;
+      w.pages_per_query = pages;
+      w.batches_per_query = batches;
+      w.num_disks = disks;
+      w.query_startup_time = cfg.query_startup_time;
+      w.bus_transfer_time = cfg.bus_transfer_time;
+      const analysis::ResponseEstimate est =
+          analysis::EstimateResponseTime(w, cfg.disk);
+      const double sim_rt =
+          MeanResponseTime(*index, kind, queries, k, lambda);
+      PrintRow({core::AlgorithmName(kind), Fmt(lambda, 0),
+                Fmt(est.disk_utilization, 2), Fmt(est.response_time),
+                Fmt(sim_rt)},
+               10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf("bench_cost_model — analytical estimates vs simulation\n");
+  sqp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figures 14 and 15: the four data sets of Appendix I. Since this harness
+// is textual, the report prints the summary statistics that characterize
+// each set's spatial distribution (population, per-axis moments, grid-cell
+// occupancy skew) instead of a scatter plot, plus a coarse ASCII density
+// sketch for the 2-d sets.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+
+namespace sqp::bench {
+namespace {
+
+void Report(const workload::Dataset& data) {
+  std::printf("\n--- %s: %zu points, %d-d ---\n", data.name.c_str(),
+              data.size(), data.dim);
+  for (int axis = 0; axis < std::min(data.dim, 3); ++axis) {
+    common::RunningStats st;
+    for (const auto& p : data.points) st.Add(p[axis]);
+    std::printf("  axis %d: mean=%.3f stddev=%.3f min=%.3f max=%.3f\n", axis,
+                st.mean(), st.stddev(), st.min(), st.max());
+  }
+  if (data.dim != 2) return;
+
+  // 20x20 occupancy grid: skew metric + ASCII sketch (Figures 14/15).
+  constexpr int kGrid = 20;
+  std::vector<int> cells(kGrid * kGrid, 0);
+  for (const auto& p : data.points) {
+    const int cx = std::min(kGrid - 1, static_cast<int>(p[0] * kGrid));
+    const int cy = std::min(kGrid - 1, static_cast<int>(p[1] * kGrid));
+    ++cells[static_cast<size_t>(cy * kGrid + cx)];
+  }
+  const int max_cell = *std::max_element(cells.begin(), cells.end());
+  const double avg_cell =
+      static_cast<double>(data.size()) / (kGrid * kGrid);
+  std::printf("  occupancy skew (max cell / avg cell): %.2f\n",
+              max_cell / avg_cell);
+  const char* shades = " .:-=+*#%@";
+  for (int y = kGrid - 1; y >= 0; --y) {
+    std::printf("  ");
+    for (int x = 0; x < kGrid; ++x) {
+      const int c = cells[static_cast<size_t>(y * kGrid + x)];
+      const int level = static_cast<int>(
+          9.0 * c / std::max(1, max_cell));
+      std::printf("%c", shades[level]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  using namespace sqp;
+  std::printf(
+      "bench_datasets_report — Appendix I data sets (Figures 14, 15)\n");
+  bench::Report(workload::MakeCaliforniaLike(bench::kDatasetSeed));
+  bench::Report(workload::MakeLongBeachLike(bench::kDatasetSeed));
+  bench::Report(workload::MakeGaussian(10000, 2, bench::kDatasetSeed));
+  bench::Report(workload::MakeUniform(10000, 2, bench::kDatasetSeed));
+  return 0;
+}

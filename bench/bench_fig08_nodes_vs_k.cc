@@ -1,0 +1,51 @@
+// Figure 8: number of visited nodes vs. query size (k = 1..700) on the two
+// real-life 2-d data sets (California Places, Long Beach), 10 disks.
+// Series: BBSS, FPSS, CRSS, WOPTSS.
+//
+// Paper shape: BBSS fetches fewest nodes for small k but deteriorates as k
+// grows; CRSS tracks WOPTSS closely across the whole range; FPSS fetches
+// the most.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void RunDataset(const workload::Dataset& data) {
+  const int kDisks = 10;
+  auto index = BuildIndex(data, kDisks, kEffectivenessPageSize);
+  const auto& tree = index->tree();
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 50, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+
+  PrintHeader("Figure 8: visited nodes vs. k",
+              "Set: " + data.name + ", Population: " +
+                  std::to_string(data.size()) +
+                  ", Disks: 10, Dimensions: 2, queries: 50");
+  PrintRow({"k", "BBSS", "FPSS", "CRSS", "WOPTSS"});
+  for (size_t k : {1u, 10u, 50u, 100u, 200u, 300u, 400u, 500u, 600u, 700u}) {
+    PrintRow({std::to_string(k),
+              Fmt(MeanNodeAccesses(tree, core::AlgorithmKind::kBbss, queries,
+                                   k, kDisks), 1),
+              Fmt(MeanNodeAccesses(tree, core::AlgorithmKind::kFpss, queries,
+                                   k, kDisks), 1),
+              Fmt(MeanNodeAccesses(tree, core::AlgorithmKind::kCrss, queries,
+                                   k, kDisks), 1),
+              Fmt(MeanNodeAccesses(tree, core::AlgorithmKind::kWoptss,
+                                   queries, k, kDisks), 1)});
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  using namespace sqp;
+  std::printf("bench_fig08_nodes_vs_k — effectiveness on real-life 2-d sets\n");
+  bench::RunDataset(workload::MakeCaliforniaLike(bench::kDatasetSeed));
+  bench::RunDataset(workload::MakeLongBeachLike(bench::kDatasetSeed));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 10: mean response time (seconds) vs. query arrival rate lambda in
+// a multi-user open system.
+//   Left:  Long Beach set, 5 disks, k = 10, lambda = 1..10 queries/s.
+//   Right: California set, 10 disks, k = 100, lambda = 2..20 queries/s.
+// Series: BBSS, FPSS, CRSS, WOPTSS.
+//
+// Paper shape: FPSS is hypersensitive to load (uncontrolled fan-out) and
+// degrades worst; CRSS stays near WOPTSS; BBSS sits in between at low k
+// and falls behind CRSS as load grows. For small workloads with many disks
+// FPSS can be marginally better than CRSS (right graph, small lambda).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void RunPanel(const workload::Dataset& data, int disks, size_t k,
+              const std::vector<double>& lambdas) {
+  auto index = BuildIndex(data, disks, kResponseTimePageSize);
+  const auto queries = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+
+  PrintHeader(
+      "Figure 10: response time (s) vs. arrival rate",
+      "Set: " + data.name + ", Population: " + std::to_string(data.size()) +
+          ", Disks: " + std::to_string(disks) + ", NNs: " +
+          std::to_string(k) + ", Dimensions: 2, queries: 100");
+  PrintRow({"lambda", "BBSS", "FPSS", "CRSS", "WOPTSS"});
+  for (double lambda : lambdas) {
+    PrintRow({Fmt(lambda, 0),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kBbss,
+                                   queries, k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kFpss,
+                                   queries, k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kCrss,
+                                   queries, k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kWoptss,
+                                   queries, k, lambda))});
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  using namespace sqp;
+  std::printf(
+      "bench_fig10_resptime_vs_lambda — multi-user response time vs load\n");
+  bench::RunPanel(workload::MakeLongBeachLike(bench::kDatasetSeed),
+                  /*disks=*/5, /*k=*/10,
+                  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  bench::RunPanel(workload::MakeCaliforniaLike(bench::kDatasetSeed),
+                  /*disks=*/10, /*k=*/100,
+                  {2, 4, 6, 8, 10, 12, 14, 16, 18, 20});
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11: mean response time normalized to WOPTSS vs. number of disks
+// (5..30), Gaussian 50,000 points, 5 dimensions, lambda = 5 queries/s.
+// Left panel: k = 10; right panel: k = 100. Series: BBSS, CRSS, WOPTSS.
+//
+// Paper shape: CRSS's speed-up with added disks is better than BBSS's;
+// CRSS runs 2-4x faster than BBSS across the sweep and stays within ~2x of
+// WOPTSS.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void RunPanel(const workload::Dataset& data, size_t k) {
+  const auto queries = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+  const double lambda = 5.0;
+
+  PrintHeader("Figure 11: response time normalized to WOPTSS vs. disks",
+              "Set: gaussian, Population: " + std::to_string(data.size()) +
+                  ", Dimensions: 5, NNs: " + std::to_string(k) +
+                  ", lambda=5 q/s, queries: 100");
+  PrintRow({"disks", "BBSS/OPT", "CRSS/OPT", "WOPTSS(s)"});
+  for (int disks : {5, 10, 15, 20, 25, 30}) {
+    auto index = BuildIndex(data, disks, kResponseTimePageSize);
+    const double opt = MeanResponseTime(*index, core::AlgorithmKind::kWoptss,
+                                        queries, k, lambda);
+    const double bbss = MeanResponseTime(*index, core::AlgorithmKind::kBbss,
+                                         queries, k, lambda);
+    const double crss = MeanResponseTime(*index, core::AlgorithmKind::kCrss,
+                                         queries, k, lambda);
+    PrintRow({std::to_string(disks), Fmt(bbss / opt), Fmt(crss / opt),
+              Fmt(opt)});
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  using namespace sqp;
+  std::printf("bench_fig11_speedup_disks — speed-up with array width\n");
+  const workload::Dataset data =
+      workload::MakeGaussian(50000, 5, bench::kDatasetSeed);
+  bench::RunPanel(data, /*k=*/10);
+  bench::RunPanel(data, /*k=*/100);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 12: mean response time normalized to WOPTSS vs. number of nearest
+// neighbors (1..100), Uniform 80,000 points, 5 dimensions, 10 disks.
+// Left panel: lambda = 1 query/s; right panel: lambda = 20 queries/s.
+// Series: BBSS, CRSS, WOPTSS.
+//
+// Paper shape: CRSS outperforms BBSS by factors (3-4x faster), more
+// pronounced under the heavier lambda = 20 load.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void RunPanel(const parallel::ParallelRStarTree& index,
+              const std::vector<geometry::Point>& queries, double lambda) {
+  PrintHeader("Figure 12: response time normalized to WOPTSS vs. k",
+              "Set: uniform, Population: 80000, Disks: 10, Dimensions: 5, "
+              "lambda=" + Fmt(lambda, 0) + " q/s, queries: 100");
+  PrintRow({"k", "BBSS/OPT", "CRSS/OPT", "WOPTSS(s)"});
+  for (size_t k : {1u, 5u, 10u, 20u, 40u, 60u, 80u, 100u}) {
+    const double opt = MeanResponseTime(index, core::AlgorithmKind::kWoptss,
+                                        queries, k, lambda);
+    const double bbss = MeanResponseTime(index, core::AlgorithmKind::kBbss,
+                                         queries, k, lambda);
+    const double crss = MeanResponseTime(index, core::AlgorithmKind::kCrss,
+                                         queries, k, lambda);
+    PrintRow({std::to_string(k), Fmt(bbss / opt), Fmt(crss / opt),
+              Fmt(opt)});
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  using namespace sqp;
+  std::printf("bench_fig12_resptime_vs_k — response time vs query size\n");
+  const workload::Dataset data =
+      workload::MakeUniform(80000, 5, bench::kDatasetSeed);
+  auto index = bench::BuildIndex(data, /*disks=*/10, bench::kResponseTimePageSize);
+  const auto queries = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed,
+      bench::kQuerySeed);
+  bench::RunPanel(*index, queries, /*lambda=*/1.0);
+  bench::RunPanel(*index, queries, /*lambda=*/20.0);
+  return 0;
+}

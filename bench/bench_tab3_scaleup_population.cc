@@ -1,0 +1,57 @@
+// Table 3: scalability with respect to population growth — response time
+// (seconds) as the database and the array grow together:
+// (10k, 5 disks), (20k, 10), (40k, 20), (80k, 40).
+// Gaussian data, 5 dimensions, k = 20, lambda = 5 queries/s.
+//
+// Paper numbers:   population  disks  BBSS  CRSS  WOPTSS
+//                      10,000      5  0.76  0.47    0.23
+//                      20,000     10  0.74  0.28    0.15
+//                      40,000     20  1.07  0.29    0.15
+//                      80,000     40  1.59  0.33    0.16
+// Shape: CRSS and WOPTSS scale flat (ideal scale-up); BBSS degrades
+// because it cannot use the added disks within a query.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3: scale-up with population",
+              "Set: gaussian, Dimensions: 5, NNs: 20, lambda=5 q/s, "
+              "queries: 100");
+  PrintRow({"population", "disks", "BBSS", "CRSS", "WOPTSS"});
+  const size_t k = 20;
+  const double lambda = 5.0;
+  struct Config {
+    size_t population;
+    int disks;
+  };
+  for (const Config& c : {Config{10000, 5}, Config{20000, 10},
+                          Config{40000, 20}, Config{80000, 40}}) {
+    const workload::Dataset data =
+        workload::MakeGaussian(c.population, 5, kDatasetSeed);
+    auto index = BuildIndex(data, c.disks, kResponseTimePageSize);
+    const auto queries = workload::MakeQueryPoints(
+        data, 100, workload::QueryDistribution::kDataDistributed,
+        kQuerySeed);
+    PrintRow({std::to_string(c.population), std::to_string(c.disks),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kBbss,
+                                   queries, k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kCrss,
+                                   queries, k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kWoptss,
+                                   queries, k, lambda))});
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf("bench_tab3_scaleup_population — scale-up with data growth\n");
+  sqp::bench::Run();
+  return 0;
+}

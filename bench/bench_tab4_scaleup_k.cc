@@ -1,0 +1,57 @@
+// Table 4: scalability with respect to query size growth — response time
+// (seconds) as k and the array grow together:
+// (k=10, 5 disks), (20, 10), (40, 20), (80, 40).
+// Gaussian data, 5 dimensions, population 80,000, lambda = 5 queries/s.
+//
+// Paper numbers:   k  disks  BBSS  CRSS  WOPTSS
+//                 10      5  2.48  1.30    0.48
+//                 20     10  2.14  0.32    0.19
+//                 40     20  2.37  0.55    0.28
+//                 80     40  2.95  0.40    0.21
+// Shape: CRSS stays flat (the extra disks absorb the extra work); BBSS
+// stays expensive throughout and worsens slightly. CRSS is on average ~4x
+// faster than BBSS.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void Run() {
+  const workload::Dataset data =
+      workload::MakeGaussian(80000, 5, kDatasetSeed);
+  const auto queries = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+  const double lambda = 5.0;
+
+  PrintHeader("Table 4: scale-up with query size",
+              "Set: gaussian, Dimensions: 5, Population: 80000, "
+              "lambda=5 q/s, queries: 100");
+  PrintRow({"k", "disks", "BBSS", "CRSS", "WOPTSS"});
+  struct Config {
+    size_t k;
+    int disks;
+  };
+  for (const Config& c :
+       {Config{10, 5}, Config{20, 10}, Config{40, 20}, Config{80, 40}}) {
+    auto index = BuildIndex(data, c.disks, kResponseTimePageSize);
+    PrintRow({std::to_string(c.k), std::to_string(c.disks),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kBbss,
+                                   queries, c.k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kCrss,
+                                   queries, c.k, lambda)),
+              Fmt(MeanResponseTime(*index, core::AlgorithmKind::kWoptss,
+                                   queries, c.k, lambda))});
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf("bench_tab4_scaleup_k — scale-up with query size growth\n");
+  sqp::bench::Run();
+  return 0;
+}

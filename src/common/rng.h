@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (dataset generators, cylinder
+// assignment, Poisson arrivals, random declustering) draws from an Rng
+// seeded explicitly, so whole experiments replay bit-identically for a
+// given seed. std::mt19937_64 is specified by the standard, so streams are
+// identical across platforms and compilers.
+
+#ifndef SQP_COMMON_RNG_H_
+#define SQP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace sqp::common {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SQP_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SQP_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Exponential with the given rate (mean 1/rate). Used for Poisson
+  // inter-arrival times.
+  double Exponential(double rate) {
+    SQP_DCHECK(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Spawns an independent child generator. Streams of parent and child do
+  // not collide in practice (distinct seeding by a splitmix-style hash).
+  Rng Fork() {
+    uint64_t s = engine_();
+    s ^= 0x9E3779B97F4A7C15ull;
+    s *= 0xBF58476D1CE4E5B9ull;
+    return Rng(s);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sqp::common
+
+#endif  // SQP_COMMON_RNG_H_

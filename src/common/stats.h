@@ -1,0 +1,88 @@
+// Streaming statistics accumulators used by the simulator metrics and the
+// benchmark harnesses.
+
+#ifndef SQP_COMMON_STATS_H_
+#define SQP_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sqp::common {
+
+// Mean / variance / min / max over a stream of doubles (Welford update).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Keeps all samples; supports exact quantiles. Intended for per-query
+// response times (hundreds to a few thousand samples).
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  // Exact quantile by nearest-rank; q in [0, 1].
+  double Quantile(double q) const {
+    SQP_CHECK(!samples_.empty());
+    SQP_CHECK(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double Max() const {
+    SQP_CHECK(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace sqp::common
+
+#endif  // SQP_COMMON_STATS_H_

@@ -1,0 +1,45 @@
+#include "core/algorithms.h"
+
+#include "core/bbss.h"
+#include "core/crss.h"
+#include "core/fpss.h"
+#include "core/woptss.h"
+
+namespace sqp::core {
+
+const char* AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kBbss:
+      return "BBSS";
+    case AlgorithmKind::kFpss:
+      return "FPSS";
+    case AlgorithmKind::kCrss:
+      return "CRSS";
+    case AlgorithmKind::kWoptss:
+      return "WOPTSS";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SearchAlgorithm> MakeAlgorithm(AlgorithmKind kind,
+                                               const rstar::RStarTree& tree,
+                                               const geometry::Point& query,
+                                               size_t k, int num_disks) {
+  switch (kind) {
+    case AlgorithmKind::kBbss:
+      return std::make_unique<Bbss>(tree, query, k);
+    case AlgorithmKind::kFpss:
+      return std::make_unique<Fpss>(tree, query, k);
+    case AlgorithmKind::kCrss: {
+      CrssOptions options;
+      options.max_activation = num_disks;
+      return std::make_unique<Crss>(tree, query, k, options);
+    }
+    case AlgorithmKind::kWoptss:
+      return std::make_unique<Woptss>(tree, query, k);
+  }
+  SQP_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace sqp::core

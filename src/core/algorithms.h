@@ -1,0 +1,34 @@
+// Factory for the four similarity search algorithms studied in the paper.
+
+#ifndef SQP_CORE_ALGORITHMS_H_
+#define SQP_CORE_ALGORITHMS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/search_algorithm.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+enum class AlgorithmKind {
+  kBbss,    // branch-and-bound, depth-first, one page per step
+  kFpss,    // full-parallel breadth-first
+  kCrss,    // candidate reduction (the paper's proposal)
+  kWoptss,  // hypothetical weak-optimal lower bound
+};
+
+const char* AlgorithmName(AlgorithmKind kind);
+
+// Creates an algorithm instance for a single k-NN query. `num_disks` is the
+// array width (CRSS's activation bound u); BBSS/FPSS/WOPTSS accept and
+// ignore it.
+std::unique_ptr<SearchAlgorithm> MakeAlgorithm(AlgorithmKind kind,
+                                               const rstar::RStarTree& tree,
+                                               const geometry::Point& query,
+                                               size_t k, int num_disks);
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_ALGORITHMS_H_

@@ -1,0 +1,98 @@
+#include "core/bbss.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+
+Bbss::Bbss(const rstar::RStarTree& tree, geometry::Point query, size_t k)
+    : tree_(tree),
+      query_(std::move(query)),
+      k_(k),
+      result_(k),
+      minmax_bound_sq_(std::numeric_limits<double>::infinity()) {
+  SQP_CHECK(query_.dim() == tree_.config().dim);
+}
+
+double Bbss::BoundSq() const {
+  double b = result_.KthDistSq();
+  if (k_ == 1) b = std::min(b, minmax_bound_sq_);
+  return b;
+}
+
+StepResult Bbss::Begin() {
+  SQP_CHECK(!started_);
+  started_ = true;
+  StepResult step;
+  step.requests.push_back(tree_.root());
+  return step;
+}
+
+StepResult Bbss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
+  SQP_CHECK(pages.size() == 1);  // BBSS is strictly one page at a time
+  const rstar::Node& n = *pages[0].node;
+  const uint64_t n_scanned = n.entries.size();
+  uint64_t m_sorted = 0;
+
+  if (n.IsLeaf()) {
+    for (const rstar::Entry& e : n.entries) {
+      result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+    }
+  } else {
+    // Build the active branch list, applying the downward pruning rules.
+    std::vector<Branch> branches;
+    branches.reserve(n.entries.size());
+    if (k_ == 1) {
+      for (const rstar::Entry& e : n.entries) {
+        minmax_bound_sq_ = std::min(
+            minmax_bound_sq_, geometry::MinMaxDistSq(query_, e.mbr));
+      }
+    }
+    const double bound = BoundSq();
+    for (const rstar::Entry& e : n.entries) {
+      const double d = geometry::MinDistSq(query_, e.mbr);
+      if (d > bound) continue;  // rules 1 & 3
+      branches.push_back({d, e.child});
+    }
+    m_sorted = branches.size();
+    // Descending sort: nearest branch at the back, popped first.
+    std::sort(branches.begin(), branches.end(),
+              [](const Branch& a, const Branch& b) {
+                if (a.min_dist_sq != b.min_dist_sq) {
+                  return a.min_dist_sq > b.min_dist_sq;
+                }
+                return a.page > b.page;
+              });
+    stack_.push_back(std::move(branches));
+  }
+
+  return NextStep(ScanSortCost(n_scanned, m_sorted));
+}
+
+StepResult Bbss::NextStep(uint64_t cpu_instructions) {
+  StepResult step;
+  step.cpu_instructions = cpu_instructions;
+  while (!stack_.empty()) {
+    std::vector<Branch>& top = stack_.back();
+    const double bound = BoundSq();
+    // Upward pruning (rule 3): drop branches that can no longer contain a
+    // better neighbor. The list is sorted, so scan from the nearest end.
+    while (!top.empty() && top.back().min_dist_sq > bound) {
+      // Every remaining branch in this list is at least as far.
+      top.clear();
+    }
+    if (top.empty()) {
+      stack_.pop_back();
+      continue;
+    }
+    step.requests.push_back(top.back().page);
+    top.pop_back();
+    return step;
+  }
+  step.done = true;
+  return step;
+}
+
+}  // namespace sqp::core

@@ -1,0 +1,58 @@
+// BBSS — Branch-and-Bound Similarity Search (paper §3.1).
+//
+// The Roussopoulos/Kelley/Vincent nearest-neighbor algorithm generalized to
+// k-NN: depth-first descent ordered by MinDist, pruning branches whose
+// MinDist exceeds the distance to the current k-th best neighbor (and, for
+// k = 1, the classic MinMaxDist rules). BBSS fetches exactly one page per
+// step, so on a disk array it exhibits no intra-query parallelism — the
+// baseline behaviour the paper improves on.
+
+#ifndef SQP_CORE_BBSS_H_
+#define SQP_CORE_BBSS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+class Bbss : public SearchAlgorithm {
+ public:
+  Bbss(const rstar::RStarTree& tree, geometry::Point query, size_t k);
+
+  StepResult Begin() override;
+  StepResult OnPagesFetched(const std::vector<FetchedPage>& pages) override;
+  const KnnResultSet& result() const override { return result_; }
+  std::string_view name() const override { return "BBSS"; }
+
+ private:
+  struct Branch {
+    double min_dist_sq;
+    rstar::PageId page;
+  };
+
+  // Effective pruning bound: k-th best actual distance, tightened by the
+  // MinMaxDist guarantee when k == 1 (rules 1 and 2).
+  double BoundSq() const;
+
+  // Picks the next unpruned branch from the stack; returns the step that
+  // either requests it or reports completion.
+  StepResult NextStep(uint64_t cpu_instructions);
+
+  const rstar::RStarTree& tree_;
+  geometry::Point query_;
+  size_t k_;
+  KnnResultSet result_;
+  double minmax_bound_sq_;  // min MinMaxDist seen (used when k == 1)
+  // Active branch lists, one per level on the descent path. Each list is
+  // sorted by descending MinDist so the closest branch pops from the back.
+  std::vector<std::vector<Branch>> stack_;
+  bool started_ = false;
+};
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_BBSS_H_

@@ -1,0 +1,35 @@
+#include "core/distance_browser.h"
+
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+
+DistanceBrowser::DistanceBrowser(const rstar::RStarTree& tree,
+                                 geometry::Point query)
+    : tree_(tree), query_(std::move(query)) {
+  SQP_CHECK(query_.dim() == tree_.config().dim);
+  frontier_.push(Item{0.0, false, rstar::kInvalidObject, tree_.root()});
+}
+
+std::optional<Neighbor> DistanceBrowser::Next() {
+  while (!frontier_.empty()) {
+    const Item item = frontier_.top();
+    frontier_.pop();
+    if (item.is_object) {
+      return Neighbor{item.object, item.dist_sq};
+    }
+    const rstar::Node& n = tree_.node(item.page);
+    ++pages_accessed_;
+    for (const rstar::Entry& e : n.entries) {
+      const double d = geometry::MinDistSq(query_, e.mbr);
+      if (n.IsLeaf()) {
+        frontier_.push(Item{d, true, e.object, rstar::kInvalidPage});
+      } else {
+        frontier_.push(Item{d, false, rstar::kInvalidObject, e.child});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sqp::core

@@ -1,0 +1,66 @@
+// Incremental nearest-neighbor iteration (distance browsing, Hjaltason &
+// Samet). Where a k-NN query needs k fixed up front, a DistanceBrowser
+// yields neighbors one at a time in increasing distance order and can stop
+// at any point — the natural API for "give me results until I say stop"
+// clients (e.g. filtering pipelines that reject some candidates after
+// refinement, §1's filter-and-refine workloads).
+//
+// This is a sequential, in-memory traversal (it reads nodes directly, no
+// batch protocol); its page-access count is weak-optimal for however many
+// neighbors end up consumed.
+
+#ifndef SQP_CORE_DISTANCE_BROWSER_H_
+#define SQP_CORE_DISTANCE_BROWSER_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/knn_result.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+class DistanceBrowser {
+ public:
+  // The tree must outlive the browser and must not be mutated while
+  // browsing.
+  DistanceBrowser(const rstar::RStarTree& tree, geometry::Point query);
+
+  // The next closest object, or nullopt when the tree is exhausted.
+  // Successive calls return non-decreasing distances (ties broken by
+  // object id, consistent with the batch algorithms).
+  std::optional<Neighbor> Next();
+
+  // Pages read so far.
+  size_t pages_accessed() const { return pages_accessed_; }
+
+ private:
+  struct Item {
+    double dist_sq;
+    bool is_object;
+    rstar::ObjectId object;  // valid when is_object
+    rstar::PageId page;      // valid when !is_object
+  };
+  struct Closer {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+      // Pages pop before objects at equal distance, so every object tied
+      // at that distance is discovered before any is emitted; among tied
+      // objects the smaller id wins — the same rule as KnnResultSet.
+      if (a.is_object != b.is_object) return a.is_object;
+      if (a.is_object) return a.object > b.object;
+      return a.page > b.page;
+    }
+  };
+
+  const rstar::RStarTree& tree_;
+  geometry::Point query_;
+  std::priority_queue<Item, std::vector<Item>, Closer> frontier_;
+  size_t pages_accessed_ = 0;
+};
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_DISTANCE_BROWSER_H_

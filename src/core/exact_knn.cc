@@ -1,0 +1,67 @@
+#include "core/exact_knn.h"
+
+#include <queue>
+#include <vector>
+
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+namespace {
+
+struct QueueItem {
+  double min_dist_sq;
+  rstar::PageId page;
+};
+
+struct Closer {
+  bool operator()(const QueueItem& a, const QueueItem& b) const {
+    if (a.min_dist_sq != b.min_dist_sq) return a.min_dist_sq > b.min_dist_sq;
+    return a.page > b.page;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+ExactKnnOutput ExactKnn(const rstar::RStarTree& tree,
+                        const geometry::Point& q, size_t k) {
+  SQP_CHECK(k >= 1);
+  ExactKnnOutput out{KnnResultSet(k), 0};
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Closer> frontier;
+  frontier.push({0.0, tree.root()});
+
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    // All remaining pages are at least as far as this one; once the k-th
+    // best actual distance is strictly closer, nothing in the frontier can
+    // improve the result. Boundary pages (MinDist == Dk) are still visited
+    // so distance ties resolve by object id, exactly as in the on-array
+    // algorithms.
+    if (out.result.Full() && item.min_dist_sq > out.result.KthDistSq()) {
+      break;
+    }
+    const rstar::Node& n = tree.node(item.page);
+    ++out.pages_accessed;
+    for (const rstar::Entry& e : n.entries) {
+      const double d = geometry::MinDistSq(q, e.mbr);
+      if (n.IsLeaf()) {
+        out.result.Add(e.object, d);
+      } else if (!out.result.Full() || d <= out.result.KthDistSq()) {
+        frontier.push({d, e.child});
+      }
+    }
+  }
+  return out;
+}
+
+double KthNeighborDistSq(const rstar::RStarTree& tree,
+                         const geometry::Point& q, size_t k) {
+  const ExactKnnOutput out = ExactKnn(tree, q, k);
+  if (out.result.size() < k) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return out.result.KthDistSq();
+}
+
+}  // namespace sqp::core

@@ -1,0 +1,37 @@
+// Exact sequential k-NN over an R*-tree using best-first traversal
+// (Hjaltason & Samet). Serves three roles in this library:
+//   * ground truth in tests,
+//   * the oracle that hands WOPTSS the k-th-NN distance Dk,
+//   * a reference point: its page-access count equals the weak-optimal
+//     count (it visits exactly the pages with MinDist < Dk, plus ties).
+
+#ifndef SQP_CORE_EXACT_KNN_H_
+#define SQP_CORE_EXACT_KNN_H_
+
+#include <cstddef>
+
+#include "core/knn_result.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+struct ExactKnnOutput {
+  KnnResultSet result;
+  // Pages read by the best-first traversal (root included).
+  size_t pages_accessed = 0;
+};
+
+// Computes the exact k nearest neighbors of `q`. k is clipped to the tree
+// size; for an empty tree the result set is empty.
+ExactKnnOutput ExactKnn(const rstar::RStarTree& tree,
+                        const geometry::Point& q, size_t k);
+
+// Convenience: squared distance from `q` to its k-th nearest neighbor
+// (+infinity if the tree holds fewer than k objects).
+double KthNeighborDistSq(const rstar::RStarTree& tree,
+                         const geometry::Point& q, size_t k);
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_EXACT_KNN_H_

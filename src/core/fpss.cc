@@ -1,0 +1,66 @@
+#include "core/fpss.h"
+
+#include <algorithm>
+
+#include "core/lemma1.h"
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+
+Fpss::Fpss(const rstar::RStarTree& tree, geometry::Point query, size_t k)
+    : tree_(tree), query_(std::move(query)), k_(k), result_(k) {
+  SQP_CHECK(query_.dim() == tree_.config().dim);
+}
+
+StepResult Fpss::Begin() {
+  SQP_CHECK(!started_);
+  started_ = true;
+  StepResult step;
+  step.requests.push_back(tree_.root());
+  return step;
+}
+
+StepResult Fpss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
+  SQP_CHECK(!pages.empty());
+  StepResult step;
+
+  if (pages[0].node->IsLeaf()) {
+    // The tree is height-balanced, so all leaves arrive in one final batch.
+    uint64_t n_scanned = 0;
+    for (const FetchedPage& p : pages) {
+      SQP_DCHECK(p.node->IsLeaf());
+      n_scanned += p.node->entries.size();
+      for (const rstar::Entry& e : p.node->entries) {
+        result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+      }
+    }
+    step.cpu_instructions = ScanSortCost(n_scanned, std::min(n_scanned,
+                                                             uint64_t{k_}));
+    step.done = true;
+    return step;
+  }
+
+  // Internal level: pool every fetched entry, tighten the threshold with
+  // Lemma 1, and activate all entries intersecting the sphere.
+  std::vector<rstar::Entry> pool;
+  for (const FetchedPage& p : pages) {
+    SQP_DCHECK(!p.node->IsLeaf());
+    pool.insert(pool.end(), p.node->entries.begin(), p.node->entries.end());
+  }
+  const Lemma1Threshold lemma = ComputeLemma1(query_, pool, k_);
+  dth_sq_ = std::min(dth_sq_, lemma.dth_sq);
+
+  for (const rstar::Entry& e : pool) {
+    if (geometry::MinDistSq(query_, e.mbr) <= dth_sq_) {
+      step.requests.push_back(e.child);
+    }
+  }
+  // The Lemma 1 prefix always intersects its own sphere, so at least one
+  // child is activated whenever the pool is non-empty.
+  SQP_CHECK(!step.requests.empty());
+  step.cpu_instructions =
+      ScanSortCost(pool.size(), step.requests.size());
+  return step;
+}
+
+}  // namespace sqp::core

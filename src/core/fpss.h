@@ -1,0 +1,42 @@
+// FPSS — Full-Parallel Similarity Search (paper §3.2).
+//
+// Breadth-first descent that activates *every* entry intersecting the
+// current query sphere, maximizing intra-query parallelism. The sphere
+// radius is the Lemma 1 threshold, tightened level by level. FPSS never
+// defers candidates, so it over-fetches aggressively; this is the
+// "maximum parallelism" end of the trade-off CRSS balances.
+
+#ifndef SQP_CORE_FPSS_H_
+#define SQP_CORE_FPSS_H_
+
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+class Fpss : public SearchAlgorithm {
+ public:
+  Fpss(const rstar::RStarTree& tree, geometry::Point query, size_t k);
+
+  StepResult Begin() override;
+  StepResult OnPagesFetched(const std::vector<FetchedPage>& pages) override;
+  const KnnResultSet& result() const override { return result_; }
+  std::string_view name() const override { return "FPSS"; }
+
+ private:
+  const rstar::RStarTree& tree_;
+  geometry::Point query_;
+  size_t k_;
+  KnnResultSet result_;
+  double dth_sq_ = std::numeric_limits<double>::infinity();
+  bool started_ = false;
+};
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_FPSS_H_

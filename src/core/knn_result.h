@@ -1,0 +1,85 @@
+// Bounded result set for k-nearest-neighbor queries.
+
+#ifndef SQP_CORE_KNN_RESULT_H_
+#define SQP_CORE_KNN_RESULT_H_
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "rstar/types.h"
+
+namespace sqp::core {
+
+struct Neighbor {
+  rstar::ObjectId object = rstar::kInvalidObject;
+  double dist_sq = 0.0;
+};
+
+// Keeps the k closest objects seen so far. Each call to Add is assumed to
+// present a distinct object (the search algorithms fetch every page at most
+// once). Ties at the k-th distance are broken by object id, which makes
+// results deterministic across algorithms.
+class KnnResultSet {
+ public:
+  explicit KnnResultSet(size_t k) : k_(k) { SQP_CHECK(k >= 1); }
+
+  void Add(rstar::ObjectId object, double dist_sq) {
+    if (heap_.size() < k_) {
+      heap_.push({object, dist_sq});
+      return;
+    }
+    const Neighbor& worst = heap_.top();
+    if (dist_sq < worst.dist_sq ||
+        (dist_sq == worst.dist_sq && object < worst.object)) {
+      heap_.pop();
+      heap_.push({object, dist_sq});
+    }
+  }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool Full() const { return heap_.size() == k_; }
+
+  // Squared distance to the current k-th best neighbor; +infinity while
+  // fewer than k objects have been seen. This is the pruning bound Dk^2.
+  double KthDistSq() const {
+    if (!Full()) return std::numeric_limits<double>::infinity();
+    return heap_.top().dist_sq;
+  }
+
+  // Neighbors in ascending distance order (ties by object id).
+  std::vector<Neighbor> Sorted() const {
+    std::vector<Neighbor> v = heap_.Container();
+    std::sort(v.begin(), v.end(), [](const Neighbor& a, const Neighbor& b) {
+      if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+      return a.object < b.object;
+    });
+    return v;
+  }
+
+ private:
+  struct WorstFirst {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+      return a.object < b.object;  // larger id = "worse" on ties
+    }
+  };
+
+  // priority_queue with an accessor for the underlying container, so
+  // Sorted() need not destroy the heap.
+  class Heap : public std::priority_queue<Neighbor, std::vector<Neighbor>,
+                                          WorstFirst> {
+   public:
+    const std::vector<Neighbor>& Container() const { return c; }
+  };
+
+  size_t k_;
+  Heap heap_;
+};
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_KNN_RESULT_H_

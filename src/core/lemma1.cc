@@ -1,0 +1,48 @@
+#include "core/lemma1.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+
+Lemma1Threshold ComputeLemma1(const geometry::Point& q,
+                              const std::vector<rstar::Entry>& entries,
+                              uint64_t k) {
+  Lemma1Threshold out;
+  if (entries.empty()) {
+    out.dth_sq = std::numeric_limits<double>::infinity();
+    return out;
+  }
+
+  std::vector<double> max_dist(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    max_dist[i] = geometry::MaxDistSq(q, entries[i].mbr);
+    out.total_count += entries[i].count;
+  }
+
+  std::vector<size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return max_dist[a] < max_dist[b]; });
+
+  uint64_t acc = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    acc += entries[order[i]].count;
+    if (acc >= k) {
+      out.dth_sq = max_dist[order[i]];
+      out.prefix_len = static_cast<int>(i) + 1;
+      return out;
+    }
+  }
+  // Fewer than k objects under the inspected entries. The k-th nearest
+  // neighbor then lies under some *other* subtree, so no finite bound on
+  // Dk can be derived from this pool: report +infinity (reject nothing).
+  out.dth_sq = std::numeric_limits<double>::infinity();
+  out.prefix_len = static_cast<int>(order.size());
+  return out;
+}
+
+}  // namespace sqp::core

@@ -1,0 +1,36 @@
+// Lemma 1 of the paper: a distance threshold guaranteeing the containment
+// of the k best answers, derived from subtree object counts.
+
+#ifndef SQP_CORE_LEMMA1_H_
+#define SQP_CORE_LEMMA1_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "rstar/node.h"
+
+namespace sqp::core {
+
+struct Lemma1Threshold {
+  // Squared radius of the sphere centered at the query point guaranteed to
+  // contain at least k objects of the inspected entry set. +infinity when
+  // the set holds fewer than k objects in total — the k-th nearest
+  // neighbor may then live elsewhere, so no rejection bound exists.
+  double dth_sq = 0.0;
+  // Number of entries in the MaxDist-sorted prefix whose counts reach k —
+  // the lower activation bound `l` of CRSS.
+  int prefix_len = 0;
+  // Total objects under the inspected entries.
+  uint64_t total_count = 0;
+};
+
+// Sorts `entries` (conceptually) by MaxDist from `q` and returns the
+// threshold for the k-NN query (Lemma 1). Does not modify `entries`.
+Lemma1Threshold ComputeLemma1(const geometry::Point& q,
+                              const std::vector<rstar::Entry>& entries,
+                              uint64_t k);
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_LEMMA1_H_

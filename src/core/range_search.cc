@@ -1,0 +1,64 @@
+#include "core/range_search.h"
+
+#include <algorithm>
+
+namespace sqp::core {
+
+ParallelRangeQuery::ParallelRangeQuery(const rstar::RStarTree& tree,
+                                       RangeRegion region,
+                                       const RangeQueryOptions& options)
+    : tree_(tree), region_(std::move(region)), options_(options) {
+  SQP_CHECK(options_.max_activation >= 0);
+}
+
+StepResult ParallelRangeQuery::Begin() {
+  SQP_CHECK(!started_);
+  started_ = true;
+  frontier_.push_back(tree_.root());
+  return Emit(/*cpu_instructions=*/0);
+}
+
+StepResult ParallelRangeQuery::OnPagesFetched(
+    const std::vector<FetchedPage>& pages) {
+  SQP_CHECK(!pages.empty());
+  uint64_t n_scanned = 0;
+  size_t qualified = 0;
+  for (const FetchedPage& p : pages) {
+    n_scanned += p.node->entries.size();
+    for (const rstar::Entry& e : p.node->entries) {
+      if (!region_.Intersects(e.mbr)) continue;
+      if (p.node->IsLeaf()) {
+        if (region_.Covers(e.mbr.lo())) {
+          objects_.push_back(e.object);
+          ++qualified;
+        }
+      } else {
+        frontier_.push_back(e.child);
+        ++qualified;
+      }
+    }
+  }
+  return Emit(ScanSortCost(n_scanned, qualified));
+}
+
+StepResult ParallelRangeQuery::Emit(uint64_t cpu_instructions) {
+  StepResult step;
+  step.cpu_instructions = cpu_instructions;
+  if (frontier_.empty()) {
+    step.done = true;
+    return step;
+  }
+  size_t take = frontier_.size();
+  if (options_.max_activation > 0) {
+    take = std::min(take, static_cast<size_t>(options_.max_activation));
+  }
+  // Unbounded mode consumes the frontier level by level (pure BFS);
+  // bounded mode drains it in capped batches, newest (deepest) pages
+  // first so results stream early.
+  step.requests.assign(frontier_.end() - static_cast<std::ptrdiff_t>(take),
+                       frontier_.end());
+  frontier_.resize(frontier_.size() - take);
+  return step;
+}
+
+}  // namespace sqp::core

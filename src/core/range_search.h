@@ -1,0 +1,97 @@
+// Parallel range queries over the declustered R*-tree.
+//
+// Range queries are the "easy" case the paper contrasts similarity search
+// with (§3): the query region is known up front, so the visiting order is
+// irrelevant and every level can be fetched with full parallelism — the
+// multiplexed R-tree behaviour of Kamel & Faloutsos. Both region shapes of
+// Definition 1 are supported: axis-aligned boxes and Euclidean balls.
+//
+// ParallelRangeQuery implements BatchTraversal, so it runs under the
+// sequential executor and the disk-array simulator exactly like the k-NN
+// algorithms, enabling apples-to-apples response-time comparisons.
+
+#ifndef SQP_CORE_RANGE_SEARCH_H_
+#define SQP_CORE_RANGE_SEARCH_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+// The query region: exactly one of box or ball.
+class RangeRegion {
+ public:
+  static RangeRegion Box(geometry::Rect box) {
+    RangeRegion r;
+    r.box_ = std::move(box);
+    return r;
+  }
+  static RangeRegion Ball(geometry::Point center, double radius) {
+    SQP_CHECK(radius >= 0.0);
+    RangeRegion r;
+    r.center_ = std::move(center);
+    r.radius_sq_ = radius * radius;
+    return r;
+  }
+
+  // Does the region intersect `mbr` (conservatively, for descent)?
+  bool Intersects(const geometry::Rect& mbr) const {
+    if (box_.has_value()) return box_->Intersects(mbr);
+    return geometry::MinDistSq(*center_, mbr) <= radius_sq_;
+  }
+
+  // Is the point covered by the region (for leaf entries)?
+  bool Covers(const geometry::Point& p) const {
+    if (box_.has_value()) return box_->Contains(p);
+    return geometry::DistanceSq(*center_, p) <= radius_sq_;
+  }
+
+ private:
+  RangeRegion() = default;
+  std::optional<geometry::Rect> box_;
+  std::optional<geometry::Point> center_;
+  double radius_sq_ = 0.0;
+};
+
+struct RangeQueryOptions {
+  // Cap on pages fetched per batch; 0 = unlimited (full parallelism).
+  // A bounded batch keeps one huge range query from monopolizing the
+  // array in a multi-user system, like CRSS's u bound.
+  int max_activation = 0;
+};
+
+class ParallelRangeQuery : public BatchTraversal {
+ public:
+  ParallelRangeQuery(const rstar::RStarTree& tree, RangeRegion region,
+                     const RangeQueryOptions& options = {});
+
+  StepResult Begin() override;
+  StepResult OnPagesFetched(const std::vector<FetchedPage>& pages) override;
+  size_t ResultCount() const override { return objects_.size(); }
+  std::string_view name() const override { return "RangeQuery"; }
+
+  // Matching object ids, in fetch order. Final once done.
+  const std::vector<rstar::ObjectId>& objects() const { return objects_; }
+
+ private:
+  StepResult Emit(uint64_t cpu_instructions);
+
+  const rstar::RStarTree& tree_;
+  RangeRegion region_;
+  RangeQueryOptions options_;
+  std::vector<rstar::ObjectId> objects_;
+  // Qualifying pages not yet fetched (only used when batches are capped).
+  std::vector<rstar::PageId> frontier_;
+  bool started_ = false;
+};
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_RANGE_SEARCH_H_

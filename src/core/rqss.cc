@@ -1,0 +1,101 @@
+#include "core/rqss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+
+Rqss::Rqss(const rstar::RStarTree& tree, geometry::Point query, size_t k,
+           const RqssOptions& options)
+    : tree_(tree),
+      query_(std::move(query)),
+      k_(k),
+      options_(options),
+      result_(k) {
+  SQP_CHECK(query_.dim() == tree_.config().dim);
+  SQP_CHECK(options_.growth > 1.0);
+  if (options_.initial_epsilon > 0.0) {
+    epsilon_ = options_.initial_epsilon;
+  } else {
+    // Density-based first guess in unit space: the expected k-NN distance
+    // scales like (k/N)^(1/d). The 0.5 factor starts deliberately low; a
+    // too-large start would hide the strawman's re-run cost.
+    const double n = std::max<double>(1.0, static_cast<double>(tree_.size()));
+    epsilon_ =
+        0.5 * std::pow(static_cast<double>(k_) / n,
+                       1.0 / static_cast<double>(tree_.config().dim));
+    if (!(epsilon_ > 0.0)) epsilon_ = 0.01;
+  }
+}
+
+StepResult Rqss::Begin() {
+  SQP_CHECK(phases_ == 0 && !done_);
+  return StartPhase(/*carried_cpu=*/0);
+}
+
+StepResult Rqss::StartPhase(uint64_t carried_cpu) {
+  ++phases_;
+  found_.clear();
+  frontier_.clear();
+  frontier_.push_back(tree_.root());
+  // Does this phase's ball already cover the whole data space? Then it is
+  // by construction the last phase.
+  const rstar::Node& root = tree_.node(tree_.root());
+  if (!root.entries.empty()) {
+    ball_covers_tree_ =
+        geometry::MaxDistSq(query_, root.ComputeMbr()) <=
+        epsilon_ * epsilon_;
+  } else {
+    ball_covers_tree_ = true;
+  }
+  return Emit(carried_cpu);
+}
+
+StepResult Rqss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
+  SQP_CHECK(!pages.empty() && !done_);
+  const double eps_sq = epsilon_ * epsilon_;
+  uint64_t n_scanned = 0;
+  size_t qualified = 0;
+  for (const FetchedPage& p : pages) {
+    n_scanned += p.node->entries.size();
+    for (const rstar::Entry& e : p.node->entries) {
+      const double dmin = geometry::MinDistSq(query_, e.mbr);
+      if (dmin > eps_sq) continue;
+      if (p.node->IsLeaf()) {
+        found_.push_back({e.object, dmin});
+        ++qualified;
+      } else {
+        frontier_.push_back(e.child);
+        ++qualified;
+      }
+    }
+  }
+  return Emit(ScanSortCost(n_scanned, qualified));
+}
+
+StepResult Rqss::Emit(uint64_t cpu_instructions) {
+  StepResult step;
+  step.cpu_instructions = cpu_instructions;
+  if (!frontier_.empty()) {
+    // Full parallelism, like the range queries of §3: fetch the whole
+    // frontier (one tree level per batch).
+    step.requests = std::move(frontier_);
+    frontier_.clear();
+    return step;
+  }
+
+  // Phase complete.
+  if (found_.size() >= k_ || ball_covers_tree_) {
+    for (const Neighbor& n : found_) result_.Add(n.object, n.dist_sq);
+    done_ = true;
+    step.done = true;
+    return step;
+  }
+  // Not enough answers: grow the ball and rerun (the documented waste).
+  epsilon_ *= options_.growth;
+  return StartPhase(cpu_instructions);
+}
+
+}  // namespace sqp::core

@@ -1,0 +1,20 @@
+#include "core/search_algorithm.h"
+
+#include <cmath>
+
+namespace sqp::core {
+
+uint64_t ScanSortCost(uint64_t n_scanned, uint64_t m_sorted) {
+  // Paper §4.1: fetching a 4-byte word costs one instruction, comparing two
+  // numbers three; scanning N entries costs 2N instructions, sorting M of
+  // them 3*M*log2(M).
+  uint64_t cost = 2 * n_scanned;
+  if (m_sorted > 1) {
+    cost += static_cast<uint64_t>(
+        3.0 * static_cast<double>(m_sorted) *
+        std::log2(static_cast<double>(m_sorted)));
+  }
+  return cost;
+}
+
+}  // namespace sqp::core

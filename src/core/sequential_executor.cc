@@ -1,0 +1,42 @@
+#include "core/sequential_executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sqp::core {
+
+ExecutionStats RunToCompletion(const rstar::RStarTree& tree,
+                               BatchTraversal* algo) {
+  SQP_CHECK(algo != nullptr);
+  ExecutionStats stats;
+  std::unordered_set<rstar::PageId> fetched;
+
+  StepResult step = algo->Begin();
+  while (!step.done) {
+    SQP_CHECK(!step.requests.empty());
+    stats.cpu_instructions += step.cpu_instructions;
+    ++stats.steps;
+    stats.max_batch = std::max(stats.max_batch, step.requests.size());
+
+    std::vector<FetchedPage> pages;
+    pages.reserve(step.requests.size());
+    for (rstar::PageId id : step.requests) {
+      const bool first_fetch = fetched.insert(id).second;
+      SQP_CHECK(first_fetch || algo->MayRefetchPages());
+      const rstar::Node& node = tree.node(id);
+      pages.push_back({id, &node});
+      // Supernodes span several disk pages; count what actually moves.
+      stats.pages_fetched +=
+          static_cast<size_t>(rstar::PageSpan(tree.config(), node));
+    }
+    step = algo->OnPagesFetched(pages);
+  }
+  SQP_CHECK(step.requests.empty());
+  stats.cpu_instructions += step.cpu_instructions;
+  return stats;
+}
+
+}  // namespace sqp::core

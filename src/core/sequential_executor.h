@@ -1,0 +1,36 @@
+// Drives a SearchAlgorithm to completion without a disk-array simulation,
+// counting page accesses and batches. Used for the effectiveness
+// experiments (Figures 8 and 9) and as the workhorse of the correctness
+// tests; the response-time experiments use sim::QueryEngine instead.
+
+#ifndef SQP_CORE_SEQUENTIAL_EXECUTOR_H_
+#define SQP_CORE_SEQUENTIAL_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/search_algorithm.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+struct ExecutionStats {
+  // Total pages fetched (the paper's "number of visited nodes").
+  size_t pages_fetched = 0;
+  // Processing steps == batches issued (BBSS: one page each; parallel
+  // algorithms: up to `u` pages each).
+  size_t steps = 0;
+  // Largest single batch (achieved intra-query parallelism).
+  size_t max_batch = 0;
+  // Total CPU instructions charged by the cost model.
+  uint64_t cpu_instructions = 0;
+};
+
+// Runs `algo` against `tree` until done. CHECK-fails if the algorithm
+// requests the same page twice or requests pages after reporting done.
+ExecutionStats RunToCompletion(const rstar::RStarTree& tree,
+                               BatchTraversal* algo);
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_SEQUENTIAL_EXECUTOR_H_

@@ -1,0 +1,62 @@
+#include "core/woptss.h"
+
+#include "core/exact_knn.h"
+#include "geometry/metrics.h"
+
+namespace sqp::core {
+
+Woptss::Woptss(const rstar::RStarTree& tree, geometry::Point query, size_t k)
+    : tree_(tree),
+      query_(std::move(query)),
+      k_(k),
+      result_(k),
+      dk_sq_(KthNeighborDistSq(tree, query_, k)) {
+  SQP_CHECK(query_.dim() == tree_.config().dim);
+}
+
+StepResult Woptss::Begin() {
+  SQP_CHECK(!started_);
+  started_ = true;
+  StepResult step;
+  step.requests.push_back(tree_.root());
+  return step;
+}
+
+StepResult Woptss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
+  SQP_CHECK(!pages.empty());
+  StepResult step;
+  uint64_t n_scanned = 0;
+
+  if (pages[0].node->IsLeaf()) {
+    // Weak (not strict) optimality: every object of a fetched leaf is
+    // inspected, but only those inside the sphere can enter the result.
+    for (const FetchedPage& p : pages) {
+      SQP_DCHECK(p.node->IsLeaf());
+      n_scanned += p.node->entries.size();
+      for (const rstar::Entry& e : p.node->entries) {
+        result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+      }
+    }
+    step.cpu_instructions =
+        ScanSortCost(n_scanned, std::min(n_scanned, uint64_t{k_}));
+    step.done = true;
+    return step;
+  }
+
+  for (const FetchedPage& p : pages) {
+    SQP_DCHECK(!p.node->IsLeaf());
+    n_scanned += p.node->entries.size();
+    for (const rstar::Entry& e : p.node->entries) {
+      if (geometry::MinDistSq(query_, e.mbr) <= dk_sq_) {
+        step.requests.push_back(e.child);
+      }
+    }
+  }
+  step.cpu_instructions = ScanSortCost(n_scanned, step.requests.size());
+  // The sphere of radius Dk contains k objects, so at every level at least
+  // one MBR intersects it.
+  SQP_CHECK(!step.requests.empty());
+  return step;
+}
+
+}  // namespace sqp::core

@@ -1,0 +1,48 @@
+// WOPTSS — Weak-OPTimal Similarity Search (paper §3.4, Definition 6).
+//
+// A hypothetical algorithm that knows the exact k-th-NN distance Dk in
+// advance (here supplied by an uncharged best-first oracle pass) and
+// fetches, with full parallelism, exactly the pages whose MBR intersects
+// the sphere of radius Dk around the query point. Its page count and
+// response time are lower bounds for any similarity search algorithm; the
+// paper uses it as the yardstick all practical algorithms are normalized
+// against.
+
+#ifndef SQP_CORE_WOPTSS_H_
+#define SQP_CORE_WOPTSS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::core {
+
+class Woptss : public SearchAlgorithm {
+ public:
+  // Runs the oracle (exact best-first k-NN) at construction; the oracle's
+  // work is intentionally not charged to the simulation.
+  Woptss(const rstar::RStarTree& tree, geometry::Point query, size_t k);
+
+  StepResult Begin() override;
+  StepResult OnPagesFetched(const std::vector<FetchedPage>& pages) override;
+  const KnnResultSet& result() const override { return result_; }
+  std::string_view name() const override { return "WOPTSS"; }
+
+  // The oracle distance (squared); exposed for tests.
+  double dk_sq() const { return dk_sq_; }
+
+ private:
+  const rstar::RStarTree& tree_;
+  geometry::Point query_;
+  size_t k_;
+  KnnResultSet result_;
+  double dk_sq_;
+  bool started_ = false;
+};
+
+}  // namespace sqp::core
+
+#endif  // SQP_CORE_WOPTSS_H_

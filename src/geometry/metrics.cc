@@ -1,0 +1,89 @@
+#include "geometry/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sqp::geometry {
+
+double MinDistSq(const Point& p, const Rect& r) {
+  SQP_DCHECK(p.dim() == r.dim());
+  double sum = 0.0;
+  for (int i = 0; i < p.dim(); ++i) {
+    const double v = p[i];
+    double d = 0.0;
+    if (v < r.lo()[i]) {
+      d = static_cast<double>(r.lo()[i]) - v;
+    } else if (v > r.hi()[i]) {
+      d = v - static_cast<double>(r.hi()[i]);
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+double MinMaxDistSq(const Point& p, const Rect& r) {
+  SQP_DCHECK(p.dim() == r.dim());
+  const int n = p.dim();
+
+  // For each dimension j, the squared distance from p_j to the *far* edge
+  // coordinate rM_j (the edge further from the midpoint choice in the
+  // definition), and to the *near* edge rm_j. MinMaxDist minimizes, over
+  // the choice of one dimension k held at its near edge, the sum of the far
+  // contributions of all other dimensions.
+  //
+  // Computed as total_far - far_k + near_k minimized over k.
+  double total_far = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+
+  // First pass: accumulate far contributions.
+  for (int j = 0; j < n; ++j) {
+    const double v = p[j];
+    const double s = r.lo()[j];
+    const double t = r.hi()[j];
+    const double mid = (s + t) / 2.0;
+    const double rM = (v >= mid) ? s : t;
+    const double dfar = v - rM;
+    total_far += dfar * dfar;
+  }
+
+  // Second pass: replace dimension k's far contribution with its near one.
+  for (int k = 0; k < n; ++k) {
+    const double v = p[k];
+    const double s = r.lo()[k];
+    const double t = r.hi()[k];
+    const double mid = (s + t) / 2.0;
+    const double rM = (v >= mid) ? s : t;
+    const double rm = (v <= mid) ? s : t;
+    const double dfar = v - rM;
+    const double dnear = v - rm;
+    const double candidate = total_far - dfar * dfar + dnear * dnear;
+    best = std::min(best, candidate);
+  }
+  return best;
+}
+
+double MaxDistSq(const Point& p, const Rect& r) {
+  SQP_DCHECK(p.dim() == r.dim());
+  double sum = 0.0;
+  for (int j = 0; j < p.dim(); ++j) {
+    const double v = p[j];
+    const double s = r.lo()[j];
+    const double t = r.hi()[j];
+    const double mid = (s + t) / 2.0;
+    // Furthest vertex coordinate: t if p is in the lower half, s otherwise.
+    const double far = (v <= mid) ? t : s;
+    const double d = v - far;
+    sum += d * d;
+  }
+  return sum;
+}
+
+bool BallIntersectsRect(const Point& p, double radius_sq, const Rect& r) {
+  return MinDistSq(p, r) <= radius_sq;
+}
+
+bool BallContainsRect(const Point& p, double radius_sq, const Rect& r) {
+  return MaxDistSq(p, r) <= radius_sq;
+}
+
+}  // namespace sqp::geometry

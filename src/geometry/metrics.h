@@ -1,0 +1,47 @@
+// Point-to-rectangle distance metrics used by the similarity search
+// algorithms (Definitions 3-5 of the paper):
+//
+//   MinDist (Dmin)     — smallest possible distance from the query point to
+//                        any point inside the MBR (optimistic bound).
+//   MinMaxDist (Dmm)   — smallest distance within which an object inside
+//                        the MBR is *guaranteed* to exist, assuming the MBR
+//                        is minimal, i.e. every face touches an object
+//                        (pessimistic bound; Roussopoulos et al. 1995).
+//   MaxDist (Dmax)     — distance to the furthest vertex of the MBR; every
+//                        object of the MBR lies within it. Drives Lemma 1's
+//                        threshold Dth in CRSS.
+//
+// All functions return *squared* distances; the orderings and comparisons
+// the algorithms need are invariant under the monotone sqrt, and avoiding
+// it keeps the kernels branch-light. Invariant (tested):
+//   MinDistSq <= MinMaxDistSq <= MaxDistSq for non-degenerate boxes.
+
+#ifndef SQP_GEOMETRY_METRICS_H_
+#define SQP_GEOMETRY_METRICS_H_
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sqp::geometry {
+
+// Squared Dmin. Zero iff `p` lies inside (or on the boundary of) `r`.
+double MinDistSq(const Point& p, const Rect& r);
+
+// Squared Dmm. For a degenerate (point) box this equals the squared
+// point-to-point distance.
+double MinMaxDistSq(const Point& p, const Rect& r);
+
+// Squared Dmax (furthest-vertex distance).
+double MaxDistSq(const Point& p, const Rect& r);
+
+// True iff the closed ball centered at `p` with *squared* radius
+// `radius_sq` intersects `r` (equivalently MinDistSq(p, r) <= radius_sq).
+bool BallIntersectsRect(const Point& p, double radius_sq, const Rect& r);
+
+// True iff `r` lies entirely inside the closed ball
+// (equivalently MaxDistSq(p, r) <= radius_sq).
+bool BallContainsRect(const Point& p, double radius_sq, const Rect& r);
+
+}  // namespace sqp::geometry
+
+#endif  // SQP_GEOMETRY_METRICS_H_

@@ -1,0 +1,34 @@
+#include "geometry/point.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sqp::geometry {
+
+std::string Point::ToString() const {
+  std::string s = "(";
+  char buf[32];
+  for (int i = 0; i < dim(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%g", static_cast<double>((*this)[i]));
+    if (i > 0) s += ", ";
+    s += buf;
+  }
+  s += ")";
+  return s;
+}
+
+double DistanceSq(const Point& a, const Point& b) {
+  SQP_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSq(a, b));
+}
+
+}  // namespace sqp::geometry

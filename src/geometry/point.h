@@ -1,0 +1,74 @@
+// n-dimensional points.
+//
+// Coordinates are stored as 32-bit floats — one 4-byte machine word each,
+// matching the paper's CPU cost model and the page-capacity arithmetic of
+// the R*-tree (an MBR occupies 2*d words). All distance arithmetic is done
+// in double precision.
+
+#ifndef SQP_GEOMETRY_POINT_H_
+#define SQP_GEOMETRY_POINT_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sqp::geometry {
+
+using Coord = float;
+
+class Point {
+ public:
+  Point() = default;
+
+  // A point at the origin of `dim`-dimensional space.
+  explicit Point(int dim) : coords_(static_cast<size_t>(dim), 0.0f) {
+    SQP_CHECK(dim >= 1);
+  }
+
+  Point(std::initializer_list<double> values) {
+    coords_.reserve(values.size());
+    for (double v : values) coords_.push_back(static_cast<Coord>(v));
+  }
+
+  static Point FromVector(std::vector<Coord> coords) {
+    Point p;
+    p.coords_ = std::move(coords);
+    return p;
+  }
+
+  int dim() const { return static_cast<int>(coords_.size()); }
+
+  Coord operator[](int i) const {
+    SQP_DCHECK(i >= 0 && i < dim());
+    return coords_[static_cast<size_t>(i)];
+  }
+  Coord& operator[](int i) {
+    SQP_DCHECK(i >= 0 && i < dim());
+    return coords_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<Coord>& coords() const { return coords_; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.coords_ == b.coords_;
+  }
+
+  // "(x0, x1, ...)" with six significant digits.
+  std::string ToString() const;
+
+ private:
+  std::vector<Coord> coords_;
+};
+
+// Squared Euclidean distance between two points of equal dimensionality.
+double DistanceSq(const Point& a, const Point& b);
+
+// Euclidean distance.
+double Distance(const Point& a, const Point& b);
+
+}  // namespace sqp::geometry
+
+#endif  // SQP_GEOMETRY_POINT_H_

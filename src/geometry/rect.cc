@@ -1,0 +1,129 @@
+#include "geometry/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sqp::geometry {
+
+Rect::Rect(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  SQP_DCHECK(lo_.dim() == hi_.dim());
+#ifndef NDEBUG
+  for (int i = 0; i < dim(); ++i) SQP_DCHECK(lo_[i] <= hi_[i]);
+#endif
+}
+
+Rect Rect::Empty(int dim) {
+  Rect r;
+  r.lo_ = Point(dim);
+  r.hi_ = Point(dim);
+  for (int i = 0; i < dim; ++i) {
+    r.lo_[i] = std::numeric_limits<Coord>::infinity();
+    r.hi_[i] = -std::numeric_limits<Coord>::infinity();
+  }
+  return r;
+}
+
+bool Rect::IsEmpty() const {
+  return dim() > 0 && lo_[0] > hi_[0];
+}
+
+bool Rect::Contains(const Point& p) const {
+  SQP_DCHECK(p.dim() == dim());
+  for (int i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsRect(const Rect& r) const {
+  SQP_DCHECK(r.dim() == dim());
+  for (int i = 0; i < dim(); ++i) {
+    if (r.lo_[i] < lo_[i] || r.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& r) const {
+  SQP_DCHECK(r.dim() == dim());
+  for (int i = 0; i < dim(); ++i) {
+    if (r.hi_[i] < lo_[i] || r.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+void Rect::ExpandToInclude(const Rect& r) {
+  SQP_DCHECK(r.dim() == dim());
+  for (int i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], r.lo_[i]);
+    hi_[i] = std::max(hi_[i], r.hi_[i]);
+  }
+}
+
+void Rect::ExpandToInclude(const Point& p) {
+  ExpandToInclude(Rect::ForPoint(p));
+}
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Rect r = a;
+  r.ExpandToInclude(b);
+  return r;
+}
+
+double Rect::Area() const {
+  if (IsEmpty()) return 0.0;
+  double area = 1.0;
+  for (int i = 0; i < dim(); ++i) {
+    area *= static_cast<double>(hi_[i]) - static_cast<double>(lo_[i]);
+  }
+  return area;
+}
+
+double Rect::Margin() const {
+  if (IsEmpty()) return 0.0;
+  double margin = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    margin += static_cast<double>(hi_[i]) - static_cast<double>(lo_[i]);
+  }
+  return margin;
+}
+
+double Rect::OverlapArea(const Rect& r) const {
+  SQP_DCHECK(r.dim() == dim());
+  double area = 1.0;
+  for (int i = 0; i < dim(); ++i) {
+    const double lo = std::max(lo_[i], r.lo_[i]);
+    const double hi = std::min(hi_[i], r.hi_[i]);
+    if (hi < lo) return 0.0;
+    area *= hi - lo;
+  }
+  return area;
+}
+
+Point Rect::Center() const {
+  Point c(dim());
+  for (int i = 0; i < dim(); ++i) {
+    c[i] = static_cast<Coord>(
+        (static_cast<double>(lo_[i]) + static_cast<double>(hi_[i])) / 2.0);
+  }
+  return c;
+}
+
+double Rect::CenterDistanceSq(const Rect& a, const Rect& b) {
+  SQP_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double ca =
+        (static_cast<double>(a.lo_[i]) + static_cast<double>(a.hi_[i])) / 2.0;
+    const double cb =
+        (static_cast<double>(b.lo_[i]) + static_cast<double>(b.hi_[i])) / 2.0;
+    sum += (ca - cb) * (ca - cb);
+  }
+  return sum;
+}
+
+std::string Rect::ToString() const {
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+}  // namespace sqp::geometry

@@ -1,0 +1,75 @@
+// Axis-aligned hyper-rectangles (Minimum Bounding Rectangles).
+
+#ifndef SQP_GEOMETRY_RECT_H_
+#define SQP_GEOMETRY_RECT_H_
+
+#include <string>
+
+#include "geometry/point.h"
+
+namespace sqp::geometry {
+
+// A closed axis-aligned box [lo, hi] in n-d space. Degenerate boxes
+// (lo == hi in some or all dimensions) are valid and represent points or
+// lower-dimensional slabs.
+class Rect {
+ public:
+  Rect() = default;
+
+  // Box spanning lo..hi. Requires lo[i] <= hi[i] for all i.
+  Rect(Point lo, Point hi);
+
+  // The degenerate box covering exactly `p`.
+  static Rect ForPoint(const Point& p) { return Rect(p, p); }
+
+  // A box positioned "nowhere": lo = +inf, hi = -inf per dimension.
+  // ExpandToInclude() grows it to the union of everything added; useful as
+  // the identity element of Union.
+  static Rect Empty(int dim);
+
+  int dim() const { return lo_.dim(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  // True iff constructed with Empty() and never expanded.
+  bool IsEmpty() const;
+
+  bool Contains(const Point& p) const;
+  bool ContainsRect(const Rect& r) const;
+  bool Intersects(const Rect& r) const;
+
+  // Grows this box to cover `r` / `p`.
+  void ExpandToInclude(const Rect& r);
+  void ExpandToInclude(const Point& p);
+
+  // The smallest box covering both arguments.
+  static Rect Union(const Rect& a, const Rect& b);
+
+  // Hyper-volume: product of side lengths (0 for degenerate boxes).
+  double Area() const;
+
+  // Sum of side lengths — the R* "margin" used in split selection.
+  double Margin() const;
+
+  // Hyper-volume of the intersection with `r` (0 if disjoint).
+  double OverlapArea(const Rect& r) const;
+
+  Point Center() const;
+
+  // Squared distance between the centers of two boxes (R* split metric).
+  static double CenterDistanceSq(const Rect& a, const Rect& b);
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace sqp::geometry
+
+#endif  // SQP_GEOMETRY_RECT_H_

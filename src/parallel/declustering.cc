@@ -1,0 +1,201 @@
+#include "parallel/declustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sqp::parallel {
+
+const char* DeclusterPolicyName(DeclusterPolicy policy) {
+  switch (policy) {
+    case DeclusterPolicy::kProximityIndex:
+      return "proximity_index";
+    case DeclusterPolicy::kRoundRobin:
+      return "round_robin";
+    case DeclusterPolicy::kRandom:
+      return "random";
+    case DeclusterPolicy::kDataBalance:
+      return "data_balance";
+    case DeclusterPolicy::kAreaBalance:
+      return "area_balance";
+  }
+  return "unknown";
+}
+
+double Proximity(const geometry::Rect& a, const geometry::Rect& b,
+                 double query_side) {
+  SQP_DCHECK(a.dim() == b.dim());
+  SQP_DCHECK(query_side >= 0.0);
+  // Per dimension: a query interval of length q intersects both [a0,a1] and
+  // [b0,b1] iff its lower end lies in [max(a0,b0)-q, min(a1,b1)], a window
+  // of length min(a1,b1)-max(a0,b0)+q (clipped at 0). Normalizing by the
+  // feasible positions (1+q per unit dimension) and multiplying across
+  // dimensions gives the co-access probability under a uniform query model.
+  double p = 1.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double lo = std::max(a.lo()[i], b.lo()[i]);
+    const double hi = std::min(a.hi()[i], b.hi()[i]);
+    const double window = hi - lo + query_side;
+    if (window <= 0.0) return 0.0;
+    p *= window / (1.0 + query_side);
+  }
+  return p;
+}
+
+DiskAssigner::DiskAssigner(const DeclusterConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      pages_per_disk_(static_cast<size_t>(config.num_disks), 0),
+      area_per_disk_(static_cast<size_t>(config.num_disks), 0.0) {
+  SQP_CHECK(config_.num_disks >= 1);
+  SQP_CHECK(config_.num_cylinders >= 1);
+  SQP_CHECK(!config_.mirrored || config_.num_disks >= 2);
+}
+
+void DiskAssigner::OnNodeCreated(
+    rstar::PageId node, int /*level*/, const geometry::Rect& mbr,
+    const std::vector<std::pair<rstar::PageId, geometry::Rect>>& siblings) {
+  if (pages_.size() <= node) pages_.resize(node + 1);
+  PageInfo& info = pages_[node];
+  SQP_CHECK(!info.live);
+  info.disk = ChooseDisk(mbr, siblings, /*exclude=*/-1);
+  info.cylinder =
+      static_cast<int>(rng_.UniformInt(0, config_.num_cylinders - 1));
+  info.area = mbr.IsEmpty() ? 0.0 : mbr.Area();
+  info.live = true;
+  ++pages_per_disk_[static_cast<size_t>(info.disk)];
+  area_per_disk_[static_cast<size_t>(info.disk)] += info.area;
+  if (config_.mirrored) {
+    info.mirror = ChooseDisk(mbr, siblings, /*exclude=*/info.disk);
+    SQP_CHECK(info.mirror != info.disk);
+    ++pages_per_disk_[static_cast<size_t>(info.mirror)];
+    area_per_disk_[static_cast<size_t>(info.mirror)] += info.area;
+  }
+}
+
+void DiskAssigner::OnNodeFreed(rstar::PageId node) {
+  SQP_CHECK(node < pages_.size() && pages_[node].live);
+  PageInfo& info = pages_[node];
+  info.live = false;
+  --pages_per_disk_[static_cast<size_t>(info.disk)];
+  area_per_disk_[static_cast<size_t>(info.disk)] -= info.area;
+  if (info.mirror >= 0) {
+    --pages_per_disk_[static_cast<size_t>(info.mirror)];
+    area_per_disk_[static_cast<size_t>(info.mirror)] -= info.area;
+    info.mirror = -1;
+  }
+}
+
+bool DiskAssigner::IsLive(rstar::PageId page) const {
+  return page < pages_.size() && pages_[page].live;
+}
+
+int DiskAssigner::DiskOf(rstar::PageId page) const {
+  SQP_CHECK(page < pages_.size() && pages_[page].live);
+  return pages_[page].disk;
+}
+
+int DiskAssigner::MirrorOf(rstar::PageId page) const {
+  SQP_CHECK(page < pages_.size() && pages_[page].live);
+  return pages_[page].mirror;
+}
+
+int DiskAssigner::CylinderOf(rstar::PageId page) const {
+  SQP_CHECK(page < pages_.size() && pages_[page].live);
+  return pages_[page].cylinder;
+}
+
+double DiskAssigner::BalanceRatio() const {
+  int total = 0;
+  int max_pages = 0;
+  for (int c : pages_per_disk_) {
+    total += c;
+    max_pages = std::max(max_pages, c);
+  }
+  if (total == 0) return 1.0;
+  const double avg = static_cast<double>(total) / config_.num_disks;
+  return static_cast<double>(max_pages) / avg;
+}
+
+int DiskAssigner::ChooseDisk(
+    const geometry::Rect& mbr,
+    const std::vector<std::pair<rstar::PageId, geometry::Rect>>& siblings,
+    int exclude) {
+  const int d = config_.num_disks;
+  switch (config_.policy) {
+    case DeclusterPolicy::kRoundRobin: {
+      int disk = round_robin_next_;
+      round_robin_next_ = (round_robin_next_ + 1) % d;
+      if (disk == exclude) {
+        disk = round_robin_next_;
+        round_robin_next_ = (round_robin_next_ + 1) % d;
+      }
+      return disk;
+    }
+    case DeclusterPolicy::kRandom: {
+      int disk;
+      do {
+        disk = static_cast<int>(rng_.UniformInt(0, d - 1));
+      } while (disk == exclude);
+      return disk;
+    }
+    case DeclusterPolicy::kDataBalance: {
+      int best = -1;
+      for (int i = 0; i < d; ++i) {
+        if (i == exclude) continue;
+        if (best < 0 || pages_per_disk_[static_cast<size_t>(i)] <
+                            pages_per_disk_[static_cast<size_t>(best)]) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case DeclusterPolicy::kAreaBalance: {
+      int best = -1;
+      for (int i = 0; i < d; ++i) {
+        if (i == exclude) continue;
+        if (best < 0 || area_per_disk_[static_cast<size_t>(i)] <
+                            area_per_disk_[static_cast<size_t>(best)]) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case DeclusterPolicy::kProximityIndex: {
+      // Sum the proximity of the new MBR to the sibling pages resident on
+      // each disk; pick the least proximal disk. Ties (in particular disks
+      // hosting no sibling) break toward the globally least loaded disk so
+      // the array stays balanced.
+      std::vector<double> score(static_cast<size_t>(d), 0.0);
+      for (const auto& [sib_page, sib_mbr] : siblings) {
+        if (sib_page >= pages_.size() || !pages_[sib_page].live) continue;
+        score[static_cast<size_t>(pages_[sib_page].disk)] +=
+            Proximity(mbr, sib_mbr, config_.proximity_query_side);
+        if (pages_[sib_page].mirror >= 0) {
+          score[static_cast<size_t>(pages_[sib_page].mirror)] +=
+              Proximity(mbr, sib_mbr, config_.proximity_query_side);
+        }
+      }
+      int best = -1;
+      double best_score = std::numeric_limits<double>::infinity();
+      int best_load = std::numeric_limits<int>::max();
+      for (int i = 0; i < d; ++i) {
+        if (i == exclude) continue;
+        const double s = score[static_cast<size_t>(i)];
+        const int load = pages_per_disk_[static_cast<size_t>(i)];
+        if (best < 0 || s < best_score ||
+            (s == best_score && load < best_load)) {
+          best_score = s;
+          best_load = load;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  SQP_CHECK(false);
+  return 0;
+}
+
+}  // namespace sqp::parallel

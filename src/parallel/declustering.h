@@ -1,0 +1,122 @@
+// Online declustering of R*-tree pages over a RAID-0 disk array.
+//
+// Following the paper (§2.2), pages are assigned to disks at creation time
+// (when a split produces a new node), not by offline partitioning. The
+// default policy is the Proximity Index heuristic of Kamel & Faloutsos
+// ("Parallel R-trees", SIGMOD 1992): the new page goes to the disk whose
+// resident sibling pages are *least proximal* to the new page's MBR, so
+// that nodes likely to be requested by the same query live on different
+// disks. Round-robin, random, data-balance and area-balance baselines are
+// provided for the declustering ablation bench.
+//
+// Each page is also assigned a cylinder uniformly at random (paper §4.1),
+// which the disk service-time model uses for seek distances.
+
+#ifndef SQP_PARALLEL_DECLUSTERING_H_
+#define SQP_PARALLEL_DECLUSTERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/rect.h"
+#include "rstar/placement_listener.h"
+#include "rstar/types.h"
+
+namespace sqp::parallel {
+
+enum class DeclusterPolicy {
+  kProximityIndex,
+  kRoundRobin,
+  kRandom,
+  kDataBalance,  // fewest resident pages
+  kAreaBalance,  // smallest accumulated MBR volume
+};
+
+const char* DeclusterPolicyName(DeclusterPolicy policy);
+
+struct DeclusterConfig {
+  int num_disks = 10;
+  DeclusterPolicy policy = DeclusterPolicy::kProximityIndex;
+  // Side length of the "typical" square range query used by the proximity
+  // measure, relative to a unit data space.
+  double proximity_query_side = 0.1;
+  // Cylinder count of the modeled drive (for random cylinder assignment).
+  int num_cylinders = 1449;
+  uint64_t seed = 42;
+  // RAID level-1 (shadowed disks, the paper's §5 future-work item): every
+  // page gets a second replica on a different disk, chosen by the same
+  // policy with the primary disk excluded. Reads may then be served by
+  // whichever replica's disk is less loaded. Requires num_disks >= 2.
+  bool mirrored = false;
+};
+
+// Probability that a randomly positioned axis-aligned cube query with side
+// `query_side` (per unit-space dimension) intersects both `a` and `b`
+// simultaneously — the Kamel-Faloutsos proximity measure. Higher means the
+// two rectangles are more likely to be co-accessed and should be placed on
+// different disks.
+double Proximity(const geometry::Rect& a, const geometry::Rect& b,
+                 double query_side);
+
+// PlacementListener that maintains the page -> (disk, cylinder) table.
+class DiskAssigner : public rstar::PlacementListener {
+ public:
+  explicit DiskAssigner(const DeclusterConfig& config);
+
+  void OnNodeCreated(
+      rstar::PageId node, int level, const geometry::Rect& mbr,
+      const std::vector<std::pair<rstar::PageId, geometry::Rect>>& siblings)
+      override;
+  void OnNodeFreed(rstar::PageId node) override;
+
+  const DeclusterConfig& config() const { return config_; }
+  int num_disks() const { return config_.num_disks; }
+
+  // True iff `page` currently has a placement (is a live tree page).
+  bool IsLive(rstar::PageId page) const;
+
+  // Disk hosting `page`. Precondition: the page is live.
+  int DiskOf(rstar::PageId page) const;
+
+  // Disk hosting the mirror replica of `page`, or -1 when the array is not
+  // mirrored. Precondition: the page is live.
+  int MirrorOf(rstar::PageId page) const;
+
+  // Cylinder of `page` on its disk.
+  int CylinderOf(rstar::PageId page) const;
+
+  // Live pages currently resident on each disk.
+  const std::vector<int>& PagesPerDisk() const { return pages_per_disk_; }
+
+  // Max/avg pages-per-disk ratio; 1.0 is perfectly balanced.
+  double BalanceRatio() const;
+
+ private:
+  // Picks a disk for a replica of `mbr`; `exclude` removes one disk from
+  // consideration (-1 excludes none).
+  int ChooseDisk(const geometry::Rect& mbr,
+                 const std::vector<std::pair<rstar::PageId, geometry::Rect>>&
+                     siblings,
+                 int exclude);
+
+  struct PageInfo {
+    int disk = -1;
+    int mirror = -1;
+    int cylinder = 0;
+    double area = 0.0;
+    bool live = false;
+  };
+
+  DeclusterConfig config_;
+  common::Rng rng_;
+  std::vector<PageInfo> pages_;  // indexed by PageId
+  std::vector<int> pages_per_disk_;
+  std::vector<double> area_per_disk_;
+  int round_robin_next_ = 0;
+};
+
+}  // namespace sqp::parallel
+
+#endif  // SQP_PARALLEL_DECLUSTERING_H_

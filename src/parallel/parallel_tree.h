@@ -1,0 +1,41 @@
+// Convenience bundle: an R*-tree declustered over a disk array.
+//
+// The paper's "parallel R*-tree" is an ordinary R*-tree whose pages live on
+// different disks. This class wires a DiskAssigner into the tree's
+// placement-listener hook and keeps the two consistent for the lifetime of
+// the index.
+
+#ifndef SQP_PARALLEL_PARALLEL_TREE_H_
+#define SQP_PARALLEL_PARALLEL_TREE_H_
+
+#include <memory>
+
+#include "parallel/declustering.h"
+#include "rstar/rstar_tree.h"
+
+namespace sqp::parallel {
+
+class ParallelRStarTree {
+ public:
+  ParallelRStarTree(const rstar::TreeConfig& tree_config,
+                    const DeclusterConfig& decluster_config)
+      : assigner_(decluster_config),
+        tree_(tree_config, &assigner_) {}
+
+  ParallelRStarTree(const ParallelRStarTree&) = delete;
+  ParallelRStarTree& operator=(const ParallelRStarTree&) = delete;
+
+  rstar::RStarTree& tree() { return tree_; }
+  const rstar::RStarTree& tree() const { return tree_; }
+  const DiskAssigner& placement() const { return assigner_; }
+
+  int num_disks() const { return assigner_.num_disks(); }
+
+ private:
+  DiskAssigner assigner_;  // must outlive (and be constructed before) tree_
+  rstar::RStarTree tree_;
+};
+
+}  // namespace sqp::parallel
+
+#endif  // SQP_PARALLEL_PARALLEL_TREE_H_

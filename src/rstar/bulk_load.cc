@@ -1,0 +1,146 @@
+// Sort-Tile-Recursive (STR) bulk loading for the R*-tree.
+//
+// STR packs entries into nodes level by level: at each level the entries
+// are sorted by the first axis, cut into vertical slabs, each slab sorted
+// by the next axis, and so on; the final axis order is chunked into nodes.
+// Chunk sizes are evened out so no node falls below the minimum fill.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "rstar/rstar_tree.h"
+
+namespace sqp::rstar {
+namespace {
+
+// Splits [begin, end) into `parts` contiguous runs whose sizes differ by
+// at most one.
+std::vector<std::pair<size_t, size_t>> EvenRuns(size_t n, size_t parts) {
+  SQP_CHECK(parts >= 1);
+  std::vector<std::pair<size_t, size_t>> runs;
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  size_t at = 0;
+  for (size_t i = 0; i < parts && at < n; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    runs.emplace_back(at, at + len);
+    at += len;
+  }
+  return runs;
+}
+
+double CenterCoord(const Entry& e, int axis) {
+  return (static_cast<double>(e.mbr.lo()[axis]) +
+          static_cast<double>(e.mbr.hi()[axis])) /
+         2.0;
+}
+
+// Recursively tiles `entries[begin, end)` and appends node-sized groups.
+void StrTile(std::vector<Entry>& entries, size_t begin, size_t end,
+             int axis, int dim, size_t capacity,
+             std::vector<std::pair<size_t, size_t>>& groups) {
+  const size_t n = end - begin;
+  if (n == 0) return;
+  std::sort(entries.begin() + static_cast<std::ptrdiff_t>(begin),
+            entries.begin() + static_cast<std::ptrdiff_t>(end),
+            [axis](const Entry& a, const Entry& b) {
+              return CenterCoord(a, axis) < CenterCoord(b, axis);
+            });
+  const size_t pages = (n + capacity - 1) / capacity;
+  if (axis == dim - 1 || pages <= 1) {
+    for (const auto& [s, e] : EvenRuns(n, pages)) {
+      groups.emplace_back(begin + s, begin + e);
+    }
+    return;
+  }
+  // Number of slabs along this axis: pages^(1/(remaining dims)).
+  const double remaining = static_cast<double>(dim - axis);
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(static_cast<double>(pages),
+                                1.0 / remaining))));
+  for (const auto& [s, e] : EvenRuns(n, slabs)) {
+    StrTile(entries, begin + s, begin + e, axis + 1, dim, capacity, groups);
+  }
+}
+
+}  // namespace
+
+common::Status RStarTree::BulkLoad(const std::vector<geometry::Point>& points,
+                                   const std::vector<ObjectId>& ids) {
+  if (size_ != 0 || !node(root_).entries.empty()) {
+    return common::Status::FailedPrecondition("tree is not empty");
+  }
+  if (points.size() != ids.size()) {
+    return common::Status::InvalidArgument("points/ids size mismatch");
+  }
+  for (const geometry::Point& p : points) {
+    if (p.dim() != config_.dim) {
+      return common::Status::InvalidArgument("wrong point dimensionality");
+    }
+  }
+  if (points.empty()) return common::Status::OK();
+
+  // The empty root is replaced wholesale.
+  const PageId old_root = root_;
+
+  std::vector<Entry> level_entries;
+  level_entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    level_entries.push_back(Entry::ForObject(points[i], ids[i]));
+  }
+
+  // Even chunking keeps every node at or above capacity/2 >= MinEntries,
+  // except a single-node level (the root), which may hold any count.
+  const size_t capacity = static_cast<size_t>(config_.MaxEntries());
+  std::vector<PageId> created;  // notification order: bottom level first
+  int level = 0;
+  while (level_entries.size() > capacity) {
+    std::vector<std::pair<size_t, size_t>> groups;
+    StrTile(level_entries, 0, level_entries.size(), /*axis=*/0, config_.dim,
+            capacity, groups);
+    std::vector<Entry> next_level;
+    next_level.reserve(groups.size());
+    for (const auto& [s, e] : groups) {
+      const PageId nid = AllocateNode(level);
+      Node& n = MutableNode(nid);
+      n.entries.assign(
+          level_entries.begin() + static_cast<std::ptrdiff_t>(s),
+          level_entries.begin() + static_cast<std::ptrdiff_t>(e));
+      for (const Entry& child : n.entries) {
+        if (child.child != kInvalidPage) {
+          MutableNode(child.child).parent = nid;
+        }
+      }
+      created.push_back(nid);
+      next_level.push_back(Entry::ForChild(
+          n.ComputeMbr(), nid, static_cast<uint32_t>(n.ObjectCount())));
+    }
+    level_entries = std::move(next_level);
+    ++level;
+  }
+
+  const PageId new_root = AllocateNode(level);
+  Node& root = MutableNode(new_root);
+  root.entries = std::move(level_entries);
+  for (const Entry& child : root.entries) {
+    if (child.child != kInvalidPage) {
+      MutableNode(child.child).parent = new_root;
+    }
+  }
+  created.push_back(new_root);
+  root_ = new_root;
+  size_ = points.size();
+  FreeNode(old_root);
+
+  // Placement notifications once the hierarchy is wired, top-down so a
+  // node's already-placed siblings inform the declustering heuristic.
+  for (auto it = created.rbegin(); it != created.rend(); ++it) {
+    NotifyCreated(*it);
+  }
+  return common::Status::OK();
+}
+
+}  // namespace sqp::rstar

@@ -1,0 +1,94 @@
+// Tree configuration: page geometry and R* tuning knobs.
+
+#ifndef SQP_RSTAR_CONFIG_H_
+#define SQP_RSTAR_CONFIG_H_
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sqp::rstar {
+
+// Sizing model (paper §2.1-2.2): a node is one disk page. Every entry
+// stores an MBR (2*dim 4-byte floats), a 4-byte child/object pointer and a
+// 4-byte subtree object count (the paper's only structural modification to
+// the R*-tree). A small header holds level and entry count.
+inline constexpr int kEntryHeaderBytes = 8;   // pointer + count
+inline constexpr int kNodeHeaderBytes = 24;   // level, count, parent, slack
+
+struct TreeConfig {
+  // Space dimensionality (>= 1).
+  int dim = 2;
+
+  // Disk page (and striping unit) size in bytes.
+  int page_size_bytes = 4096;
+
+  // R* tuning: minimum fill fraction of max_entries (Beckmann et al.
+  // recommend 40%) and the fraction of entries removed by forced
+  // reinsertion (30%).
+  double min_fill_fraction = 0.4;
+  double reinsert_fraction = 0.3;
+  bool forced_reinsert = true;
+
+  // Optional hard cap on fanout (0 = page-size-derived). Tests use small
+  // caps to force deep trees with tiny datasets.
+  int max_entries_override = 0;
+
+  // X-tree-style supernodes (Berchtold/Keim/Kriegel), the paper's §5
+  // future-work target: when splitting an *internal* node would create
+  // groups whose MBRs overlap more than `supernode_overlap_threshold`
+  // (Jaccard ratio of the two group MBRs), the split is skipped and the
+  // node grows into a multi-page supernode instead — sequential scanning
+  // of one wide node beats descending two nearly identical subtrees in
+  // high dimensions. A supernode occupies ceil(entries / MaxEntries())
+  // contiguous pages on one disk; at `max_supernode_pages` it is split
+  // unconditionally. Leaves always split normally.
+  bool allow_supernodes = false;
+  double supernode_overlap_threshold = 0.2;
+  int max_supernode_pages = 8;
+
+  // Entry footprint in bytes for this dimensionality.
+  int EntryBytes() const { return 8 * dim + kEntryHeaderBytes; }
+
+  // Maximum entries per node derived from the page size (or overridden).
+  int MaxEntries() const {
+    if (max_entries_override > 0) return max_entries_override;
+    const int m = (page_size_bytes - kNodeHeaderBytes) / EntryBytes();
+    return std::max(m, 4);
+  }
+
+  int MinEntries() const {
+    const int m = static_cast<int>(MaxEntries() * min_fill_fraction);
+    return std::clamp(m, 2, MaxEntries() / 2);
+  }
+
+  // Number of entries evicted by one forced-reinsert round.
+  int ReinsertCount() const {
+    const int p = static_cast<int>(MaxEntries() * reinsert_fraction);
+    return std::clamp(p, 1, MaxEntries() - MinEntries());
+  }
+
+  // Largest entry count a node may hold: one page, or the supernode cap
+  // for internal nodes when supernodes are enabled.
+  int MaxEntriesFor(bool is_leaf) const {
+    if (allow_supernodes && !is_leaf) {
+      return MaxEntries() * max_supernode_pages;
+    }
+    return MaxEntries();
+  }
+
+  void Validate() const {
+    SQP_CHECK(dim >= 1);
+    SQP_CHECK(max_supernode_pages >= 1);
+    SQP_CHECK(supernode_overlap_threshold >= 0.0 &&
+              supernode_overlap_threshold <= 1.0);
+    SQP_CHECK(page_size_bytes >= 256);
+    SQP_CHECK(min_fill_fraction > 0.0 && min_fill_fraction <= 0.5);
+    SQP_CHECK(reinsert_fraction > 0.0 && reinsert_fraction < 1.0);
+    SQP_CHECK(MaxEntries() >= 2 * MinEntries());
+  }
+};
+
+}  // namespace sqp::rstar
+
+#endif  // SQP_RSTAR_CONFIG_H_

@@ -1,0 +1,82 @@
+// In-memory representation of tree nodes (disk pages).
+
+#ifndef SQP_RSTAR_NODE_H_
+#define SQP_RSTAR_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "rstar/config.h"
+#include "rstar/types.h"
+
+namespace sqp::rstar {
+
+// One slot of a node. In internal nodes `child` points to a page and
+// `count` is the number of data objects in that subtree (the paper's
+// augmentation enabling Lemma 1). In leaf nodes `object` identifies the
+// data object, `mbr` is its (degenerate) bounding box and `count` == 1.
+struct Entry {
+  geometry::Rect mbr;
+  PageId child = kInvalidPage;
+  ObjectId object = kInvalidObject;
+  uint32_t count = 0;
+
+  static Entry ForObject(const geometry::Point& p, ObjectId id) {
+    Entry e;
+    e.mbr = geometry::Rect::ForPoint(p);
+    e.object = id;
+    e.count = 1;
+    return e;
+  }
+
+  static Entry ForChild(const geometry::Rect& mbr, PageId child,
+                        uint32_t count) {
+    Entry e;
+    e.mbr = mbr;
+    e.child = child;
+    e.count = count;
+    return e;
+  }
+};
+
+// A tree node. `level` 0 denotes leaves; the root has the maximum level.
+// The parent pointer is an in-memory convenience for upward adjustment and
+// is not part of the on-disk page format.
+struct Node {
+  PageId id = kInvalidPage;
+  PageId parent = kInvalidPage;
+  int level = 0;
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  // Number of data objects under this node.
+  uint64_t ObjectCount() const {
+    uint64_t c = 0;
+    for (const Entry& e : entries) c += e.count;
+    return c;
+  }
+
+  // Tight bounding box over all entries.
+  geometry::Rect ComputeMbr() const {
+    SQP_DCHECK(!entries.empty());
+    geometry::Rect r = entries[0].mbr;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      r.ExpandToInclude(entries[i].mbr);
+    }
+    return r;
+  }
+};
+
+// Number of disk pages the node occupies: 1 for ordinary nodes,
+// ceil(entries / fan-out) for X-tree-style supernodes.
+inline int PageSpan(const TreeConfig& config, const Node& n) {
+  const size_t capacity = static_cast<size_t>(config.MaxEntries());
+  const size_t span = (n.entries.size() + capacity - 1) / capacity;
+  return span < 1 ? 1 : static_cast<int>(span);
+}
+
+}  // namespace sqp::rstar
+
+#endif  // SQP_RSTAR_NODE_H_

@@ -1,0 +1,47 @@
+// Observer interface through which the declustering layer learns about
+// page lifecycle events during dynamic tree maintenance.
+//
+// The paper's setting is dynamic: pages are assigned to disks as they are
+// created by splits (§2.2), not by offline partitioning. The tree calls the
+// listener at the moment of creation with the context the Proximity Index
+// heuristic needs — the new node's MBR and the sibling pages under the same
+// parent (their page ids resolve to disks in the placement table).
+
+#ifndef SQP_RSTAR_PLACEMENT_LISTENER_H_
+#define SQP_RSTAR_PLACEMENT_LISTENER_H_
+
+#include <utility>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "rstar/types.h"
+
+namespace sqp::rstar {
+
+class PlacementListener {
+ public:
+  virtual ~PlacementListener() = default;
+
+  // `node` was just created at `level`; `mbr` is its bounding box and
+  // `siblings` are the (page, MBR) pairs already stored in the same parent
+  // node (empty for a fresh root). Called before the node is first read.
+  virtual void OnNodeCreated(
+      PageId node, int level, const geometry::Rect& mbr,
+      const std::vector<std::pair<PageId, geometry::Rect>>& siblings) = 0;
+
+  // `node` was removed from the tree (condense / root shrink).
+  virtual void OnNodeFreed(PageId node) = 0;
+};
+
+// Listener that ignores all events; used by purely sequential tests.
+class NullPlacementListener : public PlacementListener {
+ public:
+  void OnNodeCreated(
+      PageId, int, const geometry::Rect&,
+      const std::vector<std::pair<PageId, geometry::Rect>>&) override {}
+  void OnNodeFreed(PageId) override {}
+};
+
+}  // namespace sqp::rstar
+
+#endif  // SQP_RSTAR_PLACEMENT_LISTENER_H_

@@ -1,0 +1,612 @@
+#include "rstar/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+namespace sqp::rstar {
+namespace {
+
+using geometry::Point;
+using geometry::Rect;
+
+// When choosing a subtree at the leaf level, R* computes overlap
+// enlargement only for the kChooseSubtreeCandidates entries with least area
+// enlargement (Beckmann et al., §4.1) to avoid the quadratic cost at high
+// fan-out.
+constexpr int kChooseSubtreeCandidates = 32;
+
+// Enlargement of `base`'s area if it had to include `add`.
+double AreaEnlargement(const Rect& base, const Rect& add) {
+  return Rect::Union(base, add).Area() - base.Area();
+}
+
+}  // namespace
+
+RStarTree::RStarTree(const TreeConfig& config, PlacementListener* listener)
+    : config_(config), listener_(listener), root_(kInvalidPage) {
+  config_.Validate();
+  root_ = AllocateNode(/*level=*/0);
+  NotifyCreated(root_);
+}
+
+const Node& RStarTree::node(PageId id) const {
+  SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+Node& RStarTree::MutableNode(PageId id) {
+  SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+PageId RStarTree::AllocateNode(int level) {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = std::make_unique<Node>();
+  } else {
+    id = static_cast<PageId>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>());
+  }
+  Node& n = *nodes_[id];
+  n.id = id;
+  n.level = level;
+  n.parent = kInvalidPage;
+  ++live_nodes_;
+  return id;
+}
+
+void RStarTree::FreeNode(PageId id) {
+  SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  nodes_[id].reset();
+  free_list_.push_back(id);
+  --live_nodes_;
+  if (listener_ != nullptr) listener_->OnNodeFreed(id);
+}
+
+int RStarTree::Height() const { return node(root_).level + 1; }
+
+std::vector<PageId> RStarTree::LiveNodeIds() const {
+  std::vector<PageId> ids;
+  ids.reserve(live_nodes_);
+  for (PageId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] != nullptr) ids.push_back(i);
+  }
+  return ids;
+}
+
+void RStarTree::NotifyCreated(PageId nid) {
+  if (listener_ == nullptr) return;
+  const Node& n = node(nid);
+  std::vector<std::pair<PageId, Rect>> siblings;
+  if (n.parent != kInvalidPage) {
+    const Node& p = node(n.parent);
+    for (const Entry& e : p.entries) {
+      if (e.child != nid) siblings.emplace_back(e.child, e.mbr);
+    }
+  }
+  const Rect mbr =
+      n.entries.empty() ? Rect::Empty(config_.dim) : n.ComputeMbr();
+  listener_->OnNodeCreated(nid, n.level, mbr, siblings);
+}
+
+// --- Insertion ----------------------------------------------------------
+
+void RStarTree::Insert(const Point& p, ObjectId id) {
+  SQP_CHECK(p.dim() == config_.dim);
+  std::vector<bool> reinserted(64, false);
+  InsertEntry(Entry::ForObject(p, id), /*target_level=*/0, reinserted);
+  ++size_;
+}
+
+PageId RStarTree::ChooseSubtree(const Rect& mbr, int target_level) const {
+  PageId nid = root_;
+  while (node(nid).level > target_level) {
+    const Node& n = node(nid);
+    SQP_DCHECK(!n.entries.empty());
+    size_t best = 0;
+
+    if (n.level == 1) {
+      // Children are leaves: minimize overlap enlargement, ties by area
+      // enlargement, then by area. Restrict the quadratic overlap scan to
+      // the candidates with least area enlargement.
+      std::vector<size_t> order(n.entries.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::vector<double> enlarge(n.entries.size());
+      for (size_t i = 0; i < n.entries.size(); ++i) {
+        enlarge[i] = AreaEnlargement(n.entries[i].mbr, mbr);
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return enlarge[a] < enlarge[b];
+      });
+      const size_t candidates = std::min(
+          order.size(), static_cast<size_t>(kChooseSubtreeCandidates));
+
+      double best_overlap = std::numeric_limits<double>::infinity();
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t ci = 0; ci < candidates; ++ci) {
+        const size_t i = order[ci];
+        const Rect grown = Rect::Union(n.entries[i].mbr, mbr);
+        double overlap_delta = 0.0;
+        for (size_t j = 0; j < n.entries.size(); ++j) {
+          if (j == i) continue;
+          overlap_delta += grown.OverlapArea(n.entries[j].mbr) -
+                           n.entries[i].mbr.OverlapArea(n.entries[j].mbr);
+        }
+        const double area = n.entries[i].mbr.Area();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap && enlarge[i] < best_enlarge) ||
+            (overlap_delta == best_overlap && enlarge[i] == best_enlarge &&
+             area < best_area)) {
+          best_overlap = overlap_delta;
+          best_enlarge = enlarge[i];
+          best_area = area;
+          best = i;
+        }
+      }
+    } else {
+      // Children are internal: minimize area enlargement, ties by area.
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n.entries.size(); ++i) {
+        const double enl = AreaEnlargement(n.entries[i].mbr, mbr);
+        const double area = n.entries[i].mbr.Area();
+        if (enl < best_enlarge ||
+            (enl == best_enlarge && area < best_area)) {
+          best_enlarge = enl;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    nid = n.entries[best].child;
+  }
+  return nid;
+}
+
+void RStarTree::InsertEntry(const Entry& e, int target_level,
+                            std::vector<bool>& reinserted) {
+  SQP_CHECK(target_level <= node(root_).level);
+  const PageId nid = ChooseSubtree(e.mbr, target_level);
+  Node& n = MutableNode(nid);
+  SQP_DCHECK(n.level == target_level);
+  n.entries.push_back(e);
+  if (e.child != kInvalidPage) MutableNode(e.child).parent = nid;
+  RefreshUpward(nid);
+  if (static_cast<int>(n.entries.size()) <= config_.MaxEntries()) return;
+  if (config_.allow_supernodes && !n.IsLeaf()) {
+    // X-tree path: split only when low-overlap groups exist or the
+    // supernode cap is reached; forced reinsertion is not applied to
+    // directory supernodes.
+    const bool at_cap = static_cast<int>(n.entries.size()) >
+                        config_.MaxEntriesFor(/*is_leaf=*/false);
+    Split(nid, reinserted, /*may_become_supernode=*/!at_cap);
+    return;
+  }
+  OverflowTreatment(nid, reinserted);
+}
+
+void RStarTree::OverflowTreatment(PageId nid, std::vector<bool>& reinserted) {
+  const Node& n = node(nid);
+  const size_t lvl = static_cast<size_t>(n.level);
+  if (nid != root_ && config_.forced_reinsert && lvl < reinserted.size() &&
+      !reinserted[lvl]) {
+    reinserted[lvl] = true;
+    ForcedReinsert(nid, reinserted);
+  } else {
+    Split(nid, reinserted);
+  }
+}
+
+void RStarTree::ForcedReinsert(PageId nid, std::vector<bool>& reinserted) {
+  Node& n = MutableNode(nid);
+  const int level = n.level;
+  const Rect node_mbr = n.ComputeMbr();
+  const int p = config_.ReinsertCount();
+
+  // Order entries by distance between their center and the node center,
+  // farthest first.
+  std::vector<size_t> order(n.entries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> dist(n.entries.size());
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    dist[i] = Rect::CenterDistanceSq(n.entries[i].mbr, node_mbr);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return dist[a] > dist[b]; });
+
+  std::vector<Entry> evicted;
+  evicted.reserve(static_cast<size_t>(p));
+  std::vector<bool> remove(n.entries.size(), false);
+  for (int i = 0; i < p; ++i) {
+    evicted.push_back(n.entries[order[static_cast<size_t>(i)]]);
+    remove[order[static_cast<size_t>(i)]] = true;
+  }
+  std::vector<Entry> kept;
+  kept.reserve(n.entries.size() - evicted.size());
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    if (!remove[i]) kept.push_back(n.entries[i]);
+  }
+  n.entries = std::move(kept);
+  RefreshUpward(nid);
+
+  // Close reinsert: nearest evicted entries first (Beckmann et al. found
+  // this superior to far reinsert).
+  for (auto it = evicted.rbegin(); it != evicted.rend(); ++it) {
+    InsertEntry(*it, level, reinserted);
+  }
+}
+
+void RStarTree::Split(PageId nid, std::vector<bool>& reinserted,
+                      bool may_become_supernode) {
+  Node& n = MutableNode(nid);
+  const int level = n.level;
+  const int m = config_.MinEntries();
+  const int total = static_cast<int>(n.entries.size());
+  SQP_CHECK(total >= 2 * m);
+
+  // R* split: choose the axis minimizing the summed margin over all
+  // distributions, then the distribution with least overlap (ties: least
+  // combined area). Both lower-value and upper-value sort orders are
+  // considered on each axis.
+  struct Candidate {
+    std::vector<size_t> order;  // permutation of entry indices
+    int split_at = 0;           // first `split_at` entries -> group 1
+    double overlap = 0.0;
+    double area = 0.0;
+  };
+
+  const int k_max = total - 2 * m + 1;  // distributions per sort order
+  SQP_CHECK(k_max >= 1);
+
+  int best_axis = -1;
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  Candidate best;  // best distribution on the best axis
+
+  for (int axis = 0; axis < config_.dim; ++axis) {
+    // sort_by: 0 = lower coordinate, 1 = upper coordinate.
+    double axis_margin = 0.0;
+    Candidate axis_best;
+    double axis_best_overlap = std::numeric_limits<double>::infinity();
+    double axis_best_area = std::numeric_limits<double>::infinity();
+
+    for (int sort_by = 0; sort_by < 2; ++sort_by) {
+      std::vector<size_t> order(n.entries.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const Rect& ra = n.entries[a].mbr;
+        const Rect& rb = n.entries[b].mbr;
+        const double ka = sort_by == 0 ? ra.lo()[axis] : ra.hi()[axis];
+        const double kb = sort_by == 0 ? rb.lo()[axis] : rb.hi()[axis];
+        if (ka != kb) return ka < kb;
+        // Tie-break on the other bound for determinism.
+        const double ta = sort_by == 0 ? ra.hi()[axis] : ra.lo()[axis];
+        const double tb = sort_by == 0 ? rb.hi()[axis] : rb.lo()[axis];
+        return ta < tb;
+      });
+
+      // Prefix/suffix MBRs make each distribution O(d) to evaluate.
+      std::vector<Rect> prefix(order.size()), suffix(order.size());
+      Rect acc = n.entries[order[0]].mbr;
+      prefix[0] = acc;
+      for (size_t i = 1; i < order.size(); ++i) {
+        acc.ExpandToInclude(n.entries[order[i]].mbr);
+        prefix[i] = acc;
+      }
+      acc = n.entries[order.back()].mbr;
+      suffix[order.size() - 1] = acc;
+      for (size_t i = order.size() - 1; i-- > 0;) {
+        acc.ExpandToInclude(n.entries[order[i]].mbr);
+        suffix[i] = acc;
+      }
+
+      for (int k = 0; k < k_max; ++k) {
+        const int split_at = m + k;  // group 1 size
+        const Rect& g1 = prefix[static_cast<size_t>(split_at - 1)];
+        const Rect& g2 = suffix[static_cast<size_t>(split_at)];
+        axis_margin += g1.Margin() + g2.Margin();
+        const double overlap = g1.OverlapArea(g2);
+        const double area = g1.Area() + g2.Area();
+        if (overlap < axis_best_overlap ||
+            (overlap == axis_best_overlap && area < axis_best_area)) {
+          axis_best_overlap = overlap;
+          axis_best_area = area;
+          axis_best.order = order;
+          axis_best.split_at = split_at;
+          axis_best.overlap = overlap;
+          axis_best.area = area;
+        }
+      }
+    }
+
+    if (axis_margin < best_axis_margin) {
+      best_axis_margin = axis_margin;
+      best_axis = axis;
+      best = std::move(axis_best);
+    }
+  }
+  SQP_CHECK(best_axis >= 0 && !best.order.empty());
+
+  if (may_become_supernode) {
+    // X-tree supernode test: if even the best distribution produces
+    // heavily overlapping groups (Jaccard ratio of the group MBRs above
+    // the threshold), keep the node as a multi-page supernode.
+    Rect g1 = n.entries[best.order[0]].mbr;
+    for (int i = 1; i < best.split_at; ++i) {
+      g1.ExpandToInclude(n.entries[best.order[static_cast<size_t>(i)]].mbr);
+    }
+    Rect g2 = n.entries[best.order[static_cast<size_t>(best.split_at)]].mbr;
+    for (size_t i = static_cast<size_t>(best.split_at) + 1;
+         i < best.order.size(); ++i) {
+      g2.ExpandToInclude(n.entries[best.order[i]].mbr);
+    }
+    const double overlap = g1.OverlapArea(g2);
+    const double union_area = g1.Area() + g2.Area() - overlap;
+    const double jaccard = union_area > 0.0 ? overlap / union_area : 1.0;
+    if (jaccard > config_.supernode_overlap_threshold) {
+      return;  // the node absorbs the overflow
+    }
+  }
+
+  // Materialize the two groups.
+  std::vector<Entry> group1, group2;
+  group1.reserve(static_cast<size_t>(best.split_at));
+  group2.reserve(n.entries.size() - static_cast<size_t>(best.split_at));
+  for (size_t i = 0; i < best.order.size(); ++i) {
+    const Entry& e = n.entries[best.order[i]];
+    if (static_cast<int>(i) < best.split_at) {
+      group1.push_back(e);
+    } else {
+      group2.push_back(e);
+    }
+  }
+
+  n.entries = std::move(group1);
+  const PageId new_id = AllocateNode(level);
+  Node& nn = MutableNode(new_id);
+  nn.entries = std::move(group2);
+  for (const Entry& e : nn.entries) {
+    if (e.child != kInvalidPage) MutableNode(e.child).parent = new_id;
+  }
+
+  if (nid == root_) {
+    const PageId new_root = AllocateNode(level + 1);
+    Node& r = MutableNode(new_root);
+    Node& old = MutableNode(nid);
+    r.entries.push_back(Entry::ForChild(
+        old.ComputeMbr(), nid, static_cast<uint32_t>(old.ObjectCount())));
+    r.entries.push_back(Entry::ForChild(
+        nn.ComputeMbr(), new_id, static_cast<uint32_t>(nn.ObjectCount())));
+    old.parent = new_root;
+    nn.parent = new_root;
+    root_ = new_root;
+    NotifyCreated(new_root);
+    NotifyCreated(new_id);
+    return;
+  }
+
+  const PageId parent_id = n.parent;
+  Node& parent = MutableNode(parent_id);
+  nn.parent = parent_id;
+  parent.entries.push_back(Entry::ForChild(
+      nn.ComputeMbr(), new_id, static_cast<uint32_t>(nn.ObjectCount())));
+  RefreshUpward(nid);
+  NotifyCreated(new_id);
+  if (static_cast<int>(parent.entries.size()) > config_.MaxEntries()) {
+    OverflowTreatment(parent_id, reinserted);
+  }
+}
+
+void RStarTree::RefreshUpward(PageId nid) {
+  PageId cur = nid;
+  while (node(cur).parent != kInvalidPage) {
+    const Node& n = node(cur);
+    Node& parent = MutableNode(n.parent);
+    bool found = false;
+    for (Entry& e : parent.entries) {
+      if (e.child == cur) {
+        e.mbr = n.ComputeMbr();
+        e.count = static_cast<uint32_t>(n.ObjectCount());
+        found = true;
+        break;
+      }
+    }
+    SQP_CHECK(found);
+    cur = n.parent;
+  }
+}
+
+// --- Deletion -----------------------------------------------------------
+
+common::Status RStarTree::Delete(const Point& p, ObjectId id) {
+  SQP_CHECK(p.dim() == config_.dim);
+  const PageId leaf = FindLeaf(p, id);
+  if (leaf == kInvalidPage) {
+    return common::Status::NotFound("object not in tree");
+  }
+  Node& n = MutableNode(leaf);
+  const Rect pr = Rect::ForPoint(p);
+  bool removed = false;
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    if (n.entries[i].object == id && n.entries[i].mbr == pr) {
+      n.entries.erase(n.entries.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      removed = true;
+      break;
+    }
+  }
+  SQP_CHECK(removed);
+  --size_;
+  if (!n.entries.empty()) RefreshUpward(leaf);
+  CondenseTree(leaf);
+
+  // Shrink the root while it is an internal node with a single child.
+  while (node(root_).level > 0 && node(root_).entries.size() == 1) {
+    const PageId child = node(root_).entries[0].child;
+    const PageId old_root = root_;
+    MutableNode(child).parent = kInvalidPage;
+    root_ = child;
+    FreeNode(old_root);
+  }
+  return common::Status::OK();
+}
+
+PageId RStarTree::FindLeaf(const Point& p, ObjectId id) const {
+  const Rect pr = Rect::ForPoint(p);
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId nid = stack.back();
+    stack.pop_back();
+    const Node& n = node(nid);
+    if (n.IsLeaf()) {
+      for (const Entry& e : n.entries) {
+        if (e.object == id && e.mbr == pr) return nid;
+      }
+    } else {
+      for (const Entry& e : n.entries) {
+        if (e.mbr.Contains(p)) stack.push_back(e.child);
+      }
+    }
+  }
+  return kInvalidPage;
+}
+
+void RStarTree::CondenseTree(PageId leaf) {
+  // Walk from the leaf to the root, unlinking underfull nodes and stashing
+  // their entries (with the level they must return to).
+  struct Orphan {
+    Entry entry;
+    int level;
+  };
+  std::vector<Orphan> orphans;
+
+  PageId cur = leaf;
+  while (cur != root_) {
+    Node& n = MutableNode(cur);
+    const PageId parent_id = n.parent;
+    if (static_cast<int>(n.entries.size()) < config_.MinEntries()) {
+      Node& parent = MutableNode(parent_id);
+      for (size_t i = 0; i < parent.entries.size(); ++i) {
+        if (parent.entries[i].child == cur) {
+          parent.entries.erase(parent.entries.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      for (const Entry& e : n.entries) {
+        orphans.push_back({e, n.level});
+      }
+      FreeNode(cur);
+    } else {
+      RefreshUpward(cur);
+    }
+    cur = parent_id;
+  }
+
+  for (const Orphan& o : orphans) {
+    std::vector<bool> reinserted(64, false);
+    InsertEntry(o.entry, o.level, reinserted);
+  }
+}
+
+// --- Queries ------------------------------------------------------------
+
+void RStarTree::RangeSearch(const Rect& box, std::vector<ObjectId>* out) const {
+  SQP_CHECK(out != nullptr);
+  SQP_CHECK(box.dim() == config_.dim);
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const Node& n = node(stack.back());
+    stack.pop_back();
+    for (const Entry& e : n.entries) {
+      if (!box.Intersects(e.mbr)) continue;
+      if (n.IsLeaf()) {
+        out->push_back(e.object);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+void RStarTree::BallSearch(const Point& center, double radius,
+                           std::vector<ObjectId>* out) const {
+  SQP_CHECK(out != nullptr);
+  SQP_CHECK(center.dim() == config_.dim);
+  SQP_CHECK(radius >= 0.0);
+  const double r_sq = radius * radius;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const Node& n = node(stack.back());
+    stack.pop_back();
+    for (const Entry& e : n.entries) {
+      if (geometry::MinDistSq(center, e.mbr) > r_sq) continue;
+      if (n.IsLeaf()) {
+        out->push_back(e.object);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+// --- Validation ---------------------------------------------------------
+
+common::Status RStarTree::ValidateNode(PageId nid, int expected_level,
+                                       bool is_root) const {
+  const Node& n = node(nid);
+  if (n.level != expected_level) {
+    return common::Status::Internal("level mismatch");
+  }
+  const int count = static_cast<int>(n.entries.size());
+  if (count > config_.MaxEntriesFor(n.IsLeaf())) {
+    return common::Status::Internal("node overfull");
+  }
+  if (is_root) {
+    if (n.level > 0 && count < 2) {
+      return common::Status::Internal("internal root with < 2 entries");
+    }
+  } else if (count < config_.MinEntries()) {
+    return common::Status::Internal("node underfull");
+  }
+
+  for (const Entry& e : n.entries) {
+    if (n.IsLeaf()) {
+      if (e.object == kInvalidObject || e.count != 1) {
+        return common::Status::Internal("bad leaf entry");
+      }
+      if (!(e.mbr.lo() == e.mbr.hi())) {
+        return common::Status::Internal("leaf entry MBR not a point");
+      }
+    } else {
+      const Node& child = node(e.child);
+      if (child.parent != nid) {
+        return common::Status::Internal("bad parent link");
+      }
+      if (!(e.mbr == child.ComputeMbr())) {
+        return common::Status::Internal("parent entry MBR not tight");
+      }
+      if (e.count != child.ObjectCount()) {
+        return common::Status::Internal("subtree count mismatch");
+      }
+      SQP_RETURN_IF_ERROR(ValidateNode(e.child, expected_level - 1, false));
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status RStarTree::Validate() const {
+  const Node& r = node(root_);
+  SQP_RETURN_IF_ERROR(ValidateNode(root_, r.level, /*is_root=*/true));
+  if (r.ObjectCount() != size_ && !(size_ == 0 && r.entries.empty())) {
+    return common::Status::Internal("tree size mismatch");
+  }
+  return common::Status::OK();
+}
+
+}  // namespace sqp::rstar

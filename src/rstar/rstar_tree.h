@@ -1,0 +1,136 @@
+// Dynamic R*-tree (Beckmann, Kriegel, Schneider, Seeger 1990) with the
+// paper's augmentation: every entry carries the number of data objects in
+// its subtree, maintained under inserts, deletes, splits and forced
+// reinsertion. Nodes are identified by PageId; a PlacementListener observes
+// page creation so a declustering policy can assign pages to disks online
+// (paper §2.2).
+//
+// The tree is an in-memory model of the on-disk structure: node fan-out is
+// derived from the configured page size, and all traversals in the search
+// layer (`src/core/`) are expressed as explicit page fetches so the
+// simulator can charge I/O costs.
+
+#ifndef SQP_RSTAR_RSTAR_TREE_H_
+#define SQP_RSTAR_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rstar/config.h"
+#include "rstar/node.h"
+#include "rstar/placement_listener.h"
+#include "rstar/types.h"
+
+namespace sqp::rstar {
+
+class RStarTree {
+ public:
+  // `listener` may be null (no placement tracking). It must outlive the
+  // tree.
+  explicit RStarTree(const TreeConfig& config,
+                     PlacementListener* listener = nullptr);
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  // Inserts a data point. Duplicate points are allowed; (point, id) pairs
+  // should be unique if Delete is to address them unambiguously.
+  void Insert(const geometry::Point& p, ObjectId id);
+
+  // Bulk-loads `points` (with parallel `ids`) into an empty tree using the
+  // Sort-Tile-Recursive packing of Leutenegger et al. — the "complete
+  // reorganization" alternative the paper's dynamic setting rules out
+  // (§1); provided for the build-quality ablation and for static corpora.
+  // FailedPrecondition if the tree is not empty; InvalidArgument on
+  // mismatched input sizes or wrong dimensionality. After a successful
+  // bulk load the tree behaves exactly like an incrementally built one
+  // (inserts, deletes and all queries are supported).
+  common::Status BulkLoad(const std::vector<geometry::Point>& points,
+                          const std::vector<ObjectId>& ids);
+
+  // Removes the entry for (p, id). NotFound if no such entry exists.
+  common::Status Delete(const geometry::Point& p, ObjectId id);
+
+  // All objects whose point lies in `box` (Definition 1 with L∞-style box
+  // region). Appends to `out`.
+  void RangeSearch(const geometry::Rect& box,
+                   std::vector<ObjectId>* out) const;
+
+  // All objects within Euclidean distance `radius` of `center`
+  // (Definition 1 with a hyper-sphere region).
+  void BallSearch(const geometry::Point& center, double radius,
+                  std::vector<ObjectId>* out) const;
+
+  // --- Structure access (search algorithms & simulator) ---
+
+  const TreeConfig& config() const { return config_; }
+  PageId root() const { return root_; }
+  const Node& node(PageId id) const;
+
+  // Number of data objects.
+  uint64_t size() const { return size_; }
+
+  // Number of live pages.
+  size_t NodeCount() const { return live_nodes_; }
+
+  // Levels; a single-leaf tree has height 1.
+  int Height() const;
+
+  // Live page ids (for placement audits / relocation experiments).
+  std::vector<PageId> LiveNodeIds() const;
+
+  // Verifies all structural invariants: MBR tightness & containment,
+  // subtree object counts, uniform leaf depth, fill factors, parent links.
+  common::Status Validate() const;
+
+ private:
+  Node& MutableNode(PageId id);
+  PageId AllocateNode(int level);
+  void FreeNode(PageId id);
+
+  // Chooses the node at `target_level` that should receive `mbr`
+  // (R* ChooseSubtree).
+  PageId ChooseSubtree(const geometry::Rect& mbr, int target_level) const;
+
+  // Inserts `e` into a node at `target_level`, handling overflow.
+  // `reinserted` has one flag per level for the forced-reinsert-once rule.
+  void InsertEntry(const Entry& e, int target_level,
+                   std::vector<bool>& reinserted);
+
+  void OverflowTreatment(PageId nid, std::vector<bool>& reinserted);
+  void ForcedReinsert(PageId nid, std::vector<bool>& reinserted);
+  // may_become_supernode: an X-tree-eligible internal node may absorb the
+  // overflow instead of splitting when the best split is high-overlap.
+  void Split(PageId nid, std::vector<bool>& reinserted,
+             bool may_become_supernode = false);
+
+  // Recomputes this node's MBR/count in its parent entry and repeats up to
+  // the root.
+  void RefreshUpward(PageId nid);
+
+  // Finds the leaf holding (p, id); kInvalidPage if absent.
+  PageId FindLeaf(const geometry::Point& p, ObjectId id) const;
+
+  void CondenseTree(PageId leaf);
+
+  void NotifyCreated(PageId nid);
+  common::Status ValidateNode(PageId nid, int expected_level,
+                              bool is_root) const;
+
+  TreeConfig config_;
+  PlacementListener* listener_;  // not owned, may be null
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<PageId> free_list_;
+  PageId root_;
+  uint64_t size_ = 0;
+  size_t live_nodes_ = 0;
+};
+
+}  // namespace sqp::rstar
+
+#endif  // SQP_RSTAR_RSTAR_TREE_H_

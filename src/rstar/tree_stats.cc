@@ -1,0 +1,68 @@
+#include "rstar/tree_stats.h"
+
+#include <cstdio>
+
+namespace sqp::rstar {
+
+TreeStats ComputeTreeStats(const RStarTree& tree) {
+  TreeStats stats;
+  stats.height = tree.Height();
+  stats.objects = tree.size();
+  stats.levels.resize(static_cast<size_t>(stats.height));
+  for (int l = 0; l < stats.height; ++l) {
+    stats.levels[static_cast<size_t>(l)].level = l;
+  }
+
+  for (PageId id : tree.LiveNodeIds()) {
+    const Node& n = tree.node(id);
+    LevelStats& ls = stats.levels[static_cast<size_t>(n.level)];
+    ++ls.nodes;
+    ++stats.total_nodes;
+    ls.entries += n.entries.size();
+    if (!n.entries.empty()) {
+      const geometry::Rect mbr = n.ComputeMbr();
+      ls.total_area += mbr.Area();
+      ls.total_margin += mbr.Margin();
+    }
+    // Overlap among this node's children (siblings of each other).
+    if (!n.IsLeaf()) {
+      LevelStats& child_ls =
+          stats.levels[static_cast<size_t>(n.level - 1)];
+      for (size_t i = 0; i < n.entries.size(); ++i) {
+        for (size_t j = i + 1; j < n.entries.size(); ++j) {
+          child_ls.sibling_overlap +=
+              n.entries[i].mbr.OverlapArea(n.entries[j].mbr);
+        }
+      }
+    }
+  }
+
+  const double capacity = tree.config().MaxEntries();
+  for (LevelStats& ls : stats.levels) {
+    if (ls.nodes > 0) {
+      ls.avg_fill = static_cast<double>(ls.entries) /
+                    (static_cast<double>(ls.nodes) * capacity);
+    }
+  }
+  return stats;
+}
+
+std::string TreeStats::ToString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "tree: %zu nodes, %llu objects, height %d\n", total_nodes,
+                static_cast<unsigned long long>(objects), height);
+  out += buf;
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    std::snprintf(buf, sizeof(buf),
+                  "  level %d: %zu nodes, fill %.2f, area %.4g, margin "
+                  "%.4g, sibling overlap %.4g\n",
+                  it->level, it->nodes, it->avg_fill, it->total_area,
+                  it->total_margin, it->sibling_overlap);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sqp::rstar

@@ -1,0 +1,41 @@
+// Structural statistics of an R*-tree: per-level node counts, fill
+// factors, and the MBR quality measures (area, margin, sibling overlap)
+// that drive query performance. Used by the build-quality ablation and
+// handy for diagnosing real deployments.
+
+#ifndef SQP_RSTAR_TREE_STATS_H_
+#define SQP_RSTAR_TREE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "rstar/rstar_tree.h"
+
+namespace sqp::rstar {
+
+struct LevelStats {
+  int level = 0;
+  size_t nodes = 0;
+  size_t entries = 0;
+  double avg_fill = 0.0;       // entries / (nodes * MaxEntries)
+  double total_area = 0.0;     // sum of node MBR volumes
+  double total_margin = 0.0;   // sum of node MBR margins
+  // Sum of pairwise overlap volume between sibling MBRs (computed within
+  // each parent); the R* split criterion minimizes exactly this.
+  double sibling_overlap = 0.0;
+};
+
+struct TreeStats {
+  std::vector<LevelStats> levels;  // index 0 = leaf level
+  size_t total_nodes = 0;
+  uint64_t objects = 0;
+  int height = 0;
+
+  std::string ToString() const;
+};
+
+TreeStats ComputeTreeStats(const RStarTree& tree);
+
+}  // namespace sqp::rstar
+
+#endif  // SQP_RSTAR_TREE_STATS_H_

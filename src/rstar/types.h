@@ -1,0 +1,23 @@
+// Identifier types shared by the tree, the declustering layer, and the
+// simulator.
+
+#ifndef SQP_RSTAR_TYPES_H_
+#define SQP_RSTAR_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sqp::rstar {
+
+// A tree node occupies exactly one disk page; PageId identifies both.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+// Opaque handle to a data object (index into the owning dataset).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+}  // namespace sqp::rstar
+
+#endif  // SQP_RSTAR_TYPES_H_

@@ -1,0 +1,95 @@
+// Host-side LRU page buffer for the simulated system.
+//
+// The paper charges every page request to the disks (no caching), which
+// this library reproduces by default (capacity 0). Real servers of the
+// era kept an LRU buffer pool in host memory; enabling one shows how much
+// of the algorithms' difference survives caching (bench_ablation_buffer).
+// The pool is shared by all concurrent queries, like a DBMS buffer
+// manager.
+
+#ifndef SQP_SIM_BUFFER_POOL_H_
+#define SQP_SIM_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "rstar/types.h"
+
+namespace sqp::sim {
+
+class BufferPool {
+ public:
+  // capacity_pages == 0 disables caching entirely (every Lookup misses).
+  explicit BufferPool(size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // True if `page` is resident; touches it (moves to MRU position).
+  bool Lookup(rstar::PageId page) {
+    if (capacity_ == 0) {
+      ++misses_;
+      return false;
+    }
+    auto it = index_.find(page);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+
+  // Makes `page` resident (MRU), evicting the LRU page if full. Inserting
+  // an already-resident page just touches it.
+  void Insert(rstar::PageId page) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(page);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(page);
+    index_[page] = lru_.begin();
+  }
+
+  // Drops `page` if resident (called when the tree frees a page, so stale
+  // buffers never serve deleted nodes).
+  void Invalidate(rstar::PageId page) {
+    auto it = index_.find(page);
+    if (it == index_.end()) return;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return lru_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  double HitRate() const {
+    const size_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  size_t capacity_;
+  std::list<rstar::PageId> lru_;  // front = MRU
+  std::unordered_map<rstar::PageId, std::list<rstar::PageId>::iterator>
+      index_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_BUFFER_POOL_H_

@@ -1,0 +1,67 @@
+// One disk of the array: an FCFS queue in front of the HP C2200A service
+// model, with head position carried across requests.
+
+#ifndef SQP_SIM_DISK_H_
+#define SQP_SIM_DISK_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/rng.h"
+#include "sim/disk_model.h"
+#include "sim/event_queue.h"
+#include "sim/fcfs_server.h"
+
+namespace sqp::sim {
+
+class Disk {
+ public:
+  Disk(const DiskParams& params, EventQueue* eq, common::Rng rng)
+      : params_(params), rng_(std::move(rng)), server_(eq) {
+    params_.Validate();
+  }
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Enqueues a read of the page on `cylinder`; `done` fires when the page
+  // has left the disk (it then still needs a bus transfer to reach the
+  // host). Heads start at cylinder 0 (paper §4.1) and move independently
+  // of other disks.
+  void ReadPage(int cylinder, std::function<void()> done) {
+    ReadPages(cylinder, 1, std::move(done));
+  }
+
+  // Reads `pages` contiguous pages starting at `cylinder` in one request
+  // (an X-tree supernode): one seek and rotational positioning, then
+  // `pages` transfers.
+  void ReadPages(int cylinder, int pages, std::function<void()> done) {
+    SQP_CHECK(cylinder >= 0 && cylinder < params_.num_cylinders);
+    SQP_CHECK(pages >= 1);
+    server_.Submit(
+        [this, cylinder, pages]() {
+          const double t =
+              params_.ServiceTime(head_, cylinder, rng_) +
+              (pages - 1) * params_.page_transfer_time;
+          head_ = cylinder;
+          return t;
+        },
+        std::move(done));
+  }
+
+  double busy_time() const { return server_.busy_time(); }
+  bool busy() const { return server_.busy(); }
+  size_t pages_served() const { return server_.completed(); }
+  size_t queue_length() const { return server_.queue_length(); }
+  int head() const { return head_; }
+
+ private:
+  DiskParams params_;
+  common::Rng rng_;
+  FcfsServer server_;
+  int head_ = 0;
+};
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_DISK_H_

@@ -1,0 +1,89 @@
+// Disk drive service-time model (paper §4.1, Tables 1 and 2).
+//
+// Seek time follows the two-phase non-linear model of Ruemmler & Wilkes
+// ("An Introduction to Disk Drive Modeling", IEEE Computer 1994) and
+// Manolopoulos (1992), parameterized for the HP C2200A drive the paper
+// simulates:
+//
+//   T_seek(d) = 0                      d = 0
+//             = c1 + c2 * sqrt(d)      0 < d <= sdt   (acceleration phase)
+//             = c3 + c4 * d            d > sdt        (steady phase)
+//
+// A page access additionally pays rotational latency (uniform in one
+// revolution — disks are not synchronized), the page transfer time, and a
+// fixed controller overhead.
+
+#ifndef SQP_SIM_DISK_MODEL_H_
+#define SQP_SIM_DISK_MODEL_H_
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sqp::sim {
+
+struct DiskParams {
+  int num_cylinders = 1449;
+
+  // Seek curve constants, in seconds.
+  double c1 = 0.00324;   // short-seek intercept
+  double c2 = 0.000400;  // short-seek sqrt coefficient
+  double c3 = 0.00800;   // long-seek intercept
+  double c4 = 0.0000080; // long-seek per-cylinder slope
+  int short_seek_threshold = 383;  // sdt, in cylinders
+
+  // One platter revolution (Table 2: 0.0149 s => ~4000 rpm).
+  double revolution_time = 0.0149;
+
+  // Transferring one page (1 KB striping unit, matching the experiment
+  // configuration) off the media at the ~2 MB/s sustained rate of drives
+  // of that generation.
+  double page_transfer_time = 0.0005;
+
+  // Command processing in the embedded disk controller.
+  double controller_overhead = 0.0010;
+
+  // The paper's drive (Table 2).
+  static DiskParams HP_C2200A() { return DiskParams{}; }
+
+  // Seek component for a head movement of |to - from| cylinders.
+  double SeekTime(int from_cylinder, int to_cylinder) const {
+    const int d = std::abs(to_cylinder - from_cylinder);
+    if (d == 0) return 0.0;
+    if (d <= short_seek_threshold) {
+      return c1 + c2 * std::sqrt(static_cast<double>(d));
+    }
+    return c3 + c4 * static_cast<double>(d);
+  }
+
+  // Full service time of one page read starting with the head at
+  // `from_cylinder`. Rotational latency is sampled from `rng`.
+  double ServiceTime(int from_cylinder, int to_cylinder,
+                     common::Rng& rng) const {
+    const double rotation = rng.Uniform() * revolution_time;
+    return SeekTime(from_cylinder, to_cylinder) + rotation +
+           page_transfer_time + controller_overhead;
+  }
+
+  // Expected service time for an access with uniformly random seek target
+  // and rotational position; used by analytic sanity checks in tests.
+  double MeanServiceTimeUpperBound() const {
+    return c3 + c4 * num_cylinders + revolution_time +
+           page_transfer_time + controller_overhead;
+  }
+
+  void Validate() const {
+    SQP_CHECK(num_cylinders >= 1);
+    SQP_CHECK(c1 >= 0 && c2 >= 0 && c3 >= 0 && c4 >= 0);
+    SQP_CHECK(short_seek_threshold >= 0);
+    SQP_CHECK(revolution_time > 0);
+    SQP_CHECK(page_transfer_time >= 0);
+    SQP_CHECK(controller_overhead >= 0);
+  }
+};
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_DISK_MODEL_H_

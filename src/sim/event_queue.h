@@ -1,0 +1,75 @@
+// Discrete-event simulation kernel: a time-ordered queue of callbacks.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a simulation is
+// a pure function of its inputs and seeds.
+
+#ifndef SQP_SIM_EVENT_QUEUE_H_
+#define SQP_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sqp::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute simulation time `time` (>= now()).
+  void ScheduleAt(double time, Callback cb) {
+    SQP_CHECK(time >= now_);
+    heap_.push(Event{time, next_seq_++, std::move(cb)});
+  }
+
+  // Schedules `cb` `delay` seconds from now (delay >= 0).
+  void ScheduleAfter(double delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Runs the earliest pending event; returns false when none remain.
+  bool Step() {
+    if (heap_.empty()) return false;
+    // Moving the callback out before popping keeps re-entrant scheduling
+    // from the callback safe.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+
+  // Runs all events to exhaustion.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  double now() const { return now_; }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_EVENT_QUEUE_H_

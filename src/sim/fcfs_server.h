@@ -1,0 +1,72 @@
+// Single FCFS server primitive for the queueing network of Figure 7.
+//
+// Every station of the simulated system — each disk, the shared I/O bus,
+// and the CPU — is a single server draining a FIFO queue. The service time
+// of a job is computed lazily when service *begins*, which lets the disk
+// model consult the head position at that moment.
+
+#ifndef SQP_SIM_FCFS_SERVER_H_
+#define SQP_SIM_FCFS_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+
+namespace sqp::sim {
+
+class FcfsServer {
+ public:
+  explicit FcfsServer(EventQueue* eq) : eq_(eq) { SQP_CHECK(eq != nullptr); }
+
+  FcfsServer(const FcfsServer&) = delete;
+  FcfsServer& operator=(const FcfsServer&) = delete;
+
+  // Enqueues a job. `service_time_fn` is evaluated when the job reaches the
+  // head of the queue; `done` fires at service completion.
+  void Submit(std::function<double()> service_time_fn,
+              std::function<void()> done) {
+    queue_.push_back({std::move(service_time_fn), std::move(done)});
+    if (!busy_) StartNext();
+  }
+
+  bool busy() const { return busy_; }
+  size_t queue_length() const { return queue_.size(); }
+  // Cumulative time the server spent serving jobs.
+  double busy_time() const { return busy_time_; }
+  size_t completed() const { return completed_; }
+
+ private:
+  struct Job {
+    std::function<double()> service_time_fn;
+    std::function<void()> done;
+  };
+
+  void StartNext() {
+    SQP_CHECK(!busy_ && !queue_.empty());
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    const double service = job.service_time_fn();
+    SQP_CHECK(service >= 0.0);
+    busy_time_ += service;
+    eq_->ScheduleAfter(service, [this, done = std::move(job.done)]() {
+      busy_ = false;
+      ++completed_;
+      done();
+      if (!busy_ && !queue_.empty()) StartNext();
+    });
+  }
+
+  EventQueue* eq_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  double busy_time_ = 0.0;
+  size_t completed_ = 0;
+};
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_FCFS_SERVER_H_

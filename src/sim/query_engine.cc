@@ -1,0 +1,375 @@
+#include "sim/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/buffer_pool.h"
+#include "sim/disk.h"
+#include "sim/event_queue.h"
+#include "sim/fcfs_server.h"
+
+namespace sqp::sim {
+namespace {
+
+// Everything needed to advance one in-flight query.
+struct ActiveQuery {
+  size_t index = 0;
+  QueryJob job;
+  std::unique_ptr<core::BatchTraversal> algo;
+  // Pages of the current batch, in request order; filled as they arrive.
+  std::vector<core::FetchedPage> batch;
+  size_t outstanding = 0;
+  QueryOutcome outcome;
+};
+
+// One in-flight insertion.
+struct ActiveInsert {
+  InsertJob job;
+  InsertOutcome outcome;
+  size_t outstanding = 0;
+};
+
+class Engine {
+ public:
+  Engine(const parallel::ParallelRStarTree& index, const SimConfig& config,
+         const AlgorithmFactory& factory,
+         parallel::ParallelRStarTree* mutable_index = nullptr)
+      : index_(index),
+        mutable_index_(mutable_index),
+        config_(config),
+        factory_(factory),
+        rng_(config.seed),
+        bus_(&eq_),
+        cpu_(&eq_),
+        buffer_(config.buffer_pages) {
+    disks_.reserve(static_cast<size_t>(index.num_disks()));
+    for (int i = 0; i < index.num_disks(); ++i) {
+      disks_.push_back(std::make_unique<Disk>(config.disk, &eq_,
+                                              rng_.Fork()));
+    }
+  }
+
+  // Fires after each query completes; closed-loop drivers use it to
+  // submit the client's next query.
+  void SetCompletionHook(std::function<void(size_t)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  // Registers a query whose arrival is scheduled at job.arrival_time
+  // (which must not lie in the simulated past). Returns its index.
+  size_t SubmitQuery(const QueryJob& job) {
+    auto q = std::make_unique<ActiveQuery>();
+    q->index = queries_.size();
+    q->job = job;
+    q->outcome.arrival_time = job.arrival_time;
+    ActiveQuery* qp = q.get();
+    queries_.push_back(std::move(q));
+    eq_.ScheduleAt(job.arrival_time, [this, qp]() { Arrive(qp); });
+    return qp->index;
+  }
+
+  // Runs the event loop to exhaustion and collects the metrics.
+  SimulationResult Finish(std::vector<InsertOutcome>* insert_outcomes =
+                              nullptr) {
+    eq_.Run();
+    SimulationResult result;
+    result.makespan = eq_.now();
+    for (const auto& q : queries_) {
+      result.queries.push_back(q->outcome);
+    }
+    const double span = std::max(result.makespan, 1e-12);
+    for (const auto& d : disks_) {
+      result.disk_utilization.push_back(d->busy_time() / span);
+    }
+    result.bus_utilization = bus_.busy_time() / span;
+    result.cpu_utilization = cpu_.busy_time() / span;
+    result.buffer_hits = buffer_.hits();
+    result.buffer_misses = buffer_.misses();
+    if (insert_outcomes != nullptr) {
+      for (const auto& ins : inserts_) {
+        insert_outcomes->push_back(ins->outcome);
+      }
+    }
+    return result;
+  }
+
+  SimulationResult Run(const std::vector<QueryJob>& jobs,
+                       const std::vector<InsertJob>& insert_jobs = {},
+                       std::vector<InsertOutcome>* insert_outcomes =
+                           nullptr) {
+    SQP_CHECK(insert_jobs.empty() || mutable_index_ != nullptr);
+    inserts_.reserve(insert_jobs.size());
+    for (const InsertJob& job : insert_jobs) {
+      auto ins = std::make_unique<ActiveInsert>();
+      ins->job = job;
+      ins->outcome.arrival_time = job.arrival_time;
+      ActiveInsert* ip = ins.get();
+      inserts_.push_back(std::move(ins));
+      eq_.ScheduleAt(job.arrival_time, [this, ip]() { InsertArrive(ip); });
+    }
+    queries_.reserve(jobs.size());
+    for (const QueryJob& job : jobs) SubmitQuery(job);
+    return Finish(insert_outcomes);
+  }
+
+  double now() const { return eq_.now(); }
+
+ private:
+  void Arrive(ActiveQuery* q) {
+    // Queries enter the system immediately (paper §4.1); the startup cost
+    // occupies the CPU like any other processing.
+    Trace(q, TraceEventKind::kQueryArrived, 0);
+    q->algo = factory_(q->job.query, q->job.k);
+    cpu_.Submit([this]() { return config_.query_startup_time; },
+                [this, q]() {
+                  Trace(q, TraceEventKind::kQueryStarted, 0);
+                  HandleStep(q, q->algo->Begin());
+                });
+  }
+
+  void Trace(ActiveQuery* q, TraceEventKind kind, uint64_t detail) {
+    if (config_.trace != nullptr) {
+      config_.trace->Record(eq_.now(), q->index, kind, detail);
+    }
+  }
+
+  // The root-to-leaf pages an insertion of `p` reads and rewrites; the
+  // descent mirrors ChooseSubtree's area-enlargement rule closely enough
+  // for I/O accounting.
+  std::vector<rstar::PageId> InsertPath(const geometry::Point& p) const {
+    std::vector<rstar::PageId> path;
+    const rstar::RStarTree& tree = index_.tree();
+    rstar::PageId nid = tree.root();
+    while (true) {
+      path.push_back(nid);
+      const rstar::Node& n = tree.node(nid);
+      if (n.IsLeaf() || n.entries.empty()) break;
+      const geometry::Rect pr = geometry::Rect::ForPoint(p);
+      size_t best = 0;
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n.entries.size(); ++i) {
+        const double enl =
+            geometry::Rect::Union(n.entries[i].mbr, pr).Area() -
+            n.entries[i].mbr.Area();
+        if (enl < best_enlarge) {
+          best_enlarge = enl;
+          best = i;
+        }
+      }
+      nid = n.entries[best].child;
+    }
+    return path;
+  }
+
+  void InsertArrive(ActiveInsert* ins) {
+    cpu_.Submit(
+        [this]() { return config_.query_startup_time; },
+        [this, ins]() {
+          // Pin the path before the structural change, apply the change
+          // in host memory, then push the dirty pages through the disks.
+          const std::vector<rstar::PageId> path =
+              InsertPath(ins->job.point);
+          mutable_index_->tree().Insert(ins->job.point, ins->job.object);
+          std::vector<rstar::PageId> dirty;
+          for (rstar::PageId page : path) {
+            if (index_.placement().IsLive(page)) dirty.push_back(page);
+            buffer_.Invalidate(page);  // stale cached copy
+          }
+          if (dirty.empty()) {
+            ins->outcome.completion_time = eq_.now();
+            return;
+          }
+          ins->outcome.pages_written = dirty.size();
+          ins->outstanding = dirty.size();
+          for (rstar::PageId page : dirty) {
+            const int disk = index_.placement().DiskOf(page);
+            const int cylinder = index_.placement().CylinderOf(page);
+            // Host -> bus -> disk write (read-modify-write of one page).
+            bus_.Submit(
+                [this]() { return config_.bus_transfer_time; },
+                [this, ins, disk, cylinder]() {
+                  disks_[static_cast<size_t>(disk)]->ReadPage(
+                      cylinder, [this, ins]() {
+                        SQP_CHECK(ins->outstanding > 0);
+                        if (--ins->outstanding == 0) {
+                          ins->outcome.completion_time = eq_.now();
+                        }
+                      });
+                });
+          }
+        });
+  }
+
+  void HandleStep(ActiveQuery* q, core::StepResult step) {
+    if (step.done) {
+      SQP_CHECK(step.requests.empty());
+      q->outcome.completion_time = eq_.now();
+      q->outcome.results = q->algo->ResultCount();
+      Trace(q, TraceEventKind::kQueryCompleted, q->outcome.results);
+      if (completion_hook_) completion_hook_(q->index);
+      return;
+    }
+    SQP_CHECK(!step.requests.empty());
+    ++q->outcome.steps;
+    Trace(q, TraceEventKind::kBatchIssued, step.requests.size());
+
+    q->batch.clear();
+    q->batch.reserve(step.requests.size());
+    q->outstanding = step.requests.size();
+    for (rstar::PageId page : step.requests) {
+      const size_t slot = q->batch.size();
+      q->batch.push_back({page, nullptr});
+      const int span =
+          rstar::PageSpan(index_.tree().config(), index_.tree().node(page));
+      q->outcome.pages_fetched += static_cast<size_t>(span);
+      if (buffer_.Lookup(page)) {
+        // Buffer hit: the page is already in host memory; deliver it
+        // within the current instant without touching disk or bus.
+        eq_.ScheduleAfter(0.0, [this, q, slot]() { PageAtHost(q, slot); });
+        continue;
+      }
+      int disk = index_.placement().DiskOf(page);
+      // Shadowed disks (RAID-1): serve the read from the replica whose
+      // disk currently has the lighter queue.
+      const int mirror = index_.placement().MirrorOf(page);
+      if (mirror >= 0 && PendingLoad(mirror) < PendingLoad(disk)) {
+        disk = mirror;
+      }
+      const int cylinder = index_.placement().CylinderOf(page);
+      disks_[static_cast<size_t>(disk)]->ReadPages(
+          cylinder, span, [this, q, slot, span]() {
+            PageOffDisk(q, slot, span);
+          });
+    }
+  }
+
+  // Outstanding work on a disk: queued requests plus the one in service.
+  size_t PendingLoad(int disk) const {
+    const Disk& d = *disks_[static_cast<size_t>(disk)];
+    return d.queue_length() + (d.busy() ? 1 : 0);
+  }
+
+  void PageOffDisk(ActiveQuery* q, size_t slot, int span) {
+    Trace(q, TraceEventKind::kPageOffDisk, q->batch[slot].id);
+    // The node now crosses the shared I/O bus (constant time per page).
+    bus_.Submit([this, span]() { return span * config_.bus_transfer_time; },
+                [this, q, slot]() { PageAtHost(q, slot); });
+  }
+
+  void PageAtHost(ActiveQuery* q, size_t slot) {
+    Trace(q, TraceEventKind::kPageAtHost, q->batch[slot].id);
+    buffer_.Insert(q->batch[slot].id);
+    q->batch[slot].node = &index_.tree().node(q->batch[slot].id);
+    SQP_CHECK(q->outstanding > 0);
+    if (--q->outstanding > 0) return;
+
+    // Whole batch delivered: decide the next step, then charge its CPU
+    // cost before any new requests hit the disks.
+    core::StepResult step = q->algo->OnPagesFetched(q->batch);
+    const double cpu_time =
+        static_cast<double>(step.cpu_instructions) / (config_.cpu_mips * 1e6);
+    cpu_.Submit([cpu_time]() { return cpu_time; },
+                [this, q, step = std::move(step)]() mutable {
+                  Trace(q, TraceEventKind::kBatchProcessed, 0);
+                  HandleStep(q, std::move(step));
+                });
+  }
+
+  const parallel::ParallelRStarTree& index_;
+  parallel::ParallelRStarTree* mutable_index_;  // null in read-only runs
+  SimConfig config_;
+  const AlgorithmFactory& factory_;
+  common::Rng rng_;
+  EventQueue eq_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  FcfsServer bus_;
+  FcfsServer cpu_;
+  BufferPool buffer_;
+  std::vector<std::unique_ptr<ActiveQuery>> queries_;
+  std::vector<std::unique_ptr<ActiveInsert>> inserts_;
+  std::function<void(size_t)> completion_hook_;
+};
+
+}  // namespace
+
+double SimulationResult::MeanResponseTime() const {
+  if (queries.empty()) return 0.0;
+  double s = 0.0;
+  for (const QueryOutcome& q : queries) s += q.ResponseTime();
+  return s / static_cast<double>(queries.size());
+}
+
+double SimulationResult::MeanPagesFetched() const {
+  if (queries.empty()) return 0.0;
+  double s = 0.0;
+  for (const QueryOutcome& q : queries) {
+    s += static_cast<double>(q.pages_fetched);
+  }
+  return s / static_cast<double>(queries.size());
+}
+
+double SimulationResult::MaxDiskUtilization() const {
+  double m = 0.0;
+  for (double u : disk_utilization) m = std::max(m, u);
+  return m;
+}
+
+SimulationResult RunSimulation(const parallel::ParallelRStarTree& index,
+                               const std::vector<QueryJob>& jobs,
+                               const AlgorithmFactory& factory,
+                               const SimConfig& config) {
+  Engine engine(index, config, factory);
+  return engine.Run(jobs);
+}
+
+SimulationResult RunMixedSimulation(parallel::ParallelRStarTree* index,
+                                    const std::vector<QueryJob>& queries,
+                                    const std::vector<InsertJob>& inserts,
+                                    const AlgorithmFactory& factory,
+                                    const SimConfig& config,
+                                    std::vector<InsertOutcome>*
+                                        insert_outcomes) {
+  SQP_CHECK(index != nullptr);
+  Engine engine(*index, config, factory, index);
+  return engine.Run(queries, inserts, insert_outcomes);
+}
+
+SimulationResult RunClosedLoopSimulation(
+    const parallel::ParallelRStarTree& index,
+    const std::vector<geometry::Point>& query_pool, size_t k,
+    const AlgorithmFactory& factory, const SimConfig& config,
+    const ClosedLoopConfig& loop) {
+  SQP_CHECK(loop.clients >= 1);
+  SQP_CHECK(loop.queries_per_client >= 1);
+  SQP_CHECK(!query_pool.empty());
+  Engine engine(index, config, factory);
+
+  // Per-client issue counters; query index -> client resolved via a map
+  // filled at submission.
+  std::vector<size_t> issued(static_cast<size_t>(loop.clients), 0);
+  std::vector<size_t> client_of;
+  common::Rng rng(config.seed + 1);
+
+  auto next_point = [&]() -> const geometry::Point& {
+    return query_pool[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(query_pool.size()) - 1))];
+  };
+  auto submit_for = [&](size_t client, double when) {
+    ++issued[client];
+    client_of.push_back(client);
+    engine.SubmitQuery({when, next_point(), k});
+  };
+
+  engine.SetCompletionHook([&](size_t query_index) {
+    const size_t client = client_of[query_index];
+    if (issued[client] < loop.queries_per_client) {
+      submit_for(client, engine.now() + loop.think_time);
+    }
+  });
+  for (int c = 0; c < loop.clients; ++c) {
+    submit_for(static_cast<size_t>(c), 0.0);
+  }
+  return engine.Finish();
+}
+
+}  // namespace sqp::sim

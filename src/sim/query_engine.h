@@ -1,0 +1,141 @@
+// Multi-user query processing over the simulated disk array.
+//
+// Implements the queueing network of Figure 7: queries arrive at the CPU
+// (open arrivals, e.g. Poisson), pay a startup cost, and then iterate the
+// batch cycle of their search algorithm — page requests fan out to the
+// per-disk FCFS queues, completed pages cross the shared I/O bus one at a
+// time, and when a batch is complete the CPU is charged the paper's
+// 2N + 3M log M processing cost before the next batch is issued. Response
+// time is completion minus arrival, averaged over all queries.
+
+#ifndef SQP_SIM_QUERY_ENGINE_H_
+#define SQP_SIM_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/search_algorithm.h"
+#include "geometry/point.h"
+#include "parallel/parallel_tree.h"
+#include "sim/disk_model.h"
+#include "sim/trace.h"
+
+namespace sqp::sim {
+
+struct SimConfig {
+  DiskParams disk = DiskParams::HP_C2200A();
+  // Table 1: 100 MIPS CPU, 1 ms query startup.
+  double cpu_mips = 100.0;
+  double query_startup_time = 0.001;
+  // Constant time to move one page across the shared I/O bus.
+  double bus_transfer_time = 0.0005;
+  // Host-side LRU buffer pool capacity in pages, shared by all queries.
+  // 0 reproduces the paper (every request hits the disks).
+  size_t buffer_pages = 0;
+  // Seed for rotational-latency sampling.
+  uint64_t seed = 7;
+  // Optional event trace; not owned, must outlive the simulation run.
+  TraceSink* trace = nullptr;
+};
+
+struct QueryJob {
+  double arrival_time = 0.0;
+  geometry::Point query;
+  size_t k = 1;
+};
+
+// An insertion arriving in the open system (the paper's §1 dynamic
+// environment: updates intermixed with read-only operations). The
+// structural change is applied to the index in host memory at arrival;
+// its I/O — reading and writing the root-to-leaf path — is charged to the
+// disks and interferes with concurrent queries. Queries running while the
+// tree changes see no isolation, exactly like an unlatched index; they
+// complete and return (possibly slightly stale) results. Deletions are
+// not supported in mixed runs because they can free pages an in-flight
+// query still references.
+struct InsertJob {
+  double arrival_time = 0.0;
+  geometry::Point point;
+  rstar::ObjectId object = rstar::kInvalidObject;
+};
+
+struct InsertOutcome {
+  double arrival_time = 0.0;
+  double completion_time = 0.0;  // all path writes durable
+  size_t pages_written = 0;
+  double ResponseTime() const { return completion_time - arrival_time; }
+};
+
+// Creates the per-query algorithm instance. Any batch traversal works:
+// k-NN algorithms and parallel range queries alike.
+using AlgorithmFactory =
+    std::function<std::unique_ptr<core::BatchTraversal>(
+        const geometry::Point& query, size_t k)>;
+
+struct QueryOutcome {
+  double arrival_time = 0.0;
+  double completion_time = 0.0;
+  size_t pages_fetched = 0;
+  size_t steps = 0;
+  size_t results = 0;
+  double ResponseTime() const { return completion_time - arrival_time; }
+};
+
+struct SimulationResult {
+  std::vector<QueryOutcome> queries;
+  double makespan = 0.0;  // time of the last event
+  std::vector<double> disk_utilization;
+  double bus_utilization = 0.0;
+  double cpu_utilization = 0.0;
+  // Buffer pool statistics (0/0 when caching is disabled).
+  size_t buffer_hits = 0;
+  size_t buffer_misses = 0;
+
+  double MeanResponseTime() const;
+  double MeanPagesFetched() const;
+  double MaxDiskUtilization() const;
+};
+
+// Runs all jobs to completion. Jobs need not be sorted by arrival time.
+// The factory is invoked lazily at each job's arrival instant.
+SimulationResult RunSimulation(const parallel::ParallelRStarTree& index,
+                               const std::vector<QueryJob>& jobs,
+                               const AlgorithmFactory& factory,
+                               const SimConfig& config);
+
+// Closed-loop workload: `clients` terminals each issue a query, wait for
+// its completion, think for `think_time` seconds, and repeat,
+// `queries_per_client` times. Complements the paper's open Poisson
+// arrivals: the open system measures response under offered load, the
+// closed system measures the array's sustainable throughput.
+struct ClosedLoopConfig {
+  int clients = 4;
+  double think_time = 0.0;
+  size_t queries_per_client = 25;
+};
+
+// Runs the closed loop; query points are drawn uniformly from
+// `query_pool` with the config seed. Throughput = queries / makespan.
+SimulationResult RunClosedLoopSimulation(
+    const parallel::ParallelRStarTree& index,
+    const std::vector<geometry::Point>& query_pool, size_t k,
+    const AlgorithmFactory& factory, const SimConfig& config,
+    const ClosedLoopConfig& loop);
+
+// Mixed read/write run: queries plus concurrent insertions. The index is
+// mutated during the simulation (hence non-const); insert outcomes are
+// appended to `insert_outcomes` in job order when non-null.
+SimulationResult RunMixedSimulation(parallel::ParallelRStarTree* index,
+                                    const std::vector<QueryJob>& queries,
+                                    const std::vector<InsertJob>& inserts,
+                                    const AlgorithmFactory& factory,
+                                    const SimConfig& config,
+                                    std::vector<InsertOutcome>*
+                                        insert_outcomes);
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_QUERY_ENGINE_H_

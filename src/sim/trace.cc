@@ -1,0 +1,43 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace sqp::sim {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kQueryArrived:
+      return "query_arrived";
+    case TraceEventKind::kQueryStarted:
+      return "query_started";
+    case TraceEventKind::kBatchIssued:
+      return "batch_issued";
+    case TraceEventKind::kPageOffDisk:
+      return "page_off_disk";
+    case TraceEventKind::kPageAtHost:
+      return "page_at_host";
+    case TraceEventKind::kBatchProcessed:
+      return "batch_processed";
+    case TraceEventKind::kQueryCompleted:
+      return "query_completed";
+  }
+  return "unknown";
+}
+
+std::string TraceRecord::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.6f q%zu %s %llu", time, query,
+                TraceEventKindName(kind),
+                static_cast<unsigned long long>(detail));
+  return buf;
+}
+
+std::vector<TraceRecord> TraceSink::ForQuery(size_t query) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.query == query) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace sqp::sim

@@ -1,0 +1,61 @@
+// Event tracing for the simulated system. A TraceSink attached to the
+// SimConfig records every lifecycle event of every query with its virtual
+// timestamp — the raw material for latency breakdowns ("how much of this
+// query was disk wait vs bus vs CPU?") and for debugging scheduling
+// behaviour. Tracing is off by default and costs nothing when disabled.
+
+#ifndef SQP_SIM_TRACE_H_
+#define SQP_SIM_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rstar/types.h"
+
+namespace sqp::sim {
+
+enum class TraceEventKind {
+  kQueryArrived,    // entered the system
+  kQueryStarted,    // startup cost paid, algorithm began
+  kBatchIssued,     // a set of page requests hit the disk queues
+  kPageOffDisk,     // disk service complete, entering the bus
+  kPageAtHost,      // bus transfer complete
+  kBatchProcessed,  // CPU processing of a completed batch finished
+  kQueryCompleted,  // final results available
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceRecord {
+  double time = 0.0;
+  size_t query = 0;  // index into the job list
+  TraceEventKind kind = TraceEventKind::kQueryArrived;
+  // kBatchIssued: batch size. kPage*: page id. Otherwise 0.
+  uint64_t detail = 0;
+
+  std::string ToString() const;
+};
+
+class TraceSink {
+ public:
+  void Record(double time, size_t query, TraceEventKind kind,
+              uint64_t detail) {
+    records_.push_back({time, query, kind, detail});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  // Records of one query, in time order (records are appended in global
+  // time order already).
+  std::vector<TraceRecord> ForQuery(size_t query) const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace sqp::sim
+
+#endif  // SQP_SIM_TRACE_H_

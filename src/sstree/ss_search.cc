@@ -1,0 +1,216 @@
+#include "sstree/ss_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sqp::sstree {
+namespace {
+
+struct QueueItem {
+  double min_dist_sq;
+  PageId page;
+};
+struct Closer {
+  bool operator()(const QueueItem& a, const QueueItem& b) const {
+    if (a.min_dist_sq != b.min_dist_sq) return a.min_dist_sq > b.min_dist_sq;
+    return a.page > b.page;
+  }
+};
+
+// Lemma 1 on sphere entries: the MaxDist-sorted prefix whose counts reach
+// k bounds the k-th NN distance. Returns +infinity when the pool holds
+// fewer than k objects (no valid bound), mirroring core::ComputeLemma1.
+struct SphereLemma1 {
+  double dth_sq = std::numeric_limits<double>::infinity();
+  uint64_t total_count = 0;
+};
+
+SphereLemma1 ComputeSphereLemma1(const geometry::Point& q,
+                                 const std::vector<SsEntry>& pool,
+                                 uint64_t k) {
+  SphereLemma1 out;
+  if (pool.empty()) return out;
+  std::vector<std::pair<double, uint32_t>> by_max;
+  by_max.reserve(pool.size());
+  for (const SsEntry& e : pool) {
+    by_max.emplace_back(EntryMaxDistSq(q, e), e.count);
+    out.total_count += e.count;
+  }
+  if (out.total_count < k) return out;
+  std::sort(by_max.begin(), by_max.end());
+  uint64_t acc = 0;
+  for (const auto& [dist, count] : by_max) {
+    acc += count;
+    if (acc >= k) {
+      out.dth_sq = dist;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SsKnnOutput SsExactKnn(const SsTree& tree, const geometry::Point& q,
+                       size_t k) {
+  SQP_CHECK(k >= 1);
+  SsKnnOutput out{core::KnnResultSet(k), {}};
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Closer> frontier;
+  frontier.push({0.0, tree.root()});
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (out.result.Full() && item.min_dist_sq > out.result.KthDistSq()) {
+      break;
+    }
+    const SsNode& n = tree.node(item.page);
+    ++out.stats.pages_fetched;
+    ++out.stats.steps;
+    out.stats.max_batch = 1;
+    for (const SsEntry& e : n.entries) {
+      const double d = EntryMinDistSq(q, e);
+      if (n.IsLeaf()) {
+        out.result.Add(e.object, d);
+      } else if (!out.result.Full() || d <= out.result.KthDistSq()) {
+        frontier.push({d, e.child});
+      }
+    }
+  }
+  return out;
+}
+
+SsKnnOutput SsCrss(const SsTree& tree, const geometry::Point& q, size_t k,
+                   const SsCrssOptions& options) {
+  SQP_CHECK(k >= 1);
+  SQP_CHECK(options.max_activation >= 1);
+  SsKnnOutput out{core::KnnResultSet(k), {}};
+
+  struct Candidate {
+    double min_dist_sq;
+    PageId page;
+    uint32_t count;
+  };
+  auto by_min = [](const Candidate& a, const Candidate& b) {
+    if (a.min_dist_sq != b.min_dist_sq) return a.min_dist_sq < b.min_dist_sq;
+    return a.page < b.page;
+  };
+  // Stack of candidate runs; each run sorted descending so the nearest
+  // candidate pops from the back (guard semantics as in core::Crss).
+  std::vector<std::vector<Candidate>> stack;
+  double dth_sq = std::numeric_limits<double>::infinity();
+  const size_t u = static_cast<size_t>(options.max_activation);
+
+  std::vector<PageId> batch = {tree.root()};
+  while (true) {
+    if (batch.empty()) {
+      // Pop the next viable candidate run.
+      bool found = false;
+      while (!stack.empty() && !found) {
+        std::vector<Candidate>& run = stack.back();
+        std::vector<Candidate> survivors;
+        while (!run.empty()) {
+          const Candidate c = run.back();
+          if (c.min_dist_sq > dth_sq) {
+            run.clear();
+            break;
+          }
+          survivors.push_back(c);
+          run.pop_back();
+        }
+        stack.pop_back();
+        if (survivors.empty()) continue;
+        if (survivors.size() > u) {
+          std::vector<Candidate> rest(
+              survivors.begin() + static_cast<std::ptrdiff_t>(u),
+              survivors.end());
+          std::reverse(rest.begin(), rest.end());
+          stack.push_back(std::move(rest));
+          survivors.resize(u);
+        }
+        for (const Candidate& c : survivors) batch.push_back(c.page);
+        found = true;
+      }
+      if (!found) break;  // terminate
+    }
+
+    // Fetch the batch.
+    ++out.stats.steps;
+    out.stats.pages_fetched += batch.size();
+    out.stats.max_batch = std::max(out.stats.max_batch, batch.size());
+    const bool leaf_batch = tree.node(batch[0]).IsLeaf();
+
+    if (leaf_batch) {
+      for (PageId id : batch) {
+        const SsNode& n = tree.node(id);
+        for (const SsEntry& e : n.entries) {
+          out.result.Add(e.object, geometry::DistanceSq(q, e.centroid));
+        }
+      }
+      dth_sq = std::min(dth_sq, out.result.KthDistSq());
+      batch.clear();
+      continue;
+    }
+
+    std::vector<SsEntry> pool;
+    for (PageId id : batch) {
+      const SsNode& n = tree.node(id);
+      pool.insert(pool.end(), n.entries.begin(), n.entries.end());
+    }
+    batch.clear();
+
+    const SphereLemma1 lemma = ComputeSphereLemma1(q, pool, k);
+    dth_sq = std::min(dth_sq, lemma.dth_sq);
+    dth_sq = std::min(dth_sq, out.result.KthDistSq());
+
+    std::vector<Candidate> active, deferred;
+    for (const SsEntry& e : pool) {
+      const double dmin = EntryMinDistSq(q, e);
+      if (dmin > dth_sq) continue;  // rejected
+      const Candidate c{dmin, e.child, e.count};
+      // Sphere modification: no MinMaxDist exists, so only regions fully
+      // inside the threshold ball are guaranteed useful.
+      if (EntryMaxDistSq(q, e) <= dth_sq) {
+        active.push_back(c);
+      } else {
+        deferred.push_back(c);
+      }
+    }
+    std::sort(active.begin(), active.end(), by_min);
+    std::sort(deferred.begin(), deferred.end(), by_min);
+
+    while (active.size() > u) {
+      deferred.insert(std::lower_bound(deferred.begin(), deferred.end(),
+                                       active.back(), by_min),
+                      active.back());
+      active.pop_back();
+    }
+    // Lower bound l: guarantee the activated spheres cover >= k objects
+    // while the result set is not yet full.
+    if (!out.result.Full()) {
+      uint64_t covered = 0;
+      for (const Candidate& c : active) covered += c.count;
+      const uint64_t needed = std::min<uint64_t>(k, lemma.total_count);
+      size_t next = 0;
+      while (covered < needed && next < deferred.size()) {
+        covered += deferred[next].count;
+        active.push_back(deferred[next]);
+        ++next;
+      }
+      deferred.erase(deferred.begin(),
+                     deferred.begin() + static_cast<std::ptrdiff_t>(next));
+      std::sort(active.begin(), active.end(), by_min);
+    }
+    if (!deferred.empty()) {
+      std::reverse(deferred.begin(), deferred.end());
+      stack.push_back(std::move(deferred));
+    }
+    for (const Candidate& c : active) batch.push_back(c.page);
+  }
+  return out;
+}
+
+}  // namespace sqp::sstree

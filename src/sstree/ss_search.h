@@ -1,0 +1,56 @@
+// Similarity search over the SS-tree: the exact best-first k-NN and the
+// CRSS adaptation announced in the paper's §1/§5 ("the proposed similarity
+// search algorithm supports ... SS-trees ... with some modifications").
+//
+// The modifications: sphere kernels replace the rectangle kernels, and —
+// since bounding spheres have no MinMaxDist (no face-touching guarantee) —
+// the candidate-reduction criterion activates an entry only when its
+// sphere lies *entirely* inside the threshold ball (MaxDist <= Dth);
+// everything else intersecting the ball is deferred to the candidate
+// stack. Lemma 1 carries over unchanged because SS-tree entries carry the
+// same subtree object counts.
+//
+// SsCrss reports batch-level statistics equivalent to the R*-tree
+// executors' so access-method comparisons are apples-to-apples.
+
+#ifndef SQP_SSTREE_SS_SEARCH_H_
+#define SQP_SSTREE_SS_SEARCH_H_
+
+#include <cstddef>
+
+#include "core/knn_result.h"
+#include "geometry/point.h"
+#include "sstree/sstree.h"
+
+namespace sqp::sstree {
+
+struct SsSearchStats {
+  size_t pages_fetched = 0;
+  size_t steps = 0;        // batches
+  size_t max_batch = 0;
+};
+
+struct SsKnnOutput {
+  core::KnnResultSet result;
+  SsSearchStats stats;
+};
+
+// Exact k-NN via best-first (Hjaltason-Samet) traversal; its page count is
+// the SS-tree's weak-optimal reference.
+SsKnnOutput SsExactKnn(const SsTree& tree, const geometry::Point& q,
+                       size_t k);
+
+struct SsCrssOptions {
+  // Activation batch bound u = number of disks.
+  int max_activation = 10;
+};
+
+// Count-guided batched k-NN — CRSS transplanted onto bounding spheres.
+// Runs to completion immediately (sequential executor semantics) and
+// reports the batch structure it would have issued to a disk array.
+SsKnnOutput SsCrss(const SsTree& tree, const geometry::Point& q, size_t k,
+                   const SsCrssOptions& options = {});
+
+}  // namespace sqp::sstree
+
+#endif  // SQP_SSTREE_SS_SEARCH_H_

@@ -1,0 +1,497 @@
+#include "sstree/sstree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "geometry/metrics.h"
+
+namespace sqp::sstree {
+namespace {
+
+using geometry::Point;
+
+// Tolerance for floating-point sphere containment checks in Validate().
+constexpr double kEps = 1e-6;
+
+double Dist(const Point& a, const Point& b) {
+  return std::sqrt(geometry::DistanceSq(a, b));
+}
+
+}  // namespace
+
+int SsTreeConfig::MaxEntries() const {
+  if (max_entries_override > 0) return max_entries_override;
+  const int m = (page_size_bytes - 24) / EntryBytes();
+  return std::max(m, 4);
+}
+
+int SsTreeConfig::MinEntries() const {
+  const int m = static_cast<int>(MaxEntries() * min_fill_fraction);
+  return std::clamp(m, 2, MaxEntries() / 2);
+}
+
+int SsTreeConfig::ReinsertCount() const {
+  const int p = static_cast<int>(MaxEntries() * reinsert_fraction);
+  return std::clamp(p, 1, MaxEntries() - MinEntries());
+}
+
+void SsTreeConfig::Validate() const {
+  SQP_CHECK(dim >= 1);
+  SQP_CHECK(page_size_bytes >= 256);
+  SQP_CHECK(min_fill_fraction > 0.0 && min_fill_fraction <= 0.5);
+  SQP_CHECK(MaxEntries() >= 2 * MinEntries());
+}
+
+double SphereMinDistSq(const Point& q, const SsEntry& e) {
+  const double d = Dist(q, e.centroid) - e.radius;
+  return d <= 0.0 ? 0.0 : d * d;
+}
+
+double SphereMaxDistSq(const Point& q, const SsEntry& e) {
+  const double d = Dist(q, e.centroid) + e.radius;
+  return d * d;
+}
+
+double EntryMinDistSq(const Point& q, const SsEntry& e) {
+  const double sphere = SphereMinDistSq(q, e);
+  if (e.rect.dim() == 0) return sphere;
+  return std::max(sphere, geometry::MinDistSq(q, e.rect));
+}
+
+double EntryMaxDistSq(const Point& q, const SsEntry& e) {
+  const double sphere = SphereMaxDistSq(q, e);
+  if (e.rect.dim() == 0) return sphere;
+  return std::min(sphere, geometry::MaxDistSq(q, e.rect));
+}
+
+SsTree::SsTree(const SsTreeConfig& config)
+    : config_(config), root_(kInvalidPage) {
+  config_.Validate();
+  root_ = AllocateNode(0);
+}
+
+const SsNode& SsTree::node(PageId id) const {
+  SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+SsNode& SsTree::MutableNode(PageId id) {
+  SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+PageId SsTree::AllocateNode(int level) {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = std::make_unique<SsNode>();
+  } else {
+    id = static_cast<PageId>(nodes_.size());
+    nodes_.push_back(std::make_unique<SsNode>());
+  }
+  SsNode& n = *nodes_[id];
+  n.id = id;
+  n.level = level;
+  ++live_nodes_;
+  return id;
+}
+
+void SsTree::FreeNode(PageId id) {
+  SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  nodes_[id].reset();
+  free_list_.push_back(id);
+  --live_nodes_;
+}
+
+int SsTree::Height() const { return node(root_).level + 1; }
+
+SsEntry SsTree::Summarize(const SsNode& n) const {
+  SQP_DCHECK(!n.entries.empty());
+  SsEntry out;
+  out.child = n.id;
+  uint64_t total = 0;
+  std::vector<double> acc(static_cast<size_t>(config_.dim), 0.0);
+  for (const SsEntry& e : n.entries) {
+    total += e.count;
+    for (int i = 0; i < config_.dim; ++i) {
+      acc[static_cast<size_t>(i)] +=
+          static_cast<double>(e.centroid[i]) * e.count;
+    }
+  }
+  SQP_CHECK(total > 0);
+  Point c(config_.dim);
+  for (int i = 0; i < config_.dim; ++i) {
+    c[i] = static_cast<geometry::Coord>(acc[static_cast<size_t>(i)] /
+                                        static_cast<double>(total));
+  }
+  double radius = 0.0;
+  for (const SsEntry& e : n.entries) {
+    radius = std::max(radius, Dist(c, e.centroid) + e.radius);
+  }
+  out.centroid = std::move(c);
+  out.radius = radius;
+  out.count = static_cast<uint32_t>(total);
+  if (config_.store_rects) {
+    geometry::Rect r = geometry::Rect::Empty(config_.dim);
+    for (const SsEntry& e : n.entries) {
+      if (e.rect.dim() > 0) {
+        r.ExpandToInclude(e.rect);
+      } else {
+        r.ExpandToInclude(e.centroid);
+      }
+    }
+    out.rect = std::move(r);
+  }
+  return out;
+}
+
+void SsTree::Insert(const Point& p, ObjectId id) {
+  SQP_CHECK(p.dim() == config_.dim);
+  SsEntry e;
+  e.centroid = p;
+  e.radius = 0.0;
+  e.count = 1;
+  e.object = id;
+  if (config_.store_rects) e.rect = geometry::Rect::ForPoint(p);
+  std::vector<bool> reinserted(64, false);
+  InsertEntry(e, 0, reinserted);
+  ++size_;
+}
+
+PageId SsTree::ChooseSubtree(const Point& centroid,
+                             int target_level) const {
+  PageId nid = root_;
+  while (node(nid).level > target_level) {
+    const SsNode& n = node(nid);
+    SQP_DCHECK(!n.entries.empty());
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n.entries.size(); ++i) {
+      const double d = geometry::DistanceSq(centroid,
+                                            n.entries[i].centroid);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    nid = n.entries[best].child;
+  }
+  return nid;
+}
+
+void SsTree::InsertEntry(const SsEntry& e, int target_level,
+                         std::vector<bool>& reinserted) {
+  SQP_CHECK(target_level <= node(root_).level);
+  const PageId nid = ChooseSubtree(e.centroid, target_level);
+  SsNode& n = MutableNode(nid);
+  n.entries.push_back(e);
+  if (e.child != kInvalidPage) MutableNode(e.child).parent = nid;
+  RefreshUpward(nid);
+  if (static_cast<int>(n.entries.size()) > config_.MaxEntries()) {
+    OverflowTreatment(nid, reinserted);
+  }
+}
+
+void SsTree::OverflowTreatment(PageId nid, std::vector<bool>& reinserted) {
+  const SsNode& n = node(nid);
+  const size_t lvl = static_cast<size_t>(n.level);
+  if (nid != root_ && config_.forced_reinsert && lvl < reinserted.size() &&
+      !reinserted[lvl]) {
+    reinserted[lvl] = true;
+    ForcedReinsert(nid, reinserted);
+  } else {
+    Split(nid, reinserted);
+  }
+}
+
+void SsTree::ForcedReinsert(PageId nid, std::vector<bool>& reinserted) {
+  SsNode& n = MutableNode(nid);
+  const int level = n.level;
+  const SsEntry summary = Summarize(n);
+  const int p = config_.ReinsertCount();
+
+  std::vector<size_t> order(n.entries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> dist(n.entries.size());
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    dist[i] =
+        geometry::DistanceSq(n.entries[i].centroid, summary.centroid);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return dist[a] > dist[b]; });
+
+  std::vector<SsEntry> evicted;
+  std::vector<bool> remove(n.entries.size(), false);
+  for (int i = 0; i < p; ++i) {
+    evicted.push_back(n.entries[order[static_cast<size_t>(i)]]);
+    remove[order[static_cast<size_t>(i)]] = true;
+  }
+  std::vector<SsEntry> kept;
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    if (!remove[i]) kept.push_back(n.entries[i]);
+  }
+  n.entries = std::move(kept);
+  RefreshUpward(nid);
+  for (auto it = evicted.rbegin(); it != evicted.rend(); ++it) {
+    InsertEntry(*it, level, reinserted);
+  }
+}
+
+void SsTree::Split(PageId nid, std::vector<bool>& reinserted) {
+  SsNode& n = MutableNode(nid);
+  const int level = n.level;
+  const int m = config_.MinEntries();
+  const int total = static_cast<int>(n.entries.size());
+  SQP_CHECK(total >= 2 * m);
+
+  // White-Jain split: the coordinate with the highest variance of the
+  // entry centroids, then the split point minimizing the summed group
+  // variance along that coordinate.
+  int best_axis = 0;
+  double best_var = -1.0;
+  for (int axis = 0; axis < config_.dim; ++axis) {
+    double mean = 0.0, m2 = 0.0;
+    for (const SsEntry& e : n.entries) mean += e.centroid[axis];
+    mean /= total;
+    for (const SsEntry& e : n.entries) {
+      const double d = e.centroid[axis] - mean;
+      m2 += d * d;
+    }
+    if (m2 > best_var) {
+      best_var = m2;
+      best_axis = axis;
+    }
+  }
+
+  std::vector<size_t> order(n.entries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return n.entries[a].centroid[best_axis] <
+           n.entries[b].centroid[best_axis];
+  });
+
+  // Prefix sums of coordinate and its square for O(1) variance of any
+  // prefix/suffix.
+  std::vector<double> pref(order.size() + 1, 0.0), pref2(order.size() + 1,
+                                                         0.0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const double v = n.entries[order[i]].centroid[best_axis];
+    pref[i + 1] = pref[i] + v;
+    pref2[i + 1] = pref2[i] + v * v;
+  }
+  auto group_var = [&](size_t lo, size_t hi) {  // [lo, hi)
+    const double cnt = static_cast<double>(hi - lo);
+    const double sum = pref[hi] - pref[lo];
+    const double sum2 = pref2[hi] - pref2[lo];
+    return sum2 - sum * sum / cnt;
+  };
+
+  int best_split = m;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int s = m; s <= total - m; ++s) {
+    const double cost = group_var(0, static_cast<size_t>(s)) +
+                        group_var(static_cast<size_t>(s), order.size());
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_split = s;
+    }
+  }
+
+  std::vector<SsEntry> group1, group2;
+  for (size_t i = 0; i < order.size(); ++i) {
+    (static_cast<int>(i) < best_split ? group1 : group2)
+        .push_back(n.entries[order[i]]);
+  }
+  n.entries = std::move(group1);
+
+  const PageId new_id = AllocateNode(level);
+  SsNode& nn = MutableNode(new_id);
+  nn.entries = std::move(group2);
+  for (const SsEntry& e : nn.entries) {
+    if (e.child != kInvalidPage) MutableNode(e.child).parent = new_id;
+  }
+
+  if (nid == root_) {
+    const PageId new_root = AllocateNode(level + 1);
+    SsNode& r = MutableNode(new_root);
+    SsNode& old = MutableNode(nid);
+    r.entries.push_back(Summarize(old));
+    r.entries.push_back(Summarize(nn));
+    old.parent = new_root;
+    nn.parent = new_root;
+    root_ = new_root;
+    return;
+  }
+
+  const PageId parent_id = n.parent;
+  SsNode& parent = MutableNode(parent_id);
+  nn.parent = parent_id;
+  parent.entries.push_back(Summarize(nn));
+  RefreshUpward(nid);
+  if (static_cast<int>(parent.entries.size()) > config_.MaxEntries()) {
+    OverflowTreatment(parent_id, reinserted);
+  }
+}
+
+void SsTree::RefreshUpward(PageId nid) {
+  PageId cur = nid;
+  while (node(cur).parent != kInvalidPage) {
+    const SsNode& n = node(cur);
+    SsNode& parent = MutableNode(n.parent);
+    bool found = false;
+    for (SsEntry& e : parent.entries) {
+      if (e.child == cur) {
+        e = Summarize(n);
+        found = true;
+        break;
+      }
+    }
+    SQP_CHECK(found);
+    cur = n.parent;
+  }
+}
+
+common::Status SsTree::Delete(const Point& p, ObjectId id) {
+  SQP_CHECK(p.dim() == config_.dim);
+  const PageId leaf = FindLeaf(p, id);
+  if (leaf == kInvalidPage) {
+    return common::Status::NotFound("object not in tree");
+  }
+  SsNode& n = MutableNode(leaf);
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    if (n.entries[i].object == id && n.entries[i].centroid == p) {
+      n.entries.erase(n.entries.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  --size_;
+  if (!n.entries.empty()) RefreshUpward(leaf);
+  CondenseTree(leaf);
+  while (node(root_).level > 0 && node(root_).entries.size() == 1) {
+    const PageId child = node(root_).entries[0].child;
+    const PageId old_root = root_;
+    MutableNode(child).parent = kInvalidPage;
+    root_ = child;
+    FreeNode(old_root);
+  }
+  return common::Status::OK();
+}
+
+PageId SsTree::FindLeaf(const Point& p, ObjectId id) const {
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId nid = stack.back();
+    stack.pop_back();
+    const SsNode& n = node(nid);
+    for (const SsEntry& e : n.entries) {
+      if (n.IsLeaf()) {
+        if (e.object == id && e.centroid == p) return nid;
+      } else if (SphereMinDistSq(p, e) <= 1e-12) {
+        // Small slack: floating-point triangle-inequality rounding can
+        // leave a resident point epsilon outside an ancestor sphere.
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return kInvalidPage;
+}
+
+void SsTree::CondenseTree(PageId leaf) {
+  struct Orphan {
+    SsEntry entry;
+    int level;
+  };
+  std::vector<Orphan> orphans;
+  PageId cur = leaf;
+  while (cur != root_) {
+    SsNode& n = MutableNode(cur);
+    const PageId parent_id = n.parent;
+    if (static_cast<int>(n.entries.size()) < config_.MinEntries()) {
+      SsNode& parent = MutableNode(parent_id);
+      for (size_t i = 0; i < parent.entries.size(); ++i) {
+        if (parent.entries[i].child == cur) {
+          parent.entries.erase(parent.entries.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      for (const SsEntry& e : n.entries) orphans.push_back({e, n.level});
+      FreeNode(cur);
+    } else {
+      RefreshUpward(cur);
+    }
+    cur = parent_id;
+  }
+  for (const Orphan& o : orphans) {
+    std::vector<bool> reinserted(64, false);
+    InsertEntry(o.entry, o.level, reinserted);
+  }
+}
+
+common::Status SsTree::ValidateNode(PageId nid, int expected_level,
+                                    bool is_root) const {
+  const SsNode& n = node(nid);
+  if (n.level != expected_level) {
+    return common::Status::Internal("level mismatch");
+  }
+  const int count = static_cast<int>(n.entries.size());
+  if (count > config_.MaxEntries()) {
+    return common::Status::Internal("node overfull");
+  }
+  if (is_root) {
+    if (n.level > 0 && count < 2) {
+      return common::Status::Internal("internal root with < 2 entries");
+    }
+  } else if (count < config_.MinEntries()) {
+    return common::Status::Internal("node underfull");
+  }
+  for (const SsEntry& e : n.entries) {
+    if (n.IsLeaf()) {
+      if (e.object == kInvalidObject || e.count != 1 || e.radius != 0.0) {
+        return common::Status::Internal("bad leaf entry");
+      }
+      if (config_.store_rects &&
+          !(e.rect == geometry::Rect::ForPoint(e.centroid))) {
+        return common::Status::Internal("bad leaf rect");
+      }
+    } else {
+      const SsNode& child = node(e.child);
+      if (child.parent != nid) {
+        return common::Status::Internal("bad parent link");
+      }
+      if (e.count != child.ObjectCount()) {
+        return common::Status::Internal("subtree count mismatch");
+      }
+      // The entry's sphere must contain every child-entry sphere.
+      for (const SsEntry& ce : child.entries) {
+        const double need =
+            std::sqrt(geometry::DistanceSq(e.centroid, ce.centroid)) +
+            ce.radius;
+        if (need > e.radius + kEps) {
+          return common::Status::Internal("sphere containment violated");
+        }
+        if (config_.store_rects && ce.rect.dim() > 0 &&
+            !e.rect.ContainsRect(ce.rect)) {
+          return common::Status::Internal("rect containment violated");
+        }
+      }
+      SQP_RETURN_IF_ERROR(ValidateNode(e.child, expected_level - 1, false));
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status SsTree::Validate() const {
+  const SsNode& r = node(root_);
+  SQP_RETURN_IF_ERROR(ValidateNode(root_, r.level, true));
+  if (r.ObjectCount() != size_ && !(size_ == 0 && r.entries.empty())) {
+    return common::Status::Internal("tree size mismatch");
+  }
+  return common::Status::OK();
+}
+
+}  // namespace sqp::sstree

@@ -1,0 +1,154 @@
+// SS-tree (White & Jain, ICDE 1996): a similarity index whose regions are
+// bounding *spheres* around subtree centroids instead of rectangles.
+// Implemented as the paper's §5 future-work demonstration that the CRSS
+// approach "supports ... SS-trees with some modifications": every entry
+// carries the subtree object count, so the Lemma 1 threshold transfers —
+// with sphere metrics MinDist = max(0, |q-c| - r) and MaxDist = |q-c| + r
+// replacing the rectangle kernels (spheres have no MinMaxDist analogue;
+// the activation test uses full containment, see ss_search.h).
+//
+// Structure follows White & Jain: insertion descends to the child with
+// the nearest centroid; overflow triggers one forced reinsertion per
+// level (the R* idea, which they adopt) and then a split along the
+// coordinate of maximum centroid variance at the point minimizing the
+// summed group variance. Parent entries store the exact aggregate
+// centroid (weighted mean) and a conservative bounding radius.
+
+#ifndef SQP_SSTREE_SSTREE_H_
+#define SQP_SSTREE_SSTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rstar/types.h"
+
+namespace sqp::sstree {
+
+using rstar::ObjectId;
+using rstar::PageId;
+using rstar::kInvalidObject;
+using rstar::kInvalidPage;
+
+struct SsTreeConfig {
+  int dim = 2;
+  int page_size_bytes = 4096;
+  double min_fill_fraction = 0.4;
+  double reinsert_fraction = 0.3;
+  bool forced_reinsert = true;
+  int max_entries_override = 0;
+
+  // SR-tree mode (Katayama & Satoh, SIGMOD 1997): every entry stores a
+  // bounding rectangle alongside its bounding sphere; the effective
+  // region is their intersection, so MinDist is the larger and MaxDist
+  // the smaller of the two kernels. Costs 8*dim extra bytes per entry
+  // (lower fan-out) in exchange for much tighter regions.
+  bool store_rects = false;
+
+  // Entry footprint: centroid (4 bytes/dim), radius (4), pointer + count
+  // (8), plus the MBR (8 bytes/dim) in SR-tree mode.
+  int EntryBytes() const {
+    return 4 * dim + 12 + (store_rects ? 8 * dim : 0);
+  }
+  int MaxEntries() const;
+  int MinEntries() const;
+  int ReinsertCount() const;
+  void Validate() const;
+};
+
+// One slot of an SS-tree node: the bounding sphere of a subtree (or a
+// data point, with radius 0) plus the object count.
+struct SsEntry {
+  geometry::Point centroid;
+  double radius = 0.0;
+  uint32_t count = 0;
+  PageId child = kInvalidPage;
+  ObjectId object = kInvalidObject;
+  // SR-tree mode only; dim() == 0 in plain SS-tree mode.
+  geometry::Rect rect;
+};
+
+struct SsNode {
+  PageId id = kInvalidPage;
+  PageId parent = kInvalidPage;
+  int level = 0;
+  std::vector<SsEntry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+  uint64_t ObjectCount() const {
+    uint64_t c = 0;
+    for (const SsEntry& e : entries) c += e.count;
+    return c;
+  }
+};
+
+class SsTree {
+ public:
+  explicit SsTree(const SsTreeConfig& config);
+
+  SsTree(const SsTree&) = delete;
+  SsTree& operator=(const SsTree&) = delete;
+
+  void Insert(const geometry::Point& p, ObjectId id);
+
+  // Removes the entry for (p, id); NotFound if absent.
+  common::Status Delete(const geometry::Point& p, ObjectId id);
+
+  const SsTreeConfig& config() const { return config_; }
+  PageId root() const { return root_; }
+  const SsNode& node(PageId id) const;
+  uint64_t size() const { return size_; }
+  size_t NodeCount() const { return live_nodes_; }
+  int Height() const;
+
+  // Checks sphere containment, counts, levels, fill factors, parent links
+  // and centroid consistency.
+  common::Status Validate() const;
+
+ private:
+  SsNode& MutableNode(PageId id);
+  PageId AllocateNode(int level);
+  void FreeNode(PageId id);
+
+  PageId ChooseSubtree(const geometry::Point& centroid,
+                       int target_level) const;
+  void InsertEntry(const SsEntry& e, int target_level,
+                   std::vector<bool>& reinserted);
+  void OverflowTreatment(PageId nid, std::vector<bool>& reinserted);
+  void ForcedReinsert(PageId nid, std::vector<bool>& reinserted);
+  void Split(PageId nid, std::vector<bool>& reinserted);
+  void RefreshUpward(PageId nid);
+
+  // Aggregate sphere of a node's entries: weighted-mean centroid and the
+  // smallest conservative radius covering every child sphere.
+  SsEntry Summarize(const SsNode& n) const;
+
+  PageId FindLeaf(const geometry::Point& p, ObjectId id) const;
+  void CondenseTree(PageId leaf);
+  common::Status ValidateNode(PageId nid, int expected_level,
+                              bool is_root) const;
+
+  SsTreeConfig config_;
+  std::vector<std::unique_ptr<SsNode>> nodes_;
+  std::vector<PageId> free_list_;
+  PageId root_;
+  uint64_t size_ = 0;
+  size_t live_nodes_ = 0;
+};
+
+// Sphere distance kernels (squared, like the rectangle metrics).
+double SphereMinDistSq(const geometry::Point& q, const SsEntry& e);
+double SphereMaxDistSq(const geometry::Point& q, const SsEntry& e);
+
+// Effective kernels of an entry: the sphere alone (SS-tree) or the
+// sphere-rectangle intersection (SR-tree): the true minimum distance is
+// at least both lower bounds, the true maximum at most both upper bounds.
+double EntryMinDistSq(const geometry::Point& q, const SsEntry& e);
+double EntryMaxDistSq(const geometry::Point& q, const SsEntry& e);
+
+}  // namespace sqp::sstree
+
+#endif  // SQP_SSTREE_SSTREE_H_

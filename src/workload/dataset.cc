@@ -1,0 +1,195 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/point.h"
+
+namespace sqp::workload {
+namespace {
+
+using geometry::Coord;
+using geometry::Point;
+
+Point UniformPoint(int dim, common::Rng& rng) {
+  Point p(dim);
+  for (int i = 0; i < dim; ++i) p[i] = static_cast<Coord>(rng.Uniform());
+  return p;
+}
+
+// Gaussian sample clamped into [0,1] by rejection.
+Point GaussianPoint(const Point& center, double stddev, int dim,
+                    common::Rng& rng) {
+  Point p(dim);
+  for (int i = 0; i < dim; ++i) {
+    double v;
+    int attempts = 0;
+    do {
+      v = rng.Gaussian(center[i], stddev);
+      // Degenerate spreads near the boundary: fall back to clamping after
+      // a few rejections so generation always terminates.
+      if (++attempts > 64) {
+        v = std::clamp(v, 0.0, 1.0);
+      }
+    } while (v < 0.0 || v > 1.0);
+    p[i] = static_cast<Coord>(v);
+  }
+  return p;
+}
+
+}  // namespace
+
+Dataset MakeUniform(size_t n, int dim, uint64_t seed) {
+  SQP_CHECK(dim >= 1);
+  common::Rng rng(seed);
+  Dataset d;
+  d.name = "uniform";
+  d.dim = dim;
+  d.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) d.points.push_back(UniformPoint(dim, rng));
+  return d;
+}
+
+Dataset MakeGaussian(size_t n, int dim, uint64_t seed) {
+  SQP_CHECK(dim >= 1);
+  common::Rng rng(seed);
+  Dataset d;
+  d.name = "gaussian";
+  d.dim = dim;
+  d.points.reserve(n);
+  Point center(dim);
+  for (int i = 0; i < dim; ++i) center[i] = 0.5f;
+  for (size_t i = 0; i < n; ++i) {
+    d.points.push_back(GaussianPoint(center, 1.0 / 6.0, dim, rng));
+  }
+  return d;
+}
+
+Dataset MakeClustered(size_t n, int dim, int clusters,
+                      double background_fraction, uint64_t seed) {
+  SQP_CHECK(dim >= 1);
+  SQP_CHECK(clusters >= 1);
+  SQP_CHECK(background_fraction >= 0.0 && background_fraction <= 1.0);
+  common::Rng rng(seed);
+  Dataset d;
+  d.name = "clustered";
+  d.dim = dim;
+  d.points.reserve(n);
+
+  struct Cluster {
+    Point center;
+    double stddev;
+    double weight;
+  };
+  std::vector<Cluster> cs;
+  cs.reserve(static_cast<size_t>(clusters));
+  double total_weight = 0.0;
+  for (int c = 0; c < clusters; ++c) {
+    Cluster cl;
+    cl.center = UniformPoint(dim, rng);
+    // Log-uniform spread in [0.005, 0.08].
+    cl.stddev = 0.005 * std::pow(16.0, rng.Uniform());
+    // Heavy-tailed (Pareto-ish) cluster populations.
+    cl.weight = std::pow(rng.Uniform(), -0.7);
+    total_weight += cl.weight;
+    cs.push_back(std::move(cl));
+  }
+  // Cumulative weights for sampling.
+  std::vector<double> cum;
+  cum.reserve(cs.size());
+  double acc = 0.0;
+  for (const Cluster& c : cs) {
+    acc += c.weight / total_weight;
+    cum.push_back(acc);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Uniform() < background_fraction) {
+      d.points.push_back(UniformPoint(dim, rng));
+      continue;
+    }
+    const double u = rng.Uniform();
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+    const Cluster& c = cs[std::min(idx, cs.size() - 1)];
+    d.points.push_back(GaussianPoint(c.center, c.stddev, dim, rng));
+  }
+  return d;
+}
+
+Dataset MakeCaliforniaLike(uint64_t seed) {
+  Dataset d = MakeClustered(/*n=*/62173, /*dim=*/2, /*clusters=*/180,
+                            /*background_fraction=*/0.08, seed);
+  d.name = "california_like";
+  return d;
+}
+
+Dataset MakeLongBeachLike(uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset d;
+  d.name = "long_beach_like";
+  d.dim = 2;
+  const size_t n = 53145;
+  d.points.reserve(n);
+
+  // Two families of grid lines (avenues/streets) with variable block
+  // sizes; intersections jittered. Grid coordinates are drawn once and
+  // reused so the same "street" hosts many intersections.
+  const int lines_per_axis = 260;
+  std::vector<double> xs, ys;
+  xs.reserve(lines_per_axis);
+  ys.reserve(lines_per_axis);
+  double x = 0.0, y = 0.0;
+  for (int i = 0; i < lines_per_axis; ++i) {
+    x += 0.2 / lines_per_axis + rng.Uniform() * 1.6 / lines_per_axis;
+    y += 0.2 / lines_per_axis + rng.Uniform() * 1.6 / lines_per_axis;
+    if (x < 1.0) xs.push_back(x);
+    if (y < 1.0) ys.push_back(y);
+  }
+  // Density varies across town: a few dense cores modulate acceptance.
+  struct Core {
+    double cx, cy, s;
+  };
+  std::vector<Core> cores;
+  for (int i = 0; i < 5; ++i) {
+    cores.push_back({rng.Uniform(), rng.Uniform(), 0.1 + 0.2 * rng.Uniform()});
+  }
+  while (d.points.size() < n) {
+    const double gx = xs[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(xs.size()) - 1))];
+    const double gy = ys[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(ys.size()) - 1))];
+    double density = 0.15;
+    for (const Core& c : cores) {
+      const double dx = gx - c.cx;
+      const double dy = gy - c.cy;
+      density += std::exp(-(dx * dx + dy * dy) / (2 * c.s * c.s));
+    }
+    if (rng.Uniform() > std::min(density, 1.0)) continue;
+    Point p(2);
+    p[0] = static_cast<Coord>(
+        std::clamp(gx + rng.Gaussian(0.0, 0.0005), 0.0, 1.0));
+    p[1] = static_cast<Coord>(
+        std::clamp(gy + rng.Gaussian(0.0, 0.0005), 0.0, 1.0));
+    d.points.push_back(std::move(p));
+  }
+  return d;
+}
+
+std::vector<std::pair<uint64_t, double>> BruteForceKnn(
+    const Dataset& data, const geometry::Point& q, size_t k) {
+  SQP_CHECK(k >= 1);
+  std::vector<std::pair<uint64_t, double>> all;
+  all.reserve(data.points.size());
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    all.emplace_back(i, geometry::DistanceSq(q, data.points[i]));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace sqp::workload

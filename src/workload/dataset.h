@@ -1,0 +1,62 @@
+// Datasets of the paper's evaluation (Appendix I) and helpers to build
+// indexes over them.
+//
+// The two real-life sets (Sequoia 2000 "California Places" and TIGER "Long
+// Beach") are not redistributable here, so synthetic stand-ins reproduce
+// their population sizes and — what the experiments actually depend on —
+// their spatial skew: a heavy-tailed cluster mixture for the place-name
+// set, and a jittered street grid for the road-intersection set. See
+// DESIGN.md §3 for the substitution rationale.
+//
+// All generators emit points in the unit hyper-cube [0,1]^dim.
+
+#ifndef SQP_WORKLOAD_DATASET_H_
+#define SQP_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+
+namespace sqp::workload {
+
+struct Dataset {
+  std::string name;
+  int dim = 0;
+  std::vector<geometry::Point> points;
+
+  size_t size() const { return points.size(); }
+};
+
+// SU: independent uniform coordinates.
+Dataset MakeUniform(size_t n, int dim, uint64_t seed);
+
+// SG: a single isotropic Gaussian centered in the cube (stddev 1/6 per
+// axis, rejection-sampled into [0,1]^dim), as in the paper's Figure 15.
+Dataset MakeGaussian(size_t n, int dim, uint64_t seed);
+
+// A mixture of `clusters` Gaussian blobs with uniform centers and
+// log-uniform spreads plus `background_fraction` uniform noise. General
+// skewed-data generator used by tests and ablations.
+Dataset MakeClustered(size_t n, int dim, int clusters,
+                      double background_fraction, uint64_t seed);
+
+// CP stand-in: 62,173 2-d points, heavy-tailed mixture of ~180 clusters
+// (population places concentrate around urban areas) plus sparse rural
+// background.
+Dataset MakeCaliforniaLike(uint64_t seed);
+
+// LB stand-in: 53,145 2-d points on two jittered families of street-grid
+// lines with block-size variation (road intersections).
+Dataset MakeLongBeachLike(uint64_t seed);
+
+// Exact k nearest neighbors by linear scan; squared distances, ascending,
+// ties by object id. Ground truth for every algorithm test.
+std::vector<std::pair<uint64_t, double>> BruteForceKnn(
+    const Dataset& data, const geometry::Point& q, size_t k);
+
+}  // namespace sqp::workload
+
+#endif  // SQP_WORKLOAD_DATASET_H_

@@ -1,0 +1,132 @@
+#include "workload/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sqp::workload {
+namespace {
+
+constexpr uint32_t kMagic = 0x53515031;  // "SQP1"
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string file =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = file.find_last_of('.');
+  return dot == std::string::npos ? file : file.substr(0, dot);
+}
+
+}  // namespace
+
+common::Status SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return common::Status::Internal("cannot open for writing: " + path);
+  }
+  out.precision(9);
+  for (const geometry::Point& p : data.points) {
+    for (int i = 0; i < p.dim(); ++i) {
+      if (i > 0) out << ',';
+      out << p[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return common::Status::Internal("write failed: " + path);
+  return common::Status::OK();
+}
+
+common::Result<Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::NotFound("cannot open: " + path);
+  }
+  Dataset data;
+  data.name = Basename(path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<geometry::Coord> coords;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return common::Status::InvalidArgument(
+            path + ":" + std::to_string(line_no) + ": bad number '" + cell +
+            "'");
+      }
+      coords.push_back(static_cast<geometry::Coord>(v));
+    }
+    if (coords.empty()) continue;
+    if (data.dim == 0) {
+      data.dim = static_cast<int>(coords.size());
+    } else if (static_cast<int>(coords.size()) != data.dim) {
+      return common::Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": inconsistent dimensionality");
+    }
+    data.points.push_back(geometry::Point::FromVector(std::move(coords)));
+  }
+  return data;
+}
+
+common::Status SaveBinary(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return common::Status::Internal("cannot open for writing: " + path);
+  }
+  const uint32_t dim = static_cast<uint32_t>(data.dim);
+  const uint64_t count = data.points.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const geometry::Point& p : data.points) {
+    out.write(reinterpret_cast<const char*>(p.coords().data()),
+              static_cast<std::streamsize>(sizeof(geometry::Coord) *
+                                           p.coords().size()));
+  }
+  out.flush();
+  if (!out) return common::Status::Internal("write failed: " + path);
+  return common::Status::OK();
+}
+
+common::Result<Dataset> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::NotFound("cannot open: " + path);
+  }
+  uint32_t magic = 0, dim = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return common::Status::InvalidArgument("not an SQP dataset: " + path);
+  }
+  if (dim == 0 || dim > 4096) {
+    return common::Status::InvalidArgument("implausible dimensionality");
+  }
+  Dataset data;
+  data.name = Basename(path);
+  data.dim = static_cast<int>(dim);
+  data.points.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<geometry::Coord> coords(dim);
+    in.read(reinterpret_cast<char*>(coords.data()),
+            static_cast<std::streamsize>(sizeof(geometry::Coord) * dim));
+    if (!in) {
+      return common::Status::InvalidArgument("truncated dataset: " + path);
+    }
+    data.points.push_back(geometry::Point::FromVector(std::move(coords)));
+  }
+  return data;
+}
+
+}  // namespace sqp::workload

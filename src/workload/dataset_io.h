@@ -1,0 +1,30 @@
+// Dataset persistence. CSV (one point per line, comma-separated
+// coordinates) interoperates with the published Sequoia/TIGER extracts,
+// so users who hold the paper's original data can drop it in; the binary
+// format is for fast round-trips of generated corpora.
+
+#ifndef SQP_WORKLOAD_DATASET_IO_H_
+#define SQP_WORKLOAD_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/dataset.h"
+
+namespace sqp::workload {
+
+// Writes one line per point: "x0,x1,...,xd". Overwrites `path`.
+common::Status SaveCsv(const Dataset& data, const std::string& path);
+
+// Reads a CSV of points. All rows must have the same dimensionality;
+// blank lines and lines starting with '#' are skipped. The dataset name is
+// the file's basename.
+common::Result<Dataset> LoadCsv(const std::string& path);
+
+// Compact binary format: header (magic, dim, count) + float32 coords.
+common::Status SaveBinary(const Dataset& data, const std::string& path);
+common::Result<Dataset> LoadBinary(const std::string& path);
+
+}  // namespace sqp::workload
+
+#endif  // SQP_WORKLOAD_DATASET_IO_H_

@@ -1,0 +1,22 @@
+#include "workload/index_builder.h"
+
+namespace sqp::workload {
+
+void InsertAll(const Dataset& data, rstar::RStarTree* tree) {
+  SQP_CHECK(tree != nullptr);
+  SQP_CHECK(tree->config().dim == data.dim);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    tree->Insert(data.points[i], static_cast<rstar::ObjectId>(i));
+  }
+}
+
+std::unique_ptr<parallel::ParallelRStarTree> BuildParallelIndex(
+    const Dataset& data, const rstar::TreeConfig& tree_config,
+    const parallel::DeclusterConfig& decluster_config) {
+  auto index = std::make_unique<parallel::ParallelRStarTree>(
+      tree_config, decluster_config);
+  InsertAll(data, &index->tree());
+  return index;
+}
+
+}  // namespace sqp::workload

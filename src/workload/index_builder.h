@@ -1,0 +1,25 @@
+// Helpers to load datasets into (parallel) R*-trees. Trees are built
+// incrementally — object by object — exactly as in the paper (§4.1).
+
+#ifndef SQP_WORKLOAD_INDEX_BUILDER_H_
+#define SQP_WORKLOAD_INDEX_BUILDER_H_
+
+#include <memory>
+
+#include "parallel/parallel_tree.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+
+namespace sqp::workload {
+
+// Inserts every point of `data` into `tree` with ObjectId == index.
+void InsertAll(const Dataset& data, rstar::RStarTree* tree);
+
+// Builds a declustered index over `data`.
+std::unique_ptr<parallel::ParallelRStarTree> BuildParallelIndex(
+    const Dataset& data, const rstar::TreeConfig& tree_config,
+    const parallel::DeclusterConfig& decluster_config);
+
+}  // namespace sqp::workload
+
+#endif  // SQP_WORKLOAD_INDEX_BUILDER_H_

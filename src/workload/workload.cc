@@ -1,0 +1,56 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+namespace sqp::workload {
+
+std::vector<geometry::Point> MakeQueryPoints(const Dataset& data,
+                                             size_t count,
+                                             QueryDistribution dist,
+                                             uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<geometry::Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    switch (dist) {
+      case QueryDistribution::kDataDistributed: {
+        SQP_CHECK(!data.points.empty());
+        const auto idx = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(data.points.size()) - 1));
+        geometry::Point p = data.points[idx];
+        for (int j = 0; j < p.dim(); ++j) {
+          p[j] = static_cast<geometry::Coord>(std::clamp(
+              static_cast<double>(p[j]) + rng.Gaussian(0.0, 0.01), 0.0,
+              1.0));
+        }
+        out.push_back(std::move(p));
+        break;
+      }
+      case QueryDistribution::kUniform: {
+        geometry::Point p(data.dim);
+        for (int j = 0; j < data.dim; ++j) {
+          p[j] = static_cast<geometry::Coord>(rng.Uniform());
+        }
+        out.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> PoissonArrivalTimes(size_t count, double lambda,
+                                        uint64_t seed) {
+  SQP_CHECK(lambda > 0.0);
+  common::Rng rng(seed);
+  std::vector<double> times;
+  times.reserve(count);
+  double t = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    t += rng.Exponential(lambda);
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace sqp::workload

@@ -1,0 +1,37 @@
+// Query workload generation: query points and open-arrival processes.
+
+#ifndef SQP_WORKLOAD_WORKLOAD_H_
+#define SQP_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "workload/dataset.h"
+
+namespace sqp::workload {
+
+enum class QueryDistribution {
+  // Query points follow the data distribution (sampled data points with a
+  // small jitter) — the default, as similarity queries in the motivating
+  // applications ask about objects resembling existing ones.
+  kDataDistributed,
+  // Query points uniform in the unit cube.
+  kUniform,
+};
+
+// `count` query points for `data`.
+std::vector<geometry::Point> MakeQueryPoints(const Dataset& data,
+                                             size_t count,
+                                             QueryDistribution dist,
+                                             uint64_t seed);
+
+// Arrival instants of a Poisson process with rate `lambda` (queries per
+// second), starting at time 0 (paper §4.1).
+std::vector<double> PoissonArrivalTimes(size_t count, double lambda,
+                                        uint64_t seed);
+
+}  // namespace sqp::workload
+
+#endif  // SQP_WORKLOAD_WORKLOAD_H_

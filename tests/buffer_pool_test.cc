@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "sim/buffer_pool.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::sim {
+namespace {
+
+TEST(BufferPoolTest, DisabledAlwaysMisses) {
+  BufferPool pool(0);
+  pool.Insert(1);
+  EXPECT_FALSE(pool.Lookup(1));
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPoolTest, HitAfterInsert) {
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Lookup(7));
+  pool.Insert(7);
+  EXPECT_TRUE(pool.Lookup(7));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(3);
+  pool.Insert(1);
+  pool.Insert(2);
+  pool.Insert(3);
+  EXPECT_TRUE(pool.Lookup(1));  // touch 1: LRU order now 2, 3, 1
+  pool.Insert(4);               // evicts 2
+  EXPECT_FALSE(pool.Lookup(2));
+  EXPECT_TRUE(pool.Lookup(1));
+  EXPECT_TRUE(pool.Lookup(3));
+  EXPECT_TRUE(pool.Lookup(4));
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(BufferPoolTest, ReinsertTouchesInsteadOfDuplicating) {
+  BufferPool pool(2);
+  pool.Insert(1);
+  pool.Insert(2);
+  pool.Insert(1);  // touch, not duplicate
+  pool.Insert(3);  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(pool.Lookup(1));
+  EXPECT_FALSE(pool.Lookup(2));
+  EXPECT_TRUE(pool.Lookup(3));
+}
+
+TEST(BufferPoolTest, InvalidateRemoves) {
+  BufferPool pool(4);
+  pool.Insert(5);
+  pool.Invalidate(5);
+  EXPECT_FALSE(pool.Lookup(5));
+  pool.Invalidate(999);  // absent: no-op
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPoolTest, CapacityOne) {
+  BufferPool pool(1);
+  pool.Insert(1);
+  pool.Insert(2);
+  EXPECT_FALSE(pool.Lookup(1));
+  EXPECT_TRUE(pool.Lookup(2));
+}
+
+// --- Engine integration ---
+
+TEST(BufferedEngineTest, CachingPreservesResultsAndCutsDiskReads) {
+  const workload::Dataset data = workload::MakeClustered(3000, 2, 6, 0.1, 600);
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = 2;
+  tree_cfg.max_entries_override = 16;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 5;
+  auto index = workload::BuildParallelIndex(data, tree_cfg, dc);
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 60, workload::QueryDistribution::kDataDistributed, 601);
+  const auto arrivals = workload::PoissonArrivalTimes(60, 6.0, 602);
+  std::vector<QueryJob> jobs;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jobs.push_back({arrivals[i], queries[i], 10});
+  }
+  const AlgorithmFactory factory = [&](const geometry::Point& q, size_t k) {
+    return core::MakeAlgorithm(core::AlgorithmKind::kCrss, index->tree(), q,
+                               k, index->num_disks());
+  };
+
+  SimConfig uncached;
+  const SimulationResult plain = RunSimulation(*index, jobs, factory, uncached);
+  SimConfig cached = uncached;
+  cached.buffer_pages = 256;
+  const SimulationResult buffered =
+      RunSimulation(*index, jobs, factory, cached);
+
+  ASSERT_EQ(plain.queries.size(), buffered.queries.size());
+  for (size_t i = 0; i < plain.queries.size(); ++i) {
+    // Identical answers; the cache only changes timing.
+    EXPECT_EQ(plain.queries[i].results, buffered.queries[i].results);
+    EXPECT_EQ(plain.queries[i].pages_fetched,
+              buffered.queries[i].pages_fetched);
+  }
+  EXPECT_EQ(plain.buffer_hits, 0u);
+  EXPECT_GT(buffered.buffer_hits, 0u);
+  // The root is requested by every query: high hit rate expected, and
+  // response time must not get worse.
+  EXPECT_LE(buffered.MeanResponseTime(), plain.MeanResponseTime());
+}
+
+TEST(BufferedEngineTest, WholeTreeCachedApproachesCpuOnlyCost) {
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 603);
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = 2;
+  tree_cfg.max_entries_override = 16;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 4;
+  auto index = workload::BuildParallelIndex(data, tree_cfg, dc);
+
+  // Two passes of the same queries; second pass all hits.
+  const auto queries = workload::MakeQueryPoints(
+      data, 20, workload::QueryDistribution::kDataDistributed, 604);
+  std::vector<QueryJob> jobs;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jobs.push_back({static_cast<double>(i), queries[i], 5});
+    jobs.push_back({1000.0 + static_cast<double>(i), queries[i], 5});
+  }
+  SimConfig cfg;
+  cfg.buffer_pages = 100000;  // everything fits
+  const SimulationResult result = RunSimulation(
+      *index, jobs,
+      [&](const geometry::Point& q, size_t k) {
+        return core::MakeAlgorithm(core::AlgorithmKind::kCrss, index->tree(),
+                                   q, k, index->num_disks());
+      },
+      cfg);
+
+  // Second-pass queries are far faster than first-pass ones.
+  double first = 0.0, second = 0.0;
+  for (size_t i = 0; i < result.queries.size(); i += 2) {
+    first += result.queries[i].ResponseTime();
+    second += result.queries[i + 1].ResponseTime();
+  }
+  EXPECT_LT(second, first * 0.2);
+}
+
+}  // namespace
+}  // namespace sqp::sim

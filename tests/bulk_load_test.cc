@@ -1,0 +1,177 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/sequential_executor.h"
+#include "rstar/rstar_tree.h"
+#include "rstar/tree_stats.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::rstar {
+namespace {
+
+using geometry::Point;
+using geometry::Rect;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+std::vector<ObjectId> Iota(size_t n) {
+  std::vector<ObjectId> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+TEST(BulkLoadTest, ValidTreeWithAllObjects) {
+  const workload::Dataset data = workload::MakeClustered(2000, 2, 8, 0.1, 50);
+  RStarTree tree(SmallConfig(2));
+  ASSERT_TRUE(tree.BulkLoad(data.points, Iota(data.size())).ok());
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), data.size());
+
+  std::vector<ObjectId> all;
+  tree.RangeSearch(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}), &all);
+  EXPECT_EQ(all.size(), data.size());
+}
+
+TEST(BulkLoadTest, EmptyInputIsNoop) {
+  RStarTree tree(SmallConfig(2));
+  ASSERT_TRUE(tree.BulkLoad({}, {}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(BulkLoadTest, RejectsNonEmptyTree) {
+  RStarTree tree(SmallConfig(2));
+  tree.Insert(Point{0.5, 0.5}, 1);
+  const workload::Dataset data = workload::MakeUniform(10, 2, 51);
+  EXPECT_EQ(tree.BulkLoad(data.points, Iota(10)).code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+TEST(BulkLoadTest, RejectsMismatchedInputs) {
+  RStarTree tree(SmallConfig(2));
+  const workload::Dataset data = workload::MakeUniform(10, 2, 52);
+  EXPECT_EQ(tree.BulkLoad(data.points, Iota(9)).code(),
+            common::StatusCode::kInvalidArgument);
+  const workload::Dataset wrong_dim = workload::MakeUniform(10, 3, 53);
+  EXPECT_EQ(tree.BulkLoad(wrong_dim.points, Iota(10)).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(BulkLoadTest, SingleNodeTree) {
+  const workload::Dataset data = workload::MakeUniform(7, 2, 54);
+  RStarTree tree(SmallConfig(2, 10));
+  ASSERT_TRUE(tree.BulkLoad(data.points, Iota(7)).ok());
+  EXPECT_EQ(tree.Height(), 1);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(BulkLoadTest, HigherFillThanIncrementalBuild) {
+  const workload::Dataset data = workload::MakeUniform(5000, 2, 55);
+  RStarTree incremental(SmallConfig(2, 20));
+  workload::InsertAll(data, &incremental);
+  RStarTree bulk(SmallConfig(2, 20));
+  ASSERT_TRUE(bulk.BulkLoad(data.points, Iota(data.size())).ok());
+
+  const TreeStats inc_stats = ComputeTreeStats(incremental);
+  const TreeStats bulk_stats = ComputeTreeStats(bulk);
+  // STR packs nearly full nodes; R* dynamic fill hovers around 70%.
+  EXPECT_GT(bulk_stats.levels[0].avg_fill, inc_stats.levels[0].avg_fill);
+  EXPECT_LT(bulk_stats.total_nodes, inc_stats.total_nodes);
+}
+
+TEST(BulkLoadTest, QueriesAgreeWithIncrementalTree) {
+  const workload::Dataset data = workload::MakeClustered(1500, 3, 6, 0.1, 56);
+  RStarTree incremental(SmallConfig(3));
+  workload::InsertAll(data, &incremental);
+  RStarTree bulk(SmallConfig(3));
+  ASSERT_TRUE(bulk.BulkLoad(data.points, Iota(data.size())).ok());
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 57);
+  for (const Point& q : queries) {
+    auto a = core::MakeAlgorithm(core::AlgorithmKind::kCrss, incremental, q,
+                                 12, 10);
+    auto b =
+        core::MakeAlgorithm(core::AlgorithmKind::kCrss, bulk, q, 12, 10);
+    core::RunToCompletion(incremental, a.get());
+    core::RunToCompletion(bulk, b.get());
+    const auto sa = a->result().Sorted();
+    const auto sb = b->result().Sorted();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].object, sb[i].object);
+    }
+  }
+}
+
+TEST(BulkLoadTest, SupportsSubsequentUpdates) {
+  const workload::Dataset data = workload::MakeUniform(1000, 2, 58);
+  RStarTree tree(SmallConfig(2));
+  ASSERT_TRUE(tree.BulkLoad(data.points, Iota(data.size())).ok());
+  // Insert more...
+  common::Rng rng(59);
+  for (ObjectId i = 1000; i < 1300; ++i) {
+    tree.Insert(Point{rng.Uniform(), rng.Uniform()}, i);
+  }
+  // ...and delete some of the bulk-loaded ones.
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok());
+  }
+  EXPECT_EQ(tree.size(), 900u);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(BulkLoadTest, HighDimensional) {
+  const workload::Dataset data = workload::MakeGaussian(800, 10, 60);
+  RStarTree tree(SmallConfig(10, 12));
+  ASSERT_TRUE(tree.BulkLoad(data.points, Iota(data.size())).ok());
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), 800u);
+}
+
+TEST(BulkLoadTest, PlacementListenerSeesAllPages) {
+  const workload::Dataset data = workload::MakeUniform(1200, 2, 61);
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 6;
+  parallel::ParallelRStarTree index(SmallConfig(2), dc);
+  ASSERT_TRUE(
+      index.tree().BulkLoad(data.points, Iota(data.size())).ok());
+  size_t placed = 0;
+  for (int c : index.placement().PagesPerDisk()) {
+    placed += static_cast<size_t>(c);
+  }
+  EXPECT_EQ(placed, index.tree().NodeCount());
+  // Every live page resolves to a disk and cylinder.
+  for (PageId id : index.tree().LiveNodeIds()) {
+    EXPECT_GE(index.placement().DiskOf(id), 0);
+  }
+}
+
+class BulkLoadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadSweepTest, ValidAcrossSizes) {
+  const int n = GetParam();
+  const workload::Dataset data =
+      workload::MakeUniform(static_cast<size_t>(n), 2, 62);
+  RStarTree tree(SmallConfig(2, 8));
+  ASSERT_TRUE(
+      tree.BulkLoad(data.points, Iota(static_cast<size_t>(n))).ok());
+  ASSERT_TRUE(tree.Validate().ok()) << "n=" << n;
+  EXPECT_EQ(tree.size(), static_cast<uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSweepTest,
+                         ::testing::Values(1, 2, 8, 9, 17, 64, 65, 100, 333,
+                                           1000, 4097));
+
+}  // namespace
+}  // namespace sqp::rstar

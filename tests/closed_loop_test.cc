@@ -1,0 +1,155 @@
+// Closed-loop workload driver: multiprogramming semantics, throughput
+// behaviour, and queueing-theory consistency (interactive response-time
+// law) of the simulated array.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::sim {
+namespace {
+
+using geometry::Point;
+
+std::unique_ptr<parallel::ParallelRStarTree> BuildIndex(
+    const workload::Dataset& data, int disks) {
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = data.dim;
+  tree_cfg.max_entries_override = 16;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = disks;
+  return workload::BuildParallelIndex(data, tree_cfg, dc);
+}
+
+AlgorithmFactory Factory(const parallel::ParallelRStarTree& index) {
+  return [&index](const Point& q, size_t k) {
+    return core::MakeAlgorithm(core::AlgorithmKind::kCrss, index.tree(), q,
+                               k, index.num_disks());
+  };
+}
+
+TEST(ClosedLoopTest, RunsExactlyClientsTimesQueries) {
+  const workload::Dataset data = workload::MakeClustered(2000, 2, 5, 0.1, 996);
+  auto index = BuildIndex(data, 4);
+  const auto pool = workload::MakeQueryPoints(
+      data, 50, workload::QueryDistribution::kDataDistributed, 997);
+
+  ClosedLoopConfig loop;
+  loop.clients = 6;
+  loop.queries_per_client = 10;
+  SimConfig cfg;
+  const SimulationResult result = RunClosedLoopSimulation(
+      *index, pool, 8, Factory(*index), cfg, loop);
+  ASSERT_EQ(result.queries.size(), 60u);
+  for (const QueryOutcome& q : result.queries) {
+    EXPECT_GT(q.completion_time, q.arrival_time);
+    EXPECT_EQ(q.results, 8u);
+  }
+}
+
+TEST(ClosedLoopTest, AtMostClientsInFlight) {
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 998);
+  auto index = BuildIndex(data, 4);
+  const auto pool = workload::MakeQueryPoints(
+      data, 30, workload::QueryDistribution::kDataDistributed, 999);
+  ClosedLoopConfig loop;
+  loop.clients = 3;
+  loop.queries_per_client = 8;
+  SimConfig cfg;
+  const SimulationResult result = RunClosedLoopSimulation(
+      *index, pool, 5, Factory(*index), cfg, loop);
+
+  // Sweep the timeline: concurrent in-flight queries never exceed the
+  // multiprogramming level.
+  struct Edge {
+    double t;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  for (const QueryOutcome& q : result.queries) {
+    edges.push_back({q.arrival_time, +1});
+    edges.push_back({q.completion_time, -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // completion before arrival at same instant
+  });
+  int in_flight = 0;
+  for (const Edge& e : edges) {
+    in_flight += e.delta;
+    EXPECT_LE(in_flight, 3);
+    EXPECT_GE(in_flight, 0);
+  }
+}
+
+TEST(ClosedLoopTest, ThroughputGrowsThenSaturates) {
+  const workload::Dataset data = workload::MakeClustered(5000, 2, 6, 0.1, 1000);
+  auto index = BuildIndex(data, 4);
+  const auto pool = workload::MakeQueryPoints(
+      data, 60, workload::QueryDistribution::kDataDistributed, 1001);
+  SimConfig cfg;
+
+  auto throughput = [&](int clients) {
+    ClosedLoopConfig loop;
+    loop.clients = clients;
+    loop.queries_per_client = 20;
+    const SimulationResult r = RunClosedLoopSimulation(
+        *index, pool, 10, Factory(*index), cfg, loop);
+    return static_cast<double>(r.queries.size()) / r.makespan;
+  };
+
+  const double t1 = throughput(1);
+  const double t4 = throughput(4);
+  const double t16 = throughput(16);
+  EXPECT_GT(t4, t1 * 1.3);        // parallelism pays off
+  EXPECT_GT(t16, t4 * 0.8);       // no collapse...
+  EXPECT_LT(t16, t4 * 4.0);       // ...but sublinear (saturation)
+}
+
+TEST(ClosedLoopTest, InteractiveResponseTimeLawHolds) {
+  // Closed system with Z = think time: N = X * (R + Z).
+  const workload::Dataset data = workload::MakeUniform(3000, 2, 1002);
+  auto index = BuildIndex(data, 4);
+  const auto pool = workload::MakeQueryPoints(
+      data, 40, workload::QueryDistribution::kDataDistributed, 1003);
+  ClosedLoopConfig loop;
+  loop.clients = 5;
+  loop.think_time = 0.05;
+  loop.queries_per_client = 40;
+  SimConfig cfg;
+  const SimulationResult result = RunClosedLoopSimulation(
+      *index, pool, 8, Factory(*index), cfg, loop);
+
+  const double x = static_cast<double>(result.queries.size()) /
+                   result.makespan;
+  const double r = result.MeanResponseTime();
+  const double n_effective = x * (r + loop.think_time);
+  // End effects (clients draining at the end) loosen the identity a bit.
+  EXPECT_NEAR(n_effective, 5.0, 0.6);
+}
+
+TEST(ClosedLoopTest, ThinkTimeReducesContention) {
+  const workload::Dataset data = workload::MakeClustered(4000, 2, 5, 0.1, 1004);
+  auto index = BuildIndex(data, 3);
+  const auto pool = workload::MakeQueryPoints(
+      data, 40, workload::QueryDistribution::kDataDistributed, 1005);
+  SimConfig cfg;
+
+  auto response = [&](double think) {
+    ClosedLoopConfig loop;
+    loop.clients = 8;
+    loop.think_time = think;
+    loop.queries_per_client = 15;
+    return RunClosedLoopSimulation(*index, pool, 10, Factory(*index), cfg,
+                                   loop)
+        .MeanResponseTime();
+  };
+  EXPECT_LT(response(0.5), response(0.0));
+}
+
+}  // namespace
+}  // namespace sqp::sim

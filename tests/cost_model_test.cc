@@ -1,0 +1,196 @@
+// Validation of the analytical cost models against brute force and the
+// simulator. Estimators are approximations; these tests pin their
+// accuracy envelopes so regressions in either the model or the simulator
+// surface.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/algorithms.h"
+#include "core/exact_knn.h"
+#include "core/sequential_executor.h"
+#include "rstar/tree_stats.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::analysis {
+namespace {
+
+TEST(ExpectedKnnDistanceTest, MatchesEmpiricalUniform2d) {
+  const workload::Dataset data = workload::MakeUniform(20000, 2, 700);
+  rstar::TreeConfig cfg;
+  cfg.dim = 2;
+  rstar::RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+
+  for (uint64_t k : {1u, 10u, 100u}) {
+    common::RunningStats measured;
+    common::Rng rng(701);
+    for (int i = 0; i < 200; ++i) {
+      // Interior queries avoid the boundary effect the model ignores.
+      geometry::Point q{0.25 + 0.5 * rng.Uniform(),
+                        0.25 + 0.5 * rng.Uniform()};
+      measured.Add(std::sqrt(core::KthNeighborDistSq(tree, q, k)));
+    }
+    const double predicted = ExpectedKnnDistance(20000, 2, k);
+    EXPECT_NEAR(predicted, measured.mean(), measured.mean() * 0.25)
+        << "k=" << k;
+  }
+}
+
+TEST(ExpectedKnnDistanceTest, MonotoneInKAndN) {
+  EXPECT_LT(ExpectedKnnDistance(1000, 3, 1), ExpectedKnnDistance(1000, 3, 10));
+  EXPECT_GT(ExpectedKnnDistance(1000, 3, 1), ExpectedKnnDistance(10000, 3, 1));
+  EXPECT_EQ(ExpectedKnnDistance(0, 2, 1),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ExpectedKnnDistanceTest, HandComputed2d) {
+  // d=2: V_2 = pi; r = sqrt(k / (n * pi)).
+  EXPECT_NEAR(ExpectedKnnDistance(10000, 2, 10),
+              std::sqrt(10.0 / (10000.0 * M_PI)), 1e-12);
+}
+
+TEST(ExpectedWeakOptimalAccessesTest, WithinFactorTwoOnUniformData) {
+  const workload::Dataset data = workload::MakeUniform(30000, 2, 702);
+  rstar::TreeConfig cfg;
+  cfg.dim = 2;
+  cfg.page_size_bytes = 1024;
+  rstar::RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+  const rstar::TreeStats stats = rstar::ComputeTreeStats(tree);
+
+  for (uint64_t k : {5u, 50u, 200u}) {
+    // Measured weak-optimal accesses (interior queries).
+    common::RunningStats measured;
+    common::Rng rng(703);
+    for (int i = 0; i < 100; ++i) {
+      geometry::Point q{0.25 + 0.5 * rng.Uniform(),
+                        0.25 + 0.5 * rng.Uniform()};
+      measured.Add(static_cast<double>(
+          core::ExactKnn(tree, q, k).pages_accessed));
+    }
+    const double r = ExpectedKnnDistance(data.size(), 2, k);
+    const double predicted = ExpectedWeakOptimalAccesses(stats, 2, r);
+    EXPECT_GT(predicted, measured.mean() * 0.5) << "k=" << k;
+    EXPECT_LT(predicted, measured.mean() * 2.0) << "k=" << k;
+  }
+}
+
+TEST(ServiceMomentsTest, BracketsAndOrdering) {
+  const sim::DiskParams p = sim::DiskParams::HP_C2200A();
+  const ServiceMoments m = ComputeServiceMoments(p);
+  // Mean between minimum (no seek, no rotation) and maximum service.
+  const double min_service = p.page_transfer_time + p.controller_overhead;
+  EXPECT_GT(m.mean, min_service);
+  EXPECT_LT(m.mean, p.MeanServiceTimeUpperBound());
+  EXPECT_GT(m.variance(), 0.0);
+  EXPECT_GT(m.second_moment, m.mean * m.mean);
+}
+
+TEST(ServiceMomentsTest, MatchesSampledMoments) {
+  const sim::DiskParams p = sim::DiskParams::HP_C2200A();
+  const ServiceMoments predicted = ComputeServiceMoments(p);
+  common::Rng rng(704);
+  common::RunningStats sampled;
+  for (int i = 0; i < 100000; ++i) {
+    const int from = static_cast<int>(rng.UniformInt(0, p.num_cylinders - 1));
+    const int to = static_cast<int>(rng.UniformInt(0, p.num_cylinders - 1));
+    sampled.Add(p.ServiceTime(from, to, rng));
+  }
+  EXPECT_NEAR(predicted.mean, sampled.mean(), sampled.mean() * 0.01);
+  const double sampled_m2 =
+      sampled.variance() + sampled.mean() * sampled.mean();
+  EXPECT_NEAR(predicted.second_moment, sampled_m2, sampled_m2 * 0.02);
+}
+
+TEST(ResponseEstimateTest, DetectsInstability) {
+  const sim::DiskParams p = sim::DiskParams::HP_C2200A();
+  WorkloadPoint w;
+  w.lambda = 1000.0;
+  w.pages_per_query = 50.0;
+  w.num_disks = 2;
+  const ResponseEstimate est = EstimateResponseTime(w, p);
+  EXPECT_FALSE(est.stable);
+  EXPECT_TRUE(std::isinf(est.response_time));
+}
+
+TEST(ResponseEstimateTest, SerialPredictionTracksSimulatedBbss) {
+  const workload::Dataset data = workload::MakeGaussian(20000, 2, 705);
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = 2;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 6;
+  auto index = workload::BuildParallelIndex(data, tree_cfg, dc);
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 100, workload::QueryDistribution::kDataDistributed, 706);
+  const size_t k = 20;
+
+  // Measure the algorithm's page/batch profile sequentially.
+  double pages = 0.0, batches = 0.0;
+  for (const auto& q : queries) {
+    auto algo = core::MakeAlgorithm(core::AlgorithmKind::kBbss,
+                                    index->tree(), q, k, 6);
+    const core::ExecutionStats stats =
+        core::RunToCompletion(index->tree(), algo.get());
+    pages += static_cast<double>(stats.pages_fetched);
+    batches += static_cast<double>(stats.steps);
+  }
+  pages /= static_cast<double>(queries.size());
+  batches /= static_cast<double>(queries.size());
+
+  // Simulate.
+  const double lambda = 3.0;
+  const auto arrivals = workload::PoissonArrivalTimes(100, lambda, 707);
+  std::vector<sim::QueryJob> jobs;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jobs.push_back({arrivals[i], queries[i], k});
+  }
+  sim::SimConfig cfg;
+  const double simulated =
+      sim::RunSimulation(
+          *index, jobs,
+          [&](const geometry::Point& q, size_t kk) {
+            return core::MakeAlgorithm(core::AlgorithmKind::kBbss,
+                                       index->tree(), q, kk, 6);
+          },
+          cfg)
+          .MeanResponseTime();
+
+  // Predict.
+  WorkloadPoint w;
+  w.lambda = lambda;
+  w.pages_per_query = pages;
+  w.batches_per_query = batches;
+  w.num_disks = 6;
+  w.query_startup_time = cfg.query_startup_time;
+  w.bus_transfer_time = cfg.bus_transfer_time;
+  const ResponseEstimate est = EstimateResponseTime(w, cfg.disk);
+
+  ASSERT_TRUE(est.stable);
+  // The M/G/1 composition is an approximation; demand 35% accuracy here.
+  EXPECT_NEAR(est.response_time, simulated, simulated * 0.35);
+}
+
+TEST(ResponseEstimateTest, BatchedFasterThanSerialForSamePages) {
+  const sim::DiskParams p = sim::DiskParams::HP_C2200A();
+  WorkloadPoint serial;
+  serial.lambda = 4.0;
+  serial.pages_per_query = 30.0;
+  serial.batches_per_query = 30.0;
+  serial.num_disks = 10;
+  WorkloadPoint batched = serial;
+  batched.batches_per_query = 5.0;
+  EXPECT_LT(EstimateResponseTime(batched, p).response_time,
+            EstimateResponseTime(serial, p).response_time);
+}
+
+}  // namespace
+}  // namespace sqp::analysis

@@ -1,0 +1,211 @@
+// CRSS-specific behaviour: mode transitions, candidate stack mechanics,
+// activation bounds, and the Figure 13 scenario where BBSS over-fetches
+// but count-aware search does not.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bbss.h"
+#include "core/crss.h"
+#include "core/sequential_executor.h"
+#include "core/woptss.h"
+#include "geometry/point.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 8) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+TEST(CrssTest, ModeLifecycle) {
+  const workload::Dataset data = workload::MakeUniform(500, 2, 70);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  ASSERT_GE(tree.Height(), 2);
+
+  Crss algo(tree, Point{0.5, 0.5}, 5, CrssOptions{4, true});
+  StepResult step = algo.Begin();
+  EXPECT_EQ(algo.mode(), CrssMode::kAdaptive);
+
+  bool fed_leaf_batch = false;
+  while (!step.done) {
+    std::vector<FetchedPage> pages;
+    for (rstar::PageId id : step.requests) {
+      pages.push_back({id, &tree.node(id)});
+    }
+    const bool leaf_batch = tree.node(step.requests[0]).IsLeaf();
+    step = algo.OnPagesFetched(pages);
+    if (leaf_batch) {
+      fed_leaf_batch = true;
+      // A leaf batch puts the algorithm in UPDATE mode; it may fall
+      // straight through to TERMINATE if the candidate stack drained.
+      EXPECT_TRUE(algo.mode() == CrssMode::kUpdate ||
+                  algo.mode() == CrssMode::kTerminate);
+    }
+  }
+  EXPECT_TRUE(fed_leaf_batch);
+  EXPECT_EQ(algo.mode(), CrssMode::kTerminate);
+  EXPECT_EQ(algo.result().size(), 5u);
+}
+
+TEST(CrssTest, ActivationRespectsUpperBoundAfterResultsFull) {
+  const workload::Dataset data = workload::MakeClustered(3000, 2, 8, 0.1, 71);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+
+  for (int u : {1, 3, 8}) {
+    Crss algo(tree, Point{0.5, 0.5}, 4, CrssOptions{u, true});
+    StepResult step = algo.Begin();
+    while (!step.done) {
+      if (algo.result().Full()) {
+        // Once k objects are known the lower-bound promotion is off and u
+        // is a hard cap.
+        EXPECT_LE(step.requests.size(), static_cast<size_t>(u));
+      }
+      std::vector<FetchedPage> pages;
+      for (rstar::PageId id : step.requests) {
+        pages.push_back({id, &tree.node(id)});
+      }
+      step = algo.OnPagesFetched(pages);
+    }
+  }
+}
+
+TEST(CrssTest, LowerBoundGuaranteesFirstLeafWaveHoldsK) {
+  // With enforce_lower_bound, the activated subtrees cover >= k objects,
+  // so after the first leaf batch the result set is full.
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 72);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+
+  Crss algo(tree, Point{0.3, 0.3}, 10, CrssOptions{5, true});
+  StepResult step = algo.Begin();
+  while (!step.done) {
+    std::vector<FetchedPage> pages;
+    for (rstar::PageId id : step.requests) {
+      pages.push_back({id, &tree.node(id)});
+    }
+    const bool was_leaf_batch = pages[0].node->IsLeaf();
+    const bool first_leaf = was_leaf_batch && !algo.result().Full() &&
+                            algo.mode() != CrssMode::kNormal;
+    step = algo.OnPagesFetched(pages);
+    if (first_leaf) {
+      EXPECT_TRUE(algo.result().Full());
+      break;
+    }
+  }
+}
+
+TEST(CrssTest, StackDrainsToTermination) {
+  const workload::Dataset data = workload::MakeClustered(1500, 2, 6, 0.1, 73);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  Crss algo(tree, Point{0.7, 0.2}, 12, CrssOptions{4, true});
+  RunToCompletion(tree, &algo);
+  EXPECT_EQ(algo.mode(), CrssMode::kTerminate);
+  EXPECT_EQ(algo.StackRuns(), 0u);
+}
+
+TEST(CrssTest, AblationWithoutLowerBoundStillCorrect) {
+  const workload::Dataset data = workload::MakeClustered(900, 2, 7, 0.1, 74);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 15, workload::QueryDistribution::kDataDistributed, 75);
+  for (const Point& q : queries) {
+    Crss with(tree, q, 8, CrssOptions{5, true});
+    Crss without(tree, q, 8, CrssOptions{5, false});
+    RunToCompletion(tree, &with);
+    RunToCompletion(tree, &without);
+    const auto a = with.result().Sorted();
+    const auto b = without.result().Sorted();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].object, b[i].object);
+      EXPECT_DOUBLE_EQ(a[i].dist_sq, b[i].dist_sq);
+    }
+  }
+}
+
+TEST(CrssTest, UOneDegeneratesTowardsDepthFirst) {
+  // u = 1 serializes CRSS page fetches like BBSS; it must stay correct and
+  // batch exactly one page per step.
+  const workload::Dataset data = workload::MakeUniform(800, 2, 76);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  Crss algo(tree, Point{0.1, 0.9}, 6, CrssOptions{1, false});
+  const ExecutionStats stats = RunToCompletion(tree, &algo);
+  EXPECT_EQ(stats.max_batch, 1u);
+  EXPECT_EQ(algo.result().size(), 6u);
+}
+
+// Figure 13 of the paper: two subtrees; R1's MinDist is slightly smaller so
+// BBSS commits to R1 and drains enough of it to fill k, while the closer
+// mass actually lives under R2. CRSS's Lemma 1 threshold sees both.
+TEST(CrssTest, Figure13BbssPathology) {
+  TreeConfig cfg = SmallConfig(1, 16);
+  cfg.forced_reinsert = false;
+  RStarTree tree(cfg);
+  // Subtree R1: 12 objects spread over [0.10, 0.40] (coarse — the far ones
+  // are useless). Subtree R2: 16 objects packed in [0.12, 0.15].
+  rstar::ObjectId id = 0;
+  for (int i = 0; i < 12; ++i) {
+    tree.Insert(Point{0.10 + 0.30 * i / 11.0}, id++);
+  }
+  for (int i = 0; i < 16; ++i) {
+    tree.Insert(Point{0.12 + 0.03 * i / 15.0}, id++);
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const Point q{0.0};
+  const size_t k = 12;
+
+  Bbss bbss(tree, q, k);
+  const ExecutionStats bbss_stats = RunToCompletion(tree, &bbss);
+  Crss crss(tree, q, k, CrssOptions{10, true});
+  const ExecutionStats crss_stats = RunToCompletion(tree, &crss);
+
+  // Identical answers...
+  const auto a = bbss.result().Sorted();
+  const auto b = crss.result().Sorted();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].object, b[i].object);
+  }
+  // ...and CRSS needs no more pages than BBSS on this adversarial layout.
+  EXPECT_LE(crss_stats.pages_fetched, bbss_stats.pages_fetched);
+}
+
+TEST(CrssTest, NeverRefetchesPages) {
+  // RunToCompletion CHECK-fails on duplicate fetches; exercise heavily
+  // clustered data where candidate runs are popped repeatedly.
+  const workload::Dataset data =
+      workload::MakeClustered(2500, 3, 12, 0.02, 78);
+  TreeConfig cfg = SmallConfig(3, 10);
+  RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 79);
+  for (const Point& q : queries) {
+    Crss algo(tree, q, 25, CrssOptions{6, true});
+    RunToCompletion(tree, &algo);  // internal CHECK guards duplicates
+    EXPECT_EQ(algo.result().size(), 25u);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::core

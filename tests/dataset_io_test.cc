@@ -1,0 +1,137 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+#include "workload/dataset_io.h"
+
+namespace sqp::workload {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  const Dataset original = MakeClustered(500, 3, 4, 0.1, 80);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->dim, 3);
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(loaded->points[i][d], original.points[i][d], 1e-6);
+    }
+  }
+  EXPECT_EQ(loaded->name, "roundtrip");
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRoundTripExact) {
+  const Dataset original = MakeGaussian(1000, 5, 81);
+  const std::string path = TempPath("roundtrip.sqp");
+  ASSERT_TRUE(SaveBinary(original, path).ok());
+
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->dim, 5);
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->points[i], original.points[i]);  // bit-exact
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvSkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n0.1,0.2\n\n0.3,0.4\n# trailing\n";
+  }
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim, 2);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,0.2\n0.3,0.4,0.5\n";
+  }
+  auto loaded = LoadCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvRejectsGarbageNumbers) {
+  const std::string path = TempPath("garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,zebra\n";
+  }
+  auto loaded = LoadCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFilesReportNotFound) {
+  EXPECT_EQ(LoadCsv("/nonexistent/nowhere.csv").status().code(),
+            common::StatusCode::kNotFound);
+  EXPECT_EQ(LoadBinary("/nonexistent/nowhere.sqp").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("notsqp.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset file at all";
+  }
+  auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRejectsTruncation) {
+  const Dataset original = MakeUniform(100, 2, 82);
+  const std::string path = TempPath("trunc.sqp");
+  ASSERT_TRUE(SaveBinary(original, path).ok());
+  // Chop the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  Dataset empty;
+  empty.dim = 4;
+  empty.name = "empty";
+  const std::string path = TempPath("empty.sqp");
+  ASSERT_TRUE(SaveBinary(empty, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->dim, 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sqp::workload

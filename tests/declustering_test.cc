@@ -1,0 +1,182 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "parallel/declustering.h"
+#include "parallel/parallel_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp::parallel {
+namespace {
+
+using geometry::Point;
+using geometry::Rect;
+
+TEST(ProximityTest, IdenticalRectsMaximal) {
+  Rect r(Point{0.2, 0.2}, Point{0.4, 0.4});
+  const double p_self = Proximity(r, r, 0.1);
+  Rect other(Point{0.2, 0.2}, Point{0.3, 0.4});
+  EXPECT_GE(p_self, Proximity(r, other, 0.1));
+  EXPECT_GT(p_self, 0.0);
+}
+
+TEST(ProximityTest, FarRectsZero) {
+  Rect a(Point{0.0, 0.0}, Point{0.1, 0.1});
+  Rect b(Point{0.5, 0.5}, Point{0.6, 0.6});
+  EXPECT_DOUBLE_EQ(Proximity(a, b, 0.1), 0.0);  // gap 0.4 > q = 0.1
+}
+
+TEST(ProximityTest, NearbyRectsPositiveEvenWithoutOverlap) {
+  Rect a(Point{0.0, 0.0}, Point{0.1, 0.1});
+  Rect b(Point{0.15, 0.0}, Point{0.25, 0.1});  // gap 0.05 < q
+  EXPECT_GT(Proximity(a, b, 0.1), 0.0);
+}
+
+TEST(ProximityTest, MonotoneInDistance) {
+  Rect a(Point{0.0, 0.0}, Point{0.1, 0.1});
+  double prev = Proximity(a, a, 0.1);
+  for (double off : {0.02, 0.05, 0.08, 0.11}) {
+    Rect b(Point{off, 0.0}, Point{off + 0.1, 0.1});
+    const double p = Proximity(a, b, 0.1);
+    EXPECT_LE(p, prev + 1e-12) << "offset " << off;
+    prev = p;
+  }
+}
+
+TEST(ProximityTest, SymmetricAndHandComputed) {
+  Rect a(Point{0.0, 0.0}, Point{0.2, 0.2});
+  Rect b(Point{0.1, 0.1}, Point{0.3, 0.3});
+  EXPECT_DOUBLE_EQ(Proximity(a, b, 0.1), Proximity(b, a, 0.1));
+  // Per dim: window = min(0.2,0.3) - max(0.0,0.1) + 0.1 = 0.2; /1.1.
+  const double per_dim = 0.2 / 1.1;
+  EXPECT_NEAR(Proximity(a, b, 0.1), per_dim * per_dim, 1e-6);  // float coords
+}
+
+DeclusterConfig Config(int disks, DeclusterPolicy policy) {
+  DeclusterConfig cfg;
+  cfg.num_disks = disks;
+  cfg.policy = policy;
+  cfg.seed = 99;
+  return cfg;
+}
+
+rstar::TreeConfig TinyTree() {
+  rstar::TreeConfig cfg;
+  cfg.dim = 2;
+  cfg.max_entries_override = 8;
+  return cfg;
+}
+
+class PolicyTest : public ::testing::TestWithParam<DeclusterPolicy> {};
+
+TEST_P(PolicyTest, AllPagesPlacedAndAccounted) {
+  const workload::Dataset data = workload::MakeUniform(1000, 2, 80);
+  auto index =
+      workload::BuildParallelIndex(data, TinyTree(), Config(5, GetParam()));
+  const auto& placement = index->placement();
+
+  size_t total = 0;
+  for (int c : placement.PagesPerDisk()) {
+    EXPECT_GE(c, 0);
+    total += static_cast<size_t>(c);
+  }
+  EXPECT_EQ(total, index->tree().NodeCount());
+
+  for (rstar::PageId id : index->tree().LiveNodeIds()) {
+    const int disk = placement.DiskOf(id);
+    EXPECT_GE(disk, 0);
+    EXPECT_LT(disk, 5);
+    const int cyl = placement.CylinderOf(id);
+    EXPECT_GE(cyl, 0);
+    EXPECT_LT(cyl, 1449);
+  }
+}
+
+TEST_P(PolicyTest, ReasonablyBalanced) {
+  const workload::Dataset data = workload::MakeClustered(3000, 2, 6, 0.1, 81);
+  auto index =
+      workload::BuildParallelIndex(data, TinyTree(), Config(8, GetParam()));
+  // No disk should carry more than 3x the average page load.
+  EXPECT_LE(index->placement().BalanceRatio(), 3.0)
+      << DeclusterPolicyName(GetParam());
+}
+
+TEST_P(PolicyTest, SurvivesDeletes) {
+  const workload::Dataset data = workload::MakeUniform(600, 2, 82);
+  auto index =
+      workload::BuildParallelIndex(data, TinyTree(), Config(4, GetParam()));
+  for (size_t i = 0; i < data.points.size(); i += 2) {
+    ASSERT_TRUE(index->tree().Delete(data.points[i], i).ok());
+  }
+  ASSERT_TRUE(index->tree().Validate().ok());
+  size_t total = 0;
+  for (int c : index->placement().PagesPerDisk()) {
+    total += static_cast<size_t>(c);
+  }
+  EXPECT_EQ(total, index->tree().NodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyTest,
+    ::testing::Values(DeclusterPolicy::kProximityIndex,
+                      DeclusterPolicy::kRoundRobin, DeclusterPolicy::kRandom,
+                      DeclusterPolicy::kDataBalance,
+                      DeclusterPolicy::kAreaBalance),
+    [](const ::testing::TestParamInfo<DeclusterPolicy>& info) {
+      return DeclusterPolicyName(info.param);
+    });
+
+TEST(ProximityIndexTest, SpreadsSiblingsAcrossDisks) {
+  // PI's goal: sibling pages (likely co-accessed) land on different disks.
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 83);
+  auto index = workload::BuildParallelIndex(
+      data, TinyTree(), Config(10, DeclusterPolicy::kProximityIndex));
+  const auto& tree = index->tree();
+  const auto& placement = index->placement();
+
+  // For each internal node, count distinct disks among its children.
+  double spread_sum = 0.0;
+  int internal_nodes = 0;
+  for (rstar::PageId id : tree.LiveNodeIds()) {
+    const rstar::Node& n = tree.node(id);
+    if (n.IsLeaf()) continue;
+    std::set<int> disks;
+    for (const rstar::Entry& e : n.entries) {
+      disks.insert(placement.DiskOf(e.child));
+    }
+    spread_sum += static_cast<double>(disks.size()) /
+                  std::min<double>(10.0, static_cast<double>(n.entries.size()));
+    ++internal_nodes;
+  }
+  ASSERT_GT(internal_nodes, 0);
+  // Siblings should nearly always occupy distinct disks.
+  EXPECT_GE(spread_sum / internal_nodes, 0.8);
+}
+
+TEST(DiskAssignerTest, RoundRobinCycles) {
+  DiskAssigner assigner(Config(3, DeclusterPolicy::kRoundRobin));
+  for (rstar::PageId id = 0; id < 9; ++id) {
+    assigner.OnNodeCreated(id, 0, Rect(Point{0.0, 0.0}, Point{1.0, 1.0}),
+                           {});
+  }
+  for (rstar::PageId id = 0; id < 9; ++id) {
+    EXPECT_EQ(assigner.DiskOf(id), static_cast<int>(id % 3));
+  }
+}
+
+TEST(DiskAssignerTest, DataBalancePrefersEmptiestDisk) {
+  DiskAssigner assigner(Config(3, DeclusterPolicy::kDataBalance));
+  const Rect r(Point{0.0, 0.0}, Point{1.0, 1.0});
+  assigner.OnNodeCreated(0, 0, r, {});
+  assigner.OnNodeCreated(1, 0, r, {});
+  assigner.OnNodeCreated(2, 0, r, {});
+  assigner.OnNodeFreed(1);
+  assigner.OnNodeCreated(3, 0, r, {});
+  // Page 3 should reuse the freed capacity of page 1's disk.
+  EXPECT_EQ(assigner.DiskOf(3), 1);
+}
+
+}  // namespace
+}  // namespace sqp::parallel

@@ -1,0 +1,111 @@
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_browser.h"
+#include "core/exact_knn.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+TEST(DistanceBrowserTest, YieldsAllObjectsInDistanceOrder) {
+  const workload::Dataset data = workload::MakeClustered(800, 2, 6, 0.1, 800);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const Point q{0.4, 0.6};
+
+  DistanceBrowser browser(tree, q);
+  const auto truth = workload::BruteForceKnn(data, q, data.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const auto n = browser.Next();
+    ASSERT_TRUE(n.has_value()) << "rank " << i;
+    ASSERT_EQ(n->object, truth[i].first) << "rank " << i;
+    ASSERT_DOUBLE_EQ(n->dist_sq, truth[i].second) << "rank " << i;
+  }
+  EXPECT_FALSE(browser.Next().has_value());
+  EXPECT_FALSE(browser.Next().has_value());  // stays exhausted
+}
+
+TEST(DistanceBrowserTest, PrefixMatchesExactKnn) {
+  const workload::Dataset data = workload::MakeGaussian(1000, 3, 801);
+  RStarTree tree(SmallConfig(3));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 802);
+  for (const Point& q : queries) {
+    DistanceBrowser browser(tree, q);
+    const auto exact = ExactKnn(tree, q, 25).result.Sorted();
+    for (size_t i = 0; i < exact.size(); ++i) {
+      const auto n = browser.Next();
+      ASSERT_TRUE(n.has_value());
+      EXPECT_EQ(n->object, exact[i].object);
+    }
+  }
+}
+
+TEST(DistanceBrowserTest, LazyPageAccess) {
+  // Browsing one neighbor should read far fewer pages than draining the
+  // tree, and the access count for a k-prefix matches best-first's.
+  const workload::Dataset data = workload::MakeUniform(5000, 2, 803);
+  RStarTree tree(SmallConfig(2, 16));
+  workload::InsertAll(data, &tree);
+  const Point q{0.5, 0.5};
+
+  DistanceBrowser one(tree, q);
+  ASSERT_TRUE(one.Next().has_value());
+  EXPECT_LT(one.pages_accessed(), tree.NodeCount() / 10);
+
+  DistanceBrowser all(tree, q);
+  while (all.Next().has_value()) {
+  }
+  EXPECT_EQ(all.pages_accessed(), tree.NodeCount());
+}
+
+TEST(DistanceBrowserTest, TiesResolveBySmallerObjectId) {
+  RStarTree tree(SmallConfig(2, 6));
+  for (rstar::ObjectId id : {42u, 7u, 99u, 3u}) {
+    tree.Insert(Point{0.5, 0.5}, id);
+  }
+  DistanceBrowser browser(tree, Point{0.0, 0.0});
+  EXPECT_EQ(browser.Next()->object, 3u);
+  EXPECT_EQ(browser.Next()->object, 7u);
+  EXPECT_EQ(browser.Next()->object, 42u);
+  EXPECT_EQ(browser.Next()->object, 99u);
+}
+
+TEST(DistanceBrowserTest, EmptyTree) {
+  RStarTree tree(SmallConfig(2));
+  DistanceBrowser browser(tree, Point{0.5, 0.5});
+  EXPECT_FALSE(browser.Next().has_value());
+  EXPECT_EQ(browser.pages_accessed(), 1u);
+}
+
+TEST(DistanceBrowserTest, NonDecreasingDistances) {
+  const workload::Dataset data = workload::MakeClustered(600, 5, 4, 0.1, 804);
+  RStarTree tree(SmallConfig(5));
+  workload::InsertAll(data, &tree);
+  DistanceBrowser browser(tree, Point{0.1, 0.9, 0.5, 0.2, 0.7});
+  double prev = -1.0;
+  while (auto n = browser.Next()) {
+    ASSERT_GE(n->dist_sq, prev);
+    prev = n->dist_sq;
+  }
+}
+
+}  // namespace
+}  // namespace sqp::core

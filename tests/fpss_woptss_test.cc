@@ -1,0 +1,147 @@
+// FPSS- and WOPTSS-specific behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/exact_knn.h"
+#include "core/fpss.h"
+#include "core/lemma1.h"
+#include "core/sequential_executor.h"
+#include "core/woptss.h"
+#include "geometry/metrics.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+TEST(FpssTest, ExactlyOneBatchPerTreeLevel) {
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 1400);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 1401);
+  for (const Point& q : queries) {
+    Fpss algo(tree, q, 10);
+    const ExecutionStats stats = RunToCompletion(tree, &algo);
+    // Strict BFS: one batch per level, no revisits.
+    EXPECT_EQ(stats.steps, static_cast<size_t>(tree.Height()));
+  }
+}
+
+TEST(FpssTest, ActivatesEverySphereIntersectingEntry) {
+  // FPSS's defining property: after processing a level, every child whose
+  // MinDist is within the current threshold has been requested.
+  const workload::Dataset data = workload::MakeClustered(1500, 2, 6, 0.1, 1402);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  ASSERT_GE(tree.Height(), 2);
+  const Point q{0.5, 0.5};
+  const size_t k = 8;
+
+  Fpss algo(tree, q, k);
+  StepResult step = algo.Begin();
+  const rstar::Node& root = tree.node(tree.root());
+  step = algo.OnPagesFetched({{tree.root(), &root}});
+
+  // Recompute the Lemma 1 threshold independently and check coverage.
+  const Lemma1Threshold lemma = ComputeLemma1(q, root.entries, k);
+  for (const rstar::Entry& e : root.entries) {
+    const bool should = geometry::MinDistSq(q, e.mbr) <= lemma.dth_sq;
+    const bool did =
+        std::find(step.requests.begin(), step.requests.end(), e.child) !=
+        step.requests.end();
+    EXPECT_EQ(should, did);
+  }
+}
+
+TEST(FpssTest, FetchesAtLeastWeakOptimalSuperset) {
+  const workload::Dataset data = workload::MakeGaussian(2500, 3, 1403);
+  RStarTree tree(SmallConfig(3));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 12, workload::QueryDistribution::kDataDistributed, 1404);
+  for (const Point& q : queries) {
+    Fpss algo(tree, q, 15);
+    const size_t fpss_pages = RunToCompletion(tree, &algo).pages_fetched;
+    const size_t opt_pages = ExactKnn(tree, q, 15).pages_accessed;
+    EXPECT_GE(fpss_pages, opt_pages);
+  }
+}
+
+TEST(WoptssTest, OracleDistanceMatchesExactSearch) {
+  const workload::Dataset data = workload::MakeClustered(800, 2, 5, 0.1, 1405);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 1406);
+  for (const Point& q : queries) {
+    Woptss algo(tree, q, 7);
+    EXPECT_DOUBLE_EQ(algo.dk_sq(), KthNeighborDistSq(tree, q, 7));
+  }
+}
+
+TEST(WoptssTest, FetchesOnlySphereIntersectingPages) {
+  // Weak optimality (Definition 6): every fetched page's MBR intersects
+  // the Dk-sphere.
+  const workload::Dataset data = workload::MakeUniform(1200, 2, 1407);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const Point q{0.31, 0.62};
+  const size_t k = 9;
+  Woptss algo(tree, q, k);
+  const double dk_sq = algo.dk_sq();
+
+  StepResult step = algo.Begin();
+  while (!step.done) {
+    std::vector<FetchedPage> pages;
+    for (rstar::PageId id : step.requests) {
+      const rstar::Node& n = tree.node(id);
+      if (id != tree.root() && !n.entries.empty()) {
+        EXPECT_LE(geometry::MinDistSq(q, n.ComputeMbr()), dk_sq)
+            << "page " << id;
+      }
+      pages.push_back({id, &n});
+    }
+    step = algo.OnPagesFetched(pages);
+  }
+}
+
+TEST(WoptssTest, OneBatchPerLevelFullParallelism) {
+  const workload::Dataset data = workload::MakeGaussian(3000, 2, 1408);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 1409);
+  for (const Point& q : queries) {
+    Woptss algo(tree, q, 30);
+    const ExecutionStats stats = RunToCompletion(tree, &algo);
+    EXPECT_EQ(stats.steps, static_cast<size_t>(tree.Height()));
+  }
+}
+
+TEST(WoptssTest, KBeyondSizeVisitsWholeTree) {
+  const workload::Dataset data = workload::MakeUniform(300, 2, 1410);
+  RStarTree tree(SmallConfig(2, 6));
+  workload::InsertAll(data, &tree);
+  Woptss algo(tree, Point{0.5, 0.5}, 1000);
+  const ExecutionStats stats = RunToCompletion(tree, &algo);
+  // Dk is infinite, so the sphere covers everything.
+  EXPECT_EQ(stats.pages_fetched, tree.NodeCount());
+  EXPECT_EQ(algo.result().size(), 300u);
+}
+
+}  // namespace
+}  // namespace sqp::core

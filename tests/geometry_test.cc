@@ -1,0 +1,238 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sqp::geometry {
+namespace {
+
+TEST(PointTest, DimensionAndIndexing) {
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_FLOAT_EQ(p[0], 1.0f);
+  EXPECT_FLOAT_EQ(p[2], 3.0f);
+  p[1] = 5.0f;
+  EXPECT_FLOAT_EQ(p[1], 5.0f);
+}
+
+TEST(PointTest, OriginConstructor) {
+  Point p(4);
+  EXPECT_EQ(p.dim(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(p[i], 0.0f);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_FALSE((Point{1.0, 2.0}) == (Point{1.0, 2.5}));
+}
+
+TEST(PointTest, DistanceMatchesHandComputed) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(DistanceSq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  Point a{0.25, 0.5, 0.125};
+  Point b{0.75, 0.1, 0.9};
+  EXPECT_DOUBLE_EQ(DistanceSq(a, b), DistanceSq(b, a));
+}
+
+TEST(PointTest, ToStringReadable) {
+  Point p{1.5, -2.0};
+  EXPECT_EQ(p.ToString(), "(1.5, -2)");
+}
+
+TEST(RectTest, ForPointIsDegenerate) {
+  Point p{0.5, 0.25};
+  Rect r = Rect::ForPoint(p);
+  EXPECT_EQ(r.lo(), p);
+  EXPECT_EQ(r.hi(), p);
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(p));
+}
+
+TEST(RectTest, EmptyRectBehaviour) {
+  Rect r = Rect::Empty(2);
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  r.ExpandToInclude(Point{0.5, 0.5});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5}));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  Rect r(Point{0.0, 0.0}, Point{1.0, 1.0});
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(r.Contains(Point{0.0, 1.0}));  // boundary closed
+  EXPECT_FALSE(r.Contains(Point{1.1, 0.5}));
+
+  Rect inside(Point{0.2, 0.2}, Point{0.4, 0.4});
+  Rect overlapping(Point{0.9, 0.9}, Point{1.5, 1.5});
+  Rect disjoint(Point{2.0, 2.0}, Point{3.0, 3.0});
+  Rect touching(Point{1.0, 0.0}, Point{2.0, 1.0});
+  EXPECT_TRUE(r.ContainsRect(inside));
+  EXPECT_TRUE(r.Intersects(overlapping));
+  EXPECT_FALSE(r.ContainsRect(overlapping));
+  EXPECT_FALSE(r.Intersects(disjoint));
+  EXPECT_TRUE(r.Intersects(touching));  // shared edge counts
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  Rect a(Point{0.0, 0.0}, Point{1.0, 1.0});
+  Rect b(Point{2.0, -1.0}, Point{3.0, 0.5});
+  Rect u = Rect::Union(a, b);
+  EXPECT_TRUE(u.ContainsRect(a));
+  EXPECT_TRUE(u.ContainsRect(b));
+  EXPECT_EQ(u, Rect(Point{0.0, -1.0}, Point{3.0, 1.0}));
+}
+
+TEST(RectTest, AreaMarginOverlap) {
+  Rect a(Point{0.0, 0.0}, Point{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(a.Margin(), 5.0);
+  Rect b(Point{1.0, 1.0}, Point{3.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.OverlapArea(a), 1.0);
+  Rect c(Point{5.0, 5.0}, Point{6.0, 6.0});
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+}
+
+TEST(RectTest, CenterAndCenterDistance) {
+  Rect a(Point{0.0, 0.0}, Point{2.0, 2.0});
+  Rect b(Point{4.0, 0.0}, Point{6.0, 2.0});
+  EXPECT_EQ(a.Center(), (Point{1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(Rect::CenterDistanceSq(a, b), 16.0);
+}
+
+// --- Metric tests: hand-computed values from the paper's Figure 2 style
+// layout. Query point at origin, rectangle [1,2]x[1,3].
+
+TEST(MetricsTest, MinDistOutside) {
+  Point q{0.0, 0.0};
+  Rect r(Point{1.0, 1.0}, Point{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(MinDistSq(q, r), 2.0);  // nearest corner (1,1)
+}
+
+TEST(MetricsTest, MinDistInsideIsZero) {
+  Point q{1.5, 2.0};
+  Rect r(Point{1.0, 1.0}, Point{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(MinDistSq(q, r), 0.0);
+}
+
+TEST(MetricsTest, MinDistFacingEdge) {
+  Point q{1.5, 0.0};
+  Rect r(Point{1.0, 1.0}, Point{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(MinDistSq(q, r), 1.0);  // straight up to y=1
+}
+
+TEST(MetricsTest, MaxDistIsFurthestVertex) {
+  Point q{0.0, 0.0};
+  Rect r(Point{1.0, 1.0}, Point{2.0, 3.0});
+  // Furthest vertex is (2,3).
+  EXPECT_DOUBLE_EQ(MaxDistSq(q, r), 13.0);
+}
+
+TEST(MetricsTest, MinMaxDistHandComputed) {
+  Point q{0.0, 0.0};
+  Rect r(Point{1.0, 1.0}, Point{2.0, 3.0});
+  // Fix dim 0 at near edge x=1, other dim at far edge y=3: 1 + 9 = 10.
+  // Fix dim 1 at near edge y=1, other dim at far edge x=2: 4 + 1 = 5.
+  EXPECT_DOUBLE_EQ(MinMaxDistSq(q, r), 5.0);
+}
+
+TEST(MetricsTest, DegenerateRectAllMetricsEqual) {
+  Point q{0.0, 0.0, 0.0};
+  Point site{1.0, 2.0, 2.0};
+  Rect r = Rect::ForPoint(site);
+  const double d = DistanceSq(q, site);
+  EXPECT_DOUBLE_EQ(MinDistSq(q, r), d);
+  EXPECT_DOUBLE_EQ(MinMaxDistSq(q, r), d);
+  EXPECT_DOUBLE_EQ(MaxDistSq(q, r), d);
+}
+
+TEST(MetricsTest, BallPredicates) {
+  Point q{0.0, 0.0};
+  Rect r(Point{1.0, 1.0}, Point{2.0, 3.0});
+  EXPECT_FALSE(BallIntersectsRect(q, 1.9, r));
+  EXPECT_TRUE(BallIntersectsRect(q, 2.0, r));  // touches corner
+  EXPECT_FALSE(BallContainsRect(q, 12.9, r));
+  EXPECT_TRUE(BallContainsRect(q, 13.0, r));
+}
+
+// Property sweep: the fundamental ordering Dmin <= Dmm <= Dmax, and the
+// sampling-based definitions of the three metrics, on random boxes.
+class MetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPropertyTest, OrderingAndSampledBounds) {
+  const int dim = GetParam();
+  common::Rng rng(1234 + static_cast<uint64_t>(dim));
+  for (int iter = 0; iter < 200; ++iter) {
+    Point lo(dim), hi(dim), q(dim);
+    for (int i = 0; i < dim; ++i) {
+      const double a = rng.Uniform();
+      const double b = rng.Uniform();
+      lo[i] = static_cast<Coord>(std::min(a, b));
+      hi[i] = static_cast<Coord>(std::max(a, b));
+      q[i] = static_cast<Coord>(rng.Uniform(-0.5, 1.5));
+    }
+    Rect r(lo, hi);
+    const double dmin = MinDistSq(q, r);
+    const double dmm = MinMaxDistSq(q, r);
+    const double dmax = MaxDistSq(q, r);
+    ASSERT_LE(dmin, dmm + 1e-12);
+    ASSERT_LE(dmm, dmax + 1e-12);
+
+    // Any point sampled inside the box must be at distance within
+    // [Dmin, Dmax] of q.
+    for (int s = 0; s < 20; ++s) {
+      Point inside(dim);
+      for (int i = 0; i < dim; ++i) {
+        inside[i] = static_cast<Coord>(
+            rng.Uniform(static_cast<double>(lo[i]), static_cast<double>(hi[i])));
+      }
+      const double d = DistanceSq(q, inside);
+      ASSERT_GE(d, dmin - 1e-9);
+      ASSERT_LE(d, dmax + 1e-9);
+    }
+
+    // MinMaxDist guarantee: if every face of the box touches an object,
+    // some object lies within Dmm. Verify via the vertex construction:
+    // there exists a face whose farthest point is at distance <= Dmm.
+    // (Equivalent check: Dmm equals the min over k of the formula, which
+    // is what the implementation computes; here we verify it is attained
+    // by an actual face point.)
+    double attained = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < dim; ++k) {
+      // Point on face k (near edge), far corner elsewhere.
+      double sum = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double s0 = lo[j];
+        const double t0 = hi[j];
+        const double mid = (s0 + t0) / 2.0;
+        double coord;
+        if (j == k) {
+          coord = (q[j] <= mid) ? s0 : t0;  // near edge
+        } else {
+          coord = (q[j] >= mid) ? s0 : t0;  // far edge
+        }
+        const double dd = q[j] - coord;
+        sum += dd * dd;
+      }
+      attained = std::min(attained, sum);
+    }
+    ASSERT_NEAR(dmm, attained, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MetricPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+}  // namespace
+}  // namespace sqp::geometry

@@ -1,0 +1,219 @@
+// Cross-module integration: dynamic index maintenance under mixed
+// insert/delete/query workloads, range queries through the simulator, and
+// end-to-end determinism — the "dynamic environment" the paper targets
+// (§1: insertions, deletions and updates intermixed with read-only
+// operations).
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/range_search.h"
+#include "core/sequential_executor.h"
+#include "parallel/parallel_tree.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/dataset_io.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+
+rstar::TreeConfig Config(int dim, int fanout = 12) {
+  rstar::TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = fanout;
+  return cfg;
+}
+
+TEST(IntegrationTest, MixedWorkloadKeepsQueriesExact) {
+  // Interleave inserts, deletes and k-NN queries; after every burst the
+  // answers must match a brute-force scan of the live set.
+  common::Rng rng(7777);
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 6;
+  parallel::ParallelRStarTree index(Config(2, 8), dc);
+
+  std::vector<std::pair<Point, rstar::ObjectId>> live;
+  rstar::ObjectId next_id = 0;
+
+  for (int burst = 0; burst < 12; ++burst) {
+    // Mutation burst.
+    for (int op = 0; op < 150; ++op) {
+      if (live.empty() || rng.Uniform() < 0.65) {
+        Point p{rng.Uniform(), rng.Uniform()};
+        index.tree().Insert(p, next_id);
+        live.emplace_back(p, next_id);
+        ++next_id;
+      } else {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+        ASSERT_TRUE(
+            index.tree().Delete(live[at].first, live[at].second).ok());
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+    }
+    ASSERT_TRUE(index.tree().Validate().ok()) << "burst " << burst;
+    if (live.empty()) continue;
+
+    // Query burst: every algorithm agrees with brute force on the live set.
+    const Point q{rng.Uniform(), rng.Uniform()};
+    const size_t k = std::min<size_t>(7, live.size());
+    std::vector<std::pair<double, rstar::ObjectId>> truth;
+    for (const auto& [p, id] : live) {
+      truth.emplace_back(geometry::DistanceSq(q, p), id);
+    }
+    std::sort(truth.begin(), truth.end());
+    truth.resize(k);
+
+    for (AlgorithmKind kind : {AlgorithmKind::kBbss, AlgorithmKind::kFpss,
+                               AlgorithmKind::kCrss, AlgorithmKind::kWoptss}) {
+      auto algo = core::MakeAlgorithm(kind, index.tree(), q, k, 6);
+      core::RunToCompletion(index.tree(), algo.get());
+      const auto sorted = algo->result().Sorted();
+      ASSERT_EQ(sorted.size(), k) << core::AlgorithmName(kind);
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_DOUBLE_EQ(sorted[i].dist_sq, truth[i].first)
+            << core::AlgorithmName(kind) << " burst " << burst << " rank "
+            << i;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, RangeQueriesThroughTheSimulator) {
+  const workload::Dataset data = workload::MakeClustered(3000, 2, 6, 0.1, 500);
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 5;
+  auto index = workload::BuildParallelIndex(data, Config(2), dc);
+
+  const auto centers = workload::MakeQueryPoints(
+      data, 25, workload::QueryDistribution::kDataDistributed, 501);
+  const auto arrivals = workload::PoissonArrivalTimes(25, 4.0, 502);
+  std::vector<sim::QueryJob> jobs;
+  for (size_t i = 0; i < centers.size(); ++i) {
+    jobs.push_back({arrivals[i], centers[i], 1});
+  }
+
+  const double radius = 0.08;
+  sim::SimConfig cfg;
+  const sim::SimulationResult result = sim::RunSimulation(
+      *index, jobs,
+      [&](const Point& c, size_t) {
+        return std::make_unique<core::ParallelRangeQuery>(
+            index->tree(), core::RangeRegion::Ball(c, radius));
+      },
+      cfg);
+
+  ASSERT_EQ(result.queries.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    std::vector<rstar::ObjectId> want;
+    index->tree().BallSearch(centers[i], radius, &want);
+    EXPECT_EQ(result.queries[i].results, want.size()) << "query " << i;
+    EXPECT_GT(result.queries[i].completion_time,
+              result.queries[i].arrival_time);
+  }
+}
+
+TEST(IntegrationTest, SaveLoadRebuildPreservesAnswers) {
+  const workload::Dataset original =
+      workload::MakeClustered(1200, 3, 5, 0.1, 503);
+  const std::string path = ::testing::TempDir() + "/integration.sqp";
+  ASSERT_TRUE(workload::SaveBinary(original, path).ok());
+  auto loaded = workload::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+
+  rstar::RStarTree tree_a(Config(3));
+  workload::InsertAll(original, &tree_a);
+  rstar::RStarTree tree_b(Config(3));
+  workload::InsertAll(*loaded, &tree_b);
+
+  const auto queries = workload::MakeQueryPoints(
+      original, 10, workload::QueryDistribution::kDataDistributed, 504);
+  for (const Point& q : queries) {
+    auto a = core::MakeAlgorithm(AlgorithmKind::kCrss, tree_a, q, 10, 8);
+    auto b = core::MakeAlgorithm(AlgorithmKind::kCrss, tree_b, q, 10, 8);
+    core::RunToCompletion(tree_a, a.get());
+    core::RunToCompletion(tree_b, b.get());
+    const auto sa = a->result().Sorted();
+    const auto sb = b->result().Sorted();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].object, sb[i].object);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, WholePipelineDeterministic) {
+  // Same seeds end to end => bit-identical mean response time.
+  auto run_once = []() {
+    const workload::Dataset data = workload::MakeClustered(2000, 2, 5, 0.1, 505);
+    parallel::DeclusterConfig dc;
+    dc.num_disks = 4;
+    dc.seed = 9;
+    auto index = workload::BuildParallelIndex(data, Config(2), dc);
+    const auto queries = workload::MakeQueryPoints(
+        data, 30, workload::QueryDistribution::kDataDistributed, 506);
+    const auto arrivals = workload::PoissonArrivalTimes(30, 6.0, 507);
+    std::vector<sim::QueryJob> jobs;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      jobs.push_back({arrivals[i], queries[i], 8});
+    }
+    sim::SimConfig cfg;
+    cfg.seed = 11;
+    return sim::RunSimulation(
+               *index, jobs,
+               [&](const Point& q, size_t k) {
+                 return core::MakeAlgorithm(AlgorithmKind::kCrss,
+                                            index->tree(), q, k, 4);
+               },
+               cfg)
+        .MeanResponseTime();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(IntegrationTest, QueriesAfterHeavyDeletionStillOptimalForWoptss) {
+  // Delete 70% of the data, then verify WOPTSS still lower-bounds CRSS in
+  // page fetches (the tree shape changed a lot through condensation).
+  const workload::Dataset data = workload::MakeUniform(3000, 2, 508);
+  rstar::RStarTree tree(Config(2, 8));
+  workload::InsertAll(data, &tree);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 10 < 7) {
+      ASSERT_TRUE(tree.Delete(data.points[i], i).ok());
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 15, workload::QueryDistribution::kUniform, 509);
+  for (const Point& q : queries) {
+    auto wopt = core::MakeAlgorithm(AlgorithmKind::kWoptss, tree, q, 10, 6);
+    auto crss = core::MakeAlgorithm(AlgorithmKind::kCrss, tree, q, 10, 6);
+    const size_t wopt_pages =
+        core::RunToCompletion(tree, wopt.get()).pages_fetched;
+    const size_t crss_pages =
+        core::RunToCompletion(tree, crss.get()).pages_fetched;
+    EXPECT_GE(crss_pages, wopt_pages);
+    // And identical answers.
+    const auto sa = wopt->result().Sorted();
+    const auto sb = crss->result().Sorted();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].object, sb[i].object);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,89 @@
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/knn_result.h"
+
+namespace sqp::core {
+namespace {
+
+TEST(KnnResultSetTest, EmptyState) {
+  KnnResultSet r(3);
+  EXPECT_EQ(r.k(), 3u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Full());
+  EXPECT_EQ(r.KthDistSq(), std::numeric_limits<double>::infinity());
+}
+
+TEST(KnnResultSetTest, FillsThenBounds) {
+  KnnResultSet r(2);
+  r.Add(1, 9.0);
+  EXPECT_FALSE(r.Full());
+  r.Add(2, 4.0);
+  EXPECT_TRUE(r.Full());
+  EXPECT_DOUBLE_EQ(r.KthDistSq(), 9.0);
+  r.Add(3, 1.0);  // evicts object 1
+  EXPECT_DOUBLE_EQ(r.KthDistSq(), 4.0);
+  const auto sorted = r.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].object, 3u);
+  EXPECT_EQ(sorted[1].object, 2u);
+}
+
+TEST(KnnResultSetTest, WorseCandidateIgnored) {
+  KnnResultSet r(1);
+  r.Add(1, 1.0);
+  r.Add(2, 2.0);
+  EXPECT_DOUBLE_EQ(r.KthDistSq(), 1.0);
+  EXPECT_EQ(r.Sorted()[0].object, 1u);
+}
+
+TEST(KnnResultSetTest, TiesBreakBySmallerObjectId) {
+  KnnResultSet r(2);
+  r.Add(10, 5.0);
+  r.Add(20, 5.0);
+  r.Add(5, 5.0);  // same distance, smaller id displaces id 20
+  const auto sorted = r.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].object, 5u);
+  EXPECT_EQ(sorted[1].object, 10u);
+}
+
+TEST(KnnResultSetTest, TieArrivalOrderIrrelevant) {
+  KnnResultSet a(2), b(2);
+  a.Add(1, 3.0);
+  a.Add(2, 3.0);
+  a.Add(3, 3.0);
+  b.Add(3, 3.0);
+  b.Add(2, 3.0);
+  b.Add(1, 3.0);
+  const auto sa = a.Sorted();
+  const auto sb = b.Sorted();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].object, sb[i].object);
+  }
+}
+
+TEST(KnnResultSetTest, SortedAscending) {
+  KnnResultSet r(5);
+  r.Add(1, 4.0);
+  r.Add(2, 1.0);
+  r.Add(3, 3.0);
+  r.Add(4, 0.5);
+  const auto sorted = r.Sorted();
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].dist_sq, sorted[i].dist_sq);
+  }
+}
+
+TEST(KnnResultSetTest, KOne) {
+  KnnResultSet r(1);
+  EXPECT_EQ(r.KthDistSq(), std::numeric_limits<double>::infinity());
+  r.Add(42, 7.0);
+  EXPECT_TRUE(r.Full());
+  EXPECT_DOUBLE_EQ(r.KthDistSq(), 7.0);
+}
+
+}  // namespace
+}  // namespace sqp::core

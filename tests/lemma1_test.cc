@@ -1,0 +1,109 @@
+// Lemma 1 (threshold distance from subtree counts) — the foundation of the
+// CRSS and FPSS pruning.
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lemma1.h"
+#include "geometry/metrics.h"
+#include "workload/dataset.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using geometry::Rect;
+using rstar::Entry;
+
+Entry MakeEntry(double lo_x, double lo_y, double hi_x, double hi_y,
+                uint32_t count) {
+  return Entry::ForChild(Rect(Point{lo_x, lo_y}, Point{hi_x, hi_y}),
+                         /*child=*/count, count);
+}
+
+TEST(Lemma1Test, EmptyPoolHasNoBound) {
+  const Lemma1Threshold t = ComputeLemma1(Point{0.0, 0.0}, {}, 5);
+  EXPECT_EQ(t.dth_sq, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(t.total_count, 0u);
+}
+
+TEST(Lemma1Test, SingleEntryCoveringK) {
+  std::vector<Entry> pool = {MakeEntry(1, 1, 2, 2, 10)};
+  const Lemma1Threshold t = ComputeLemma1(Point{0.0, 0.0}, pool, 5);
+  // Sphere must reach the furthest vertex (2,2).
+  EXPECT_DOUBLE_EQ(t.dth_sq, 8.0);
+  EXPECT_EQ(t.prefix_len, 1);
+  EXPECT_EQ(t.total_count, 10u);
+}
+
+TEST(Lemma1Test, PrefixStopsAtK) {
+  // Three boxes at increasing MaxDist with counts 3, 3, 3.
+  std::vector<Entry> pool = {
+      MakeEntry(0.0, 0.0, 1.0, 1.0, 3),   // MaxDist^2 = 2
+      MakeEntry(2.0, 0.0, 3.0, 1.0, 3),   // MaxDist^2 = 10
+      MakeEntry(4.0, 0.0, 5.0, 1.0, 3),   // MaxDist^2 = 26
+  };
+  const Point q{0.0, 0.0};
+  // k=3: first box suffices.
+  EXPECT_DOUBLE_EQ(ComputeLemma1(q, pool, 3).dth_sq, 2.0);
+  EXPECT_EQ(ComputeLemma1(q, pool, 3).prefix_len, 1);
+  // k=4: need two boxes.
+  EXPECT_DOUBLE_EQ(ComputeLemma1(q, pool, 4).dth_sq, 10.0);
+  EXPECT_EQ(ComputeLemma1(q, pool, 4).prefix_len, 2);
+  // k=7: all three.
+  EXPECT_DOUBLE_EQ(ComputeLemma1(q, pool, 7).dth_sq, 26.0);
+  EXPECT_EQ(ComputeLemma1(q, pool, 7).prefix_len, 3);
+}
+
+TEST(Lemma1Test, FewerThanKObjectsGivesNoBound) {
+  std::vector<Entry> pool = {MakeEntry(0, 0, 1, 1, 2),
+                             MakeEntry(2, 2, 3, 3, 2)};
+  const Lemma1Threshold t = ComputeLemma1(Point{0.0, 0.0}, pool, 10);
+  EXPECT_EQ(t.dth_sq, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(t.total_count, 4u);
+  EXPECT_EQ(t.prefix_len, 2);
+}
+
+TEST(Lemma1Test, SortsRegardlessOfInputOrder) {
+  std::vector<Entry> a = {MakeEntry(4, 0, 5, 1, 3), MakeEntry(0, 0, 1, 1, 3)};
+  std::vector<Entry> b = {MakeEntry(0, 0, 1, 1, 3), MakeEntry(4, 0, 5, 1, 3)};
+  const Point q{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ComputeLemma1(q, a, 3).dth_sq,
+                   ComputeLemma1(q, b, 3).dth_sq);
+}
+
+// Property: on a real pool of point MBRs, the Lemma 1 sphere always
+// contains at least k objects, hence upper-bounds the true Dk.
+TEST(Lemma1Test, SphereAlwaysBoundsTrueDk) {
+  common::Rng rng(404);
+  const workload::Dataset data = workload::MakeClustered(300, 2, 5, 0.2, 17);
+  // Build a pool where each entry is a random group of points.
+  std::vector<Entry> pool;
+  size_t i = 0;
+  while (i < data.points.size()) {
+    const size_t group = 1 + static_cast<size_t>(rng.UniformInt(0, 9));
+    Rect mbr = Rect::Empty(2);
+    size_t count = 0;
+    for (; count < group && i < data.points.size(); ++count, ++i) {
+      mbr.ExpandToInclude(data.points[i]);
+    }
+    pool.push_back(
+        Entry::ForChild(mbr, static_cast<rstar::PageId>(pool.size()),
+                        static_cast<uint32_t>(count)));
+  }
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Point q{rng.Uniform(), rng.Uniform()};
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 49));
+    const Lemma1Threshold t = ComputeLemma1(q, pool, k);
+    const auto truth = workload::BruteForceKnn(data, q, k);
+    ASSERT_EQ(truth.size(), k);
+    // Dth^2 >= true Dk^2.
+    ASSERT_GE(t.dth_sq, truth.back().second - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::core

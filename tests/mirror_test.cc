@@ -1,0 +1,166 @@
+// RAID-1 shadowed disks (the paper's §5 future-work extension): placement
+// invariants and the response-time benefit of replica selection.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "parallel/declustering.h"
+#include "parallel/parallel_tree.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::parallel {
+namespace {
+
+using geometry::Point;
+
+rstar::TreeConfig TinyTree(int dim = 2) {
+  rstar::TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = 12;
+  return cfg;
+}
+
+DeclusterConfig MirroredConfig(int disks, DeclusterPolicy policy =
+                                              DeclusterPolicy::kProximityIndex) {
+  DeclusterConfig cfg;
+  cfg.num_disks = disks;
+  cfg.policy = policy;
+  cfg.mirrored = true;
+  cfg.seed = 3;
+  return cfg;
+}
+
+class MirrorPolicyTest : public ::testing::TestWithParam<DeclusterPolicy> {};
+
+TEST_P(MirrorPolicyTest, ReplicasOnDistinctDisks) {
+  const workload::Dataset data = workload::MakeUniform(1500, 2, 90);
+  auto index = workload::BuildParallelIndex(data, TinyTree(),
+                                            MirroredConfig(5, GetParam()));
+  for (rstar::PageId id : index->tree().LiveNodeIds()) {
+    const int disk = index->placement().DiskOf(id);
+    const int mirror = index->placement().MirrorOf(id);
+    ASSERT_GE(mirror, 0);
+    ASSERT_LT(mirror, 5);
+    ASSERT_NE(disk, mirror) << "page " << id;
+  }
+}
+
+TEST_P(MirrorPolicyTest, AccountingCountsBothReplicas) {
+  const workload::Dataset data = workload::MakeUniform(800, 2, 91);
+  auto index = workload::BuildParallelIndex(data, TinyTree(),
+                                            MirroredConfig(4, GetParam()));
+  size_t total = 0;
+  for (int c : index->placement().PagesPerDisk()) {
+    total += static_cast<size_t>(c);
+  }
+  EXPECT_EQ(total, 2 * index->tree().NodeCount());
+
+  // Deleting everything drains both replicas.
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(index->tree().Delete(data.points[i], i).ok());
+  }
+  total = 0;
+  for (int c : index->placement().PagesPerDisk()) {
+    total += static_cast<size_t>(c);
+  }
+  EXPECT_EQ(total, 2 * index->tree().NodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MirrorPolicyTest,
+    ::testing::Values(DeclusterPolicy::kProximityIndex,
+                      DeclusterPolicy::kRoundRobin, DeclusterPolicy::kRandom,
+                      DeclusterPolicy::kDataBalance,
+                      DeclusterPolicy::kAreaBalance),
+    [](const ::testing::TestParamInfo<DeclusterPolicy>& info) {
+      return DeclusterPolicyName(info.param);
+    });
+
+TEST(MirrorTest, UnmirroredPagesReportNoMirror) {
+  const workload::Dataset data = workload::MakeUniform(300, 2, 92);
+  DeclusterConfig cfg;
+  cfg.num_disks = 4;
+  cfg.mirrored = false;
+  auto index = workload::BuildParallelIndex(data, TinyTree(), cfg);
+  for (rstar::PageId id : index->tree().LiveNodeIds()) {
+    EXPECT_EQ(index->placement().MirrorOf(id), -1);
+  }
+}
+
+TEST(MirrorTest, SingleDiskMirroringRejected) {
+  DeclusterConfig cfg;
+  cfg.num_disks = 1;
+  cfg.mirrored = true;
+  EXPECT_DEATH(DiskAssigner assigner(cfg), "num_disks");
+}
+
+TEST(MirrorTest, MirroredReadsReduceResponseUnderLoad) {
+  // Shadowed disks halve the effective queueing on hot disks, so response
+  // times under contention should not be worse than plain RAID-0.
+  const workload::Dataset data = workload::MakeClustered(6000, 2, 8, 0.1, 93);
+  const auto queries = workload::MakeQueryPoints(
+      data, 80, workload::QueryDistribution::kDataDistributed, 94);
+  const auto arrivals = workload::PoissonArrivalTimes(80, 10.0, 95);
+  std::vector<sim::QueryJob> jobs;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jobs.push_back({arrivals[i], queries[i], 20});
+  }
+
+  auto run = [&](bool mirrored) {
+    DeclusterConfig cfg;
+    cfg.num_disks = 8;
+    cfg.mirrored = mirrored;
+    cfg.seed = 3;
+    auto index = workload::BuildParallelIndex(data, TinyTree(), cfg);
+    sim::SimConfig sim_cfg;
+    return sim::RunSimulation(
+               *index, jobs,
+               [&index](const Point& q, size_t k) {
+                 return core::MakeAlgorithm(core::AlgorithmKind::kCrss,
+                                            index->tree(), q, k,
+                                            index->num_disks());
+               },
+               sim_cfg)
+        .MeanResponseTime();
+  };
+
+  const double raid0 = run(false);
+  const double raid1 = run(true);
+  EXPECT_LE(raid1, raid0 * 1.05);  // at least as good, modulo noise
+}
+
+TEST(MirrorTest, ResultsIdenticalWithAndWithoutMirroring) {
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 96);
+  const auto queries = workload::MakeQueryPoints(
+      data, 20, workload::QueryDistribution::kDataDistributed, 97);
+  std::vector<sim::QueryJob> jobs;
+  const auto arrivals = workload::PoissonArrivalTimes(20, 5.0, 98);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jobs.push_back({arrivals[i], queries[i], 9});
+  }
+
+  for (bool mirrored : {false, true}) {
+    DeclusterConfig cfg;
+    cfg.num_disks = 6;
+    cfg.mirrored = mirrored;
+    auto index = workload::BuildParallelIndex(data, TinyTree(), cfg);
+    sim::SimConfig sim_cfg;
+    const sim::SimulationResult result = sim::RunSimulation(
+        *index, jobs,
+        [&index](const Point& q, size_t k) {
+          return core::MakeAlgorithm(core::AlgorithmKind::kCrss,
+                                     index->tree(), q, k,
+                                     index->num_disks());
+        },
+        sim_cfg);
+    for (const sim::QueryOutcome& outcome : result.queries) {
+      EXPECT_EQ(outcome.results, 9u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp::parallel

@@ -1,0 +1,153 @@
+// Mixed read/write simulation — the paper's §1 dynamic environment:
+// insertions arriving concurrently with similarity queries, their I/O
+// interfering on the shared array.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::sim {
+namespace {
+
+using geometry::Point;
+
+std::unique_ptr<parallel::ParallelRStarTree> BuildIndex(
+    const workload::Dataset& data, int disks) {
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = data.dim;
+  tree_cfg.max_entries_override = 16;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = disks;
+  return workload::BuildParallelIndex(data, tree_cfg, dc);
+}
+
+AlgorithmFactory Factory(parallel::ParallelRStarTree* index) {
+  return [index](const Point& q, size_t k) {
+    return core::MakeAlgorithm(core::AlgorithmKind::kCrss, index->tree(), q,
+                               k, index->num_disks());
+  };
+}
+
+TEST(MixedWorkloadTest, InsertsApplyAndCompleteWithIo) {
+  const workload::Dataset data = workload::MakeUniform(2000, 2, 980);
+  auto index = BuildIndex(data, 5);
+  const uint64_t before = index->tree().size();
+
+  const workload::Dataset extra = workload::MakeUniform(300, 2, 981);
+  std::vector<InsertJob> inserts;
+  const auto arrivals = workload::PoissonArrivalTimes(300, 50.0, 982);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    inserts.push_back({arrivals[i], extra.points[i], 100000 + i});
+  }
+
+  SimConfig cfg;
+  std::vector<InsertOutcome> outcomes;
+  const SimulationResult result = RunMixedSimulation(
+      index.get(), /*queries=*/{}, inserts, Factory(index.get()), cfg,
+      &outcomes);
+
+  EXPECT_EQ(index->tree().size(), before + 300);
+  ASSERT_TRUE(index->tree().Validate().ok());
+  ASSERT_EQ(outcomes.size(), 300u);
+  for (const InsertOutcome& o : outcomes) {
+    EXPECT_GT(o.completion_time, o.arrival_time);
+    EXPECT_GE(o.pages_written, 1u);  // at least the leaf path
+    EXPECT_LE(o.pages_written,
+              static_cast<size_t>(index->tree().Height()) + 1);
+  }
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(MixedWorkloadTest, QueriesCompleteDuringUpdates) {
+  const workload::Dataset data = workload::MakeClustered(4000, 2, 6, 0.1, 983);
+  auto index = BuildIndex(data, 6);
+
+  const auto query_points = workload::MakeQueryPoints(
+      data, 40, workload::QueryDistribution::kDataDistributed, 984);
+  const auto q_arrivals = workload::PoissonArrivalTimes(40, 5.0, 985);
+  std::vector<QueryJob> queries;
+  for (size_t i = 0; i < query_points.size(); ++i) {
+    queries.push_back({q_arrivals[i], query_points[i], 10});
+  }
+  const workload::Dataset extra = workload::MakeUniform(200, 2, 986);
+  const auto i_arrivals = workload::PoissonArrivalTimes(200, 25.0, 987);
+  std::vector<InsertJob> inserts;
+  for (size_t i = 0; i < extra.size(); ++i) {
+    inserts.push_back({i_arrivals[i], extra.points[i], 500000 + i});
+  }
+
+  SimConfig cfg;
+  std::vector<InsertOutcome> outcomes;
+  const SimulationResult result = RunMixedSimulation(
+      index.get(), queries, inserts, Factory(index.get()), cfg, &outcomes);
+
+  ASSERT_EQ(result.queries.size(), queries.size());
+  for (const QueryOutcome& q : result.queries) {
+    EXPECT_GT(q.completion_time, q.arrival_time);
+    // Concurrent restructuring means no exactness guarantee, but every
+    // query must still return a full result set.
+    EXPECT_EQ(q.results, 10u);
+  }
+  ASSERT_TRUE(index->tree().Validate().ok());
+}
+
+TEST(MixedWorkloadTest, UpdateLoadSlowsQueries) {
+  const workload::Dataset data = workload::MakeClustered(5000, 2, 6, 0.1, 988);
+  const auto query_points = workload::MakeQueryPoints(
+      data, 60, workload::QueryDistribution::kDataDistributed, 989);
+  const auto q_arrivals = workload::PoissonArrivalTimes(60, 6.0, 990);
+  std::vector<QueryJob> queries;
+  for (size_t i = 0; i < query_points.size(); ++i) {
+    queries.push_back({q_arrivals[i], query_points[i], 20});
+  }
+
+  auto run = [&](double insert_rate) {
+    auto index = BuildIndex(data, 5);
+    std::vector<InsertJob> inserts;
+    if (insert_rate > 0) {
+      const workload::Dataset extra = workload::MakeUniform(400, 2, 991);
+      const auto arrivals =
+          workload::PoissonArrivalTimes(400, insert_rate, 992);
+      for (size_t i = 0; i < extra.size(); ++i) {
+        inserts.push_back({arrivals[i], extra.points[i], 700000 + i});
+      }
+    }
+    SimConfig cfg;
+    return RunMixedSimulation(index.get(), queries, inserts,
+                              Factory(index.get()), cfg, nullptr)
+        .MeanResponseTime();
+  };
+
+  const double quiet = run(0.0);
+  const double busy = run(60.0);  // heavy insert stream
+  EXPECT_GT(busy, quiet);
+}
+
+TEST(MixedWorkloadTest, ReadOnlyMixedRunMatchesPlainSimulation) {
+  const workload::Dataset data = workload::MakeUniform(1500, 2, 993);
+  auto index = BuildIndex(data, 4);
+  const auto query_points = workload::MakeQueryPoints(
+      data, 20, workload::QueryDistribution::kDataDistributed, 994);
+  const auto arrivals = workload::PoissonArrivalTimes(20, 4.0, 995);
+  std::vector<QueryJob> queries;
+  for (size_t i = 0; i < query_points.size(); ++i) {
+    queries.push_back({arrivals[i], query_points[i], 5});
+  }
+  SimConfig cfg;
+  const double plain =
+      RunSimulation(*index, queries, Factory(index.get()), cfg)
+          .MeanResponseTime();
+  const double mixed = RunMixedSimulation(index.get(), queries, {},
+                                          Factory(index.get()), cfg, nullptr)
+                           .MeanResponseTime();
+  EXPECT_DOUBLE_EQ(plain, mixed);
+}
+
+}  // namespace
+}  // namespace sqp::sim

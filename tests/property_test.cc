@@ -1,0 +1,227 @@
+// Metamorphic and cross-module properties that hold for *every* valid
+// configuration — the deep invariants of similarity search that individual
+// unit tests cannot pin down one case at a time.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/exact_knn.h"
+#include "core/range_search.h"
+#include "core/sequential_executor.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+// Property: the k-th NN distance is non-decreasing in k.
+TEST(SearchPropertyTest, KthDistanceMonotoneInK) {
+  const workload::Dataset data = workload::MakeClustered(800, 3, 6, 0.1, 1100);
+  RStarTree tree(SmallConfig(3));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 1101);
+  for (const Point& q : queries) {
+    double prev = 0.0;
+    for (size_t k = 1; k <= 60; k += 7) {
+      const double dk = core::KthNeighborDistSq(tree, q, k);
+      ASSERT_GE(dk, prev);
+      prev = dk;
+    }
+  }
+}
+
+// Property: insertion order never changes query answers.
+TEST(SearchPropertyTest, InsertionOrderIrrelevant) {
+  const workload::Dataset data = workload::MakeUniform(600, 2, 1102);
+  RStarTree forward(SmallConfig(2));
+  workload::InsertAll(data, &forward);
+  RStarTree backward(SmallConfig(2));
+  for (size_t i = data.size(); i-- > 0;) {
+    backward.Insert(data.points[i], i);
+  }
+  common::Rng rng(1103);
+  for (int t = 0; t < 20; ++t) {
+    const Point q{rng.Uniform(), rng.Uniform()};
+    const auto a = core::ExactKnn(forward, q, 12).result.Sorted();
+    const auto b = core::ExactKnn(backward, q, 12).result.Sorted();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].object, b[i].object);
+    }
+  }
+}
+
+// Property: a ball query with radius = exact Dk returns at least k
+// objects, and every k-NN result is inside it (range/NN duality, §2.3).
+TEST(SearchPropertyTest, RangeKnnDuality) {
+  const workload::Dataset data = workload::MakeClustered(900, 2, 7, 0.1, 1104);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 15, workload::QueryDistribution::kDataDistributed, 1105);
+  for (const Point& q : queries) {
+    const size_t k = 10;
+    const auto knn = core::ExactKnn(tree, q, k).result.Sorted();
+    const double dk = std::sqrt(knn.back().dist_sq);
+
+    std::vector<rstar::ObjectId> in_ball;
+    tree.BallSearch(q, dk, &in_ball);
+    ASSERT_GE(in_ball.size(), k);
+    for (const core::Neighbor& n : knn) {
+      ASSERT_NE(std::find(in_ball.begin(), in_ball.end(), n.object),
+                in_ball.end());
+    }
+  }
+}
+
+// Property: shifting the whole data set and query by the same vector
+// shifts nothing about the answer identities.
+TEST(SearchPropertyTest, TranslationInvariance) {
+  const workload::Dataset data = workload::MakeClustered(500, 2, 4, 0.1, 1106);
+  workload::Dataset shifted = data;
+  for (auto& p : shifted.points) {
+    p[0] = static_cast<geometry::Coord>(p[0] + 3.5f);
+    p[1] = static_cast<geometry::Coord>(p[1] - 2.25f);
+  }
+  RStarTree a(SmallConfig(2)), b(SmallConfig(2));
+  workload::InsertAll(data, &a);
+  workload::InsertAll(shifted, &b);
+
+  common::Rng rng(1107);
+  for (int t = 0; t < 15; ++t) {
+    const Point q{rng.Uniform(), rng.Uniform()};
+    const Point qs{q[0] + 3.5f, q[1] - 2.25f};
+    const auto ra = core::ExactKnn(a, q, 8).result.Sorted();
+    const auto rb = core::ExactKnn(b, qs, 8).result.Sorted();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      ASSERT_EQ(ra[i].object, rb[i].object) << "trial " << t;
+    }
+  }
+}
+
+// Property: page accesses of every algorithm are monotone (weakly) in k
+// in aggregate — more neighbors can never make the whole workload cheaper.
+TEST(SearchPropertyTest, AggregateAccessesMonotoneInK) {
+  const workload::Dataset data = workload::MakeClustered(2000, 2, 8, 0.1, 1108);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 20, workload::QueryDistribution::kDataDistributed, 1109);
+  for (AlgorithmKind kind : {AlgorithmKind::kBbss, AlgorithmKind::kCrss,
+                             AlgorithmKind::kWoptss}) {
+    double prev = 0.0;
+    for (size_t k : {1u, 4u, 16u, 64u}) {
+      double total = 0.0;
+      for (const Point& q : queries) {
+        auto algo = core::MakeAlgorithm(kind, tree, q, k, 10);
+        total += static_cast<double>(
+            core::RunToCompletion(tree, algo.get()).pages_fetched);
+      }
+      ASSERT_GE(total, prev) << core::AlgorithmName(kind) << " k=" << k;
+      prev = total;
+    }
+  }
+}
+
+// Property: box range queries distribute over box union — the result of
+// the union box is a superset of the union of results.
+TEST(SearchPropertyTest, RangeQueryBoxMonotonicity) {
+  const workload::Dataset data = workload::MakeUniform(700, 2, 1110);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  common::Rng rng(1111);
+  for (int t = 0; t < 20; ++t) {
+    const double x = rng.Uniform() * 0.5, y = rng.Uniform() * 0.5;
+    const geometry::Rect small(Point{x, y}, Point{x + 0.2, y + 0.2});
+    const geometry::Rect big(Point{x, y}, Point{x + 0.4, y + 0.4});
+    std::vector<rstar::ObjectId> s, b;
+    tree.RangeSearch(small, &s);
+    tree.RangeSearch(big, &b);
+    std::sort(s.begin(), s.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_TRUE(std::includes(b.begin(), b.end(), s.begin(), s.end()));
+  }
+}
+
+// Property: after deleting the current nearest neighbor, the next query
+// returns the previous runner-up.
+TEST(SearchPropertyTest, DeleteNearestPromotesRunnerUp) {
+  const workload::Dataset data = workload::MakeUniform(400, 2, 1112);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  common::Rng rng(1113);
+  for (int t = 0; t < 25; ++t) {
+    const Point q{rng.Uniform(), rng.Uniform()};
+    const auto two = core::ExactKnn(tree, q, 2).result.Sorted();
+    ASSERT_EQ(two.size(), 2u);
+    ASSERT_TRUE(tree.Delete(data.points[two[0].object], two[0].object).ok());
+    const auto one = core::ExactKnn(tree, q, 1).result.Sorted();
+    ASSERT_EQ(one[0].object, two[1].object);
+    // Restore for the next trial.
+    tree.Insert(data.points[two[0].object], two[0].object);
+  }
+}
+
+// Property: CRSS with a pathological u still terminates and is exact on
+// randomized micro-trees (fuzz over shapes the big tests never build).
+TEST(SearchPropertyTest, CrssFuzzOnTinyTrees) {
+  common::Rng rng(1114);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    const int fanout = 4 + static_cast<int>(rng.UniformInt(0, 8));
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 120));
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 20));
+    const int u = 1 + static_cast<int>(rng.UniformInt(0, 12));
+
+    workload::Dataset data;
+    data.dim = dim;
+    for (size_t i = 0; i < n; ++i) {
+      Point p(dim);
+      for (int d = 0; d < dim; ++d) {
+        // Mix of clustered and duplicate coordinates.
+        p[d] = static_cast<geometry::Coord>(
+            rng.Uniform() < 0.3 ? 0.5 : rng.Uniform());
+      }
+      data.points.push_back(std::move(p));
+    }
+    RStarTree tree(SmallConfig(dim, fanout));
+    workload::InsertAll(data, &tree);
+
+    Point q(dim);
+    for (int d = 0; d < dim; ++d) {
+      q[d] = static_cast<geometry::Coord>(rng.Uniform(-0.2, 1.2));
+    }
+    auto algo = core::MakeAlgorithm(AlgorithmKind::kCrss, tree, q, k, u);
+    core::RunToCompletion(tree, algo.get());
+    const auto got = algo->result().Sorted();
+    const auto want = workload::BruteForceKnn(data, q, k);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].object, want[i].first)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp

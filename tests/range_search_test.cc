@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/range_search.h"
+#include "core/sequential_executor.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using geometry::Rect;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+std::vector<rstar::ObjectId> SortedObjects(const ParallelRangeQuery& q) {
+  std::vector<rstar::ObjectId> v = q.objects();
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RangeRegionTest, BoxSemantics) {
+  const RangeRegion r = RangeRegion::Box(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}));
+  EXPECT_TRUE(r.Covers(Point{0.5, 0.5}));
+  EXPECT_TRUE(r.Covers(Point{1.0, 0.0}));
+  EXPECT_FALSE(r.Covers(Point{1.1, 0.5}));
+  EXPECT_TRUE(r.Intersects(Rect(Point{0.9, 0.9}, Point{2.0, 2.0})));
+  EXPECT_FALSE(r.Intersects(Rect(Point{1.5, 1.5}, Point{2.0, 2.0})));
+}
+
+TEST(RangeRegionTest, BallSemantics) {
+  const RangeRegion r = RangeRegion::Ball(Point{0.0, 0.0}, 1.0);
+  EXPECT_TRUE(r.Covers(Point{0.3, 0.4}));
+  EXPECT_TRUE(r.Covers(Point{1.0, 0.0}));   // exactly on the boundary
+  EXPECT_FALSE(r.Covers(Point{0.8, 0.8}));
+  EXPECT_TRUE(r.Intersects(Rect(Point{0.9, 0.0}, Point{2.0, 1.0})));
+  EXPECT_FALSE(r.Intersects(Rect(Point{1.1, 1.1}, Point{2.0, 2.0})));
+}
+
+TEST(ParallelRangeQueryTest, BoxMatchesLinearScan) {
+  const workload::Dataset data = workload::MakeClustered(1500, 2, 8, 0.1, 30);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+
+  common::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x = rng.Uniform(), y = rng.Uniform();
+    const double w = rng.Uniform() * 0.3;
+    const Rect box(Point{x, y},
+                   Point{std::min(1.0, x + w), std::min(1.0, y + w)});
+    ParallelRangeQuery q(tree, RangeRegion::Box(box));
+    RunToCompletion(tree, &q);
+
+    std::vector<rstar::ObjectId> want;
+    for (size_t i = 0; i < data.points.size(); ++i) {
+      if (box.Contains(data.points[i])) want.push_back(i);
+    }
+    EXPECT_EQ(SortedObjects(q), want) << "trial " << trial;
+    EXPECT_EQ(q.ResultCount(), want.size());
+  }
+}
+
+TEST(ParallelRangeQueryTest, BallMatchesTreeBallSearch) {
+  const workload::Dataset data = workload::MakeGaussian(1200, 3, 32);
+  RStarTree tree(SmallConfig(3));
+  workload::InsertAll(data, &tree);
+
+  common::Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point c{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const double radius = rng.Uniform() * 0.3;
+    ParallelRangeQuery q(tree, RangeRegion::Ball(c, radius));
+    RunToCompletion(tree, &q);
+
+    std::vector<rstar::ObjectId> want;
+    tree.BallSearch(c, radius, &want);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(SortedObjects(q), want) << "trial " << trial;
+  }
+}
+
+TEST(ParallelRangeQueryTest, UnboundedBatchesAreTreeLevels) {
+  const workload::Dataset data = workload::MakeUniform(3000, 2, 34);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  ParallelRangeQuery q(tree,
+                       RangeRegion::Box(Rect(Point{0.1, 0.1}, Point{0.9, 0.9})));
+  const ExecutionStats stats = RunToCompletion(tree, &q);
+  // One batch per level: full parallelism.
+  EXPECT_EQ(stats.steps, static_cast<size_t>(tree.Height()));
+}
+
+TEST(ParallelRangeQueryTest, BoundedBatchesRespectCap) {
+  const workload::Dataset data = workload::MakeUniform(3000, 2, 35);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  RangeQueryOptions options;
+  options.max_activation = 4;
+  ParallelRangeQuery q(
+      tree, RangeRegion::Box(Rect(Point{0.0, 0.0}, Point{1.0, 1.0})),
+      options);
+  const ExecutionStats stats = RunToCompletion(tree, &q);
+  EXPECT_LE(stats.max_batch, 4u);
+  EXPECT_EQ(q.ResultCount(), data.size());
+}
+
+TEST(ParallelRangeQueryTest, BoundedAndUnboundedAgree) {
+  const workload::Dataset data = workload::MakeClustered(900, 2, 5, 0.2, 36);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const Rect box(Point{0.2, 0.2}, Point{0.7, 0.7});
+
+  ParallelRangeQuery unbounded(tree, RangeRegion::Box(box));
+  RunToCompletion(tree, &unbounded);
+  RangeQueryOptions options;
+  options.max_activation = 3;
+  ParallelRangeQuery bounded(tree, RangeRegion::Box(box), options);
+  RunToCompletion(tree, &bounded);
+  EXPECT_EQ(SortedObjects(unbounded), SortedObjects(bounded));
+}
+
+TEST(ParallelRangeQueryTest, EmptyTreeAndEmptyRegion) {
+  RStarTree tree(SmallConfig(2));
+  ParallelRangeQuery q(tree,
+                       RangeRegion::Box(Rect(Point{0.0, 0.0}, Point{1.0, 1.0})));
+  const ExecutionStats stats = RunToCompletion(tree, &q);
+  EXPECT_EQ(q.ResultCount(), 0u);
+  EXPECT_EQ(stats.pages_fetched, 1u);
+
+  workload::Dataset data = workload::MakeUniform(200, 2, 37);
+  RStarTree tree2(SmallConfig(2));
+  workload::InsertAll(data, &tree2);
+  // A region that intersects nothing.
+  ParallelRangeQuery q2(tree2, RangeRegion::Ball(Point{5.0, 5.0}, 0.1));
+  RunToCompletion(tree2, &q2);
+  EXPECT_EQ(q2.ResultCount(), 0u);
+}
+
+TEST(ParallelRangeQueryTest, ZeroRadiusBallFindsExactDuplicates) {
+  RStarTree tree(SmallConfig(2, 6));
+  for (rstar::ObjectId i = 0; i < 10; ++i) tree.Insert(Point{0.5, 0.5}, i);
+  tree.Insert(Point{0.6, 0.5}, 99);
+  ParallelRangeQuery q(tree, RangeRegion::Ball(Point{0.5, 0.5}, 0.0));
+  RunToCompletion(tree, &q);
+  EXPECT_EQ(q.ResultCount(), 10u);
+}
+
+}  // namespace
+}  // namespace sqp::core

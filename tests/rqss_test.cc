@@ -1,0 +1,134 @@
+// RQSS — the §2.3 strawman: k-NN as a series of growing range queries.
+// Correctness plus the measurable waste that motivates CRSS.
+
+#include <gtest/gtest.h>
+
+#include "core/crss.h"
+#include "core/rqss.h"
+#include "core/sequential_executor.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::core {
+namespace {
+
+using geometry::Point;
+using rstar::RStarTree;
+using rstar::TreeConfig;
+
+TreeConfig SmallConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+void ExpectMatchesBruteForce(const KnnResultSet& got,
+                             const workload::Dataset& data, const Point& q,
+                             size_t k) {
+  const auto want = workload::BruteForceKnn(data, q, k);
+  const auto sorted = got.Sorted();
+  ASSERT_EQ(sorted.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(sorted[i].object, want[i].first) << "rank " << i;
+    ASSERT_DOUBLE_EQ(sorted[i].dist_sq, want[i].second) << "rank " << i;
+  }
+}
+
+TEST(RqssTest, MatchesBruteForceAcrossShapes) {
+  for (int dim : {1, 2, 5}) {
+    const workload::Dataset data =
+        workload::MakeClustered(800, dim, 6, 0.1, 40 + dim);
+    RStarTree tree(SmallConfig(dim));
+    workload::InsertAll(data, &tree);
+    const auto queries = workload::MakeQueryPoints(
+        data, 10, workload::QueryDistribution::kDataDistributed, 41);
+    for (size_t k : {1u, 8u, 30u}) {
+      for (const Point& q : queries) {
+        Rqss algo(tree, q, k, {});
+        RunToCompletion(tree, &algo);
+        ExpectMatchesBruteForce(algo.result(), data, q, k);
+      }
+    }
+  }
+}
+
+TEST(RqssTest, TinyInitialEpsilonStillCorrect) {
+  const workload::Dataset data = workload::MakeUniform(500, 2, 42);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  RqssOptions options;
+  options.initial_epsilon = 1e-6;
+  Rqss algo(tree, Point{0.5, 0.5}, 10, options);
+  RunToCompletion(tree, &algo);
+  ExpectMatchesBruteForce(algo.result(), data, Point{0.5, 0.5}, 10);
+  EXPECT_GT(algo.phases(), 3);  // many reruns from a hopeless start
+}
+
+TEST(RqssTest, HugeInitialEpsilonSinglePhase) {
+  const workload::Dataset data = workload::MakeUniform(500, 2, 43);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  RqssOptions options;
+  options.initial_epsilon = 10.0;  // covers the whole unit square
+  Rqss algo(tree, Point{0.5, 0.5}, 10, options);
+  const ExecutionStats stats = RunToCompletion(tree, &algo);
+  EXPECT_EQ(algo.phases(), 1);
+  // ...but at the price of reading every page of the tree.
+  EXPECT_EQ(stats.pages_fetched, tree.NodeCount());
+  ExpectMatchesBruteForce(algo.result(), data, Point{0.5, 0.5}, 10);
+}
+
+TEST(RqssTest, KLargerThanDatasetReturnsAll) {
+  const workload::Dataset data = workload::MakeUniform(40, 2, 44);
+  RStarTree tree(SmallConfig(2, 6));
+  workload::InsertAll(data, &tree);
+  Rqss algo(tree, Point{0.1, 0.1}, 100, {});
+  RunToCompletion(tree, &algo);
+  EXPECT_EQ(algo.result().size(), 40u);
+}
+
+TEST(RqssTest, EmptyTree) {
+  RStarTree tree(SmallConfig(2));
+  Rqss algo(tree, Point{0.5, 0.5}, 5, {});
+  RunToCompletion(tree, &algo);
+  EXPECT_EQ(algo.result().size(), 0u);
+}
+
+TEST(RqssTest, RefetchesMorePagesThanCrss) {
+  // The paper's argument: epsilon-series search wastes resources compared
+  // to count-guided search. Aggregate page fetches over many queries.
+  const workload::Dataset data = workload::MakeClustered(2000, 2, 8, 0.1, 45);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 25, workload::QueryDistribution::kDataDistributed, 46);
+  size_t rqss_pages = 0, crss_pages = 0;
+  for (const Point& q : queries) {
+    Rqss rqss(tree, q, 10, {});
+    rqss_pages += RunToCompletion(tree, &rqss).pages_fetched;
+    Crss crss(tree, q, 10, CrssOptions{10, true});
+    crss_pages += RunToCompletion(tree, &crss).pages_fetched;
+  }
+  EXPECT_GT(rqss_pages, crss_pages);
+}
+
+TEST(RqssTest, EpsilonGrowsMonotonically) {
+  const workload::Dataset data = workload::MakeUniform(600, 2, 47);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  RqssOptions options;
+  options.initial_epsilon = 1e-4;
+  options.growth = 3.0;
+  Rqss algo(tree, Point{0.25, 0.75}, 5, options);
+  RunToCompletion(tree, &algo);
+  // Final epsilon = initial * growth^(phases-1).
+  const double expected =
+      1e-4 * std::pow(3.0, static_cast<double>(algo.phases() - 1));
+  EXPECT_NEAR(algo.current_epsilon(), expected, expected * 1e-9);
+}
+
+}  // namespace
+}  // namespace sqp::core

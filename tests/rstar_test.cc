@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/metrics.h"
+#include "rstar/rstar_tree.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp::rstar {
+namespace {
+
+using geometry::Point;
+using geometry::Rect;
+
+TreeConfig SmallConfig(int dim, int max_entries = 8) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+TEST(TreeConfigTest, PageDerivedCapacities) {
+  TreeConfig cfg;
+  cfg.dim = 2;
+  cfg.page_size_bytes = 4096;
+  // Entry: 8*2 + 8 = 24 bytes; (4096 - 24) / 24 = 169.
+  EXPECT_EQ(cfg.EntryBytes(), 24);
+  EXPECT_EQ(cfg.MaxEntries(), 169);
+  EXPECT_EQ(cfg.MinEntries(), 67);
+
+  cfg.dim = 10;
+  // Entry: 88 bytes; (4096 - 24) / 88 = 46.
+  EXPECT_EQ(cfg.MaxEntries(), 46);
+}
+
+TEST(TreeConfigTest, OverrideAndReinsertCount) {
+  TreeConfig cfg = SmallConfig(2, 10);
+  EXPECT_EQ(cfg.MaxEntries(), 10);
+  EXPECT_EQ(cfg.MinEntries(), 4);
+  EXPECT_EQ(cfg.ReinsertCount(), 3);
+  cfg.Validate();
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree(SmallConfig(2));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_TRUE(tree.Validate().ok());
+  std::vector<ObjectId> out;
+  tree.RangeSearch(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, SingleInsertAndSearch) {
+  RStarTree tree(SmallConfig(2));
+  tree.Insert(Point{0.5, 0.5}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  std::vector<ObjectId> out;
+  tree.RangeSearch(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+
+  out.clear();
+  tree.RangeSearch(Rect(Point{0.6, 0.6}, Point{1.0, 1.0}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, GrowsAndStaysValid) {
+  RStarTree tree(SmallConfig(2, 8));
+  common::Rng rng(99);
+  for (ObjectId i = 0; i < 500; ++i) {
+    tree.Insert(Point{rng.Uniform(), rng.Uniform()}, i);
+    if (i % 50 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GE(tree.Height(), 3);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(RStarTreeTest, RangeSearchMatchesLinearScan) {
+  workload::Dataset data = workload::MakeUniform(800, 2, 5);
+  RStarTree tree(SmallConfig(2, 12));
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  common::Rng rng(17);
+  for (int q = 0; q < 50; ++q) {
+    const double x0 = rng.Uniform(), y0 = rng.Uniform();
+    const double w = rng.Uniform() * 0.3;
+    Rect box(Point{x0, y0},
+             Point{std::min(1.0, x0 + w), std::min(1.0, y0 + w)});
+    std::vector<ObjectId> got;
+    tree.RangeSearch(box, &got);
+    std::sort(got.begin(), got.end());
+
+    std::vector<ObjectId> want;
+    for (size_t i = 0; i < data.points.size(); ++i) {
+      if (box.Contains(data.points[i])) want.push_back(i);
+    }
+    ASSERT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(RStarTreeTest, BallSearchMatchesLinearScan) {
+  workload::Dataset data = workload::MakeGaussian(600, 3, 6);
+  RStarTree tree(SmallConfig(3, 10));
+  workload::InsertAll(data, &tree);
+
+  common::Rng rng(18);
+  for (int q = 0; q < 40; ++q) {
+    Point c{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const double radius = rng.Uniform() * 0.4;
+    std::vector<ObjectId> got;
+    tree.BallSearch(c, radius, &got);
+    std::sort(got.begin(), got.end());
+
+    std::vector<ObjectId> want;
+    for (size_t i = 0; i < data.points.size(); ++i) {
+      if (geometry::DistanceSq(c, data.points[i]) <= radius * radius) {
+        want.push_back(i);
+      }
+    }
+    ASSERT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(RStarTreeTest, DuplicatePointsSupported) {
+  RStarTree tree(SmallConfig(2, 6));
+  for (ObjectId i = 0; i < 100; ++i) {
+    tree.Insert(Point{0.5, 0.5}, i);
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  std::vector<ObjectId> out;
+  tree.RangeSearch(Rect::ForPoint(Point{0.5, 0.5}), &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(RStarTreeTest, DeleteRemovesExactly) {
+  workload::Dataset data = workload::MakeUniform(300, 2, 8);
+  RStarTree tree(SmallConfig(2, 8));
+  workload::InsertAll(data, &tree);
+
+  EXPECT_TRUE(tree.Delete(data.points[42], 42).ok());
+  EXPECT_EQ(tree.size(), 299u);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  std::vector<ObjectId> out;
+  tree.RangeSearch(Rect::ForPoint(data.points[42]), &out);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 42u), 0);
+
+  // Deleting again: not found.
+  EXPECT_EQ(tree.Delete(data.points[42], 42).code(),
+            common::StatusCode::kNotFound);
+  // Wrong id at an existing location: not found.
+  EXPECT_EQ(tree.Delete(data.points[43], 999999).code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(RStarTreeTest, DeleteAllLeavesEmptyValidTree) {
+  workload::Dataset data = workload::MakeUniform(200, 2, 9);
+  RStarTree tree(SmallConfig(2, 6));
+  workload::InsertAll(data, &tree);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(RStarTreeTest, RandomInsertDeleteInterleavingStaysValid) {
+  common::Rng rng(31337);
+  RStarTree tree(SmallConfig(2, 7));
+  std::vector<std::pair<Point, ObjectId>> live;
+  ObjectId next_id = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const bool insert = live.empty() || rng.Uniform() < 0.6;
+    if (insert) {
+      Point p{rng.Uniform(), rng.Uniform()};
+      tree.Insert(p, next_id);
+      live.emplace_back(p, next_id);
+      ++next_id;
+    } else {
+      const size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Delete(live[idx].first, live[idx].second).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (op % 250 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << "op " << op;
+      ASSERT_EQ(tree.size(), live.size());
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  ASSERT_EQ(tree.size(), live.size());
+
+  // Every live object findable.
+  std::vector<ObjectId> out;
+  tree.RangeSearch(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}), &out);
+  EXPECT_EQ(out.size(), live.size());
+}
+
+TEST(RStarTreeTest, CountsAugmentationConsistent) {
+  workload::Dataset data = workload::MakeClustered(1500, 2, 12, 0.05, 77);
+  RStarTree tree(SmallConfig(2, 16));
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());  // Validate() checks counts
+  const Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.ObjectCount(), 1500u);
+}
+
+TEST(RStarTreeTest, ForcedReinsertDisabledStillValid) {
+  TreeConfig cfg = SmallConfig(2, 8);
+  cfg.forced_reinsert = false;
+  RStarTree tree(cfg);
+  common::Rng rng(5);
+  for (ObjectId i = 0; i < 400; ++i) {
+    tree.Insert(Point{rng.Uniform(), rng.Uniform()}, i);
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), 400u);
+}
+
+TEST(RStarTreeTest, HigherDimensionsValid) {
+  for (int dim : {3, 5, 10}) {
+    workload::Dataset data = workload::MakeUniform(400, dim, 100 + dim);
+    TreeConfig cfg;
+    cfg.dim = dim;
+    cfg.max_entries_override = 12;
+    RStarTree tree(cfg);
+    workload::InsertAll(data, &tree);
+    ASSERT_TRUE(tree.Validate().ok()) << "dim " << dim;
+  }
+}
+
+TEST(RStarTreeTest, PageSizedNodesRealisticBuild) {
+  // Full page-sized fan-out (169 entries at d=2) over 20k points.
+  workload::Dataset data = workload::MakeUniform(20000, 2, 11);
+  TreeConfig cfg;
+  cfg.dim = 2;
+  RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());
+  // 20000 points / 169-entry leaves => ~120-180 leaves, height 2 or 3.
+  EXPECT_GE(tree.Height(), 2);
+  EXPECT_LE(tree.Height(), 3);
+  EXPECT_EQ(tree.size(), 20000u);
+}
+
+TEST(RStarTreeTest, LiveNodeIdsMatchesNodeCount) {
+  workload::Dataset data = workload::MakeUniform(500, 2, 12);
+  RStarTree tree(SmallConfig(2, 8));
+  workload::InsertAll(data, &tree);
+  EXPECT_EQ(tree.LiveNodeIds().size(), tree.NodeCount());
+}
+
+// Structural invariants under a parameter sweep of fan-outs.
+class FanoutSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FanoutSweepTest, BuildValidateDelete) {
+  const int fanout = GetParam();
+  workload::Dataset data = workload::MakeClustered(700, 2, 8, 0.1, 55);
+  RStarTree tree(SmallConfig(2, fanout));
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok()) << "fanout " << fanout;
+  // Delete a third.
+  for (size_t i = 0; i < data.points.size(); i += 3) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << "fanout " << fanout;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweepTest,
+                         ::testing::Values(4, 6, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace sqp::rstar

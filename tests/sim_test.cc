@@ -1,0 +1,229 @@
+// Simulator kernel tests: event ordering, FCFS semantics, the HP C2200A
+// service-time model, and queueing-theory sanity checks.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/disk.h"
+#include "sim/disk_model.h"
+#include "sim/event_queue.h"
+#include "sim/fcfs_server.h"
+
+namespace sqp::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(3.0, [&] { order.push_back(3); });
+  eq.ScheduleAt(1.0, [&] { order.push_back(1); });
+  eq.ScheduleAt(2.0, [&] { order.push_back(2); });
+  eq.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  eq.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ReentrantScheduling) {
+  EventQueue eq;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(eq.now());
+    if (times.size() < 5) eq.ScheduleAfter(1.5, chain);
+  };
+  eq.ScheduleAt(0.0, chain);
+  eq.Run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 6.0);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.Step());
+  eq.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(eq.Step());
+  EXPECT_FALSE(eq.Step());
+}
+
+TEST(FcfsServerTest, ServesInOrderWithQueueing) {
+  EventQueue eq;
+  FcfsServer server(&eq);
+  std::vector<double> completions;
+  // Three jobs submitted at t=0, each 2s of service: completions at 2,4,6.
+  eq.ScheduleAt(0.0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      server.Submit([] { return 2.0; },
+                    [&] { completions.push_back(eq.now()); });
+    }
+  });
+  eq.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 4.0);
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 6.0);
+  EXPECT_EQ(server.completed(), 3u);
+}
+
+TEST(FcfsServerTest, IdleGapsNotCountedBusy) {
+  EventQueue eq;
+  FcfsServer server(&eq);
+  eq.ScheduleAt(0.0,
+                [&] { server.Submit([] { return 1.0; }, [] {}); });
+  eq.ScheduleAt(10.0,
+                [&] { server.Submit([] { return 1.0; }, [] {}); });
+  eq.Run();
+  EXPECT_DOUBLE_EQ(server.busy_time(), 2.0);
+  EXPECT_DOUBLE_EQ(eq.now(), 11.0);
+}
+
+TEST(FcfsServerTest, ServiceTimeEvaluatedAtStart) {
+  EventQueue eq;
+  FcfsServer server(&eq);
+  double knob = 1.0;
+  std::vector<double> completions;
+  eq.ScheduleAt(0.0, [&] {
+    server.Submit([&] { return knob; },
+                  [&] { completions.push_back(eq.now()); });
+    server.Submit([&] { return knob; },
+                  [&] { completions.push_back(eq.now()); });
+    knob = 5.0;  // affects the queued job (starts later), not the running one
+  });
+  eq.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 6.0);
+}
+
+TEST(DiskModelTest, SeekCurveShape) {
+  const DiskParams p = DiskParams::HP_C2200A();
+  EXPECT_DOUBLE_EQ(p.SeekTime(100, 100), 0.0);
+  // Short seek: c1 + c2*sqrt(d).
+  EXPECT_DOUBLE_EQ(p.SeekTime(0, 100), 0.00324 + 0.0004 * std::sqrt(100.0));
+  // At the threshold.
+  EXPECT_DOUBLE_EQ(p.SeekTime(0, 383), 0.00324 + 0.0004 * std::sqrt(383.0));
+  // Long seek: c3 + c4*d.
+  EXPECT_DOUBLE_EQ(p.SeekTime(0, 384), 0.008 + 0.000008 * 384);
+  EXPECT_DOUBLE_EQ(p.SeekTime(0, 1448), 0.008 + 0.000008 * 1448);
+  // Symmetric in direction.
+  EXPECT_DOUBLE_EQ(p.SeekTime(1448, 0), p.SeekTime(0, 1448));
+}
+
+TEST(DiskModelTest, SeekMonotoneInDistance) {
+  const DiskParams p = DiskParams::HP_C2200A();
+  double prev = 0.0;
+  for (int d = 1; d < p.num_cylinders; d += 7) {
+    const double t = p.SeekTime(0, d);
+    EXPECT_GE(t, prev - 1e-12) << "distance " << d;
+    prev = t;
+  }
+}
+
+TEST(DiskModelTest, ServiceTimeComponentsBounded) {
+  const DiskParams p = DiskParams::HP_C2200A();
+  common::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int from = static_cast<int>(rng.UniformInt(0, 1448));
+    const int to = static_cast<int>(rng.UniformInt(0, 1448));
+    const double t = p.ServiceTime(from, to, rng);
+    // Lower bound: transfer + controller overhead.
+    EXPECT_GE(t, p.page_transfer_time + p.controller_overhead);
+    EXPECT_LE(t, p.MeanServiceTimeUpperBound());
+  }
+}
+
+TEST(DiskModelTest, RotationalLatencyUniform) {
+  const DiskParams p = DiskParams::HP_C2200A();
+  common::Rng rng(2);
+  common::RunningStats rot;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = p.ServiceTime(0, 0, rng);  // no seek component
+    rot.Add(t - p.page_transfer_time - p.controller_overhead);
+  }
+  EXPECT_NEAR(rot.mean(), p.revolution_time / 2.0, 0.0002);
+  EXPECT_GE(rot.min(), 0.0);
+  EXPECT_LE(rot.max(), p.revolution_time);
+}
+
+TEST(DiskTest, FcfsAndHeadTracking) {
+  EventQueue eq;
+  DiskParams params = DiskParams::HP_C2200A();
+  Disk disk(params, &eq, common::Rng(3));
+  std::vector<double> completions;
+  eq.ScheduleAt(0.0, [&] {
+    disk.ReadPage(100, [&] { completions.push_back(eq.now()); });
+    disk.ReadPage(100, [&] { completions.push_back(eq.now()); });
+  });
+  eq.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_LT(completions[0], completions[1]);
+  EXPECT_EQ(disk.head(), 100);
+  EXPECT_EQ(disk.pages_served(), 2u);
+  // Second access: same cylinder, so no seek — its service is at most one
+  // rotation + transfer + overhead.
+  const double second_service = completions[1] - completions[0];
+  EXPECT_LE(second_service, params.revolution_time +
+                                params.page_transfer_time +
+                                params.controller_overhead + 1e-12);
+}
+
+// M/D/1 sanity check: Poisson arrivals into a deterministic server; the
+// simulated mean waiting time must match Pollaczek-Khinchine.
+TEST(QueueTheoryTest, MD1WaitMatchesPollaczekKhinchine) {
+  EventQueue eq;
+  FcfsServer server(&eq);
+  common::Rng rng(4);
+  const double service = 0.01;
+  const double lambda = 60.0;  // utilization 0.6
+  const int n = 40000;
+
+  common::RunningStats waits;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.Exponential(lambda);
+    const double arrival = t;
+    eq.ScheduleAt(arrival, [&, arrival] {
+      server.Submit([service] { return service; }, [&, arrival] {
+        waits.Add(eq.now() - arrival - service);  // queueing delay only
+      });
+    });
+  }
+  eq.Run();
+
+  const double rho = lambda * service;
+  const double expected_wait = rho * service / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(waits.mean(), expected_wait, expected_wait * 0.08);
+}
+
+// Utilization accounting: busy time / makespan ~ lambda * E[S].
+TEST(QueueTheoryTest, UtilizationMatchesOfferedLoad) {
+  EventQueue eq;
+  FcfsServer server(&eq);
+  common::Rng rng(5);
+  const double service = 0.02;
+  const double lambda = 25.0;  // rho = 0.5
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.Exponential(lambda);
+    eq.ScheduleAt(t, [&] { server.Submit([service] { return service; }, [] {}); });
+  }
+  eq.Run();
+  const double rho = server.busy_time() / eq.now();
+  EXPECT_NEAR(rho, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace sqp::sim

@@ -1,0 +1,300 @@
+// SS-tree substrate and its CRSS adaptation (paper §5 future work).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sstree/ss_search.h"
+#include "sstree/sstree.h"
+#include "workload/dataset.h"
+#include "workload/workload.h"
+
+namespace sqp::sstree {
+namespace {
+
+using geometry::Point;
+
+SsTreeConfig SmallConfig(int dim, int max_entries = 10) {
+  SsTreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+void InsertAll(const workload::Dataset& data, SsTree* tree) {
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    tree->Insert(data.points[i], i);
+  }
+}
+
+TEST(SsTreeConfigTest, PageDerivedCapacities) {
+  SsTreeConfig cfg;
+  cfg.dim = 2;
+  cfg.page_size_bytes = 4096;
+  // Entry: 4*2 + 12 = 20 bytes; (4096 - 24) / 20 = 203.
+  EXPECT_EQ(cfg.EntryBytes(), 20);
+  EXPECT_EQ(cfg.MaxEntries(), 203);
+  cfg.Validate();
+}
+
+TEST(SphereMetricsTest, HandComputed) {
+  SsEntry e;
+  e.centroid = Point{0.0, 0.0};
+  e.radius = 1.0;
+  // Query at distance 3: MinDist = 2, MaxDist = 4.
+  EXPECT_DOUBLE_EQ(SphereMinDistSq(Point{3.0, 0.0}, e), 4.0);
+  EXPECT_DOUBLE_EQ(SphereMaxDistSq(Point{3.0, 0.0}, e), 16.0);
+  // Query inside the sphere: MinDist = 0.
+  EXPECT_DOUBLE_EQ(SphereMinDistSq(Point{0.5, 0.0}, e), 0.0);
+}
+
+TEST(SsTreeTest, EmptyAndSingle) {
+  SsTree tree(SmallConfig(2));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate().ok());
+  tree.Insert(Point{0.5, 0.5}, 3);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(SsTreeTest, GrowsValidAcrossShapes) {
+  for (int dim : {2, 5, 10}) {
+    const workload::Dataset data =
+        workload::MakeClustered(1200, dim, 6, 0.1, 950 + dim);
+    SsTree tree(SmallConfig(dim, 8));
+    InsertAll(data, &tree);
+    ASSERT_TRUE(tree.Validate().ok()) << "dim " << dim;
+    EXPECT_EQ(tree.size(), data.size());
+    EXPECT_GE(tree.Height(), 3);
+  }
+}
+
+TEST(SsTreeTest, DeleteMaintainsInvariants) {
+  const workload::Dataset data = workload::MakeUniform(800, 2, 951);
+  SsTree tree(SmallConfig(2, 8));
+  InsertAll(data, &tree);
+  for (size_t i = 0; i < data.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok()) << i;
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), data.size() / 2);
+  EXPECT_EQ(tree.Delete(data.points[0], 0).code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(SsTreeTest, DeleteAllThenReinsert) {
+  const workload::Dataset data = workload::MakeGaussian(300, 3, 952);
+  SsTree tree(SmallConfig(3, 6));
+  InsertAll(data, &tree);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok());
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.Validate().ok());
+  InsertAll(data, &tree);
+  EXPECT_EQ(tree.size(), data.size());
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(SsExactKnnTest, MatchesBruteForce) {
+  const workload::Dataset data = workload::MakeClustered(1000, 3, 7, 0.1, 953);
+  SsTree tree(SmallConfig(3));
+  InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 15, workload::QueryDistribution::kDataDistributed, 954);
+  for (const Point& q : queries) {
+    for (size_t k : {1u, 9u, 40u}) {
+      const SsKnnOutput out = SsExactKnn(tree, q, k);
+      const auto truth = workload::BruteForceKnn(data, q, k);
+      const auto sorted = out.result.Sorted();
+      ASSERT_EQ(sorted.size(), truth.size());
+      for (size_t i = 0; i < truth.size(); ++i) {
+        ASSERT_EQ(sorted[i].object, truth[i].first) << "k=" << k;
+        ASSERT_DOUBLE_EQ(sorted[i].dist_sq, truth[i].second);
+      }
+    }
+  }
+}
+
+TEST(SsCrssTest, MatchesBruteForceAcrossDimsAndK) {
+  for (int dim : {1, 2, 5, 8}) {
+    const workload::Dataset data =
+        workload::MakeClustered(700, dim, 5, 0.1, 955 + dim);
+    SsTree tree(SmallConfig(dim, 9));
+    InsertAll(data, &tree);
+    const auto queries = workload::MakeQueryPoints(
+        data, 8, workload::QueryDistribution::kDataDistributed, 956);
+    for (const Point& q : queries) {
+      for (size_t k : {1u, 12u, 60u}) {
+        const SsKnnOutput out = SsCrss(tree, q, k, {});
+        const auto truth = workload::BruteForceKnn(data, q, k);
+        const auto sorted = out.result.Sorted();
+        ASSERT_EQ(sorted.size(), truth.size()) << "dim " << dim;
+        for (size_t i = 0; i < truth.size(); ++i) {
+          ASSERT_EQ(sorted[i].object, truth[i].first)
+              << "dim " << dim << " k " << k << " rank " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SsCrssTest, KBeyondDatasetReturnsAll) {
+  const workload::Dataset data = workload::MakeUniform(50, 2, 957);
+  SsTree tree(SmallConfig(2, 6));
+  InsertAll(data, &tree);
+  const SsKnnOutput out = SsCrss(tree, Point{0.4, 0.4}, 500, {});
+  EXPECT_EQ(out.result.size(), 50u);
+}
+
+TEST(SsCrssTest, ExactKnnIsPageLowerBound) {
+  const workload::Dataset data = workload::MakeGaussian(2000, 4, 958);
+  SsTree tree(SmallConfig(4));
+  InsertAll(data, &tree);
+  const auto queries = workload::MakeQueryPoints(
+      data, 12, workload::QueryDistribution::kDataDistributed, 959);
+  for (const Point& q : queries) {
+    const SsKnnOutput exact = SsExactKnn(tree, q, 10);
+    const SsKnnOutput crss = SsCrss(tree, q, 10, {});
+    EXPECT_GE(crss.stats.pages_fetched, exact.stats.pages_fetched);
+  }
+}
+
+TEST(SsCrssTest, BatchesBoundedByActivationLimit) {
+  const workload::Dataset data = workload::MakeClustered(2000, 2, 8, 0.1, 960);
+  SsTree tree(SmallConfig(2));
+  InsertAll(data, &tree);
+  for (int u : {1, 4, 12}) {
+    SsCrssOptions options;
+    options.max_activation = u;
+    const SsKnnOutput out = SsCrss(tree, Point{0.5, 0.5}, 4, options);
+    // Once results are full, u is a hard cap; the lower-bound promotion
+    // can exceed it only before that (mirrors core::Crss).
+    EXPECT_LE(out.stats.max_batch, static_cast<size_t>(u) + 4u) << u;
+    EXPECT_EQ(out.result.size(), 4u);
+  }
+}
+
+TEST(SsCrssTest, DuplicatePoints) {
+  SsTree tree(SmallConfig(2, 6));
+  for (ObjectId i = 0; i < 25; ++i) tree.Insert(Point{0.3, 0.3}, i);
+  const SsKnnOutput out = SsCrss(tree, Point{0.3, 0.3}, 25, {});
+  const auto sorted = out.result.Sorted();
+  ASSERT_EQ(sorted.size(), 25u);
+  for (size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(sorted[i].object, i);
+    EXPECT_DOUBLE_EQ(sorted[i].dist_sq, 0.0);
+  }
+}
+
+TEST(SsTreeTest, MixedOpsStress) {
+  common::Rng rng(961);
+  SsTree tree(SmallConfig(3, 7));
+  std::vector<std::pair<Point, ObjectId>> live;
+  ObjectId next = 0;
+  for (int op = 0; op < 2000; ++op) {
+    if (live.empty() || rng.Uniform() < 0.6) {
+      Point p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      tree.Insert(p, next);
+      live.emplace_back(p, next);
+      ++next;
+    } else {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Delete(live[at].first, live[at].second).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    if (op % 200 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  ASSERT_EQ(tree.size(), live.size());
+}
+
+// --- SR-tree mode (store_rects) ---
+
+SsTreeConfig SrConfig(int dim, int max_entries = 10) {
+  SsTreeConfig cfg = SmallConfig(dim, max_entries);
+  cfg.store_rects = true;
+  return cfg;
+}
+
+TEST(SrTreeTest, EntryBytesIncludeRect) {
+  SsTreeConfig ss, sr;
+  ss.dim = sr.dim = 4;
+  sr.store_rects = true;
+  EXPECT_EQ(ss.EntryBytes(), 28);
+  EXPECT_EQ(sr.EntryBytes(), 60);
+  EXPECT_LT(sr.MaxEntries(), ss.MaxEntries());  // fan-out price
+}
+
+TEST(SrTreeTest, CombinedKernelsTightenBothBounds) {
+  SsEntry e;
+  e.centroid = Point{0.5, 0.5};
+  e.radius = 0.5;
+  e.rect = geometry::Rect(Point{0.4, 0.4}, Point{0.6, 0.6});
+  const Point q{0.0, 0.5};
+  // Sphere MinDist = 0 (q on sphere boundary); rect MinDist = 0.4.
+  EXPECT_GT(EntryMinDistSq(q, e), SphereMinDistSq(q, e));
+  // Rect MaxDist < sphere MaxDist here.
+  EXPECT_LT(EntryMaxDistSq(q, e), SphereMaxDistSq(q, e));
+  EXPECT_LE(EntryMinDistSq(q, e), EntryMaxDistSq(q, e));
+}
+
+TEST(SrTreeTest, ValidAndExactAcrossDims) {
+  for (int dim : {2, 5, 8}) {
+    const workload::Dataset data =
+        workload::MakeClustered(800, dim, 5, 0.1, 1200 + dim);
+    SsTree tree(SrConfig(dim, 9));
+    InsertAll(data, &tree);
+    ASSERT_TRUE(tree.Validate().ok()) << "dim " << dim;
+
+    const auto queries = workload::MakeQueryPoints(
+        data, 8, workload::QueryDistribution::kDataDistributed, 1201);
+    for (const Point& q : queries) {
+      const SsKnnOutput exact = SsExactKnn(tree, q, 12);
+      const SsKnnOutput crss = SsCrss(tree, q, 12, {});
+      const auto truth = workload::BruteForceKnn(data, q, 12);
+      const auto se = exact.result.Sorted();
+      const auto sc = crss.result.Sorted();
+      ASSERT_EQ(se.size(), truth.size());
+      ASSERT_EQ(sc.size(), truth.size());
+      for (size_t i = 0; i < truth.size(); ++i) {
+        ASSERT_EQ(se[i].object, truth[i].first) << "dim " << dim;
+        ASSERT_EQ(sc[i].object, truth[i].first) << "dim " << dim;
+      }
+    }
+  }
+}
+
+TEST(SrTreeTest, NeverWorseThanSsAtEqualFanout) {
+  // At the SAME fan-out the SR kernels strictly dominate the SS kernels,
+  // so best-first page accesses cannot increase. (In practice SR pays via
+  // lower fan-out at equal page size; the bench shows that trade-off.)
+  const workload::Dataset data = workload::MakeGaussian(3000, 6, 1202);
+  SsTree ss(SmallConfig(6, 12));
+  SsTree sr(SrConfig(6, 12));
+  InsertAll(data, &ss);
+  InsertAll(data, &sr);
+  const auto queries = workload::MakeQueryPoints(
+      data, 15, workload::QueryDistribution::kDataDistributed, 1203);
+  size_t ss_pages = 0, sr_pages = 0;
+  for (const Point& q : queries) {
+    ss_pages += SsExactKnn(ss, q, 10).stats.pages_fetched;
+    sr_pages += SsExactKnn(sr, q, 10).stats.pages_fetched;
+  }
+  EXPECT_LE(sr_pages, ss_pages);
+}
+
+TEST(SrTreeTest, DeletesKeepRectsConsistent) {
+  const workload::Dataset data = workload::MakeUniform(600, 2, 1204);
+  SsTree tree(SrConfig(2, 8));
+  InsertAll(data, &tree);
+  for (size_t i = 0; i < data.size(); i += 3) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());  // includes rect containment checks
+}
+
+}  // namespace
+}  // namespace sqp::sstree

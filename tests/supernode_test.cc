@@ -1,0 +1,181 @@
+// X-tree-style supernodes (paper §5 future work): structural invariants,
+// query correctness, and the span-aware page accounting of the executors.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/sequential_executor.h"
+#include "rstar/rstar_tree.h"
+#include "rstar/tree_stats.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp::rstar {
+namespace {
+
+using geometry::Point;
+
+TreeConfig XtreeConfig(int dim, int max_entries = 10) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  cfg.allow_supernodes = true;
+  return cfg;
+}
+
+size_t CountSupernodes(const RStarTree& tree) {
+  size_t count = 0;
+  for (PageId id : tree.LiveNodeIds()) {
+    if (PageSpan(tree.config(), tree.node(id)) > 1) ++count;
+  }
+  return count;
+}
+
+TEST(SupernodeTest, PageSpanArithmetic) {
+  TreeConfig cfg = XtreeConfig(2, 10);
+  Node n;
+  n.entries.resize(7);
+  EXPECT_EQ(PageSpan(cfg, n), 1);
+  n.entries.resize(10);
+  EXPECT_EQ(PageSpan(cfg, n), 1);
+  n.entries.resize(11);
+  EXPECT_EQ(PageSpan(cfg, n), 2);
+  n.entries.resize(35);
+  EXPECT_EQ(PageSpan(cfg, n), 4);
+  n.entries.clear();
+  EXPECT_EQ(PageSpan(cfg, n), 1);
+}
+
+TEST(SupernodeTest, HighDimClusteredDataGrowsSupernodes) {
+  // 10-d Gaussian data: directory MBRs overlap heavily, so the X-tree
+  // should keep some directory nodes unsplit.
+  const workload::Dataset data = workload::MakeGaussian(4000, 10, 900);
+  RStarTree tree(XtreeConfig(10, 10));
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_GT(CountSupernodes(tree), 0u);
+  // Supernodes are internal only: every leaf stays page-sized.
+  for (PageId id : tree.LiveNodeIds()) {
+    const Node& n = tree.node(id);
+    if (n.IsLeaf()) {
+      EXPECT_LE(static_cast<int>(n.entries.size()),
+                tree.config().MaxEntries());
+    } else {
+      EXPECT_LE(PageSpan(tree.config(), n),
+                tree.config().max_supernode_pages);
+    }
+  }
+}
+
+TEST(SupernodeTest, LowDimUniformDataRarelyNeedsThem) {
+  const workload::Dataset data = workload::MakeUniform(4000, 2, 901);
+  RStarTree tree(XtreeConfig(2, 10));
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());
+  // 2-d uniform splits cleanly; few or no supernodes should form.
+  EXPECT_LE(CountSupernodes(tree), tree.NodeCount() / 20);
+}
+
+TEST(SupernodeTest, AllAlgorithmsExactOnXtree) {
+  const workload::Dataset data = workload::MakeGaussian(1500, 8, 902);
+  RStarTree tree(XtreeConfig(8, 8));
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 10, workload::QueryDistribution::kDataDistributed, 903);
+  for (const Point& q : queries) {
+    const auto truth = workload::BruteForceKnn(data, q, 15);
+    for (core::AlgorithmKind kind :
+         {core::AlgorithmKind::kBbss, core::AlgorithmKind::kFpss,
+          core::AlgorithmKind::kCrss, core::AlgorithmKind::kWoptss}) {
+      auto algo = core::MakeAlgorithm(kind, tree, q, 15, 10);
+      core::RunToCompletion(tree, algo.get());
+      const auto sorted = algo->result().Sorted();
+      ASSERT_EQ(sorted.size(), truth.size());
+      for (size_t i = 0; i < truth.size(); ++i) {
+        ASSERT_EQ(sorted[i].object, truth[i].first)
+            << core::AlgorithmName(kind) << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(SupernodeTest, SpanAwarePageAccounting) {
+  const workload::Dataset data = workload::MakeGaussian(4000, 10, 904);
+  RStarTree xtree(XtreeConfig(10, 10));
+  workload::InsertAll(data, &xtree);
+  ASSERT_GT(CountSupernodes(xtree), 0u);
+
+  const Point q = data.points[0];
+  auto algo = core::MakeAlgorithm(core::AlgorithmKind::kCrss, xtree, q, 10,
+                                  10);
+  const core::ExecutionStats stats = core::RunToCompletion(xtree, algo.get());
+  // Pages fetched counts spans, so it can exceed the number of nodes the
+  // algorithm touched but never the total page footprint of the tree.
+  size_t total_pages = 0;
+  for (PageId id : xtree.LiveNodeIds()) {
+    total_pages += static_cast<size_t>(PageSpan(xtree.config(),
+                                                xtree.node(id)));
+  }
+  EXPECT_LE(stats.pages_fetched, total_pages);
+  EXPECT_GE(stats.pages_fetched, stats.steps);
+}
+
+TEST(SupernodeTest, DeletesKeepXtreeValid) {
+  const workload::Dataset data = workload::MakeGaussian(2500, 8, 905);
+  RStarTree tree(XtreeConfig(8, 8));
+  workload::InsertAll(data, &tree);
+  for (size_t i = 0; i < data.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(data.points[i], i).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), data.size() - (data.size() + 1) / 2);
+}
+
+TEST(SupernodeTest, RunsThroughSimulatorWithMultiPageReads) {
+  const workload::Dataset data = workload::MakeGaussian(3000, 10, 906);
+  TreeConfig cfg = XtreeConfig(10, 10);
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 5;
+  parallel::ParallelRStarTree index(cfg, dc);
+  workload::InsertAll(data, &index.tree());
+  ASSERT_GT(CountSupernodes(index.tree()), 0u);
+
+  const auto queries = workload::MakeQueryPoints(
+      data, 15, workload::QueryDistribution::kDataDistributed, 907);
+  const auto arrivals = workload::PoissonArrivalTimes(15, 3.0, 908);
+  std::vector<sim::QueryJob> jobs;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    jobs.push_back({arrivals[i], queries[i], 10});
+  }
+  sim::SimConfig sim_cfg;
+  const sim::SimulationResult result = sim::RunSimulation(
+      index, jobs,
+      [&](const Point& q, size_t k) {
+        return core::MakeAlgorithm(core::AlgorithmKind::kCrss, index.tree(),
+                                   q, k, 5);
+      },
+      sim_cfg);
+  for (const sim::QueryOutcome& outcome : result.queries) {
+    EXPECT_EQ(outcome.results, 10u);
+    EXPECT_GT(outcome.completion_time, outcome.arrival_time);
+  }
+}
+
+TEST(SupernodeTest, ThresholdOneDisablesSupernodesEntirely) {
+  TreeConfig cfg = XtreeConfig(10, 10);
+  cfg.supernode_overlap_threshold = 1.0;  // nothing exceeds Jaccard 1
+  const workload::Dataset data = workload::MakeGaussian(2000, 10, 909);
+  RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+  ASSERT_TRUE(tree.Validate().ok());
+  // Jaccard can never exceed 1.0, so every overflow splits... except exact
+  // ties; allow a handful.
+  EXPECT_LE(CountSupernodes(tree), 2u);
+}
+
+}  // namespace
+}  // namespace sqp::rstar

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "rstar/rstar_tree.h"
+#include "rstar/tree_stats.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp::rstar {
+namespace {
+
+using geometry::Point;
+
+TreeConfig SmallConfig(int dim, int max_entries = 8) {
+  TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.max_entries_override = max_entries;
+  return cfg;
+}
+
+TEST(TreeStatsTest, EmptyTree) {
+  RStarTree tree(SmallConfig(2));
+  const TreeStats stats = ComputeTreeStats(tree);
+  EXPECT_EQ(stats.height, 1);
+  EXPECT_EQ(stats.total_nodes, 1u);
+  EXPECT_EQ(stats.objects, 0u);
+  ASSERT_EQ(stats.levels.size(), 1u);
+  EXPECT_EQ(stats.levels[0].nodes, 1u);
+  EXPECT_DOUBLE_EQ(stats.levels[0].avg_fill, 0.0);
+}
+
+TEST(TreeStatsTest, CountsConsistentWithTree) {
+  const workload::Dataset data = workload::MakeClustered(1200, 2, 6, 0.1, 70);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const TreeStats stats = ComputeTreeStats(tree);
+
+  EXPECT_EQ(stats.height, tree.Height());
+  EXPECT_EQ(stats.total_nodes, tree.NodeCount());
+  EXPECT_EQ(stats.objects, tree.size());
+
+  size_t level_nodes = 0;
+  size_t leaf_entries = 0;
+  for (const LevelStats& ls : stats.levels) {
+    level_nodes += ls.nodes;
+  }
+  EXPECT_EQ(level_nodes, tree.NodeCount());
+  leaf_entries = stats.levels[0].entries;
+  EXPECT_EQ(leaf_entries, data.size());
+}
+
+TEST(TreeStatsTest, FillWithinConfiguredBounds) {
+  const workload::Dataset data = workload::MakeUniform(3000, 2, 71);
+  const TreeConfig cfg = SmallConfig(2, 10);
+  RStarTree tree(cfg);
+  workload::InsertAll(data, &tree);
+  const TreeStats stats = ComputeTreeStats(tree);
+  // Leaf fill must be between the minimum fill fraction and 1.
+  const double min_fill =
+      static_cast<double>(cfg.MinEntries()) / cfg.MaxEntries();
+  EXPECT_GE(stats.levels[0].avg_fill, min_fill);
+  EXPECT_LE(stats.levels[0].avg_fill, 1.0);
+}
+
+TEST(TreeStatsTest, ForcedReinsertImprovesStorageUtilization) {
+  // Forced reinsertion's most robust benefit (Beckmann et al. §5): higher
+  // storage utilization, i.e. fewer, fuller nodes for the same data.
+  const workload::Dataset data = workload::MakeClustered(4000, 2, 8, 0.1, 72);
+  TreeConfig with = SmallConfig(2, 16);
+  TreeConfig without = SmallConfig(2, 16);
+  without.forced_reinsert = false;
+
+  RStarTree tree_with(with);
+  workload::InsertAll(data, &tree_with);
+  RStarTree tree_without(without);
+  workload::InsertAll(data, &tree_without);
+
+  const TreeStats stats_with = ComputeTreeStats(tree_with);
+  const TreeStats stats_without = ComputeTreeStats(tree_without);
+  EXPECT_GT(stats_with.levels[0].avg_fill, stats_without.levels[0].avg_fill);
+  EXPECT_LE(stats_with.total_nodes, stats_without.total_nodes);
+}
+
+TEST(TreeStatsTest, ToStringMentionsEveryLevel) {
+  const workload::Dataset data = workload::MakeUniform(500, 2, 73);
+  RStarTree tree(SmallConfig(2));
+  workload::InsertAll(data, &tree);
+  const std::string s = ComputeTreeStats(tree).ToString();
+  for (int l = 0; l < tree.Height(); ++l) {
+    EXPECT_NE(s.find("level " + std::to_string(l)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sqp::rstar

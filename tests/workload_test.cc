@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "workload/dataset.h"
+#include "workload/workload.h"
+
+namespace sqp::workload {
+namespace {
+
+TEST(DatasetTest, UniformShapeAndBounds) {
+  const Dataset d = MakeUniform(5000, 3, 1);
+  EXPECT_EQ(d.size(), 5000u);
+  EXPECT_EQ(d.dim, 3);
+  for (const auto& p : d.points) {
+    ASSERT_EQ(p.dim(), 3);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_GE(p[i], 0.0f);
+      ASSERT_LE(p[i], 1.0f);
+    }
+  }
+}
+
+TEST(DatasetTest, UniformIsRoughlyUniform) {
+  const Dataset d = MakeUniform(20000, 2, 2);
+  // Mean ~0.5 per axis, variance ~1/12.
+  for (int axis = 0; axis < 2; ++axis) {
+    common::RunningStats st;
+    for (const auto& p : d.points) st.Add(p[axis]);
+    EXPECT_NEAR(st.mean(), 0.5, 0.01);
+    EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.005);
+  }
+}
+
+TEST(DatasetTest, GaussianConcentratedAtCenter) {
+  const Dataset d = MakeGaussian(20000, 2, 3);
+  common::RunningStats st;
+  for (const auto& p : d.points) st.Add(p[0]);
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+  EXPECT_LT(st.stddev(), 0.2);  // tighter than uniform's 0.289
+  for (const auto& p : d.points) {
+    ASSERT_GE(p[0], 0.0f);
+    ASSERT_LE(p[0], 1.0f);
+  }
+}
+
+TEST(DatasetTest, DeterministicUnderSeed) {
+  const Dataset a = MakeClustered(1000, 2, 5, 0.1, 42);
+  const Dataset b = MakeClustered(1000, 2, 5, 0.1, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.points[i], b.points[i]);
+  }
+  const Dataset c = MakeClustered(1000, 2, 5, 0.1, 43);
+  bool all_same = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a.points[i] == c.points[i])) {
+      all_same = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(DatasetTest, CaliforniaLikeMatchesPaperPopulation) {
+  const Dataset d = MakeCaliforniaLike(7);
+  EXPECT_EQ(d.size(), 62173u);
+  EXPECT_EQ(d.dim, 2);
+}
+
+TEST(DatasetTest, LongBeachLikeMatchesPaperPopulation) {
+  const Dataset d = MakeLongBeachLike(7);
+  EXPECT_EQ(d.size(), 53145u);
+  EXPECT_EQ(d.dim, 2);
+}
+
+TEST(DatasetTest, ClusteredIsMoreSkewedThanUniform) {
+  // Skew proxy: fraction of points inside the most crowded of a 10x10 grid
+  // of cells. Clustered data concentrates mass.
+  auto max_cell_fraction = [](const Dataset& d) {
+    int cells[100] = {0};
+    for (const auto& p : d.points) {
+      const int cx = std::min(9, static_cast<int>(p[0] * 10));
+      const int cy = std::min(9, static_cast<int>(p[1] * 10));
+      ++cells[cy * 10 + cx];
+    }
+    return static_cast<double>(*std::max_element(cells, cells + 100)) /
+           static_cast<double>(d.size());
+  };
+  const Dataset u = MakeUniform(20000, 2, 8);
+  const Dataset c = MakeClustered(20000, 2, 10, 0.05, 8);
+  EXPECT_GT(max_cell_fraction(c), 2.0 * max_cell_fraction(u));
+}
+
+TEST(BruteForceKnnTest, SortedAndCorrectSize) {
+  const Dataset d = MakeUniform(500, 2, 9);
+  const auto knn = BruteForceKnn(d, geometry::Point{0.5, 0.5}, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(knn[i - 1].second, knn[i].second);
+  }
+}
+
+TEST(BruteForceKnnTest, KBeyondSizeReturnsAll) {
+  const Dataset d = MakeUniform(5, 2, 10);
+  const auto knn = BruteForceKnn(d, geometry::Point{0.5, 0.5}, 50);
+  EXPECT_EQ(knn.size(), 5u);
+}
+
+TEST(QueryGenTest, DataDistributedStaysNearData) {
+  const Dataset d = MakeClustered(2000, 2, 3, 0.0, 11);
+  const auto queries =
+      MakeQueryPoints(d, 200, QueryDistribution::kDataDistributed, 12);
+  ASSERT_EQ(queries.size(), 200u);
+  // Each query should be within jitter distance of some data point.
+  for (const auto& q : queries) {
+    const auto nn = BruteForceKnn(d, q, 1);
+    EXPECT_LT(std::sqrt(nn[0].second), 0.1);
+  }
+}
+
+TEST(QueryGenTest, UniformQueriesCoverSpace) {
+  const Dataset d = MakeUniform(100, 2, 13);
+  const auto queries =
+      MakeQueryPoints(d, 1000, QueryDistribution::kUniform, 14);
+  common::RunningStats st;
+  for (const auto& q : queries) st.Add(q[0]);
+  EXPECT_NEAR(st.mean(), 0.5, 0.05);
+}
+
+TEST(PoissonArrivalsTest, MonotoneAndRateCorrect) {
+  const auto times = PoissonArrivalTimes(20000, 4.0, 15);
+  ASSERT_EQ(times.size(), 20000u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    ASSERT_GT(times[i], times[i - 1]);
+  }
+  // Mean inter-arrival 1/4 s => last arrival near 5000 s.
+  EXPECT_NEAR(times.back() / 20000.0, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace sqp::workload

@@ -1,0 +1,204 @@
+// sqp_cli — run a custom experiment from the command line without writing
+// code: pick a data set (generated or loaded from file), an algorithm, an
+// array configuration and a workload; get the paper-style metrics back.
+//
+//   $ sqp_cli --dataset=clustered --n=50000 --dim=2 --algo=crss
+//             --disks=10 --lambda=6 --k=20 --queries=100
+//   $ sqp_cli --file=places.csv --algo=bbss --disks=5 --k=10
+//
+// Flags (all optional, shown with defaults):
+//   --dataset=clustered|uniform|gaussian|california|longbeach
+//   --file=<csv or sqp>    overrides --dataset
+//   --n=20000 --dim=2 --seed=1998
+//   --algo=crss|bbss|fpss|woptss
+//   --policy=pi|rr|random|data|area   declustering policy
+//   --disks=10 --page=4096 --mirrored=0 --buffer=0
+//   --k=10 --lambda=5 --queries=100
+//   --node-counts=0        also print sequential page-access statistics
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/algorithms.h"
+#include "core/sequential_executor.h"
+#include "parallel/parallel_tree.h"
+#include "rstar/tree_stats.h"
+#include "sim/query_engine.h"
+#include "workload/dataset.h"
+#include "workload/dataset_io.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace sqp;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atof(it->second.c_str());
+  }
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return false;
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags->values[arg.substr(2)] = "1";
+    } else {
+      flags->values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+core::AlgorithmKind ParseAlgo(const std::string& name) {
+  if (name == "bbss") return core::AlgorithmKind::kBbss;
+  if (name == "fpss") return core::AlgorithmKind::kFpss;
+  if (name == "woptss") return core::AlgorithmKind::kWoptss;
+  return core::AlgorithmKind::kCrss;
+}
+
+parallel::DeclusterPolicy ParsePolicy(const std::string& name) {
+  if (name == "rr") return parallel::DeclusterPolicy::kRoundRobin;
+  if (name == "random") return parallel::DeclusterPolicy::kRandom;
+  if (name == "data") return parallel::DeclusterPolicy::kDataBalance;
+  if (name == "area") return parallel::DeclusterPolicy::kAreaBalance;
+  return parallel::DeclusterPolicy::kProximityIndex;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    std::fprintf(stderr, "usage: sqp_cli --key=value ... (see header)\n");
+    return 1;
+  }
+
+  // Data.
+  workload::Dataset data;
+  const std::string file = flags.Get("file", "");
+  if (!file.empty()) {
+    auto loaded = file.size() > 4 && file.substr(file.size() - 4) == ".csv"
+                      ? workload::LoadCsv(file)
+                      : workload::LoadBinary(file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(*loaded);
+  } else {
+    const std::string kind = flags.Get("dataset", "clustered");
+    const size_t n = static_cast<size_t>(flags.GetInt("n", 20000));
+    const int dim = static_cast<int>(flags.GetInt("dim", 2));
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1998));
+    if (kind == "uniform") {
+      data = workload::MakeUniform(n, dim, seed);
+    } else if (kind == "gaussian") {
+      data = workload::MakeGaussian(n, dim, seed);
+    } else if (kind == "california") {
+      data = workload::MakeCaliforniaLike(seed);
+    } else if (kind == "longbeach") {
+      data = workload::MakeLongBeachLike(seed);
+    } else {
+      data = workload::MakeClustered(n, dim, 20, 0.1, seed);
+    }
+  }
+
+  // Index.
+  rstar::TreeConfig tree_cfg;
+  tree_cfg.dim = data.dim;
+  tree_cfg.page_size_bytes = static_cast<int>(flags.GetInt("page", 4096));
+  parallel::DeclusterConfig dc;
+  dc.num_disks = static_cast<int>(flags.GetInt("disks", 10));
+  dc.policy = ParsePolicy(flags.Get("policy", "pi"));
+  dc.mirrored = flags.GetInt("mirrored", 0) != 0;
+  auto index = workload::BuildParallelIndex(data, tree_cfg, dc);
+
+  std::printf("dataset: %s, %zu points, %d-d\n", data.name.c_str(),
+              data.size(), data.dim);
+  std::printf("index:   %zu pages on %d disks (%s%s), fan-out %d, height "
+              "%d, balance %.2f\n",
+              index->tree().NodeCount(), dc.num_disks,
+              parallel::DeclusterPolicyName(dc.policy),
+              dc.mirrored ? ", mirrored" : "", tree_cfg.MaxEntries(),
+              index->tree().Height(), index->placement().BalanceRatio());
+
+  // Workload.
+  const size_t n_queries = static_cast<size_t>(flags.GetInt("queries", 100));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const double lambda = flags.GetDouble("lambda", 5.0);
+  const core::AlgorithmKind algo = ParseAlgo(flags.Get("algo", "crss"));
+  const auto points = workload::MakeQueryPoints(
+      data, n_queries, workload::QueryDistribution::kDataDistributed, 225);
+  const auto arrivals = workload::PoissonArrivalTimes(n_queries, lambda, 226);
+  std::vector<sim::QueryJob> jobs;
+  for (size_t i = 0; i < n_queries; ++i) {
+    jobs.push_back({arrivals[i], points[i], k});
+  }
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.disk.page_transfer_time = tree_cfg.page_size_bytes / 2.0e6;
+  sim_cfg.bus_transfer_time = tree_cfg.page_size_bytes / 8.0e6;
+  sim_cfg.buffer_pages = static_cast<size_t>(flags.GetInt("buffer", 0));
+
+  const sim::SimulationResult result = sim::RunSimulation(
+      *index, jobs,
+      [&](const geometry::Point& q, size_t kk) {
+        return core::MakeAlgorithm(algo, index->tree(), q, kk,
+                                   index->num_disks());
+      },
+      sim_cfg);
+
+  std::printf(
+      "\n%s: k=%zu, lambda=%.1f q/s, %zu queries\n"
+      "  mean response    %.3f s\n"
+      "  mean pages/query %.1f\n"
+      "  max disk util    %.0f%%   bus %.0f%%   cpu %.0f%%\n",
+      core::AlgorithmName(algo), k, lambda, n_queries,
+      result.MeanResponseTime(), result.MeanPagesFetched(),
+      100 * result.MaxDiskUtilization(), 100 * result.bus_utilization,
+      100 * result.cpu_utilization);
+  if (sim_cfg.buffer_pages > 0) {
+    std::printf("  buffer hit rate  %.0f%%\n",
+                100.0 * result.buffer_hits /
+                    std::max<size_t>(1, result.buffer_hits +
+                                            result.buffer_misses));
+  }
+
+  if (flags.GetInt("node-counts", 0) != 0) {
+    double pages = 0.0, batches = 0.0, max_batch = 0.0;
+    for (const auto& q : points) {
+      auto a = core::MakeAlgorithm(algo, index->tree(), q, k,
+                                   index->num_disks());
+      const core::ExecutionStats stats =
+          core::RunToCompletion(index->tree(), a.get());
+      pages += static_cast<double>(stats.pages_fetched);
+      batches += static_cast<double>(stats.steps);
+      max_batch += static_cast<double>(stats.max_batch);
+    }
+    std::printf(
+        "  sequential: pages %.1f, batches %.1f, mean max-batch %.1f\n",
+        pages / n_queries, batches / n_queries, max_batch / n_queries);
+    std::printf("\n%s",
+                rstar::ComputeTreeStats(index->tree()).ToString().c_str());
+  }
+  return 0;
+}
