@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_activation.cc" "bench/CMakeFiles/bench_ablation_activation.dir/bench_ablation_activation.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_activation.dir/bench_ablation_activation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/sqp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sstree/CMakeFiles/sqp_sstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sqp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sqp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/sqp_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sqp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

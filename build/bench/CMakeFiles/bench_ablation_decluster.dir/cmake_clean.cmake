@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decluster.dir/bench_ablation_decluster.cc.o"
+  "CMakeFiles/bench_ablation_decluster.dir/bench_ablation_decluster.cc.o.d"
+  "bench_ablation_decluster"
+  "bench_ablation_decluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

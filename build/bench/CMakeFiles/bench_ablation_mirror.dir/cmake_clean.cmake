@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mirror.dir/bench_ablation_mirror.cc.o"
+  "CMakeFiles/bench_ablation_mirror.dir/bench_ablation_mirror.cc.o.d"
+  "bench_ablation_mirror"
+  "bench_ablation_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rqss.dir/bench_ablation_rqss.cc.o"
+  "CMakeFiles/bench_ablation_rqss.dir/bench_ablation_rqss.cc.o.d"
+  "bench_ablation_rqss"
+  "bench_ablation_rqss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rqss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

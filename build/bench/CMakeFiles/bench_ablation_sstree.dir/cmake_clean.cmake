@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sstree.dir/bench_ablation_sstree.cc.o"
+  "CMakeFiles/bench_ablation_sstree.dir/bench_ablation_sstree.cc.o.d"
+  "bench_ablation_sstree"
+  "bench_ablation_sstree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xtree.dir/bench_ablation_xtree.cc.o"
+  "CMakeFiles/bench_ablation_xtree.dir/bench_ablation_xtree.cc.o.d"
+  "bench_ablation_xtree"
+  "bench_ablation_xtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

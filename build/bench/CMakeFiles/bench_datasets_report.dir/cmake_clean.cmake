@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datasets_report.dir/bench_datasets_report.cc.o"
+  "CMakeFiles/bench_datasets_report.dir/bench_datasets_report.cc.o.d"
+  "bench_datasets_report"
+  "bench_datasets_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datasets_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_highdim_nodes.dir/bench_fig09_highdim_nodes.cc.o"
+  "CMakeFiles/bench_fig09_highdim_nodes.dir/bench_fig09_highdim_nodes.cc.o.d"
+  "bench_fig09_highdim_nodes"
+  "bench_fig09_highdim_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_highdim_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_speedup_disks.dir/bench_fig11_speedup_disks.cc.o"
+  "CMakeFiles/bench_fig11_speedup_disks.dir/bench_fig11_speedup_disks.cc.o.d"
+  "bench_fig11_speedup_disks"
+  "bench_fig11_speedup_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_speedup_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

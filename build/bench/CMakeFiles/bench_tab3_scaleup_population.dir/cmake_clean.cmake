@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_scaleup_population.dir/bench_tab3_scaleup_population.cc.o"
+  "CMakeFiles/bench_tab3_scaleup_population.dir/bench_tab3_scaleup_population.cc.o.d"
+  "bench_tab3_scaleup_population"
+  "bench_tab3_scaleup_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_scaleup_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_scaleup_k.dir/bench_tab4_scaleup_k.cc.o"
+  "CMakeFiles/bench_tab4_scaleup_k.dir/bench_tab4_scaleup_k.cc.o.d"
+  "bench_tab4_scaleup_k"
+  "bench_tab4_scaleup_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_scaleup_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_analysis.dir/cost_model.cc.o"
+  "CMakeFiles/sqp_analysis.dir/cost_model.cc.o.d"
+  "libsqp_analysis.a"
+  "libsqp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_common.dir/status.cc.o"
+  "CMakeFiles/sqp_common.dir/status.cc.o.d"
+  "libsqp_common.a"
+  "libsqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

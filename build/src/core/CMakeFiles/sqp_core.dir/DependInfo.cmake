@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cc" "src/core/CMakeFiles/sqp_core.dir/algorithms.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/algorithms.cc.o.d"
+  "/root/repo/src/core/bbss.cc" "src/core/CMakeFiles/sqp_core.dir/bbss.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/bbss.cc.o.d"
+  "/root/repo/src/core/crss.cc" "src/core/CMakeFiles/sqp_core.dir/crss.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/crss.cc.o.d"
+  "/root/repo/src/core/distance_browser.cc" "src/core/CMakeFiles/sqp_core.dir/distance_browser.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/distance_browser.cc.o.d"
+  "/root/repo/src/core/exact_knn.cc" "src/core/CMakeFiles/sqp_core.dir/exact_knn.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/exact_knn.cc.o.d"
+  "/root/repo/src/core/fpss.cc" "src/core/CMakeFiles/sqp_core.dir/fpss.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/fpss.cc.o.d"
+  "/root/repo/src/core/lemma1.cc" "src/core/CMakeFiles/sqp_core.dir/lemma1.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/lemma1.cc.o.d"
+  "/root/repo/src/core/range_search.cc" "src/core/CMakeFiles/sqp_core.dir/range_search.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/range_search.cc.o.d"
+  "/root/repo/src/core/rqss.cc" "src/core/CMakeFiles/sqp_core.dir/rqss.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/rqss.cc.o.d"
+  "/root/repo/src/core/search_algorithm.cc" "src/core/CMakeFiles/sqp_core.dir/search_algorithm.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/search_algorithm.cc.o.d"
+  "/root/repo/src/core/sequential_executor.cc" "src/core/CMakeFiles/sqp_core.dir/sequential_executor.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/sequential_executor.cc.o.d"
+  "/root/repo/src/core/woptss.cc" "src/core/CMakeFiles/sqp_core.dir/woptss.cc.o" "gcc" "src/core/CMakeFiles/sqp_core.dir/woptss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rstar/CMakeFiles/sqp_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sqp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

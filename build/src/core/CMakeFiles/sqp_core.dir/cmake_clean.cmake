@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_core.dir/algorithms.cc.o"
+  "CMakeFiles/sqp_core.dir/algorithms.cc.o.d"
+  "CMakeFiles/sqp_core.dir/bbss.cc.o"
+  "CMakeFiles/sqp_core.dir/bbss.cc.o.d"
+  "CMakeFiles/sqp_core.dir/crss.cc.o"
+  "CMakeFiles/sqp_core.dir/crss.cc.o.d"
+  "CMakeFiles/sqp_core.dir/distance_browser.cc.o"
+  "CMakeFiles/sqp_core.dir/distance_browser.cc.o.d"
+  "CMakeFiles/sqp_core.dir/exact_knn.cc.o"
+  "CMakeFiles/sqp_core.dir/exact_knn.cc.o.d"
+  "CMakeFiles/sqp_core.dir/fpss.cc.o"
+  "CMakeFiles/sqp_core.dir/fpss.cc.o.d"
+  "CMakeFiles/sqp_core.dir/lemma1.cc.o"
+  "CMakeFiles/sqp_core.dir/lemma1.cc.o.d"
+  "CMakeFiles/sqp_core.dir/range_search.cc.o"
+  "CMakeFiles/sqp_core.dir/range_search.cc.o.d"
+  "CMakeFiles/sqp_core.dir/rqss.cc.o"
+  "CMakeFiles/sqp_core.dir/rqss.cc.o.d"
+  "CMakeFiles/sqp_core.dir/search_algorithm.cc.o"
+  "CMakeFiles/sqp_core.dir/search_algorithm.cc.o.d"
+  "CMakeFiles/sqp_core.dir/sequential_executor.cc.o"
+  "CMakeFiles/sqp_core.dir/sequential_executor.cc.o.d"
+  "CMakeFiles/sqp_core.dir/woptss.cc.o"
+  "CMakeFiles/sqp_core.dir/woptss.cc.o.d"
+  "libsqp_core.a"
+  "libsqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

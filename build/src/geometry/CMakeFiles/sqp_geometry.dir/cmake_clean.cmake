@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_geometry.dir/metrics.cc.o"
+  "CMakeFiles/sqp_geometry.dir/metrics.cc.o.d"
+  "CMakeFiles/sqp_geometry.dir/point.cc.o"
+  "CMakeFiles/sqp_geometry.dir/point.cc.o.d"
+  "CMakeFiles/sqp_geometry.dir/rect.cc.o"
+  "CMakeFiles/sqp_geometry.dir/rect.cc.o.d"
+  "libsqp_geometry.a"
+  "libsqp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_parallel.dir/declustering.cc.o"
+  "CMakeFiles/sqp_parallel.dir/declustering.cc.o.d"
+  "libsqp_parallel.a"
+  "libsqp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rstar/bulk_load.cc" "src/rstar/CMakeFiles/sqp_rstar.dir/bulk_load.cc.o" "gcc" "src/rstar/CMakeFiles/sqp_rstar.dir/bulk_load.cc.o.d"
+  "/root/repo/src/rstar/rstar_tree.cc" "src/rstar/CMakeFiles/sqp_rstar.dir/rstar_tree.cc.o" "gcc" "src/rstar/CMakeFiles/sqp_rstar.dir/rstar_tree.cc.o.d"
+  "/root/repo/src/rstar/tree_stats.cc" "src/rstar/CMakeFiles/sqp_rstar.dir/tree_stats.cc.o" "gcc" "src/rstar/CMakeFiles/sqp_rstar.dir/tree_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/sqp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

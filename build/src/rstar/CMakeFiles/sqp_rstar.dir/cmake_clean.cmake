@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_rstar.dir/bulk_load.cc.o"
+  "CMakeFiles/sqp_rstar.dir/bulk_load.cc.o.d"
+  "CMakeFiles/sqp_rstar.dir/rstar_tree.cc.o"
+  "CMakeFiles/sqp_rstar.dir/rstar_tree.cc.o.d"
+  "CMakeFiles/sqp_rstar.dir/tree_stats.cc.o"
+  "CMakeFiles/sqp_rstar.dir/tree_stats.cc.o.d"
+  "libsqp_rstar.a"
+  "libsqp_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqp_rstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_sim.dir/query_engine.cc.o"
+  "CMakeFiles/sqp_sim.dir/query_engine.cc.o.d"
+  "CMakeFiles/sqp_sim.dir/trace.cc.o"
+  "CMakeFiles/sqp_sim.dir/trace.cc.o.d"
+  "libsqp_sim.a"
+  "libsqp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstree/ss_search.cc" "src/sstree/CMakeFiles/sqp_sstree.dir/ss_search.cc.o" "gcc" "src/sstree/CMakeFiles/sqp_sstree.dir/ss_search.cc.o.d"
+  "/root/repo/src/sstree/sstree.cc" "src/sstree/CMakeFiles/sqp_sstree.dir/sstree.cc.o" "gcc" "src/sstree/CMakeFiles/sqp_sstree.dir/sstree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sqp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/sqp_rstar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_sstree.dir/ss_search.cc.o"
+  "CMakeFiles/sqp_sstree.dir/ss_search.cc.o.d"
+  "CMakeFiles/sqp_sstree.dir/sstree.cc.o"
+  "CMakeFiles/sqp_sstree.dir/sstree.cc.o.d"
+  "libsqp_sstree.a"
+  "libsqp_sstree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_sstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

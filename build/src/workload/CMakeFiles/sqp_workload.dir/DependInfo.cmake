@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/sqp_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/sqp_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/dataset_io.cc" "src/workload/CMakeFiles/sqp_workload.dir/dataset_io.cc.o" "gcc" "src/workload/CMakeFiles/sqp_workload.dir/dataset_io.cc.o.d"
+  "/root/repo/src/workload/index_builder.cc" "src/workload/CMakeFiles/sqp_workload.dir/index_builder.cc.o" "gcc" "src/workload/CMakeFiles/sqp_workload.dir/index_builder.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/sqp_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/sqp_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/sqp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sqp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/sqp_rstar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_workload.dir/dataset.cc.o"
+  "CMakeFiles/sqp_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/sqp_workload.dir/dataset_io.cc.o"
+  "CMakeFiles/sqp_workload.dir/dataset_io.cc.o.d"
+  "CMakeFiles/sqp_workload.dir/index_builder.cc.o"
+  "CMakeFiles/sqp_workload.dir/index_builder.cc.o.d"
+  "CMakeFiles/sqp_workload.dir/workload.cc.o"
+  "CMakeFiles/sqp_workload.dir/workload.cc.o.d"
+  "libsqp_workload.a"
+  "libsqp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_test.cc" "tests/CMakeFiles/sqp_tests.dir/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/algorithms_test.cc.o.d"
+  "/root/repo/tests/bbss_test.cc" "tests/CMakeFiles/sqp_tests.dir/bbss_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/bbss_test.cc.o.d"
+  "/root/repo/tests/buffer_pool_test.cc" "tests/CMakeFiles/sqp_tests.dir/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/bulk_load_test.cc" "tests/CMakeFiles/sqp_tests.dir/bulk_load_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/bulk_load_test.cc.o.d"
+  "/root/repo/tests/closed_loop_test.cc" "tests/CMakeFiles/sqp_tests.dir/closed_loop_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/closed_loop_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/sqp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/sqp_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/crss_test.cc" "tests/CMakeFiles/sqp_tests.dir/crss_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/crss_test.cc.o.d"
+  "/root/repo/tests/dataset_io_test.cc" "tests/CMakeFiles/sqp_tests.dir/dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/dataset_io_test.cc.o.d"
+  "/root/repo/tests/declustering_test.cc" "tests/CMakeFiles/sqp_tests.dir/declustering_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/declustering_test.cc.o.d"
+  "/root/repo/tests/distance_browser_test.cc" "tests/CMakeFiles/sqp_tests.dir/distance_browser_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/distance_browser_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/sqp_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/exact_knn_test.cc" "tests/CMakeFiles/sqp_tests.dir/exact_knn_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/exact_knn_test.cc.o.d"
+  "/root/repo/tests/fpss_woptss_test.cc" "tests/CMakeFiles/sqp_tests.dir/fpss_woptss_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/fpss_woptss_test.cc.o.d"
+  "/root/repo/tests/geometry_test.cc" "tests/CMakeFiles/sqp_tests.dir/geometry_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/geometry_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sqp_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/knn_result_test.cc" "tests/CMakeFiles/sqp_tests.dir/knn_result_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/knn_result_test.cc.o.d"
+  "/root/repo/tests/lemma1_test.cc" "tests/CMakeFiles/sqp_tests.dir/lemma1_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/lemma1_test.cc.o.d"
+  "/root/repo/tests/mirror_test.cc" "tests/CMakeFiles/sqp_tests.dir/mirror_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/mirror_test.cc.o.d"
+  "/root/repo/tests/mixed_workload_test.cc" "tests/CMakeFiles/sqp_tests.dir/mixed_workload_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/mixed_workload_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sqp_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/range_search_test.cc" "tests/CMakeFiles/sqp_tests.dir/range_search_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/range_search_test.cc.o.d"
+  "/root/repo/tests/rqss_test.cc" "tests/CMakeFiles/sqp_tests.dir/rqss_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/rqss_test.cc.o.d"
+  "/root/repo/tests/rstar_test.cc" "tests/CMakeFiles/sqp_tests.dir/rstar_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/rstar_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sqp_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/sstree_test.cc" "tests/CMakeFiles/sqp_tests.dir/sstree_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/sstree_test.cc.o.d"
+  "/root/repo/tests/supernode_test.cc" "tests/CMakeFiles/sqp_tests.dir/supernode_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/supernode_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/sqp_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/tree_stats_test.cc" "tests/CMakeFiles/sqp_tests.dir/tree_stats_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/tree_stats_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/sqp_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/sqp_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/sqp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sstree/CMakeFiles/sqp_sstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sqp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sqp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/sqp_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sqp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

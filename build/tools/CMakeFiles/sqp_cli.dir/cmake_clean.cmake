@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqp_cli.dir/sqp_cli.cc.o"
+  "CMakeFiles/sqp_cli.dir/sqp_cli.cc.o.d"
+  "sqp_cli"
+  "sqp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
