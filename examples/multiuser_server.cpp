@@ -5,9 +5,15 @@
 // and per-component utilization.
 //
 //   $ ./examples/multiuser_server [disks] [lambda] [k]
+//
+// The index for each array width is persisted under gis.index.<disks>d/
+// on first run, so a restarted server begins answering queries without
+// re-ingesting the data set (delete the directory to force a rebuild).
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -29,12 +35,29 @@ int main(int argc, char** argv) {
       disks, lambda, k, kQueries);
 
   const workload::Dataset data = workload::MakeCaliforniaLike(1998);
-  rstar::TreeConfig tree_config;
-  tree_config.dim = 2;
-  parallel::DeclusterConfig decluster_config;
-  decluster_config.num_disks = disks;
-  parallel::ParallelRStarTree index(tree_config, decluster_config);
-  workload::InsertAll(data, &index.tree());
+  const std::string index_dir = "gis.index." + std::to_string(disks) + "d";
+  std::unique_ptr<parallel::ParallelRStarTree> index_ptr;
+  if (auto opened = workload::LoadParallelIndex(index_dir); opened.ok()) {
+    index_ptr = std::move(*opened);
+    std::printf("restored index from %s/ — serving without a rebuild\n",
+                index_dir.c_str());
+  } else {
+    rstar::TreeConfig tree_config;
+    tree_config.dim = 2;
+    parallel::DeclusterConfig decluster_config;
+    decluster_config.num_disks = disks;
+    auto built = workload::BuildAndSaveParallelIndex(
+        data, tree_config, decluster_config, index_dir);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build/save failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    index_ptr = std::move(*built);
+    std::printf("ingested data set and saved the index to %s/\n",
+                index_dir.c_str());
+  }
+  parallel::ParallelRStarTree& index = *index_ptr;
   std::printf("loaded %zu places into %zu pages (height %d)\n\n",
               data.size(), index.tree().NodeCount(), index.tree().Height());
 

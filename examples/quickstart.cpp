@@ -1,9 +1,16 @@
 // Quickstart: build a declustered R*-tree over a point set, answer a k-NN
-// query with CRSS, and cross-check with the other algorithms.
+// query with CRSS, and cross-check with the other algorithms. The index
+// is persisted on first run (see docs/STORAGE.md); later runs open the
+// saved image and start serving without rebuilding.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart          # first run builds + saves
+//   $ ./examples/quickstart          # subsequent runs load instantly
+//
+// Delete the quickstart.index/ directory after changing the parameters
+// below, or the stale saved index will keep being served.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/algorithms.h"
 #include "core/sequential_executor.h"
@@ -21,13 +28,30 @@ int main() {
                               /*background_fraction=*/0.1, /*seed=*/7);
 
   // 2. An index: R*-tree with 4 KB pages, declustered over a 10-disk
-  //    RAID-0 array with the Proximity Index heuristic.
-  rstar::TreeConfig tree_config;
-  tree_config.dim = 2;
-  parallel::DeclusterConfig decluster_config;
-  decluster_config.num_disks = 10;
-  parallel::ParallelRStarTree index(tree_config, decluster_config);
-  workload::InsertAll(data, &index.tree());
+  //    RAID-0 array with the Proximity Index heuristic. Opened from the
+  //    saved image when one exists, built-and-saved otherwise.
+  const std::string index_dir = "quickstart.index";
+  std::unique_ptr<parallel::ParallelRStarTree> index_ptr;
+  if (auto opened = workload::LoadParallelIndex(index_dir); opened.ok()) {
+    index_ptr = std::move(*opened);
+    std::printf("opened saved index from %s/ — no rebuild\n",
+                index_dir.c_str());
+  } else {
+    rstar::TreeConfig tree_config;
+    tree_config.dim = 2;
+    parallel::DeclusterConfig decluster_config;
+    decluster_config.num_disks = 10;
+    auto built = workload::BuildAndSaveParallelIndex(
+        data, tree_config, decluster_config, index_dir);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build/save failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    index_ptr = std::move(*built);
+    std::printf("built index and saved it to %s/\n", index_dir.c_str());
+  }
+  parallel::ParallelRStarTree& index = *index_ptr;
 
   std::printf("index: %zu objects in %zu pages on %d disks (height %d)\n",
               static_cast<size_t>(index.tree().size()),

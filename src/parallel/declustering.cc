@@ -118,6 +118,36 @@ double DiskAssigner::BalanceRatio() const {
   return static_cast<double>(max_pages) / avg;
 }
 
+void DiskAssigner::Reset() {
+  pages_.clear();
+  std::fill(pages_per_disk_.begin(), pages_per_disk_.end(), 0);
+  std::fill(area_per_disk_.begin(), area_per_disk_.end(), 0.0);
+  round_robin_next_ = 0;
+}
+
+void DiskAssigner::RestorePage(rstar::PageId page, int disk, int mirror,
+                               int cylinder, double area) {
+  SQP_CHECK(disk >= 0 && disk < config_.num_disks);
+  SQP_CHECK(cylinder >= 0 && cylinder < config_.num_cylinders);
+  SQP_CHECK(config_.mirrored ? (mirror >= 0 && mirror < config_.num_disks &&
+                                mirror != disk)
+                             : mirror == -1);
+  if (pages_.size() <= page) pages_.resize(page + 1);
+  PageInfo& info = pages_[page];
+  SQP_CHECK(!info.live);
+  info.disk = disk;
+  info.mirror = mirror;
+  info.cylinder = cylinder;
+  info.area = area;
+  info.live = true;
+  ++pages_per_disk_[static_cast<size_t>(disk)];
+  area_per_disk_[static_cast<size_t>(disk)] += area;
+  if (mirror >= 0) {
+    ++pages_per_disk_[static_cast<size_t>(mirror)];
+    area_per_disk_[static_cast<size_t>(mirror)] += area;
+  }
+}
+
 int DiskAssigner::ChooseDisk(
     const geometry::Rect& mbr,
     const std::vector<std::pair<rstar::PageId, geometry::Rect>>& siblings,

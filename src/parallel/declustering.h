@@ -60,6 +60,15 @@ struct DeclusterConfig {
 double Proximity(const geometry::Rect& a, const geometry::Rect& b,
                  double query_side);
 
+// One page's placement on the array, as persisted by storage/SaveIndex and
+// replayed into a DiskAssigner on load.
+struct PagePlacement {
+  rstar::PageId page = rstar::kInvalidPage;
+  int disk = -1;
+  int mirror = -1;  // -1 when the array is not mirrored
+  int cylinder = 0;
+};
+
 // PlacementListener that maintains the page -> (disk, cylinder) table.
 class DiskAssigner : public rstar::PlacementListener {
  public:
@@ -92,6 +101,21 @@ class DiskAssigner : public rstar::PlacementListener {
 
   // Max/avg pages-per-disk ratio; 1.0 is perfectly balanced.
   double BalanceRatio() const;
+
+  // --- Restore path (storage/OpenIndex) ---------------------------------
+
+  // Drops every placement and resets the per-disk load counters and the
+  // round-robin cursor. The RNG stream is NOT rewound: placements chosen
+  // after a restore continue from the current stream, exactly like
+  // placements chosen after frees in a long-lived array.
+  void Reset();
+
+  // Reinstalls a placement captured by a previous run. `area` is the
+  // page's MBR volume (for the area-balance accounting). Precondition:
+  // `page` is not currently live, `disk`/`mirror`/`cylinder` are in range
+  // and consistent with the mirroring mode.
+  void RestorePage(rstar::PageId page, int disk, int mirror, int cylinder,
+                   double area);
 
  private:
   // Picks a disk for a replica of `mbr`; `exclude` removes one disk from

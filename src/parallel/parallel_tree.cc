@@ -1,0 +1,67 @@
+#include "parallel/parallel_tree.h"
+
+#include <utility>
+
+namespace sqp::parallel {
+
+common::Status ParallelRStarTree::Restore(
+    rstar::PageId root, uint64_t object_count,
+    std::vector<std::unique_ptr<rstar::Node>> nodes,
+    const std::vector<PagePlacement>& placements) {
+  const DeclusterConfig& dc = assigner_.config();
+  size_t live = 0;
+  for (const auto& n : nodes) {
+    if (n != nullptr) ++live;
+  }
+  if (placements.size() != live) {
+    return common::Status::InvalidArgument(
+        "restore: " + std::to_string(placements.size()) +
+        " placements for " + std::to_string(live) + " live pages");
+  }
+  // Validate placements against the incoming nodes (and capture MBR areas)
+  // before committing anything, so a bad input leaves the index untouched.
+  std::vector<double> areas(placements.size(), 0.0);
+  std::vector<bool> placed(nodes.size(), false);
+  for (size_t i = 0; i < placements.size(); ++i) {
+    const PagePlacement& p = placements[i];
+    if (p.page >= nodes.size() || nodes[p.page] == nullptr) {
+      return common::Status::InvalidArgument(
+          "restore: placement for dead page " + std::to_string(p.page));
+    }
+    if (placed[p.page]) {
+      return common::Status::InvalidArgument(
+          "restore: duplicate placement for page " + std::to_string(p.page));
+    }
+    placed[p.page] = true;
+    if (p.disk < 0 || p.disk >= dc.num_disks) {
+      return common::Status::InvalidArgument(
+          "restore: disk " + std::to_string(p.disk) + " out of range");
+    }
+    if (dc.mirrored
+            ? (p.mirror < 0 || p.mirror >= dc.num_disks ||
+               p.mirror == p.disk)
+            : p.mirror != -1) {
+      return common::Status::InvalidArgument(
+          "restore: bad mirror disk " + std::to_string(p.mirror) +
+          " for page " + std::to_string(p.page));
+    }
+    if (p.cylinder < 0 || p.cylinder >= dc.num_cylinders) {
+      return common::Status::InvalidArgument(
+          "restore: cylinder " + std::to_string(p.cylinder) +
+          " out of range");
+    }
+    areas[i] = nodes[p.page]->entries.empty()
+                   ? 0.0
+                   : nodes[p.page]->ComputeMbr().Area();
+  }
+
+  SQP_RETURN_IF_ERROR(tree_.RestoreFrom(root, object_count, std::move(nodes)));
+  assigner_.Reset();
+  for (size_t i = 0; i < placements.size(); ++i) {
+    const PagePlacement& p = placements[i];
+    assigner_.RestorePage(p.page, p.disk, p.mirror, p.cylinder, areas[i]);
+  }
+  return tree_.Validate();
+}
+
+}  // namespace sqp::parallel

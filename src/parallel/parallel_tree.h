@@ -31,6 +31,16 @@ class ParallelRStarTree {
 
   int num_disks() const { return assigner_.num_disks(); }
 
+  // Replaces the freshly constructed index with a deserialized one
+  // (storage/OpenIndex): installs `nodes` into the tree, replays the
+  // persisted `placements` into the DiskAssigner and validates the full
+  // structure (tree invariants, placement coverage, object count). On
+  // error the index must be discarded — partial restores are not rolled
+  // back. Placements must cover exactly the live pages of `nodes`.
+  common::Status Restore(rstar::PageId root, uint64_t object_count,
+                         std::vector<std::unique_ptr<rstar::Node>> nodes,
+                         const std::vector<PagePlacement>& placements);
+
  private:
   DiskAssigner assigner_;  // must outlive (and be constructed before) tree_
   rstar::RStarTree tree_;

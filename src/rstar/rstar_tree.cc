@@ -68,6 +68,70 @@ void RStarTree::FreeNode(PageId id) {
   if (listener_ != nullptr) listener_->OnNodeFreed(id);
 }
 
+common::Status RStarTree::RestoreFrom(
+    PageId root, uint64_t size, std::vector<std::unique_ptr<Node>> nodes) {
+  if (nodes.empty() || root >= nodes.size() || nodes[root] == nullptr) {
+    return common::Status::InvalidArgument("restore: root page not live");
+  }
+  // Pass 1: per-node sanity, recompute parent links from child pointers.
+  for (PageId id = 0; id < nodes.size(); ++id) {
+    if (nodes[id] == nullptr) continue;
+    Node& n = *nodes[id];
+    if (n.id != id) {
+      return common::Status::InvalidArgument(
+          "restore: node stored under page " + std::to_string(id) +
+          " claims id " + std::to_string(n.id));
+    }
+    n.parent = kInvalidPage;
+  }
+  for (PageId id = 0; id < nodes.size(); ++id) {
+    if (nodes[id] == nullptr || nodes[id]->IsLeaf()) continue;
+    for (const Entry& e : nodes[id]->entries) {
+      if (e.child >= nodes.size() || nodes[e.child] == nullptr) {
+        return common::Status::InvalidArgument(
+            "restore: dangling child pointer " + std::to_string(e.child));
+      }
+      Node& child = *nodes[e.child];
+      if (child.level != nodes[id]->level - 1) {
+        return common::Status::InvalidArgument(
+            "restore: child level mismatch at page " +
+            std::to_string(e.child));
+      }
+      if (child.parent != kInvalidPage) {
+        return common::Status::InvalidArgument(
+            "restore: page " + std::to_string(e.child) +
+            " referenced by two parents");
+      }
+      child.parent = id;
+    }
+  }
+  size_t live = 0;
+  for (PageId id = 0; id < nodes.size(); ++id) {
+    if (nodes[id] == nullptr) continue;
+    ++live;
+    if (id != root && nodes[id]->parent == kInvalidPage) {
+      return common::Status::InvalidArgument(
+          "restore: orphan page " + std::to_string(id) +
+          " unreachable from root");
+    }
+  }
+  if (nodes[root]->parent != kInvalidPage) {
+    return common::Status::InvalidArgument("restore: root has a parent");
+  }
+
+  // Commit. Free slots go on the free list high-id-first so future
+  // allocations reuse low ids first, as a freshly grown tree would.
+  nodes_ = std::move(nodes);
+  root_ = root;
+  size_ = size;
+  live_nodes_ = live;
+  free_list_.clear();
+  for (PageId id = static_cast<PageId>(nodes_.size()); id-- > 0;) {
+    if (nodes_[id] == nullptr) free_list_.push_back(id);
+  }
+  return common::Status::OK();
+}
+
 int RStarTree::Height() const { return node(root_).level + 1; }
 
 std::vector<PageId> RStarTree::LiveNodeIds() const {

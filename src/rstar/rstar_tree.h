@@ -56,6 +56,17 @@ class RStarTree {
   // Removes the entry for (p, id). NotFound if no such entry exists.
   common::Status Delete(const geometry::Point& p, ObjectId id);
 
+  // Replaces the tree's contents with a previously serialized structure
+  // (storage/OpenIndex). `nodes` is indexed by PageId — null slots become
+  // free pages — and `root` must name a live slot. Entry `child` pointers
+  // must form a tree over the live slots with uniform leaf depth; parent
+  // pointers are recomputed here (they are not part of the page format).
+  // On error the tree is left unchanged. Existing pages are dropped
+  // WITHOUT notifying the placement listener: callers restore placements
+  // out of band (parallel::ParallelRStarTree::Restore).
+  common::Status RestoreFrom(PageId root, uint64_t size,
+                             std::vector<std::unique_ptr<Node>> nodes);
+
   // All objects whose point lies in `box` (Definition 1 with L∞-style box
   // region). Appends to `out`.
   void RangeSearch(const geometry::Rect& box,

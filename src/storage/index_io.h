@@ -1,0 +1,49 @@
+// Durable storage of a full parallel R*-tree index (docs/STORAGE.md).
+//
+// Layout per disk file (all units = the tree's page size):
+//   page 0                superblock: config + root + counts + directory size
+//   pages 1..dir_pages    directory: one record per node record in this file
+//   remaining pages       node records (primary copies, then mirror replicas)
+//
+// Every page that the DiskAssigner placed on disk d is serialized into
+// store disk d (replicas onto their mirror disk), so the byte layout
+// mirrors the declustering assignment. Opening verifies magic, version and
+// CRC32C of every page read, cross-checks the superblocks of all disks,
+// re-derives parent pointers and runs the tree's full structural
+// validation; any damage surfaces as a common::Status error (see
+// page_format.h IsCorruption), never a crash or a silently wrong answer.
+
+#ifndef SQP_STORAGE_INDEX_IO_H_
+#define SQP_STORAGE_INDEX_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parallel/parallel_tree.h"
+#include "storage/page_store.h"
+
+namespace sqp::storage {
+
+// Serializes `index` into `store`, replacing its contents. The store must
+// have exactly index.num_disks() disks.
+common::Status SaveIndex(const parallel::ParallelRStarTree& index,
+                         PageStore* store);
+
+// Deserializes an index previously written by SaveIndex. The returned
+// index is fully live: queries, inserts and deletes all work, and its
+// declustering map (disk, mirror, cylinder per page) is identical to the
+// saved one, so simulated page-access counts match the original exactly.
+common::Result<std::unique_ptr<parallel::ParallelRStarTree>> OpenIndex(
+    const PageStore& store);
+
+// Convenience wrappers over FilePageStore: one backing file per disk in
+// directory `dir` (created if absent).
+common::Status SaveIndexToDir(const parallel::ParallelRStarTree& index,
+                              const std::string& dir);
+common::Result<std::unique_ptr<parallel::ParallelRStarTree>> OpenIndexFromDir(
+    const std::string& dir);
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_INDEX_IO_H_

@@ -1,0 +1,144 @@
+#include "storage/node_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sqp::storage {
+
+size_t EntryRecordBytes(int dim) { return 8 * static_cast<size_t>(dim) + 12; }
+
+size_t EntriesPerPage(int dim, size_t page_size) {
+  SQP_CHECK(page_size > kPageHeaderBytes + EntryRecordBytes(dim));
+  return (page_size - kPageHeaderBytes) / EntryRecordBytes(dim);
+}
+
+uint32_t NodeSpan(const rstar::Node& node, int dim, size_t page_size) {
+  const size_t per_page = EntriesPerPage(dim, page_size);
+  const size_t span = (node.entries.size() + per_page - 1) / per_page;
+  return span < 1 ? 1 : static_cast<uint32_t>(span);
+}
+
+void EncodeNode(const rstar::Node& node, int dim, size_t page_size,
+                std::vector<uint8_t>* out) {
+  const size_t per_page = EntriesPerPage(dim, page_size);
+  const size_t record_bytes = EntryRecordBytes(dim);
+  const uint32_t span = NodeSpan(node, dim, page_size);
+  const size_t base = out->size();
+  out->resize(base + static_cast<size_t>(span) * page_size, 0);
+
+  size_t next_entry = 0;
+  for (uint32_t seq = 0; seq < span; ++seq) {
+    uint8_t* page = out->data() + base + static_cast<size_t>(seq) * page_size;
+    const size_t in_page =
+        std::min(per_page, node.entries.size() - next_entry);
+    PageHeader h;
+    h.type = seq == 0 ? PageType::kNode : PageType::kNodeContinuation;
+    h.level = static_cast<uint8_t>(node.level);
+    h.page_id = node.id;
+    h.entry_count = static_cast<uint32_t>(in_page);
+    h.total_entries = static_cast<uint32_t>(node.entries.size());
+    h.span = static_cast<uint16_t>(span);
+    h.seq = static_cast<uint16_t>(seq);
+    WritePageHeader(h, page);
+
+    uint8_t* rec = page + kPageHeaderBytes;
+    for (size_t i = 0; i < in_page; ++i, ++next_entry, rec += record_bytes) {
+      const rstar::Entry& e = node.entries[next_entry];
+      SQP_DCHECK(e.mbr.dim() == dim);
+      for (int c = 0; c < dim; ++c) PutF32(rec + 4 * c, e.mbr.lo()[c]);
+      for (int c = 0; c < dim; ++c) {
+        PutF32(rec + 4 * (dim + c), e.mbr.hi()[c]);
+      }
+      const uint64_t ref = node.IsLeaf() ? e.object
+                                         : static_cast<uint64_t>(e.child);
+      PutU64(rec + 8 * dim, ref);
+      PutU32(rec + 8 * dim + 8, e.count);
+    }
+    SealPage(page, page_size);
+  }
+  SQP_DCHECK(next_entry == node.entries.size());
+}
+
+common::Result<rstar::Node> DecodeNode(const uint8_t* data, uint32_t span,
+                                       int dim, size_t page_size,
+                                       rstar::PageId expected_id,
+                                       const std::string& what) {
+  const size_t per_page = EntriesPerPage(dim, page_size);
+  const size_t record_bytes = EntryRecordBytes(dim);
+  if (span < 1) return CorruptionError(what + ": zero-page node record");
+
+  rstar::Node node;
+  node.id = expected_id;
+  for (uint32_t seq = 0; seq < span; ++seq) {
+    const uint8_t* page = data + static_cast<size_t>(seq) * page_size;
+    const PageType expected_type =
+        seq == 0 ? PageType::kNode : PageType::kNodeContinuation;
+    SQP_RETURN_IF_ERROR(CheckPage(page, page_size, expected_type, what));
+    const PageHeader h = ReadPageHeader(page);
+    if (h.page_id != expected_id || h.span != span || h.seq != seq) {
+      return CorruptionError(what + ": node record chain mismatch (page " +
+                             std::to_string(h.page_id) + " seq " +
+                             std::to_string(h.seq) + "/" +
+                             std::to_string(h.span) + ")");
+    }
+    if (seq == 0) {
+      node.level = h.level;
+      node.entries.reserve(h.total_entries);
+    } else if (h.level != node.level) {
+      return CorruptionError(what + ": level differs across node pages");
+    }
+    if (h.entry_count > per_page ||
+        (seq + 1 < span && h.entry_count != per_page)) {
+      return CorruptionError(what + ": bad per-page entry count");
+    }
+
+    const uint8_t* rec = page + kPageHeaderBytes;
+    for (uint32_t i = 0; i < h.entry_count; ++i, rec += record_bytes) {
+      std::vector<geometry::Coord> lo(static_cast<size_t>(dim));
+      std::vector<geometry::Coord> hi(static_cast<size_t>(dim));
+      for (int c = 0; c < dim; ++c) {
+        lo[static_cast<size_t>(c)] = GetF32(rec + 4 * c);
+        hi[static_cast<size_t>(c)] = GetF32(rec + 4 * (dim + c));
+      }
+      for (int c = 0; c < dim; ++c) {
+        const float l = lo[static_cast<size_t>(c)];
+        const float u = hi[static_cast<size_t>(c)];
+        if (std::isnan(l) || std::isnan(u) || l > u) {
+          return CorruptionError(what + ": invalid MBR in entry " +
+                                 std::to_string(node.entries.size()));
+        }
+      }
+      rstar::Entry e;
+      e.mbr = geometry::Rect(geometry::Point::FromVector(std::move(lo)),
+                             geometry::Point::FromVector(std::move(hi)));
+      const uint64_t ref = GetU64(rec + 8 * dim);
+      e.count = GetU32(rec + 8 * dim + 8);
+      if (node.IsLeaf()) {
+        e.object = ref;
+      } else {
+        if (ref >= rstar::kInvalidPage) {
+          return CorruptionError(what + ": child pointer " +
+                                 std::to_string(ref) +
+                                 " out of PageId range");
+        }
+        e.child = static_cast<rstar::PageId>(ref);
+      }
+      node.entries.push_back(std::move(e));
+    }
+  }
+
+  const PageHeader first = ReadPageHeader(data);
+  if (node.entries.size() != first.total_entries) {
+    return CorruptionError(
+        what + ": entry count mismatch (header says " +
+        std::to_string(first.total_entries) + ", decoded " +
+        std::to_string(node.entries.size()) + ")");
+  }
+  return node;
+}
+
+}  // namespace sqp::storage

@@ -1,0 +1,224 @@
+#include "storage/page_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/check.h"
+
+namespace sqp::storage {
+namespace {
+
+common::Status Errno(const std::string& op, const std::string& target) {
+  return common::Status::Internal(op + " " + target + ": " +
+                                  std::strerror(errno));
+}
+
+}  // namespace
+
+// --- MemPageStore ---------------------------------------------------------
+
+MemPageStore::MemPageStore(int num_disks) {
+  SQP_CHECK(num_disks >= 1);
+  disks_.resize(static_cast<size_t>(num_disks));
+}
+
+int MemPageStore::num_disks() const { return static_cast<int>(disks_.size()); }
+
+common::Result<uint64_t> MemPageStore::SizeOf(int disk) const {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  return static_cast<uint64_t>(disks_[static_cast<size_t>(disk)].size());
+}
+
+common::Status MemPageStore::ReadAt(int disk, uint64_t offset, void* buf,
+                                    size_t len) const {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  const auto& bytes = disks_[static_cast<size_t>(disk)];
+  if (offset + len > bytes.size()) {
+    return common::Status::OutOfRange(
+        "read past end of disk " + std::to_string(disk) + " (offset " +
+        std::to_string(offset) + " + " + std::to_string(len) + " > " +
+        std::to_string(bytes.size()) + " bytes)");
+  }
+  std::memcpy(buf, bytes.data() + offset, len);
+  return common::Status::OK();
+}
+
+common::Status MemPageStore::WriteAt(int disk, uint64_t offset,
+                                     const void* buf, size_t len) {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  auto& bytes = disks_[static_cast<size_t>(disk)];
+  if (offset + len > bytes.size()) bytes.resize(offset + len, 0);
+  std::memcpy(bytes.data() + offset, buf, len);
+  return common::Status::OK();
+}
+
+common::Status MemPageStore::Truncate(int disk) {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  disks_[static_cast<size_t>(disk)].clear();
+  return common::Status::OK();
+}
+
+common::Status MemPageStore::Sync() { return common::Status::OK(); }
+
+std::vector<uint8_t>& MemPageStore::disk_bytes(int disk) {
+  SQP_CHECK(disk >= 0 && disk < num_disks());
+  return disks_[static_cast<size_t>(disk)];
+}
+
+// --- FilePageStore --------------------------------------------------------
+
+std::string FilePageStore::DiskFileName(int disk) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "disk-%04d.sqp", disk);
+  return buf;
+}
+
+FilePageStore::FilePageStore(std::string dir, std::vector<int> fds)
+    : dir_(std::move(dir)), fds_(std::move(fds)) {}
+
+FilePageStore::~FilePageStore() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+common::Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& dir, int num_disks) {
+  if (num_disks < 1) {
+    return common::Status::InvalidArgument("num_disks must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return common::Status::Internal("mkdir " + dir + ": " + ec.message());
+  }
+  std::vector<int> fds;
+  fds.reserve(static_cast<size_t>(num_disks));
+  for (int d = 0; d < num_disks; ++d) {
+    const std::string path = dir + "/" + DiskFileName(d);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      common::Status s = Errno("open", path);
+      for (int open_fd : fds) ::close(open_fd);
+      return s;
+    }
+    fds.push_back(fd);
+  }
+  return std::unique_ptr<FilePageStore>(
+      new FilePageStore(dir, std::move(fds)));
+}
+
+common::Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& dir) {
+  std::vector<int> fds;
+  for (int d = 0;; ++d) {
+    const std::string path = dir + "/" + DiskFileName(d);
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+      if (errno == ENOENT) break;
+      common::Status s = Errno("open", path);
+      for (int open_fd : fds) ::close(open_fd);
+      return s;
+    }
+    fds.push_back(fd);
+  }
+  if (fds.empty()) {
+    return common::Status::NotFound("no index files (" + DiskFileName(0) +
+                                    " ...) under " + dir);
+  }
+  return std::unique_ptr<FilePageStore>(
+      new FilePageStore(dir, std::move(fds)));
+}
+
+int FilePageStore::num_disks() const { return static_cast<int>(fds_.size()); }
+
+common::Result<uint64_t> FilePageStore::SizeOf(int disk) const {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  struct stat st;
+  if (::fstat(fds_[static_cast<size_t>(disk)], &st) != 0) {
+    return Errno("fstat", DiskFileName(disk));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+common::Status FilePageStore::ReadAt(int disk, uint64_t offset, void* buf,
+                                     size_t len) const {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fds_[static_cast<size_t>(disk)], out + done,
+                              len - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", DiskFileName(disk));
+    }
+    if (n == 0) {
+      return common::Status::OutOfRange(
+          "read past end of " + DiskFileName(disk) + " (offset " +
+          std::to_string(offset) + " + " + std::to_string(len) +
+          " bytes; file is shorter)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return common::Status::OK();
+}
+
+common::Status FilePageStore::WriteAt(int disk, uint64_t offset,
+                                      const void* buf, size_t len) {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  const uint8_t* in = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fds_[static_cast<size_t>(disk)], in + done,
+                               len - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", DiskFileName(disk));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return common::Status::OK();
+}
+
+common::Status FilePageStore::Truncate(int disk) {
+  if (disk < 0 || disk >= num_disks()) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  if (::ftruncate(fds_[static_cast<size_t>(disk)], 0) != 0) {
+    return Errno("ftruncate", DiskFileName(disk));
+  }
+  return common::Status::OK();
+}
+
+common::Status FilePageStore::Sync() {
+  for (size_t d = 0; d < fds_.size(); ++d) {
+    if (::fsync(fds_[d]) != 0) {
+      return Errno("fsync", DiskFileName(static_cast<int>(d)));
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace sqp::storage

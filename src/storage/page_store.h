@@ -1,0 +1,115 @@
+// Byte stores backing the persistent index, one per simulated disk.
+//
+// A PageStore models the raw media of a D-disk array: D independent,
+// flat byte spaces addressed by (disk, offset). All index I/O goes through
+// this interface in whole page-size units, so the on-disk layout of each
+// backing file mirrors the declustering assignment exactly: a page that
+// the DiskAssigner placed on disk d is written only to store disk d.
+//
+// Two implementations:
+//   * MemPageStore  — in-memory byte vectors; unit tests and corruption
+//     injection (disk contents are directly addressable).
+//   * FilePageStore — one POSIX file per disk (pread/pwrite), the real
+//     durable backend.
+
+#ifndef SQP_STORAGE_PAGE_STORE_H_
+#define SQP_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqp::storage {
+
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  // Number of disks (independent byte spaces) in this store.
+  virtual int num_disks() const = 0;
+
+  // Current size in bytes of `disk`.
+  virtual common::Result<uint64_t> SizeOf(int disk) const = 0;
+
+  // Reads exactly `len` bytes at `offset`. OutOfRange if the read would
+  // extend past the end of the disk (e.g. a truncated file).
+  virtual common::Status ReadAt(int disk, uint64_t offset, void* buf,
+                                size_t len) const = 0;
+
+  // Writes exactly `len` bytes at `offset`, extending the disk as needed.
+  virtual common::Status WriteAt(int disk, uint64_t offset, const void* buf,
+                                 size_t len) = 0;
+
+  // Discards all content of `disk` (fresh save).
+  virtual common::Status Truncate(int disk) = 0;
+
+  // Flushes buffered writes to durable media where applicable.
+  virtual common::Status Sync() = 0;
+};
+
+// In-memory store; contents survive only as long as the object.
+class MemPageStore : public PageStore {
+ public:
+  explicit MemPageStore(int num_disks);
+
+  int num_disks() const override;
+  common::Result<uint64_t> SizeOf(int disk) const override;
+  common::Status ReadAt(int disk, uint64_t offset, void* buf,
+                        size_t len) const override;
+  common::Status WriteAt(int disk, uint64_t offset, const void* buf,
+                         size_t len) override;
+  common::Status Truncate(int disk) override;
+  common::Status Sync() override;
+
+  // Direct access to a disk's bytes, for tests that flip bits or truncate.
+  std::vector<uint8_t>& disk_bytes(int disk);
+
+ private:
+  std::vector<std::vector<uint8_t>> disks_;
+};
+
+// One backing file per disk under a single directory. File names are
+// DiskFileName(d); the directory is created on Create().
+class FilePageStore : public PageStore {
+ public:
+  // Creates (or truncates) `num_disks` backing files under `dir`.
+  static common::Result<std::unique_ptr<FilePageStore>> Create(
+      const std::string& dir, int num_disks);
+
+  // Opens an existing store, inferring the disk count from the files
+  // present. NotFound if `dir` holds no disk files.
+  static common::Result<std::unique_ptr<FilePageStore>> Open(
+      const std::string& dir);
+
+  ~FilePageStore() override;
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  int num_disks() const override;
+  common::Result<uint64_t> SizeOf(int disk) const override;
+  common::Status ReadAt(int disk, uint64_t offset, void* buf,
+                        size_t len) const override;
+  common::Status WriteAt(int disk, uint64_t offset, const void* buf,
+                         size_t len) override;
+  common::Status Truncate(int disk) override;
+  common::Status Sync() override;
+
+  const std::string& dir() const { return dir_; }
+
+  // "disk-0007.sqp" for disk 7.
+  static std::string DiskFileName(int disk);
+
+ private:
+  FilePageStore(std::string dir, std::vector<int> fds);
+
+  std::string dir_;
+  std::vector<int> fds_;  // one open file descriptor per disk
+};
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_PAGE_STORE_H_

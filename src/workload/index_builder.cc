@@ -1,5 +1,7 @@
 #include "workload/index_builder.h"
 
+#include "storage/index_io.h"
+
 namespace sqp::workload {
 
 void InsertAll(const Dataset& data, rstar::RStarTree* tree) {
@@ -17,6 +19,38 @@ std::unique_ptr<parallel::ParallelRStarTree> BuildParallelIndex(
       tree_config, decluster_config);
   InsertAll(data, &index->tree());
   return index;
+}
+
+common::Result<std::unique_ptr<parallel::ParallelRStarTree>>
+BuildAndSaveParallelIndex(const Dataset& data,
+                          const rstar::TreeConfig& tree_config,
+                          const parallel::DeclusterConfig& decluster_config,
+                          const std::string& dir) {
+  auto index = BuildParallelIndex(data, tree_config, decluster_config);
+  SQP_RETURN_IF_ERROR(storage::SaveIndexToDir(*index, dir));
+  return index;
+}
+
+common::Result<std::unique_ptr<parallel::ParallelRStarTree>>
+LoadParallelIndex(const std::string& dir) {
+  return storage::OpenIndexFromDir(dir);
+}
+
+Dataset ExtractDataset(const rstar::RStarTree& tree,
+                       const std::string& name) {
+  Dataset data;
+  data.name = name;
+  data.dim = tree.config().dim;
+  data.points.resize(tree.size());
+  for (rstar::PageId id : tree.LiveNodeIds()) {
+    const rstar::Node& n = tree.node(id);
+    if (!n.IsLeaf()) continue;
+    for (const rstar::Entry& e : n.entries) {
+      SQP_CHECK(e.object < data.points.size());
+      data.points[e.object] = e.mbr.lo();
+    }
+  }
+  return data;
 }
 
 }  // namespace sqp::workload

@@ -1,11 +1,14 @@
 // Helpers to load datasets into (parallel) R*-trees. Trees are built
-// incrementally — object by object — exactly as in the paper (§4.1).
+// incrementally — object by object — exactly as in the paper (§4.1), or
+// restored from a saved image (src/storage/) to skip the build entirely.
 
 #ifndef SQP_WORKLOAD_INDEX_BUILDER_H_
 #define SQP_WORKLOAD_INDEX_BUILDER_H_
 
 #include <memory>
+#include <string>
 
+#include "common/status.h"
 #include "parallel/parallel_tree.h"
 #include "rstar/rstar_tree.h"
 #include "workload/dataset.h"
@@ -19,6 +22,28 @@ void InsertAll(const Dataset& data, rstar::RStarTree* tree);
 std::unique_ptr<parallel::ParallelRStarTree> BuildParallelIndex(
     const Dataset& data, const rstar::TreeConfig& tree_config,
     const parallel::DeclusterConfig& decluster_config);
+
+// Builds a declustered index over `data` and persists it under `dir`
+// (one file per disk; see docs/STORAGE.md). Returns the live index, or
+// the save error (the build itself cannot fail).
+common::Result<std::unique_ptr<parallel::ParallelRStarTree>>
+BuildAndSaveParallelIndex(const Dataset& data,
+                          const rstar::TreeConfig& tree_config,
+                          const parallel::DeclusterConfig& decluster_config,
+                          const std::string& dir);
+
+// Opens an index saved by BuildAndSaveParallelIndex / storage::SaveIndex.
+// NotFound when `dir` holds no index; corruption and version mismatches
+// are reported as in storage::OpenIndex.
+common::Result<std::unique_ptr<parallel::ParallelRStarTree>>
+LoadParallelIndex(const std::string& dir);
+
+// Reconstructs the indexed point set from the tree's leaves: leaf MBRs of
+// point data are degenerate, so the points themselves are recoverable.
+// Assumes object ids are dense indices 0..size-1, as InsertAll assigns
+// them; named `name` (default "restored").
+Dataset ExtractDataset(const rstar::RStarTree& tree,
+                       const std::string& name = "restored");
 
 }  // namespace sqp::workload
 

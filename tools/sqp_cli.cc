@@ -1,10 +1,21 @@
 // sqp_cli — run a custom experiment from the command line without writing
 // code: pick a data set (generated or loaded from file), an algorithm, an
 // array configuration and a workload; get the paper-style metrics back.
+// Indexes can be persisted so repeated query runs skip the build entirely.
 //
 //   $ sqp_cli --dataset=clustered --n=50000 --dim=2 --algo=crss
 //             --disks=10 --lambda=6 --k=20 --queries=100
 //   $ sqp_cli --file=places.csv --algo=bbss --disks=5 --k=10
+//   $ sqp_cli save-index --out=places.index --dataset=california --disks=16
+//   $ sqp_cli load-index --index=places.index --algo=crss --k=20
+//
+// Subcommands:
+//   (none)       build an index in memory and run the workload
+//   save-index   build an index and persist it to --out=<dir>
+//                (--bulkload=1 packs with Sort-Tile-Recursive instead of
+//                 inserting incrementally)
+//   load-index   open the index saved under --index=<dir> and run the
+//                workload against it — no rebuild, no bulk load
 //
 // Flags (all optional, shown with defaults):
 //   --dataset=clustered|uniform|gaussian|california|longbeach
@@ -20,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/algorithms.h"
@@ -27,6 +39,7 @@
 #include "parallel/parallel_tree.h"
 #include "rstar/tree_stats.h"
 #include "sim/query_engine.h"
+#include "storage/index_io.h"
 #include "workload/dataset.h"
 #include "workload/dataset_io.h"
 #include "workload/index_builder.h"
@@ -53,8 +66,8 @@ struct Flags {
   }
 };
 
-bool ParseFlags(int argc, char** argv, Flags* flags) {
-  for (int i = 1; i < argc; ++i) {
+bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
+  for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) return false;
     const size_t eq = arg.find('=');
@@ -82,17 +95,9 @@ parallel::DeclusterPolicy ParsePolicy(const std::string& name) {
   return parallel::DeclusterPolicy::kProximityIndex;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Flags flags;
-  if (!ParseFlags(argc, argv, &flags)) {
-    std::fprintf(stderr, "usage: sqp_cli --key=value ... (see header)\n");
-    return 1;
-  }
-
-  // Data.
-  workload::Dataset data;
+// Loads or generates the data set selected by the flags. Returns false on
+// a load error (already reported to stderr).
+bool MakeDataset(const Flags& flags, workload::Dataset* data) {
   const std::string file = flags.Get("file", "");
   if (!file.empty()) {
     auto loaded = file.size() > 4 && file.substr(file.size() - 4) == ".csv"
@@ -101,47 +106,58 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) {
       std::fprintf(stderr, "load failed: %s\n",
                    loaded.status().ToString().c_str());
-      return 1;
+      return false;
     }
-    data = std::move(*loaded);
-  } else {
-    const std::string kind = flags.Get("dataset", "clustered");
-    const size_t n = static_cast<size_t>(flags.GetInt("n", 20000));
-    const int dim = static_cast<int>(flags.GetInt("dim", 2));
-    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1998));
-    if (kind == "uniform") {
-      data = workload::MakeUniform(n, dim, seed);
-    } else if (kind == "gaussian") {
-      data = workload::MakeGaussian(n, dim, seed);
-    } else if (kind == "california") {
-      data = workload::MakeCaliforniaLike(seed);
-    } else if (kind == "longbeach") {
-      data = workload::MakeLongBeachLike(seed);
-    } else {
-      data = workload::MakeClustered(n, dim, 20, 0.1, seed);
-    }
+    *data = std::move(*loaded);
+    return true;
   }
+  const std::string kind = flags.Get("dataset", "clustered");
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 20000));
+  const int dim = static_cast<int>(flags.GetInt("dim", 2));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1998));
+  if (kind == "uniform") {
+    *data = workload::MakeUniform(n, dim, seed);
+  } else if (kind == "gaussian") {
+    *data = workload::MakeGaussian(n, dim, seed);
+  } else if (kind == "california") {
+    *data = workload::MakeCaliforniaLike(seed);
+  } else if (kind == "longbeach") {
+    *data = workload::MakeLongBeachLike(seed);
+  } else {
+    *data = workload::MakeClustered(n, dim, 20, 0.1, seed);
+  }
+  return true;
+}
 
-  // Index.
-  rstar::TreeConfig tree_cfg;
-  tree_cfg.dim = data.dim;
-  tree_cfg.page_size_bytes = static_cast<int>(flags.GetInt("page", 4096));
+rstar::TreeConfig TreeConfigFromFlags(const Flags& flags, int dim) {
+  rstar::TreeConfig cfg;
+  cfg.dim = dim;
+  cfg.page_size_bytes = static_cast<int>(flags.GetInt("page", 4096));
+  return cfg;
+}
+
+parallel::DeclusterConfig DeclusterConfigFromFlags(const Flags& flags) {
   parallel::DeclusterConfig dc;
   dc.num_disks = static_cast<int>(flags.GetInt("disks", 10));
   dc.policy = ParsePolicy(flags.Get("policy", "pi"));
   dc.mirrored = flags.GetInt("mirrored", 0) != 0;
-  auto index = workload::BuildParallelIndex(data, tree_cfg, dc);
+  return dc;
+}
 
-  std::printf("dataset: %s, %zu points, %d-d\n", data.name.c_str(),
-              data.size(), data.dim);
+void PrintIndexSummary(const parallel::ParallelRStarTree& index) {
+  const parallel::DeclusterConfig& dc = index.placement().config();
   std::printf("index:   %zu pages on %d disks (%s%s), fan-out %d, height "
               "%d, balance %.2f\n",
-              index->tree().NodeCount(), dc.num_disks,
+              index.tree().NodeCount(), dc.num_disks,
               parallel::DeclusterPolicyName(dc.policy),
-              dc.mirrored ? ", mirrored" : "", tree_cfg.MaxEntries(),
-              index->tree().Height(), index->placement().BalanceRatio());
+              dc.mirrored ? ", mirrored" : "",
+              index.tree().config().MaxEntries(), index.tree().Height(),
+              index.placement().BalanceRatio());
+}
 
-  // Workload.
+// Runs the simulated workload the legacy invocation always ran.
+int RunWorkload(const Flags& flags, const workload::Dataset& data,
+                parallel::ParallelRStarTree& index) {
   const size_t n_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   const double lambda = flags.GetDouble("lambda", 5.0);
@@ -154,16 +170,17 @@ int main(int argc, char** argv) {
     jobs.push_back({arrivals[i], points[i], k});
   }
 
+  const int page_size = index.tree().config().page_size_bytes;
   sim::SimConfig sim_cfg;
-  sim_cfg.disk.page_transfer_time = tree_cfg.page_size_bytes / 2.0e6;
-  sim_cfg.bus_transfer_time = tree_cfg.page_size_bytes / 8.0e6;
+  sim_cfg.disk.page_transfer_time = page_size / 2.0e6;
+  sim_cfg.bus_transfer_time = page_size / 8.0e6;
   sim_cfg.buffer_pages = static_cast<size_t>(flags.GetInt("buffer", 0));
 
   const sim::SimulationResult result = sim::RunSimulation(
-      *index, jobs,
+      index, jobs,
       [&](const geometry::Point& q, size_t kk) {
-        return core::MakeAlgorithm(algo, index->tree(), q, kk,
-                                   index->num_disks());
+        return core::MakeAlgorithm(algo, index.tree(), q, kk,
+                                   index.num_disks());
       },
       sim_cfg);
 
@@ -186,10 +203,10 @@ int main(int argc, char** argv) {
   if (flags.GetInt("node-counts", 0) != 0) {
     double pages = 0.0, batches = 0.0, max_batch = 0.0;
     for (const auto& q : points) {
-      auto a = core::MakeAlgorithm(algo, index->tree(), q, k,
-                                   index->num_disks());
+      auto a = core::MakeAlgorithm(algo, index.tree(), q, k,
+                                   index.num_disks());
       const core::ExecutionStats stats =
-          core::RunToCompletion(index->tree(), a.get());
+          core::RunToCompletion(index.tree(), a.get());
       pages += static_cast<double>(stats.pages_fetched);
       batches += static_cast<double>(stats.steps);
       max_batch += static_cast<double>(stats.max_batch);
@@ -198,7 +215,102 @@ int main(int argc, char** argv) {
         "  sequential: pages %.1f, batches %.1f, mean max-batch %.1f\n",
         pages / n_queries, batches / n_queries, max_batch / n_queries);
     std::printf("\n%s",
-                rstar::ComputeTreeStats(index->tree()).ToString().c_str());
+                rstar::ComputeTreeStats(index.tree()).ToString().c_str());
   }
   return 0;
+}
+
+int RunDefault(const Flags& flags) {
+  workload::Dataset data;
+  if (!MakeDataset(flags, &data)) return 1;
+  auto index = workload::BuildParallelIndex(
+      data, TreeConfigFromFlags(flags, data.dim),
+      DeclusterConfigFromFlags(flags));
+  std::printf("dataset: %s, %zu points, %d-d\n", data.name.c_str(),
+              data.size(), data.dim);
+  PrintIndexSummary(*index);
+  return RunWorkload(flags, data, *index);
+}
+
+int RunSaveIndex(const Flags& flags) {
+  const std::string dir = flags.Get("out", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "save-index requires --out=<dir>\n");
+    return 1;
+  }
+  workload::Dataset data;
+  if (!MakeDataset(flags, &data)) return 1;
+  auto index = std::make_unique<parallel::ParallelRStarTree>(
+      TreeConfigFromFlags(flags, data.dim), DeclusterConfigFromFlags(flags));
+  if (flags.GetInt("bulkload", 0) != 0) {
+    std::vector<rstar::ObjectId> ids(data.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<rstar::ObjectId>(i);
+    }
+    const common::Status st = index->tree().BulkLoad(data.points, ids);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bulk load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    workload::InsertAll(data, &index->tree());
+  }
+  const common::Status saved = storage::SaveIndexToDir(*index, dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %s, %zu points, %d-d\n", data.name.c_str(),
+              data.size(), data.dim);
+  PrintIndexSummary(*index);
+  std::printf("saved:   %s (%d disk files)\n", dir.c_str(),
+              index->num_disks());
+  return 0;
+}
+
+int RunLoadIndex(const Flags& flags) {
+  const std::string dir = flags.Get("index", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "load-index requires --index=<dir>\n");
+    return 1;
+  }
+  auto opened = workload::LoadParallelIndex(dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<parallel::ParallelRStarTree> index = std::move(*opened);
+  const workload::Dataset data =
+      workload::ExtractDataset(index->tree(), "index:" + dir);
+  std::printf("dataset: %s, %zu points, %d-d (restored from leaves)\n",
+              data.name.c_str(), data.size(), data.dim);
+  PrintIndexSummary(*index);
+  return RunWorkload(flags, data, *index);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  int first_flag = 1;
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    command = argv[1];
+    first_flag = 2;
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, first_flag, &flags)) {
+    std::fprintf(stderr,
+                 "usage: sqp_cli [save-index|load-index] --key=value ... "
+                 "(see header)\n");
+    return 1;
+  }
+  if (command == "save-index") return RunSaveIndex(flags);
+  if (command == "load-index") return RunLoadIndex(flags);
+  if (!command.empty()) {
+    std::fprintf(stderr, "unknown subcommand '%s' (try save-index, "
+                 "load-index, or flags only)\n", command.c_str());
+    return 1;
+  }
+  return RunDefault(flags);
 }
