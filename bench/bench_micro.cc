@@ -1,15 +1,23 @@
 // Google-benchmark microbenchmarks of the hot kernels: the three distance
-// metrics, Lemma 1, R*-tree insertion/split machinery, and the exact k-NN
-// search used as the WOPTSS oracle.
+// metrics, Lemma 1, R*-tree insertion/split machinery, the exact k-NN
+// search used as the WOPTSS oracle, and the concurrency primitives of the
+// real execution engine (sharded page cache, batched store reads).
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "core/exact_knn.h"
 #include "core/lemma1.h"
+#include "exec/page_cache.h"
 #include "geometry/metrics.h"
 #include "parallel/declustering.h"
 #include "rstar/rstar_tree.h"
+#include "storage/page_store.h"
 #include "workload/dataset.h"
 #include "workload/index_builder.h"
 
@@ -125,6 +133,134 @@ void BM_ExactKnn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactKnn)->Arg(1)->Arg(10)->Arg(100);
+
+// --- Execution-engine primitives ------------------------------------------
+
+rstar::Node CacheNode(rstar::PageId id) {
+  rstar::Node node;
+  node.id = id;
+  node.level = 0;
+  for (int i = 0; i < 40; ++i) {
+    geometry::Point p{static_cast<geometry::Coord>(i), 0.5f};
+    node.entries.push_back(
+        rstar::Entry::ForObject(p, static_cast<rstar::ObjectId>(i)));
+  }
+  return node;
+}
+
+// Pure hit path: every lookup pins a resident page.
+void BM_PageCacheHit(benchmark::State& state) {
+  exec::PageCacheOptions options;
+  options.capacity_pages = 1024;
+  options.shards = 16;
+  exec::ShardedPageCache cache(options);
+  for (rstar::PageId id = 0; id < 256; ++id) {
+    cache.InsertPinned(id, CacheNode(id), 1);
+    cache.Unpin(id);
+  }
+  common::Rng rng(9);
+  for (auto _ : state) {
+    const rstar::PageId id =
+        static_cast<rstar::PageId>(rng.UniformInt(0, 255));
+    benchmark::DoNotOptimize(cache.LookupPinned(id));
+    cache.Unpin(id);
+  }
+}
+BENCHMARK(BM_PageCacheHit);
+
+// Miss + insert + eviction path: the working set is double the capacity.
+void BM_PageCacheMissInsert(benchmark::State& state) {
+  exec::PageCacheOptions options;
+  options.capacity_pages = 128;
+  options.shards = 16;
+  exec::ShardedPageCache cache(options);
+  common::Rng rng(10);
+  for (auto _ : state) {
+    const rstar::PageId id =
+        static_cast<rstar::PageId>(rng.UniformInt(0, 255));
+    const rstar::Node* node = cache.LookupPinned(id);
+    if (node == nullptr) {
+      node = cache.InsertPinned(id, CacheNode(id), 1);
+    }
+    benchmark::DoNotOptimize(node);
+    cache.Unpin(id);
+  }
+}
+BENCHMARK(BM_PageCacheMissInsert);
+
+// Contended pin/unpin: all threads hammer the same resident pages. The
+// ->Threads() counts show how far the lock sharding carries.
+void BM_PageCacheContendedPin(benchmark::State& state) {
+  static exec::ShardedPageCache* cache = nullptr;
+  if (state.thread_index() == 0) {
+    exec::PageCacheOptions options;
+    options.capacity_pages = 1024;
+    options.shards = 16;
+    cache = new exec::ShardedPageCache(options);
+    for (rstar::PageId id = 0; id < 64; ++id) {
+      cache->InsertPinned(id, CacheNode(id), 1);
+      cache->Unpin(id);
+    }
+  }
+  common::Rng rng(11 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const rstar::PageId id =
+        static_cast<rstar::PageId>(rng.UniformInt(0, 63));
+    benchmark::DoNotOptimize(cache->LookupPinned(id));
+    cache->Unpin(id);
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations() * state.threads());
+    delete cache;
+    cache = nullptr;
+  }
+}
+BENCHMARK(BM_PageCacheContendedPin)->Threads(1)->Threads(4)->Threads(8);
+
+// Batched vs one-at-a-time file-store reads of the same 32 pages:
+// FilePageStore::ReadPages merges offset-adjacent requests of one disk
+// into single preads (here 32 pages on 4 disks become 4 syscalls).
+void BM_StoreReads(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  constexpr size_t kPage = 4096;
+  constexpr size_t kPages = 32;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sqp_bench_micro.store")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto store = storage::FilePageStore::Create(dir, 4);
+  std::vector<uint8_t> zeros(kPage * kPages, 0);
+  for (int d = 0; d < 4; ++d) {
+    benchmark::DoNotOptimize(
+        (*store)->WriteAt(d, 0, zeros.data(), zeros.size()).ok());
+  }
+  std::vector<uint8_t> buf(kPage * kPages);
+  for (auto _ : state) {
+    if (batched) {
+      std::vector<storage::ReadRequest> requests;
+      for (size_t i = 0; i < kPages; ++i) {
+        requests.push_back({static_cast<int>(i % 4), (i / 4) * kPage,
+                            buf.data() + i * kPage, kPage});
+      }
+      benchmark::DoNotOptimize((*store)->ReadPages(requests).ok());
+    } else {
+      for (size_t i = 0; i < kPages; ++i) {
+        benchmark::DoNotOptimize(
+            (*store)
+                ->ReadAt(static_cast<int>(i % 4), (i / 4) * kPage,
+                         buf.data() + i * kPage, kPage)
+                .ok());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kPages));
+  if (state.thread_index() == 0) {
+    store->reset();
+    std::filesystem::remove_all(dir);
+  }
+}
+BENCHMARK(BM_StoreReads)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace sqp

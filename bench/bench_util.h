@@ -105,6 +105,107 @@ inline void PrintHeader(const std::string& title,
   std::printf("\n=== %s ===\n%s\n", title.c_str(), setting.c_str());
 }
 
+// Value of a `--name=value` argument, or `def` when absent. Benches use
+// this for the few flags they take (notably --json=<path>).
+inline std::string ArgValue(int argc, char** argv, const std::string& name,
+                            const std::string& def = "") {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return def;
+}
+
+// Minimal JSON emitter for machine-readable bench output (--json=<path>).
+// Scope-based: Begin/End calls must nest properly; keys are passed to
+// Field/Begin* inside objects and omitted inside arrays.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Field("bench", "parallel_engine");
+//   w.BeginArray("series");
+//   w.BeginObject();  w.Field("threads", 8);  w.EndObject();
+//   w.EndArray();
+//   w.EndObject();
+//   w.WriteFile(path);
+class JsonWriter {
+ public:
+  void BeginObject(const std::string& key = "") { Pre(key); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray(const std::string& key = "") { Pre(key); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+
+  void Field(const std::string& key, const std::string& v) {
+    Pre(key);
+    out_ += Quote(v);
+  }
+  void Field(const std::string& key, const char* v) {
+    Field(key, std::string(v));
+  }
+  void Field(const std::string& key, double v, int precision = 6) {
+    Pre(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    out_ += buf;
+  }
+  void Field(const std::string& key, uint64_t v) {
+    Pre(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const std::string& key, int v) {
+    Pre(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const std::string& key, bool v) {
+    Pre(key);
+    out_ += v ? "true" : "false";
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document (plus trailing newline) to `path`. Reports the
+  // failure to stderr rather than aborting the bench.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs(out_.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        q += '\\';
+        q += c;
+      } else if (c == '\n') {
+        q += "\\n";
+      } else {
+        q += c;
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  void Pre(const std::string& key) {
+    if (!first_) out_ += ',';
+    first_ = false;
+    if (!key.empty()) out_ += Quote(key) + ":";
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
 inline void PrintRow(const std::vector<std::string>& cells, int width = 12) {
   for (const std::string& c : cells) std::printf("%*s", width, c.c_str());
   std::printf("\n");

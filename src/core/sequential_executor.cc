@@ -8,8 +8,7 @@
 
 namespace sqp::core {
 
-ExecutionStats RunToCompletion(const rstar::RStarTree& tree,
-                               BatchTraversal* algo) {
+ExecutionStats RunToCompletion(PageSource& source, BatchTraversal* algo) {
   SQP_CHECK(algo != nullptr);
   ExecutionStats stats;
   std::unordered_set<rstar::PageId> fetched;
@@ -26,17 +25,21 @@ ExecutionStats RunToCompletion(const rstar::RStarTree& tree,
     for (rstar::PageId id : step.requests) {
       const bool first_fetch = fetched.insert(id).second;
       SQP_CHECK(first_fetch || algo->MayRefetchPages());
-      const rstar::Node& node = tree.node(id);
-      pages.push_back({id, &node});
+      pages.push_back({id, &source.GetPage(id)});
       // Supernodes span several disk pages; count what actually moves.
-      stats.pages_fetched +=
-          static_cast<size_t>(rstar::PageSpan(tree.config(), node));
+      stats.pages_fetched += source.SpanOf(id);
     }
     step = algo->OnPagesFetched(pages);
   }
   SQP_CHECK(step.requests.empty());
   stats.cpu_instructions += step.cpu_instructions;
   return stats;
+}
+
+ExecutionStats RunToCompletion(const rstar::RStarTree& tree,
+                               BatchTraversal* algo) {
+  TreePageSource source(tree);
+  return RunToCompletion(source, algo);
 }
 
 }  // namespace sqp::core

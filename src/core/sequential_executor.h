@@ -1,7 +1,8 @@
 // Drives a SearchAlgorithm to completion without a disk-array simulation,
 // counting page accesses and batches. Used for the effectiveness
 // experiments (Figures 8 and 9) and as the workhorse of the correctness
-// tests; the response-time experiments use sim::QueryEngine instead.
+// tests; the response-time experiments use sim::QueryEngine, and real
+// wall-clock execution over a PageStore uses exec::ParallelQueryEngine.
 
 #ifndef SQP_CORE_SEQUENTIAL_EXECUTOR_H_
 #define SQP_CORE_SEQUENTIAL_EXECUTOR_H_
@@ -26,8 +27,44 @@ struct ExecutionStats {
   uint64_t cpu_instructions = 0;
 };
 
-// Runs `algo` against `tree` until done. CHECK-fails if the algorithm
+// Where an executor obtains page contents. The in-memory tree is one
+// source; the real execution engine's cache-over-PageStore is another.
+// Implementations may hand out pointers that stay valid only until the
+// next GetPage/Release cycle of the same executor.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  // The node stored on page `id`. CHECK-fails (tree source) or aborts the
+  // query (storage source) if the page is not live.
+  virtual const rstar::Node& GetPage(rstar::PageId id) = 0;
+
+  // Disk pages the record of `id` occupies (supernodes span several).
+  virtual size_t SpanOf(rstar::PageId id) = 0;
+};
+
+// Adapter: serves pages out of the in-memory tree.
+class TreePageSource : public PageSource {
+ public:
+  explicit TreePageSource(const rstar::RStarTree& tree) : tree_(tree) {}
+
+  const rstar::Node& GetPage(rstar::PageId id) override {
+    return tree_.node(id);
+  }
+  size_t SpanOf(rstar::PageId id) override {
+    return static_cast<size_t>(
+        rstar::PageSpan(tree_.config(), tree_.node(id)));
+  }
+
+ private:
+  const rstar::RStarTree& tree_;
+};
+
+// Runs `algo` against `source` until done. CHECK-fails if the algorithm
 // requests the same page twice or requests pages after reporting done.
+ExecutionStats RunToCompletion(PageSource& source, BatchTraversal* algo);
+
+// Convenience overload over the in-memory tree.
 ExecutionStats RunToCompletion(const rstar::RStarTree& tree,
                                BatchTraversal* algo);
 

@@ -1,0 +1,64 @@
+#include "exec/io_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sqp::exec {
+
+DiskIoPool::DiskIoPool(int num_disks) {
+  SQP_CHECK(num_disks >= 1);
+  for (int d = 0; d < num_disks; ++d) queues_.emplace_back();
+  workers_.reserve(static_cast<size_t>(num_disks));
+  for (int d = 0; d < num_disks; ++d) {
+    workers_.emplace_back([this, d] { WorkerLoop(&queues_[d]); });
+  }
+}
+
+DiskIoPool::~DiskIoPool() {
+  for (DiskQueue& q : queues_) {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.stop = true;
+    q.cv.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void DiskIoPool::Submit(int disk, std::function<void()> job) {
+  SQP_CHECK(disk >= 0 && disk < num_disks());
+  DiskQueue& q = queues_[static_cast<size_t>(disk)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  SQP_CHECK(!q.stop);
+  q.jobs.push_back(std::move(job));
+  q.cv.notify_one();
+}
+
+uint64_t DiskIoPool::jobs_completed() const {
+  uint64_t total = 0;
+  for (const DiskQueue& q : queues_) {
+    std::lock_guard<std::mutex> lock(q.mu);
+    total += q.completed;
+  }
+  return total;
+}
+
+void DiskIoPool::WorkerLoop(DiskQueue* queue) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue->mu);
+      queue->cv.wait(lock,
+                     [queue] { return queue->stop || !queue->jobs.empty(); });
+      if (queue->jobs.empty()) return;  // stop requested and drained
+      job = std::move(queue->jobs.front());
+      queue->jobs.pop_front();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(queue->mu);
+      ++queue->completed;
+    }
+  }
+}
+
+}  // namespace sqp::exec

@@ -1,0 +1,103 @@
+#include "exec/page_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sqp::exec {
+
+ShardedPageCache::ShardedPageCache(const PageCacheOptions& options)
+    : capacity_pages_(options.capacity_pages),
+      shard_capacity_(options.capacity_pages /
+                      static_cast<size_t>(options.shards > 0 ? options.shards
+                                                             : 1)),
+      shards_(static_cast<size_t>(options.shards > 0 ? options.shards : 1)) {
+  if (shard_capacity_ == 0 && capacity_pages_ > 0) shard_capacity_ = 1;
+}
+
+const rstar::Node* ShardedPageCache::LookupPinned(rstar::PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  Frame& f = it->second;
+  ++f.pins;
+  shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
+  return &f.node;
+}
+
+const rstar::Node* ShardedPageCache::InsertPinned(rstar::PageId id,
+                                                  rstar::Node node,
+                                                  uint32_t span) {
+  SQP_CHECK(span >= 1);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    // Raced with another inserter; keep the resident copy.
+    Frame& f = it->second;
+    ++f.pins;
+    shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
+    return &f.node;
+  }
+  shard.lru.push_front(id);
+  Frame& f = shard.frames[id];
+  f.node = std::move(node);
+  f.span = span;
+  f.pins = 1;
+  f.lru_pos = shard.lru.begin();
+  shard.resident_pages += span;
+  ++shard.insertions;
+  EvictLocked(shard);
+  return &f.node;
+}
+
+void ShardedPageCache::Unpin(rstar::PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  SQP_CHECK(it != shard.frames.end());
+  SQP_CHECK(it->second.pins > 0);
+  --it->second.pins;
+  if (it->second.pins == 0 && shard.resident_pages > shard_capacity_) {
+    EvictLocked(shard);
+  }
+}
+
+void ShardedPageCache::EvictLocked(Shard& shard) {
+  if (shard.resident_pages <= shard_capacity_) return;
+  // Walk from the LRU end, skipping pinned frames. The newly inserted
+  // frame sits at the MRU end and is pinned, so it is never its own
+  // victim.
+  auto pos = shard.lru.end();
+  while (shard.resident_pages > shard_capacity_ &&
+         pos != shard.lru.begin()) {
+    --pos;
+    auto it = shard.frames.find(*pos);
+    SQP_DCHECK(it != shard.frames.end());
+    if (it->second.pins > 0) continue;
+    shard.resident_pages -= it->second.span;
+    ++shard.evictions;
+    pos = shard.lru.erase(pos);
+    shard.frames.erase(it);
+  }
+}
+
+PageCacheStats ShardedPageCache::GetStats() const {
+  PageCacheStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.resident_pages += shard.resident_pages;
+  }
+  return stats;
+}
+
+}  // namespace sqp::exec

@@ -1,0 +1,112 @@
+// Sharded LRU cache of decoded tree nodes, shared by all concurrent
+// queries of the real execution engine.
+//
+// This is the wall-clock analogue of sim/buffer_pool.h: where the
+// simulator's pool only decides whether a virtual-time I/O is charged,
+// this cache holds actual decoded rstar::Node objects read from a
+// storage::PageStore, and its lock sharding is what keeps dozens of query
+// threads from serializing on one mutex. Entries are pinned while a query
+// is processing them, so eviction can never free a node out from under an
+// OnPagesFetched callback; capacity is accounted in disk pages (a
+// supernode record occupies its span, like on the media).
+
+#ifndef SQP_EXEC_PAGE_CACHE_H_
+#define SQP_EXEC_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rstar/node.h"
+#include "rstar/types.h"
+
+namespace sqp::exec {
+
+struct PageCacheOptions {
+  // Total capacity in disk pages, split evenly across shards. Pinned
+  // entries may transiently push a shard past its share (they are never
+  // evicted), so this is a target, not a hard ceiling.
+  size_t capacity_pages = 4096;
+  // Power of two recommended. One mutex + LRU list per shard.
+  int shards = 16;
+};
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t resident_pages = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class ShardedPageCache {
+ public:
+  explicit ShardedPageCache(const PageCacheOptions& options);
+
+  ShardedPageCache(const ShardedPageCache&) = delete;
+  ShardedPageCache& operator=(const ShardedPageCache&) = delete;
+
+  // If `id` is resident: pins it, moves it to MRU, and returns the node
+  // (stable until the matching Unpin). Returns nullptr on a miss.
+  const rstar::Node* LookupPinned(rstar::PageId id);
+
+  // Makes `id` resident with the given decoded contents and returns it
+  // pinned. If another thread inserted `id` first, the existing entry wins
+  // (the engine may decode the same missed page twice under contention)
+  // and `node` is discarded. `span` is the record's size in disk pages.
+  const rstar::Node* InsertPinned(rstar::PageId id, rstar::Node node,
+                                  uint32_t span);
+
+  // Releases one pin taken by LookupPinned/InsertPinned.
+  void Unpin(rstar::PageId id);
+
+  // Aggregated over all shards (each shard counts under its own lock).
+  PageCacheStats GetStats() const;
+
+  size_t capacity_pages() const { return capacity_pages_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Frame {
+    rstar::Node node;
+    uint32_t span = 1;
+    int pins = 0;
+    std::list<rstar::PageId>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<rstar::PageId, Frame> frames;
+    std::list<rstar::PageId> lru;  // front = MRU
+    size_t resident_pages = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(rstar::PageId id) {
+    return shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  // Evicts unpinned LRU entries of `shard` until it fits its share.
+  // Caller holds shard.mu.
+  void EvictLocked(Shard& shard);
+
+  size_t capacity_pages_;
+  size_t shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sqp::exec
+
+#endif  // SQP_EXEC_PAGE_CACHE_H_

@@ -1,0 +1,226 @@
+#include "exec/parallel_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sqp::exec {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Completion rendezvous for one activation batch: the query thread blocks
+// until every per-disk job has reported in.
+struct BatchSync {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = 0;
+  common::Status error;
+
+  void Done(const common::Status& status) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (error.ok() && !status.ok()) error = status;
+    if (--pending == 0) cv.notify_one();
+  }
+
+  common::Status Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+    return error;
+  }
+};
+
+}  // namespace
+
+common::Result<std::unique_ptr<ParallelQueryEngine>>
+ParallelQueryEngine::Create(const parallel::ParallelRStarTree& index,
+                            const storage::PageStore* store,
+                            const EngineOptions& options) {
+  SQP_CHECK(store != nullptr);
+  if (options.query_threads < 1) {
+    return common::Status::InvalidArgument("query_threads must be >= 1");
+  }
+  auto reader = StoredIndexReader::Open(store);
+  if (!reader.ok()) return reader.status();
+  const storage::IndexLayout& layout = (*reader)->layout();
+  if (layout.decluster.num_disks != index.num_disks()) {
+    return common::Status::InvalidArgument(
+        "store image has " + std::to_string(layout.decluster.num_disks) +
+        " disks, index has " + std::to_string(index.num_disks()));
+  }
+  if (layout.root != index.tree().root() ||
+      layout.object_count != index.tree().size()) {
+    return common::Status::FailedPrecondition(
+        "store image does not match the live index (stale save?)");
+  }
+  return std::unique_ptr<ParallelQueryEngine>(
+      new ParallelQueryEngine(index, std::move(*reader), options));
+}
+
+ParallelQueryEngine::ParallelQueryEngine(
+    const parallel::ParallelRStarTree& index,
+    std::unique_ptr<StoredIndexReader> reader, const EngineOptions& options)
+    : index_(index), options_(options), reader_(std::move(reader)) {
+  PageCacheOptions cache_options;
+  cache_options.capacity_pages = options.cache_pages;
+  cache_options.shards = options.cache_shards;
+  cache_ = std::make_unique<ShardedPageCache>(cache_options);
+  io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks());
+}
+
+ParallelQueryEngine::~ParallelQueryEngine() = default;
+
+common::Status ParallelQueryEngine::FetchBatch(
+    const std::vector<rstar::PageId>& ids,
+    std::vector<const rstar::Node*>* slots, QueryAnswer* answer) {
+  slots->assign(ids.size(), nullptr);
+
+  // Cache pass. Misses are grouped per disk, mirroring the declustering
+  // assignment: each group becomes one job on that disk's worker.
+  std::map<int, std::vector<size_t>> misses_by_disk;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (const rstar::Node* node = cache_->LookupPinned(ids[i])) {
+      (*slots)[i] = node;
+      ++answer->cache_hits;
+      continue;
+    }
+    auto loc = reader_->LocationOf(ids[i]);
+    if (!loc.ok()) {
+      // Unpin what this round already pinned before bailing.
+      for (size_t j = 0; j < i; ++j) {
+        if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
+      }
+      slots->assign(ids.size(), nullptr);
+      return loc.status();
+    }
+    ++answer->cache_misses;
+    misses_by_disk[loc->disk].push_back(i);
+  }
+
+  if (options_.serial_io) {
+    // Baseline mode: every missed page is one blocking read on this
+    // thread — no disk-level overlap at all.
+    for (auto& [disk, slot_indices] : misses_by_disk) {
+      for (size_t i : slot_indices) {
+        const rstar::PageId id = ids[i];
+        common::Result<rstar::Node> node = reader_->ReadNode(id);
+        if (!node.ok()) {
+          for (size_t j = 0; j < ids.size(); ++j) {
+            if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
+          }
+          slots->assign(ids.size(), nullptr);
+          return node.status();
+        }
+        (*slots)[i] = cache_->InsertPinned(
+            id, std::move(*node), reader_->layout().pages[id].span);
+      }
+    }
+    return common::Status::OK();
+  }
+
+  if (!misses_by_disk.empty()) {
+    BatchSync sync;
+    sync.pending = static_cast<int>(misses_by_disk.size());
+    for (auto& [disk, slot_indices] : misses_by_disk) {
+      // The worker fills its group's slots with pinned cache entries.
+      io_pool_->Submit(disk, [this, &ids, slots, &sync,
+                              group = &slot_indices] {
+        std::vector<rstar::PageId> group_ids;
+        group_ids.reserve(group->size());
+        for (size_t i : *group) group_ids.push_back(ids[i]);
+        std::vector<rstar::Node> nodes;
+        common::Status read = reader_->ReadNodes(group_ids, &nodes);
+        if (read.ok()) {
+          for (size_t n = 0; n < group->size(); ++n) {
+            const rstar::PageId id = group_ids[n];
+            const uint32_t span = reader_->layout().pages[id].span;
+            (*slots)[(*group)[n]] =
+                cache_->InsertPinned(id, std::move(nodes[n]), span);
+          }
+        }
+        sync.Done(read);
+      });
+    }
+    common::Status batch = sync.Wait();
+    if (!batch.ok()) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if ((*slots)[i] != nullptr) cache_->Unpin(ids[i]);
+      }
+      slots->assign(ids.size(), nullptr);
+      return batch;
+    }
+  }
+  return common::Status::OK();
+}
+
+QueryAnswer ParallelQueryEngine::RunQuery(const EngineQuery& query) {
+  QueryAnswer answer;
+  const double start = NowSeconds();
+  auto algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
+                                  query.k, reader_->num_disks());
+
+  std::vector<const rstar::Node*> slots;
+  core::StepResult step = algo->Begin();
+  while (!step.done) {
+    SQP_CHECK(!step.requests.empty());
+    ++answer.steps;
+
+    answer.status = FetchBatch(step.requests, &slots, &answer);
+    if (!answer.status.ok()) {
+      answer.latency_s = NowSeconds() - start;
+      return answer;
+    }
+    std::vector<core::FetchedPage> pages;
+    pages.reserve(step.requests.size());
+    for (size_t i = 0; i < step.requests.size(); ++i) {
+      pages.push_back({step.requests[i], slots[i]});
+      answer.pages_fetched +=
+          reader_->layout().pages[step.requests[i]].span;
+    }
+    step = algo->OnPagesFetched(pages);
+    // Pins are held across the callback (the algorithm borrows the node
+    // pointers) and released immediately after.
+    for (const core::FetchedPage& p : pages) cache_->Unpin(p.id);
+  }
+  answer.neighbors = algo->result().Sorted();
+  answer.latency_s = NowSeconds() - start;
+  return answer;
+}
+
+std::vector<QueryAnswer> ParallelQueryEngine::RunBatch(
+    const std::vector<EngineQuery>& queries) {
+  std::vector<QueryAnswer> answers(queries.size());
+  if (queries.empty()) return answers;
+  const int n_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(options_.query_threads),
+                       queries.size()));
+  std::atomic<size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= queries.size()) return;
+      answers[i] = RunQuery(queries[i]);
+    }
+  };
+  if (n_threads == 1) {
+    drain();
+    return answers;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n_threads));
+  for (int t = 0; t < n_threads; ++t) workers.emplace_back(drain);
+  for (std::thread& t : workers) t.join();
+  return answers;
+}
+
+}  // namespace sqp::exec

@@ -1,0 +1,80 @@
+#include "exec/stored_index.h"
+
+#include <string>
+#include <utility>
+
+#include "storage/node_codec.h"
+
+namespace sqp::exec {
+
+common::Result<std::unique_ptr<StoredIndexReader>> StoredIndexReader::Open(
+    const storage::PageStore* store) {
+  auto layout = storage::ReadIndexLayout(*store);
+  if (!layout.ok()) return layout.status();
+  return std::unique_ptr<StoredIndexReader>(
+      new StoredIndexReader(store, std::move(*layout)));
+}
+
+common::Result<storage::PageLocation> StoredIndexReader::LocationOf(
+    rstar::PageId id) const {
+  if (!layout_.IsLive(id)) {
+    return common::Status::InvalidArgument(
+        "page " + std::to_string(id) + " is not a live index page");
+  }
+  return layout_.pages[id];
+}
+
+common::Result<rstar::Node> StoredIndexReader::ReadNode(
+    rstar::PageId id) const {
+  std::vector<rstar::Node> nodes;
+  SQP_RETURN_IF_ERROR(ReadNodes(std::span<const rstar::PageId>(&id, 1),
+                                &nodes));
+  return std::move(nodes[0]);
+}
+
+common::Status StoredIndexReader::ReadNodes(
+    std::span<const rstar::PageId> ids, std::vector<rstar::Node>* out) const {
+  const size_t page_size = layout_.page_size;
+  std::vector<storage::PageLocation> locs;
+  locs.reserve(ids.size());
+  size_t total_bytes = 0;
+  for (rstar::PageId id : ids) {
+    auto loc = LocationOf(id);
+    if (!loc.ok()) return loc.status();
+    locs.push_back(*loc);
+    total_bytes += static_cast<size_t>(loc->span) * page_size;
+  }
+
+  // One buffer for the whole batch; one ReadPages call so the store can
+  // merge per-disk adjacent records.
+  std::vector<uint8_t> bytes(total_bytes);
+  std::vector<storage::ReadRequest> requests;
+  requests.reserve(ids.size());
+  size_t pos = 0;
+  for (const storage::PageLocation& loc : locs) {
+    storage::ReadRequest r;
+    r.disk = loc.disk;
+    r.offset = loc.offset;
+    r.buf = bytes.data() + pos;
+    r.len = static_cast<size_t>(loc.span) * page_size;
+    requests.push_back(r);
+    pos += r.len;
+  }
+  SQP_RETURN_IF_ERROR(store_->ReadPages(requests));
+
+  pos = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const std::string what = "disk " + std::to_string(locs[i].disk) +
+                             " node record for page " +
+                             std::to_string(ids[i]);
+    auto node = storage::DecodeNode(bytes.data() + pos, locs[i].span,
+                                    layout_.tree_config.dim, page_size,
+                                    ids[i], what);
+    if (!node.ok()) return node.status();
+    out->push_back(std::move(*node));
+    pos += static_cast<size_t>(locs[i].span) * page_size;
+  }
+  return common::Status::OK();
+}
+
+}  // namespace sqp::exec

@@ -1,0 +1,60 @@
+// Page-id-level read access to a persisted index image.
+//
+// storage::PageStore speaks (disk, offset, len); the execution engine
+// speaks PageIds. StoredIndexReader bridges the two using the on-disk
+// directory (storage::ReadIndexLayout): it resolves each PageId to its
+// primary record's location, groups batch reads per disk, and lets the
+// store merge offset-adjacent records into single preads. Every record is
+// checksum-verified and decoded on the way in, so a damaged page surfaces
+// as a Status at query time, never as a wrong answer.
+
+#ifndef SQP_EXEC_STORED_INDEX_H_
+#define SQP_EXEC_STORED_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "rstar/node.h"
+#include "rstar/types.h"
+#include "storage/index_io.h"
+#include "storage/page_store.h"
+
+namespace sqp::exec {
+
+class StoredIndexReader {
+ public:
+  // Reads and validates the store's layout. `store` must outlive the
+  // reader and its contents must not change while the reader is in use.
+  static common::Result<std::unique_ptr<StoredIndexReader>> Open(
+      const storage::PageStore* store);
+
+  const storage::IndexLayout& layout() const { return layout_; }
+  int num_disks() const { return layout_.decluster.num_disks; }
+
+  // Primary record location of `id`; InvalidArgument if not live.
+  common::Result<storage::PageLocation> LocationOf(rstar::PageId id) const;
+
+  // Reads and decodes one node record.
+  common::Result<rstar::Node> ReadNode(rstar::PageId id) const;
+
+  // Reads and decodes a batch of node records, appended to `out` in `ids`
+  // order. All page reads go through one PageStore::ReadPages call, so
+  // records on the same disk that are adjacent in the file cost a single
+  // pread. Safe to call from several threads concurrently.
+  common::Status ReadNodes(std::span<const rstar::PageId> ids,
+                           std::vector<rstar::Node>* out) const;
+
+ private:
+  StoredIndexReader(const storage::PageStore* store,
+                    storage::IndexLayout layout)
+      : store_(store), layout_(std::move(layout)) {}
+
+  const storage::PageStore* store_;  // not owned
+  storage::IndexLayout layout_;
+};
+
+}  // namespace sqp::exec
+
+#endif  // SQP_EXEC_STORED_INDEX_H_

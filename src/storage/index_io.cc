@@ -232,6 +232,87 @@ common::Status ReadExact(const PageStore& store, int disk, uint64_t offset,
   return s;
 }
 
+// Reads disk `d`'s checksum-verified superblock into `sb` and its
+// directory records into `records`. `page` is a page_size scratch buffer.
+common::Status ReadDiskDirectory(const PageStore& store, int d,
+                                 size_t page_size, uint8_t* page,
+                                 Superblock* sb,
+                                 std::vector<DirRecord>* records) {
+  const std::string sb_tag = DiskTag(d) + " superblock";
+  SQP_RETURN_IF_ERROR(ReadExact(store, d, 0, page, page_size, sb_tag));
+  SQP_RETURN_IF_ERROR(
+      CheckPage(page, page_size, PageType::kSuperblock, sb_tag));
+  SQP_RETURN_IF_ERROR(DecodeSuperblock(page, page_size, sb_tag, sb));
+  if (sb->disk_index != static_cast<uint32_t>(d)) {
+    return CorruptionError(sb_tag + ": claims to be disk " +
+                           std::to_string(sb->disk_index) +
+                           " (files renamed or shuffled?)");
+  }
+
+  const size_t dir_per_page = DirRecordsPerPage(page_size);
+  for (uint32_t p = 0; p < sb->dir_page_count; ++p) {
+    const std::string dir_tag =
+        DiskTag(d) + " directory page " + std::to_string(p);
+    SQP_RETURN_IF_ERROR(
+        ReadExact(store, d, (1 + p) * page_size, page, page_size, dir_tag));
+    SQP_RETURN_IF_ERROR(
+        CheckPage(page, page_size, PageType::kDirectory, dir_tag));
+    const PageHeader h = ReadPageHeader(page);
+    if (h.span != sb->dir_page_count || h.seq != p ||
+        h.entry_count > dir_per_page) {
+      return CorruptionError(dir_tag + ": directory chain mismatch");
+    }
+    const uint8_t* rec = page + kPageHeaderBytes;
+    for (uint32_t i = 0; i < h.entry_count; ++i, rec += kDirRecordBytes) {
+      DirRecord r;
+      r.page = GetU32(rec + kDirPageId);
+      r.local_index = GetU32(rec + kDirLocalIndex);
+      r.cylinder = GetU32(rec + kDirCylinder);
+      r.mirror = GetI32(rec + kDirMirror);
+      r.span = GetU16(rec + kDirSpan);
+      r.flags = rec[kDirFlags];
+      r.level = rec[kDirLevel];
+      records->push_back(r);
+    }
+  }
+  return common::Status::OK();
+}
+
+// Bootstraps the page size and disk count from disk 0's superblock prefix,
+// validating magic and format version.
+common::Status ReadBootstrap(const PageStore& store, size_t* page_size,
+                             int* num_disks) {
+  uint8_t prefix[kBootstrapBytes];
+  SQP_RETURN_IF_ERROR(ReadExact(store, 0, 0, prefix, sizeof(prefix),
+                                "disk 0 superblock"));
+  if (GetU32(prefix) != kPageMagic) {
+    return CorruptionError("disk 0 superblock: bad page magic (not an sqp "
+                           "index file?)");
+  }
+  const uint16_t version = GetU16(prefix + 4);
+  if (version != kFormatVersion) {
+    return common::Status::InvalidArgument(
+        "disk 0 superblock: unsupported format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kFormatVersion) +
+        "; re-save the index with a matching build)");
+  }
+  const uint32_t page_size_u32 = GetU32(prefix + kSbPageSize);
+  if (page_size_u32 < 256 || page_size_u32 > (1u << 24)) {
+    return CorruptionError("disk 0 superblock: implausible page size " +
+                           std::to_string(page_size_u32));
+  }
+  *page_size = page_size_u32;
+  *num_disks = static_cast<int>(GetU32(prefix + kSbNumDisks));
+  if (*num_disks != store.num_disks()) {
+    return CorruptionError(
+        "superblock names " + std::to_string(*num_disks) +
+        " disks but the store has " + std::to_string(store.num_disks()) +
+        " (missing or extra disk files?)");
+  }
+  return common::Status::OK();
+}
+
 }  // namespace
 
 common::Status SaveIndex(const ParallelRStarTree& index, PageStore* store) {
@@ -341,89 +422,26 @@ common::Result<std::unique_ptr<ParallelRStarTree>> OpenIndex(
     const PageStore& store) {
   // Bootstrap: page size and disk count live at fixed offsets in disk 0's
   // superblock, readable before the page size is known.
-  uint8_t prefix[kBootstrapBytes];
-  SQP_RETURN_IF_ERROR(ReadExact(store, 0, 0, prefix, sizeof(prefix),
-                                "disk 0 superblock"));
-  if (GetU32(prefix) != kPageMagic) {
-    return CorruptionError("disk 0 superblock: bad page magic (not an sqp "
-                           "index file?)");
-  }
-  const uint16_t version = GetU16(prefix + 4);
-  if (version != kFormatVersion) {
-    return common::Status::InvalidArgument(
-        "disk 0 superblock: unsupported format version " +
-        std::to_string(version) + " (this build reads version " +
-        std::to_string(kFormatVersion) +
-        "; re-save the index with a matching build)");
-  }
-  const uint32_t page_size_u32 = GetU32(prefix + kSbPageSize);
-  if (page_size_u32 < 256 || page_size_u32 > (1u << 24)) {
-    return CorruptionError("disk 0 superblock: implausible page size " +
-                           std::to_string(page_size_u32));
-  }
-  const size_t page_size = page_size_u32;
-  const int num_disks = static_cast<int>(GetU32(prefix + kSbNumDisks));
-  if (num_disks != store.num_disks()) {
-    return CorruptionError(
-        "superblock names " + std::to_string(num_disks) +
-        " disks but the store has " + std::to_string(store.num_disks()) +
-        " (missing or extra disk files?)");
-  }
+  size_t page_size = 0;
+  int num_disks = 0;
+  SQP_RETURN_IF_ERROR(ReadBootstrap(store, &page_size, &num_disks));
 
   Superblock ref;
   std::vector<std::unique_ptr<Node>> nodes;
   std::vector<PagePlacement> placements;
   std::vector<uint8_t> page(page_size);
   for (int d = 0; d < num_disks; ++d) {
-    const std::string sb_tag = DiskTag(d) + " superblock";
-    SQP_RETURN_IF_ERROR(
-        ReadExact(store, d, 0, page.data(), page_size, sb_tag));
-    SQP_RETURN_IF_ERROR(
-        CheckPage(page.data(), page_size, PageType::kSuperblock, sb_tag));
     Superblock sb;
-    SQP_RETURN_IF_ERROR(
-        DecodeSuperblock(page.data(), page_size, sb_tag, &sb));
-    if (sb.disk_index != static_cast<uint32_t>(d)) {
-      return CorruptionError(sb_tag + ": claims to be disk " +
-                             std::to_string(sb.disk_index) +
-                             " (files renamed or shuffled?)");
-    }
+    std::vector<DirRecord> records;
+    SQP_RETURN_IF_ERROR(ReadDiskDirectory(store, d, page_size, page.data(),
+                                          &sb, &records));
     if (d == 0) {
       ref = sb;
       nodes.resize(ref.page_slots);
       placements.reserve(ref.live_pages);
     } else if (!SuperblocksAgree(ref, sb)) {
-      return CorruptionError(sb_tag +
+      return CorruptionError(DiskTag(d) + " superblock" +
                              ": disagrees with disk 0 (mixed index files?)");
-    }
-
-    // Directory.
-    const size_t dir_per_page = DirRecordsPerPage(page_size);
-    std::vector<DirRecord> records;
-    for (uint32_t p = 0; p < sb.dir_page_count; ++p) {
-      const std::string dir_tag =
-          DiskTag(d) + " directory page " + std::to_string(p);
-      SQP_RETURN_IF_ERROR(ReadExact(store, d, (1 + p) * page_size,
-                                    page.data(), page_size, dir_tag));
-      SQP_RETURN_IF_ERROR(
-          CheckPage(page.data(), page_size, PageType::kDirectory, dir_tag));
-      const PageHeader h = ReadPageHeader(page.data());
-      if (h.span != sb.dir_page_count || h.seq != p ||
-          h.entry_count > dir_per_page) {
-        return CorruptionError(dir_tag + ": directory chain mismatch");
-      }
-      const uint8_t* rec = page.data() + kPageHeaderBytes;
-      for (uint32_t i = 0; i < h.entry_count; ++i, rec += kDirRecordBytes) {
-        DirRecord r;
-        r.page = GetU32(rec + kDirPageId);
-        r.local_index = GetU32(rec + kDirLocalIndex);
-        r.cylinder = GetU32(rec + kDirCylinder);
-        r.mirror = GetI32(rec + kDirMirror);
-        r.span = GetU16(rec + kDirSpan);
-        r.flags = rec[kDirFlags];
-        r.level = rec[kDirLevel];
-        records.push_back(r);
-      }
     }
 
     // Node records. Replicas are recovery copies; primaries are
@@ -482,6 +500,67 @@ common::Result<std::unique_ptr<ParallelRStarTree>> OpenIndex(
                            restored.ToString());
   }
   return index;
+}
+
+common::Result<IndexLayout> ReadIndexLayout(const PageStore& store) {
+  size_t page_size = 0;
+  int num_disks = 0;
+  SQP_RETURN_IF_ERROR(ReadBootstrap(store, &page_size, &num_disks));
+
+  IndexLayout layout;
+  Superblock ref;
+  std::vector<uint8_t> page(page_size);
+  uint64_t live = 0;
+  for (int d = 0; d < num_disks; ++d) {
+    Superblock sb;
+    std::vector<DirRecord> records;
+    SQP_RETURN_IF_ERROR(ReadDiskDirectory(store, d, page_size, page.data(),
+                                          &sb, &records));
+    if (d == 0) {
+      ref = sb;
+      layout.pages.resize(ref.page_slots);
+    } else if (!SuperblocksAgree(ref, sb)) {
+      return CorruptionError(DiskTag(d) + " superblock" +
+                             ": disagrees with disk 0 (mixed index files?)");
+    }
+    for (const DirRecord& r : records) {
+      if ((r.flags & kDirFlagReplica) != 0) continue;
+      const std::string tag = DiskTag(d) + " directory record for page " +
+                              std::to_string(r.page);
+      if (r.span < 1 || r.local_index < 1 + sb.dir_page_count) {
+        return CorruptionError(tag + ": bad directory record");
+      }
+      if (r.page >= ref.page_slots) {
+        return CorruptionError(tag + ": page id out of range");
+      }
+      PageLocation& loc = layout.pages[r.page];
+      if (loc.span != 0) {
+        return CorruptionError(tag + ": page stored twice");
+      }
+      loc.disk = d;
+      loc.offset = static_cast<uint64_t>(r.local_index) * page_size;
+      loc.span = r.span;
+      loc.level = r.level;
+      ++live;
+    }
+  }
+  if (live != ref.live_pages) {
+    return CorruptionError(
+        "index stores " + std::to_string(live) +
+        " pages but superblock promises " + std::to_string(ref.live_pages));
+  }
+  if (ref.root >= layout.pages.size() ||
+      layout.pages[ref.root].span == 0) {
+    return CorruptionError("root page " + std::to_string(ref.root) +
+                           " missing from index");
+  }
+  layout.tree_config = ref.tree;
+  layout.decluster = ref.decluster;
+  layout.root = ref.root;
+  layout.object_count = ref.object_count;
+  layout.live_pages = ref.live_pages;
+  layout.page_size = static_cast<uint32_t>(page_size);
+  return layout;
 }
 
 common::Status SaveIndexToDir(const ParallelRStarTree& index,

@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "parallel/parallel_tree.h"
@@ -36,6 +37,39 @@ common::Status SaveIndex(const parallel::ParallelRStarTree& index,
 // saved one, so simulated page-access counts match the original exactly.
 common::Result<std::unique_ptr<parallel::ParallelRStarTree>> OpenIndex(
     const PageStore& store);
+
+// Where one node record lives on the array: `span` whole pages starting at
+// byte `offset` of `disk`'s file. span == 0 marks a PageId with no record
+// (a free slot).
+struct PageLocation {
+  int disk = -1;
+  uint64_t offset = 0;
+  uint32_t span = 0;
+  uint8_t level = 0;
+};
+
+// The metadata needed to serve queries straight from a PageStore without
+// materializing the tree: configuration, root, and the page -> location
+// directory (primary copies only; mirror replicas are recovery copies).
+// This is what the real execution engine (src/exec/) fetches through —
+// node bytes are read and checksum-verified per access, not up front.
+struct IndexLayout {
+  rstar::TreeConfig tree_config;
+  parallel::DeclusterConfig decluster;
+  rstar::PageId root = rstar::kInvalidPage;
+  uint64_t object_count = 0;
+  uint64_t live_pages = 0;
+  uint32_t page_size = 0;
+  std::vector<PageLocation> pages;  // indexed by PageId
+
+  bool IsLive(rstar::PageId id) const {
+    return id < pages.size() && pages[id].span > 0;
+  }
+};
+
+// Reads and cross-checks the superblocks and directories of every disk.
+// Node records themselves are not touched (and so not yet verified).
+common::Result<IndexLayout> ReadIndexLayout(const PageStore& store);
 
 // Convenience wrappers over FilePageStore: one backing file per disk in
 // directory `dir` (created if absent).

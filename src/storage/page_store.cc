@@ -5,10 +5,14 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <numeric>
+#include <thread>
 
 #include "common/check.h"
 
@@ -20,7 +24,57 @@ common::Status Errno(const std::string& op, const std::string& target) {
                                   std::strerror(errno));
 }
 
+// A maximal run of batch requests that one media access can serve: all on
+// the same disk, contiguous in file offsets. `indices` orders the requests
+// by offset within the run.
+struct MergedRun {
+  int disk = 0;
+  uint64_t offset = 0;
+  size_t len = 0;
+  std::vector<size_t> indices;
+};
+
+// Groups `requests` per disk and merges offset-adjacent ones. Requests
+// that overlap or arrive unsorted still end up in correct runs (the plan
+// sorts), but only exact adjacency (offset + len == next offset) merges.
+std::vector<MergedRun> PlanMergedRuns(
+    std::span<const ReadRequest> requests) {
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (requests[a].disk != requests[b].disk) {
+      return requests[a].disk < requests[b].disk;
+    }
+    return requests[a].offset < requests[b].offset;
+  });
+  std::vector<MergedRun> runs;
+  for (size_t i : order) {
+    const ReadRequest& r = requests[i];
+    if (!runs.empty() && runs.back().disk == r.disk &&
+        runs.back().offset + runs.back().len == r.offset) {
+      runs.back().len += r.len;
+      runs.back().indices.push_back(i);
+      continue;
+    }
+    MergedRun run;
+    run.disk = r.disk;
+    run.offset = r.offset;
+    run.len = r.len;
+    run.indices.push_back(i);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
 }  // namespace
+
+common::Status PageStore::ReadPages(
+    std::span<const ReadRequest> requests) const {
+  for (const ReadRequest& r : requests) {
+    SQP_RETURN_IF_ERROR(ReadAt(r.disk, r.offset, r.buf, r.len));
+  }
+  return common::Status::OK();
+}
 
 // --- MemPageStore ---------------------------------------------------------
 
@@ -111,7 +165,8 @@ common::Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   fds.reserve(static_cast<size_t>(num_disks));
   for (int d = 0; d < num_disks; ++d) {
     const std::string path = dir + "/" + DiskFileName(d);
-    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0) {
       common::Status s = Errno("open", path);
       for (int open_fd : fds) ::close(open_fd);
@@ -128,7 +183,7 @@ common::Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
   std::vector<int> fds;
   for (int d = 0;; ++d) {
     const std::string path = dir + "/" + DiskFileName(d);
-    const int fd = ::open(path.c_str(), O_RDWR);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
     if (fd < 0) {
       if (errno == ENOENT) break;
       common::Status s = Errno("open", path);
@@ -183,6 +238,32 @@ common::Status FilePageStore::ReadAt(int disk, uint64_t offset, void* buf,
   return common::Status::OK();
 }
 
+common::Status FilePageStore::ReadPages(
+    std::span<const ReadRequest> requests) const {
+  for (const ReadRequest& r : requests) {
+    if (r.disk < 0 || r.disk >= num_disks()) {
+      return common::Status::InvalidArgument("no such disk");
+    }
+  }
+  std::vector<uint8_t> scratch;
+  for (const MergedRun& run : PlanMergedRuns(requests)) {
+    if (run.indices.size() == 1) {
+      const ReadRequest& r = requests[run.indices[0]];
+      SQP_RETURN_IF_ERROR(ReadAt(r.disk, r.offset, r.buf, r.len));
+      continue;
+    }
+    scratch.resize(run.len);
+    SQP_RETURN_IF_ERROR(
+        ReadAt(run.disk, run.offset, scratch.data(), run.len));
+    size_t pos = 0;
+    for (size_t i : run.indices) {
+      std::memcpy(requests[i].buf, scratch.data() + pos, requests[i].len);
+      pos += requests[i].len;
+    }
+  }
+  return common::Status::OK();
+}
+
 common::Status FilePageStore::WriteAt(int disk, uint64_t offset,
                                       const void* buf, size_t len) {
   if (disk < 0 || disk >= num_disks()) {
@@ -219,6 +300,33 @@ common::Status FilePageStore::Sync() {
     }
   }
   return common::Status::OK();
+}
+
+// --- ThrottledPageStore ---------------------------------------------------
+
+namespace {
+
+void ChargeServiceTime(double seconds, int accesses) {
+  if (seconds <= 0.0 || accesses <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds * accesses));
+}
+
+}  // namespace
+
+common::Status ThrottledPageStore::ReadAt(int disk, uint64_t offset,
+                                          void* buf, size_t len) const {
+  ChargeServiceTime(read_latency_s_, 1);
+  return base_->ReadAt(disk, offset, buf, len);
+}
+
+common::Status ThrottledPageStore::ReadPages(
+    std::span<const ReadRequest> requests) const {
+  // One service time per merged media access, matching what the backing
+  // FilePageStore would issue.
+  ChargeServiceTime(read_latency_s_,
+                    static_cast<int>(PlanMergedRuns(requests).size()));
+  return base_->ReadPages(requests);
 }
 
 }  // namespace sqp::storage
