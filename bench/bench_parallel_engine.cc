@@ -3,6 +3,15 @@
 //
 //   $ bench_parallel_engine [--json=BENCH_parallel_engine.json]
 //       [--queries=300] [--n=30000] [--disks=10] [--throttle=0.002]
+//       [--faults=0] [--fault-seed=1998]
+//
+// --faults=<rate> switches the binary to the fault-injection smoke run
+// (docs/FAULTS.md): a >= 1000-query batch executes against the same image
+// with bit flips, torn reads and transient EIO injected at <rate> per read
+// plus one permanently dead page record, and the run checks that the batch
+// completes with zero aborts, every successful query is bit-identical to
+// the fault-free run, and every permanent-fault query carries a non-OK
+// status. Exit code 0 means all three held.
 //
 // Two series, both over the same saved FilePageStore image:
 //
@@ -38,6 +47,7 @@
 #include "bench/bench_util.h"
 #include "common/check.h"
 #include "exec/parallel_engine.h"
+#include "storage/fault_injection.h"
 #include "storage/index_io.h"
 #include "storage/page_store.h"
 
@@ -132,6 +142,115 @@ void JsonSeries(bench::JsonWriter* w, const char* name,
   w->EndArray();
 }
 
+bool SameNeighbors(const std::vector<core::Neighbor>& a,
+                   const std::vector<core::Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].object != b[i].object || a[i].dist_sq != b[i].dist_sq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The acceptance smoke of the fault-injection harness: zero aborts,
+// bit-identical successes, non-OK permanent-fault queries.
+int RunFaultSmoke(const parallel::ParallelRStarTree& index,
+                  storage::PageStore* store,
+                  const std::vector<exec::EngineQuery>& queries, double rate,
+                  uint64_t seed) {
+  exec::EngineOptions options;
+  options.query_threads = 8;
+  // No cache: every fetch touches the (faulty) media, so the whole batch
+  // exercises the retry path instead of the first few queries only.
+  options.cache_pages = 0;
+
+  auto clean = exec::ParallelQueryEngine::Create(index, store, options);
+  SQP_CHECK(clean.ok());
+  const std::vector<exec::QueryOutcome> reference =
+      (*clean)->RunBatch(queries);
+  for (const exec::QueryOutcome& r : reference) SQP_CHECK(r.status.ok());
+
+  storage::FaultInjectingPageStore faulty(store, seed);
+  // Create first, arm after: the layout bootstrap read stays clean, the
+  // query-time record reads see every fault.
+  auto engine = exec::ParallelQueryEngine::Create(index, &faulty, options);
+  SQP_CHECK(engine.ok());
+  for (storage::FaultKind kind :
+       {storage::FaultKind::kBitFlip, storage::FaultKind::kTornRead,
+        storage::FaultKind::kTransientError}) {
+    storage::FaultSpec spec;
+    spec.kind = kind;
+    spec.probability = rate;
+    faulty.AddFault(spec);
+  }
+  // One permanently dead record: the root page. With the cache disabled
+  // every query starts by reading it, so exactly max_hits queries must
+  // fail — with a descriptive status, not an abort.
+  const auto root_loc =
+      (*engine)->reader().LocationOf((*engine)->reader().layout().root);
+  SQP_CHECK(root_loc.ok());
+  storage::FaultSpec perm;
+  perm.kind = storage::FaultKind::kPermanentError;
+  perm.disk = root_loc->disk;
+  perm.offset_lo = root_loc->offset;
+  perm.offset_hi = root_loc->offset + 1;
+  perm.max_hits = 3;
+  faulty.AddFault(perm);
+
+  const std::vector<exec::QueryOutcome> outcomes =
+      (*engine)->RunBatch(queries);
+  SQP_CHECK(outcomes.size() == queries.size());
+
+  size_t ok_count = 0, failed = 0;
+  uint64_t io_faults = 0, io_retries = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    io_faults += outcomes[i].io_faults;
+    io_retries += outcomes[i].io_retries;
+    if (outcomes[i].status.ok()) {
+      ++ok_count;
+      SQP_CHECK(SameNeighbors(outcomes[i].neighbors,
+                              reference[i].neighbors));
+    } else {
+      ++failed;
+      SQP_CHECK(!outcomes[i].status.message().empty());
+    }
+  }
+  const storage::FaultInjectionStats fs = faulty.stats();
+  // The permanent spec disarmed after max_hits injections; each one is a
+  // non-retryable failure, so at least that many queries must have failed
+  // (retry-exhausted transients may add more), and some queries must have
+  // survived injected faults via retries.
+  SQP_CHECK(fs.by_kind[static_cast<int>(
+                storage::FaultKind::kPermanentError)] == 3);
+  SQP_CHECK(failed >= 3);
+  SQP_CHECK(ok_count > 0);
+  SQP_CHECK(io_retries > 0);
+
+  std::printf(
+      "\nfault smoke: %zu queries, fault rate %.3f per read (seed %llu)\n"
+      "  outcomes   %zu ok (all bit-identical to fault-free run), "
+      "%zu failed with non-OK status, zero aborts\n"
+      "  injector   %llu faults over %llu reads (flip %llu, torn %llu, "
+      "eio %llu, dead-page %llu)\n"
+      "  reader     %llu failed attempts observed, %llu retries issued\n"
+      "FAULT SMOKE PASS\n",
+      outcomes.size(), rate, static_cast<unsigned long long>(seed),
+      ok_count, failed, static_cast<unsigned long long>(fs.faults),
+      static_cast<unsigned long long>(fs.reads),
+      static_cast<unsigned long long>(
+          fs.by_kind[static_cast<int>(storage::FaultKind::kBitFlip)]),
+      static_cast<unsigned long long>(
+          fs.by_kind[static_cast<int>(storage::FaultKind::kTornRead)]),
+      static_cast<unsigned long long>(fs.by_kind[static_cast<int>(
+          storage::FaultKind::kTransientError)]),
+      static_cast<unsigned long long>(fs.by_kind[static_cast<int>(
+          storage::FaultKind::kPermanentError)]),
+      static_cast<unsigned long long>(io_faults),
+      static_cast<unsigned long long>(io_retries));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +264,10 @@ int main(int argc, char** argv) {
       std::atoi(bench::ArgValue(argc, argv, "disks", "10").c_str());
   const double throttle =
       std::atof(bench::ArgValue(argc, argv, "throttle", "0.002").c_str());
+  const double fault_rate =
+      std::atof(bench::ArgValue(argc, argv, "faults", "0").c_str());
+  const uint64_t fault_seed = static_cast<uint64_t>(
+      std::atol(bench::ArgValue(argc, argv, "fault-seed", "1998").c_str()));
   const size_t k = 10;
   const int threads[] = {1, 2, 4, 8};
 
@@ -178,6 +301,20 @@ int main(int argc, char** argv) {
   for (const geometry::Point& q : points) {
     queries.push_back({q, k, core::AlgorithmKind::kCrss});
   }
+
+  if (fault_rate > 0) {
+    // The acceptance smoke runs at least 1000 queries.
+    std::vector<exec::EngineQuery> smoke_queries = queries;
+    while (smoke_queries.size() < 1000) {
+      smoke_queries.insert(smoke_queries.end(), queries.begin(),
+                           queries.end());
+    }
+    const int rc = RunFaultSmoke(*index, store->get(), smoke_queries,
+                                 fault_rate, fault_seed);
+    std::filesystem::remove_all(dir);
+    return rc;
+  }
+
   // The warm runs finish a query in tens of microseconds; repeat the list
   // so each timed run spans hundreds of milliseconds of wall clock.
   std::vector<exec::EngineQuery> warm_queries;

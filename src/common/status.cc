@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "failed_precondition";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -26,6 +26,11 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  // A transient condition (e.g. an intermittent media error): the same
+  // operation may succeed if retried. Readers with a retry policy treat
+  // this code — and checksum corruption, which in-flight damage also
+  // produces — as retryable; every other code is permanent.
+  kUnavailable,
 };
 
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -62,6 +67,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

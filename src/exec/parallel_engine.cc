@@ -20,15 +20,19 @@ double NowSeconds() {
 }
 
 // Completion rendezvous for one activation batch: the query thread blocks
-// until every per-disk job has reported in.
+// until every per-disk job has reported in. One failing disk job records
+// the batch's first error; the others still run to completion (and their
+// fault counters still merge), so the pool's queues always drain.
 struct BatchSync {
   std::mutex mu;
   std::condition_variable cv;
   int pending = 0;
   common::Status error;
+  IoFaultCounters counters;
 
-  void Done(const common::Status& status) {
+  void Done(const common::Status& status, const IoFaultCounters& job) {
     std::lock_guard<std::mutex> lock(mu);
+    counters.Add(job);
     if (error.ok() && !status.ok()) error = status;
     if (--pending == 0) cv.notify_one();
   }
@@ -50,7 +54,7 @@ ParallelQueryEngine::Create(const parallel::ParallelRStarTree& index,
   if (options.query_threads < 1) {
     return common::Status::InvalidArgument("query_threads must be >= 1");
   }
-  auto reader = StoredIndexReader::Open(store);
+  auto reader = StoredIndexReader::Open(store, options.retry);
   if (!reader.ok()) return reader.status();
   const storage::IndexLayout& layout = (*reader)->layout();
   if (layout.decluster.num_disks != index.num_disks()) {
@@ -82,7 +86,7 @@ ParallelQueryEngine::~ParallelQueryEngine() = default;
 
 common::Status ParallelQueryEngine::FetchBatch(
     const std::vector<rstar::PageId>& ids,
-    std::vector<const rstar::Node*>* slots, QueryAnswer* answer) {
+    std::vector<const rstar::Node*>* slots, QueryOutcome* outcome) {
   slots->assign(ids.size(), nullptr);
 
   // Cache pass. Misses are grouped per disk, mirroring the declustering
@@ -91,7 +95,7 @@ common::Status ParallelQueryEngine::FetchBatch(
   for (size_t i = 0; i < ids.size(); ++i) {
     if (const rstar::Node* node = cache_->LookupPinned(ids[i])) {
       (*slots)[i] = node;
-      ++answer->cache_hits;
+      ++outcome->cache_hits;
       continue;
     }
     auto loc = reader_->LocationOf(ids[i]);
@@ -103,28 +107,33 @@ common::Status ParallelQueryEngine::FetchBatch(
       slots->assign(ids.size(), nullptr);
       return loc.status();
     }
-    ++answer->cache_misses;
+    ++outcome->cache_misses;
     misses_by_disk[loc->disk].push_back(i);
   }
 
   if (options_.serial_io) {
     // Baseline mode: every missed page is one blocking read on this
     // thread — no disk-level overlap at all.
+    IoFaultCounters counters;
     for (auto& [disk, slot_indices] : misses_by_disk) {
       for (size_t i : slot_indices) {
         const rstar::PageId id = ids[i];
-        common::Result<rstar::Node> node = reader_->ReadNode(id);
+        common::Result<rstar::Node> node = reader_->ReadNode(id, &counters);
         if (!node.ok()) {
           for (size_t j = 0; j < ids.size(); ++j) {
             if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
           }
           slots->assign(ids.size(), nullptr);
+          outcome->io_faults += counters.faults;
+          outcome->io_retries += counters.retries;
           return node.status();
         }
         (*slots)[i] = cache_->InsertPinned(
             id, std::move(*node), reader_->layout().pages[id].span);
       }
     }
+    outcome->io_faults += counters.faults;
+    outcome->io_retries += counters.retries;
     return common::Status::OK();
   }
 
@@ -133,13 +142,17 @@ common::Status ParallelQueryEngine::FetchBatch(
     sync.pending = static_cast<int>(misses_by_disk.size());
     for (auto& [disk, slot_indices] : misses_by_disk) {
       // The worker fills its group's slots with pinned cache entries.
+      // Only fully decoded (checksum-verified) nodes are ever inserted,
+      // so a faulty read can never poison the shared cache.
       io_pool_->Submit(disk, [this, &ids, slots, &sync,
                               group = &slot_indices] {
         std::vector<rstar::PageId> group_ids;
         group_ids.reserve(group->size());
         for (size_t i : *group) group_ids.push_back(ids[i]);
         std::vector<rstar::Node> nodes;
-        common::Status read = reader_->ReadNodes(group_ids, &nodes);
+        IoFaultCounters counters;
+        common::Status read =
+            reader_->ReadNodes(group_ids, &nodes, &counters);
         if (read.ok()) {
           for (size_t n = 0; n < group->size(); ++n) {
             const rstar::PageId id = group_ids[n];
@@ -148,10 +161,12 @@ common::Status ParallelQueryEngine::FetchBatch(
                 cache_->InsertPinned(id, std::move(nodes[n]), span);
           }
         }
-        sync.Done(read);
+        sync.Done(read, counters);
       });
     }
     common::Status batch = sync.Wait();
+    outcome->io_faults += sync.counters.faults;
+    outcome->io_retries += sync.counters.retries;
     if (!batch.ok()) {
       for (size_t i = 0; i < ids.size(); ++i) {
         if ((*slots)[i] != nullptr) cache_->Unpin(ids[i]);

@@ -49,6 +49,9 @@ struct EngineOptions {
   // at-a-time system the paper's speedup figures compare against;
   // benchmarks use it as the baseline. Results are identical either way.
   bool serial_io = false;
+  // How hard the stored-index reader fights transient media faults
+  // before a record's failure surfaces as the query's status.
+  RetryPolicy retry;
 };
 
 // One k-NN query admitted to the engine.
@@ -58,8 +61,11 @@ struct EngineQuery {
   core::AlgorithmKind algo = core::AlgorithmKind::kCrss;
 };
 
-// Outcome of one query.
-struct QueryAnswer {
+// Outcome of one query: the value (neighbors) or the error (status), plus
+// per-query execution and fault counters. A failing page degrades exactly
+// the queries that touch it — `status` carries the descriptive error, the
+// engine and its worker pools stay fully serviceable.
+struct QueryOutcome {
   common::Status status;
   // Ascending distance, ties by object id — same order as
   // KnnResultSet::Sorted() under the sequential executor.
@@ -68,8 +74,17 @@ struct QueryAnswer {
   size_t steps = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  // Fault accounting for this query's store reads: failed read/decode
+  // attempts observed, and attempts re-issued by the retry policy. A
+  // query with ok() status and nonzero counters survived transient
+  // faults with a bit-identical result.
+  uint64_t io_faults = 0;
+  uint64_t io_retries = 0;
   double latency_s = 0.0;
 };
+
+// Historical name, kept for call sites that predate the fault counters.
+using QueryAnswer = QueryOutcome;
 
 class ParallelQueryEngine {
  public:
@@ -87,12 +102,14 @@ class ParallelQueryEngine {
   ParallelQueryEngine& operator=(const ParallelQueryEngine&) = delete;
 
   // Runs one query to completion on the calling thread (I/O still fans
-  // out across the per-disk workers). Thread-safe.
-  QueryAnswer RunQuery(const EngineQuery& query);
+  // out across the per-disk workers). Thread-safe. A page fault that
+  // survives the retry policy fails only this query's outcome.
+  QueryOutcome RunQuery(const EngineQuery& query);
 
   // Runs all queries with at most `options.query_threads` in flight,
-  // returning answers in input order.
-  std::vector<QueryAnswer> RunBatch(const std::vector<EngineQuery>& queries);
+  // returning outcomes in input order. Failed queries occupy their slot
+  // with a non-OK status; the batch always completes.
+  std::vector<QueryOutcome> RunBatch(const std::vector<EngineQuery>& queries);
 
   const ShardedPageCache& cache() const { return *cache_; }
   const StoredIndexReader& reader() const { return *reader_; }
@@ -108,7 +125,7 @@ class ParallelQueryEngine {
   // every successfully pinned slot is unpinned and cleared.
   common::Status FetchBatch(const std::vector<rstar::PageId>& ids,
                             std::vector<const rstar::Node*>* slots,
-                            QueryAnswer* answer);
+                            QueryOutcome* outcome);
 
   const parallel::ParallelRStarTree& index_;
   EngineOptions options_;

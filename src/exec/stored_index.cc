@@ -1,18 +1,30 @@
 #include "exec/stored_index.h"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "storage/node_codec.h"
+#include "storage/page_format.h"
 
 namespace sqp::exec {
 
+bool IsRetryableReadError(const common::Status& s) {
+  return s.code() == common::StatusCode::kUnavailable ||
+         storage::IsCorruption(s);
+}
+
 common::Result<std::unique_ptr<StoredIndexReader>> StoredIndexReader::Open(
-    const storage::PageStore* store) {
+    const storage::PageStore* store, const RetryPolicy& retry) {
+  if (retry.max_attempts < 1) {
+    return common::Status::InvalidArgument("retry max_attempts must be >= 1");
+  }
   auto layout = storage::ReadIndexLayout(*store);
   if (!layout.ok()) return layout.status();
   return std::unique_ptr<StoredIndexReader>(
-      new StoredIndexReader(store, std::move(*layout)));
+      new StoredIndexReader(store, std::move(*layout), retry));
 }
 
 common::Result<storage::PageLocation> StoredIndexReader::LocationOf(
@@ -25,15 +37,68 @@ common::Result<storage::PageLocation> StoredIndexReader::LocationOf(
 }
 
 common::Result<rstar::Node> StoredIndexReader::ReadNode(
-    rstar::PageId id) const {
+    rstar::PageId id, IoFaultCounters* counters) const {
   std::vector<rstar::Node> nodes;
   SQP_RETURN_IF_ERROR(ReadNodes(std::span<const rstar::PageId>(&id, 1),
-                                &nodes));
+                                &nodes, counters));
   return std::move(nodes[0]);
 }
 
+ReaderFaultTotals StoredIndexReader::fault_totals() const {
+  ReaderFaultTotals t;
+  t.faults = total_faults_.load(std::memory_order_relaxed);
+  t.retries = total_retries_.load(std::memory_order_relaxed);
+  t.failed_records = total_failed_records_.load(std::memory_order_relaxed);
+  return t;
+}
+
+common::Result<rstar::Node> StoredIndexReader::DecodeRecord(
+    rstar::PageId id, const storage::PageLocation& loc,
+    const uint8_t* buf) const {
+  const std::string what = "disk " + std::to_string(loc.disk) +
+                           " node record for page " + std::to_string(id);
+  return storage::DecodeNode(buf, loc.span, layout_.tree_config.dim,
+                             layout_.page_size, id, what);
+}
+
+common::Result<rstar::Node> StoredIndexReader::ReadOneWithRetry(
+    rstar::PageId id, const storage::PageLocation& loc, uint8_t* buf,
+    IoFaultCounters* counters) const {
+  const size_t len = static_cast<size_t>(loc.span) * layout_.page_size;
+  common::Status last;
+  double backoff = retry_.initial_backoff_s;
+  int attempts_made = 0;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      total_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->retries;
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * retry_.backoff_multiplier,
+                           retry_.max_backoff_s);
+      }
+    }
+    attempts_made = attempt + 1;
+    common::Status s = store_->ReadAt(loc.disk, loc.offset, buf, len);
+    if (s.ok()) {
+      auto node = DecodeRecord(id, loc, buf);
+      if (node.ok()) return node;
+      s = node.status();
+    }
+    total_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (counters != nullptr) ++counters->faults;
+    last = s;
+    if (!IsRetryableReadError(s)) break;  // permanent: retrying cannot help
+  }
+  total_failed_records_.fetch_add(1, std::memory_order_relaxed);
+  return common::Status(
+      last.code(), last.message() + " (gave up after " +
+                       std::to_string(attempts_made) + " attempt(s))");
+}
+
 common::Status StoredIndexReader::ReadNodes(
-    std::span<const rstar::PageId> ids, std::vector<rstar::Node>* out) const {
+    std::span<const rstar::PageId> ids, std::vector<rstar::Node>* out,
+    IoFaultCounters* counters) const {
   const size_t page_size = layout_.page_size;
   std::vector<storage::PageLocation> locs;
   locs.reserve(ids.size());
@@ -45,8 +110,8 @@ common::Status StoredIndexReader::ReadNodes(
     total_bytes += static_cast<size_t>(loc->span) * page_size;
   }
 
-  // One buffer for the whole batch; one ReadPages call so the store can
-  // merge per-disk adjacent records.
+  // Fault-free fast path: one buffer and one ReadPages call for the whole
+  // batch, so the store can merge per-disk adjacent records.
   std::vector<uint8_t> bytes(total_bytes);
   std::vector<storage::ReadRequest> requests;
   requests.reserve(ids.size());
@@ -60,19 +125,49 @@ common::Status StoredIndexReader::ReadNodes(
     requests.push_back(r);
     pos += r.len;
   }
-  SQP_RETURN_IF_ERROR(store_->ReadPages(requests));
+  common::Status batch = store_->ReadPages(requests);
+  bool batch_bytes_valid = batch.ok();
+  if (!batch.ok()) {
+    // The batch API reports only its first error without naming the
+    // failing request, so fall back to individual retried reads below.
+    // A permanent error class fails the call right away.
+    total_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (counters != nullptr) ++counters->faults;
+    if (!IsRetryableReadError(batch)) return batch;
+  }
 
+  const size_t first_out = out->size();
   pos = 0;
   for (size_t i = 0; i < ids.size(); ++i) {
-    const std::string what = "disk " + std::to_string(locs[i].disk) +
-                             " node record for page " +
-                             std::to_string(ids[i]);
-    auto node = storage::DecodeNode(bytes.data() + pos, locs[i].span,
-                                    layout_.tree_config.dim, page_size,
-                                    ids[i], what);
-    if (!node.ok()) return node.status();
+    const size_t len = static_cast<size_t>(locs[i].span) * page_size;
+    uint8_t* buf = bytes.data() + pos;
+    pos += len;
+
+    common::Result<rstar::Node> node = common::Status::Unavailable("");
+    if (batch_bytes_valid) {
+      node = DecodeRecord(ids[i], locs[i], buf);
+      if (!node.ok()) {
+        total_faults_.fetch_add(1, std::memory_order_relaxed);
+        if (counters != nullptr) ++counters->faults;
+        if (!IsRetryableReadError(node.status())) {
+          out->resize(first_out);
+          return node.status();
+        }
+      }
+    }
+    if (!node.ok()) {
+      // Re-read just this record with the retry loop (its buffer region
+      // is private to it, so siblings decoded from the batch stay valid).
+      // The fallback's first attempt is itself a re-issued read.
+      total_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->retries;
+      node = ReadOneWithRetry(ids[i], locs[i], buf, counters);
+      if (!node.ok()) {
+        out->resize(first_out);
+        return node.status();
+      }
+    }
     out->push_back(std::move(*node));
-    pos += static_cast<size_t>(locs[i].span) * page_size;
   }
   return common::Status::OK();
 }

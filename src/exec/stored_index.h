@@ -7,10 +7,20 @@
 // store merge offset-adjacent records into single preads. Every record is
 // checksum-verified and decoded on the way in, so a damaged page surfaces
 // as a Status at query time, never as a wrong answer.
+//
+// The read path is hardened against failing media (docs/FAULTS.md):
+// transient errors (Status::Unavailable) and checksum corruption — which
+// in-flight damage such as a torn read or bus bit flip also produces —
+// are retried per record with capped exponential backoff, re-verifying
+// the checksum on every attempt. Only a record that stays bad through
+// RetryPolicy::max_attempts (or fails with a permanent error class)
+// surfaces to the caller, carrying the attempt count in its message.
 
 #ifndef SQP_EXEC_STORED_INDEX_H_
 #define SQP_EXEC_STORED_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -23,36 +33,96 @@
 
 namespace sqp::exec {
 
+// How hard the reader fights transient faults before giving up on a
+// record. The default retries three times over ~a few milliseconds —
+// enough to ride out intermittent EIO and in-flight corruption without
+// stalling a query noticeably when the fault is permanent after all.
+struct RetryPolicy {
+  int max_attempts = 4;              // total attempts per record; 1 = no retry
+  double initial_backoff_s = 0.0002; // sleep before the first re-attempt
+  double backoff_multiplier = 4.0;
+  double max_backoff_s = 0.01;       // backoff cap (the "capped" part)
+};
+
+// Fault accounting for one read call (and, summed, for one query).
+struct IoFaultCounters {
+  uint64_t faults = 0;   // read/decode attempts that failed
+  uint64_t retries = 0;  // attempts re-issued after a retryable failure
+
+  void Add(const IoFaultCounters& o) {
+    faults += o.faults;
+    retries += o.retries;
+  }
+};
+
+// Process-lifetime totals of the reader, for aggregate reporting.
+struct ReaderFaultTotals {
+  uint64_t faults = 0;          // failed attempts observed
+  uint64_t retries = 0;         // re-attempts issued
+  uint64_t failed_records = 0;  // records that exhausted every attempt
+};
+
+// True for the error classes a retry can heal: transient unavailability
+// and checksum corruption. Everything else (truncated file, bad argument,
+// permanent media error) fails immediately.
+bool IsRetryableReadError(const common::Status& s);
+
 class StoredIndexReader {
  public:
   // Reads and validates the store's layout. `store` must outlive the
   // reader and its contents must not change while the reader is in use.
   static common::Result<std::unique_ptr<StoredIndexReader>> Open(
-      const storage::PageStore* store);
+      const storage::PageStore* store, const RetryPolicy& retry = {});
 
   const storage::IndexLayout& layout() const { return layout_; }
   int num_disks() const { return layout_.decluster.num_disks; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   // Primary record location of `id`; InvalidArgument if not live.
   common::Result<storage::PageLocation> LocationOf(rstar::PageId id) const;
 
-  // Reads and decodes one node record.
-  common::Result<rstar::Node> ReadNode(rstar::PageId id) const;
+  // Reads and decodes one node record, retrying transient faults.
+  common::Result<rstar::Node> ReadNode(
+      rstar::PageId id, IoFaultCounters* counters = nullptr) const;
 
   // Reads and decodes a batch of node records, appended to `out` in `ids`
-  // order. All page reads go through one PageStore::ReadPages call, so
-  // records on the same disk that are adjacent in the file cost a single
-  // pread. Safe to call from several threads concurrently.
+  // order. The fault-free fast path issues one PageStore::ReadPages call,
+  // so records on the same disk that are adjacent in the file cost a
+  // single pread; records that fail the batched read or its per-record
+  // decode fall back to individual retried reads, so one bad page never
+  // forces the whole batch to be re-read. On error, `out`'s added
+  // contents are unspecified. Safe to call from several threads
+  // concurrently. `counters`, when non-null, accumulates this call's
+  // fault activity (the per-query counters of QueryOutcome).
   common::Status ReadNodes(std::span<const rstar::PageId> ids,
-                           std::vector<rstar::Node>* out) const;
+                           std::vector<rstar::Node>* out,
+                           IoFaultCounters* counters = nullptr) const;
+
+  // Aggregate fault activity since the reader was opened.
+  ReaderFaultTotals fault_totals() const;
 
  private:
   StoredIndexReader(const storage::PageStore* store,
-                    storage::IndexLayout layout)
-      : store_(store), layout_(std::move(layout)) {}
+                    storage::IndexLayout layout, RetryPolicy retry)
+      : store_(store), layout_(std::move(layout)), retry_(retry) {}
+
+  // Reads + decodes one record with the retry loop; `buf` is scratch of
+  // at least span * page_size bytes.
+  common::Result<rstar::Node> ReadOneWithRetry(
+      rstar::PageId id, const storage::PageLocation& loc, uint8_t* buf,
+      IoFaultCounters* counters) const;
+
+  common::Result<rstar::Node> DecodeRecord(rstar::PageId id,
+                                           const storage::PageLocation& loc,
+                                           const uint8_t* buf) const;
 
   const storage::PageStore* store_;  // not owned
   storage::IndexLayout layout_;
+  RetryPolicy retry_;
+
+  mutable std::atomic<uint64_t> total_faults_{0};
+  mutable std::atomic<uint64_t> total_retries_{0};
+  mutable std::atomic<uint64_t> total_failed_records_{0};
 };
 
 }  // namespace sqp::exec

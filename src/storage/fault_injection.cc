@@ -1,0 +1,165 @@
+#include "storage/fault_injection.h"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+
+namespace sqp::storage {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kTornRead:
+      return "torn_read";
+    case FaultKind::kTransientError:
+      return "transient_error";
+    case FaultKind::kPermanentError:
+      return "permanent_error";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+  }
+  return "unknown";
+}
+
+FaultInjectingPageStore::FaultInjectingPageStore(PageStore* base,
+                                                 uint64_t seed)
+    : base_(base), rng_(seed) {
+  SQP_CHECK(base != nullptr);
+}
+
+int FaultInjectingPageStore::AddFault(const FaultSpec& spec) {
+  SQP_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(spec);
+  hits_.push_back(0);
+  return static_cast<int>(specs_.size()) - 1;
+}
+
+void FaultInjectingPageStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  hits_.clear();
+  log_.clear();
+  stats_ = FaultInjectionStats();
+}
+
+FaultInjectionStats FaultInjectingPageStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<FaultEvent> FaultInjectingPageStore::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+FaultInjectingPageStore::Decision FaultInjectingPageStore::Decide(
+    int disk, uint64_t offset, size_t len) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t seq = stats_.reads++;
+  Decision d;
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const FaultSpec& spec = specs_[s];
+    if (spec.max_hits >= 0 && hits_[s] >= spec.max_hits) continue;
+    if (spec.disk >= 0 && spec.disk != disk) continue;
+    if (offset >= spec.offset_hi || offset + len <= spec.offset_lo) continue;
+    if (spec.probability < 1.0 && rng_.Uniform() >= spec.probability) {
+      continue;
+    }
+    d.fire = true;
+    d.kind = spec.kind;
+    d.latency_s = spec.latency_s;
+    if (spec.kind == FaultKind::kBitFlip && len > 0) {
+      d.bit_index = static_cast<uint64_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(len) * 8 - 1));
+      d.burst_bits = static_cast<uint32_t>(rng_.UniformInt(1, 8));
+    }
+    if (spec.kind == FaultKind::kTornRead && len > 0) {
+      d.cut_at = static_cast<uint64_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(len) - 1));
+    }
+    ++hits_[s];
+    ++stats_.faults;
+    ++stats_.by_kind[static_cast<int>(spec.kind)];
+    FaultEvent event;
+    event.kind = spec.kind;
+    event.spec_index = static_cast<int>(s);
+    event.disk = disk;
+    event.offset = offset;
+    event.len = len;
+    event.read_seq = seq;
+    log_.push_back(event);
+    break;  // first firing spec wins the attempt
+  }
+  return d;
+}
+
+common::Status FaultInjectingPageStore::ReadAt(int disk, uint64_t offset,
+                                               void* buf, size_t len) const {
+  const Decision d = Decide(disk, offset, len);
+  const std::string where = "disk " + std::to_string(disk) + " offset " +
+                            std::to_string(offset);
+  if (d.fire) {
+    switch (d.kind) {
+      case FaultKind::kTransientError:
+        return common::Status::Unavailable("injected transient I/O error (" +
+                                           where + ")");
+      case FaultKind::kPermanentError:
+        return common::Status::Internal("injected permanent I/O error (" +
+                                        where + ")");
+      case FaultKind::kLatencySpike:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(d.latency_s));
+        break;
+      case FaultKind::kBitFlip:
+      case FaultKind::kTornRead:
+        break;  // applied to the buffer after the base read
+    }
+  }
+  SQP_RETURN_IF_ERROR(base_->ReadAt(disk, offset, buf, len));
+  if (d.fire && len > 0) {
+    uint8_t* bytes = static_cast<uint8_t*>(buf);
+    if (d.kind == FaultKind::kBitFlip) {
+      for (uint32_t b = 0; b < d.burst_bits; ++b) {
+        const uint64_t bit = d.bit_index + b;
+        if (bit >= static_cast<uint64_t>(len) * 8) break;
+        bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+    } else if (d.kind == FaultKind::kTornRead) {
+      std::memset(bytes + d.cut_at, 0, len - d.cut_at);
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status FaultInjectingPageStore::ReadPages(
+    std::span<const ReadRequest> requests) const {
+  common::Status first_error;
+  for (const ReadRequest& r : requests) {
+    const common::Status s = ReadAt(r.disk, r.offset, r.buf, r.len);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  // Unlike the merging backends, every request was attempted (so a batch
+  // sees all of its faults, not just the first), but like them the batch
+  // reports its first error.
+  return first_error;
+}
+
+common::Status FaultInjectingPageStore::WriteAt(int disk, uint64_t offset,
+                                                const void* buf, size_t len) {
+  return base_->WriteAt(disk, offset, buf, len);
+}
+
+common::Status FaultInjectingPageStore::Truncate(int disk) {
+  return base_->Truncate(disk);
+}
+
+common::Status FaultInjectingPageStore::Sync() {
+  return base_->Sync();
+}
+
+}  // namespace sqp::storage

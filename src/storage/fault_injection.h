@@ -1,0 +1,148 @@
+// Deterministic fault injection for PageStore read paths.
+//
+// The paper's disk-array setting assumes media that can fail mid-workload:
+// drives return intermittent EIO, a sector arrives torn or bit-flipped, a
+// spindle stalls. FaultInjectingPageStore is a PageStore decorator that
+// injects exactly those failures — scriptably, reproducibly (one seeded
+// RNG decides every probabilistic draw) and with per-disk / per-byte-range
+// targeting — so tests and benchmarks can drive the whole execution stack
+// through its error paths and assert on precisely what happened via the
+// fault log.
+//
+// Fault model (docs/FAULTS.md):
+//   * kBitFlip       — the read completes but a burst of bits in the
+//                      returned buffer is flipped (in-flight corruption;
+//                      the media itself is untouched, so a retry heals it).
+//   * kTornRead      — the read completes short: the tail of the buffer is
+//                      zeroed from a random cut point (a torn page).
+//   * kTransientError— the attempt fails with Status::Unavailable; an
+//                      independent retry re-draws the probability.
+//   * kPermanentError— every matching read fails with an Internal EIO
+//                      (dead sector / dead drive) until the spec disarms.
+//   * kLatencySpike  — the read succeeds but only after `latency_s` of
+//                      wall-clock stall on the issuing I/O worker.
+//
+// Writes pass through unchanged (this PR's hardening targets the read
+// path; the store is typically layered over a sealed index image).
+
+#ifndef SQP_STORAGE_FAULT_INJECTION_H_
+#define SQP_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/page_store.h"
+
+namespace sqp::storage {
+
+enum class FaultKind : uint8_t {
+  kBitFlip = 0,
+  kTornRead = 1,
+  kTransientError = 2,
+  kPermanentError = 3,
+  kLatencySpike = 4,
+};
+inline constexpr int kNumFaultKinds = 5;
+
+// "bit_flip", "torn_read", ...
+const char* FaultKindName(FaultKind kind);
+
+// One scripted fault. A read attempt matches when its disk passes the
+// `disk` filter and its byte range [offset, offset+len) intersects
+// [offset_lo, offset_hi); each matching attempt then fires with
+// `probability`. Specs are evaluated in insertion order and the first one
+// that fires wins the attempt.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransientError;
+  int disk = -1;                  // target disk; -1 matches every disk
+  uint64_t offset_lo = 0;         // byte range filter on the read
+  uint64_t offset_hi = UINT64_MAX;
+  double probability = 1.0;       // per matching read attempt
+  int max_hits = -1;              // disarm after N injections; -1 = never
+  double latency_s = 0.0;         // kLatencySpike stall
+};
+
+// One injected fault, recorded in insertion order for assertions.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransientError;
+  int spec_index = -1;    // which AddFault() spec fired
+  int disk = 0;
+  uint64_t offset = 0;
+  size_t len = 0;
+  uint64_t read_seq = 0;  // global read-attempt counter at injection time
+};
+
+struct FaultInjectionStats {
+  uint64_t reads = 0;   // read attempts observed (batch = one per request)
+  uint64_t faults = 0;  // attempts that had a fault injected
+  uint64_t by_kind[kNumFaultKinds] = {};
+};
+
+class FaultInjectingPageStore : public PageStore {
+ public:
+  // `base` must outlive this store. All probabilistic draws come from one
+  // generator seeded with `seed`, so a single-threaded read sequence
+  // replays bit-identically; concurrent readers still get a deterministic
+  // *set* of faults per interleaving.
+  FaultInjectingPageStore(PageStore* base, uint64_t seed);
+
+  // Arms `spec`; returns its index (the spec_index of its FaultEvents).
+  int AddFault(const FaultSpec& spec);
+
+  // Disarms every spec and clears the log and counters.
+  void Reset();
+
+  FaultInjectionStats stats() const;
+  std::vector<FaultEvent> log() const;
+
+  int num_disks() const override { return base_->num_disks(); }
+  common::Result<uint64_t> SizeOf(int disk) const override {
+    return base_->SizeOf(disk);
+  }
+  common::Status ReadAt(int disk, uint64_t offset, void* buf,
+                        size_t len) const override;
+  // Decomposed into one faultable attempt per request (no merging): fault
+  // targeting is per-request, and a fault in one request must not disturb
+  // the buffers of its batch siblings.
+  common::Status ReadPages(
+      std::span<const ReadRequest> requests) const override;
+  // Writes are outside the fault model and pass through to the base store
+  // (decorating a writable store keeps save-then-query tests simple).
+  common::Status WriteAt(int disk, uint64_t offset, const void* buf,
+                         size_t len) override;
+  common::Status Truncate(int disk) override;
+  common::Status Sync() override;
+
+ private:
+  // What one read attempt should suffer, decided under the lock, applied
+  // outside it (so a latency stall never serializes other disks' reads).
+  struct Decision {
+    bool fire = false;
+    FaultKind kind = FaultKind::kTransientError;
+    uint64_t bit_index = 0;   // kBitFlip: first flipped bit within buffer
+    uint32_t burst_bits = 1;  // kBitFlip: consecutive bits flipped
+    uint64_t cut_at = 0;      // kTornRead: zero the buffer from this byte
+    double latency_s = 0.0;   // kLatencySpike
+  };
+
+  Decision Decide(int disk, uint64_t offset, size_t len) const;
+
+  PageStore* base_;  // not owned
+  mutable std::mutex mu_;
+  mutable common::Rng rng_;
+  mutable std::vector<FaultSpec> specs_;
+  mutable std::vector<int> hits_;  // injections per spec, aligned to specs_
+  mutable std::vector<FaultEvent> log_;
+  mutable FaultInjectionStats stats_;
+
+  // `base_` is written only before the store is shared; everything else is
+  // guarded by mu_, declared mutable because faults fire on const reads.
+};
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_FAULT_INJECTION_H_

@@ -178,6 +178,35 @@ common::Status DecodeSuperblock(const uint8_t* page, size_t page_size,
   return common::Status::OK();
 }
 
+// Upper plausibility bound for the superblock's page_slots field, derived
+// from the store's actual file sizes. Every live page occupies at least
+// one page in some disk file, and our writer never leaves the id space
+// more than modestly sparse; without this bound a crafted-but-checksummed
+// superblock could demand a page_slots-sized allocation of tens of
+// gigabytes before any directory record is read.
+common::Result<uint64_t> MaxPlausiblePageSlots(const PageStore& store,
+                                               size_t page_size) {
+  uint64_t total_pages = 0;
+  for (int d = 0; d < store.num_disks(); ++d) {
+    auto size = store.SizeOf(d);
+    if (!size.ok()) return size.status();
+    total_pages += *size / page_size;
+  }
+  return 64 * total_pages + 1024;
+}
+
+common::Status CheckPageSlotsPlausible(const Superblock& sb,
+                                       uint64_t max_slots,
+                                       const std::string& what) {
+  if (sb.page_slots > max_slots) {
+    return CorruptionError(
+        what + ": page_slots " + std::to_string(sb.page_slots) +
+        " implausible for the store's file sizes (limit " +
+        std::to_string(max_slots) + ")");
+  }
+  return common::Status::OK();
+}
+
 bool SuperblocksAgree(const Superblock& a, const Superblock& b) {
   return a.page_size == b.page_size && a.page_slots == b.page_slots &&
          a.root == b.root && a.object_count == b.object_count &&
@@ -425,6 +454,8 @@ common::Result<std::unique_ptr<ParallelRStarTree>> OpenIndex(
   size_t page_size = 0;
   int num_disks = 0;
   SQP_RETURN_IF_ERROR(ReadBootstrap(store, &page_size, &num_disks));
+  auto max_slots = MaxPlausiblePageSlots(store, page_size);
+  if (!max_slots.ok()) return max_slots.status();
 
   Superblock ref;
   std::vector<std::unique_ptr<Node>> nodes;
@@ -435,6 +466,8 @@ common::Result<std::unique_ptr<ParallelRStarTree>> OpenIndex(
     std::vector<DirRecord> records;
     SQP_RETURN_IF_ERROR(ReadDiskDirectory(store, d, page_size, page.data(),
                                           &sb, &records));
+    SQP_RETURN_IF_ERROR(CheckPageSlotsPlausible(
+        sb, *max_slots, DiskTag(d) + " superblock"));
     if (d == 0) {
       ref = sb;
       nodes.resize(ref.page_slots);
@@ -506,6 +539,8 @@ common::Result<IndexLayout> ReadIndexLayout(const PageStore& store) {
   size_t page_size = 0;
   int num_disks = 0;
   SQP_RETURN_IF_ERROR(ReadBootstrap(store, &page_size, &num_disks));
+  auto max_slots = MaxPlausiblePageSlots(store, page_size);
+  if (!max_slots.ok()) return max_slots.status();
 
   IndexLayout layout;
   Superblock ref;
@@ -516,6 +551,8 @@ common::Result<IndexLayout> ReadIndexLayout(const PageStore& store) {
     std::vector<DirRecord> records;
     SQP_RETURN_IF_ERROR(ReadDiskDirectory(store, d, page_size, page.data(),
                                           &sb, &records));
+    SQP_RETURN_IF_ERROR(CheckPageSlotsPlausible(
+        sb, *max_slots, DiskTag(d) + " superblock"));
     if (d == 0) {
       ref = sb;
       layout.pages.resize(ref.page_slots);

@@ -73,6 +73,7 @@ common::Result<rstar::Node> DecodeNode(const uint8_t* data, uint32_t span,
 
   rstar::Node node;
   node.id = expected_id;
+  uint32_t total_entries = 0;
   for (uint32_t seq = 0; seq < span; ++seq) {
     const uint8_t* page = data + static_cast<size_t>(seq) * page_size;
     const PageType expected_type =
@@ -86,10 +87,20 @@ common::Result<rstar::Node> DecodeNode(const uint8_t* data, uint32_t span,
                              std::to_string(h.span) + ")");
     }
     if (seq == 0) {
+      // Bound before reserving: a crafted-but-checksummed header could
+      // otherwise demand a multi-gigabyte allocation.
+      if (h.total_entries > static_cast<uint64_t>(span) * per_page) {
+        return CorruptionError(
+            what + ": total entry count " + std::to_string(h.total_entries) +
+            " exceeds record capacity " +
+            std::to_string(static_cast<uint64_t>(span) * per_page));
+      }
       node.level = h.level;
+      total_entries = h.total_entries;
       node.entries.reserve(h.total_entries);
-    } else if (h.level != node.level) {
-      return CorruptionError(what + ": level differs across node pages");
+    } else if (h.level != node.level || h.total_entries != total_entries) {
+      return CorruptionError(
+          what + ": header fields differ across node pages");
     }
     if (h.entry_count > per_page ||
         (seq + 1 < span && h.entry_count != per_page)) {

@@ -1,0 +1,242 @@
+// Concurrency stress suite (CTest label: stress): many query threads
+// hammer one ParallelQueryEngine through the per-disk I/O worker path
+// while ~5% of reads are hit by a mix of injected faults — bit flips,
+// torn reads, transient and (rarely) permanent errors, latency spikes.
+// The invariants, checked under TSan in CI:
+//   * no crash, no hang, no data race;
+//   * every successful query is bit-identical to the sequential executor;
+//   * every defeated query carries a non-OK Status, and the engine keeps
+//     serving — after the injector disarms, everything succeeds again.
+//
+// Runs in seconds by default; scale it up for a nightly soak with
+//   SQP_STRESS_QUERIES=20000 SQP_STRESS_THREADS=32 ctest -L stress
+// (see docs/FAULTS.md).
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/sequential_executor.h"
+#include "exec/parallel_engine.h"
+#include "exec/stored_index.h"
+#include "parallel/parallel_tree.h"
+#include "storage/fault_injection.h"
+#include "storage/index_io.h"
+#include "storage/page_store.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+using storage::FaultInjectingPageStore;
+using storage::FaultKind;
+using storage::FaultSpec;
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const int parsed = std::atoi(v);
+  return parsed >= 1 ? parsed : fallback;
+}
+
+constexpr AlgorithmKind kAllAlgorithms[] = {
+    AlgorithmKind::kBbss, AlgorithmKind::kFpss, AlgorithmKind::kCrss,
+    AlgorithmKind::kWoptss};
+
+// One precomputed ground-truth answer.
+struct Expected {
+  Point point;
+  AlgorithmKind algo = AlgorithmKind::kBbss;
+  std::vector<core::Neighbor> neighbors;
+};
+
+// The shared fixture pieces: a persisted index, a pool of queries with
+// sequential-executor ground truth, and a fault mix worth ~5% of reads.
+struct StressRig {
+  std::unique_ptr<parallel::ParallelRStarTree> index;
+  storage::MemPageStore store{4};
+  std::vector<Expected> pool;
+  size_t k = 10;
+};
+
+StressRig MakeRig(uint64_t seed, size_t pool_points) {
+  StressRig rig;
+  const workload::Dataset data = workload::MakeClustered(1500, 2, 8, 0.1, seed);
+  rstar::TreeConfig tree_config;
+  tree_config.dim = 2;
+  tree_config.max_entries_override = 10;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 4;
+  dc.policy = parallel::DeclusterPolicy::kProximityIndex;
+  dc.seed = seed;
+  rig.index = workload::BuildParallelIndex(data, tree_config, dc);
+  SQP_CHECK(storage::SaveIndex(*rig.index, &rig.store).ok());
+
+  common::Rng rng(seed * 3 + 1);
+  for (size_t i = 0; i < pool_points; ++i) {
+    const Point q{static_cast<geometry::Coord>(rng.Uniform()),
+                  static_cast<geometry::Coord>(rng.Uniform())};
+    for (AlgorithmKind kind : kAllAlgorithms) {
+      Expected e;
+      e.point = q;
+      e.algo = kind;
+      auto algo = core::MakeAlgorithm(kind, rig.index->tree(), q, rig.k,
+                                      rig.index->num_disks());
+      core::RunToCompletion(rig.index->tree(), algo.get());
+      e.neighbors = algo->result().Sorted();
+      rig.pool.push_back(std::move(e));
+    }
+  }
+  return rig;
+}
+
+// ~5% of reads faulted: three recoverable kinds plus a trickle of
+// unrecoverable errors and scheduling jitter.
+void ArmMixedFaults(FaultInjectingPageStore* faulty) {
+  for (FaultKind kind : {FaultKind::kBitFlip, FaultKind::kTornRead,
+                         FaultKind::kTransientError}) {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.probability = 1.0 / 60.0;
+    faulty->AddFault(spec);
+  }
+  FaultSpec perm;
+  perm.kind = FaultKind::kPermanentError;
+  perm.probability = 0.002;
+  faulty->AddFault(perm);
+  FaultSpec spike;
+  spike.kind = FaultKind::kLatencySpike;
+  spike.probability = 0.01;
+  spike.latency_s = 0.0002;
+  faulty->AddFault(spike);
+}
+
+void CheckAgainstExpected(const exec::QueryOutcome& got, const Expected& e,
+                          const char* label) {
+  ASSERT_EQ(got.neighbors.size(), e.neighbors.size())
+      << label << " " << core::AlgorithmName(e.algo);
+  for (size_t i = 0; i < e.neighbors.size(); ++i) {
+    ASSERT_EQ(got.neighbors[i].object, e.neighbors[i].object)
+        << label << " " << core::AlgorithmName(e.algo) << " rank " << i;
+    ASSERT_EQ(got.neighbors[i].dist_sq, e.neighbors[i].dist_sq)
+        << label << " " << core::AlgorithmName(e.algo) << " rank " << i;
+  }
+}
+
+// Runs `n_queries` drawn round-robin from the rig's pool through the
+// engine with `threads` concurrent query slots, then verifies the batch.
+void RunStressPass(const StressRig& rig, exec::ParallelQueryEngine* engine,
+                   size_t n_queries, bool faults_armed, size_t* failed_out) {
+  std::vector<exec::EngineQuery> queries;
+  queries.reserve(n_queries);
+  for (size_t i = 0; i < n_queries; ++i) {
+    const Expected& e = rig.pool[i % rig.pool.size()];
+    queries.push_back({e.point, rig.k, e.algo});
+  }
+  const std::vector<exec::QueryOutcome> outcomes = engine->RunBatch(queries);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  size_t failed = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const Expected& e = rig.pool[i % rig.pool.size()];
+    if (!outcomes[i].status.ok()) {
+      ++failed;
+      EXPECT_TRUE(outcomes[i].neighbors.empty())
+          << "failed query " << i << " returned partial results";
+      continue;
+    }
+    CheckAgainstExpected(outcomes[i], e,
+                         faults_armed ? "under faults" : "fault-free");
+  }
+  if (!faults_armed) {
+    EXPECT_EQ(failed, 0u) << "queries failed with no faults armed";
+  }
+  if (failed_out != nullptr) *failed_out = failed;
+}
+
+// The headline soak: mixed faults through the per-disk worker path with a
+// live page cache, then a clean pass on the SAME engine proving nothing —
+// pool, cache, reader — was poisoned.
+TEST(StressTest, MixedFaultsUnderConcurrency) {
+  const size_t n_queries =
+      static_cast<size_t>(EnvInt("SQP_STRESS_QUERIES", 600));
+  const int threads = EnvInt("SQP_STRESS_THREADS", 8);
+
+  StressRig rig = MakeRig(2024, 8);
+  FaultInjectingPageStore faulty(&rig.store, 4242);
+
+  exec::EngineOptions options;
+  options.query_threads = threads;
+  options.cache_pages = 256;  // small: constant churn, eviction under load
+  options.retry.initial_backoff_s = 1e-6;
+  options.retry.max_backoff_s = 1e-5;
+  auto engine =
+      exec::ParallelQueryEngine::Create(*rig.index, &faulty, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  ArmMixedFaults(&faulty);
+  size_t failed = 0;
+  RunStressPass(rig, engine->get(), n_queries, /*faults_armed=*/true,
+                &failed);
+  const storage::FaultInjectionStats stats = faulty.stats();
+  EXPECT_GT(stats.faults, 0u) << "the soak never saw a fault";
+  // The reader saw (and mostly absorbed) them.
+  const exec::ReaderFaultTotals totals = (*engine)->reader().fault_totals();
+  EXPECT_GT(totals.faults, 0u);
+  EXPECT_GT(totals.retries, 0u);
+
+  // Disarm and re-run on the same engine: full recovery, zero failures.
+  faulty.Reset();
+  RunStressPass(rig, engine->get(), rig.pool.size() * 4,
+                /*faults_armed=*/false, nullptr);
+}
+
+// A cache too small to hold even the hot path plus a hotter fault mix:
+// the sharded cache's insert/evict/error paths race with the I/O workers'
+// failure handling. TSan is the real assertion here.
+TEST(StressTest, CacheThrashWithHotterFaults) {
+  const size_t n_queries =
+      static_cast<size_t>(EnvInt("SQP_STRESS_QUERIES", 600) / 2);
+  const int threads = EnvInt("SQP_STRESS_THREADS", 8);
+
+  StressRig rig = MakeRig(2025, 6);
+  FaultInjectingPageStore faulty(&rig.store, 777);
+
+  exec::EngineOptions options;
+  options.query_threads = threads;
+  options.cache_pages = 8;
+  options.retry.initial_backoff_s = 1e-6;
+  options.retry.max_backoff_s = 1e-5;
+  auto engine =
+      exec::ParallelQueryEngine::Create(*rig.index, &faulty, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  ArmMixedFaults(&faulty);
+  // Double the recoverable rates: more retries, more contention.
+  for (FaultKind kind : {FaultKind::kBitFlip, FaultKind::kTornRead,
+                         FaultKind::kTransientError}) {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.probability = 1.0 / 60.0;
+    faulty.AddFault(spec);
+  }
+  size_t failed = 0;
+  RunStressPass(rig, engine->get(), n_queries, /*faults_armed=*/true,
+                &failed);
+  EXPECT_GT(faulty.stats().faults, 0u);
+
+  faulty.Reset();
+  RunStressPass(rig, engine->get(), rig.pool.size() * 2,
+                /*faults_armed=*/false, nullptr);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -37,6 +37,11 @@
 //   --threads=8 --cache=4096 --throttle=0   parallel engine: query
 //         threads, page-cache capacity (pages; 0 disables), and a modeled
 //         per-read disk service time in seconds (0 = raw files)
+//   --faults=0 --fault-seed=42   parallel engine: inject a deterministic
+//         mix of transient media faults (bit flips, torn reads, transient
+//         EIO) at the given per-read probability. Failed queries are
+//         reported individually — the run completes either way — and the
+//         summary shows retry/fault totals (see docs/FAULTS.md).
 
 #include <algorithm>
 #include <chrono>
@@ -53,6 +58,7 @@
 #include "parallel/parallel_tree.h"
 #include "rstar/tree_stats.h"
 #include "sim/query_engine.h"
+#include "storage/fault_injection.h"
 #include "storage/index_io.h"
 #include "storage/page_store.h"
 #include "workload/dataset.h"
@@ -294,8 +300,23 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
                  store.status().ToString().c_str());
     return 1;
   }
-  const double throttle = flags.GetDouble("throttle", 0.0);
   const storage::PageStore* page_store = store->get();
+
+  // Optional deterministic fault injection: a mix of transient faults the
+  // retry policy should absorb, at --faults per-read probability each.
+  const double fault_rate = flags.GetDouble("faults", 0.0);
+  std::unique_ptr<storage::FaultInjectingPageStore> faulty;
+  if (fault_rate > 0) {
+    const uint64_t fault_seed =
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 42));
+    faulty = std::make_unique<storage::FaultInjectingPageStore>(store->get(),
+                                                               fault_seed);
+    page_store = faulty.get();
+    // Specs are armed after the engine bootstraps (create first, arm
+    // after — docs/FAULTS.md), so faults land on query-time reads only.
+  }
+
+  const double throttle = flags.GetDouble("throttle", 0.0);
   std::unique_ptr<storage::ThrottledPageStore> throttled;
   if (throttle > 0) {
     throttled =
@@ -311,6 +332,16 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
     std::fprintf(stderr, "engine failed: %s\n",
                  engine.status().ToString().c_str());
     return 1;
+  }
+  if (faulty != nullptr) {
+    for (storage::FaultKind kind :
+         {storage::FaultKind::kBitFlip, storage::FaultKind::kTornRead,
+          storage::FaultKind::kTransientError}) {
+      storage::FaultSpec spec;
+      spec.kind = kind;
+      spec.probability = fault_rate;
+      faulty->AddFault(spec);
+    }
   }
 
   const size_t n_queries = static_cast<size_t>(flags.GetInt("queries", 100));
@@ -331,37 +362,73 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  // A failed query occupies its slot with a non-OK status; report each one
+  // and keep the run's statistics over the queries that succeeded.
   std::vector<double> latencies;
   double pages = 0.0;
+  size_t failed = 0;
+  uint64_t io_faults = 0, io_retries = 0;
   for (size_t i = 0; i < answers.size(); ++i) {
+    io_faults += answers[i].io_faults;
+    io_retries += answers[i].io_retries;
     if (!answers[i].status.ok()) {
+      ++failed;
       std::fprintf(stderr, "query %zu failed: %s\n", i,
                    answers[i].status.ToString().c_str());
-      return 1;
+      continue;
     }
     latencies.push_back(answers[i].latency_s);
     pages += static_cast<double>(answers[i].pages_fetched);
   }
+  if (latencies.empty()) {
+    std::fprintf(stderr, "all %zu queries failed\n", n_queries);
+    return 1;
+  }
   std::sort(latencies.begin(), latencies.end());
-  const double p50 = latencies[latencies.size() / 2];
-  const double p99 = latencies[latencies.size() * 99 / 100];
+  const size_t ok_count = latencies.size();
+  const double p50 = latencies[ok_count / 2];
+  const double p99 = latencies[ok_count * 99 / 100];
   const exec::PageCacheStats cache = (*engine)->cache().GetStats();
 
   std::printf(
       "\n%s on the real engine: k=%zu, %zu queries, %d threads, "
       "%zu-page cache%s\n"
       "  wall clock       %.3f s  (%.0f queries/s)\n"
+      "  queries          %zu ok, %zu failed\n"
       "  latency          p50 %.3f ms   p99 %.3f ms\n"
       "  mean pages/query %.1f\n"
       "  cache            %.1f%% hits (%llu hits, %llu misses)\n",
       core::AlgorithmName(algo), k, n_queries, options.query_threads,
       options.cache_pages,
       throttle > 0 ? ", throttled media" : "", wall,
-      static_cast<double>(n_queries) / wall, 1e3 * p50, 1e3 * p99,
-      pages / static_cast<double>(n_queries), 100 * cache.HitRate(),
-      static_cast<unsigned long long>(cache.hits),
+      static_cast<double>(n_queries) / wall, ok_count, failed, 1e3 * p50,
+      1e3 * p99, pages / static_cast<double>(ok_count),
+      100 * cache.HitRate(), static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses));
-  return 0;
+  if (io_faults > 0 || io_retries > 0 || faulty != nullptr) {
+    const exec::ReaderFaultTotals rt = (*engine)->reader().fault_totals();
+    std::printf(
+        "  faults           %llu failed read attempts across queries, "
+        "%llu retries issued, %llu records given up on\n",
+        static_cast<unsigned long long>(io_faults),
+        static_cast<unsigned long long>(io_retries),
+        static_cast<unsigned long long>(rt.failed_records));
+  }
+  if (faulty != nullptr) {
+    const storage::FaultInjectionStats fs = faulty->stats();
+    std::printf(
+        "  injector         %llu faults over %llu reads "
+        "(flip %llu, torn %llu, eio %llu)\n",
+        static_cast<unsigned long long>(fs.faults),
+        static_cast<unsigned long long>(fs.reads),
+        static_cast<unsigned long long>(
+            fs.by_kind[static_cast<int>(storage::FaultKind::kBitFlip)]),
+        static_cast<unsigned long long>(
+            fs.by_kind[static_cast<int>(storage::FaultKind::kTornRead)]),
+        static_cast<unsigned long long>(fs.by_kind[static_cast<int>(
+            storage::FaultKind::kTransientError)]));
+  }
+  return failed == 0 ? 0 : 2;
 }
 
 int RunLoadIndex(const Flags& flags) {
