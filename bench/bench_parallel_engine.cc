@@ -33,7 +33,11 @@
 //              scaling claim is made.
 //
 // Results are printed as a table and written as JSON (--json=<path>) with
-// queries/sec, p50/p99 latency and cache hit rate per configuration.
+// queries/sec, p50/p95/p99 latency (exact sorted-sample and registry-
+// histogram estimates) and cache hit rate per configuration, plus a
+// `metering` object comparing metered vs unmetered throughput on the
+// 8-thread throttled configuration (the observability layer's measured
+// overhead; the bar is < 3%).
 
 #include <algorithm>
 #include <chrono>
@@ -47,6 +51,7 @@
 #include "bench/bench_util.h"
 #include "common/check.h"
 #include "exec/parallel_engine.h"
+#include "obs/metrics.h"
 #include "storage/fault_injection.h"
 #include "storage/index_io.h"
 #include "storage/page_store.h"
@@ -59,20 +64,31 @@ struct RunResult {
   int threads = 0;
   double qps = 0.0;
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double hit_rate = 0.0;
   double mean_pages = 0.0;
+  // Latency percentiles as the engine's own registry histogram estimates
+  // them (bucket interpolation, docs/OBSERVABILITY.md) — the numbers an
+  // operator scraping sqp_engine_query_latency_seconds would see, next to
+  // the exact sorted-sample ones above. Zero when run unmetered.
+  double reg_p50_ms = 0.0;
+  double reg_p95_ms = 0.0;
+  double reg_p99_ms = 0.0;
 };
 
 // One timed RunBatch on a fresh engine with `threads` query threads.
 RunResult RunOnce(const parallel::ParallelRStarTree& index,
                   const storage::PageStore* store,
                   const std::vector<exec::EngineQuery>& queries, int threads,
-                  size_t cache_pages, bool warm_up, bool serial_io = false) {
+                  size_t cache_pages, bool warm_up, bool serial_io = false,
+                  bool metered = true) {
   exec::EngineOptions options;
   options.query_threads = threads;
   options.cache_pages = cache_pages;
   options.serial_io = serial_io;
+  options.enable_metrics = metered;
+  if (!metered) options.trace_capacity = 0;
   auto engine = exec::ParallelQueryEngine::Create(index, store, options);
   SQP_CHECK(engine.ok());
   if (warm_up) {
@@ -103,9 +119,22 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
   r.threads = threads;
   r.qps = static_cast<double>(answers.size()) / wall;
   r.p50_ms = 1e3 * latencies[latencies.size() / 2];
+  r.p95_ms = 1e3 * latencies[latencies.size() * 95 / 100];
   r.p99_ms = 1e3 * latencies[latencies.size() * 99 / 100];
   r.hit_rate = hits + misses == 0 ? 0.0 : hits / (hits + misses);
   r.mean_pages = pages / static_cast<double>(answers.size());
+  if (metered) {
+    // Registry view of the same latencies (warm-up queries included — the
+    // histogram is cumulative — but they run the identical workload, so
+    // the estimates stay representative).
+    const obs::MetricsSnapshot snap = (*engine)->metrics()->Snapshot();
+    if (const obs::HistogramSnapshot* h =
+            snap.FindHistogram("sqp_engine_query_latency_seconds")) {
+      r.reg_p50_ms = 1e3 * h->Quantile(0.50);
+      r.reg_p95_ms = 1e3 * h->Quantile(0.95);
+      r.reg_p99_ms = 1e3 * h->Quantile(0.99);
+    }
+  }
   return r;
 }
 
@@ -114,12 +143,13 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
 void PrintSeries(const char* name, const std::vector<RunResult>& series,
                  double baseline_qps = 0.0) {
   if (baseline_qps == 0.0) baseline_qps = series.front().qps;
-  std::printf("\n%s:\n%8s %10s %10s %10s %8s %8s %9s\n", name, "threads",
-              "q/s", "p50(ms)", "p99(ms)", "hit%", "pages", "speedup");
+  std::printf("\n%s:\n%8s %10s %10s %10s %10s %8s %8s %9s\n", name,
+              "threads", "q/s", "p50(ms)", "p95(ms)", "p99(ms)", "hit%",
+              "pages", "speedup");
   for (const RunResult& r : series) {
-    std::printf("%8d %10.0f %10.3f %10.3f %7.0f%% %8.1f %8.2fx\n",
-                r.threads, r.qps, r.p50_ms, r.p99_ms, 100 * r.hit_rate,
-                r.mean_pages, r.qps / baseline_qps);
+    std::printf("%8d %10.0f %10.3f %10.3f %10.3f %7.0f%% %8.1f %8.2fx\n",
+                r.threads, r.qps, r.p50_ms, r.p95_ms, r.p99_ms,
+                100 * r.hit_rate, r.mean_pages, r.qps / baseline_qps);
   }
 }
 
@@ -133,7 +163,11 @@ void JsonSeries(bench::JsonWriter* w, const char* name,
     w->Field("threads", r.threads);
     w->Field("queries_per_sec", r.qps, 5);
     w->Field("p50_latency_ms", r.p50_ms, 5);
+    w->Field("p95_latency_ms", r.p95_ms, 5);
     w->Field("p99_latency_ms", r.p99_ms, 5);
+    w->Field("registry_p50_latency_ms", r.reg_p50_ms, 5);
+    w->Field("registry_p95_latency_ms", r.reg_p95_ms, 5);
+    w->Field("registry_p99_latency_ms", r.reg_p99_ms, 5);
     w->Field("cache_hit_rate", r.hit_rate, 4);
     w->Field("mean_pages_per_query", r.mean_pages, 4);
     w->Field("speedup_vs_baseline", r.qps / baseline_qps, 4);
@@ -352,6 +386,35 @@ int main(int argc, char** argv) {
       "serial baseline)",
       throttled, serial.qps);
 
+  // Metering overhead: the observability layer on vs fully off (no
+  // registry, no trace) in the warm-cache single-thread configuration —
+  // every fetch is a hit, so queries are pure CPU and each instrument
+  // write lands on the critical path; this is the layer's worst case in
+  // relative terms. One thread keeps the measurement stable on small
+  // hosts (the 8-thread throttled runs above schedule chaotically on a
+  // one-core machine). Shared-host interference only ever slows a run
+  // down, so each side's best of nine alternating reps is its
+  // least-disturbed sample (min-time benchmarking) and the overhead is
+  // the ratio of the two bests. The acceptance bar is < 3% regression
+  // (docs/OBSERVABILITY.md).
+  double metered_qps = 0.0, unmetered_qps = 0.0;
+  for (int rep = 0; rep < 9; ++rep) {
+    for (const bool metered : {true, false}) {
+      const RunResult r = RunOnce(*index, store->get(), warm_queries,
+                                  /*threads=*/1, /*cache_pages=*/8192,
+                                  /*warm_up=*/true, /*serial_io=*/false,
+                                  metered);
+      double& best = metered ? metered_qps : unmetered_qps;
+      best = std::max(best, r.qps);
+    }
+  }
+  const double overhead_pct =
+      100.0 * (1.0 - metered_qps / unmetered_qps);
+  std::printf(
+      "\nmetering overhead (warm cache, 1 thread, best of 9): %.0f q/s "
+      "metered vs %.0f q/s unmetered -> %.2f%% overhead\n",
+      metered_qps, unmetered_qps, overhead_pct);
+
   bench::JsonWriter w;
   w.BeginObject();
   w.Field("bench", "parallel_engine");
@@ -367,11 +430,17 @@ int main(int argc, char** argv) {
   w.BeginObject("serial_baseline");
   w.Field("queries_per_sec", serial.qps, 5);
   w.Field("p50_latency_ms", serial.p50_ms, 5);
+  w.Field("p95_latency_ms", serial.p95_ms, 5);
   w.Field("p99_latency_ms", serial.p99_ms, 5);
   w.Field("cache_hit_rate", serial.hit_rate, 4);
   w.EndObject();
   JsonSeries(&w, "warm_cache", warm);
   JsonSeries(&w, "throttled_media", throttled, serial.qps);
+  w.BeginObject("metering");
+  w.Field("metered_queries_per_sec", metered_qps, 5);
+  w.Field("unmetered_queries_per_sec", unmetered_qps, 5);
+  w.Field("metering_overhead_pct", overhead_pct, 4);
+  w.EndObject();
   w.EndObject();
   w.WriteFile(json_path);
 

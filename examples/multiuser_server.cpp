@@ -10,16 +10,20 @@
 // on first run, so a restarted server begins answering queries without
 // re-ingesting the data set (delete the directory to force a rebuild).
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/algorithms.h"
 #include "exec/parallel_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_tree.h"
 #include "sim/query_engine.h"
 #include "storage/page_store.h"
@@ -122,6 +126,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Periodic operator stats while the server is busy: one line every
+  // 200 ms from the engine's MetricsRegistry, on stderr so the result
+  // table stays clean. This is the live view a real deployment would
+  // scrape; the condensed report below is the post-mortem one.
+  std::atomic<bool> stop_reporter{false};
+  std::thread reporter([&engine, &stop_reporter] {
+    while (!stop_reporter.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (stop_reporter.load(std::memory_order_relaxed)) break;
+      const obs::MetricsSnapshot s = (*engine)->metrics()->Snapshot();
+      const uint64_t hits = s.CounterValue("sqp_cache_hits_total");
+      const uint64_t misses = s.CounterValue("sqp_cache_misses_total");
+      std::fprintf(
+          stderr,
+          "[stats] inflight=%lld done=%llu pages=%llu hit%%=%.0f "
+          "queue_depth=%lld retries=%llu\n",
+          static_cast<long long>(s.GaugeValue("sqp_engine_inflight_queries")),
+          static_cast<unsigned long long>(
+              s.CounterValue("sqp_engine_queries_total")),
+          static_cast<unsigned long long>(
+              s.CounterValue("sqp_engine_pages_fetched_total")),
+          100.0 * static_cast<double>(hits) /
+              static_cast<double>(std::max<uint64_t>(1, hits + misses)),
+          static_cast<long long>(s.GaugeSumByPrefix("sqp_io_queue_depth")),
+          static_cast<unsigned long long>(
+              s.CounterValue("sqp_reader_retries_total")));
+    }
+  });
+
   std::printf(
       "\nreal engine on %s/ (%d query threads, %zu-page cache):\n"
       "%-8s %9s %9s %9s %9s %8s %7s\n",
@@ -175,6 +208,9 @@ int main(int argc, char** argv) {
                     static_cast<double>(std::max<uint64_t>(1, hits + misses)),
                 failed);
   }
+  stop_reporter.store(true, std::memory_order_relaxed);
+  reporter.join();
+
   const exec::ReaderFaultTotals faults = (*engine)->reader().fault_totals();
   if (total_failed > 0 || faults.faults > 0) {
     std::printf(
@@ -184,5 +220,45 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(faults.retries),
         static_cast<unsigned long long>(faults.failed_records));
   }
+
+  // Condensed end-of-run metrics report (docs/OBSERVABILITY.md): the
+  // registry's totals across all four algorithm passes.
+  const obs::MetricsSnapshot snap = (*engine)->metrics()->Snapshot();
+  const uint64_t hits = snap.CounterValue("sqp_cache_hits_total");
+  const uint64_t misses = snap.CounterValue("sqp_cache_misses_total");
+  const obs::HistogramSnapshot* lat =
+      snap.FindHistogram("sqp_engine_query_latency_seconds");
+  const obs::TraceRecorder* trace = (*engine)->trace();
+  std::printf(
+      "\nmetrics: %llu queries (%llu failed), %llu steps, %llu pages "
+      "fetched\n"
+      "         latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
+      "         cache %.1f%% hits (%llu/%llu), %llu evictions\n"
+      "         io jobs %llu across %d disks, reader retries %llu\n"
+      "         trace %llu spans recorded, %llu dropped (ring of %zu)\n",
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_engine_queries_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_engine_query_failures_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_engine_steps_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_engine_pages_fetched_total")),
+      lat != nullptr ? 1e3 * lat->Quantile(0.50) : 0.0,
+      lat != nullptr ? 1e3 * lat->Quantile(0.95) : 0.0,
+      lat != nullptr ? 1e3 * lat->Quantile(0.99) : 0.0,
+      100.0 * static_cast<double>(hits) /
+          static_cast<double>(std::max<uint64_t>(1, hits + misses)),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(hits + misses),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_cache_evictions_total")),
+      static_cast<unsigned long long>(
+          snap.CounterSumByPrefix("sqp_io_jobs_total")),
+      (*engine)->num_disks(),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_reader_retries_total")),
+      static_cast<unsigned long long>(trace->total_recorded()),
+      static_cast<unsigned long long>(trace->dropped()), trace->capacity());
   return 0;
 }

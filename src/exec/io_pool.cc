@@ -1,14 +1,39 @@
 #include "exec/io_pool.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 
 namespace sqp::exec {
+namespace {
 
-DiskIoPool::DiskIoPool(int num_disks) {
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DiskIoPool::DiskIoPool(int num_disks, obs::MetricsRegistry* metrics) {
   SQP_CHECK(num_disks >= 1);
-  for (int d = 0; d < num_disks; ++d) queues_.emplace_back();
+  metered_ = metrics != nullptr;
+  for (int d = 0; d < num_disks; ++d) {
+    DiskQueue& q = queues_.emplace_back();
+    if (metrics != nullptr) {
+      q.jobs_total =
+          metrics->GetCounter(obs::WithLabel("sqp_io_jobs_total", "disk", d));
+      q.queue_depth =
+          metrics->GetGauge(obs::WithLabel("sqp_io_queue_depth", "disk", d));
+      q.wait_seconds = metrics->GetHistogram(
+          obs::WithLabel("sqp_io_wait_seconds", "disk", d),
+          obs::MetricsRegistry::LatencyBuckets());
+      q.service_seconds = metrics->GetHistogram(
+          obs::WithLabel("sqp_io_service_seconds", "disk", d),
+          obs::MetricsRegistry::LatencyBuckets());
+    }
+  }
   workers_.reserve(static_cast<size_t>(num_disks));
   for (int d = 0; d < num_disks; ++d) {
     workers_.emplace_back([this, d] { WorkerLoop(&queues_[d]); });
@@ -27,9 +52,13 @@ DiskIoPool::~DiskIoPool() {
 void DiskIoPool::Submit(int disk, std::function<void()> job) {
   SQP_CHECK(disk >= 0 && disk < num_disks());
   DiskQueue& q = queues_[static_cast<size_t>(disk)];
+  QueuedJob queued;
+  queued.fn = std::move(job);
+  if (metered_) queued.enqueue_s = NowSeconds();
   std::lock_guard<std::mutex> lock(q.mu);
   SQP_CHECK(!q.stop);
-  q.jobs.push_back(std::move(job));
+  q.jobs.push_back(std::move(queued));
+  if (q.queue_depth != nullptr) q.queue_depth->Add(1);
   q.cv.notify_one();
 }
 
@@ -44,7 +73,7 @@ uint64_t DiskIoPool::jobs_completed() const {
 
 void DiskIoPool::WorkerLoop(DiskQueue* queue) {
   for (;;) {
-    std::function<void()> job;
+    QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(queue->mu);
       queue->cv.wait(lock,
@@ -52,8 +81,18 @@ void DiskIoPool::WorkerLoop(DiskQueue* queue) {
       if (queue->jobs.empty()) return;  // stop requested and drained
       job = std::move(queue->jobs.front());
       queue->jobs.pop_front();
+      if (queue->queue_depth != nullptr) queue->queue_depth->Add(-1);
     }
-    job();
+    double start_s = 0.0;
+    if (metered_) {
+      start_s = NowSeconds();
+      queue->wait_seconds->Observe(start_s - job.enqueue_s);
+    }
+    job.fn();
+    if (metered_) {
+      queue->service_seconds->Observe(NowSeconds() - start_s);
+      queue->jobs_total->Add(1);
+    }
     {
       std::lock_guard<std::mutex> lock(queue->mu);
       ++queue->completed;

@@ -8,6 +8,12 @@
 // disks really issues b concurrent preads against the backing files. Jobs
 // submitted to one disk execute in submission order (like the drive's
 // queue); jobs on different disks proceed in parallel.
+//
+// With a MetricsRegistry attached, each disk reports its queue behavior —
+// the quantities the paper's response-time analysis is built on:
+// sqp_io_jobs_total{disk=d}, sqp_io_queue_depth{disk=d}, and the
+// sqp_io_wait_seconds / sqp_io_service_seconds histograms (time queued
+// before the worker picked the job up / time the job ran).
 
 #ifndef SQP_EXEC_IO_POOL_H_
 #define SQP_EXEC_IO_POOL_H_
@@ -20,12 +26,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sqp::exec {
 
 class DiskIoPool {
  public:
-  // Starts one worker per disk. `num_disks` >= 1.
-  explicit DiskIoPool(int num_disks);
+  // Starts one worker per disk. `num_disks` >= 1. When `metrics` is
+  // non-null the per-disk instruments above are registered on it; null
+  // runs unmetered (no timestamps taken on the hot path).
+  explicit DiskIoPool(int num_disks,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   // Drains every queue, then joins the workers.
   ~DiskIoPool();
@@ -44,12 +55,23 @@ class DiskIoPool {
   uint64_t jobs_completed() const;
 
  private:
+  struct QueuedJob {
+    std::function<void()> fn;
+    double enqueue_s = 0.0;  // only meaningful when metered
+  };
+
   struct DiskQueue {
     mutable std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> jobs;
+    std::deque<QueuedJob> jobs;
     uint64_t completed = 0;
     bool stop = false;
+    // Instruments (null when unmetered). Written by Submit and the
+    // worker; the instruments themselves are thread-safe.
+    obs::Counter* jobs_total = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* wait_seconds = nullptr;
+    obs::Histogram* service_seconds = nullptr;
   };
 
   void WorkerLoop(DiskQueue* queue);
@@ -57,6 +79,7 @@ class DiskIoPool {
   // deque of queues: stable addresses, no copies.
   std::deque<DiskQueue> queues_;
   std::vector<std::thread> workers_;
+  bool metered_ = false;
 };
 
 }  // namespace sqp::exec

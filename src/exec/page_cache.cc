@@ -6,13 +6,22 @@
 
 namespace sqp::exec {
 
-ShardedPageCache::ShardedPageCache(const PageCacheOptions& options)
+ShardedPageCache::ShardedPageCache(const PageCacheOptions& options,
+                                   obs::MetricsRegistry* metrics)
     : capacity_pages_(options.capacity_pages),
       shard_capacity_(options.capacity_pages /
                       static_cast<size_t>(options.shards > 0 ? options.shards
                                                              : 1)),
       shards_(static_cast<size_t>(options.shards > 0 ? options.shards : 1)) {
   if (shard_capacity_ == 0 && capacity_pages_ > 0) shard_capacity_ = 1;
+  if (metrics != nullptr) {
+    m_hits_ = metrics->GetCounter("sqp_cache_hits_total");
+    m_misses_ = metrics->GetCounter("sqp_cache_misses_total");
+    m_insertions_ = metrics->GetCounter("sqp_cache_insertions_total");
+    m_evictions_ = metrics->GetCounter("sqp_cache_evictions_total");
+    m_pinned_skips_ = metrics->GetCounter("sqp_cache_pinned_skips_total");
+    m_resident_ = metrics->GetGauge("sqp_cache_resident_pages");
+  }
 }
 
 const rstar::Node* ShardedPageCache::LookupPinned(rstar::PageId id) {
@@ -21,9 +30,11 @@ const rstar::Node* ShardedPageCache::LookupPinned(rstar::PageId id) {
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) {
     ++shard.misses;
+    if (m_misses_ != nullptr) m_misses_->Add(1);
     return nullptr;
   }
   ++shard.hits;
+  if (m_hits_ != nullptr) m_hits_->Add(1);
   Frame& f = it->second;
   ++f.pins;
   shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
@@ -52,6 +63,8 @@ const rstar::Node* ShardedPageCache::InsertPinned(rstar::PageId id,
   f.lru_pos = shard.lru.begin();
   shard.resident_pages += span;
   ++shard.insertions;
+  if (m_insertions_ != nullptr) m_insertions_->Add(1);
+  if (m_resident_ != nullptr) m_resident_->Add(span);
   EvictLocked(shard);
   return &f.node;
 }
@@ -79,9 +92,14 @@ void ShardedPageCache::EvictLocked(Shard& shard) {
     --pos;
     auto it = shard.frames.find(*pos);
     SQP_DCHECK(it != shard.frames.end());
-    if (it->second.pins > 0) continue;
+    if (it->second.pins > 0) {
+      if (m_pinned_skips_ != nullptr) m_pinned_skips_->Add(1);
+      continue;
+    }
     shard.resident_pages -= it->second.span;
     ++shard.evictions;
+    if (m_evictions_ != nullptr) m_evictions_->Add(1);
+    if (m_resident_ != nullptr) m_resident_->Add(-static_cast<int64_t>(it->second.span));
     pos = shard.lru.erase(pos);
     shard.frames.erase(it);
   }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rstar/node.h"
 #include "rstar/types.h"
 
@@ -50,7 +51,13 @@ struct PageCacheStats {
 
 class ShardedPageCache {
  public:
-  explicit ShardedPageCache(const PageCacheOptions& options);
+  // With a non-null `metrics`, the cache reports sqp_cache_hits_total,
+  // sqp_cache_misses_total, sqp_cache_insertions_total,
+  // sqp_cache_evictions_total, sqp_cache_pinned_skips_total (eviction
+  // scans that stepped over a pinned frame) and the
+  // sqp_cache_resident_pages gauge.
+  explicit ShardedPageCache(const PageCacheOptions& options,
+                            obs::MetricsRegistry* metrics = nullptr);
 
   ShardedPageCache(const ShardedPageCache&) = delete;
   ShardedPageCache& operator=(const ShardedPageCache&) = delete;
@@ -105,6 +112,14 @@ class ShardedPageCache {
   size_t capacity_pages_;
   size_t shard_capacity_;
   std::vector<Shard> shards_;
+
+  // Registry instruments; all null when unmetered.
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_insertions_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_pinned_skips_ = nullptr;
+  obs::Gauge* m_resident_ = nullptr;
 };
 
 }  // namespace sqp::exec

@@ -75,19 +75,57 @@ ParallelQueryEngine::ParallelQueryEngine(
     const parallel::ParallelRStarTree& index,
     std::unique_ptr<StoredIndexReader> reader, const EngineOptions& options)
     : index_(index), options_(options), reader_(std::move(reader)) {
+  if (options.enable_metrics) {
+    if (options.metrics != nullptr) {
+      metrics_ = options.metrics;
+    } else {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      metrics_ = owned_metrics_.get();
+    }
+    reader_->EnableMetrics(metrics_);
+    instr_.queries = metrics_->GetCounter("sqp_engine_queries_total");
+    instr_.failures =
+        metrics_->GetCounter("sqp_engine_query_failures_total");
+    instr_.steps = metrics_->GetCounter("sqp_engine_steps_total");
+    instr_.page_requests =
+        metrics_->GetCounter("sqp_engine_page_requests_total");
+    instr_.pages_fetched =
+        metrics_->GetCounter("sqp_engine_pages_fetched_total");
+    instr_.inflight = metrics_->GetGauge("sqp_engine_inflight_queries");
+    instr_.latency_seconds =
+        metrics_->GetHistogram("sqp_engine_query_latency_seconds",
+                               obs::MetricsRegistry::LatencyBuckets());
+    // Activation batches: 1..128 pages in power-of-two buckets (the
+    // paper's batch sizes are bounded by the disk count times the span).
+    instr_.batch_pages = metrics_->GetHistogram(
+        "sqp_engine_batch_pages", obs::MetricsRegistry::PowerOfTwoBuckets(8));
+  }
+  if (options.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceRecorder>(options.trace_capacity);
+  }
   PageCacheOptions cache_options;
   cache_options.capacity_pages = options.cache_pages;
   cache_options.shards = options.cache_shards;
-  cache_ = std::make_unique<ShardedPageCache>(cache_options);
-  io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks());
+  cache_ = std::make_unique<ShardedPageCache>(cache_options, metrics_);
+  io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks(), metrics_);
 }
 
 ParallelQueryEngine::~ParallelQueryEngine() = default;
 
 common::Status ParallelQueryEngine::FetchBatch(
     const std::vector<rstar::PageId>& ids,
-    std::vector<const rstar::Node*>* slots, QueryOutcome* outcome) {
+    std::vector<const rstar::Node*>* slots, QueryOutcome* outcome,
+    obs::TraceSpan* span) {
   slots->assign(ids.size(), nullptr);
+  // Lazily sized so a fully cached step leaves pages_per_disk empty.
+  auto add_disk_pages = [this, span](int disk, uint32_t pages) {
+    if (span == nullptr) return;
+    if (span->pages_per_disk.empty()) {
+      span->pages_per_disk.assign(
+          static_cast<size_t>(reader_->num_disks()), 0);
+    }
+    span->pages_per_disk[static_cast<size_t>(disk)] += pages;
+  };
 
   // Cache pass. Misses are grouped per disk, mirroring the declustering
   // assignment: each group becomes one job on that disk's worker.
@@ -96,6 +134,7 @@ common::Status ParallelQueryEngine::FetchBatch(
     if (const rstar::Node* node = cache_->LookupPinned(ids[i])) {
       (*slots)[i] = node;
       ++outcome->cache_hits;
+      if (span != nullptr) ++span->cache_hits;
       continue;
     }
     auto loc = reader_->LocationOf(ids[i]);
@@ -108,6 +147,8 @@ common::Status ParallelQueryEngine::FetchBatch(
       return loc.status();
     }
     ++outcome->cache_misses;
+    if (span != nullptr) ++span->cache_misses;
+    add_disk_pages(loc->disk, loc->span);
     misses_by_disk[loc->disk].push_back(i);
   }
 
@@ -126,6 +167,10 @@ common::Status ParallelQueryEngine::FetchBatch(
           slots->assign(ids.size(), nullptr);
           outcome->io_faults += counters.faults;
           outcome->io_retries += counters.retries;
+          if (span != nullptr) {
+            span->io_faults += counters.faults;
+            span->io_retries += counters.retries;
+          }
           return node.status();
         }
         (*slots)[i] = cache_->InsertPinned(
@@ -134,6 +179,10 @@ common::Status ParallelQueryEngine::FetchBatch(
     }
     outcome->io_faults += counters.faults;
     outcome->io_retries += counters.retries;
+    if (span != nullptr) {
+      span->io_faults += counters.faults;
+      span->io_retries += counters.retries;
+    }
     return common::Status::OK();
   }
 
@@ -156,9 +205,9 @@ common::Status ParallelQueryEngine::FetchBatch(
         if (read.ok()) {
           for (size_t n = 0; n < group->size(); ++n) {
             const rstar::PageId id = group_ids[n];
-            const uint32_t span = reader_->layout().pages[id].span;
+            const uint32_t span_pages = reader_->layout().pages[id].span;
             (*slots)[(*group)[n]] =
-                cache_->InsertPinned(id, std::move(nodes[n]), span);
+                cache_->InsertPinned(id, std::move(nodes[n]), span_pages);
           }
         }
         sync.Done(read, counters);
@@ -167,6 +216,10 @@ common::Status ParallelQueryEngine::FetchBatch(
     common::Status batch = sync.Wait();
     outcome->io_faults += sync.counters.faults;
     outcome->io_retries += sync.counters.retries;
+    if (span != nullptr) {
+      span->io_faults += sync.counters.faults;
+      span->io_retries += sync.counters.retries;
+    }
     if (!batch.ok()) {
       for (size_t i = 0; i < ids.size(); ++i) {
         if ((*slots)[i] != nullptr) cache_->Unpin(ids[i]);
@@ -178,34 +231,101 @@ common::Status ParallelQueryEngine::FetchBatch(
   return common::Status::OK();
 }
 
-QueryAnswer ParallelQueryEngine::RunQuery(const EngineQuery& query) {
-  QueryAnswer answer;
+QueryOutcome ParallelQueryEngine::RunQuery(const EngineQuery& query) {
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  if (instr_.inflight != nullptr) instr_.inflight->Add(1);
+  QueryOutcome answer = RunQueryImpl(query, query_id);
+  if (instr_.queries != nullptr) {
+    instr_.queries->Add(1);
+    if (!answer.status.ok()) instr_.failures->Add(1);
+    instr_.latency_seconds->Observe(answer.latency_s);
+  }
+  if (instr_.inflight != nullptr) instr_.inflight->Add(-1);
+  if (trace_ != nullptr) {
+    // The whole-query closing span: totals plus end-to-end wall time.
+    obs::TraceSpan span;
+    span.query_id = query_id;
+    span.phase = "query";
+    span.algo = core::AlgorithmName(query.algo);
+    span.step = static_cast<uint32_t>(answer.steps);
+    span.pages = static_cast<uint32_t>(answer.pages_fetched);
+    span.cache_hits = static_cast<uint32_t>(answer.cache_hits);
+    span.cache_misses = static_cast<uint32_t>(answer.cache_misses);
+    span.io_faults = answer.io_faults;
+    span.io_retries = answer.io_retries;
+    span.start_s = trace_->NowSeconds() - answer.latency_s;
+    span.process_s = answer.latency_s;
+    trace_->Record(std::move(span));
+  }
+  return answer;
+}
+
+QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
+                                               uint64_t query_id) {
+  QueryOutcome answer;
+  answer.query_id = query_id;
   const double start = NowSeconds();
   auto algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
                                   query.k, reader_->num_disks());
 
   std::vector<const rstar::Node*> slots;
   core::StepResult step = algo->Begin();
+  uint32_t step_index = 0;
   while (!step.done) {
     SQP_CHECK(!step.requests.empty());
     ++answer.steps;
 
-    answer.status = FetchBatch(step.requests, &slots, &answer);
+    obs::TraceSpan span;
+    obs::TraceSpan* span_ptr = nullptr;
+    double fetch_start = 0.0, fetch_end = 0.0;
+    if (trace_ != nullptr) {
+      span_ptr = &span;
+      span.query_id = query_id;
+      span.phase = "step";
+      span.algo = core::AlgorithmName(query.algo);
+      span.step = step_index;
+      span.batch_requests = static_cast<uint32_t>(step.requests.size());
+      fetch_start = NowSeconds();
+      span.start_s = fetch_start - trace_->epoch_seconds();
+    }
+    answer.status = FetchBatch(step.requests, &slots, &answer, span_ptr);
+    if (span_ptr != nullptr) fetch_end = NowSeconds();
+    if (instr_.steps != nullptr) {
+      instr_.steps->Add(1);
+      instr_.page_requests->Add(step.requests.size());
+    }
     if (!answer.status.ok()) {
+      if (span_ptr != nullptr) {
+        span.fetch_s = fetch_end - fetch_start;
+        trace_->Record(std::move(span));
+      }
       answer.latency_s = NowSeconds() - start;
       return answer;
     }
     std::vector<core::FetchedPage> pages;
     pages.reserve(step.requests.size());
+    uint32_t step_pages = 0;
     for (size_t i = 0; i < step.requests.size(); ++i) {
       pages.push_back({step.requests[i], slots[i]});
-      answer.pages_fetched +=
-          reader_->layout().pages[step.requests[i]].span;
+      step_pages += reader_->layout().pages[step.requests[i]].span;
+    }
+    answer.pages_fetched += step_pages;
+    if (instr_.pages_fetched != nullptr) {
+      instr_.pages_fetched->Add(step_pages);
+      instr_.batch_pages->Observe(static_cast<double>(step_pages));
     }
     step = algo->OnPagesFetched(pages);
     // Pins are held across the callback (the algorithm borrows the node
     // pointers) and released immediately after.
     for (const core::FetchedPage& p : pages) cache_->Unpin(p.id);
+    if (span_ptr != nullptr) {
+      span.pages = step_pages;
+      span.fetch_s = fetch_end - fetch_start;
+      span.process_s = NowSeconds() - fetch_end;
+      trace_->Record(std::move(span));
+    }
+    ++step_index;
   }
   answer.neighbors = algo->result().Sorted();
   answer.latency_s = NowSeconds() - start;

@@ -22,6 +22,7 @@
 #ifndef SQP_EXEC_PARALLEL_ENGINE_H_
 #define SQP_EXEC_PARALLEL_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,8 @@
 #include "exec/page_cache.h"
 #include "exec/stored_index.h"
 #include "geometry/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_tree.h"
 #include "storage/page_store.h"
 
@@ -52,6 +55,16 @@ struct EngineOptions {
   // How hard the stored-index reader fights transient media faults
   // before a record's failure surfaces as the query's status.
   RetryPolicy retry;
+  // Observability (docs/OBSERVABILITY.md). With enable_metrics the engine
+  // and every component under it (cache, I/O pool, reader) report into a
+  // MetricsRegistry — the caller's via `metrics`, or one the engine owns
+  // when `metrics` is null. false runs the whole stack unmetered (the
+  // benchmark's overhead baseline).
+  bool enable_metrics = true;
+  obs::MetricsRegistry* metrics = nullptr;
+  // Span ring-buffer capacity of the per-query trace recorder; 0 disables
+  // tracing entirely.
+  size_t trace_capacity = 4096;
 };
 
 // One k-NN query admitted to the engine.
@@ -81,6 +94,8 @@ struct QueryOutcome {
   uint64_t io_faults = 0;
   uint64_t io_retries = 0;
   double latency_s = 0.0;
+  // Engine-unique id tying this outcome to its trace spans.
+  uint64_t query_id = 0;
 };
 
 // Historical name, kept for call sites that predate the fault counters.
@@ -115,6 +130,13 @@ class ParallelQueryEngine {
   const StoredIndexReader& reader() const { return *reader_; }
   int num_disks() const { return reader_->num_disks(); }
 
+  // The registry this engine (and its cache/pool/reader) reports into —
+  // the external one from EngineOptions::metrics or the engine-owned one.
+  // Null when the engine was created with enable_metrics = false.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  // Span recorder of per-query traces; null when trace_capacity was 0.
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+
  private:
   ParallelQueryEngine(const parallel::ParallelRStarTree& index,
                       std::unique_ptr<StoredIndexReader> reader,
@@ -122,16 +144,43 @@ class ParallelQueryEngine {
 
   // Fetches `ids` — cache first, then one DiskIoPool job per missed disk —
   // and stores pinned nodes into `slots` (aligned with `ids`). On error
-  // every successfully pinned slot is unpinned and cleared.
+  // every successfully pinned slot is unpinned and cleared. `span`, when
+  // non-null, receives this step's cache/io breakdown (trace recording).
   common::Status FetchBatch(const std::vector<rstar::PageId>& ids,
                             std::vector<const rstar::Node*>* slots,
-                            QueryOutcome* outcome);
+                            QueryOutcome* outcome, obs::TraceSpan* span);
+
+  QueryOutcome RunQueryImpl(const EngineQuery& query, uint64_t query_id);
 
   const parallel::ParallelRStarTree& index_;
   EngineOptions options_;
+
+  // Observability plumbing. The instruments live in metrics_ (owned or
+  // external); the pointers below are null when unmetered. Declared
+  // before the reader/cache/pool so the registry outlives them: an I/O
+  // worker still observes its service-time histogram after the job's
+  // completion rendezvous fires, so the pool must join its workers
+  // (its destructor) before the registry goes away. An external
+  // EngineOptions::metrics registry must outlive the engine for the
+  // same reason.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+
   std::unique_ptr<StoredIndexReader> reader_;
   std::unique_ptr<ShardedPageCache> cache_;
   std::unique_ptr<DiskIoPool> io_pool_;
+  std::atomic<uint64_t> next_query_id_{0};
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* steps = nullptr;
+    obs::Counter* page_requests = nullptr;
+    obs::Counter* pages_fetched = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Histogram* latency_seconds = nullptr;
+    obs::Histogram* batch_pages = nullptr;
+  } instr_;
 };
 
 }  // namespace sqp::exec

@@ -10,6 +10,15 @@
 #include "storage/page_format.h"
 
 namespace sqp::exec {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 bool IsRetryableReadError(const common::Status& s) {
   return s.code() == common::StatusCode::kUnavailable ||
@@ -44,6 +53,24 @@ common::Result<rstar::Node> StoredIndexReader::ReadNode(
   return std::move(nodes[0]);
 }
 
+void StoredIndexReader::EnableMetrics(obs::MetricsRegistry* registry) {
+  m_records_ = registry->GetCounter("sqp_reader_records_read_total");
+  m_faults_ = registry->GetCounter("sqp_reader_faults_total");
+  m_retries_ = registry->GetCounter("sqp_reader_retries_total");
+  m_failed_records_ = registry->GetCounter("sqp_reader_failed_records_total");
+  m_pages_by_disk_.resize(static_cast<size_t>(num_disks()));
+  for (int d = 0; d < num_disks(); ++d) {
+    m_pages_by_disk_[static_cast<size_t>(d)] = registry->GetCounter(
+        obs::WithLabel("sqp_reader_pages_read_total", "disk", d));
+  }
+  const std::vector<double>& buckets = obs::MetricsRegistry::LatencyBuckets();
+  m_read_seconds_ = registry->GetHistogram("sqp_reader_read_seconds", buckets);
+  m_decode_seconds_ =
+      registry->GetHistogram("sqp_reader_decode_seconds", buckets);
+  m_retry_seconds_ =
+      registry->GetHistogram("sqp_reader_retry_seconds", buckets);
+}
+
 ReaderFaultTotals StoredIndexReader::fault_totals() const {
   ReaderFaultTotals t;
   t.faults = total_faults_.load(std::memory_order_relaxed);
@@ -65,12 +92,15 @@ common::Result<rstar::Node> StoredIndexReader::ReadOneWithRetry(
     rstar::PageId id, const storage::PageLocation& loc, uint8_t* buf,
     IoFaultCounters* counters) const {
   const size_t len = static_cast<size_t>(loc.span) * layout_.page_size;
+  const double retry_start_s =
+      m_retry_seconds_ != nullptr ? NowSeconds() : 0.0;
   common::Status last;
   double backoff = retry_.initial_backoff_s;
   int attempts_made = 0;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
       total_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (m_retries_ != nullptr) m_retries_->Add(1);
       if (counters != nullptr) ++counters->retries;
       if (backoff > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
@@ -82,15 +112,25 @@ common::Result<rstar::Node> StoredIndexReader::ReadOneWithRetry(
     common::Status s = store_->ReadAt(loc.disk, loc.offset, buf, len);
     if (s.ok()) {
       auto node = DecodeRecord(id, loc, buf);
-      if (node.ok()) return node;
+      if (node.ok()) {
+        if (m_retry_seconds_ != nullptr) {
+          m_retry_seconds_->Observe(NowSeconds() - retry_start_s);
+        }
+        return node;
+      }
       s = node.status();
     }
     total_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (m_faults_ != nullptr) m_faults_->Add(1);
     if (counters != nullptr) ++counters->faults;
     last = s;
     if (!IsRetryableReadError(s)) break;  // permanent: retrying cannot help
   }
   total_failed_records_.fetch_add(1, std::memory_order_relaxed);
+  if (m_failed_records_ != nullptr) m_failed_records_->Add(1);
+  if (m_retry_seconds_ != nullptr) {
+    m_retry_seconds_->Observe(NowSeconds() - retry_start_s);
+  }
   return common::Status(
       last.code(), last.message() + " (gave up after " +
                        std::to_string(attempts_made) + " attempt(s))");
@@ -125,13 +165,19 @@ common::Status StoredIndexReader::ReadNodes(
     requests.push_back(r);
     pos += r.len;
   }
+  const double read_start_s =
+      m_read_seconds_ != nullptr ? NowSeconds() : 0.0;
   common::Status batch = store_->ReadPages(requests);
+  if (m_read_seconds_ != nullptr) {
+    m_read_seconds_->Observe(NowSeconds() - read_start_s);
+  }
   bool batch_bytes_valid = batch.ok();
   if (!batch.ok()) {
     // The batch API reports only its first error without naming the
     // failing request, so fall back to individual retried reads below.
     // A permanent error class fails the call right away.
     total_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (m_faults_ != nullptr) m_faults_->Add(1);
     if (counters != nullptr) ++counters->faults;
     if (!IsRetryableReadError(batch)) return batch;
   }
@@ -145,9 +191,15 @@ common::Status StoredIndexReader::ReadNodes(
 
     common::Result<rstar::Node> node = common::Status::Unavailable("");
     if (batch_bytes_valid) {
+      const double decode_start_s =
+          m_decode_seconds_ != nullptr ? NowSeconds() : 0.0;
       node = DecodeRecord(ids[i], locs[i], buf);
+      if (m_decode_seconds_ != nullptr) {
+        m_decode_seconds_->Observe(NowSeconds() - decode_start_s);
+      }
       if (!node.ok()) {
         total_faults_.fetch_add(1, std::memory_order_relaxed);
+        if (m_faults_ != nullptr) m_faults_->Add(1);
         if (counters != nullptr) ++counters->faults;
         if (!IsRetryableReadError(node.status())) {
           out->resize(first_out);
@@ -160,12 +212,19 @@ common::Status StoredIndexReader::ReadNodes(
       // is private to it, so siblings decoded from the batch stay valid).
       // The fallback's first attempt is itself a re-issued read.
       total_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (m_retries_ != nullptr) m_retries_->Add(1);
       if (counters != nullptr) ++counters->retries;
       node = ReadOneWithRetry(ids[i], locs[i], buf, counters);
       if (!node.ok()) {
         out->resize(first_out);
         return node.status();
       }
+    }
+    // Delivered: count the record once, under its disk, so the per-disk
+    // page totals sum to exactly what the engine fetched from the store.
+    if (m_records_ != nullptr) {
+      m_records_->Add(1);
+      m_pages_by_disk_[static_cast<size_t>(locs[i].disk)]->Add(locs[i].span);
     }
     out->push_back(std::move(*node));
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "rstar/node.h"
 #include "rstar/types.h"
 #include "storage/index_io.h"
@@ -101,6 +102,15 @@ class StoredIndexReader {
   // Aggregate fault activity since the reader was opened.
   ReaderFaultTotals fault_totals() const;
 
+  // Registers the reader's instruments on `registry` and reports into
+  // them from then on: sqp_reader_records_read_total, per-disk
+  // sqp_reader_pages_read_total{disk=d} (each counted once per record
+  // delivered, so their sum equals the pages the engine fetched from the
+  // store), fault/retry/failed-record counters mirroring fault_totals(),
+  // and read/decode/retry latency histograms (docs/OBSERVABILITY.md).
+  // Call once, before the reader is shared across threads.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
  private:
   StoredIndexReader(const storage::PageStore* store,
                     storage::IndexLayout layout, RetryPolicy retry)
@@ -123,6 +133,16 @@ class StoredIndexReader {
   mutable std::atomic<uint64_t> total_faults_{0};
   mutable std::atomic<uint64_t> total_retries_{0};
   mutable std::atomic<uint64_t> total_failed_records_{0};
+
+  // Registry instruments (EnableMetrics); all null when unmetered.
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_faults_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_failed_records_ = nullptr;
+  std::vector<obs::Counter*> m_pages_by_disk_;
+  obs::Histogram* m_read_seconds_ = nullptr;
+  obs::Histogram* m_decode_seconds_ = nullptr;
+  obs::Histogram* m_retry_seconds_ = nullptr;
 };
 
 }  // namespace sqp::exec

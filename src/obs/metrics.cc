@@ -1,0 +1,342 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace sqp::obs {
+namespace {
+
+// Round-robin stripe assignment: each thread gets a slot on first use and
+// keeps it for life, so a counter's hot path is one relaxed fetch_add on a
+// line this thread (almost always) owns.
+std::atomic<uint32_t> g_next_stripe{0};
+
+uint32_t ThisThreadStripe() {
+  static thread_local const uint32_t stripe =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) &
+      (Counter::kStripes - 1);
+  return stripe;
+}
+
+// fetch_add for atomic<double> via CAS (portable across libstdc++
+// versions that lack the C++20 floating-point overload).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      q += '\\';
+      q += c;
+    } else if (c == '\n') {
+      q += "\\n";
+    } else {
+      q += c;
+    }
+  }
+  q += '"';
+  return q;
+}
+
+// Splits `name{label="x"}` into the metric family name and the inner
+// label list (empty when unlabelled).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Keep what is between the braces.
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+// `base_suffix{labels}` with the labels re-attached (Prometheus histogram
+// series share the family's labels).
+std::string WithSuffix(const std::string& base, const std::string& labels,
+                       const char* suffix) {
+  std::string out = base + suffix;
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
+// Bucket line name: labels plus the `le` label.
+std::string BucketName(const std::string& base, const std::string& labels,
+                       const std::string& le) {
+  std::string out = base + "_bucket{";
+  if (!labels.empty()) out += labels + ",";
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t n) {
+  stripes_[ThisThreadStripe()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  SQP_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SQP_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; past the last bound it is
+  // the overflow bucket.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  SQP_CHECK(q >= 0.0 && q <= 1.0);
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c > 0.0 && cum + c >= rank) {
+      if (i == bounds.size()) return bounds.back();  // overflow: clamp
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      return lower + (upper - lower) * (rank - cum) / c;
+    }
+    cum += c;
+  }
+  return bounds.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new Histogram(bounds));
+    slot->name_ = name;
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back(hist->Snapshot());
+  }
+  return snap;
+}
+
+const std::vector<double>& MetricsRegistry::LatencyBuckets() {
+  static const std::vector<double> kBuckets = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0};
+  return kBuckets;
+}
+
+std::vector<double> MetricsRegistry::PowerOfTwoBuckets(int n) {
+  SQP_CHECK(n >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(n));
+  double b = 1.0;
+  for (int i = 0; i < n; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterSumByPrefix(
+    const std::string& prefix) const {
+  uint64_t total = 0;
+  for (const auto& [n, v] : counters) {
+    if (n.rfind(prefix, 0) == 0) total += v;
+  }
+  return total;
+}
+
+int64_t MetricsSnapshot::GaugeSumByPrefix(const std::string& prefix) const {
+  int64_t total = 0;
+  for (const auto& [n, v] : gauges) {
+    if (n.rfind(prefix, 0) == 0) total += v;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::string base, labels, last_type_base;
+  auto type_line = [&](const std::string& family, const char* kind) {
+    // One # TYPE per family; labelled variants of one base share it.
+    if (family == last_type_base) return;
+    last_type_base = family;
+    out += "# TYPE " + family + " " + kind + "\n";
+  };
+  for (const auto& [name, value] : counters) {
+    SplitLabels(name, &base, &labels);
+    type_line(base, "counter");
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  last_type_base.clear();
+  for (const auto& [name, value] : gauges) {
+    SplitLabels(name, &base, &labels);
+    type_line(base, "gauge");
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  last_type_base.clear();
+  for (const HistogramSnapshot& h : histograms) {
+    SplitLabels(h.name, &base, &labels);
+    type_line(base, "histogram");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      out += BucketName(base, labels, FmtDouble(h.bounds[i])) + " " +
+             std::to_string(cum) + "\n";
+    }
+    cum += h.counts.back();
+    out += BucketName(base, labels, "+Inf") + " " + std::to_string(cum) +
+           "\n";
+    out += WithSuffix(base, labels, "_sum") + " " + FmtDouble(h.sum) + "\n";
+    out += WithSuffix(base, labels, "_count") + " " + std::to_string(cum) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(name) + ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(name) + ":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(h.name) + ":{\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += FmtDouble(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"sum\":" + FmtDouble(h.sum) +
+           ",\"count\":" + std::to_string(h.TotalCount()) +
+           ",\"p50\":" + FmtDouble(h.Quantile(0.50)) +
+           ",\"p95\":" + FmtDouble(h.Quantile(0.95)) +
+           ",\"p99\":" + FmtDouble(h.Quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string WithLabel(const std::string& base, const std::string& label,
+                      int value) {
+  return base + "{" + label + "=\"" + std::to_string(value) + "\"}";
+}
+
+}  // namespace sqp::obs

@@ -1,0 +1,190 @@
+// Low-overhead runtime metrics for the real execution stack.
+//
+// The paper's whole argument is quantitative — page counts, disk
+// utilization, response-time distributions — and the wall-clock engine of
+// src/exec/ needs to report the same quantities at runtime. This registry
+// holds three instrument kinds, all safe to write from many threads with
+// nothing but relaxed atomics on the hot path:
+//
+//   * Counter   — named monotonic counter, striped over cache-line-padded
+//                 std::atomic slots so concurrent writers do not bounce
+//                 one cache line;
+//   * Gauge     — a signed level (queue depth, in-flight queries);
+//   * Histogram — fixed upper-bound buckets with an atomic count per
+//                 bucket plus an atomic sum; p50/p95/p99 are estimated
+//                 from the bucket counts by linear interpolation.
+//
+// Snapshot() reads every instrument without stopping writers (values are
+// per-instrument consistent, not cross-instrument atomic) and renders as
+// a Prometheus-style text dump or a JSON document. Instrument names may
+// carry one label in Prometheus syntax — `sqp_io_jobs_total{disk="3"}` —
+// produced with WithLabel(); the exposition formats keep it intact.
+//
+// Metric names, bucket layouts and the exposition grammar are documented
+// in docs/OBSERVABILITY.md.
+
+#ifndef SQP_OBS_METRICS_H_
+#define SQP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqp::obs {
+
+// Monotonic counter. Add() touches one of kStripes cache-line-padded
+// atomic slots picked by a thread-local stripe id, so concurrent writers
+// on different cores rarely share a line; Value() sums the stripes.
+class Counter {
+ public:
+  static constexpr size_t kStripes = 8;  // power of two
+
+  void Add(uint64_t n = 1);
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+// A signed level: queue depth, in-flight queries, resident pages.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<int64_t> value_{0};
+};
+
+// One histogram's state read at a point in time (see Histogram). Also the
+// unit the exposition formats consume.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;    // ascending finite upper bounds
+  std::vector<uint64_t> counts;  // bounds.size() + 1; last = overflow
+  double sum = 0.0;
+
+  uint64_t TotalCount() const;
+
+  // Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  // bucket holding rank q * TotalCount(). The first bucket's lower edge is
+  // 0 (instruments here observe non-negative quantities); a rank landing
+  // in the overflow bucket clamps to the largest finite bound. With no
+  // observations the estimate is 0. This is the exact formula the unit
+  // tests assert against (tests/obs_test.cc).
+  double Quantile(double q) const;
+};
+
+// Fixed-bucket histogram. Observe() is a binary search plus two relaxed
+// atomic adds; no locks, no allocation.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+// Everything the registry held at one point in time, ordered by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Value of the named counter, or 0 when absent (absent and zero are
+  // indistinguishable on purpose: an unregistered instrument never fired).
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  // Sum of every counter whose name begins with `prefix` (e.g. all
+  // per-disk variants of one base name).
+  uint64_t CounterSumByPrefix(const std::string& prefix) const;
+  int64_t GaugeSumByPrefix(const std::string& prefix) const;
+
+  // Prometheus text exposition format: `# TYPE` per metric family, one
+  // sample line per value, histograms as cumulative `_bucket{le=...}`
+  // series plus `_sum` and `_count`.
+  std::string ToPrometheus() const;
+
+  // One JSON document: {"counters":{...},"gauges":{...},"histograms":
+  // {name:{bounds,counts,sum,count,p50,p95,p99}}}.
+  std::string ToJson() const;
+};
+
+// Owner and directory of the instruments. Get* registers on first use and
+// returns the existing instrument thereafter (stable addresses for the
+// registry's lifetime), so independent components can share one registry
+// without coordination. Registration takes a lock; the returned pointers
+// are lock-free to write.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` must be ascending and non-empty; an implicit overflow bucket
+  // is appended. A later Get with the same name returns the existing
+  // histogram and ignores the bounds argument.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Canonical latency buckets: a 1-2-5 series from 1 µs to 10 s.
+  static const std::vector<double>& LatencyBuckets();
+  // Power-of-two sizes 1, 2, 4, ... 2^(n-1).
+  static std::vector<double> PowerOfTwoBuckets(int n);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// `base{label="value"}` — the one-label Prometheus name used by the
+// per-disk instruments.
+std::string WithLabel(const std::string& base, const std::string& label,
+                      int value);
+
+}  // namespace sqp::obs
+
+#endif  // SQP_OBS_METRICS_H_

@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sqp::obs {
+namespace {
+
+double SteadyNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity), epoch_s_(SteadyNow()) {
+  SQP_CHECK(capacity >= 1);
+  ring_.reserve(capacity);
+}
+
+double TraceRecorder::NowSeconds() const { return SteadyNow() - epoch_s_; }
+
+void TraceRecorder::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);  // overwrite the oldest
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: slots 0..size-1 are already ordered
+  } else {
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+std::string TraceRecorder::ToJson(size_t max_spans) const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  const size_t first =
+      max_spans > 0 && spans.size() > max_spans ? spans.size() - max_spans
+                                                : 0;
+  std::string out = "[";
+  for (size_t i = first; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i > first) out += ',';
+    out += "{\"query_id\":" + std::to_string(s.query_id) +
+           ",\"phase\":\"" + s.phase + "\",\"algo\":\"" + s.algo +
+           "\",\"step\":" + std::to_string(s.step) +
+           ",\"batch_requests\":" + std::to_string(s.batch_requests) +
+           ",\"pages\":" + std::to_string(s.pages) +
+           ",\"cache_hits\":" + std::to_string(s.cache_hits) +
+           ",\"cache_misses\":" + std::to_string(s.cache_misses) +
+           ",\"io_faults\":" + std::to_string(s.io_faults) +
+           ",\"io_retries\":" + std::to_string(s.io_retries) +
+           ",\"pages_per_disk\":[";
+    for (size_t d = 0; d < s.pages_per_disk.size(); ++d) {
+      if (d > 0) out += ',';
+      out += std::to_string(s.pages_per_disk[d]);
+    }
+    out += "],\"start_s\":" + FmtDouble(s.start_s) +
+           ",\"fetch_s\":" + FmtDouble(s.fetch_s) +
+           ",\"process_s\":" + FmtDouble(s.process_s) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace sqp::obs

@@ -26,6 +26,7 @@
 #include "exec/stored_index.h"
 #include "storage/index_io.h"
 #include "storage/page_store.h"
+#include "tests/test_seeds.h"
 #include "workload/dataset.h"
 #include "workload/index_builder.h"
 
@@ -449,7 +450,8 @@ TEST(ParallelEngineTest, BitIdenticalToSequentialAcrossSeeds) {
       DeclusterPolicy::kProximityIndex, DeclusterPolicy::kRoundRobin,
       DeclusterPolicy::kRandom, DeclusterPolicy::kDataBalance,
       DeclusterPolicy::kAreaBalance};
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
+  for (uint64_t seed = 1; seed <= test_seeds::kPropertySweepSeeds;
+       ++seed) {
     const DeclusterPolicy policy = kPolicies[seed % 5];
     const bool mirrored = seed % 3 == 0;
     const int disks = 3 + static_cast<int>(seed % 6);

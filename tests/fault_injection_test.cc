@@ -27,6 +27,7 @@
 #include "storage/index_io.h"
 #include "storage/page_format.h"
 #include "storage/page_store.h"
+#include "tests/test_seeds.h"
 #include "workload/dataset.h"
 #include "workload/index_builder.h"
 
@@ -485,13 +486,14 @@ TEST(EngineFaultTest, TransientFaultsRetriedBitIdenticalAcrossSweep) {
       DeclusterPolicy::kRandom, DeclusterPolicy::kDataBalance,
       DeclusterPolicy::kAreaBalance};
   uint64_t total_retries = 0;
-  for (uint64_t seed = 1; seed <= 6; ++seed) {
+  for (uint64_t seed = 1; seed <= test_seeds::kFaultSweepSeeds; ++seed) {
     const DeclusterPolicy policy = kPolicies[seed % 5];
     const int disks = 3 + static_cast<int>(seed % 4);
     auto index = BuildSmallIndex(seed, disks, policy, seed % 2 == 0);
     storage::MemPageStore store(disks);
     ASSERT_TRUE(storage::SaveIndex(*index, &store).ok());
-    FaultInjectingPageStore faulty(&store, seed * 101);
+    FaultInjectingPageStore faulty(&store,
+                                   test_seeds::FaultInjectorSeed(seed));
 
     exec::EngineOptions options;
     // Serial I/O: every read happens on the one query thread, so the
@@ -546,7 +548,8 @@ TEST(EngineFaultTest, PermanentFaultFailsOnlyAffectedQueriesThenRecovers) {
                                            DeclusterPolicy::kAreaBalance};
   int algo_index = 0;
   for (AlgorithmKind kind : kAllAlgorithms) {
-    const uint64_t seed = 400 + static_cast<uint64_t>(algo_index);
+    const uint64_t seed =
+        test_seeds::kPermanentFaultSeedBase + static_cast<uint64_t>(algo_index);
     const DeclusterPolicy policy = kPolicies[algo_index % 3];
     ++algo_index;
     auto index = BuildSmallIndex(seed, 4, policy, /*mirrored=*/false);

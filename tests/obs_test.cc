@@ -1,0 +1,359 @@
+// Unit tests for the observability layer (src/obs/): counters, gauges,
+// histogram bucket math and quantile estimation against hand-computed
+// expectations, snapshot-while-writing consistency, multi-writer
+// correctness (exercised under TSan in CI), the trace ring buffer, and
+// the Prometheus/JSON exposition formats.
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sqp::obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add(3);
+  c->Increment();
+  c->Add();  // default 1
+  EXPECT_EQ(c->Value(), 5u);
+}
+
+TEST(CounterTest, RegistryReturnsSameInstrumentForSameName) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("shared");
+  Counter* b = reg.GetCounter("shared");
+  EXPECT_EQ(a, b);
+  a->Add(2);
+  EXPECT_EQ(b->Value(), 2u);
+  EXPECT_NE(reg.GetCounter("other"), a);
+}
+
+// Striped counters must not lose updates across many writer threads.
+// Under TSan this is also the data-race check for the striping scheme.
+TEST(CounterTest, MultiWriterExactTotal) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Add(1);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("depth");
+  g->Set(10);
+  g->Add(-3);
+  g->Add(5);
+  EXPECT_EQ(g->Value(), 12);
+  g->Set(-4);
+  EXPECT_EQ(g->Value(), -4);
+}
+
+// Bucket selection is le-inclusive: an observation equal to a bound lands
+// in that bound's bucket; anything past the last bound is overflow.
+TEST(HistogramTest, BucketMath) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h", {1.0, 2.0, 5.0, 10.0});
+  h->Observe(0.5);   // le=1
+  h->Observe(1.0);   // le=1 (inclusive)
+  h->Observe(1.5);   // le=2
+  h->Observe(2.0);   // le=2 (inclusive)
+  h->Observe(4.99);  // le=5
+  h->Observe(10.0);  // le=10 (inclusive)
+  h->Observe(10.5);  // overflow
+  h->Observe(1e9);   // overflow
+
+  const HistogramSnapshot s = h->Snapshot();
+  ASSERT_EQ(s.counts.size(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.counts[4], 2u);
+  EXPECT_EQ(s.TotalCount(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.99 + 10.0 + 10.5 + 1e9);
+}
+
+// The documented estimation formula, on known inputs with hand-computed
+// expectations: rank = q * N; inside the bucket holding the rank,
+// interpolate linearly from the bucket's lower edge (0 for the first).
+TEST(HistogramTest, QuantileExactKnownInputs) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("q", {1.0, 2.0, 4.0, 8.0});
+  // counts = [50, 30, 15, 5, 0] -> N = 100.
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+  for (int i = 0; i < 30; ++i) h->Observe(1.5);
+  for (int i = 0; i < 15; ++i) h->Observe(3.0);
+  for (int i = 0; i < 5; ++i) h->Observe(6.0);
+  const HistogramSnapshot s = h->Snapshot();
+
+  // p50: rank 50 lands at the end of bucket 0: 0 + (1-0) * 50/50 = 1.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.50), 1.0);
+  // p95: rank 95, bucket 2 (cum 80, count 15): 2 + (4-2) * 15/15 = 4.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.95), 4.0);
+  // p99: rank 99, bucket 3 (cum 95, count 5): 4 + (8-4) * 4/5 = 7.2.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 7.2);
+  // p0 with rank 0 interpolates to the first bucket's lower edge.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  // p100: rank 100 is the top of the last non-empty bucket.
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileOverflowClampsToLargestBound) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("o", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h->Observe(100.0);  // all overflow
+  const HistogramSnapshot s = h->Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry reg;
+  const HistogramSnapshot s = reg.GetHistogram("e", {1.0})->Snapshot();
+  EXPECT_EQ(s.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, CanonicalBucketLayouts) {
+  const std::vector<double>& lat = MetricsRegistry::LatencyBuckets();
+  ASSERT_FALSE(lat.empty());
+  for (size_t i = 1; i < lat.size(); ++i) EXPECT_LT(lat[i - 1], lat[i]);
+  EXPECT_DOUBLE_EQ(lat.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(lat.back(), 10.0);
+
+  const std::vector<double> p2 = MetricsRegistry::PowerOfTwoBuckets(8);
+  ASSERT_EQ(p2.size(), 8u);
+  EXPECT_DOUBLE_EQ(p2.front(), 1.0);
+  EXPECT_DOUBLE_EQ(p2.back(), 128.0);
+}
+
+// Snapshots taken while writers are mid-flight must be internally sane:
+// monotone counter values across successive snapshots, histogram totals
+// never exceeding what was written so far, never any torn values. Run
+// under TSan in CI this doubles as the registry's race check.
+TEST(MetricsRegistryTest, SnapshotWhileWritingIsConsistent) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("writes");
+  Histogram* h = reg.GetHistogram("lat", {1.0, 2.0, 4.0});
+  Gauge* g = reg.GetGauge("level");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 30000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c->Add(1);
+        h->Observe(static_cast<double>((t + i) % 5));
+        g->Add(i % 2 == 0 ? 1 : -1);
+      }
+    });
+  }
+
+  uint64_t last_counter = 0, last_hist = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    const MetricsSnapshot snap = reg.Snapshot();
+    const uint64_t now_counter = snap.CounterValue("writes");
+    EXPECT_GE(now_counter, last_counter);
+    EXPECT_LE(now_counter, kThreads * kPerThread);
+    last_counter = now_counter;
+    const HistogramSnapshot* hs = snap.FindHistogram("lat");
+    ASSERT_NE(hs, nullptr);
+    const uint64_t now_hist = hs->TotalCount();
+    EXPECT_GE(now_hist, last_hist);
+    EXPECT_LE(now_hist, kThreads * kPerThread);
+    last_hist = now_hist;
+    if (now_counter == kThreads * kPerThread) {
+      done.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (std::thread& t : writers) t.join();
+
+  const MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.CounterValue("writes"), kThreads * kPerThread);
+  EXPECT_EQ(final_snap.FindHistogram("lat")->TotalCount(),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsSnapshotTest, LookupsAndPrefixSums) {
+  MetricsRegistry reg;
+  reg.GetCounter(WithLabel("pages", "disk", 0))->Add(3);
+  reg.GetCounter(WithLabel("pages", "disk", 1))->Add(4);
+  reg.GetCounter("other")->Add(100);
+  reg.GetGauge(WithLabel("depth", "disk", 0))->Set(2);
+  reg.GetGauge(WithLabel("depth", "disk", 1))->Set(5);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("pages{disk=\"1\"}"), 4u);
+  EXPECT_EQ(snap.CounterValue("absent"), 0u);
+  EXPECT_EQ(snap.CounterSumByPrefix("pages"), 7u);
+  EXPECT_EQ(snap.GaugeSumByPrefix("depth"), 7);
+  EXPECT_EQ(snap.FindHistogram("absent"), nullptr);
+}
+
+// The Prometheus dump: one # TYPE line per family (shared by labelled
+// variants), cumulative le-buckets ending at +Inf, _sum and _count.
+TEST(MetricsSnapshotTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter(WithLabel("sqp_io_jobs_total", "disk", 0))->Add(2);
+  reg.GetCounter(WithLabel("sqp_io_jobs_total", "disk", 1))->Add(3);
+  Histogram* h = reg.GetHistogram("sqp_lat_seconds", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+
+  const std::string text = reg.Snapshot().ToPrometheus();
+  // One TYPE line for the two labelled counter variants.
+  size_t type_count = 0, pos = 0;
+  while ((pos = text.find("# TYPE sqp_io_jobs_total counter", pos)) !=
+         std::string::npos) {
+    ++type_count;
+    ++pos;
+  }
+  EXPECT_EQ(type_count, 1u);
+  EXPECT_NE(text.find("sqp_io_jobs_total{disk=\"0\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sqp_io_jobs_total{disk=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sqp_lat_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative: 1, 2, 3(+Inf); count equals the +Inf bucket.
+  EXPECT_NE(text.find("sqp_lat_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sqp_lat_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sqp_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sqp_lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("sqp_lat_seconds_sum 11\n"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonCarriesPercentiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+  for (int i = 0; i < 50; ++i) h->Observe(1.5);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(WithLabelTest, Format) {
+  EXPECT_EQ(WithLabel("sqp_io_jobs_total", "disk", 7),
+            "sqp_io_jobs_total{disk=\"7\"}");
+}
+
+TraceSpan MakeSpan(uint64_t query_id, uint32_t step) {
+  TraceSpan s;
+  s.query_id = query_id;
+  s.phase = "step";
+  s.algo = "crss";
+  s.step = step;
+  s.batch_requests = 4;
+  s.pages = 5;
+  s.cache_hits = 1;
+  s.cache_misses = 3;
+  s.pages_per_disk = {2, 0, 3};
+  return s;
+}
+
+TEST(TraceRecorderTest, RecordsInOrderBelowCapacity) {
+  TraceRecorder rec(8);
+  for (uint64_t i = 0; i < 5; ++i) rec.Record(MakeSpan(i, 0));
+  const std::vector<TraceSpan> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(spans[i].query_id, i);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+// Overflow overwrites the OLDEST spans; the survivors stay contiguous,
+// ordered, and uncorrupted.
+TEST(TraceRecorderTest, OverflowDropsOldestWithoutCorruption) {
+  constexpr size_t kCapacity = 4;
+  TraceRecorder rec(kCapacity);
+  constexpr uint64_t kTotal = 11;
+  for (uint64_t i = 0; i < kTotal; ++i) rec.Record(MakeSpan(i, 0));
+
+  EXPECT_EQ(rec.total_recorded(), kTotal);
+  EXPECT_EQ(rec.dropped(), kTotal - kCapacity);
+  const std::vector<TraceSpan> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), kCapacity);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const TraceSpan& s = spans[i];
+    // The survivors are exactly the newest kCapacity, oldest first.
+    EXPECT_EQ(s.query_id, kTotal - kCapacity + i);
+    // Payload intact (no torn/overwritten fields).
+    EXPECT_STREQ(s.phase, "step");
+    EXPECT_STREQ(s.algo, "crss");
+    EXPECT_EQ(s.batch_requests, 4u);
+    EXPECT_EQ(s.pages, 5u);
+    ASSERT_EQ(s.pages_per_disk.size(), 3u);
+    EXPECT_EQ(s.pages_per_disk[0] + s.pages_per_disk[2], 5u);
+  }
+}
+
+TEST(TraceRecorderTest, ConcurrentWritersAndSnapshots) {
+  TraceRecorder rec(64);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        rec.Record(MakeSpan(rec.NextQueryId(), static_cast<uint32_t>(i)));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<TraceSpan> spans = rec.Snapshot();
+    EXPECT_LE(spans.size(), 64u);
+    for (const TraceSpan& s : spans) EXPECT_STREQ(s.phase, "step");
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(rec.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(rec.dropped(), kThreads * kPerThread - 64);
+  EXPECT_EQ(rec.Snapshot().size(), 64u);
+}
+
+TEST(TraceRecorderTest, ToJsonIsWellFormedAndBounded) {
+  TraceRecorder rec(8);
+  for (uint64_t i = 0; i < 6; ++i) rec.Record(MakeSpan(i, 0));
+  const std::string all = rec.ToJson();
+  EXPECT_EQ(all.front(), '[');
+  EXPECT_EQ(all.back(), ']');
+  EXPECT_NE(all.find("\"query_id\":0"), std::string::npos);
+  EXPECT_NE(all.find("\"pages_per_disk\":[2,0,3]"), std::string::npos);
+  // max_spans keeps only the newest.
+  const std::string tail = rec.ToJson(2);
+  EXPECT_EQ(tail.find("\"query_id\":3"), std::string::npos);
+  EXPECT_NE(tail.find("\"query_id\":4"), std::string::npos);
+  EXPECT_NE(tail.find("\"query_id\":5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqp::obs

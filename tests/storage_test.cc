@@ -18,6 +18,7 @@
 #include "storage/node_codec.h"
 #include "storage/page_format.h"
 #include "storage/page_store.h"
+#include "tests/test_seeds.h"
 #include "workload/dataset.h"
 #include "workload/index_builder.h"
 #include "workload/workload.h"
@@ -334,7 +335,7 @@ TEST(IndexIoTest, MirroredArrayKeepsReplicaPlacement) {
 // Property test: random trees across seeds and shapes round-trip to
 // k-NN-identical indexes for CRSS and BBSS.
 TEST(IndexIoTest, RoundTripPropertyAcrossSeeds) {
-  for (const uint64_t seed : {1u, 7u, 23u}) {
+  for (const uint64_t seed : test_seeds::kStorageRoundTripSeeds) {
     const size_t n = 300 + 150 * seed;
     const workload::Dataset data =
         workload::MakeClustered(n, 2, 4 + seed % 3, 0.15, seed);

@@ -12,9 +12,12 @@
 //   SQP_STRESS_QUERIES=20000 SQP_STRESS_THREADS=32 ctest -L stress
 // (see docs/FAULTS.md).
 
+#include <atomic>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,10 +28,13 @@
 #include "core/sequential_executor.h"
 #include "exec/parallel_engine.h"
 #include "exec/stored_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_tree.h"
 #include "storage/fault_injection.h"
 #include "storage/index_io.h"
 #include "storage/page_store.h"
+#include "tests/test_seeds.h"
 #include "workload/dataset.h"
 #include "workload/index_builder.h"
 
@@ -170,8 +176,9 @@ TEST(StressTest, MixedFaultsUnderConcurrency) {
       static_cast<size_t>(EnvInt("SQP_STRESS_QUERIES", 600));
   const int threads = EnvInt("SQP_STRESS_THREADS", 8);
 
-  StressRig rig = MakeRig(2024, 8);
-  FaultInjectingPageStore faulty(&rig.store, 4242);
+  StressRig rig = MakeRig(test_seeds::kStressMixedFaultsSeed, 8);
+  FaultInjectingPageStore faulty(&rig.store,
+                                 test_seeds::kStressMixedFaultsInjectorSeed);
 
   exec::EngineOptions options;
   options.query_threads = threads;
@@ -207,8 +214,9 @@ TEST(StressTest, CacheThrashWithHotterFaults) {
       static_cast<size_t>(EnvInt("SQP_STRESS_QUERIES", 600) / 2);
   const int threads = EnvInt("SQP_STRESS_THREADS", 8);
 
-  StressRig rig = MakeRig(2025, 6);
-  FaultInjectingPageStore faulty(&rig.store, 777);
+  StressRig rig = MakeRig(test_seeds::kStressCacheThrashSeed, 6);
+  FaultInjectingPageStore faulty(&rig.store,
+                                 test_seeds::kStressCacheThrashInjectorSeed);
 
   exec::EngineOptions options;
   options.query_threads = threads;
@@ -236,6 +244,117 @@ TEST(StressTest, CacheThrashWithHotterFaults) {
   faulty.Reset();
   RunStressPass(rig, engine->get(), rig.pool.size() * 2,
                 /*faults_armed=*/false, nullptr);
+}
+
+// Counters sampled mid-soak must never go backwards: a sampler thread
+// snapshots the registry continuously while the query threads hammer the
+// engine under faults, and every counter and histogram total is compared
+// against the previous snapshot. This is the snapshot-without-stopping-
+// writers contract exercised by the real exec stack (and, under TSan,
+// its race check).
+TEST(StressTest, MetricsMonotonicUnderSoak) {
+  const size_t n_queries =
+      static_cast<size_t>(EnvInt("SQP_STRESS_QUERIES", 600));
+  const int threads = EnvInt("SQP_STRESS_THREADS", 8);
+
+  StressRig rig = MakeRig(test_seeds::kStressMixedFaultsSeed, 8);
+  FaultInjectingPageStore faulty(&rig.store,
+                                 test_seeds::kStressMixedFaultsInjectorSeed);
+
+  exec::EngineOptions options;
+  options.query_threads = threads;
+  options.cache_pages = 256;
+  options.retry.initial_backoff_s = 1e-6;
+  options.retry.max_backoff_s = 1e-5;
+  auto engine =
+      exec::ParallelQueryEngine::Create(*rig.index, &faulty, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  obs::MetricsRegistry* reg = (*engine)->metrics();
+  ASSERT_NE(reg, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> samples{0};
+  std::atomic<bool> regressed{false};
+  std::thread sampler([&] {
+    std::map<std::string, uint64_t> last_counters;
+    std::map<std::string, uint64_t> last_hist_counts;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = reg->Snapshot();
+      for (const auto& [name, value] : snap.counters) {
+        uint64_t& prev = last_counters[name];
+        if (value < prev) regressed.store(true, std::memory_order_relaxed);
+        prev = value;
+      }
+      for (const obs::HistogramSnapshot& h : snap.histograms) {
+        uint64_t& prev = last_hist_counts[h.name];
+        const uint64_t now = h.TotalCount();
+        if (now < prev) regressed.store(true, std::memory_order_relaxed);
+        prev = now;
+      }
+      samples.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  ArmMixedFaults(&faulty);
+  size_t failed = 0;
+  RunStressPass(rig, engine->get(), n_queries, /*faults_armed=*/true,
+                &failed);
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+
+  EXPECT_GT(samples.load(), 0u) << "the sampler never ran";
+  EXPECT_FALSE(regressed.load()) << "a counter went backwards mid-soak";
+
+  // At rest the cross-layer identity holds exactly.
+  const obs::MetricsSnapshot snap = reg->Snapshot();
+  EXPECT_EQ(snap.CounterValue("sqp_cache_hits_total") +
+                snap.CounterValue("sqp_cache_misses_total"),
+            snap.CounterValue("sqp_engine_page_requests_total"));
+  EXPECT_EQ(snap.CounterValue("sqp_engine_queries_total"), n_queries);
+  EXPECT_EQ(snap.GaugeValue("sqp_engine_inflight_queries"), 0);
+}
+
+// A trace ring far smaller than the span volume: overflow must drop the
+// OLDEST spans and nothing else — capacity spans survive, each one
+// internally consistent, while concurrent query threads keep recording.
+TEST(StressTest, TraceRingOverflowUnderSoak) {
+  const size_t n_queries =
+      static_cast<size_t>(EnvInt("SQP_STRESS_QUERIES", 600) / 2);
+  const int threads = EnvInt("SQP_STRESS_THREADS", 8);
+  constexpr size_t kTinyRing = 32;
+
+  StressRig rig = MakeRig(test_seeds::kStressCacheThrashSeed, 6);
+  exec::EngineOptions options;
+  options.query_threads = threads;
+  options.cache_pages = 256;
+  options.trace_capacity = kTinyRing;
+  auto engine =
+      exec::ParallelQueryEngine::Create(*rig.index, &rig.store, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  size_t failed = 0;
+  RunStressPass(rig, engine->get(), n_queries, /*faults_armed=*/false,
+                &failed);
+
+  const obs::TraceRecorder* trace = (*engine)->trace();
+  ASSERT_NE(trace, nullptr);
+  // Every query records at least its closing span, so the ring wrapped
+  // many times over.
+  EXPECT_GE(trace->total_recorded(), n_queries);
+  EXPECT_EQ(trace->dropped(), trace->total_recorded() - kTinyRing);
+
+  const std::vector<obs::TraceSpan> spans = trace->Snapshot();
+  ASSERT_EQ(spans.size(), kTinyRing);
+  for (const obs::TraceSpan& span : spans) {
+    const std::string phase = span.phase;
+    ASSERT_TRUE(phase == "step" || phase == "query") << phase;
+    if (phase == "step") {
+      EXPECT_EQ(span.cache_hits + span.cache_misses, span.batch_requests);
+    } else {
+      EXPECT_GT(span.step, 0u) << "a finished query ran zero steps";
+    }
+    EXPECT_GE(span.start_s, 0.0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+// Shared seed constants for the deterministic test sweeps.
+//
+// Several suites sweep the same synthetic index/workload space and must
+// stay in step: the 20-seed bit-identity property sweep of exec_test.cc
+// and the fault-injection sweeps of fault_injection_test.cc deliberately
+// cover a prefix of the same seed range, so a failure found by one can be
+// replayed under the other by seed number alone. Hoisting the constants
+// here keeps that coupling explicit — change a sweep's size or base in
+// one place and every suite follows.
+//
+// Convention: a "seed" fully determines a test case (dataset, tree shape,
+// decluster policy, query points), so any failure message that prints the
+// seed is a complete reproduction recipe.
+
+#ifndef SQP_TESTS_TEST_SEEDS_H_
+#define SQP_TESTS_TEST_SEEDS_H_
+
+#include <cstdint>
+
+namespace sqp::test_seeds {
+
+// The bit-identity property sweep (exec_test.cc): seeds
+// 1..kPropertySweepSeeds inclusive. Each seed derives the decluster
+// policy, disk count, mirroring and cache size from its value.
+inline constexpr uint64_t kPropertySweepSeeds = 20;
+
+// The transient-fault sweep (fault_injection_test.cc) runs the first
+// kFaultSweepSeeds seeds of the SAME range — a fault-sweep failure at
+// seed s replays fault-free as property-sweep seed s.
+inline constexpr uint64_t kFaultSweepSeeds = 6;
+static_assert(kFaultSweepSeeds <= kPropertySweepSeeds,
+              "the fault sweep must stay a prefix of the property sweep");
+
+// Fault-injector RNG seed for sweep seed s (decorrelates the injector's
+// draws from the dataset RNG, which consumes the raw seed).
+inline constexpr uint64_t FaultInjectorSeed(uint64_t sweep_seed) {
+  return sweep_seed * 101;
+}
+
+// Per-algorithm permanent-fault scenarios (fault_injection_test.cc):
+// seed kPermanentFaultSeedBase + algorithm index. Outside the sweep range
+// above on purpose — these indexes are built per algorithm, not swept.
+inline constexpr uint64_t kPermanentFaultSeedBase = 400;
+
+// Storage round-trip property sweep (storage_test.cc).
+inline constexpr uint64_t kStorageRoundTripSeeds[] = {1, 7, 23};
+
+// Stress-rig dataset seeds (stress_test.cc): one per soak scenario, and
+// a matching injector seed each.
+inline constexpr uint64_t kStressMixedFaultsSeed = 2024;
+inline constexpr uint64_t kStressMixedFaultsInjectorSeed = 4242;
+inline constexpr uint64_t kStressCacheThrashSeed = 2025;
+inline constexpr uint64_t kStressCacheThrashInjectorSeed = 777;
+
+}  // namespace sqp::test_seeds
+
+#endif  // SQP_TESTS_TEST_SEEDS_H_

@@ -42,6 +42,13 @@
 //         EIO) at the given per-read probability. Failed queries are
 //         reported individually — the run completes either way — and the
 //         summary shows retry/fault totals (see docs/FAULTS.md).
+//   --metrics=0            parallel engine: after the run, dump the full
+//         MetricsRegistry in Prometheus text format to stdout
+//         (docs/OBSERVABILITY.md)
+//   --metrics-json=<file>  parallel engine: write the registry snapshot
+//         as JSON (includes p50/p95/p99 per histogram)
+//   --trace-json=<file>    parallel engine: write the per-query trace
+//         spans (ring buffer, oldest first) as JSON
 
 #include <algorithm>
 #include <chrono>
@@ -55,6 +62,8 @@
 #include "core/algorithms.h"
 #include "core/sequential_executor.h"
 #include "exec/parallel_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_tree.h"
 #include "rstar/tree_stats.h"
 #include "sim/query_engine.h"
@@ -86,6 +95,17 @@ struct Flags {
     return it == values.end() ? def : std::atof(it->second.c_str());
   }
 };
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
   for (int i = first; i < argc; ++i) {
@@ -427,6 +447,23 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
             fs.by_kind[static_cast<int>(storage::FaultKind::kTornRead)]),
         static_cast<unsigned long long>(fs.by_kind[static_cast<int>(
             storage::FaultKind::kTransientError)]));
+  }
+
+  // Observability dumps (docs/OBSERVABILITY.md). The engine always runs
+  // metered here, so the registry holds the run's full breakdown.
+  const obs::MetricsSnapshot snap = (*engine)->metrics()->Snapshot();
+  if (flags.GetInt("metrics", 0) != 0) {
+    std::printf("\n%s", snap.ToPrometheus().c_str());
+  }
+  const std::string metrics_json = flags.Get("metrics-json", "");
+  if (!metrics_json.empty() &&
+      !WriteTextFile(metrics_json, snap.ToJson() + "\n")) {
+    return 1;
+  }
+  const std::string trace_json = flags.Get("trace-json", "");
+  if (!trace_json.empty()) {
+    const obs::TraceRecorder* trace = (*engine)->trace();
+    if (!WriteTextFile(trace_json, trace->ToJson() + "\n")) return 1;
   }
   return failed == 0 ? 0 : 2;
 }
