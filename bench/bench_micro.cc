@@ -12,8 +12,11 @@
 
 #include "common/rng.h"
 #include "core/exact_knn.h"
+#include "core/flat_node.h"
 #include "core/lemma1.h"
+#include "exec/coalescer.h"
 #include "exec/page_cache.h"
+#include "geometry/kernels.h"
 #include "geometry/metrics.h"
 #include "parallel/declustering.h"
 #include "rstar/rstar_tree.h"
@@ -102,6 +105,118 @@ void BM_Lemma1(benchmark::State& state) {
 }
 BENCHMARK(BM_Lemma1)->Arg(40)->Arg(160);
 
+// --- SoA batch kernels ----------------------------------------------------
+
+// A random internal node of `n` entries in flat layout.
+core::FlatNode RandomFlatNode(int dim, int n, common::Rng& rng) {
+  rstar::Node node;
+  node.id = 1;
+  node.level = 1;
+  for (int i = 0; i < n; ++i) {
+    node.entries.push_back(rstar::Entry::ForChild(
+        RandomRect(dim, rng), static_cast<rstar::PageId>(i + 2),
+        static_cast<uint32_t>(1 + rng.UniformInt(0, 40))));
+  }
+  return core::FlatNode::FromNode(node, dim);
+}
+
+// Whole-node MinDist in one kernel pass vs the per-entry Rect metric it
+// replaced. range(0) = dim, range(1) = entries, range(2) = 1 forces the
+// scalar fallback (0 = the vectorizable dims-outer path).
+void BM_KernelMinDistBatch(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  geometry::SetForceScalarKernels(state.range(2) != 0);
+  common::Rng rng(12);
+  const core::FlatNode node = RandomFlatNode(dim, n, rng);
+  const geometry::Point q = RandomPoint(dim, rng);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    geometry::MinDistBatch(q, node.lo_planes(), node.hi_planes(),
+                           node.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  geometry::SetForceScalarKernels(false);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelMinDistBatch)
+    ->Args({2, 40, 0})
+    ->Args({2, 40, 1})
+    ->Args({5, 40, 0})
+    ->Args({5, 40, 1})
+    ->Args({10, 160, 0})
+    ->Args({10, 160, 1});
+
+void BM_KernelMinMaxDistBatch(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  geometry::SetForceScalarKernels(state.range(2) != 0);
+  common::Rng rng(13);
+  const core::FlatNode node = RandomFlatNode(dim, n, rng);
+  const geometry::Point q = RandomPoint(dim, rng);
+  std::vector<double> out(static_cast<size_t>(n));
+  std::vector<double> scratch(static_cast<size_t>(n));
+  for (auto _ : state) {
+    geometry::MinMaxDistBatch(q, node.lo_planes(), node.hi_planes(),
+                              node.size(), out.data(), scratch.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  geometry::SetForceScalarKernels(false);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelMinMaxDistBatch)
+    ->Args({2, 40, 0})
+    ->Args({2, 40, 1})
+    ->Args({10, 160, 0})
+    ->Args({10, 160, 1});
+
+// The same per-entry loop the algorithms ran before the SoA refactor:
+// Rect-based MinDistSq over a vector of entries (pointer-chasing layout).
+void BM_LegacyMinDistLoop(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  common::Rng rng(12);
+  std::vector<rstar::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(rstar::Entry::ForChild(
+        RandomRect(dim, rng), static_cast<rstar::PageId>(i + 2), 1));
+  }
+  const geometry::Point q = RandomPoint(dim, rng);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      out[i] = geometry::MinDistSq(q, entries[i].mbr);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LegacyMinDistLoop)
+    ->Args({2, 40})
+    ->Args({5, 40})
+    ->Args({10, 160});
+
+// Node -> FlatNode conversion: the once-per-decode cost the kernels
+// amortize over every visit of a cached page.
+void BM_FlatNodeFromNode(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  common::Rng rng(14);
+  rstar::Node node;
+  node.id = 1;
+  node.level = 1;
+  for (int i = 0; i < n; ++i) {
+    node.entries.push_back(rstar::Entry::ForChild(
+        RandomRect(dim, rng), static_cast<rstar::PageId>(i + 2), 1));
+  }
+  for (auto _ : state) {
+    core::FlatNode f = core::FlatNode::FromNode(node, dim);
+    benchmark::DoNotOptimize(f.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatNodeFromNode)->Args({2, 40})->Args({10, 160});
+
 void BM_TreeInsert(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));
   const workload::Dataset data = workload::MakeUniform(20000, dim, 6);
@@ -136,7 +251,7 @@ BENCHMARK(BM_ExactKnn)->Arg(1)->Arg(10)->Arg(100);
 
 // --- Execution-engine primitives ------------------------------------------
 
-rstar::Node CacheNode(rstar::PageId id) {
+exec::FlatNode CacheNode(rstar::PageId id) {
   rstar::Node node;
   node.id = id;
   node.level = 0;
@@ -145,7 +260,7 @@ rstar::Node CacheNode(rstar::PageId id) {
     node.entries.push_back(
         rstar::Entry::ForObject(p, static_cast<rstar::ObjectId>(i)));
   }
-  return node;
+  return exec::FlatNode::FromNode(node, 2);
 }
 
 // Pure hit path: every lookup pins a resident page.
@@ -178,7 +293,7 @@ void BM_PageCacheMissInsert(benchmark::State& state) {
   for (auto _ : state) {
     const rstar::PageId id =
         static_cast<rstar::PageId>(rng.UniformInt(0, 255));
-    const rstar::Node* node = cache.LookupPinned(id);
+    const exec::FlatNode* node = cache.LookupPinned(id);
     if (node == nullptr) {
       node = cache.InsertPinned(id, CacheNode(id), 1);
     }
@@ -261,6 +376,20 @@ void BM_StoreReads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StoreReads)->Arg(0)->Arg(1);
+
+// Uncontended in-flight table round trip: leader Begin + Complete. The
+// coalescer sits on the serial_io miss path, so its fixed cost must stay
+// negligible next to a pread + decode.
+void BM_ReadCoalescerLeader(benchmark::State& state) {
+  exec::ReadCoalescer coalescer;
+  common::Status ignored;
+  for (auto _ : state) {
+    const bool leader = coalescer.BeginOrWait(7, &ignored);
+    benchmark::DoNotOptimize(leader);
+    coalescer.Complete(7, common::Status::OK());
+  }
+}
+BENCHMARK(BM_ReadCoalescerLeader);
 
 }  // namespace
 }  // namespace sqp

@@ -75,6 +75,10 @@ struct RunResult {
   double reg_p50_ms = 0.0;
   double reg_p95_ms = 0.0;
   double reg_p99_ms = 0.0;
+  // Backend reads avoided by cross-query coalescing and speculative pages
+  // issued by CRSS-hint prefetch, summed over the timed batch.
+  uint64_t coalesced_reads = 0;
+  uint64_t prefetch_issued = 0;
 };
 
 // One timed RunBatch on a fresh engine with `threads` query threads.
@@ -82,11 +86,12 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
                   const storage::PageStore* store,
                   const std::vector<exec::EngineQuery>& queries, int threads,
                   size_t cache_pages, bool warm_up, bool serial_io = false,
-                  bool metered = true) {
+                  bool metered = true, int prefetch_budget = 0) {
   exec::EngineOptions options;
   options.query_threads = threads;
   options.cache_pages = cache_pages;
   options.serial_io = serial_io;
+  options.prefetch_budget = prefetch_budget;
   options.enable_metrics = metered;
   if (!metered) options.trace_capacity = 0;
   auto engine = exec::ParallelQueryEngine::Create(index, store, options);
@@ -104,10 +109,13 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
 
   std::vector<double> latencies;
   double pages = 0.0;
+  uint64_t coalesced = 0, prefetched = 0;
   for (const exec::QueryAnswer& a : answers) {
     SQP_CHECK(a.status.ok());
     latencies.push_back(a.latency_s);
     pages += static_cast<double>(a.pages_fetched);
+    coalesced += a.coalesced_reads;
+    prefetched += a.prefetch_issued;
   }
   std::sort(latencies.begin(), latencies.end());
 
@@ -123,6 +131,8 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
   r.p99_ms = 1e3 * latencies[latencies.size() * 99 / 100];
   r.hit_rate = hits + misses == 0 ? 0.0 : hits / (hits + misses);
   r.mean_pages = pages / static_cast<double>(answers.size());
+  r.coalesced_reads = coalesced;
+  r.prefetch_issued = prefetched;
   if (metered) {
     // Registry view of the same latencies (warm-up queries included — the
     // histogram is cumulative — but they run the identical workload, so
@@ -143,13 +153,28 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
 void PrintSeries(const char* name, const std::vector<RunResult>& series,
                  double baseline_qps = 0.0) {
   if (baseline_qps == 0.0) baseline_qps = series.front().qps;
-  std::printf("\n%s:\n%8s %10s %10s %10s %10s %8s %8s %9s\n", name,
+  std::printf("\n%s:\n%8s %10s %10s %10s %10s %8s %8s %9s %9s %9s\n", name,
               "threads", "q/s", "p50(ms)", "p95(ms)", "p99(ms)", "hit%",
-              "pages", "speedup");
+              "pages", "coalesce", "prefetch", "speedup");
   for (const RunResult& r : series) {
-    std::printf("%8d %10.0f %10.3f %10.3f %10.3f %7.0f%% %8.1f %8.2fx\n",
-                r.threads, r.qps, r.p50_ms, r.p95_ms, r.p99_ms,
-                100 * r.hit_rate, r.mean_pages, r.qps / baseline_qps);
+    std::printf(
+        "%8d %10.0f %10.3f %10.3f %10.3f %7.0f%% %8.1f %9llu %9llu "
+        "%8.2fx\n",
+        r.threads, r.qps, r.p50_ms, r.p95_ms, r.p99_ms, 100 * r.hit_rate,
+        r.mean_pages, static_cast<unsigned long long>(r.coalesced_reads),
+        static_cast<unsigned long long>(r.prefetch_issued),
+        r.qps / baseline_qps);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  for (const RunResult& r : series) {
+    if (hw > 0 && static_cast<unsigned>(r.threads) > hw) {
+      std::printf(
+          "  WARNING: sweep reaches %d query threads but this host has "
+          "only %u hardware thread(s); rows beyond %u measure "
+          "oversubscription, not CPU scaling.\n",
+          series.back().threads, hw, hw);
+      break;
+    }
   }
 }
 
@@ -157,10 +182,13 @@ void JsonSeries(bench::JsonWriter* w, const char* name,
                 const std::vector<RunResult>& series,
                 double baseline_qps = 0.0) {
   if (baseline_qps == 0.0) baseline_qps = series.front().qps;
+  const unsigned hw = std::thread::hardware_concurrency();
   w->BeginArray(name);
   for (const RunResult& r : series) {
     w->BeginObject();
     w->Field("threads", r.threads);
+    w->Field("oversubscribed",
+             hw > 0 && static_cast<unsigned>(r.threads) > hw);
     w->Field("queries_per_sec", r.qps, 5);
     w->Field("p50_latency_ms", r.p50_ms, 5);
     w->Field("p95_latency_ms", r.p95_ms, 5);
@@ -170,6 +198,8 @@ void JsonSeries(bench::JsonWriter* w, const char* name,
     w->Field("registry_p99_latency_ms", r.reg_p99_ms, 5);
     w->Field("cache_hit_rate", r.hit_rate, 4);
     w->Field("mean_pages_per_query", r.mean_pages, 4);
+    w->Field("coalesced_reads", r.coalesced_reads);
+    w->Field("prefetch_issued", r.prefetch_issued);
     w->Field("speedup_vs_baseline", r.qps / baseline_qps, 4);
     w->EndObject();
   }
@@ -386,6 +416,20 @@ int main(int argc, char** argv) {
       "serial baseline)",
       throttled, serial.qps);
 
+  // Same media with CRSS-hint prefetch armed: when an activation batch
+  // leaves disks idle, the top deferred candidate-run pages ride them into
+  // the cache ahead of demand (budget pages per step, TrySubmit only — a
+  // busy disk is never delayed).
+  std::vector<RunResult> prefetch_series;
+  for (int t : threads) {
+    prefetch_series.push_back(RunOnce(*index, &slow, queries, t,
+                                      /*cache_pages=*/64, /*warm_up=*/true,
+                                      /*serial_io=*/false, /*metered=*/true,
+                                      /*prefetch_budget=*/4));
+  }
+  PrintSeries("throttled media + CRSS prefetch (budget 4 pages/step)",
+              prefetch_series, serial.qps);
+
   // Metering overhead: the observability layer on vs fully off (no
   // registry, no trace) in the warm-cache single-thread configuration —
   // every fetch is a hit, so queries are pure CPU and each instrument
@@ -436,6 +480,7 @@ int main(int argc, char** argv) {
   w.EndObject();
   JsonSeries(&w, "warm_cache", warm);
   JsonSeries(&w, "throttled_media", throttled, serial.qps);
+  JsonSeries(&w, "throttled_media_prefetch", prefetch_series, serial.qps);
   w.BeginObject("metering");
   w.Field("metered_queries_per_sec", metered_qps, 5);
   w.Field("unmetered_queries_per_sec", unmetered_qps, 5);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "geometry/metrics.h"
+#include "geometry/kernels.h"
 
 namespace sqp::core {
 
@@ -32,29 +32,36 @@ StepResult Bbss::Begin() {
 
 StepResult Bbss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
   SQP_CHECK(pages.size() == 1);  // BBSS is strictly one page at a time
-  const rstar::Node& n = *pages[0].node;
-  const uint64_t n_scanned = n.entries.size();
+  const FlatNode& n = *pages[0].node;
+  const uint64_t n_scanned = n.size();
   uint64_t m_sorted = 0;
 
+  dist_.resize(n.size());
+  geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                         dist_.data());
   if (n.IsLeaf()) {
-    for (const rstar::Entry& e : n.entries) {
-      result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+    for (size_t i = 0; i < n.size(); ++i) {
+      result_.Add(n.object(i), dist_[i]);
     }
   } else {
     // Build the active branch list, applying the downward pruning rules.
     std::vector<Branch> branches;
-    branches.reserve(n.entries.size());
+    branches.reserve(n.size());
     if (k_ == 1) {
-      for (const rstar::Entry& e : n.entries) {
-        minmax_bound_sq_ = std::min(
-            minmax_bound_sq_, geometry::MinMaxDistSq(query_, e.mbr));
+      minmax_.resize(n.size());
+      far_scratch_.resize(n.size());
+      geometry::MinMaxDistBatch(query_, n.lo_planes(), n.hi_planes(),
+                                n.size(), minmax_.data(),
+                                far_scratch_.data());
+      for (size_t i = 0; i < n.size(); ++i) {
+        minmax_bound_sq_ = std::min(minmax_bound_sq_, minmax_[i]);
       }
     }
     const double bound = BoundSq();
-    for (const rstar::Entry& e : n.entries) {
-      const double d = geometry::MinDistSq(query_, e.mbr);
+    for (size_t i = 0; i < n.size(); ++i) {
+      const double d = dist_[i];
       if (d > bound) continue;  // rules 1 & 3
-      branches.push_back({d, e.child});
+      branches.push_back({d, n.child(i)});
     }
     m_sorted = branches.size();
     // Descending sort: nearest branch at the back, popped first.

@@ -47,6 +47,10 @@ class Bbss : public SearchAlgorithm {
   size_t k_;
   KnnResultSet result_;
   double minmax_bound_sq_;  // min MinMaxDist seen (used when k == 1)
+  // Kernel output buffers, reused across steps.
+  std::vector<double> dist_;
+  std::vector<double> minmax_;
+  std::vector<double> far_scratch_;
   // Active branch lists, one per level on the descent path. Each list is
   // sorted by descending MinDist so the closest branch pops from the back.
   std::vector<std::vector<Branch>> stack_;

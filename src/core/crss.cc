@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "core/lemma1.h"
-#include "geometry/metrics.h"
+#include "geometry/kernels.h"
 
 namespace sqp::core {
 
@@ -13,7 +12,8 @@ Crss::Crss(const rstar::RStarTree& tree, geometry::Point query, size_t k,
       query_(std::move(query)),
       k_(k),
       options_(options),
-      result_(k) {
+      result_(k),
+      pool_(tree.config().dim) {
   SQP_CHECK(query_.dim() == tree_.config().dim);
   SQP_CHECK(options_.max_activation >= 1);
 }
@@ -36,10 +36,14 @@ StepResult Crss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
     leaf_level_reached_ = true;
     uint64_t n_scanned = 0;
     for (const FetchedPage& p : pages) {
-      SQP_DCHECK(p.node->IsLeaf());
-      n_scanned += p.node->entries.size();
-      for (const rstar::Entry& e : p.node->entries) {
-        result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+      const FlatNode& n = *p.node;
+      SQP_DCHECK(n.IsLeaf());
+      n_scanned += n.size();
+      dist_.resize(n.size());
+      geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                             dist_.data());
+      for (size_t i = 0; i < n.size(); ++i) {
+        result_.Add(n.object(i), dist_[i]);
       }
     }
     dth_sq_ = std::min(dth_sq_, result_.KthDistSq());
@@ -50,35 +54,46 @@ StepResult Crss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
 
   // Internal nodes: pool all fetched entries and run candidate reduction.
   mode_ = leaf_level_reached_ ? CrssMode::kNormal : CrssMode::kAdaptive;
-  std::vector<rstar::Entry> pool;
+  pool_.Clear();
   uint64_t n_scanned = 0;
   for (const FetchedPage& p : pages) {
     SQP_DCHECK(!p.node->IsLeaf());
-    n_scanned += p.node->entries.size();
-    pool.insert(pool.end(), p.node->entries.begin(), p.node->entries.end());
+    n_scanned += p.node->size();
+    pool_.AppendAll(*p.node);
   }
-  return ProcessInternal(std::move(pool), n_scanned);
+  return ProcessInternal(n_scanned);
 }
 
-StepResult Crss::ProcessInternal(std::vector<rstar::Entry> pool,
-                                 uint64_t n_scanned) {
+StepResult Crss::ProcessInternal(uint64_t n_scanned) {
   // Tighten the threshold. Lemma 1 holds on any entry subset (its prefix
   // spheres contain real objects), so it is applied in NORMAL mode too; in
   // ADAPTIVE mode it is the only bound available, in NORMAL mode the k-th
   // best actual distance usually dominates.
-  const Lemma1Threshold lemma = ComputeLemma1(query_, pool, k_);
+  const Lemma1Threshold lemma =
+      ComputeLemma1Soa(query_, pool_.lo_planes(), pool_.hi_planes(),
+                       pool_.counts_data(), pool_.size(), k_,
+                       &lemma_scratch_);
   dth_sq_ = std::min(dth_sq_, lemma.dth_sq);
   dth_sq_ = std::min(dth_sq_, result_.KthDistSq());
 
-  // Candidate reduction criterion (§3.3).
+  // Candidate reduction criterion (§3.3). MinMaxDist is computed for the
+  // whole pool in one kernel pass; entries rejected on MinDist simply
+  // never read their slot.
+  const size_t pool_size = pool_.size();
+  dist_.resize(pool_size);
+  minmax_.resize(pool_size);
+  far_scratch_.resize(pool_size);
+  geometry::MinDistBatch(query_, pool_.lo_planes(), pool_.hi_planes(),
+                         pool_size, dist_.data());
+  geometry::MinMaxDistBatch(query_, pool_.lo_planes(), pool_.hi_planes(),
+                            pool_size, minmax_.data(), far_scratch_.data());
   std::vector<Candidate> active;
   std::vector<Candidate> deferred;
-  for (const rstar::Entry& e : pool) {
-    const double dmin = geometry::MinDistSq(query_, e.mbr);
+  for (size_t i = 0; i < pool_size; ++i) {
+    const double dmin = dist_[i];
     if (dmin > dth_sq_) continue;  // rejected
-    const double dmm = geometry::MinMaxDistSq(query_, e.mbr);
-    Candidate c{dmin, e.child, e.count};
-    if (dmm <= dth_sq_) {
+    Candidate c{dmin, pool_.child(i), pool_.count(i)};
+    if (minmax_[i] <= dth_sq_) {
       active.push_back(c);
     } else {
       deferred.push_back(c);
@@ -139,6 +154,7 @@ StepResult Crss::ProcessInternal(std::vector<rstar::Entry> pool,
   step.cpu_instructions = cost;
   step.requests.reserve(active.size());
   for (const Candidate& c : active) step.requests.push_back(c.page);
+  FillPrefetchHints(&step);
   return step;
 }
 
@@ -175,12 +191,35 @@ StepResult Crss::PopNextRun(uint64_t cpu_instructions) {
     }
     step.requests.reserve(survivors.size());
     for (const Candidate& c : survivors) step.requests.push_back(c.page);
+    FillPrefetchHints(&step);
     return step;
   }
 
   mode_ = CrssMode::kTerminate;
   step.done = true;
   return step;
+}
+
+void Crss::FillPrefetchHints(StepResult* step) const {
+  if (step->done || stack_.empty()) return;
+  const size_t cap = static_cast<size_t>(options_.max_activation);
+  // Walk runs from the top of the stack (deepest, most precise MBRs) and
+  // each run from its nearest end, exactly the order PopNextRun will
+  // activate them in; stop a run at its first non-intersecting candidate
+  // (the same guard that would kill it).
+  for (auto run = stack_.rbegin();
+       run != stack_.rend() && step->prefetch_hints.size() < cap; ++run) {
+    for (auto c = run->rbegin();
+         c != run->rend() && step->prefetch_hints.size() < cap; ++c) {
+      if (c->min_dist_sq > dth_sq_) break;
+      // This step's own requests are being fetched anyway.
+      if (std::find(step->requests.begin(), step->requests.end(), c->page) !=
+          step->requests.end()) {
+        continue;
+      }
+      step->prefetch_hints.push_back(c->page);
+    }
+  }
 }
 
 }  // namespace sqp::core

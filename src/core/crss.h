@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/lemma1.h"
 #include "core/search_algorithm.h"
 #include "geometry/point.h"
 #include "rstar/rstar_tree.h"
@@ -68,14 +69,19 @@ class Crss : public SearchAlgorithm {
   // entry.
   using Run = std::vector<Candidate>;
 
-  // Classifies `pool` against dth_sq_, activates between `l` and `u`
-  // entries, pushes the rest as a new run, and returns the step.
-  StepResult ProcessInternal(std::vector<rstar::Entry> pool,
-                             uint64_t n_scanned);
+  // Classifies the pooled entries (pool_) against dth_sq_, activates
+  // between `l` and `u` entries, pushes the rest as a new run, and returns
+  // the step.
+  StepResult ProcessInternal(uint64_t n_scanned);
 
   // Pops candidate runs until one yields activatable pages or the stack
   // empties (Get-Candidate-Run of Figure 6).
   StepResult PopNextRun(uint64_t cpu_instructions);
+
+  // Fills step->prefetch_hints with the nearest still-intersecting
+  // candidates waiting on the stack (up to `u` of them, nearest first).
+  // Read-only over the stack: hints never change the traversal.
+  void FillPrefetchHints(StepResult* step) const;
 
   const rstar::RStarTree& tree_;
   geometry::Point query_;
@@ -87,6 +93,13 @@ class Crss : public SearchAlgorithm {
   CrssMode mode_ = CrssMode::kAdaptive;
   bool leaf_level_reached_ = false;
   bool started_ = false;
+  // Pooled entries of the current batch + kernel buffers, reused across
+  // steps.
+  EntryPool pool_;
+  std::vector<double> dist_;
+  std::vector<double> minmax_;
+  std::vector<double> far_scratch_;
+  Lemma1Scratch lemma_scratch_;
 };
 
 }  // namespace sqp::core

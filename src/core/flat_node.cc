@@ -1,0 +1,85 @@
+#include "core/flat_node.h"
+
+#include <utility>
+
+namespace sqp::core {
+
+FlatNode& FlatNode::operator=(FlatNode&& other) noexcept {
+  id_ = other.id_;
+  level_ = other.level_;
+  dim_ = other.dim_;
+  n_ = other.n_;
+  children_offset_ = other.children_offset_;
+  counts_offset_ = other.counts_offset_;
+  arena_ = std::move(other.arena_);
+  lo_planes_ = std::move(other.lo_planes_);
+  hi_planes_ = std::move(other.hi_planes_);
+  other.n_ = 0;
+  other.lo_planes_.clear();
+  other.hi_planes_.clear();
+  return *this;
+}
+
+FlatNode FlatNode::FromNode(const rstar::Node& node, int dim) {
+  SQP_CHECK(dim >= 1);
+  FlatNode f;
+  f.id_ = node.id;
+  f.level_ = node.level;
+  f.dim_ = dim;
+  f.n_ = node.entries.size();
+  const size_t n = f.n_;
+  if (n == 0) return f;
+
+  const size_t d = static_cast<size_t>(dim);
+  const size_t objects_bytes = n * sizeof(rstar::ObjectId);
+  const size_t plane_bytes = d * n * sizeof(float);
+  const size_t lo_offset = objects_bytes;
+  const size_t hi_offset = lo_offset + plane_bytes;
+  f.children_offset_ = hi_offset + plane_bytes;
+  f.counts_offset_ = f.children_offset_ + n * sizeof(rstar::PageId);
+  const size_t total = f.counts_offset_ + n * sizeof(uint32_t);
+  f.arena_ = std::make_unique<std::byte[]>(total);
+
+  auto* objects = reinterpret_cast<rstar::ObjectId*>(f.arena_.get());
+  auto* lo = reinterpret_cast<float*>(f.arena_.get() + lo_offset);
+  auto* hi = reinterpret_cast<float*>(f.arena_.get() + hi_offset);
+  auto* children =
+      reinterpret_cast<rstar::PageId*>(f.arena_.get() + f.children_offset_);
+  auto* counts =
+      reinterpret_cast<uint32_t*>(f.arena_.get() + f.counts_offset_);
+
+  for (size_t i = 0; i < n; ++i) {
+    const rstar::Entry& e = node.entries[i];
+    SQP_DCHECK(e.mbr.dim() == dim);
+    objects[i] = e.object;
+    children[i] = e.child;
+    counts[i] = e.count;
+    const geometry::Point& elo = e.mbr.lo();
+    const geometry::Point& ehi = e.mbr.hi();
+    for (size_t j = 0; j < d; ++j) {
+      lo[j * n + i] = elo[static_cast<int>(j)];
+      hi[j * n + i] = ehi[static_cast<int>(j)];
+    }
+  }
+  f.lo_planes_.resize(d);
+  f.hi_planes_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    f.lo_planes_[j] = lo + j * n;
+    f.hi_planes_[j] = hi + j * n;
+  }
+  return f;
+}
+
+geometry::Rect FlatNode::RectOf(size_t i) const {
+  SQP_DCHECK(i < n_);
+  std::vector<geometry::Coord> lo(static_cast<size_t>(dim_));
+  std::vector<geometry::Coord> hi(static_cast<size_t>(dim_));
+  for (int j = 0; j < dim_; ++j) {
+    lo[static_cast<size_t>(j)] = this->lo(j, i);
+    hi[static_cast<size_t>(j)] = this->hi(j, i);
+  }
+  return geometry::Rect(geometry::Point::FromVector(std::move(lo)),
+                        geometry::Point::FromVector(std::move(hi)));
+}
+
+}  // namespace sqp::core

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
-#include "core/lemma1.h"
-#include "geometry/metrics.h"
+#include "geometry/kernels.h"
 
 namespace sqp::core {
 
 Fpss::Fpss(const rstar::RStarTree& tree, geometry::Point query, size_t k)
-    : tree_(tree), query_(std::move(query)), k_(k), result_(k) {
+    : tree_(tree),
+      query_(std::move(query)),
+      k_(k),
+      result_(k),
+      pool_(tree.config().dim) {
   SQP_CHECK(query_.dim() == tree_.config().dim);
 }
 
@@ -28,10 +31,14 @@ StepResult Fpss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
     // The tree is height-balanced, so all leaves arrive in one final batch.
     uint64_t n_scanned = 0;
     for (const FetchedPage& p : pages) {
-      SQP_DCHECK(p.node->IsLeaf());
-      n_scanned += p.node->entries.size();
-      for (const rstar::Entry& e : p.node->entries) {
-        result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+      const FlatNode& n = *p.node;
+      SQP_DCHECK(n.IsLeaf());
+      n_scanned += n.size();
+      dist_.resize(n.size());
+      geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                             dist_.data());
+      for (size_t i = 0; i < n.size(); ++i) {
+        result_.Add(n.object(i), dist_[i]);
       }
     }
     step.cpu_instructions = ScanSortCost(n_scanned, std::min(n_scanned,
@@ -42,24 +49,30 @@ StepResult Fpss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
 
   // Internal level: pool every fetched entry, tighten the threshold with
   // Lemma 1, and activate all entries intersecting the sphere.
-  std::vector<rstar::Entry> pool;
+  pool_.Clear();
   for (const FetchedPage& p : pages) {
     SQP_DCHECK(!p.node->IsLeaf());
-    pool.insert(pool.end(), p.node->entries.begin(), p.node->entries.end());
+    pool_.AppendAll(*p.node);
   }
-  const Lemma1Threshold lemma = ComputeLemma1(query_, pool, k_);
+  const Lemma1Threshold lemma =
+      ComputeLemma1Soa(query_, pool_.lo_planes(), pool_.hi_planes(),
+                       pool_.counts_data(), pool_.size(), k_,
+                       &lemma_scratch_);
   dth_sq_ = std::min(dth_sq_, lemma.dth_sq);
 
-  for (const rstar::Entry& e : pool) {
-    if (geometry::MinDistSq(query_, e.mbr) <= dth_sq_) {
-      step.requests.push_back(e.child);
+  dist_.resize(pool_.size());
+  geometry::MinDistBatch(query_, pool_.lo_planes(), pool_.hi_planes(),
+                         pool_.size(), dist_.data());
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    if (dist_[i] <= dth_sq_) {
+      step.requests.push_back(pool_.child(i));
     }
   }
   // The Lemma 1 prefix always intersects its own sphere, so at least one
   // child is activated whenever the pool is non-empty.
   SQP_CHECK(!step.requests.empty());
   step.cpu_instructions =
-      ScanSortCost(pool.size(), step.requests.size());
+      ScanSortCost(pool_.size(), step.requests.size());
   return step;
 }
 

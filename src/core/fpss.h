@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/lemma1.h"
 #include "core/search_algorithm.h"
 #include "geometry/point.h"
 #include "rstar/rstar_tree.h"
@@ -35,6 +36,11 @@ class Fpss : public SearchAlgorithm {
   KnnResultSet result_;
   double dth_sq_ = std::numeric_limits<double>::infinity();
   bool started_ = false;
+  // Pooled entries of the current level + kernel buffers, reused across
+  // steps.
+  EntryPool pool_;
+  std::vector<double> dist_;
+  Lemma1Scratch lemma_scratch_;
 };
 
 }  // namespace sqp::core

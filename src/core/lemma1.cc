@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "geometry/kernels.h"
 #include "geometry/metrics.h"
 
 namespace sqp::core {
@@ -40,6 +41,42 @@ Lemma1Threshold ComputeLemma1(const geometry::Point& q,
   // Fewer than k objects under the inspected entries. The k-th nearest
   // neighbor then lies under some *other* subtree, so no finite bound on
   // Dk can be derived from this pool: report +infinity (reject nothing).
+  out.dth_sq = std::numeric_limits<double>::infinity();
+  out.prefix_len = static_cast<int>(order.size());
+  return out;
+}
+
+Lemma1Threshold ComputeLemma1Soa(const geometry::Point& q,
+                                 const float* const* lo,
+                                 const float* const* hi,
+                                 const uint32_t* counts, size_t n,
+                                 uint64_t k, Lemma1Scratch* scratch) {
+  Lemma1Threshold out;
+  if (n == 0) {
+    out.dth_sq = std::numeric_limits<double>::infinity();
+    return out;
+  }
+
+  std::vector<double>& max_dist = scratch->max_dist;
+  max_dist.resize(n);
+  geometry::MaxDistBatch(q, lo, hi, n, max_dist.data());
+  for (size_t i = 0; i < n; ++i) out.total_count += counts[i];
+
+  std::vector<size_t>& order = scratch->order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return max_dist[a] < max_dist[b]; });
+
+  uint64_t acc = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    acc += counts[order[i]];
+    if (acc >= k) {
+      out.dth_sq = max_dist[order[i]];
+      out.prefix_len = static_cast<int>(i) + 1;
+      return out;
+    }
+  }
   out.dth_sq = std::numeric_limits<double>::infinity();
   out.prefix_len = static_cast<int>(order.size());
   return out;

@@ -31,6 +31,24 @@ Lemma1Threshold ComputeLemma1(const geometry::Point& q,
                               const std::vector<rstar::Entry>& entries,
                               uint64_t k);
 
+// Reusable buffers for ComputeLemma1Soa; steady-state calls allocate
+// nothing once the buffers reached the working-set size.
+struct Lemma1Scratch {
+  std::vector<double> max_dist;
+  std::vector<size_t> order;
+};
+
+// Plane-major overload over `n` entries (core::FlatNode / core::EntryPool
+// views; see geometry/kernels.h for the layout). Produces bit-identical
+// thresholds to the Entry-vector overload on equivalent input in the same
+// order: MaxDistBatch reproduces MaxDistSq exactly and the sort sees the
+// same keys in the same sequence.
+Lemma1Threshold ComputeLemma1Soa(const geometry::Point& q,
+                                 const float* const* lo,
+                                 const float* const* hi,
+                                 const uint32_t* counts, size_t n,
+                                 uint64_t k, Lemma1Scratch* scratch);
+
 }  // namespace sqp::core
 
 #endif  // SQP_CORE_LEMMA1_H_

@@ -24,16 +24,17 @@ StepResult ParallelRangeQuery::OnPagesFetched(
   uint64_t n_scanned = 0;
   size_t qualified = 0;
   for (const FetchedPage& p : pages) {
-    n_scanned += p.node->entries.size();
-    for (const rstar::Entry& e : p.node->entries) {
-      if (!region_.Intersects(e.mbr)) continue;
-      if (p.node->IsLeaf()) {
-        if (region_.Covers(e.mbr.lo())) {
-          objects_.push_back(e.object);
+    const FlatNode& n = *p.node;
+    n_scanned += n.size();
+    for (size_t i = 0; i < n.size(); ++i) {
+      if (!region_.IntersectsEntry(n, i)) continue;
+      if (n.IsLeaf()) {
+        if (region_.CoversEntryPoint(n, i)) {
+          objects_.push_back(n.object(i));
           ++qualified;
         }
       } else {
-        frontier_.push_back(e.child);
+        frontier_.push_back(n.child(i));
         ++qualified;
       }
     }

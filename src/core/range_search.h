@@ -53,7 +53,56 @@ class RangeRegion {
     return geometry::DistanceSq(*center_, p) <= radius_sq_;
   }
 
+  // Entry-i variants over a FlatNode's plane-major layout; value-identical
+  // to the Rect/Point forms above (same comparisons, same arithmetic).
+  bool IntersectsEntry(const FlatNode& n, size_t i) const {
+    if (box_.has_value()) {
+      for (int j = 0; j < box_->dim(); ++j) {
+        if (n.hi(j, i) < box_->lo()[j] || n.lo(j, i) > box_->hi()[j]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    return EntryMinDistSq(n, i) <= radius_sq_;
+  }
+
+  // Leaf entries store degenerate boxes; the lower corner is the point.
+  bool CoversEntryPoint(const FlatNode& n, size_t i) const {
+    if (box_.has_value()) {
+      for (int j = 0; j < box_->dim(); ++j) {
+        if (n.lo(j, i) < box_->lo()[j] || n.lo(j, i) > box_->hi()[j]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    double sum = 0.0;
+    for (int j = 0; j < center_->dim(); ++j) {
+      const double d = static_cast<double>((*center_)[j]) -
+                       static_cast<double>(n.lo(j, i));
+      sum += d * d;
+    }
+    return sum <= radius_sq_;
+  }
+
  private:
+  // MinDistSq of geometry/metrics.cc over one flat entry.
+  double EntryMinDistSq(const FlatNode& n, size_t i) const {
+    double sum = 0.0;
+    for (int j = 0; j < center_->dim(); ++j) {
+      const double v = (*center_)[j];
+      double d = 0.0;
+      if (v < n.lo(j, i)) {
+        d = static_cast<double>(n.lo(j, i)) - v;
+      } else if (v > n.hi(j, i)) {
+        d = v - static_cast<double>(n.hi(j, i));
+      }
+      sum += d * d;
+    }
+    return sum;
+  }
+
   RangeRegion() = default;
   std::optional<geometry::Rect> box_;
   std::optional<geometry::Point> center_;

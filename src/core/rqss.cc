@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geometry/kernels.h"
 #include "geometry/metrics.h"
 
 namespace sqp::core {
@@ -59,15 +60,19 @@ StepResult Rqss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
   uint64_t n_scanned = 0;
   size_t qualified = 0;
   for (const FetchedPage& p : pages) {
-    n_scanned += p.node->entries.size();
-    for (const rstar::Entry& e : p.node->entries) {
-      const double dmin = geometry::MinDistSq(query_, e.mbr);
+    const FlatNode& n = *p.node;
+    n_scanned += n.size();
+    dist_.resize(n.size());
+    geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                           dist_.data());
+    for (size_t i = 0; i < n.size(); ++i) {
+      const double dmin = dist_[i];
       if (dmin > eps_sq) continue;
-      if (p.node->IsLeaf()) {
-        found_.push_back({e.object, dmin});
+      if (n.IsLeaf()) {
+        found_.push_back({n.object(i), dmin});
         ++qualified;
       } else {
-        frontier_.push_back(e.child);
+        frontier_.push_back(n.child(i));
         ++qualified;
       }
     }

@@ -75,6 +75,7 @@ class Rqss : public SearchAlgorithm {
   std::vector<Neighbor> found_;
   std::vector<rstar::PageId> frontier_;
   bool done_ = false;
+  std::vector<double> dist_;  // kernel output buffer, reused across steps
 };
 
 }  // namespace sqp::core

@@ -14,17 +14,18 @@
 #include <string_view>
 #include <vector>
 
+#include "core/flat_node.h"
 #include "core/knn_result.h"
-#include "rstar/node.h"
 #include "rstar/types.h"
 
 namespace sqp::core {
 
-// A page delivered to the algorithm. The node pointer stays valid for the
-// duration of the callback only.
+// A page delivered to the algorithm, in plane-major (structure-of-arrays)
+// form ready for the geometry/kernels.h batch kernels. The node pointer
+// stays valid for the duration of the callback only.
 struct FetchedPage {
   rstar::PageId id = rstar::kInvalidPage;
-  const rstar::Node* node = nullptr;
+  const FlatNode* node = nullptr;
 };
 
 // Output of one processing step.
@@ -32,6 +33,12 @@ struct StepResult {
   // Pages to fetch next; the executor delivers them all before the next
   // OnPagesFetched call. Empty together with done=false is illegal.
   std::vector<rstar::PageId> requests;
+  // Pages the algorithm expects to want soon but does not need for this
+  // step, best candidates first (CRSS: the nearest still-intersecting
+  // deferred candidates). Executors may fetch them speculatively on
+  // otherwise idle disks — or ignore them entirely; correctness never
+  // depends on a hint. Empty when done.
+  std::vector<rstar::PageId> prefetch_hints;
   // CPU instructions consumed by the processing that produced this step
   // (the paper's 2N + 3M log M model); charged by the simulator.
   uint64_t cpu_instructions = 0;

@@ -27,7 +27,8 @@ struct ExecutionStats {
   uint64_t cpu_instructions = 0;
 };
 
-// Where an executor obtains page contents. The in-memory tree is one
+// Where an executor obtains page contents, already decoded into the
+// SoA FlatNode layout the algorithms consume. The in-memory tree is one
 // source; the real execution engine's cache-over-PageStore is another.
 // Implementations may hand out pointers that stay valid only until the
 // next GetPage/Release cycle of the same executor.
@@ -35,22 +36,23 @@ class PageSource {
  public:
   virtual ~PageSource() = default;
 
-  // The node stored on page `id`. CHECK-fails (tree source) or aborts the
-  // query (storage source) if the page is not live.
-  virtual const rstar::Node& GetPage(rstar::PageId id) = 0;
+  // The flat node stored on page `id`. CHECK-fails (tree source) or aborts
+  // the query (storage source) if the page is not live.
+  virtual const FlatNode& GetPage(rstar::PageId id) = 0;
 
   // Disk pages the record of `id` occupies (supernodes span several).
   virtual size_t SpanOf(rstar::PageId id) = 0;
 };
 
-// Adapter: serves pages out of the in-memory tree.
+// Adapter: serves pages out of the in-memory tree, converting each node to
+// the flat layout once and memoizing the result. The tree must not mutate
+// while a TreePageSource is serving it.
 class TreePageSource : public PageSource {
  public:
-  explicit TreePageSource(const rstar::RStarTree& tree) : tree_(tree) {}
+  explicit TreePageSource(const rstar::RStarTree& tree)
+      : tree_(tree), flat_(tree) {}
 
-  const rstar::Node& GetPage(rstar::PageId id) override {
-    return tree_.node(id);
-  }
+  const FlatNode& GetPage(rstar::PageId id) override { return flat_.Get(id); }
   size_t SpanOf(rstar::PageId id) override {
     return static_cast<size_t>(
         rstar::PageSpan(tree_.config(), tree_.node(id)));
@@ -58,6 +60,7 @@ class TreePageSource : public PageSource {
 
  private:
   const rstar::RStarTree& tree_;
+  FlatNodeMap flat_;
 };
 
 // Runs `algo` against `source` until done. CHECK-fails if the algorithm

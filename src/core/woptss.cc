@@ -1,7 +1,7 @@
 #include "core/woptss.h"
 
 #include "core/exact_knn.h"
-#include "geometry/metrics.h"
+#include "geometry/kernels.h"
 
 namespace sqp::core {
 
@@ -31,10 +31,14 @@ StepResult Woptss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
     // Weak (not strict) optimality: every object of a fetched leaf is
     // inspected, but only those inside the sphere can enter the result.
     for (const FetchedPage& p : pages) {
-      SQP_DCHECK(p.node->IsLeaf());
-      n_scanned += p.node->entries.size();
-      for (const rstar::Entry& e : p.node->entries) {
-        result_.Add(e.object, geometry::MinDistSq(query_, e.mbr));
+      const FlatNode& n = *p.node;
+      SQP_DCHECK(n.IsLeaf());
+      n_scanned += n.size();
+      dist_.resize(n.size());
+      geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                             dist_.data());
+      for (size_t i = 0; i < n.size(); ++i) {
+        result_.Add(n.object(i), dist_[i]);
       }
     }
     step.cpu_instructions =
@@ -44,11 +48,15 @@ StepResult Woptss::OnPagesFetched(const std::vector<FetchedPage>& pages) {
   }
 
   for (const FetchedPage& p : pages) {
-    SQP_DCHECK(!p.node->IsLeaf());
-    n_scanned += p.node->entries.size();
-    for (const rstar::Entry& e : p.node->entries) {
-      if (geometry::MinDistSq(query_, e.mbr) <= dk_sq_) {
-        step.requests.push_back(e.child);
+    const FlatNode& n = *p.node;
+    SQP_DCHECK(!n.IsLeaf());
+    n_scanned += n.size();
+    dist_.resize(n.size());
+    geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                           dist_.data());
+    for (size_t i = 0; i < n.size(); ++i) {
+      if (dist_[i] <= dk_sq_) {
+        step.requests.push_back(n.child(i));
       }
     }
   }

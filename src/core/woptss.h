@@ -41,6 +41,7 @@ class Woptss : public SearchAlgorithm {
   KnnResultSet result_;
   double dk_sq_;
   bool started_ = false;
+  std::vector<double> dist_;  // kernel output buffer, reused across steps
 };
 
 }  // namespace sqp::core

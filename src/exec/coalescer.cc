@@ -1,0 +1,37 @@
+#include "exec/coalescer.h"
+
+#include "common/check.h"
+
+namespace sqp::exec {
+
+bool ReadCoalescer::BeginOrWait(rstar::PageId id, common::Status* status) {
+  SQP_CHECK(status != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) {
+    inflight_.emplace(id, std::make_shared<Flight>());
+    return true;
+  }
+  ++coalesced_;
+  std::shared_ptr<Flight> flight = it->second;
+  cv_.wait(lock, [&flight] { return flight->done; });
+  *status = flight->status;
+  return false;
+}
+
+void ReadCoalescer::Complete(rstar::PageId id, const common::Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(id);
+  SQP_CHECK(it != inflight_.end());
+  it->second->done = true;
+  it->second->status = status;
+  inflight_.erase(it);
+  cv_.notify_all();
+}
+
+uint64_t ReadCoalescer::coalesced_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
+
+}  // namespace sqp::exec

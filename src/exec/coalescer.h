@@ -1,0 +1,73 @@
+// Cross-query read coalescing: an in-flight table keyed by PageId.
+//
+// When N queries miss the same page at the same time, only the first
+// (the leader) should pay the pread + checksum + decode; the other N-1
+// (followers) should block until the leader publishes the page in the
+// shared cache and then pick it up from there. The engine uses this in
+// serial_io mode, where misses are read on the query threads themselves
+// and concurrent duplicate reads are otherwise unavoidable. (In pooled
+// mode the per-disk FIFO worker serializes duplicate jobs naturally; the
+// engine coalesces there with a second-chance cache probe inside the job
+// instead — see parallel_engine.cc.)
+//
+// Protocol:
+//   common::Status st;
+//   if (coalescer.BeginOrWait(id, &st)) {
+//     ... read + decode + insert into the cache ...
+//     coalescer.Complete(id, read_status);   // exactly once, even on error
+//   } else {
+//     // A leader's read was joined; `st` is its outcome. On st.ok() the
+//     // page was inserted into the cache just before Complete, so a cache
+//     // probe is expected to hit (re-run the protocol if it was already
+//     // evicted).
+//   }
+
+#ifndef SQP_EXEC_COALESCER_H_
+#define SQP_EXEC_COALESCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "rstar/types.h"
+
+namespace sqp::exec {
+
+class ReadCoalescer {
+ public:
+  ReadCoalescer() = default;
+  ReadCoalescer(const ReadCoalescer&) = delete;
+  ReadCoalescer& operator=(const ReadCoalescer&) = delete;
+
+  // Returns true if the caller is now the leader for `id` and must
+  // perform the read and call Complete(id, ...) exactly once. Returns
+  // false if an in-flight leader's read was joined: the call blocks until
+  // that leader Completes and `*status` receives the leader's outcome.
+  bool BeginOrWait(rstar::PageId id, common::Status* status);
+
+  // Leader only: publishes the read's outcome and wakes all followers.
+  void Complete(rstar::PageId id, const common::Status& status);
+
+  // Reads avoided so far: followers that joined a leader's in-flight read.
+  uint64_t coalesced_reads() const;
+
+ private:
+  struct Flight {
+    bool done = false;
+    common::Status status;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Followers hold the shared_ptr across Complete's erase, so a Flight
+  // outlives its table entry until the last waiter has read the status.
+  std::unordered_map<rstar::PageId, std::shared_ptr<Flight>> inflight_;
+  uint64_t coalesced_ = 0;
+};
+
+}  // namespace sqp::exec
+
+#endif  // SQP_EXEC_COALESCER_H_

@@ -16,9 +16,12 @@ double NowSeconds() {
 
 }  // namespace
 
-DiskIoPool::DiskIoPool(int num_disks, obs::MetricsRegistry* metrics) {
+DiskIoPool::DiskIoPool(int num_disks, obs::MetricsRegistry* metrics,
+                       const DiskIoPoolOptions& options) {
   SQP_CHECK(num_disks >= 1);
+  SQP_CHECK(options.max_queue_depth >= 1);
   metered_ = metrics != nullptr;
+  max_queue_depth_ = options.max_queue_depth;
   for (int d = 0; d < num_disks; ++d) {
     DiskQueue& q = queues_.emplace_back();
     if (metrics != nullptr) {
@@ -26,6 +29,10 @@ DiskIoPool::DiskIoPool(int num_disks, obs::MetricsRegistry* metrics) {
           metrics->GetCounter(obs::WithLabel("sqp_io_jobs_total", "disk", d));
       q.queue_depth =
           metrics->GetGauge(obs::WithLabel("sqp_io_queue_depth", "disk", d));
+      q.backpressure_total = metrics->GetCounter(
+          obs::WithLabel("sqp_io_backpressure_waits_total", "disk", d));
+      q.rejections_total = metrics->GetCounter(
+          obs::WithLabel("sqp_io_queue_rejections_total", "disk", d));
       q.wait_seconds = metrics->GetHistogram(
           obs::WithLabel("sqp_io_wait_seconds", "disk", d),
           obs::MetricsRegistry::LatencyBuckets());
@@ -45,6 +52,7 @@ DiskIoPool::~DiskIoPool() {
     std::lock_guard<std::mutex> lock(q.mu);
     q.stop = true;
     q.cv.notify_all();
+    q.space_cv.notify_all();
   }
   for (std::thread& t : workers_) t.join();
 }
@@ -55,11 +63,39 @@ void DiskIoPool::Submit(int disk, std::function<void()> job) {
   QueuedJob queued;
   queued.fn = std::move(job);
   if (metered_) queued.enqueue_s = NowSeconds();
-  std::lock_guard<std::mutex> lock(q.mu);
+  std::unique_lock<std::mutex> lock(q.mu);
   SQP_CHECK(!q.stop);
+  if (q.jobs.size() >= max_queue_depth_) {
+    // Overloaded: stall the submitting query thread until the worker
+    // drains a slot. Workers never submit, so this cannot deadlock.
+    ++q.backpressure_waits;
+    if (q.backpressure_total != nullptr) q.backpressure_total->Add(1);
+    q.space_cv.wait(lock, [this, &q] {
+      return q.stop || q.jobs.size() < max_queue_depth_;
+    });
+    SQP_CHECK(!q.stop);
+  }
   q.jobs.push_back(std::move(queued));
   if (q.queue_depth != nullptr) q.queue_depth->Add(1);
   q.cv.notify_one();
+}
+
+bool DiskIoPool::TrySubmit(int disk, std::function<void()> job) {
+  SQP_CHECK(disk >= 0 && disk < num_disks());
+  DiskQueue& q = queues_[static_cast<size_t>(disk)];
+  QueuedJob queued;
+  queued.fn = std::move(job);
+  if (metered_) queued.enqueue_s = NowSeconds();
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.stop || q.jobs.size() >= max_queue_depth_) {
+    ++q.rejections;
+    if (q.rejections_total != nullptr) q.rejections_total->Add(1);
+    return false;
+  }
+  q.jobs.push_back(std::move(queued));
+  if (q.queue_depth != nullptr) q.queue_depth->Add(1);
+  q.cv.notify_one();
+  return true;
 }
 
 uint64_t DiskIoPool::jobs_completed() const {
@@ -67,6 +103,24 @@ uint64_t DiskIoPool::jobs_completed() const {
   for (const DiskQueue& q : queues_) {
     std::lock_guard<std::mutex> lock(q.mu);
     total += q.completed;
+  }
+  return total;
+}
+
+uint64_t DiskIoPool::backpressure_waits() const {
+  uint64_t total = 0;
+  for (const DiskQueue& q : queues_) {
+    std::lock_guard<std::mutex> lock(q.mu);
+    total += q.backpressure_waits;
+  }
+  return total;
+}
+
+uint64_t DiskIoPool::queue_rejections() const {
+  uint64_t total = 0;
+  for (const DiskQueue& q : queues_) {
+    std::lock_guard<std::mutex> lock(q.mu);
+    total += q.rejections;
   }
   return total;
 }
@@ -82,6 +136,7 @@ void DiskIoPool::WorkerLoop(DiskQueue* queue) {
       job = std::move(queue->jobs.front());
       queue->jobs.pop_front();
       if (queue->queue_depth != nullptr) queue->queue_depth->Add(-1);
+      queue->space_cv.notify_one();
     }
     double start_s = 0.0;
     if (metered_) {

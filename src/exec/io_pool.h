@@ -14,6 +14,15 @@
 // sqp_io_jobs_total{disk=d}, sqp_io_queue_depth{disk=d}, and the
 // sqp_io_wait_seconds / sqp_io_service_seconds histograms (time queued
 // before the worker picked the job up / time the job ran).
+//
+// Queues are bounded (DiskIoPoolOptions::max_queue_depth). Submit blocks
+// the submitting query thread until space frees up — backpressure instead
+// of unbounded memory growth when queries outrun the media — and counts
+// each stall in sqp_io_backpressure_waits_total{disk}. TrySubmit never
+// blocks: a full queue rejects the job (used by speculative work like
+// prefetch, which must never delay demand traffic) and counts it in
+// sqp_io_queue_rejections_total{disk}. Workers never submit jobs, so the
+// blocking path cannot deadlock.
 
 #ifndef SQP_EXEC_IO_POOL_H_
 #define SQP_EXEC_IO_POOL_H_
@@ -30,13 +39,21 @@
 
 namespace sqp::exec {
 
+struct DiskIoPoolOptions {
+  // Per-disk queue capacity (jobs queued, not counting the one in
+  // service). Deliberately generous: the bound exists to cap memory and
+  // surface overload, not to throttle ordinary batches.
+  size_t max_queue_depth = 1024;
+};
+
 class DiskIoPool {
  public:
   // Starts one worker per disk. `num_disks` >= 1. When `metrics` is
   // non-null the per-disk instruments above are registered on it; null
   // runs unmetered (no timestamps taken on the hot path).
   explicit DiskIoPool(int num_disks,
-                      obs::MetricsRegistry* metrics = nullptr);
+                      obs::MetricsRegistry* metrics = nullptr,
+                      const DiskIoPoolOptions& options = {});
 
   // Drains every queue, then joins the workers.
   ~DiskIoPool();
@@ -46,13 +63,24 @@ class DiskIoPool {
 
   int num_disks() const { return static_cast<int>(queues_.size()); }
 
-  // Enqueues `job` on `disk`'s queue. The job runs on that disk's worker
-  // thread; completion signalling is the caller's business (the engine
-  // uses a per-batch counter + condvar).
+  // Enqueues `job` on `disk`'s queue, blocking while the queue is at
+  // capacity. The job runs on that disk's worker thread; completion
+  // signalling is the caller's business (the engine uses a per-batch
+  // counter + condvar). Must not be called from a worker thread.
   void Submit(int disk, std::function<void()> job);
+
+  // Non-blocking variant: enqueues `job` if the queue has space, returns
+  // false (dropping the job) if it is full or stopping.
+  bool TrySubmit(int disk, std::function<void()> job);
 
   // Jobs executed so far, summed over all disks (monotonic).
   uint64_t jobs_completed() const;
+
+  // Times Submit had to wait for queue space, summed over all disks.
+  uint64_t backpressure_waits() const;
+
+  // Jobs TrySubmit rejected for lack of space, summed over all disks.
+  uint64_t queue_rejections() const;
 
  private:
   struct QueuedJob {
@@ -62,14 +90,19 @@ class DiskIoPool {
 
   struct DiskQueue {
     mutable std::mutex mu;
-    std::condition_variable cv;
+    std::condition_variable cv;        // signals the worker: job available
+    std::condition_variable space_cv;  // signals submitters: space freed
     std::deque<QueuedJob> jobs;
     uint64_t completed = 0;
+    uint64_t backpressure_waits = 0;
+    uint64_t rejections = 0;
     bool stop = false;
     // Instruments (null when unmetered). Written by Submit and the
     // worker; the instruments themselves are thread-safe.
     obs::Counter* jobs_total = nullptr;
     obs::Gauge* queue_depth = nullptr;
+    obs::Counter* backpressure_total = nullptr;
+    obs::Counter* rejections_total = nullptr;
     obs::Histogram* wait_seconds = nullptr;
     obs::Histogram* service_seconds = nullptr;
   };
@@ -80,6 +113,7 @@ class DiskIoPool {
   std::deque<DiskQueue> queues_;
   std::vector<std::thread> workers_;
   bool metered_ = false;
+  size_t max_queue_depth_ = 0;
 };
 
 }  // namespace sqp::exec

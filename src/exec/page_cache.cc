@@ -24,7 +24,7 @@ ShardedPageCache::ShardedPageCache(const PageCacheOptions& options,
   }
 }
 
-const rstar::Node* ShardedPageCache::LookupPinned(rstar::PageId id) {
+const FlatNode* ShardedPageCache::LookupPinned(rstar::PageId id) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.frames.find(id);
@@ -41,9 +41,20 @@ const rstar::Node* ShardedPageCache::LookupPinned(rstar::PageId id) {
   return &f.node;
 }
 
-const rstar::Node* ShardedPageCache::InsertPinned(rstar::PageId id,
-                                                  rstar::Node node,
-                                                  uint32_t span) {
+const FlatNode* ShardedPageCache::ProbePinned(rstar::PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return nullptr;
+  Frame& f = it->second;
+  ++f.pins;
+  shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
+  return &f.node;
+}
+
+const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
+                                               FlatNode node,
+                                               uint32_t span) {
   SQP_CHECK(span >= 1);
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -3,12 +3,14 @@
 //
 // This is the wall-clock analogue of sim/buffer_pool.h: where the
 // simulator's pool only decides whether a virtual-time I/O is charged,
-// this cache holds actual decoded rstar::Node objects read from a
-// storage::PageStore, and its lock sharding is what keeps dozens of query
-// threads from serializing on one mutex. Entries are pinned while a query
-// is processing them, so eviction can never free a node out from under an
-// OnPagesFetched callback; capacity is accounted in disk pages (a
-// supernode record occupies its span, like on the media).
+// this cache holds nodes read from a storage::PageStore and already
+// converted to the SoA FlatNode layout (so a page is decoded and
+// flattened once per residency, not once per visit), and its lock
+// sharding is what keeps dozens of query threads from serializing on one
+// mutex. Entries are pinned while a query is processing them, so eviction
+// can never free a node out from under an OnPagesFetched callback;
+// capacity is accounted in disk pages (a supernode record occupies its
+// span, like on the media).
 
 #ifndef SQP_EXEC_PAGE_CACHE_H_
 #define SQP_EXEC_PAGE_CACHE_H_
@@ -19,11 +21,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/flat_node.h"
 #include "obs/metrics.h"
-#include "rstar/node.h"
 #include "rstar/types.h"
 
 namespace sqp::exec {
+
+// The exec layer stores and serves the core layer's SoA node form.
+using FlatNode = core::FlatNode;
 
 struct PageCacheOptions {
   // Total capacity in disk pages, split evenly across shards. Pinned
@@ -64,14 +69,20 @@ class ShardedPageCache {
 
   // If `id` is resident: pins it, moves it to MRU, and returns the node
   // (stable until the matching Unpin). Returns nullptr on a miss.
-  const rstar::Node* LookupPinned(rstar::PageId id);
+  const FlatNode* LookupPinned(rstar::PageId id);
+
+  // Like LookupPinned, but does not touch the hit/miss statistics. Used
+  // for the second-chance probe inside disk I/O jobs (read coalescing):
+  // the miss was already counted when the query thread looked the page up,
+  // so counting the probe would double-book the request.
+  const FlatNode* ProbePinned(rstar::PageId id);
 
   // Makes `id` resident with the given decoded contents and returns it
   // pinned. If another thread inserted `id` first, the existing entry wins
   // (the engine may decode the same missed page twice under contention)
   // and `node` is discarded. `span` is the record's size in disk pages.
-  const rstar::Node* InsertPinned(rstar::PageId id, rstar::Node node,
-                                  uint32_t span);
+  const FlatNode* InsertPinned(rstar::PageId id, FlatNode node,
+                               uint32_t span);
 
   // Releases one pin taken by LookupPinned/InsertPinned.
   void Unpin(rstar::PageId id);
@@ -84,7 +95,7 @@ class ShardedPageCache {
 
  private:
   struct Frame {
-    rstar::Node node;
+    FlatNode node;
     uint32_t span = 1;
     int pins = 0;
     std::list<rstar::PageId>::iterator lru_pos;

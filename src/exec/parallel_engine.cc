@@ -29,10 +29,13 @@ struct BatchSync {
   int pending = 0;
   common::Status error;
   IoFaultCounters counters;
+  uint64_t coalesced = 0;  // pages found cached by the second-chance probe
 
-  void Done(const common::Status& status, const IoFaultCounters& job) {
+  void Done(const common::Status& status, const IoFaultCounters& job,
+            uint64_t job_coalesced) {
     std::lock_guard<std::mutex> lock(mu);
     counters.Add(job);
+    coalesced += job_coalesced;
     if (error.ok() && !status.ok()) error = status;
     if (--pending == 0) cv.notify_one();
   }
@@ -91,6 +94,10 @@ ParallelQueryEngine::ParallelQueryEngine(
         metrics_->GetCounter("sqp_engine_page_requests_total");
     instr_.pages_fetched =
         metrics_->GetCounter("sqp_engine_pages_fetched_total");
+    instr_.coalesced =
+        metrics_->GetCounter("sqp_engine_coalesced_reads_total");
+    instr_.prefetch_issued =
+        metrics_->GetCounter("sqp_engine_prefetch_issued_total");
     instr_.inflight = metrics_->GetGauge("sqp_engine_inflight_queries");
     instr_.latency_seconds =
         metrics_->GetHistogram("sqp_engine_query_latency_seconds",
@@ -107,14 +114,18 @@ ParallelQueryEngine::ParallelQueryEngine(
   cache_options.capacity_pages = options.cache_pages;
   cache_options.shards = options.cache_shards;
   cache_ = std::make_unique<ShardedPageCache>(cache_options, metrics_);
-  io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks(), metrics_);
+  DiskIoPoolOptions pool_options;
+  pool_options.max_queue_depth = options.io_queue_depth;
+  io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks(), metrics_,
+                                          pool_options);
 }
 
 ParallelQueryEngine::~ParallelQueryEngine() = default;
 
 common::Status ParallelQueryEngine::FetchBatch(
     const std::vector<rstar::PageId>& ids,
-    std::vector<const rstar::Node*>* slots, QueryOutcome* outcome,
+    const std::vector<rstar::PageId>& prefetch_hints,
+    std::vector<const FlatNode*>* slots, QueryOutcome* outcome,
     obs::TraceSpan* span) {
   slots->assign(ids.size(), nullptr);
   // Lazily sized so a fully cached step leaves pages_per_disk empty.
@@ -131,7 +142,7 @@ common::Status ParallelQueryEngine::FetchBatch(
   // assignment: each group becomes one job on that disk's worker.
   std::map<int, std::vector<size_t>> misses_by_disk;
   for (size_t i = 0; i < ids.size(); ++i) {
-    if (const rstar::Node* node = cache_->LookupPinned(ids[i])) {
+    if (const FlatNode* node = cache_->LookupPinned(ids[i])) {
       (*slots)[i] = node;
       ++outcome->cache_hits;
       if (span != nullptr) ++span->cache_hits;
@@ -154,34 +165,58 @@ common::Status ParallelQueryEngine::FetchBatch(
 
   if (options_.serial_io) {
     // Baseline mode: every missed page is one blocking read on this
-    // thread — no disk-level overlap at all.
+    // thread — no disk-level overlap at all. Concurrent queries missing
+    // the same page here would duplicate the pread + decode, so reads go
+    // through the in-flight table: one leader reads, followers wait and
+    // pick the page up from the cache.
     IoFaultCounters counters;
+    common::Status failure;
     for (auto& [disk, slot_indices] : misses_by_disk) {
       for (size_t i : slot_indices) {
         const rstar::PageId id = ids[i];
-        common::Result<rstar::Node> node = reader_->ReadNode(id, &counters);
-        if (!node.ok()) {
-          for (size_t j = 0; j < ids.size(); ++j) {
-            if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
+        while ((*slots)[i] == nullptr && failure.ok()) {
+          common::Status leader_status;
+          if (coalescer_.BeginOrWait(id, &leader_status)) {
+            common::Result<core::FlatNode> node =
+                reader_->ReadFlatNode(id, &counters);
+            common::Status read =
+                node.ok() ? common::Status::OK() : node.status();
+            if (node.ok()) {
+              (*slots)[i] = cache_->InsertPinned(
+                  id, std::move(*node), reader_->layout().pages[id].span);
+            } else {
+              failure = read;
+            }
+            coalescer_.Complete(id, read);
+          } else {
+            // Joined a leader's read. The page was inserted just before
+            // Complete; if it has already been evicted (tiny cache), loop
+            // and become the leader ourselves.
+            ++outcome->coalesced_reads;
+            if (instr_.coalesced != nullptr) instr_.coalesced->Add(1);
+            if (!leader_status.ok()) {
+              failure = leader_status;
+              break;
+            }
+            (*slots)[i] = cache_->ProbePinned(id);
           }
-          slots->assign(ids.size(), nullptr);
-          outcome->io_faults += counters.faults;
-          outcome->io_retries += counters.retries;
-          if (span != nullptr) {
-            span->io_faults += counters.faults;
-            span->io_retries += counters.retries;
-          }
-          return node.status();
         }
-        (*slots)[i] = cache_->InsertPinned(
-            id, std::move(*node), reader_->layout().pages[id].span);
+        if (!failure.ok()) break;
       }
+      if (!failure.ok()) break;
     }
     outcome->io_faults += counters.faults;
     outcome->io_retries += counters.retries;
     if (span != nullptr) {
       span->io_faults += counters.faults;
       span->io_retries += counters.retries;
+    }
+    if (!failure.ok()) {
+      for (size_t j = 0; j < ids.size(); ++j) {
+        if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
+      }
+      slots->assign(ids.size(), nullptr);
+      return failure;
     }
     return common::Status::OK();
   }
@@ -195,27 +230,51 @@ common::Status ParallelQueryEngine::FetchBatch(
       // so a faulty read can never poison the shared cache.
       io_pool_->Submit(disk, [this, &ids, slots, &sync,
                               group = &slot_indices] {
-        std::vector<rstar::PageId> group_ids;
-        group_ids.reserve(group->size());
-        for (size_t i : *group) group_ids.push_back(ids[i]);
-        std::vector<rstar::Node> nodes;
-        IoFaultCounters counters;
-        common::Status read =
-            reader_->ReadNodes(group_ids, &nodes, &counters);
-        if (read.ok()) {
-          for (size_t n = 0; n < group->size(); ++n) {
-            const rstar::PageId id = group_ids[n];
-            const uint32_t span_pages = reader_->layout().pages[id].span;
-            (*slots)[(*group)[n]] =
-                cache_->InsertPinned(id, std::move(nodes[n]), span_pages);
+        // Second-chance probe: a page's primary location maps to exactly
+        // one disk, and this worker runs that disk's jobs in order — so
+        // if another query missed the same page and its job ran first,
+        // the page is cached by now and the backend read is coalesced
+        // away. The probe is uncounted (the miss was already booked by
+        // the query thread's lookup).
+        std::vector<rstar::PageId> to_read;
+        std::vector<size_t> to_read_slots;
+        uint64_t job_coalesced = 0;
+        to_read.reserve(group->size());
+        to_read_slots.reserve(group->size());
+        for (size_t i : *group) {
+          if (const FlatNode* node = cache_->ProbePinned(ids[i])) {
+            (*slots)[i] = node;
+            ++job_coalesced;
+          } else {
+            to_read.push_back(ids[i]);
+            to_read_slots.push_back(i);
           }
         }
-        sync.Done(read, counters);
+        std::vector<core::FlatNode> nodes;
+        IoFaultCounters counters;
+        common::Status read = common::Status::OK();
+        if (!to_read.empty()) {
+          read = reader_->ReadFlatNodes(to_read, &nodes, &counters);
+          if (read.ok()) {
+            for (size_t n = 0; n < to_read.size(); ++n) {
+              const rstar::PageId id = to_read[n];
+              const uint32_t span_pages = reader_->layout().pages[id].span;
+              (*slots)[to_read_slots[n]] =
+                  cache_->InsertPinned(id, std::move(nodes[n]), span_pages);
+            }
+          }
+        }
+        sync.Done(read, counters, job_coalesced);
       });
     }
+    IssuePrefetch(prefetch_hints, misses_by_disk, outcome);
     common::Status batch = sync.Wait();
     outcome->io_faults += sync.counters.faults;
     outcome->io_retries += sync.counters.retries;
+    outcome->coalesced_reads += sync.coalesced;
+    if (instr_.coalesced != nullptr && sync.coalesced > 0) {
+      instr_.coalesced->Add(static_cast<int64_t>(sync.coalesced));
+    }
     if (span != nullptr) {
       span->io_faults += sync.counters.faults;
       span->io_retries += sync.counters.retries;
@@ -227,8 +286,54 @@ common::Status ParallelQueryEngine::FetchBatch(
       slots->assign(ids.size(), nullptr);
       return batch;
     }
+  } else {
+    IssuePrefetch(prefetch_hints, misses_by_disk, outcome);
   }
   return common::Status::OK();
+}
+
+void ParallelQueryEngine::IssuePrefetch(
+    const std::vector<rstar::PageId>& hints,
+    const std::map<int, std::vector<size_t>>& busy_disks,
+    QueryOutcome* outcome) {
+  if (options_.prefetch_budget <= 0 || hints.empty() || options_.serial_io) {
+    return;
+  }
+  int budget = options_.prefetch_budget;
+  for (rstar::PageId hint : hints) {
+    if (budget <= 0) break;
+    auto loc = reader_->LocationOf(hint);
+    if (!loc.ok()) continue;
+    // Demand misses own their disks this step; speculation only rides on
+    // disks the batch left idle (batch < NumDisks — the idle-spindle
+    // window CRSS's candidate runs are meant to fill).
+    if (busy_disks.count(loc->disk) != 0) continue;
+    if (cache_->ProbePinned(hint) != nullptr) {
+      cache_->Unpin(hint);
+      continue;  // already cached, nothing to speculate
+    }
+    const int disk = loc->disk;
+    const uint32_t span_pages = loc->span;
+    // Fire-and-forget: nobody waits on this job; a full queue simply
+    // drops the speculation (queue_rejections counts it). The engine's
+    // destruction order guarantees the pool drains before cache/reader
+    // go away.
+    const bool accepted = io_pool_->TrySubmit(disk, [this, hint, span_pages] {
+      if (cache_->ProbePinned(hint) != nullptr) {
+        cache_->Unpin(hint);
+        return;  // a demand read beat us to it
+      }
+      common::Result<core::FlatNode> node = reader_->ReadFlatNode(hint);
+      if (!node.ok()) return;  // speculation failing is not an error
+      cache_->InsertPinned(hint, std::move(*node), span_pages);
+      cache_->Unpin(hint);
+    });
+    if (accepted) {
+      --budget;
+      ++outcome->prefetch_issued;
+      if (instr_.prefetch_issued != nullptr) instr_.prefetch_issued->Add(1);
+    }
+  }
 }
 
 QueryOutcome ParallelQueryEngine::RunQuery(const EngineQuery& query) {
@@ -269,7 +374,7 @@ QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
   auto algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
                                   query.k, reader_->num_disks());
 
-  std::vector<const rstar::Node*> slots;
+  std::vector<const FlatNode*> slots;
   core::StepResult step = algo->Begin();
   uint32_t step_index = 0;
   while (!step.done) {
@@ -289,7 +394,8 @@ QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
       fetch_start = NowSeconds();
       span.start_s = fetch_start - trace_->epoch_seconds();
     }
-    answer.status = FetchBatch(step.requests, &slots, &answer, span_ptr);
+    answer.status = FetchBatch(step.requests, step.prefetch_hints, &slots,
+                               &answer, span_ptr);
     if (span_ptr != nullptr) fetch_end = NowSeconds();
     if (instr_.steps != nullptr) {
       instr_.steps->Add(1);

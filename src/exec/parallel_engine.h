@@ -23,12 +23,14 @@
 #define SQP_EXEC_PARALLEL_ENGINE_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/algorithms.h"
 #include "core/knn_result.h"
+#include "exec/coalescer.h"
 #include "exec/io_pool.h"
 #include "exec/page_cache.h"
 #include "exec/stored_index.h"
@@ -52,6 +54,17 @@ struct EngineOptions {
   // at-a-time system the paper's speedup figures compare against;
   // benchmarks use it as the baseline. Results are identical either way.
   bool serial_io = false;
+  // Per-disk I/O queue bound (see DiskIoPoolOptions::max_queue_depth).
+  size_t io_queue_depth = 1024;
+  // Speculative prefetch: when a step's activation batch leaves disks
+  // idle and the algorithm supplied prefetch hints (CRSS hints its top
+  // deferred candidate-run pages), up to this many hinted pages per step
+  // are issued on the idle disks into the cache via TrySubmit (never
+  // delaying demand reads). 0 disables prefetch — the default, which also
+  // keeps the strict metrics conservation identities of
+  // docs/OBSERVABILITY.md (prefetch reads are extra reader records that
+  // the per-query pages_fetched totals deliberately exclude).
+  int prefetch_budget = 0;
   // How hard the stored-index reader fights transient media faults
   // before a record's failure surfaces as the query's status.
   RetryPolicy retry;
@@ -93,6 +106,12 @@ struct QueryOutcome {
   // faults with a bit-identical result.
   uint64_t io_faults = 0;
   uint64_t io_retries = 0;
+  // Backend reads this query avoided by sharing another query's work:
+  // in-flight read joins (serial_io) plus pages found already cached by
+  // the second-chance probe inside its disk jobs (pooled mode).
+  uint64_t coalesced_reads = 0;
+  // Speculative pages this query's steps pushed to idle disks.
+  uint64_t prefetch_issued = 0;
   double latency_s = 0.0;
   // Engine-unique id tying this outcome to its trace spans.
   uint64_t query_id = 0;
@@ -146,9 +165,19 @@ class ParallelQueryEngine {
   // and stores pinned nodes into `slots` (aligned with `ids`). On error
   // every successfully pinned slot is unpinned and cleared. `span`, when
   // non-null, receives this step's cache/io breakdown (trace recording).
+  // `prefetch_hints` (may be empty) are speculative pages the algorithm
+  // would likely activate next; with a prefetch budget, hints are pushed
+  // to disks left idle by this step's demand misses.
   common::Status FetchBatch(const std::vector<rstar::PageId>& ids,
-                            std::vector<const rstar::Node*>* slots,
+                            const std::vector<rstar::PageId>& prefetch_hints,
+                            std::vector<const FlatNode*>* slots,
                             QueryOutcome* outcome, obs::TraceSpan* span);
+
+  // Pushes up to the step's remaining prefetch budget of hinted pages to
+  // disks not in `busy_disks`, as fire-and-forget TrySubmit jobs.
+  void IssuePrefetch(const std::vector<rstar::PageId>& hints,
+                     const std::map<int, std::vector<size_t>>& busy_disks,
+                     QueryOutcome* outcome);
 
   QueryOutcome RunQueryImpl(const EngineQuery& query, uint64_t query_id);
 
@@ -169,6 +198,12 @@ class ParallelQueryEngine {
 
   std::unique_ptr<StoredIndexReader> reader_;
   std::unique_ptr<ShardedPageCache> cache_;
+  // In-flight read table for serial_io mode; pooled mode coalesces via
+  // the per-disk worker serialization + second-chance cache probe.
+  ReadCoalescer coalescer_;
+  // Declared last so it is destroyed first: the worker threads drain
+  // (including fire-and-forget prefetch jobs that touch cache_ and
+  // reader_) before anything they reference goes away.
   std::unique_ptr<DiskIoPool> io_pool_;
   std::atomic<uint64_t> next_query_id_{0};
   struct Instruments {
@@ -177,6 +212,8 @@ class ParallelQueryEngine {
     obs::Counter* steps = nullptr;
     obs::Counter* page_requests = nullptr;
     obs::Counter* pages_fetched = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* prefetch_issued = nullptr;
     obs::Gauge* inflight = nullptr;
     obs::Histogram* latency_seconds = nullptr;
     obs::Histogram* batch_pages = nullptr;

@@ -136,6 +136,26 @@ common::Result<rstar::Node> StoredIndexReader::ReadOneWithRetry(
                        std::to_string(attempts_made) + " attempt(s))");
 }
 
+common::Result<core::FlatNode> StoredIndexReader::ReadFlatNode(
+    rstar::PageId id, IoFaultCounters* counters) const {
+  auto node = ReadNode(id, counters);
+  if (!node.ok()) return node.status();
+  return core::FlatNode::FromNode(*node, layout_.tree_config.dim);
+}
+
+common::Status StoredIndexReader::ReadFlatNodes(
+    std::span<const rstar::PageId> ids, std::vector<core::FlatNode>* out,
+    IoFaultCounters* counters) const {
+  std::vector<rstar::Node> nodes;
+  nodes.reserve(ids.size());
+  SQP_RETURN_IF_ERROR(ReadNodes(ids, &nodes, counters));
+  out->reserve(out->size() + nodes.size());
+  for (const rstar::Node& n : nodes) {
+    out->push_back(core::FlatNode::FromNode(n, layout_.tree_config.dim));
+  }
+  return common::Status::OK();
+}
+
 common::Status StoredIndexReader::ReadNodes(
     std::span<const rstar::PageId> ids, std::vector<rstar::Node>* out,
     IoFaultCounters* counters) const {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/flat_node.h"
 #include "obs/metrics.h"
 #include "rstar/node.h"
 #include "rstar/types.h"
@@ -98,6 +99,16 @@ class StoredIndexReader {
   common::Status ReadNodes(std::span<const rstar::PageId> ids,
                            std::vector<rstar::Node>* out,
                            IoFaultCounters* counters = nullptr) const;
+
+  // Like ReadNode/ReadNodes, but delivers the records already converted
+  // to the SoA core::FlatNode layout the engine's page cache stores (one
+  // conversion per cold read; warm path never sees an rstar::Node). Same
+  // retry/fault semantics as ReadNodes.
+  common::Result<core::FlatNode> ReadFlatNode(
+      rstar::PageId id, IoFaultCounters* counters = nullptr) const;
+  common::Status ReadFlatNodes(std::span<const rstar::PageId> ids,
+                               std::vector<core::FlatNode>* out,
+                               IoFaultCounters* counters = nullptr) const;
 
   // Aggregate fault activity since the reader was opened.
   ReaderFaultTotals fault_totals() const;

@@ -1,0 +1,174 @@
+#include "geometry/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sqp::geometry {
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+// Per-dimension MinDist term, shared by both loop orders. Branchless form
+// of the metrics.cc comparison chain: with lo <= hi at most one of the two
+// differences is positive, so their clamped sum equals the branchy pick.
+inline double MinDistTerm(double v, float lo, float hi) {
+  const double dlo = static_cast<double>(lo) - v;
+  const double dhi = v - static_cast<double>(hi);
+  return (dlo > 0.0 ? dlo : 0.0) + (dhi > 0.0 ? dhi : 0.0);
+}
+
+}  // namespace
+
+void SetForceScalarKernels(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool ForceScalarKernels() {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void MinDistBatch(const Point& q, const float* const* lo,
+                  const float* const* hi, size_t n, double* out) {
+  const int dim = q.dim();
+  if (n == 0) return;
+  if (ForceScalarKernels()) {
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double d = MinDistTerm(q[j], lo[j][i], hi[j][i]);
+        sum += d * d;
+      }
+      out[i] = sum;
+    }
+    return;
+  }
+  std::fill(out, out + n, 0.0);
+  for (int j = 0; j < dim; ++j) {
+    const double v = q[j];
+    const float* lj = lo[j];
+    const float* hj = hi[j];
+    for (size_t i = 0; i < n; ++i) {
+      const double d = MinDistTerm(v, lj[i], hj[i]);
+      out[i] += d * d;
+    }
+  }
+}
+
+void MinMaxDistBatch(const Point& q, const float* const* lo,
+                     const float* const* hi, size_t n, double* out,
+                     double* total_far_scratch) {
+  const int dim = q.dim();
+  if (n == 0) return;
+  const double inf = std::numeric_limits<double>::infinity();
+  if (ForceScalarKernels()) {
+    for (size_t i = 0; i < n; ++i) {
+      double total_far = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double v = q[j];
+        const double s = lo[j][i];
+        const double t = hi[j][i];
+        const double mid = (s + t) / 2.0;
+        const double rM = (v >= mid) ? s : t;
+        const double dfar = v - rM;
+        total_far += dfar * dfar;
+      }
+      double best = inf;
+      for (int k = 0; k < dim; ++k) {
+        const double v = q[k];
+        const double s = lo[k][i];
+        const double t = hi[k][i];
+        const double mid = (s + t) / 2.0;
+        const double rM = (v >= mid) ? s : t;
+        const double rm = (v <= mid) ? s : t;
+        const double dfar = v - rM;
+        const double dnear = v - rm;
+        best = std::min(best, total_far - dfar * dfar + dnear * dnear);
+      }
+      out[i] = best;
+    }
+    return;
+  }
+  std::fill(total_far_scratch, total_far_scratch + n, 0.0);
+  for (int j = 0; j < dim; ++j) {
+    const double v = q[j];
+    const float* lj = lo[j];
+    const float* hj = hi[j];
+    for (size_t i = 0; i < n; ++i) {
+      const double s = lj[i];
+      const double t = hj[i];
+      const double mid = (s + t) / 2.0;
+      const double rM = (v >= mid) ? s : t;
+      const double dfar = v - rM;
+      total_far_scratch[i] += dfar * dfar;
+    }
+  }
+  std::fill(out, out + n, inf);
+  for (int k = 0; k < dim; ++k) {
+    const double v = q[k];
+    const float* lk = lo[k];
+    const float* hk = hi[k];
+    for (size_t i = 0; i < n; ++i) {
+      const double s = lk[i];
+      const double t = hk[i];
+      const double mid = (s + t) / 2.0;
+      const double rM = (v >= mid) ? s : t;
+      const double rm = (v <= mid) ? s : t;
+      const double dfar = v - rM;
+      const double dnear = v - rm;
+      const double candidate =
+          total_far_scratch[i] - dfar * dfar + dnear * dnear;
+      out[i] = std::min(out[i], candidate);
+    }
+  }
+}
+
+void MaxDistBatch(const Point& q, const float* const* lo,
+                  const float* const* hi, size_t n, double* out) {
+  const int dim = q.dim();
+  if (n == 0) return;
+  if (ForceScalarKernels()) {
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double v = q[j];
+        const double s = lo[j][i];
+        const double t = hi[j][i];
+        const double mid = (s + t) / 2.0;
+        const double far = (v <= mid) ? t : s;
+        const double d = v - far;
+        sum += d * d;
+      }
+      out[i] = sum;
+    }
+    return;
+  }
+  std::fill(out, out + n, 0.0);
+  for (int j = 0; j < dim; ++j) {
+    const double v = q[j];
+    const float* lj = lo[j];
+    const float* hj = hi[j];
+    for (size_t i = 0; i < n; ++i) {
+      const double s = lj[i];
+      const double t = hj[i];
+      const double mid = (s + t) / 2.0;
+      const double far = (v <= mid) ? t : s;
+      const double d = v - far;
+      out[i] += d * d;
+    }
+  }
+}
+
+void IntersectsSphereBatch(const Point& q, const float* const* lo,
+                           const float* const* hi, size_t n,
+                           double radius_sq, double* dist_out,
+                           uint8_t* intersects_out) {
+  MinDistBatch(q, lo, hi, n, dist_out);
+  for (size_t i = 0; i < n; ++i) {
+    intersects_out[i] = dist_out[i] <= radius_sq ? 1 : 0;
+  }
+}
+
+}  // namespace sqp::geometry

@@ -1,0 +1,58 @@
+// Branch-light batch forms of the metrics in metrics.h, computing a whole
+// node's entries in one pass over plane-major (structure-of-arrays) data.
+//
+// Input layout: `lo[j]` / `hi[j]` point at `n` contiguous floats holding
+// coordinate j of every entry's MBR corner (core::FlatNode and
+// core::EntryPool both expose this view). The batch loops run
+// dimension-outer / entry-inner, so each output element accumulates its
+// per-dimension terms in exactly the order the scalar metrics use — the
+// compiler may vectorize across entries (independent lanes) but can never
+// reassociate within one, which is what keeps every result bit-identical
+// to MinDistSq / MinMaxDistSq / MaxDistSq on the equivalent Rect.
+//
+// SetForceScalarKernels(true) switches every kernel to an entry-outer
+// scalar loop with the same per-entry arithmetic; the kernel-equivalence
+// test sweeps both modes and asserts exact float equality against the
+// Rect-based metrics. Build with -DSQP_NATIVE=ON to let the batch loops
+// use the host's full SIMD width.
+
+#ifndef SQP_GEOMETRY_KERNELS_H_
+#define SQP_GEOMETRY_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/point.h"
+
+namespace sqp::geometry {
+
+// out[i] = MinDistSq(q, entry i). `out` holds n doubles.
+void MinDistBatch(const Point& q, const float* const* lo,
+                  const float* const* hi, size_t n, double* out);
+
+// out[i] = MinMaxDistSq(q, entry i). `total_far_scratch` is caller scratch
+// of n doubles (the shared first-pass accumulator), so steady-state calls
+// allocate nothing.
+void MinMaxDistBatch(const Point& q, const float* const* lo,
+                     const float* const* hi, size_t n, double* out,
+                     double* total_far_scratch);
+
+// out[i] = MaxDistSq(q, entry i).
+void MaxDistBatch(const Point& q, const float* const* lo,
+                  const float* const* hi, size_t n, double* out);
+
+// dist_out[i] = MinDistSq(q, entry i); intersects_out[i] = 1 iff the
+// closed ball of squared radius `radius_sq` around q touches entry i.
+void IntersectsSphereBatch(const Point& q, const float* const* lo,
+                           const float* const* hi, size_t n,
+                           double radius_sq, double* dist_out,
+                           uint8_t* intersects_out);
+
+// Test hook: route every batch kernel through the entry-outer scalar
+// fallback. Thread-safe; affects all subsequent calls process-wide.
+void SetForceScalarKernels(bool force);
+bool ForceScalarKernels();
+
+}  // namespace sqp::geometry
+
+#endif  // SQP_GEOMETRY_KERNELS_H_

@@ -18,6 +18,10 @@ struct ActiveQuery {
   std::unique_ptr<core::BatchTraversal> algo;
   // Pages of the current batch, in request order; filled as they arrive.
   std::vector<core::FetchedPage> batch;
+  // Flat conversions backing batch[i].node, same indexing. Converted fresh
+  // at host-arrival time (no memoization: mixed runs mutate the tree, and
+  // a snapshot is exactly what an unlatched reader would have copied in).
+  std::vector<core::FlatNode> flat;
   size_t outstanding = 0;
   QueryOutcome outcome;
 };
@@ -215,6 +219,8 @@ class Engine {
 
     q->batch.clear();
     q->batch.reserve(step.requests.size());
+    q->flat.clear();
+    q->flat.resize(step.requests.size());
     q->outstanding = step.requests.size();
     for (rstar::PageId page : step.requests) {
       const size_t slot = q->batch.size();
@@ -259,7 +265,9 @@ class Engine {
   void PageAtHost(ActiveQuery* q, size_t slot) {
     Trace(q, TraceEventKind::kPageAtHost, q->batch[slot].id);
     buffer_.Insert(q->batch[slot].id);
-    q->batch[slot].node = &index_.tree().node(q->batch[slot].id);
+    q->flat[slot] = core::FlatNode::FromNode(
+        index_.tree().node(q->batch[slot].id), index_.tree().config().dim);
+    q->batch[slot].node = &q->flat[slot];
     SQP_CHECK(q->outstanding > 0);
     if (--q->outstanding > 0) return;
 

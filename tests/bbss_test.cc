@@ -46,12 +46,13 @@ TEST(BbssTest, DescendsNearestBranchFirst) {
   }
 
   Bbss algo(tree, Point{0.1, 0.1}, 1);
+  FlatNodeMap flat(tree);
   StepResult step = algo.Begin();
   int fetches = 0;
   bool reached_leaf = false;
   while (!step.done && !reached_leaf) {
     ASSERT_EQ(step.requests.size(), 1u);
-    const rstar::Node& n = tree.node(step.requests[0]);
+    const FlatNode& n = flat.Get(step.requests[0]);
     ++fetches;
     reached_leaf = n.IsLeaf();
     step = algo.OnPagesFetched({{step.requests[0], &n}});

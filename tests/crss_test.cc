@@ -38,6 +38,7 @@ TEST(CrssTest, ModeLifecycle) {
   ASSERT_GE(tree.Height(), 2);
 
   Crss algo(tree, Point{0.5, 0.5}, 5, CrssOptions{4, true});
+  FlatNodeMap flat(tree);
   StepResult step = algo.Begin();
   EXPECT_EQ(algo.mode(), CrssMode::kAdaptive);
 
@@ -45,7 +46,7 @@ TEST(CrssTest, ModeLifecycle) {
   while (!step.done) {
     std::vector<FetchedPage> pages;
     for (rstar::PageId id : step.requests) {
-      pages.push_back({id, &tree.node(id)});
+      pages.push_back({id, &flat.Get(id)});
     }
     const bool leaf_batch = tree.node(step.requests[0]).IsLeaf();
     step = algo.OnPagesFetched(pages);
@@ -67,6 +68,7 @@ TEST(CrssTest, ActivationRespectsUpperBoundAfterResultsFull) {
   RStarTree tree(SmallConfig(2));
   workload::InsertAll(data, &tree);
 
+  FlatNodeMap flat(tree);
   for (int u : {1, 3, 8}) {
     Crss algo(tree, Point{0.5, 0.5}, 4, CrssOptions{u, true});
     StepResult step = algo.Begin();
@@ -78,7 +80,7 @@ TEST(CrssTest, ActivationRespectsUpperBoundAfterResultsFull) {
       }
       std::vector<FetchedPage> pages;
       for (rstar::PageId id : step.requests) {
-        pages.push_back({id, &tree.node(id)});
+        pages.push_back({id, &flat.Get(id)});
       }
       step = algo.OnPagesFetched(pages);
     }
@@ -93,11 +95,12 @@ TEST(CrssTest, LowerBoundGuaranteesFirstLeafWaveHoldsK) {
   workload::InsertAll(data, &tree);
 
   Crss algo(tree, Point{0.3, 0.3}, 10, CrssOptions{5, true});
+  FlatNodeMap flat(tree);
   StepResult step = algo.Begin();
   while (!step.done) {
     std::vector<FetchedPage> pages;
     for (rstar::PageId id : step.requests) {
-      pages.push_back({id, &tree.node(id)});
+      pages.push_back({id, &flat.Get(id)});
     }
     const bool was_leaf_batch = pages[0].node->IsLeaf();
     const bool first_leaf = was_leaf_batch && !algo.result().Full() &&

@@ -40,7 +40,7 @@ using exec::ShardedPageCache;
 using geometry::Point;
 using parallel::DeclusterPolicy;
 
-rstar::Node MakeNode(rstar::PageId id, int n_entries) {
+exec::FlatNode MakeNode(rstar::PageId id, int n_entries) {
   rstar::Node node;
   node.id = id;
   node.level = 0;
@@ -49,7 +49,7 @@ rstar::Node MakeNode(rstar::PageId id, int n_entries) {
     node.entries.push_back(
         rstar::Entry::ForObject(p, static_cast<rstar::ObjectId>(i)));
   }
-  return node;
+  return exec::FlatNode::FromNode(node, 2);
 }
 
 // --- ShardedPageCache -----------------------------------------------------
@@ -61,12 +61,12 @@ TEST(PageCacheTest, MissThenHit) {
   ShardedPageCache cache(options);
 
   EXPECT_EQ(cache.LookupPinned(7), nullptr);
-  const rstar::Node* inserted = cache.InsertPinned(7, MakeNode(7, 3), 1);
+  const exec::FlatNode* inserted = cache.InsertPinned(7, MakeNode(7, 3), 1);
   ASSERT_NE(inserted, nullptr);
-  EXPECT_EQ(inserted->entries.size(), 3u);
+  EXPECT_EQ(inserted->size(), 3u);
   cache.Unpin(7);
 
-  const rstar::Node* hit = cache.LookupPinned(7);
+  const exec::FlatNode* hit = cache.LookupPinned(7);
   ASSERT_EQ(hit, inserted);
   cache.Unpin(7);
 
@@ -102,13 +102,13 @@ TEST(PageCacheTest, PinnedEntriesSurviveEviction) {
   options.shards = 1;
   ShardedPageCache cache(options);
 
-  const rstar::Node* pinned = cache.InsertPinned(100, MakeNode(100, 2), 1);
+  const exec::FlatNode* pinned = cache.InsertPinned(100, MakeNode(100, 2), 1);
   // Flood far past capacity while 100 stays pinned.
   for (rstar::PageId id = 0; id < 20; ++id) {
     cache.InsertPinned(id, MakeNode(id, 1), 1);
     cache.Unpin(id);
   }
-  const rstar::Node* still = cache.LookupPinned(100);
+  const exec::FlatNode* still = cache.LookupPinned(100);
   EXPECT_EQ(still, pinned);
   cache.Unpin(100);
   cache.Unpin(100);
@@ -151,10 +151,10 @@ TEST(PageCacheTest, InsertRaceKeepsResidentCopy) {
   options.capacity_pages = 16;
   options.shards = 1;
   ShardedPageCache cache(options);
-  const rstar::Node* first = cache.InsertPinned(9, MakeNode(9, 2), 1);
-  const rstar::Node* second = cache.InsertPinned(9, MakeNode(9, 5), 1);
+  const exec::FlatNode* first = cache.InsertPinned(9, MakeNode(9, 2), 1);
+  const exec::FlatNode* second = cache.InsertPinned(9, MakeNode(9, 5), 1);
   EXPECT_EQ(first, second);
-  EXPECT_EQ(second->entries.size(), 2u);  // the resident copy won
+  EXPECT_EQ(second->size(), 2u);  // the resident copy won
   cache.Unpin(9);
   cache.Unpin(9);
 }
@@ -175,12 +175,12 @@ TEST(PageCacheTest, ConcurrentPinUnpin) {
       for (int i = 0; i < kOps; ++i) {
         const rstar::PageId id =
             static_cast<rstar::PageId>(rng.UniformInt(0, 127));
-        const rstar::Node* node = cache.LookupPinned(id);
+        const exec::FlatNode* node = cache.LookupPinned(id);
         if (node == nullptr) {
           node = cache.InsertPinned(id, MakeNode(id, 2), 1);
         }
         ASSERT_NE(node, nullptr);
-        ASSERT_EQ(node->entries.size(), 2u);
+        ASSERT_EQ(node->size(), 2u);
         cache.Unpin(id);
       }
     });
@@ -247,6 +247,82 @@ TEST(DiskIoPoolTest, DestructorDrainsPendingJobs) {
     }
   }
   EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(DiskIoPoolTest, TrySubmitRejectsWhenQueueFull) {
+  exec::DiskIoPoolOptions opts;
+  opts.max_queue_depth = 4;
+  DiskIoPool pool(1, nullptr, opts);
+
+  // Park the worker on a gate job so everything behind it stays queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> gate_running{false};
+  pool.Submit(0, [&] {
+    gate_running.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!gate_running.load()) std::this_thread::yield();
+
+  // The queue (not counting the job in service) holds exactly the bound.
+  std::atomic<int> ran{0};
+  for (size_t i = 0; i < opts.max_queue_depth; ++i) {
+    EXPECT_TRUE(pool.TrySubmit(0, [&ran] { ran.fetch_add(1); }));
+  }
+  EXPECT_FALSE(pool.TrySubmit(0, [&ran] { ran.fetch_add(1); }));
+  EXPECT_FALSE(pool.TrySubmit(0, [&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.queue_rejections(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  // Rejected jobs were dropped, accepted ones all run.
+  while (ran.load() < static_cast<int>(opts.max_queue_depth)) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), static_cast<int>(opts.max_queue_depth));
+}
+
+TEST(DiskIoPoolTest, SubmitBlocksUntilSpaceAndCountsBackpressure) {
+  exec::DiskIoPoolOptions opts;
+  opts.max_queue_depth = 2;
+  DiskIoPool pool(1, nullptr, opts);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> gate_running{false};
+  pool.Submit(0, [&] {
+    gate_running.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!gate_running.load()) std::this_thread::yield();
+  pool.Submit(0, [] {});
+  pool.Submit(0, [] {});  // queue now at capacity
+
+  std::atomic<bool> submitted{false};
+  std::thread submitter([&] {
+    pool.Submit(0, [] {});  // must block until the worker drains a slot
+    submitted.store(true);
+  });
+  // The stall is counted before the wait, so this poll is race-free.
+  while (pool.backpressure_waits() == 0) std::this_thread::yield();
+  EXPECT_FALSE(submitted.load());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  submitter.join();
+  EXPECT_TRUE(submitted.load());
+  EXPECT_EQ(pool.backpressure_waits(), 1u);
+  EXPECT_EQ(pool.queue_rejections(), 0u);
 }
 
 // --- Store-backed fixtures ------------------------------------------------

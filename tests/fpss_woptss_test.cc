@@ -52,9 +52,10 @@ TEST(FpssTest, ActivatesEverySphereIntersectingEntry) {
   const size_t k = 8;
 
   Fpss algo(tree, q, k);
+  FlatNodeMap flat(tree);
   StepResult step = algo.Begin();
   const rstar::Node& root = tree.node(tree.root());
-  step = algo.OnPagesFetched({{tree.root(), &root}});
+  step = algo.OnPagesFetched({{tree.root(), &flat.Get(tree.root())}});
 
   // Recompute the Lemma 1 threshold independently and check coverage.
   const Lemma1Threshold lemma = ComputeLemma1(q, root.entries, k);
@@ -102,6 +103,7 @@ TEST(WoptssTest, FetchesOnlySphereIntersectingPages) {
   const Point q{0.31, 0.62};
   const size_t k = 9;
   Woptss algo(tree, q, k);
+  FlatNodeMap flat(tree);
   const double dk_sq = algo.dk_sq();
 
   StepResult step = algo.Begin();
@@ -113,7 +115,7 @@ TEST(WoptssTest, FetchesOnlySphereIntersectingPages) {
         EXPECT_LE(geometry::MinDistSq(q, n.ComputeMbr()), dk_sq)
             << "page " << id;
       }
-      pages.push_back({id, &n});
+      pages.push_back({id, &flat.Get(id)});
     }
     step = algo.OnPagesFetched(pages);
   }

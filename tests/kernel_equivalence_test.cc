@@ -1,0 +1,236 @@
+// Exact-equality contract of the geometry/kernels.h batch kernels.
+//
+// Two layers:
+//  - kernel level: every batch output equals the per-entry Rect metric it
+//    replaced, bit for bit, in both the vectorizable dims-outer mode and
+//    the forced entry-outer scalar fallback;
+//  - algorithm level: full k-NN runs of all four search algorithms return
+//    bit-identical neighbor sets (objects AND squared distances) and page
+//    counts under both kernel modes, across the shared property-sweep
+//    seed range of tests/test_seeds.h.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/flat_node.h"
+#include "core/sequential_executor.h"
+#include "geometry/kernels.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rstar/node.h"
+#include "rstar/rstar_tree.h"
+#include "tests/test_seeds.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+#include "workload/workload.h"
+
+namespace sqp {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+using geometry::Rect;
+
+// Pins the kernel dispatch mode for a scope and always restores the
+// default (vectorizable) path, even if an assertion fires mid-test.
+class ScalarModeGuard {
+ public:
+  explicit ScalarModeGuard(bool force) {
+    geometry::SetForceScalarKernels(force);
+  }
+  ~ScalarModeGuard() { geometry::SetForceScalarKernels(false); }
+};
+
+Rect RandomRect(int dim, common::Rng& rng) {
+  Point lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    lo[i] = static_cast<geometry::Coord>(std::min(a, b));
+    hi[i] = static_cast<geometry::Coord>(std::max(a, b));
+  }
+  return Rect(lo, hi);
+}
+
+Point RandomPoint(int dim, common::Rng& rng) {
+  Point p(dim);
+  for (int i = 0; i < dim; ++i) {
+    p[i] = static_cast<geometry::Coord>(rng.Uniform());
+  }
+  return p;
+}
+
+// The kernel contract: batch outputs are the same doubles — not "close",
+// the same — as the scalar Rect metrics, in both dispatch modes.
+TEST(KernelEquivalenceTest, BatchOutputsMatchRectMetricsBitForBit) {
+  for (bool force_scalar : {false, true}) {
+    SCOPED_TRACE(force_scalar ? "scalar fallback" : "vectorizable path");
+    ScalarModeGuard guard(force_scalar);
+    common::Rng rng(917);
+    for (int dim : {1, 2, 3, 5, 10}) {
+      for (int n : {1, 7, 40, 160}) {
+        SCOPED_TRACE("dim " + std::to_string(dim) + " n " +
+                     std::to_string(n));
+        rstar::Node node;
+        node.id = 1;
+        node.level = 1;
+        std::vector<Rect> rects;
+        for (int i = 0; i < n; ++i) {
+          rects.push_back(RandomRect(dim, rng));
+          node.entries.push_back(rstar::Entry::ForChild(
+              rects.back(), static_cast<rstar::PageId>(i + 2), 1));
+        }
+        const core::FlatNode flat = core::FlatNode::FromNode(node, dim);
+        const Point q = RandomPoint(dim, rng);
+
+        const size_t sn = static_cast<size_t>(n);
+        std::vector<double> min_out(sn), mm_out(sn), max_out(sn),
+            scratch(sn), sphere_dist(sn);
+        std::vector<uint8_t> hits(sn);
+        geometry::MinDistBatch(q, flat.lo_planes(), flat.hi_planes(), sn,
+                               min_out.data());
+        geometry::MinMaxDistBatch(q, flat.lo_planes(), flat.hi_planes(), sn,
+                                  mm_out.data(), scratch.data());
+        geometry::MaxDistBatch(q, flat.lo_planes(), flat.hi_planes(), sn,
+                               max_out.data());
+        // A mid-range radius so the sphere test exercises both outcomes.
+        std::vector<double> sorted = min_out;
+        std::nth_element(sorted.begin(), sorted.begin() + n / 2,
+                         sorted.end());
+        const double radius_sq = sorted[static_cast<size_t>(n) / 2];
+        geometry::IntersectsSphereBatch(q, flat.lo_planes(),
+                                        flat.hi_planes(), sn, radius_sq,
+                                        sphere_dist.data(), hits.data());
+
+        for (size_t i = 0; i < sn; ++i) {
+          const double ref_min = geometry::MinDistSq(q, rects[i]);
+          EXPECT_EQ(min_out[i], ref_min) << "entry " << i;
+          EXPECT_EQ(mm_out[i], geometry::MinMaxDistSq(q, rects[i]))
+              << "entry " << i;
+          EXPECT_EQ(max_out[i], geometry::MaxDistSq(q, rects[i]))
+              << "entry " << i;
+          EXPECT_EQ(sphere_dist[i], ref_min) << "entry " << i;
+          EXPECT_EQ(hits[i] != 0, ref_min <= radius_sq) << "entry " << i;
+        }
+      }
+    }
+  }
+}
+
+// Degenerate boxes (leaf entries are points) must behave too: MinDist ==
+// MinMaxDist == MaxDist == the point-to-point distance.
+TEST(KernelEquivalenceTest, DegeneratePointBoxes) {
+  for (bool force_scalar : {false, true}) {
+    ScalarModeGuard guard(force_scalar);
+    common::Rng rng(31);
+    const int dim = 4;
+    const size_t n = 23;
+    rstar::Node node;
+    node.id = 1;
+    node.level = 0;
+    std::vector<Rect> rects;
+    for (size_t i = 0; i < n; ++i) {
+      const Point p = RandomPoint(dim, rng);
+      rects.push_back(Rect::ForPoint(p));
+      node.entries.push_back(
+          rstar::Entry::ForObject(p, static_cast<rstar::ObjectId>(i)));
+    }
+    const core::FlatNode flat = core::FlatNode::FromNode(node, dim);
+    const Point q = RandomPoint(dim, rng);
+    std::vector<double> min_out(n), mm_out(n), max_out(n), scratch(n);
+    geometry::MinDistBatch(q, flat.lo_planes(), flat.hi_planes(), n,
+                           min_out.data());
+    geometry::MinMaxDistBatch(q, flat.lo_planes(), flat.hi_planes(), n,
+                              mm_out.data(), scratch.data());
+    geometry::MaxDistBatch(q, flat.lo_planes(), flat.hi_planes(), n,
+                           max_out.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(min_out[i], geometry::MinDistSq(q, rects[i]));
+      EXPECT_EQ(mm_out[i], geometry::MinMaxDistSq(q, rects[i]));
+      EXPECT_EQ(max_out[i], geometry::MaxDistSq(q, rects[i]));
+      // Mathematically all three coincide on a point box; MinMaxDist's
+      // subtract-and-re-add pass makes that equality approximate, not
+      // bitwise, so the cross-metric check is the loose one.
+      EXPECT_DOUBLE_EQ(mm_out[i], min_out[i]);
+    }
+  }
+}
+
+// End-to-end sweep: every algorithm, every property-sweep seed, answers
+// identical to the last bit whichever kernel path computed them. This is
+// the guarantee that lets -DSQP_NATIVE=ON builds share golden results
+// with the portable build.
+TEST(KernelEquivalenceTest, KnnAnswersBitIdenticalAcrossKernelModes) {
+  constexpr AlgorithmKind kAll[] = {AlgorithmKind::kBbss,
+                                    AlgorithmKind::kFpss,
+                                    AlgorithmKind::kCrss,
+                                    AlgorithmKind::kWoptss};
+  for (uint64_t seed = 1; seed <= test_seeds::kPropertySweepSeeds; ++seed) {
+    const int dim = 2 + static_cast<int>(seed % 3);
+    const size_t n_points = 900 + 37 * static_cast<size_t>(seed);
+    workload::Dataset data;
+    switch (seed % 3) {
+      case 0:
+        data = workload::MakeUniform(n_points, dim, seed);
+        break;
+      case 1:
+        data = workload::MakeClustered(n_points, dim,
+                                       5 + static_cast<int>(seed % 6), 0.08,
+                                       seed);
+        break;
+      default:
+        data = workload::MakeGaussian(n_points, dim, seed);
+        break;
+    }
+    rstar::TreeConfig cfg;
+    cfg.dim = dim;
+    cfg.max_entries_override = 8 + static_cast<int>(seed % 9);
+    rstar::RStarTree tree(cfg);
+    workload::InsertAll(data, &tree);
+    const auto queries = workload::MakeQueryPoints(
+        data, 3, workload::QueryDistribution::kDataDistributed,
+        seed * 1000 + 7);
+    const size_t k = 1 + seed % 30;
+    const int disks = 3 + static_cast<int>(seed % 6);
+
+    for (AlgorithmKind kind : kAll) {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " algo " +
+                     core::AlgorithmName(kind) + " query " +
+                     std::to_string(qi));
+        auto run = [&](bool force_scalar) {
+          ScalarModeGuard guard(force_scalar);
+          auto algo =
+              core::MakeAlgorithm(kind, tree, queries[qi], k, disks);
+          const core::ExecutionStats stats =
+              core::RunToCompletion(tree, algo.get());
+          return std::make_pair(algo->result().Sorted(), stats);
+        };
+        const auto [scalar_res, scalar_stats] = run(true);
+        const auto [vector_res, vector_stats] = run(false);
+
+        EXPECT_EQ(scalar_stats.pages_fetched, vector_stats.pages_fetched);
+        EXPECT_EQ(scalar_stats.steps, vector_stats.steps);
+        EXPECT_EQ(scalar_stats.max_batch, vector_stats.max_batch);
+        ASSERT_EQ(scalar_res.size(), vector_res.size());
+        for (size_t i = 0; i < scalar_res.size(); ++i) {
+          EXPECT_EQ(scalar_res[i].object, vector_res[i].object)
+              << "rank " << i;
+          EXPECT_EQ(scalar_res[i].dist_sq, vector_res[i].dist_sq)
+              << "rank " << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp
