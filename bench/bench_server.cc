@@ -1,0 +1,294 @@
+// Closed-loop load test of the streaming query service over real TCP
+// loopback — the end-to-end cost of src/server/ on top of the parallel
+// engine: protocol framing, admission control, chunked delivery.
+//
+//   $ bench_server [--disks=N] [--points=N] [--queries=N] [--k=N]
+//                  [--throttle=SECONDS] [--json=BENCH_server.json]
+//
+// The sweep is connections x deadline. Each cell starts a fresh
+// QueryService + TcpServer over one shared engine (warm cache carries
+// across cells the way a long-running server's would), then runs
+// `connections` client threads in closed loop — connect once, then
+// submit / drain the stream / submit the next — until the query budget
+// is spent. Cells with a deadline demonstrate typed degradation: as the
+// offered load exceeds what the array sustains inside the budget,
+// queries fail fast with deadline_exceeded / resource_exhausted instead
+// of running late, and the bench reports the split.
+//
+// Metrics come from the client side (wall-clock per completed stream,
+// time to first chunk) — the numbers a user of the service experiences.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "exec/parallel_engine.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "storage/index_io.h"
+#include "storage/page_store.h"
+
+namespace sqp {
+namespace {
+
+struct CellResult {
+  int connections = 0;
+  double deadline_ms = 0.0;  // 0 = none
+  double wall_s = 0.0;
+  double queries_per_sec = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p50_first_chunk_ms = 0.0;  // time to first streamed results
+  double mean_chunks = 0.0;
+  size_t ok = 0;
+  size_t deadline_exceeded = 0;
+  size_t shed = 0;
+  size_t transport_errors = 0;
+};
+
+CellResult RunCell(server::QueryService* service, int port, int connections,
+                   double deadline_ms,
+                   const std::vector<geometry::Point>& points, size_t k,
+                   size_t total_queries) {
+  CellResult cell;
+  cell.connections = connections;
+  cell.deadline_ms = deadline_ms;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> ok{0}, late{0}, shed{0}, transport{0};
+  std::atomic<uint64_t> chunks{0};
+  std::mutex mu;
+  common::SampleSet latencies, first_chunk;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&] {
+      auto client = server::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        transport.fetch_add(1);
+        return;
+      }
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total_queries) return;
+        server::QuerySpec spec;
+        spec.mode = server::QueryMode::kKnnStream;
+        spec.point = points[i % points.size()];
+        spec.k = k;
+        spec.deadline_s = deadline_ms / 1e3;
+        const auto q_start = std::chrono::steady_clock::now();
+        bool saw_chunk = false;
+        double first_s = 0.0;
+        const server::StreamOutcome out = (*client)->Run(
+            spec, [&](const std::vector<core::Neighbor>&) {
+              if (!saw_chunk) {
+                saw_chunk = true;
+                first_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - q_start)
+                              .count();
+              }
+            });
+        const double total_s = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - q_start)
+                                   .count();
+        chunks.fetch_add(out.chunks);
+        if (out.status.ok()) {
+          ok.fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.Add(total_s);
+          if (saw_chunk) first_chunk.Add(first_s);
+        } else if (out.status.code() ==
+                   common::StatusCode::kDeadlineExceeded) {
+          late.fetch_add(1);
+        } else if (out.status.code() ==
+                   common::StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else {
+          transport.fetch_add(1);
+          return;  // connection is in an unknown state; stop this client
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  cell.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  cell.ok = ok.load();
+  cell.deadline_exceeded = late.load();
+  cell.shed = shed.load();
+  cell.transport_errors = transport.load();
+  const size_t finished = cell.ok + cell.deadline_exceeded + cell.shed;
+  cell.queries_per_sec =
+      cell.wall_s > 0 ? static_cast<double>(finished) / cell.wall_s : 0.0;
+  cell.mean_chunks =
+      cell.ok > 0 ? static_cast<double>(chunks.load()) /
+                        static_cast<double>(finished)
+                  : 0.0;
+  if (latencies.count() > 0) {
+    cell.p50_latency_ms = 1e3 * latencies.Quantile(0.5);
+    cell.p95_latency_ms = 1e3 * latencies.Quantile(0.95);
+  }
+  if (first_chunk.count() > 0) {
+    cell.p50_first_chunk_ms = 1e3 * first_chunk.Quantile(0.5);
+  }
+  (void)service;
+  return cell;
+}
+
+}  // namespace
+}  // namespace sqp
+
+int main(int argc, char** argv) {
+  using namespace sqp;
+  const int disks = std::atoi(
+      bench::ArgValue(argc, argv, "disks", "10").c_str());
+  const size_t n_points = static_cast<size_t>(std::atoll(
+      bench::ArgValue(argc, argv, "points", "30000").c_str()));
+  const size_t queries = static_cast<size_t>(std::atoll(
+      bench::ArgValue(argc, argv, "queries", "400").c_str()));
+  const size_t k = static_cast<size_t>(std::atoll(
+      bench::ArgValue(argc, argv, "k", "20").c_str()));
+  const double throttle = std::atof(
+      bench::ArgValue(argc, argv, "throttle", "0.0005").c_str());
+  const std::string json_path =
+      bench::ArgValue(argc, argv, "json", "BENCH_server.json");
+
+  std::printf(
+      "streaming service over TCP loopback: %d disks, %zu points, k=%zu, "
+      "%zu queries per cell, %.1f ms/read media\n\n",
+      disks, n_points, k, queries, 1e3 * throttle);
+
+  const workload::Dataset data =
+      workload::MakeClustered(n_points, 2, 10, 0.1, bench::kDatasetSeed);
+  auto index = bench::BuildIndex(data, disks, bench::kResponseTimePageSize);
+  storage::MemPageStore mem(index->num_disks());
+  if (auto s = storage::SaveIndex(*index, &mem); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  storage::ThrottledPageStore store(&mem, throttle);
+
+  const std::vector<int> connection_sweep = {1, 2, 4, 8};
+  const std::vector<double> deadline_sweep_ms = {0.0, 50.0, 5.0};
+
+  exec::EngineOptions eopts;
+  eopts.query_threads = connection_sweep.back();
+  // Keep the cache below the index's working set: the throttled media
+  // stays the bottleneck, so deadline cells actually degrade under load
+  // instead of serving everything from memory.
+  eopts.cache_pages = static_cast<size_t>(std::atoll(
+      bench::ArgValue(argc, argv, "cache", "64").c_str()));
+  auto engine = exec::ParallelQueryEngine::Create(*index, &store, eopts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto points = workload::MakeQueryPoints(
+      data, 256, workload::QueryDistribution::kDataDistributed,
+      bench::kQuerySeed);
+
+  std::vector<CellResult> cells;
+  std::printf("%5s %9s %9s %9s %9s %11s %6s %9s %5s\n", "conns",
+              "deadl(ms)", "q/s", "p50(ms)", "p95(ms)", "first50(ms)", "ok",
+              "deadline", "shed");
+  for (double deadline_ms : deadline_sweep_ms) {
+    for (int connections : connection_sweep) {
+      // A fresh service per cell isolates admission state; workers match
+      // the client count so the pending queue only fills when the media
+      // is the bottleneck.
+      server::ServiceOptions sopts;
+      sopts.workers = connections;
+      sopts.max_pending = 2 * static_cast<size_t>(connections);
+      sopts.max_chunk = 8;
+      server::QueryService service(*index, engine->get(), sopts);
+      auto tcp = server::TcpServer::Start(&service, {});
+      if (!tcp.ok()) {
+        std::fprintf(stderr, "server failed: %s\n",
+                     tcp.status().ToString().c_str());
+        return 1;
+      }
+      CellResult cell = RunCell(&service, (*tcp)->port(), connections,
+                                deadline_ms, points, k, queries);
+      (*tcp)->Stop();
+      std::printf("%5d %9.1f %9.1f %9.3f %9.3f %11.3f %6zu %9zu %5zu\n",
+                  cell.connections, cell.deadline_ms, cell.queries_per_sec,
+                  cell.p50_latency_ms, cell.p95_latency_ms,
+                  cell.p50_first_chunk_ms, cell.ok, cell.deadline_exceeded,
+                  cell.shed);
+      if (cell.transport_errors > 0) {
+        std::fprintf(stderr, "  %zu transport errors\n",
+                     cell.transport_errors);
+      }
+      cells.push_back(cell);
+    }
+  }
+
+  // Conservation over the whole run, from the shared registry.
+  const obs::MetricsSnapshot snap = (*engine)->metrics()->Snapshot();
+  const uint64_t submitted = snap.CounterValue("sqp_server_submitted_total");
+  const uint64_t completed = snap.CounterValue("sqp_server_completed_total");
+  const uint64_t shed_total = snap.CounterValue("sqp_server_shed_total");
+  std::printf("\nregistry: %llu submitted = %llu completed + %llu shed %s\n",
+              static_cast<unsigned long long>(submitted),
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(shed_total),
+              submitted == completed + shed_total ? "(conserved)"
+                                                  : "(VIOLATED)");
+
+  bench::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "server");
+  w.Field("mode", "knn-stream");
+  w.Field("disks", disks);
+  w.Field("points", static_cast<uint64_t>(n_points));
+  w.Field("queries_per_cell", static_cast<uint64_t>(queries));
+  w.Field("k", static_cast<uint64_t>(k));
+  w.Field("throttle_read_latency_s", throttle);
+  w.Field("page_size", bench::kResponseTimePageSize);
+  w.Field("host_hardware_threads",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  w.BeginArray("cells");
+  for (const CellResult& c : cells) {
+    w.BeginObject();
+    w.Field("connections", c.connections);
+    w.Field("deadline_ms", c.deadline_ms);
+    w.Field("wall_s", c.wall_s);
+    w.Field("queries_per_sec", c.queries_per_sec);
+    w.Field("p50_latency_ms", c.p50_latency_ms);
+    w.Field("p95_latency_ms", c.p95_latency_ms);
+    w.Field("p50_first_chunk_ms", c.p50_first_chunk_ms);
+    w.Field("mean_chunks", c.mean_chunks);
+    w.Field("ok", static_cast<uint64_t>(c.ok));
+    w.Field("deadline_exceeded", static_cast<uint64_t>(c.deadline_exceeded));
+    w.Field("shed", static_cast<uint64_t>(c.shed));
+    w.Field("transport_errors", static_cast<uint64_t>(c.transport_errors));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.BeginObject("registry");
+  w.Field("submitted", submitted);
+  w.Field("completed", completed);
+  w.Field("shed", shed_total);
+  w.Field("conserved", submitted == completed + shed_total);
+  w.EndObject();
+  w.EndObject();
+  w.WriteFile(json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+  return submitted == completed + shed_total ? 0 : 1;
+}

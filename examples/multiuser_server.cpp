@@ -1,10 +1,18 @@
-// A multi-user GIS query server on a disk array — the paper's system
-// setting end to end. Loads a California-like places data set, declusters
-// it over a configurable array, and serves a Poisson stream of k-NN
-// queries with each algorithm, reporting latency percentiles, throughput
-// and per-component utilization.
+// A multi-user GIS query service on a disk array — the paper's system
+// setting end to end, now on the real server stack (src/server/). Loads a
+// California-like places data set, declusters it over a configurable
+// array, and serves concurrent k-NN query streams through the
+// QueryService: admission control with a bounded pending queue,
+// per-query deadlines, and incremental result delivery.
 //
-//   $ ./examples/multiuser_server [disks] [lambda] [k]
+//   $ ./examples/multiuser_server [disks] [clients] [k]
+//
+// The demo has three acts:
+//   1. every algorithm under concurrent closed-loop load (batch mode),
+//   2. a streamed distance browse, printing neighbors as they stabilize
+//      (and checking the stream equals the batch answer bit for bit),
+//   3. an overload burst against a tiny pending queue — shed queries
+//      come back typed (resource_exhausted), admitted ones finish.
 //
 // The index for each array width is persisted under gis.index.<disks>d/
 // on first run, so a restarted server begins answering queries without
@@ -15,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,9 +32,8 @@
 #include "core/algorithms.h"
 #include "exec/parallel_engine.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
 #include "parallel/parallel_tree.h"
-#include "sim/query_engine.h"
+#include "server/service.h"
 #include "storage/page_store.h"
 #include "workload/index_builder.h"
 #include "workload/workload.h"
@@ -33,13 +41,14 @@
 int main(int argc, char** argv) {
   using namespace sqp;
   const int disks = argc > 1 ? std::atoi(argv[1]) : 10;
-  const double lambda = argc > 2 ? std::atof(argv[2]) : 10.0;
+  const int clients = argc > 2 ? std::atoi(argv[2]) : 8;
   const size_t k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 20;
   const size_t kQueries = 300;
 
   std::printf(
-      "GIS server: %d disks, %.1f queries/s, k=%zu, %zu queries total\n",
-      disks, lambda, k, kQueries);
+      "GIS service: %d disks, %d concurrent clients, k=%zu, %zu queries "
+      "per algorithm\n",
+      disks, clients, k, kQueries);
 
   const workload::Dataset data = workload::MakeCaliforniaLike(1998);
   const std::string index_dir = "gis.index." + std::to_string(disks) + "d";
@@ -68,47 +77,6 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu places into %zu pages (height %d)\n\n",
               data.size(), index.tree().NodeCount(), index.tree().Height());
 
-  const auto points = workload::MakeQueryPoints(
-      data, kQueries, workload::QueryDistribution::kDataDistributed, 9);
-  const auto arrivals = workload::PoissonArrivalTimes(kQueries, lambda, 10);
-  std::vector<sim::QueryJob> jobs;
-  for (size_t i = 0; i < kQueries; ++i) {
-    jobs.push_back({arrivals[i], points[i], k});
-  }
-
-  std::printf("%-8s %9s %9s %9s %9s %7s %7s %7s\n", "algo", "mean(s)",
-              "p50(s)", "p95(s)", "max(s)", "disk%", "bus%", "cpu%");
-  for (core::AlgorithmKind kind :
-       {core::AlgorithmKind::kBbss, core::AlgorithmKind::kFpss,
-        core::AlgorithmKind::kCrss, core::AlgorithmKind::kWoptss}) {
-    sim::SimConfig cfg;
-    const sim::SimulationResult result = sim::RunSimulation(
-        index, jobs,
-        [kind, &index](const geometry::Point& q, size_t kk) {
-          return core::MakeAlgorithm(kind, index.tree(), q, kk,
-                                     index.num_disks());
-        },
-        cfg);
-    common::SampleSet latencies;
-    for (const sim::QueryOutcome& q : result.queries) {
-      latencies.Add(q.ResponseTime());
-    }
-    std::printf("%-8s %9.3f %9.3f %9.3f %9.3f %6.0f%% %6.0f%% %6.0f%%\n",
-                core::AlgorithmName(kind), latencies.Mean(),
-                latencies.Quantile(0.5), latencies.Quantile(0.95),
-                latencies.Max(), 100.0 * result.MaxDiskUtilization(),
-                100.0 * result.bus_utilization,
-                100.0 * result.cpu_utilization);
-  }
-  std::printf(
-      "\n(WOPTSS is the hypothetical lower bound: it knows each query's\n"
-      " k-NN distance in advance and fetches only sphere-intersecting "
-      "pages.)\n");
-
-  // The same queries once more, this time for real: the concurrent engine
-  // of src/exec/ serves them from the saved disk files — per-disk I/O
-  // worker threads underneath, a shared sharded page cache in the middle,
-  // 8 queries in flight — and we report wall-clock time, not virtual time.
   auto store = storage::FilePageStore::Open(index_dir);
   if (!store.ok()) {
     std::fprintf(stderr, "open store failed: %s\n",
@@ -116,7 +84,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   exec::EngineOptions options;
-  options.query_threads = 8;
+  options.query_threads = clients;
   options.cache_pages = 2048;
   auto engine =
       exec::ParallelQueryEngine::Create(index, store->get(), options);
@@ -126,139 +94,173 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Periodic operator stats while the server is busy: one line every
-  // 200 ms from the engine's MetricsRegistry, on stderr so the result
-  // table stays clean. This is the live view a real deployment would
-  // scrape; the condensed report below is the post-mortem one.
-  std::atomic<bool> stop_reporter{false};
-  std::thread reporter([&engine, &stop_reporter] {
-    while (!stop_reporter.load(std::memory_order_relaxed)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(200));
-      if (stop_reporter.load(std::memory_order_relaxed)) break;
-      const obs::MetricsSnapshot s = (*engine)->metrics()->Snapshot();
-      const uint64_t hits = s.CounterValue("sqp_cache_hits_total");
-      const uint64_t misses = s.CounterValue("sqp_cache_misses_total");
-      std::fprintf(
-          stderr,
-          "[stats] inflight=%lld done=%llu pages=%llu hit%%=%.0f "
-          "queue_depth=%lld retries=%llu\n",
-          static_cast<long long>(s.GaugeValue("sqp_engine_inflight_queries")),
-          static_cast<unsigned long long>(
-              s.CounterValue("sqp_engine_queries_total")),
-          static_cast<unsigned long long>(
-              s.CounterValue("sqp_engine_pages_fetched_total")),
-          100.0 * static_cast<double>(hits) /
-              static_cast<double>(std::max<uint64_t>(1, hits + misses)),
-          static_cast<long long>(s.GaugeSumByPrefix("sqp_io_queue_depth")),
-          static_cast<unsigned long long>(
-              s.CounterValue("sqp_reader_retries_total")));
-    }
-  });
+  const auto points = workload::MakeQueryPoints(
+      data, kQueries, workload::QueryDistribution::kDataDistributed, 9);
 
-  std::printf(
-      "\nreal engine on %s/ (%d query threads, %zu-page cache):\n"
-      "%-8s %9s %9s %9s %9s %8s %7s\n",
-      index_dir.c_str(), options.query_threads, options.cache_pages, "algo",
-      "q/s", "p50(ms)", "p95(ms)", "max(ms)", "hit%", "failed");
-  size_t total_failed = 0;
+  // --- Act 1: every algorithm under concurrent client load. Each client
+  // thread is a closed loop: submit, drain the stream, submit the next —
+  // the multiuser scenario with `clients` live sessions.
+  server::ServiceOptions sopts;
+  sopts.workers = clients;
+  sopts.max_pending = kQueries;  // admission never sheds in this act
+  server::QueryService service(index, engine->get(), sopts);
+
+  std::printf("%d clients in closed loop through the query service:\n",
+              clients);
+  std::printf("%-8s %9s %9s %9s %9s %7s\n", "algo", "q/s", "p50(ms)",
+              "p95(ms)", "max(ms)", "failed");
   for (core::AlgorithmKind kind :
        {core::AlgorithmKind::kBbss, core::AlgorithmKind::kFpss,
         core::AlgorithmKind::kCrss, core::AlgorithmKind::kWoptss}) {
-    std::vector<exec::EngineQuery> queries;
-    queries.reserve(points.size());
-    for (const geometry::Point& q : points) {
-      queries.push_back({q, k, kind});
-    }
-    const exec::PageCacheStats before = (*engine)->cache().GetStats();
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> failed{0};
+    std::mutex lat_mu;
+    common::SampleSet latencies;
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<exec::QueryAnswer> answers =
-        (*engine)->RunBatch(queries);
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= points.size()) return;
+          server::QuerySpec spec;
+          spec.mode = server::QueryMode::kKnnBatch;
+          spec.algo = kind;
+          spec.point = points[i];
+          spec.k = k;
+          const exec::QueryOutcome out = service.RunBlocking(spec);
+          if (!out.status.ok()) {
+            failed.fetch_add(1);
+            std::fprintf(stderr, "%s query failed: %s\n",
+                         core::AlgorithmName(kind),
+                         out.status.ToString().c_str());
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(lat_mu);
+          latencies.Add(out.latency_s);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
-    // A query a media fault defeated (docs/FAULTS.md) occupies its slot
-    // with a non-OK status; the server reports it and keeps serving.
-    common::SampleSet latencies;
-    size_t failed = 0;
-    for (const exec::QueryOutcome& a : answers) {
-      if (!a.status.ok()) {
-        ++failed;
-        std::fprintf(stderr, "%s query failed: %s\n",
-                     core::AlgorithmName(kind),
-                     a.status.ToString().c_str());
-        continue;
-      }
-      latencies.Add(a.latency_s);
-    }
-    total_failed += failed;
     if (latencies.count() == 0) {
-      std::printf("%-8s %9s all %zu queries failed\n",
-                  core::AlgorithmName(kind), "-", answers.size());
+      std::printf("%-8s all queries failed\n", core::AlgorithmName(kind));
       continue;
     }
-    const exec::PageCacheStats after = (*engine)->cache().GetStats();
-    const uint64_t hits = after.hits - before.hits;
-    const uint64_t misses = after.misses - before.misses;
-    std::printf("%-8s %9.0f %9.3f %9.3f %9.3f %7.0f%% %7zu\n",
+    std::printf("%-8s %9.0f %9.3f %9.3f %9.3f %7zu\n",
                 core::AlgorithmName(kind),
-                static_cast<double>(answers.size()) / wall,
-                1e3 * latencies.Quantile(0.5), 1e3 * latencies.Quantile(0.95),
-                1e3 * latencies.Max(),
-                100.0 * static_cast<double>(hits) /
-                    static_cast<double>(std::max<uint64_t>(1, hits + misses)),
-                failed);
-  }
-  stop_reporter.store(true, std::memory_order_relaxed);
-  reporter.join();
-
-  const exec::ReaderFaultTotals faults = (*engine)->reader().fault_totals();
-  if (total_failed > 0 || faults.faults > 0) {
-    std::printf(
-        "\nfault summary: %zu failed queries; reader saw %llu failed read "
-        "attempts, issued %llu retries, gave up on %llu records\n",
-        total_failed, static_cast<unsigned long long>(faults.faults),
-        static_cast<unsigned long long>(faults.retries),
-        static_cast<unsigned long long>(faults.failed_records));
+                static_cast<double>(points.size()) / wall,
+                1e3 * latencies.Quantile(0.5),
+                1e3 * latencies.Quantile(0.95), 1e3 * latencies.Max(),
+                failed.load());
   }
 
-  // Condensed end-of-run metrics report (docs/OBSERVABILITY.md): the
-  // registry's totals across all four algorithm passes.
+  // --- Act 2: one streamed browse, chunk by chunk. The first neighbors
+  // arrive while deeper pages are still being fetched; the concatenated
+  // stream must equal the batch k-NN answer exactly.
+  std::printf("\nstreaming k-NN browse (k=%zu) at %s:\n", k,
+              points[0].ToString().c_str());
+  server::QuerySpec stream_spec;
+  stream_spec.mode = server::QueryMode::kKnnStream;
+  stream_spec.point = points[0];
+  stream_spec.k = k;
+  auto submitted = service.Submit(stream_spec);
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 submitted.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<core::Neighbor> streamed, chunk;
+  size_t chunks = 0;
+  while ((*submitted)->NextChunk(&chunk)) {
+    ++chunks;
+    std::printf("  chunk %zu: %zu neighbors (first: object %llu, dist_sq "
+                "%.6f)\n",
+                chunks, chunk.size(),
+                static_cast<unsigned long long>(chunk.front().object),
+                chunk.front().dist_sq);
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  }
+  server::QuerySpec batch_spec = stream_spec;
+  batch_spec.mode = server::QueryMode::kKnnBatch;
+  const exec::QueryOutcome batch = service.RunBlocking(batch_spec);
+  const bool identical =
+      batch.status.ok() && streamed.size() == batch.neighbors.size() &&
+      [&] {
+        for (size_t i = 0; i < streamed.size(); ++i) {
+          if (streamed[i].object != batch.neighbors[i].object ||
+              streamed[i].dist_sq != batch.neighbors[i].dist_sq) {
+            return false;
+          }
+        }
+        return true;
+      }();
+  std::printf("  stream vs batch: %s (%zu neighbors)\n",
+              identical ? "bit-identical" : "MISMATCH", streamed.size());
+
+  // --- Act 3: overload. A tiny service (1 worker, 4 pending slots) hit
+  // with a burst of 40 deadline-carrying queries: admitted ones run,
+  // the rest are shed *typed* — the client can tell "back off" from
+  // "your query is broken" without parsing strings.
+  std::printf("\noverload burst against 1 worker / 4 pending slots:\n");
+  server::ServiceOptions tiny;
+  tiny.workers = 1;
+  tiny.max_pending = 4;
+  server::QueryService small_service(index, engine->get(), tiny);
+  size_t shed = 0, admitted = 0, done_ok = 0, late = 0;
+  std::vector<std::shared_ptr<server::StreamingQuery>> live;
+  for (size_t i = 0; i < 40; ++i) {
+    server::QuerySpec spec;
+    spec.mode = server::QueryMode::kKnnStream;
+    spec.point = points[i % points.size()];
+    spec.k = k;
+    spec.deadline_s = 0.5;
+    auto sub = small_service.Submit(spec);
+    if (!sub.ok()) {
+      if (sub.status().code() == common::StatusCode::kResourceExhausted) {
+        ++shed;
+      }
+      continue;
+    }
+    ++admitted;
+    live.push_back(std::move(*sub));
+  }
+  for (const auto& q : live) {
+    std::vector<core::Neighbor> c;
+    while (q->NextChunk(&c)) {
+    }
+    if (q->outcome().status.ok()) {
+      ++done_ok;
+    } else if (q->outcome().deadline_exceeded) {
+      ++late;
+    }
+  }
+  std::printf("  40 submitted: %zu admitted (%zu ok, %zu deadline), "
+              "%zu shed with resource_exhausted\n",
+              admitted, done_ok, late, shed);
+
+  // Closing conservation check over the whole demo, from the registry
+  // every component reported into (docs/OBSERVABILITY.md).
   const obs::MetricsSnapshot snap = (*engine)->metrics()->Snapshot();
-  const uint64_t hits = snap.CounterValue("sqp_cache_hits_total");
-  const uint64_t misses = snap.CounterValue("sqp_cache_misses_total");
-  const obs::HistogramSnapshot* lat =
-      snap.FindHistogram("sqp_engine_query_latency_seconds");
-  const obs::TraceRecorder* trace = (*engine)->trace();
   std::printf(
-      "\nmetrics: %llu queries (%llu failed), %llu steps, %llu pages "
-      "fetched\n"
-      "         latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
-      "         cache %.1f%% hits (%llu/%llu), %llu evictions\n"
-      "         io jobs %llu across %d disks, reader retries %llu\n"
-      "         trace %llu spans recorded, %llu dropped (ring of %zu)\n",
+      "\nmetrics: server %llu submitted = %llu completed + %llu shed; "
+      "engine %llu queries, %llu deadline-exceeded, cache %llu+%llu "
+      "hits+misses\n",
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_server_submitted_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_server_completed_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("sqp_server_shed_total")),
       static_cast<unsigned long long>(
           snap.CounterValue("sqp_engine_queries_total")),
       static_cast<unsigned long long>(
-          snap.CounterValue("sqp_engine_query_failures_total")),
+          snap.CounterValue("sqp_engine_deadline_exceeded_total")),
       static_cast<unsigned long long>(
-          snap.CounterValue("sqp_engine_steps_total")),
+          snap.CounterValue("sqp_cache_hits_total")),
       static_cast<unsigned long long>(
-          snap.CounterValue("sqp_engine_pages_fetched_total")),
-      lat != nullptr ? 1e3 * lat->Quantile(0.50) : 0.0,
-      lat != nullptr ? 1e3 * lat->Quantile(0.95) : 0.0,
-      lat != nullptr ? 1e3 * lat->Quantile(0.99) : 0.0,
-      100.0 * static_cast<double>(hits) /
-          static_cast<double>(std::max<uint64_t>(1, hits + misses)),
-      static_cast<unsigned long long>(hits),
-      static_cast<unsigned long long>(hits + misses),
-      static_cast<unsigned long long>(
-          snap.CounterValue("sqp_cache_evictions_total")),
-      static_cast<unsigned long long>(
-          snap.CounterSumByPrefix("sqp_io_jobs_total")),
-      (*engine)->num_disks(),
-      static_cast<unsigned long long>(
-          snap.CounterValue("sqp_reader_retries_total")),
-      static_cast<unsigned long long>(trace->total_recorded()),
-      static_cast<unsigned long long>(trace->dropped()), trace->capacity());
-  return 0;
+          snap.CounterValue("sqp_cache_misses_total")));
+  return identical ? 0 : 1;
 }

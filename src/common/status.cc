@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

@@ -31,6 +31,17 @@ enum class StatusCode {
   // this code — and checksum corruption, which in-flight damage also
   // produces — as retryable; every other code is permanent.
   kUnavailable,
+  // The caller (or an operator) asked for the operation to stop; the
+  // partial work done so far is discarded. Not a data error.
+  kCancelled,
+  // The operation's deadline passed before it finished. Like kCancelled,
+  // a scheduling outcome rather than a data error; retrying with a looser
+  // deadline may succeed.
+  kDeadlineExceeded,
+  // A bounded resource (admission queue, connection slot) is full and the
+  // request was shed rather than queued unboundedly. The canonical
+  // overload signal: back off and retry, possibly against another replica.
+  kResourceExhausted,
 };
 
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -70,6 +81,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

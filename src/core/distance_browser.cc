@@ -1,5 +1,8 @@
 #include "core/distance_browser.h"
 
+#include <utility>
+
+#include "geometry/kernels.h"
 #include "geometry/metrics.h"
 
 namespace sqp::core {
@@ -8,12 +11,13 @@ DistanceBrowser::DistanceBrowser(const rstar::RStarTree& tree,
                                  geometry::Point query)
     : tree_(tree), query_(std::move(query)) {
   SQP_CHECK(query_.dim() == tree_.config().dim);
-  frontier_.push(Item{0.0, false, rstar::kInvalidObject, tree_.root()});
+  frontier_.push(
+      BrowseItem{0.0, false, rstar::kInvalidObject, tree_.root()});
 }
 
 std::optional<Neighbor> DistanceBrowser::Next() {
   while (!frontier_.empty()) {
-    const Item item = frontier_.top();
+    const BrowseItem item = frontier_.top();
     frontier_.pop();
     if (item.is_object) {
       return Neighbor{item.object, item.dist_sq};
@@ -23,13 +27,96 @@ std::optional<Neighbor> DistanceBrowser::Next() {
     for (const rstar::Entry& e : n.entries) {
       const double d = geometry::MinDistSq(query_, e.mbr);
       if (n.IsLeaf()) {
-        frontier_.push(Item{d, true, e.object, rstar::kInvalidPage});
+        frontier_.push(BrowseItem{d, true, e.object, rstar::kInvalidPage});
       } else {
-        frontier_.push(Item{d, false, rstar::kInvalidObject, e.child});
+        frontier_.push(BrowseItem{d, false, rstar::kInvalidObject, e.child});
       }
     }
   }
   return std::nullopt;
+}
+
+PagedDistanceBrowser::PagedDistanceBrowser(const rstar::RStarTree& tree,
+                                           geometry::Point query,
+                                           size_t limit, int max_batch)
+    : tree_(tree),
+      query_(std::move(query)),
+      limit_(limit),
+      max_batch_(static_cast<size_t>(max_batch)) {
+  SQP_CHECK(query_.dim() == tree_.config().dim);
+  SQP_CHECK(max_batch >= 1);
+}
+
+StepResult PagedDistanceBrowser::Begin() {
+  SQP_CHECK(!started_);
+  started_ = true;
+  if (tree_.size() == 0) {
+    StepResult step;
+    step.done = true;
+    return step;
+  }
+  frontier_.push(
+      BrowseItem{0.0, false, rstar::kInvalidObject, tree_.root()});
+  return NextStep(0);
+}
+
+StepResult PagedDistanceBrowser::OnPagesFetched(
+    const std::vector<FetchedPage>& pages) {
+  uint64_t scanned = 0;
+  for (const FetchedPage& p : pages) {
+    const FlatNode& n = *p.node;
+    scanned += n.size();
+    dist_.resize(n.size());
+    geometry::MinDistBatch(query_, n.lo_planes(), n.hi_planes(), n.size(),
+                           dist_.data());
+    for (size_t i = 0; i < n.size(); ++i) {
+      if (n.IsLeaf()) {
+        frontier_.push(
+            BrowseItem{dist_[i], true, n.object(i), rstar::kInvalidPage});
+      } else {
+        frontier_.push(
+            BrowseItem{dist_[i], false, rstar::kInvalidObject, n.child(i)});
+      }
+    }
+  }
+  // The frontier is a heap, not a sorted list; charge the scan term only.
+  return NextStep(ScanSortCost(scanned, 0));
+}
+
+StepResult PagedDistanceBrowser::NextStep(uint64_t cpu_instructions) {
+  StepResult step;
+  step.cpu_instructions = cpu_instructions;
+  // Every page previously requested has been delivered (the batch
+  // protocol's contract), so the frontier is complete: an object at its
+  // head is closer than every unexplored subtree and can be emitted.
+  while (!frontier_.empty() && frontier_.top().is_object &&
+         (limit_ == 0 || emitted_ < limit_)) {
+    stable_.push_back(
+        Neighbor{frontier_.top().object, frontier_.top().dist_sq});
+    ++emitted_;
+    frontier_.pop();
+  }
+  if (limit_ != 0 && emitted_ >= limit_) {
+    step.done = true;
+    return step;
+  }
+  // The contiguous page run at the head all precedes the next emittable
+  // object; request up to max_batch of it.
+  while (!frontier_.empty() && !frontier_.top().is_object &&
+         step.requests.size() < max_batch_) {
+    step.requests.push_back(frontier_.top().page);
+    frontier_.pop();
+  }
+  if (step.requests.empty()) {
+    step.done = true;  // tree exhausted before the limit
+  }
+  return step;
+}
+
+std::vector<Neighbor> PagedDistanceBrowser::TakeStable() {
+  std::vector<Neighbor> out;
+  out.swap(stable_);
+  return out;
 }
 
 }  // namespace sqp::core

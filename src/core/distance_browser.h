@@ -5,22 +5,56 @@
 // clients (e.g. filtering pipelines that reject some candidates after
 // refinement, §1's filter-and-refine workloads).
 //
-// This is a sequential, in-memory traversal (it reads nodes directly, no
-// batch protocol); its page-access count is weak-optimal for however many
-// neighbors end up consumed.
+// Two forms of the same traversal:
+//
+//   * DistanceBrowser — sequential and in-memory: reads nodes directly
+//     from the tree, no batch protocol. Its page-access count is
+//     weak-optimal for however many neighbors end up consumed.
+//   * PagedDistanceBrowser — the identical best-first walk expressed as a
+//     resumable core::BatchTraversal, so executors that fetch pages from
+//     storage (exec::ParallelQueryEngine) can drive it. A neighbor becomes
+//     *stable* once every page still in the frontier is farther away than
+//     it; TakeStable() drains stable neighbors after each step, which is
+//     what the streaming query service (src/server/) chunks to clients
+//     before the traversal finishes. Emission order is bit-identical to
+//     DistanceBrowser — and therefore the first k neighbors are exactly
+//     the batch algorithms' k-NN answer.
 
 #ifndef SQP_CORE_DISTANCE_BROWSER_H_
 #define SQP_CORE_DISTANCE_BROWSER_H_
 
 #include <optional>
 #include <queue>
+#include <string_view>
 #include <vector>
 
 #include "core/knn_result.h"
+#include "core/search_algorithm.h"
 #include "geometry/point.h"
 #include "rstar/rstar_tree.h"
 
 namespace sqp::core {
+
+// One frontier element of a distance browse: an undiscovered subtree
+// (page) or a discovered-but-unemitted object, keyed by MinDist.
+struct BrowseItem {
+  double dist_sq;
+  bool is_object;
+  rstar::ObjectId object;  // valid when is_object
+  rstar::PageId page;      // valid when !is_object
+};
+
+struct BrowseCloser {
+  bool operator()(const BrowseItem& a, const BrowseItem& b) const {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+    // Pages pop before objects at equal distance, so every object tied
+    // at that distance is discovered before any is emitted; among tied
+    // objects the smaller id wins — the same rule as KnnResultSet.
+    if (a.is_object != b.is_object) return a.is_object;
+    if (a.is_object) return a.object > b.object;
+    return a.page > b.page;
+  }
+};
 
 class DistanceBrowser {
  public:
@@ -37,28 +71,58 @@ class DistanceBrowser {
   size_t pages_accessed() const { return pages_accessed_; }
 
  private:
-  struct Item {
-    double dist_sq;
-    bool is_object;
-    rstar::ObjectId object;  // valid when is_object
-    rstar::PageId page;      // valid when !is_object
-  };
-  struct Closer {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
-      // Pages pop before objects at equal distance, so every object tied
-      // at that distance is discovered before any is emitted; among tied
-      // objects the smaller id wins — the same rule as KnnResultSet.
-      if (a.is_object != b.is_object) return a.is_object;
-      if (a.is_object) return a.object > b.object;
-      return a.page > b.page;
-    }
-  };
+  const rstar::RStarTree& tree_;
+  geometry::Point query_;
+  std::priority_queue<BrowseItem, std::vector<BrowseItem>, BrowseCloser>
+      frontier_;
+  size_t pages_accessed_ = 0;
+};
+
+// The batch-protocol form. Each step requests the contiguous run of pages
+// at the head of the frontier (they all precede the next emittable object,
+// so every one of them must be expanded before that object can be proven
+// stable — pure demand, no speculation), bounded by `max_batch` so one
+// browse cannot monopolize the array. Because MinDist is monotone down the
+// tree, expanding those pages in one batch cannot surface anything that
+// would have been emitted between them, so the emission sequence equals
+// DistanceBrowser's exactly.
+class PagedDistanceBrowser : public BatchTraversal {
+ public:
+  // Emits at most `limit` neighbors (0 = browse the whole tree).
+  // `max_batch` >= 1 caps pages per step; callers typically pass the
+  // array's disk count, mirroring CRSS's activation bound u.
+  PagedDistanceBrowser(const rstar::RStarTree& tree, geometry::Point query,
+                       size_t limit, int max_batch);
+
+  StepResult Begin() override;
+  StepResult OnPagesFetched(const std::vector<FetchedPage>& pages) override;
+  size_t ResultCount() const override { return emitted_; }
+  std::string_view name() const override { return "browse"; }
+
+  // Neighbors that became stable since the last call, in emission
+  // (ascending-distance) order. Call after each step — and once more
+  // after done — to stream the browse incrementally; neighbors not taken
+  // simply accumulate.
+  std::vector<Neighbor> TakeStable();
+
+  // Total neighbors emitted so far (drained or not).
+  size_t emitted() const { return emitted_; }
+
+ private:
+  // Emits stable objects, then builds the next page batch. Shared by
+  // Begin (empty tree) and OnPagesFetched.
+  StepResult NextStep(uint64_t cpu_instructions);
 
   const rstar::RStarTree& tree_;
   geometry::Point query_;
-  std::priority_queue<Item, std::vector<Item>, Closer> frontier_;
-  size_t pages_accessed_ = 0;
+  size_t limit_;
+  size_t max_batch_;
+  bool started_ = false;
+  size_t emitted_ = 0;
+  std::priority_queue<BrowseItem, std::vector<BrowseItem>, BrowseCloser>
+      frontier_;
+  std::vector<Neighbor> stable_;  // emitted, not yet taken
+  std::vector<double> dist_;      // batch-kernel scratch
 };
 
 }  // namespace sqp::core

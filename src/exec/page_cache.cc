@@ -129,4 +129,15 @@ PageCacheStats ShardedPageCache::GetStats() const {
   return stats;
 }
 
+size_t ShardedPageCache::PinnedFrames() const {
+  size_t pinned = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, frame] : shard.frames) {
+      if (frame.pins > 0) ++pinned;
+    }
+  }
+  return pinned;
+}
+
 }  // namespace sqp::exec

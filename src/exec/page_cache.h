@@ -90,6 +90,11 @@ class ShardedPageCache {
   // Aggregated over all shards (each shard counts under its own lock).
   PageCacheStats GetStats() const;
 
+  // Frames currently pinned by at least one in-flight query. Zero when
+  // the engine is quiescent — the invariant the cancellation tests assert
+  // (a cancelled or deadline-expired query must leave no pin behind).
+  size_t PinnedFrames() const;
+
   size_t capacity_pages() const { return capacity_pages_; }
   int shards() const { return static_cast<int>(shards_.size()); }
 

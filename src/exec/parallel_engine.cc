@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -98,6 +99,9 @@ ParallelQueryEngine::ParallelQueryEngine(
         metrics_->GetCounter("sqp_engine_coalesced_reads_total");
     instr_.prefetch_issued =
         metrics_->GetCounter("sqp_engine_prefetch_issued_total");
+    instr_.deadline_exceeded =
+        metrics_->GetCounter("sqp_engine_deadline_exceeded_total");
+    instr_.cancelled = metrics_->GetCounter("sqp_engine_cancelled_total");
     instr_.inflight = metrics_->GetGauge("sqp_engine_inflight_queries");
     instr_.latency_seconds =
         metrics_->GetHistogram("sqp_engine_query_latency_seconds",
@@ -337,13 +341,30 @@ void ParallelQueryEngine::IssuePrefetch(
 }
 
 QueryOutcome ParallelQueryEngine::RunQuery(const EngineQuery& query) {
+  auto algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
+                                  query.k, reader_->num_disks());
+  TraversalOptions topts;
+  topts.algo_name = core::AlgorithmName(query.algo);
+  topts.deadline_s = query.deadline_s;
+  topts.control = query.control;
+  QueryOutcome answer = RunTraversal(algo.get(), topts);
+  if (answer.status.ok()) answer.neighbors = algo->result().Sorted();
+  return answer;
+}
+
+QueryOutcome ParallelQueryEngine::RunTraversal(
+    core::BatchTraversal* traversal, const TraversalOptions& options) {
   const uint64_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
   if (instr_.inflight != nullptr) instr_.inflight->Add(1);
-  QueryOutcome answer = RunQueryImpl(query, query_id);
+  QueryOutcome answer = RunTraversalImpl(traversal, options, query_id);
   if (instr_.queries != nullptr) {
     instr_.queries->Add(1);
     if (!answer.status.ok()) instr_.failures->Add(1);
+    if (answer.deadline_exceeded) instr_.deadline_exceeded->Add(1);
+    if (answer.status.code() == common::StatusCode::kCancelled) {
+      instr_.cancelled->Add(1);
+    }
     instr_.latency_seconds->Observe(answer.latency_s);
   }
   if (instr_.inflight != nullptr) instr_.inflight->Add(-1);
@@ -352,7 +373,7 @@ QueryOutcome ParallelQueryEngine::RunQuery(const EngineQuery& query) {
     obs::TraceSpan span;
     span.query_id = query_id;
     span.phase = "query";
-    span.algo = core::AlgorithmName(query.algo);
+    span.algo = options.algo_name;
     span.step = static_cast<uint32_t>(answer.steps);
     span.pages = static_cast<uint32_t>(answer.pages_fetched);
     span.cache_hits = static_cast<uint32_t>(answer.cache_hits);
@@ -366,19 +387,40 @@ QueryOutcome ParallelQueryEngine::RunQuery(const EngineQuery& query) {
   return answer;
 }
 
-QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
-                                               uint64_t query_id) {
+QueryOutcome ParallelQueryEngine::RunTraversalImpl(
+    core::BatchTraversal* traversal, const TraversalOptions& options,
+    uint64_t query_id) {
   QueryOutcome answer;
   answer.query_id = query_id;
   const double start = NowSeconds();
-  auto algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
-                                  query.k, reader_->num_disks());
+  const double deadline =
+      options.deadline_s > 0.0 ? start + options.deadline_s
+                               : std::numeric_limits<double>::infinity();
 
   std::vector<const FlatNode*> slots;
-  core::StepResult step = algo->Begin();
+  core::StepResult step = traversal->Begin();
   uint32_t step_index = 0;
   while (!step.done) {
     SQP_CHECK(!step.requests.empty());
+    // Deadline and cancellation are honoured at step boundaries only —
+    // the one place no page pins are held, so stopping here can never
+    // leak a pinned cache frame or hand the traversal a dangling node.
+    if (options.control != nullptr &&
+        options.control->cancel.load(std::memory_order_relaxed)) {
+      answer.status = common::Status::Cancelled(
+          std::string(options.algo_name) + " query cancelled after " +
+          std::to_string(answer.steps) + " steps");
+      answer.latency_s = NowSeconds() - start;
+      return answer;
+    }
+    if (NowSeconds() > deadline) {
+      answer.deadline_exceeded = true;
+      answer.status = common::Status::DeadlineExceeded(
+          std::string(options.algo_name) + " query exceeded its " +
+          std::to_string(options.deadline_s) + " s deadline");
+      answer.latency_s = NowSeconds() - start;
+      return answer;
+    }
     ++answer.steps;
 
     obs::TraceSpan span;
@@ -388,7 +430,7 @@ QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
       span_ptr = &span;
       span.query_id = query_id;
       span.phase = "step";
-      span.algo = core::AlgorithmName(query.algo);
+      span.algo = options.algo_name;
       span.step = step_index;
       span.batch_requests = static_cast<uint32_t>(step.requests.size());
       fetch_start = NowSeconds();
@@ -421,7 +463,7 @@ QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
       instr_.pages_fetched->Add(step_pages);
       instr_.batch_pages->Observe(static_cast<double>(step_pages));
     }
-    step = algo->OnPagesFetched(pages);
+    step = traversal->OnPagesFetched(pages);
     // Pins are held across the callback (the algorithm borrows the node
     // pointers) and released immediately after.
     for (const core::FetchedPage& p : pages) cache_->Unpin(p.id);
@@ -431,9 +473,9 @@ QueryOutcome ParallelQueryEngine::RunQueryImpl(const EngineQuery& query,
       span.process_s = NowSeconds() - fetch_end;
       trace_->Record(std::move(span));
     }
+    if (options.on_step) options.on_step();
     ++step_index;
   }
-  answer.neighbors = algo->result().Sorted();
   answer.latency_s = NowSeconds() - start;
   return answer;
 }

@@ -23,6 +23,7 @@
 #define SQP_EXEC_PARALLEL_ENGINE_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -80,11 +81,41 @@ struct EngineOptions {
   size_t trace_capacity = 4096;
 };
 
+// Shared cancellation token for one in-flight query. The owner (a server
+// session, a client connection handler) sets `cancel`; the engine checks
+// it at every step boundary — where no page pins are held — so a
+// cancelled query never leaks a pinned cache frame. Must outlive the
+// query it is attached to.
+struct QueryControl {
+  std::atomic<bool> cancel{false};
+};
+
 // One k-NN query admitted to the engine.
 struct EngineQuery {
   geometry::Point point;
   size_t k = 10;
   core::AlgorithmKind algo = core::AlgorithmKind::kCrss;
+  // Wall-clock budget in seconds, measured from the moment the engine
+  // starts the query; 0 = none. A query that exceeds it stops at the next
+  // step boundary with StatusCode::kDeadlineExceeded (and the outcome's
+  // deadline_exceeded flag), keeping partial work out of the result.
+  double deadline_s = 0.0;
+  // Optional external cancellation token (see QueryControl); not owned.
+  const QueryControl* control = nullptr;
+};
+
+// Options for RunTraversal — the generic form RunQuery is built on.
+struct TraversalOptions {
+  // Name recorded on the traversal's trace spans; must outlive the call
+  // (string literals do).
+  const char* algo_name = "traversal";
+  // As EngineQuery::deadline_s / EngineQuery::control.
+  double deadline_s = 0.0;
+  const QueryControl* control = nullptr;
+  // Called on the query thread after each completed step, with that
+  // step's page pins already released. Streaming callers drain the
+  // traversal's stable results here (see core::PagedDistanceBrowser).
+  std::function<void()> on_step;
 };
 
 // Outcome of one query: the value (neighbors) or the error (status), plus
@@ -112,6 +143,10 @@ struct QueryOutcome {
   uint64_t coalesced_reads = 0;
   // Speculative pages this query's steps pushed to idle disks.
   uint64_t prefetch_issued = 0;
+  // True when the query stopped because its deadline passed (status then
+  // carries StatusCode::kDeadlineExceeded). Lets callers separate "the
+  // system was too slow" from data errors without string matching.
+  bool deadline_exceeded = false;
   double latency_s = 0.0;
   // Engine-unique id tying this outcome to its trace spans.
   uint64_t query_id = 0;
@@ -139,6 +174,14 @@ class ParallelQueryEngine {
   // out across the per-disk workers). Thread-safe. A page fault that
   // survives the retry policy fails only this query's outcome.
   QueryOutcome RunQuery(const EngineQuery& query);
+
+  // Runs an arbitrary batch traversal (a streaming browser, a range
+  // query) through the same fetch/cache/retry/trace stack as RunQuery,
+  // honouring the options' deadline and cancellation token at every step
+  // boundary. The traversal object carries the results; the outcome's
+  // neighbors stay empty. Thread-safe in the same sense as RunQuery.
+  QueryOutcome RunTraversal(core::BatchTraversal* traversal,
+                            const TraversalOptions& options);
 
   // Runs all queries with at most `options.query_threads` in flight,
   // returning outcomes in input order. Failed queries occupy their slot
@@ -179,7 +222,9 @@ class ParallelQueryEngine {
                      const std::map<int, std::vector<size_t>>& busy_disks,
                      QueryOutcome* outcome);
 
-  QueryOutcome RunQueryImpl(const EngineQuery& query, uint64_t query_id);
+  QueryOutcome RunTraversalImpl(core::BatchTraversal* traversal,
+                                const TraversalOptions& options,
+                                uint64_t query_id);
 
   const parallel::ParallelRStarTree& index_;
   EngineOptions options_;
@@ -214,6 +259,8 @@ class ParallelQueryEngine {
     obs::Counter* pages_fetched = nullptr;
     obs::Counter* coalesced = nullptr;
     obs::Counter* prefetch_issued = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* cancelled = nullptr;
     obs::Gauge* inflight = nullptr;
     obs::Histogram* latency_seconds = nullptr;
     obs::Histogram* batch_pages = nullptr;

@@ -1,0 +1,75 @@
+#include "obs/exposition.h"
+
+namespace sqp::obs {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+HttpContent HandleObservabilityPath(std::string_view path,
+                                    const MetricsRegistry* metrics,
+                                    const TraceRecorder* trace, bool healthy,
+                                    size_t max_trace_spans) {
+  const size_t q = path.find('?');
+  if (q != std::string_view::npos) path = path.substr(0, q);
+
+  HttpContent out;
+  if (path == "/healthz") {
+    if (healthy) {
+      out.status = 200;
+      out.body = "ok\n";
+    } else {
+      out.status = 503;
+      out.body = "draining\n";
+    }
+    out.content_type = "text/plain; charset=utf-8";
+    return out;
+  }
+  if (path == "/metrics" && metrics != nullptr) {
+    out.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    out.body = metrics->Snapshot().ToPrometheus();
+    return out;
+  }
+  if (path == "/metrics.json" && metrics != nullptr) {
+    out.content_type = "application/json";
+    out.body = metrics->Snapshot().ToJson();
+    return out;
+  }
+  if (path == "/tracez" && trace != nullptr) {
+    out.content_type = "application/json";
+    out.body = trace->ToJson(max_trace_spans);
+    return out;
+  }
+  out.status = 404;
+  out.content_type = "text/plain; charset=utf-8";
+  out.body = "not found\n";
+  return out;
+}
+
+std::string RenderHttpResponse(const HttpContent& content) {
+  std::string r = "HTTP/1.0 ";
+  r += std::to_string(content.status);
+  r += ' ';
+  r += StatusText(content.status);
+  r += "\r\nContent-Type: ";
+  r += content.content_type;
+  r += "\r\nContent-Length: ";
+  r += std::to_string(content.body.size());
+  r += "\r\nConnection: close\r\n\r\n";
+  r += content.body;
+  return r;
+}
+
+}  // namespace sqp::obs

@@ -1,0 +1,54 @@
+// HTTP exposition of the observability surface.
+//
+// The server subsystem (src/server/) answers plain HTTP GETs on the same
+// port it serves queries on; this module is the transport-free half of
+// that: given a request path and the registry/recorder to expose, produce
+// the response body — and a helper to wrap it in a minimal HTTP/1.0
+// response. Keeping it in obs/ (no sockets, no server dependency) means
+// the exact bytes a scraper sees are unit-testable without a listener.
+//
+// Paths served:
+//   /metrics       Prometheus text exposition (MetricsSnapshot::ToPrometheus)
+//   /metrics.json  the JSON form (MetricsSnapshot::ToJson)
+//   /healthz       "ok\n" once the owner declares itself serving
+//   /tracez        recent trace spans as JSON (TraceRecorder::ToJson)
+
+#ifndef SQP_OBS_EXPOSITION_H_
+#define SQP_OBS_EXPOSITION_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sqp::obs {
+
+// One rendered observability response, transport-independent.
+struct HttpContent {
+  int status = 200;  // 200 or 404
+  std::string content_type;
+  std::string body;
+};
+
+// Renders the response for `path` (query strings are ignored: everything
+// from '?' on is stripped). `metrics` and `trace` may be null — the
+// corresponding endpoints then 404, the way a scrape of an unmetered
+// server should fail loudly rather than return an empty document.
+// `healthy` is the owner's serving state; /healthz reports 200 "ok" or
+// 503-style "draining" text accordingly (status stays 200 vs 404-free:
+// health degrades to status 503). `max_trace_spans` caps /tracez output
+// (0 = all surviving spans).
+HttpContent HandleObservabilityPath(std::string_view path,
+                                    const MetricsRegistry* metrics,
+                                    const TraceRecorder* trace, bool healthy,
+                                    size_t max_trace_spans = 0);
+
+// Wraps `content` in a complete HTTP/1.0 response (status line, Content-
+// Type, Content-Length, Connection: close, blank line, body).
+std::string RenderHttpResponse(const HttpContent& content);
+
+}  // namespace sqp::obs
+
+#endif  // SQP_OBS_EXPOSITION_H_

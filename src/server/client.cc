@@ -1,0 +1,96 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "server/net.h"
+
+namespace sqp::server {
+
+common::Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, int port) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  if (!WriteAll(*fd, kMagic, sizeof(kMagic))) {
+    ::close(*fd);
+    return common::Status::Unavailable("connection closed during handshake");
+  }
+  return std::unique_ptr<Client>(new Client(*fd));
+}
+
+Client::~Client() { ::close(fd_); }
+
+StreamOutcome Client::Run(
+    const QuerySpec& spec,
+    const std::function<void(const std::vector<core::Neighbor>&)>& on_chunk) {
+  StreamOutcome out;
+  const std::string query =
+      EncodeFrame(FrameType::kQuery, EncodeQuerySpec(spec));
+  if (!WriteAll(fd_, query.data(), query.size())) {
+    out.status = common::Status::Unavailable("send failed");
+    return out;
+  }
+  char buf[8192];
+  for (;;) {
+    Frame frame;
+    while (!decoder_.Next(&frame)) {
+      if (!decoder_.error().ok()) {
+        out.status = decoder_.error();
+        return out;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        out.status =
+            common::Status::Unavailable("connection closed mid-stream");
+        return out;
+      }
+      decoder_.Feed(buf, static_cast<size_t>(n));
+    }
+    switch (frame.type) {
+      case FrameType::kChunk: {
+        auto chunk = DecodeChunk(frame.payload);
+        if (!chunk.ok()) {
+          out.status = chunk.status();
+          return out;
+        }
+        ++out.chunks;
+        if (on_chunk) on_chunk(*chunk);
+        out.neighbors.insert(out.neighbors.end(), chunk->begin(),
+                             chunk->end());
+        break;
+      }
+      case FrameType::kDone: {
+        auto done = DecodeDone(frame.payload);
+        if (!done.ok()) {
+          out.status = done.status();
+          return out;
+        }
+        out.summary = std::move(*done);
+        out.status = common::Status(
+            static_cast<common::StatusCode>(out.summary.status_code),
+            out.summary.message);
+        return out;
+      }
+      case FrameType::kError: {
+        out.status = DecodeError(frame.payload);
+        return out;
+      }
+      default:
+        out.status = common::Status::Internal("unexpected frame from server");
+        return out;
+    }
+  }
+}
+
+common::Status Client::SendCancel() {
+  const std::string f = EncodeFrame(FrameType::kCancel, "");
+  if (!WriteAll(fd_, f.data(), f.size())) {
+    return common::Status::Unavailable("send failed");
+  }
+  return common::Status::OK();
+}
+
+}  // namespace sqp::server

@@ -1,0 +1,68 @@
+// Blocking client for the binary streaming protocol — the library behind
+// `sqp_cli query`, the server smoke tests and bench_server. One Client is
+// one connection; queries on it run strictly one at a time (the protocol
+// is request/stream/summary per connection — open more connections for
+// parallelism, as bench_server does).
+
+#ifndef SQP_SERVER_CLIENT_H_
+#define SQP_SERVER_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/knn_result.h"
+#include "server/protocol.h"
+#include "server/service.h"
+
+namespace sqp::server {
+
+// Everything one streamed query produced.
+struct StreamOutcome {
+  // The query's final status (ok, deadline_exceeded, resource_exhausted
+  // when shed, cancelled, ...). Transport failures surface as
+  // kUnavailable.
+  common::Status status;
+  // All streamed results in arrival (= ascending-distance) order; for
+  // range queries the dist_sq fields are 0.
+  std::vector<core::Neighbor> neighbors;
+  // Chunks received before the stream finished — > 1 demonstrates
+  // incremental delivery.
+  size_t chunks = 0;
+  DoneSummary summary;  // valid when the server sent kDone
+};
+
+class Client {
+ public:
+  // Connects and sends the protocol magic.
+  static common::Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, int port);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Sends `spec` and consumes the stream. `on_chunk`, when given, sees
+  // every chunk as it arrives (before the stream completes — this is the
+  // hook the incremental-delivery tests observe first results on).
+  StreamOutcome Run(const QuerySpec& spec,
+                    const std::function<void(
+                        const std::vector<core::Neighbor>&)>& on_chunk = {});
+
+  // Sends a cancel frame for the in-flight query. Safe to call from
+  // another thread while Run() is consuming the stream.
+  common::Status SendCancel();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace sqp::server
+
+#endif  // SQP_SERVER_CLIENT_H_

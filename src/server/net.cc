@@ -1,0 +1,92 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sqp::server {
+namespace {
+
+common::Status Errno(const std::string& what) {
+  return common::Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+common::Result<int> ListenTcp(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const common::Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const common::Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+common::Result<int> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+common::Result<int> ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip =
+      (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return common::Status::InvalidArgument("bad host address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const common::Status st = Errno("connect " + ip + ":" +
+                                    std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool Readable(int fd) {
+  pollfd p{fd, POLLIN, 0};
+  return ::poll(&p, 1, 0) > 0;
+}
+
+}  // namespace sqp::server

@@ -1,0 +1,35 @@
+// Minimal POSIX TCP helpers shared by the listener and the client.
+// IPv4 loopback-or-any only — the service is an in-cluster component,
+// not an internet-facing one; anything fancier belongs in a proxy.
+
+#ifndef SQP_SERVER_NET_H_
+#define SQP_SERVER_NET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace sqp::server {
+
+// Opens a listening socket on `port` (0 = kernel-assigned) with
+// SO_REUSEADDR. Returns the fd.
+common::Result<int> ListenTcp(int port, int backlog);
+
+// The port a socket from ListenTcp is actually bound to.
+common::Result<int> BoundPort(int fd);
+
+// Connects to host:port (host is a dotted quad or "localhost").
+common::Result<int> ConnectTcp(const std::string& host, int port);
+
+// Writes all of `data`, retrying short writes; SIGPIPE is suppressed
+// (a peer that went away surfaces as `false`, not a process signal).
+bool WriteAll(int fd, const char* data, size_t n);
+
+// Is at least one byte readable right now (poll with zero timeout)?
+// Also true on EOF/error — the caller's read will then see it.
+bool Readable(int fd);
+
+}  // namespace sqp::server
+
+#endif  // SQP_SERVER_NET_H_

@@ -1,0 +1,251 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace sqp::server {
+namespace {
+
+// Little-endian primitive append/read. memcpy keeps this
+// alignment-clean; byte order is explicit so the wire format is stable
+// across hosts.
+void PutU8(std::string* s, uint8_t v) { s->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* s, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(s, bits);
+}
+
+// Cursor over a payload; every read checks the remaining length.
+struct Reader {
+  const char* p;
+  size_t n;
+  bool failed = false;
+
+  explicit Reader(std::string_view s) : p(s.data()), n(s.size()) {}
+
+  bool Take(void* out, size_t bytes) {
+    if (failed || n < bytes) {
+      failed = true;
+      return false;
+    }
+    std::memcpy(out, p, bytes);
+    p += bytes;
+    n -= bytes;
+    return true;
+  }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Take(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    unsigned char b[4] = {};
+    Take(b, 4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  uint64_t U64() {
+    unsigned char b[8] = {};
+    Take(b, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Rest() {
+    std::string s(p, n);
+    p += n;
+    n = 0;
+    return s;
+  }
+};
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kQuery) &&
+         t <= static_cast<uint8_t>(FrameType::kCancel);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (!error_.ok()) return;
+  buffer_.append(data, n);
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return false;
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  const uint8_t type = static_cast<uint8_t>(buffer_[0]);
+  if (!ValidFrameType(type)) {
+    error_ = common::Status::InvalidArgument(
+        "unknown frame type " + std::to_string(type));
+    return false;
+  }
+  uint32_t len = 0;
+  for (int i = 4; i >= 1; --i) {
+    len = (len << 8) | static_cast<uint8_t>(buffer_[static_cast<size_t>(i)]);
+  }
+  if (len > kMaxFramePayload) {
+    error_ = common::Status::InvalidArgument(
+        "frame payload of " + std::to_string(len) + " bytes exceeds limit");
+    return false;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) return false;
+  out->type = static_cast<FrameType>(type);
+  out->payload = buffer_.substr(kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return true;
+}
+
+std::string EncodeQuerySpec(const QuerySpec& spec) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(spec.mode));
+  PutU8(&out, static_cast<uint8_t>(spec.algo));
+  PutU32(&out, static_cast<uint32_t>(spec.k));
+  PutF64(&out, spec.radius);
+  PutF64(&out, spec.deadline_s);
+  PutU32(&out, static_cast<uint32_t>(spec.priority));
+  PutU32(&out, static_cast<uint32_t>(spec.point.dim()));
+  for (int i = 0; i < spec.point.dim(); ++i) {
+    PutF64(&out, static_cast<double>(spec.point[i]));
+  }
+  return out;
+}
+
+common::Result<QuerySpec> DecodeQuerySpec(std::string_view payload) {
+  Reader r(payload);
+  QuerySpec spec;
+  const uint8_t mode = r.U8();
+  if (mode > static_cast<uint8_t>(QueryMode::kRange)) {
+    return common::Status::InvalidArgument("bad query mode " +
+                                           std::to_string(mode));
+  }
+  spec.mode = static_cast<QueryMode>(mode);
+  const uint8_t algo = r.U8();
+  if (algo > static_cast<uint8_t>(core::AlgorithmKind::kWoptss)) {
+    return common::Status::InvalidArgument("bad algorithm " +
+                                           std::to_string(algo));
+  }
+  spec.algo = static_cast<core::AlgorithmKind>(algo);
+  spec.k = r.U32();
+  spec.radius = r.F64();
+  spec.deadline_s = r.F64();
+  spec.priority = static_cast<int>(static_cast<int32_t>(r.U32()));
+  const uint32_t dim = r.U32();
+  if (r.failed || dim == 0 || dim > 1024) {
+    return common::Status::InvalidArgument("bad query-spec encoding");
+  }
+  std::vector<geometry::Coord> coords(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    coords[i] = static_cast<geometry::Coord>(r.F64());
+  }
+  if (r.failed || r.n != 0) {
+    return common::Status::InvalidArgument("bad query-spec encoding");
+  }
+  spec.point = geometry::Point::FromVector(std::move(coords));
+  return spec;
+}
+
+std::string EncodeChunk(const std::vector<core::Neighbor>& neighbors) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(neighbors.size()));
+  for (const core::Neighbor& n : neighbors) {
+    PutU64(&out, static_cast<uint64_t>(n.object));
+    PutF64(&out, n.dist_sq);
+  }
+  return out;
+}
+
+common::Result<std::vector<core::Neighbor>> DecodeChunk(
+    std::string_view payload) {
+  Reader r(payload);
+  const uint32_t count = r.U32();
+  if (r.failed || r.n != static_cast<size_t>(count) * 16) {
+    return common::Status::InvalidArgument("bad chunk encoding");
+  }
+  std::vector<core::Neighbor> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    core::Neighbor n;
+    n.object = static_cast<rstar::ObjectId>(r.U64());
+    n.dist_sq = r.F64();
+    out.push_back(n);
+  }
+  return out;
+}
+
+std::string EncodeDone(const DoneSummary& summary) {
+  std::string out;
+  PutU8(&out, summary.status_code);
+  PutU64(&out, summary.results);
+  PutU64(&out, summary.pages_fetched);
+  PutU64(&out, summary.steps);
+  PutU8(&out, summary.deadline_exceeded);
+  PutF64(&out, summary.latency_s);
+  out.append(summary.message);
+  return out;
+}
+
+common::Result<DoneSummary> DecodeDone(std::string_view payload) {
+  Reader r(payload);
+  DoneSummary s;
+  s.status_code = r.U8();
+  s.results = r.U64();
+  s.pages_fetched = r.U64();
+  s.steps = r.U64();
+  s.deadline_exceeded = r.U8();
+  s.latency_s = r.F64();
+  if (r.failed) {
+    return common::Status::InvalidArgument("bad done-summary encoding");
+  }
+  s.message = r.Rest();
+  return s;
+}
+
+std::string EncodeError(const common::Status& status) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+common::Status DecodeError(std::string_view payload) {
+  Reader r(payload);
+  const uint8_t code = r.U8();
+  if (r.failed ||
+      code > static_cast<uint8_t>(common::StatusCode::kResourceExhausted)) {
+    return common::Status::Internal("bad error frame");
+  }
+  return common::Status(static_cast<common::StatusCode>(code), r.Rest());
+}
+
+}  // namespace sqp::server

@@ -1,0 +1,104 @@
+// Wire protocol of the streaming query service.
+//
+// A binary connection opens with the 4-byte magic "SQPB", then carries
+// length-prefixed frames both ways:
+//
+//   frame := type:u8  length:u32le  payload[length]
+//
+//   client -> server   kQuery  (an encoded QuerySpec)
+//                      kCancel (empty; cancels the in-flight query)
+//   server -> client   kChunk  (count:u32le, then count * neighbor)
+//                      kDone   (an encoded DoneSummary; ends the stream)
+//                      kError  (code:u8, message; ends the stream — the
+//                               admission-shed / bad-request path)
+//
+//   neighbor := object:u64le  dist_sq:f64le
+//
+// One query is in flight per connection at a time; after kDone/kError the
+// client may send the next kQuery. The same TCP port also answers plain
+// HTTP GETs (observability) and a line-oriented text protocol — the
+// listener sniffs the first bytes (src/server/tcp_server.cc); this header
+// is only the binary form plus its encode/decode, kept transport-free so
+// tests can round-trip frames without a socket.
+//
+// All integers little-endian; floats are IEEE-754 bit patterns.
+
+#ifndef SQP_SERVER_PROTOCOL_H_
+#define SQP_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/knn_result.h"
+#include "server/service.h"
+
+namespace sqp::server {
+
+inline constexpr char kMagic[4] = {'S', 'Q', 'P', 'B'};
+inline constexpr size_t kFrameHeaderBytes = 5;  // type + length
+// Refuse absurd frames before allocating (a corrupt length must not OOM
+// the server).
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kChunk = 2,
+  kDone = 3,
+  kError = 4,
+  kCancel = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// The server's end-of-stream summary (mirrors exec::QueryOutcome).
+struct DoneSummary {
+  uint8_t status_code = 0;  // common::StatusCode as its underlying value
+  std::string message;      // empty when ok
+  uint64_t results = 0;     // neighbors/matches streamed in chunks
+  uint64_t pages_fetched = 0;
+  uint64_t steps = 0;
+  uint8_t deadline_exceeded = 0;
+  double latency_s = 0.0;  // service-side execution time
+};
+
+// Frame header + payload, ready to write.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Incremental frame parser: Feed() raw bytes as they arrive, Next() pops
+// completed frames. Malformed input (unknown type, oversized length)
+// poisons the decoder — error() is then non-OK and Next() returns false
+// forever; the connection should be dropped.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, size_t n);
+  bool Next(Frame* out);
+  const common::Status& error() const { return error_; }
+
+ private:
+  std::string buffer_;
+  common::Status error_;
+};
+
+std::string EncodeQuerySpec(const QuerySpec& spec);
+common::Result<QuerySpec> DecodeQuerySpec(std::string_view payload);
+
+std::string EncodeChunk(const std::vector<core::Neighbor>& neighbors);
+common::Result<std::vector<core::Neighbor>> DecodeChunk(
+    std::string_view payload);
+
+std::string EncodeDone(const DoneSummary& summary);
+common::Result<DoneSummary> DecodeDone(std::string_view payload);
+
+// kError payload: code:u8, then the message bytes.
+std::string EncodeError(const common::Status& status);
+common::Status DecodeError(std::string_view payload);
+
+}  // namespace sqp::server
+
+#endif  // SQP_SERVER_PROTOCOL_H_

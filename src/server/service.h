@@ -1,0 +1,208 @@
+// The streaming query service: admission control, deadlines and
+// incremental result delivery over exec::ParallelQueryEngine.
+//
+// This is the multiuser system of the paper's setting (§6) made into a
+// long-running component. Clients Submit() QuerySpecs; the service admits
+// them into a bounded pending queue (full queue = typed shedding with
+// StatusCode::kResourceExhausted — the caller knows to back off, nothing
+// queues unboundedly), a fixed pool of worker threads dispatches them in
+// (priority, earliest-deadline, FIFO) order, and each admitted query's
+// results stream back through a StreamingQuery handle as they stabilize —
+// a k-NN browse delivers its first neighbors while deeper pages are still
+// being fetched (core::PagedDistanceBrowser), a range query delivers
+// matches level by level. The streamed sequence is bit-identical to the
+// batch answer; streaming changes *when* results arrive, never *what*.
+//
+// Deadlines are measured from admission, so time spent waiting in the
+// pending queue counts against the budget: an overloaded service fails
+// queries *quickly* with kDeadlineExceeded instead of running them late
+// (the engine stops at the next step boundary, where no cache pins are
+// held). Cancellation works the same way via StreamingQuery::Cancel().
+//
+// Metrics (reported into the engine's registry, docs/OBSERVABILITY.md):
+//   sqp_server_submitted_total = sqp_server_shed_total
+//                              + sqp_server_completed_total   (at rest)
+//   sqp_server_pending / sqp_server_active gauges
+//   sqp_server_queue_wait_seconds histogram
+
+#ifndef SQP_SERVER_SERVICE_H_
+#define SQP_SERVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/algorithms.h"
+#include "core/knn_result.h"
+#include "exec/parallel_engine.h"
+#include "geometry/point.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_tree.h"
+
+namespace sqp::server {
+
+enum class QueryMode : uint8_t {
+  // k-NN answered in one piece at the end (the engine's RunQuery);
+  // `algo` selects the traversal.
+  kKnnBatch = 0,
+  // k-NN streamed incrementally by distance browsing; neighbors are
+  // delivered as soon as they are provably final. `algo` is ignored —
+  // the browser is its own traversal.
+  kKnnStream = 1,
+  // Ball range query (center = point, radius); matches stream per
+  // traversal level. Chunks carry object ids; distances are not computed
+  // by the range traversal and are reported as 0.
+  kRange = 2,
+};
+
+const char* QueryModeName(QueryMode mode);
+
+// One client query, transport-independent (src/server/protocol.{h,cc}
+// carries it over the wire).
+struct QuerySpec {
+  QueryMode mode = QueryMode::kKnnStream;
+  core::AlgorithmKind algo = core::AlgorithmKind::kCrss;
+  geometry::Point point;
+  size_t k = 10;        // k-NN modes
+  double radius = 0.0;  // kRange
+  // Wall-clock budget measured from *admission* (0 = none): queue wait
+  // counts, so shed-by-timeout happens instead of running late.
+  double deadline_s = 0.0;
+  // Higher runs first; ties dispatch earliest-deadline, then FIFO.
+  int priority = 0;
+};
+
+struct ServiceOptions {
+  // Dispatcher threads — concurrent queries *running*; more than this
+  // many admitted queries wait in the pending queue.
+  int workers = 4;
+  // Pending-queue bound; a Submit() beyond it is shed with
+  // kResourceExhausted. Must be >= 1.
+  size_t max_pending = 64;
+  // Max neighbors per streamed chunk (larger stable batches are split).
+  size_t max_chunk = 64;
+  // Bounded per-query chunk buffer: a producer that gets this far ahead
+  // of its consumer blocks (backpressure), so one slow client cannot
+  // hold unbounded memory.
+  size_t max_buffered_chunks = 64;
+};
+
+// Client-side handle to one admitted query. Results arrive as chunks;
+// NextChunk blocks until a chunk is ready or the query finished. Thread
+// model: one consumer thread; Cancel() may be called from any thread.
+class StreamingQuery {
+ public:
+  // Waits for the next chunk. Returns true and fills `out` (never empty)
+  // while results keep coming; returns false once the query is finished
+  // (outcome() is then final). A false return with an ok() outcome status
+  // and fewer results than requested means the tree was exhausted.
+  bool NextChunk(std::vector<core::Neighbor>* out);
+
+  // Requests cancellation: the engine stops at the next step boundary
+  // (releasing all page pins) and the outcome's status becomes
+  // kCancelled. Queries still waiting in the pending queue are cancelled
+  // without running at all. Idempotent.
+  void Cancel();
+
+  // Final once NextChunk returned false.
+  const exec::QueryOutcome& outcome() const { return outcome_; }
+  const QuerySpec& spec() const { return spec_; }
+  bool finished() const;
+
+ private:
+  friend class QueryService;
+  struct Admission {
+    double admit_s = 0.0;     // steady-clock admission time
+    double deadline_s = 0.0;  // absolute; +inf when none
+    uint64_t seq = 0;         // FIFO tiebreak
+  };
+
+  // Producer side (worker thread). PushChunk blocks while the buffer is
+  // full and the query is neither cancelled nor being torn down; returns
+  // false when pushing is pointless (consumer gone / cancelled).
+  bool PushChunk(std::vector<core::Neighbor> chunk, size_t max_buffered);
+  void Finish(exec::QueryOutcome outcome);
+
+  QuerySpec spec_;
+  Admission admission_;
+  exec::QueryControl control_;
+
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;  // signalled: new chunk / finished
+  std::condition_variable producer_cv_;  // signalled: buffer drained
+  std::deque<std::vector<core::Neighbor>> chunks_;
+  bool finished_ = false;
+  exec::QueryOutcome outcome_;
+};
+
+class QueryService {
+ public:
+  // `index` is the tree queries run against; `engine` executes the
+  // traversals (and owns the metrics registry the service reports into).
+  // Both must outlive the service.
+  QueryService(const parallel::ParallelRStarTree& index,
+               exec::ParallelQueryEngine* engine,
+               const ServiceOptions& options);
+  // Cancels pending and running queries, joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Admission: validates the spec and enqueues it. Returns the streaming
+  // handle, kResourceExhausted when the pending queue is full, or
+  // kInvalidArgument for a malformed spec. Never blocks on capacity —
+  // shedding is the whole point.
+  common::Result<std::shared_ptr<StreamingQuery>> Submit(
+      const QuerySpec& spec);
+
+  // Convenience: Submit and drain to completion on the calling thread.
+  // The outcome's neighbors hold all streamed results, in stream order.
+  exec::QueryOutcome RunBlocking(const QuerySpec& spec);
+
+  const ServiceOptions& options() const { return options_; }
+  exec::ParallelQueryEngine* engine() const { return engine_; }
+  int num_disks() const { return engine_->num_disks(); }
+  int dim() const { return index_.tree().config().dim; }
+
+ private:
+  struct PendingOrder {
+    bool operator()(const std::shared_ptr<StreamingQuery>& a,
+                    const std::shared_ptr<StreamingQuery>& b) const;
+  };
+
+  void WorkerLoop();
+  // Runs one admitted query to completion (or deadline/cancel) and
+  // finishes its handle.
+  void Execute(const std::shared_ptr<StreamingQuery>& q);
+
+  const parallel::ParallelRStarTree& index_;
+  exec::ParallelQueryEngine* engine_;
+  ServiceOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  // Dispatch order: priority desc, absolute deadline asc, admission seq.
+  std::multiset<std::shared_ptr<StreamingQuery>, PendingOrder> pending_;
+  bool stopping_ = false;
+  uint64_t next_seq_ = 0;
+  std::vector<std::thread> workers_;
+
+  // Registry instruments (null when the engine runs unmetered).
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
+  obs::Gauge* m_active_ = nullptr;
+  obs::Histogram* m_queue_wait_ = nullptr;
+};
+
+}  // namespace sqp::server
+
+#endif  // SQP_SERVER_SERVICE_H_

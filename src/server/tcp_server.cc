@@ -1,0 +1,358 @@
+#include "server/tcp_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/exposition.h"
+#include "server/net.h"
+
+namespace sqp::server {
+namespace {
+
+// Blocks until `want` bytes are peekable (without consuming them) or the
+// connection ends. Returns the bytes actually seen.
+std::string PeekBytes(int fd, size_t want) {
+  std::string buf(want, '\0');
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf.data(), want, MSG_PEEK);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::string();
+    if (static_cast<size_t>(n) >= want) return buf;
+    // Partial peek: wait for more (recv would return the same prefix).
+    pollfd p{fd, POLLIN, 0};
+    ::poll(&p, 1, -1);
+    if ((p.revents & (POLLERR | POLLHUP)) != 0 &&
+        (p.revents & POLLIN) == 0) {
+      return buf.substr(0, static_cast<size_t>(n));
+    }
+  }
+}
+
+DoneSummary SummaryOf(const exec::QueryOutcome& out, uint64_t results) {
+  DoneSummary s;
+  s.status_code = static_cast<uint8_t>(out.status.code());
+  s.message = out.status.message();
+  s.results = results;
+  s.pages_fetched = out.pages_fetched;
+  s.steps = out.steps;
+  s.deadline_exceeded = out.deadline_exceeded ? 1 : 0;
+  s.latency_s = out.latency_s;
+  return s;
+}
+
+core::AlgorithmKind ParseAlgoName(const std::string& name) {
+  if (name == "bbss") return core::AlgorithmKind::kBbss;
+  if (name == "fpss") return core::AlgorithmKind::kFpss;
+  if (name == "woptss") return core::AlgorithmKind::kWoptss;
+  return core::AlgorithmKind::kCrss;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    QueryService* service, const TcpServerOptions& options) {
+  auto listened = ListenTcp(options.port, options.backlog);
+  if (!listened.ok()) return listened.status();
+  auto port = BoundPort(*listened);
+  if (!port.ok()) {
+    ::close(*listened);
+    return port.status();
+  }
+  std::unique_ptr<TcpServer> server(
+      new TcpServer(service, options, *listened, *port));
+  return server;
+}
+
+TcpServer::TcpServer(QueryService* service, const TcpServerOptions& options,
+                     int listen_fd, int port)
+    : service_(service),
+      options_(options),
+      listen_fd_(listen_fd),
+      port_(port) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Closing the listener unblocks accept(); handlers notice `stopping_`
+  // when their connection next quiesces (clients see the stream finish).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) t.join();
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    // Without this, Nagle holds each small chunk frame for the peer's
+    // delayed ACK (~40 ms) — streaming latency must be the query's, not
+    // the socket heuristics'.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers_.emplace_back([this, fd] {
+      HandleConnection(fd);
+      ::close(fd);
+    });
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  const std::string head = PeekBytes(fd, 4);
+  if (head.size() == 4 && std::memcmp(head.data(), kMagic, 4) == 0) {
+    char magic[4];
+    ::recv(fd, magic, 4, 0);  // consume what we peeked
+    HandleBinary(fd);
+    return;
+  }
+  if (head.rfind("GET ", 0) == 0 || head.rfind("HEAD", 0) == 0) {
+    HandleHttp(fd);
+    return;
+  }
+  if (!head.empty()) HandleText(fd);
+}
+
+void TcpServer::HandleBinary(int fd) {
+  FrameDecoder decoder;
+  char buf[4096];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Frame frame;
+    while (!decoder.Next(&frame)) {
+      if (!decoder.error().ok()) return;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      decoder.Feed(buf, static_cast<size_t>(n));
+    }
+    if (frame.type == FrameType::kCancel) continue;  // nothing in flight
+    if (frame.type != FrameType::kQuery) return;     // protocol violation
+    auto spec = DecodeQuerySpec(frame.payload);
+    if (!spec.ok()) {
+      const std::string f =
+          EncodeFrame(FrameType::kError, EncodeError(spec.status()));
+      if (!WriteAll(fd, f.data(), f.size())) return;
+      continue;
+    }
+    auto submitted = service_->Submit(*spec);
+    if (!submitted.ok()) {
+      // The typed shedding path: kResourceExhausted reaches the client
+      // as an error frame; the connection survives for a retry.
+      const std::string f =
+          EncodeFrame(FrameType::kError, EncodeError(submitted.status()));
+      if (!WriteAll(fd, f.data(), f.size())) return;
+      continue;
+    }
+    if (!StreamBinaryQuery(fd, *submitted, &decoder)) return;
+  }
+}
+
+bool TcpServer::StreamBinaryQuery(int fd,
+                                  const std::shared_ptr<StreamingQuery>& q,
+                                  FrameDecoder* decoder) {
+  uint64_t results = 0;
+  std::vector<core::Neighbor> chunk;
+  bool conn_ok = true;
+  char buf[4096];
+  while (q->NextChunk(&chunk)) {
+    // A client cancel may already be queued on the socket; honour it
+    // before writing more results.
+    while (conn_ok && Readable(fd)) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        decoder->Feed(buf, static_cast<size_t>(n));
+        Frame f;
+        while (decoder->Next(&f)) {
+          if (f.type == FrameType::kCancel) q->Cancel();
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      conn_ok = false;  // peer gone; stop the query, drain the stream
+      q->Cancel();
+    }
+    if (conn_ok) {
+      const std::string f = EncodeFrame(FrameType::kChunk, EncodeChunk(chunk));
+      if (!WriteAll(fd, f.data(), f.size())) {
+        conn_ok = false;
+        q->Cancel();
+      } else {
+        results += chunk.size();
+      }
+    }
+  }
+  if (!conn_ok) return false;
+  const exec::QueryOutcome& out = q->outcome();
+  const std::string f =
+      EncodeFrame(FrameType::kDone, EncodeDone(SummaryOf(out, results)));
+  return WriteAll(fd, f.data(), f.size());
+}
+
+void TcpServer::HandleHttp(int fd) {
+  // Read up to the end of the request head; only the request line matters.
+  std::string req;
+  char buf[2048];
+  while (req.find("\r\n") == std::string::npos && req.size() < 16384) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+  const size_t sp1 = req.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : req.find(' ', sp1 + 1);
+  std::string path = "/";
+  if (sp2 != std::string::npos) path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  const exec::ParallelQueryEngine* engine = service_->engine();
+  const obs::HttpContent content = obs::HandleObservabilityPath(
+      path, engine->metrics(), engine->trace(),
+      !stopping_.load(std::memory_order_relaxed), options_.max_trace_spans);
+  const std::string response = obs::RenderHttpResponse(content);
+  WriteAll(fd, response.data(), response.size());
+}
+
+void TcpServer::HandleText(int fd) {
+  std::string pending;
+  char buf[2048];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    size_t nl = pending.find('\n');
+    while (nl == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      pending.append(buf, static_cast<size_t>(n));
+      nl = pending.find('\n');
+    }
+    std::string line = pending.substr(0, nl);
+    pending.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "quit") return;
+
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    QuerySpec spec;
+    bool have_size = false;
+    double size_arg = 0.0;
+    std::vector<geometry::Coord> coords;
+    std::string tok;
+    bool bad = false;
+    while (in >> tok) {
+      const size_t eq = tok.find('=');
+      if (eq != std::string::npos) {
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "deadline_ms") {
+          spec.deadline_s = std::atof(val.c_str()) / 1e3;
+        } else if (key == "priority") {
+          spec.priority = std::atoi(val.c_str());
+        } else if (key == "algo") {
+          spec.algo = ParseAlgoName(val);
+        } else if (key == "mode") {
+          if (val == "batch") spec.mode = QueryMode::kKnnBatch;
+        } else {
+          bad = true;
+        }
+        continue;
+      }
+      char* end = nullptr;
+      const double v = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0') {
+        bad = true;
+        break;
+      }
+      if (!have_size) {
+        size_arg = v;
+        have_size = true;
+      } else {
+        coords.push_back(static_cast<geometry::Coord>(v));
+      }
+    }
+    std::string reply;
+    if (bad || !have_size || coords.empty() ||
+        (verb != "knn" && verb != "range")) {
+      reply =
+          "error invalid_argument usage: knn <k> <coord>... | "
+          "range <radius> <coord>... [deadline_ms=] [priority=] [algo=]\n";
+      if (!WriteAll(fd, reply.data(), reply.size())) return;
+      continue;
+    }
+    if (verb == "knn") {
+      if (spec.mode != QueryMode::kKnnBatch) spec.mode = QueryMode::kKnnStream;
+      spec.k = static_cast<size_t>(size_arg);
+    } else {
+      spec.mode = QueryMode::kRange;
+      spec.radius = size_arg;
+    }
+    spec.point = geometry::Point::FromVector(std::move(coords));
+
+    auto submitted = service_->Submit(spec);
+    if (!submitted.ok()) {
+      reply = "error " +
+              std::string(common::StatusCodeName(submitted.status().code())) +
+              " " + submitted.status().message() + "\n";
+      if (!WriteAll(fd, reply.data(), reply.size())) return;
+      continue;
+    }
+    const std::shared_ptr<StreamingQuery>& q = *submitted;
+    uint64_t results = 0;
+    std::vector<core::Neighbor> chunk;
+    bool conn_ok = true;
+    while (q->NextChunk(&chunk)) {
+      if (!conn_ok) continue;  // drain so the worker can finish
+      std::string lines;
+      for (const core::Neighbor& n : chunk) {
+        lines += "r " + std::to_string(n.object) + " " +
+                 std::to_string(n.dist_sq) + "\n";
+      }
+      results += chunk.size();
+      if (!WriteAll(fd, lines.data(), lines.size())) {
+        conn_ok = false;
+        q->Cancel();
+      }
+    }
+    if (!conn_ok) return;
+    const exec::QueryOutcome& out = q->outcome();
+    if (out.status.ok()) {
+      reply = "done " + std::to_string(results) +
+              " pages=" + std::to_string(out.pages_fetched) +
+              " steps=" + std::to_string(out.steps) + "\n";
+    } else {
+      reply = "error " +
+              std::string(common::StatusCodeName(out.status.code())) + " " +
+              out.status.message() + "\n";
+    }
+    if (!WriteAll(fd, reply.data(), reply.size())) return;
+  }
+}
+
+}  // namespace sqp::server

@@ -1,0 +1,87 @@
+// The service's network front end: one TCP port, three protocols,
+// told apart by the connection's first bytes —
+//
+//   "SQPB"          the binary streaming protocol (server/protocol.h)
+//   "GET " / "HEAD" plain HTTP observability: /metrics (Prometheus),
+//                   /metrics.json, /healthz, /tracez (obs/exposition.h)
+//   anything else   a line-oriented text protocol for humans and shell
+//                   scripts:
+//                     knn <k> <coord>... [key=value]...
+//                     range <radius> <coord>...
+//                     quit
+//                   keys: deadline_ms=, priority=, algo=crss|bbss|fpss|
+//                   woptss, mode=stream|batch. Responses: one
+//                   "r <object> <dist_sq>" line per result as chunks
+//                   stabilize, then "done <n> ..." or "error <code> ...".
+//
+// Each connection gets a handler thread; queries on it run through the
+// QueryService's admission control, so the connection count bounds
+// protocol handlers while max_pending bounds admitted work. Stop() (or
+// destruction) closes the listener, cancels in-flight queries and joins
+// every handler.
+
+#ifndef SQP_SERVER_TCP_SERVER_H_
+#define SQP_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+#include "server/service.h"
+
+namespace sqp::server {
+
+struct TcpServerOptions {
+  int port = 0;  // 0 = kernel-assigned; read the choice back with port()
+  int backlog = 64;
+  // Cap on spans returned by /tracez (0 = the recorder's whole ring).
+  size_t max_trace_spans = 256;
+};
+
+class TcpServer {
+ public:
+  // Binds and starts accepting. `service` must outlive the server.
+  static common::Result<std::unique_ptr<TcpServer>> Start(
+      QueryService* service, const TcpServerOptions& options);
+
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  int port() const { return port_; }
+  // Idempotent. After it returns no handler thread is running.
+  void Stop();
+
+ private:
+  TcpServer(QueryService* service, const TcpServerOptions& options,
+            int listen_fd, int port);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void HandleBinary(int fd);
+  void HandleHttp(int fd);
+  void HandleText(int fd);
+  // Streams one admitted query to `fd` as kChunk/kDone frames, watching
+  // the socket for kCancel between chunks. Returns false when the
+  // connection died mid-stream.
+  bool StreamBinaryQuery(int fd, const std::shared_ptr<StreamingQuery>& q,
+                         FrameDecoder* decoder);
+
+  QueryService* service_;
+  TcpServerOptions options_;
+  int listen_fd_;
+  int port_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<std::thread> handlers_;  // joined on Stop
+};
+
+}  // namespace sqp::server
+
+#endif  // SQP_SERVER_TCP_SERVER_H_

@@ -24,6 +24,25 @@
 //   $ sqp_cli load-index --index=places.index --engine=parallel
 //             --threads=8 --cache=4096 --algo=crss --k=20 --queries=500
 //
+//   serve        run the streaming query service (src/server/) over the
+//                index saved under --index=<dir>: one TCP port speaking
+//                the binary protocol, a text protocol, and HTTP
+//                /metrics, /metrics.json, /healthz, /tracez
+//                (docs/SERVER.md). Runs until SIGINT/SIGTERM.
+//
+//   $ sqp_cli serve --index=places.index --port=7788
+//             --workers=4 --max-pending=64 --threads=8 --cache=4096
+//             [--port-file=<path>]   # written once bound; port 0 = auto
+//
+//   query        one streamed query against a running server; chunks are
+//                printed as they arrive (before the query completes).
+//                Exit codes: 0 ok, 3 shed (resource_exhausted),
+//                4 deadline_exceeded, 2 other failure.
+//
+//   $ sqp_cli query --port=7788 --mode=stream --k=20 --point=1.5,2.5
+//             [--host=127.0.0.1] [--radius=0.1] [--deadline-ms=100]
+//             [--priority=0] [--algo=crss] [--connect-wait-ms=5000]
+//
 // Flags (all optional, shown with defaults):
 //   --dataset=clustered|uniform|gaussian|california|longbeach
 //   --file=<csv or sqp>    overrides --dataset
@@ -42,6 +61,8 @@
 //         EIO) at the given per-read probability. Failed queries are
 //         reported individually — the run completes either way — and the
 //         summary shows retry/fault totals (see docs/FAULTS.md).
+//   --deadline-ms=0        parallel engine: per-query wall-clock budget;
+//         late queries stop with deadline_exceeded (0 = none)
 //   --metrics=0            parallel engine: after the run, dump the full
 //         MetricsRegistry in Prometheus text format to stdout
 //         (docs/OBSERVABILITY.md)
@@ -51,13 +72,16 @@
 //         spans (ring buffer, oldest first) as JSON
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/algorithms.h"
 #include "core/sequential_executor.h"
@@ -66,6 +90,9 @@
 #include "obs/trace.h"
 #include "parallel/parallel_tree.h"
 #include "rstar/tree_stats.h"
+#include "server/client.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
 #include "sim/query_engine.h"
 #include "storage/fault_injection.h"
 #include "storage/index_io.h"
@@ -367,12 +394,18 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
   const size_t n_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   const core::AlgorithmKind algo = ParseAlgo(flags.Get("algo", "crss"));
+  const double deadline_s = flags.GetDouble("deadline-ms", 0.0) / 1e3;
   const auto points = workload::MakeQueryPoints(
       data, n_queries, workload::QueryDistribution::kDataDistributed, 225);
   std::vector<exec::EngineQuery> queries;
   queries.reserve(points.size());
   for (const geometry::Point& q : points) {
-    queries.push_back({q, k, algo});
+    exec::EngineQuery eq;
+    eq.point = q;
+    eq.k = k;
+    eq.algo = algo;
+    eq.deadline_s = deadline_s;
+    queries.push_back(std::move(eq));
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -388,17 +421,30 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
   double pages = 0.0;
   size_t failed = 0;
   uint64_t io_faults = 0, io_retries = 0;
+  // Failures broken down by status code: scheduling outcomes
+  // (deadline_exceeded, cancelled) are operationally different from data
+  // errors and get counted apart, not string-matched.
+  std::map<std::string, size_t> failures_by_code;
   for (size_t i = 0; i < answers.size(); ++i) {
     io_faults += answers[i].io_faults;
     io_retries += answers[i].io_retries;
     if (!answers[i].status.ok()) {
       ++failed;
+      ++failures_by_code[common::StatusCodeName(answers[i].status.code())];
       std::fprintf(stderr, "query %zu failed: %s\n", i,
                    answers[i].status.ToString().c_str());
       continue;
     }
     latencies.push_back(answers[i].latency_s);
     pages += static_cast<double>(answers[i].pages_fetched);
+  }
+  if (!failures_by_code.empty()) {
+    std::string parts;
+    for (const auto& [code, count] : failures_by_code) {
+      if (!parts.empty()) parts += ", ";
+      parts += code + " x" + std::to_string(count);
+    }
+    std::fprintf(stderr, "failures by code: %s\n", parts.c_str());
   }
   if (latencies.empty()) {
     std::fprintf(stderr, "all %zu queries failed\n", n_queries);
@@ -492,6 +538,178 @@ int RunLoadIndex(const Flags& flags) {
   return RunWorkload(flags, data, *index);
 }
 
+// --- serve / query: the streaming service front end (src/server/) ---
+
+std::atomic<bool> g_shutdown{false};
+
+void OnSignal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+int RunServe(const Flags& flags) {
+  const std::string dir = flags.Get("index", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "serve requires --index=<dir>\n");
+    return 1;
+  }
+  auto opened = workload::LoadParallelIndex(dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<parallel::ParallelRStarTree> index = std::move(*opened);
+  auto store = storage::FilePageStore::Open(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open store failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  const storage::PageStore* page_store = store->get();
+  const double throttle = flags.GetDouble("throttle", 0.0);
+  std::unique_ptr<storage::ThrottledPageStore> throttled;
+  if (throttle > 0) {
+    throttled =
+        std::make_unique<storage::ThrottledPageStore>(page_store, throttle);
+    page_store = throttled.get();
+  }
+
+  exec::EngineOptions eopts;
+  eopts.query_threads = static_cast<int>(flags.GetInt("threads", 8));
+  eopts.cache_pages = static_cast<size_t>(flags.GetInt("cache", 4096));
+  auto engine = exec::ParallelQueryEngine::Create(*index, page_store, eopts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  server::ServiceOptions sopts;
+  sopts.workers = static_cast<int>(flags.GetInt("workers", 4));
+  sopts.max_pending = static_cast<size_t>(flags.GetInt("max-pending", 64));
+  sopts.max_chunk = static_cast<size_t>(flags.GetInt("max-chunk", 64));
+  server::QueryService service(*index, engine->get(), sopts);
+
+  server::TcpServerOptions topts;
+  topts.port = static_cast<int>(flags.GetInt("port", 0));
+  auto srv = server::TcpServer::Start(&service, topts);
+  if (!srv.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 srv.status().ToString().c_str());
+    return 1;
+  }
+  const std::string port_file = flags.Get("port-file", "");
+  if (!port_file.empty() &&
+      !WriteTextFile(port_file, std::to_string((*srv)->port()) + "\n")) {
+    return 1;
+  }
+  std::printf("serving %s on port %d (%d workers, %zu pending slots, "
+              "%d query threads)\n",
+              dir.c_str(), (*srv)->port(), sopts.workers, sopts.max_pending,
+              eopts.query_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  (*srv)->Stop();
+  return 0;
+}
+
+// Parses "1.5,2.5,..." into a Point; empty on malformed input.
+geometry::Point ParsePoint(const std::string& csv) {
+  std::vector<geometry::Coord> coords;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(start, comma - start);
+    if (tok.empty()) return geometry::Point();
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') return geometry::Point();
+    coords.push_back(static_cast<geometry::Coord>(v));
+    start = comma + 1;
+  }
+  return geometry::Point::FromVector(std::move(coords));
+}
+
+int RunQueryCommand(const Flags& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "query requires --port=<port>\n");
+    return 1;
+  }
+  const std::string host = flags.Get("host", "127.0.0.1");
+  server::QuerySpec spec;
+  const std::string mode = flags.Get("mode", "stream");
+  if (mode == "batch") {
+    spec.mode = server::QueryMode::kKnnBatch;
+  } else if (mode == "range") {
+    spec.mode = server::QueryMode::kRange;
+  } else {
+    spec.mode = server::QueryMode::kKnnStream;
+  }
+  spec.algo = ParseAlgo(flags.Get("algo", "crss"));
+  spec.k = static_cast<size_t>(flags.GetInt("k", 10));
+  spec.radius = flags.GetDouble("radius", 0.0);
+  spec.deadline_s = flags.GetDouble("deadline-ms", 0.0) / 1e3;
+  spec.priority = static_cast<int>(flags.GetInt("priority", 0));
+  spec.point = ParsePoint(flags.Get("point", ""));
+  if (spec.point.dim() == 0) {
+    std::fprintf(stderr, "query requires --point=<c0,c1,...>\n");
+    return 1;
+  }
+
+  // The server may still be binding (CI starts both concurrently):
+  // retry the connect with backoff inside the wait budget.
+  const long wait_ms = flags.GetInt("connect-wait-ms", 5000);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  std::unique_ptr<server::Client> client;
+  for (;;) {
+    auto connected = server::Client::Connect(host, port);
+    if (connected.ok()) {
+      client = std::move(*connected);
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= give_up) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.status().ToString().c_str());
+      return 2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  size_t chunk_no = 0;
+  const server::StreamOutcome out =
+      client->Run(spec, [&](const std::vector<core::Neighbor>& chunk) {
+        ++chunk_no;
+        std::printf("chunk %zu: %zu results\n", chunk_no, chunk.size());
+      });
+  const size_t print = std::min<size_t>(
+      out.neighbors.size(), static_cast<size_t>(flags.GetInt("print", 10)));
+  for (size_t i = 0; i < print; ++i) {
+    std::printf("  #%zu object %llu dist_sq %.6f\n", i + 1,
+                static_cast<unsigned long long>(out.neighbors[i].object),
+                out.neighbors[i].dist_sq);
+  }
+  if (out.status.ok()) {
+    std::printf("done: %zu results in %zu chunks, %llu pages, %llu steps, "
+                "%.3f ms\n",
+                out.neighbors.size(), out.chunks,
+                static_cast<unsigned long long>(out.summary.pages_fetched),
+                static_cast<unsigned long long>(out.summary.steps),
+                1e3 * out.summary.latency_s);
+    return 0;
+  }
+  std::fprintf(stderr, "query failed: %s\n", out.status.ToString().c_str());
+  if (out.status.code() == common::StatusCode::kResourceExhausted) return 3;
+  if (out.status.code() == common::StatusCode::kDeadlineExceeded) return 4;
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -510,9 +728,12 @@ int main(int argc, char** argv) {
   }
   if (command == "save-index") return RunSaveIndex(flags);
   if (command == "load-index") return RunLoadIndex(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "query") return RunQueryCommand(flags);
   if (!command.empty()) {
     std::fprintf(stderr, "unknown subcommand '%s' (try save-index, "
-                 "load-index, or flags only)\n", command.c_str());
+                 "load-index, serve, query, or flags only)\n",
+                 command.c_str());
     return 1;
   }
   return RunDefault(flags);
