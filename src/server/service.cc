@@ -1,5 +1,6 @@
 #include "server/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <utility>
@@ -115,6 +116,7 @@ QueryService::QueryService(const parallel::ParallelRStarTree& index,
 
 QueryService::~QueryService() {
   std::vector<std::shared_ptr<StreamingQuery>> orphans;
+  std::vector<std::shared_ptr<StreamingQuery>> running;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -122,9 +124,14 @@ QueryService::~QueryService() {
     // consumers unblock with an explanation rather than a hang.
     for (const auto& q : pending_) orphans.push_back(q);
     pending_.clear();
+    running = running_;
     if (m_pending_ != nullptr) m_pending_->Set(0);
     work_cv_.notify_all();
   }
+  // Cancel what the workers are executing right now: an abandoned handle
+  // (no consumer) would otherwise leave its producer blocked forever in
+  // PushChunk and the join below would deadlock.
+  for (const auto& q : running) q->Cancel();
   for (const auto& q : orphans) {
     q->Cancel();
     exec::QueryOutcome out;
@@ -208,12 +215,19 @@ void QueryService::WorkerLoop() {
       if (stopping_) return;
       q = *pending_.begin();
       pending_.erase(pending_.begin());
+      // Same critical section as the pop: the destructor sees every
+      // query as either pending or running, never in between.
+      running_.push_back(q);
       if (m_pending_ != nullptr) m_pending_->Add(-1);
     }
     if (m_active_ != nullptr) m_active_->Add(1);
     Execute(q);
     if (m_active_ != nullptr) m_active_->Add(-1);
     if (m_completed_ != nullptr) m_completed_->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), q));
+    }
   }
 }
 

@@ -190,6 +190,10 @@ class QueryService {
   std::condition_variable work_cv_;
   // Dispatch order: priority desc, absolute deadline asc, admission seq.
   std::multiset<std::shared_ptr<StreamingQuery>, PendingOrder> pending_;
+  // Queries a worker is executing right now (at most `workers` entries);
+  // the destructor cancels these so abandoned handles cannot wedge a
+  // producer blocked on a full chunk buffer.
+  std::vector<std::shared_ptr<StreamingQuery>> running_;
   bool stopping_ = false;
   uint64_t next_seq_ = 0;
   std::vector<std::thread> workers_;

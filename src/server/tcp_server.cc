@@ -2,10 +2,10 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -18,23 +18,32 @@
 namespace sqp::server {
 namespace {
 
-// Blocks until `want` bytes are peekable (without consuming them) or the
-// connection ends. Returns the bytes actually seen.
-std::string PeekBytes(int fd, size_t want) {
-  std::string buf(want, '\0');
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf.data(), want, MSG_PEEK);
+// True while `head` is (a prefix of) the 4-byte pattern `pat`.
+bool PrefixMatches(const std::string& head, const char* pat) {
+  return std::memcmp(head.data(), pat,
+                     std::min<size_t>(head.size(), 4)) == 0;
+}
+
+// Reads (consuming) up to 4 preamble bytes to sniff the protocol,
+// stopping early once the prefix can no longer be the binary magic or
+// an HTTP method — a short text line gets answered instead of waited
+// on. Consuming matters: a MSG_PEEK sniffer cannot block for a 4th byte
+// (the unread prefix keeps POLLIN raised), so a peer that sends 1-3
+// bytes and half-closes would busy-spin it forever.
+std::string ReadPreamble(int fd) {
+  std::string head;
+  char buf[4];
+  while (head.size() < 4) {
+    const ssize_t n = ::recv(fd, buf, 4 - head.size(), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return std::string();
-    if (static_cast<size_t>(n) >= want) return buf;
-    // Partial peek: wait for more (recv would return the same prefix).
-    pollfd p{fd, POLLIN, 0};
-    ::poll(&p, 1, -1);
-    if ((p.revents & (POLLERR | POLLHUP)) != 0 &&
-        (p.revents & POLLIN) == 0) {
-      return buf.substr(0, static_cast<size_t>(n));
+    if (n <= 0) break;  // EOF / error: route whatever arrived
+    head.append(buf, static_cast<size_t>(n));
+    if (!PrefixMatches(head, kMagic) && !PrefixMatches(head, "GET ") &&
+        !PrefixMatches(head, "HEAD")) {
+      break;
     }
   }
+  return head;
 }
 
 DoneSummary SummaryOf(const exec::QueryOutcome& out, uint64_t results) {
@@ -60,6 +69,9 @@ core::AlgorithmKind ParseAlgoName(const std::string& name) {
 
 common::Result<std::unique_ptr<TcpServer>> TcpServer::Start(
     QueryService* service, const TcpServerOptions& options) {
+  if (options.max_connections < 1) {
+    return common::Status::InvalidArgument("max_connections must be >= 1");
+  }
   auto listened = ListenTcp(options.port, options.backlog);
   if (!listened.ok()) return listened.status();
   auto port = BoundPort(*listened);
@@ -88,21 +100,28 @@ void TcpServer::Stop() {
     if (acceptor_.joinable()) acceptor_.join();
     return;
   }
-  // Closing the listener unblocks accept(); handlers notice `stopping_`
-  // when their connection next quiesces (clients see the stream finish).
+  // Closing the listener unblocks accept().
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> handlers;
+  std::vector<std::thread> reap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    handlers.swap(handlers_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Unblock handlers parked in recv()/send() and stop the queries they
+    // are streaming; each handler then retires itself on the way out.
+    for (auto& [id, conn] : conns_) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+      if (conn.query != nullptr) conn.query->Cancel();
+    }
+    conns_cv_.wait(lock, [&] { return conns_.empty(); });
+    reap.swap(done_);
   }
-  for (std::thread& t : handlers) t.join();
+  for (std::thread& t : reap) t.join();
 }
 
 void TcpServer::AcceptLoop() {
   for (;;) {
+    ReapFinished();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -118,29 +137,68 @@ void TcpServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(mu_);
-    handlers_.emplace_back([this, fd] {
-      HandleConnection(fd);
+    if (conns_.size() >= options_.max_connections) {
+      // At the cap the connection is shed outright: a clean close now
+      // beats an unbounded thread pile-up.
       ::close(fd);
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    // The new thread's first lock of mu_ waits on this scope, so the
+    // thread handle is in place before the handler can retire.
+    conn.thread = std::thread([this, fd, id] {
+      HandleConnection(fd, id);
+      RetireConnection(fd, id);
     });
   }
 }
 
-void TcpServer::HandleConnection(int fd) {
-  const std::string head = PeekBytes(fd, 4);
-  if (head.size() == 4 && std::memcmp(head.data(), kMagic, 4) == 0) {
-    char magic[4];
-    ::recv(fd, magic, 4, 0);  // consume what we peeked
-    HandleBinary(fd);
-    return;
+void TcpServer::ReapFinished() {
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reap.swap(done_);
   }
-  if (head.rfind("GET ", 0) == 0 || head.rfind("HEAD", 0) == 0) {
-    HandleHttp(fd);
-    return;
-  }
-  if (!head.empty()) HandleText(fd);
+  for (std::thread& t : reap) t.join();
 }
 
-void TcpServer::HandleBinary(int fd) {
+void TcpServer::RetireConnection(int fd, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Close under mu_ so Stop() never shutdown()s a recycled descriptor.
+  ::close(fd);
+  auto it = conns_.find(id);
+  done_.push_back(std::move(it->second.thread));
+  conns_.erase(it);
+  conns_cv_.notify_all();
+}
+
+void TcpServer::SetActiveQuery(uint64_t id,
+                               std::shared_ptr<StreamingQuery> q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q != nullptr && stopping_.load(std::memory_order_relaxed)) {
+    q->Cancel();  // Stop() already swept conns_; don't outlive it
+  }
+  auto it = conns_.find(id);
+  if (it != conns_.end()) it->second.query = std::move(q);
+}
+
+void TcpServer::HandleConnection(int fd, uint64_t id) {
+  const std::string head = ReadPreamble(fd);
+  if (head.empty()) return;
+  if (head.size() == 4 && std::memcmp(head.data(), kMagic, 4) == 0) {
+    HandleBinary(fd, id);
+    return;
+  }
+  if (PrefixMatches(head, "GET ") || PrefixMatches(head, "HEAD")) {
+    HandleHttp(fd, head);
+    return;
+  }
+  HandleText(fd, id, head);
+}
+
+void TcpServer::HandleBinary(int fd, uint64_t id) {
   FrameDecoder decoder;
   char buf[4096];
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -170,7 +228,10 @@ void TcpServer::HandleBinary(int fd) {
       if (!WriteAll(fd, f.data(), f.size())) return;
       continue;
     }
-    if (!StreamBinaryQuery(fd, *submitted, &decoder)) return;
+    SetActiveQuery(id, *submitted);
+    const bool conn_ok = StreamBinaryQuery(fd, *submitted, &decoder);
+    SetActiveQuery(id, nullptr);
+    if (!conn_ok) return;
   }
 }
 
@@ -216,9 +277,9 @@ bool TcpServer::StreamBinaryQuery(int fd,
   return WriteAll(fd, f.data(), f.size());
 }
 
-void TcpServer::HandleHttp(int fd) {
+void TcpServer::HandleHttp(int fd, const std::string& initial) {
   // Read up to the end of the request head; only the request line matters.
-  std::string req;
+  std::string req = initial;
   char buf[2048];
   while (req.find("\r\n") == std::string::npos && req.size() < 16384) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
@@ -239,8 +300,8 @@ void TcpServer::HandleHttp(int fd) {
   WriteAll(fd, response.data(), response.size());
 }
 
-void TcpServer::HandleText(int fd) {
-  std::string pending;
+void TcpServer::HandleText(int fd, uint64_t id, const std::string& initial) {
+  std::string pending = initial;
   char buf[2048];
   while (!stopping_.load(std::memory_order_relaxed)) {
     size_t nl = pending.find('\n');
@@ -324,6 +385,7 @@ void TcpServer::HandleText(int fd) {
       continue;
     }
     const std::shared_ptr<StreamingQuery>& q = *submitted;
+    SetActiveQuery(id, q);
     uint64_t results = 0;
     std::vector<core::Neighbor> chunk;
     bool conn_ok = true;
@@ -340,6 +402,7 @@ void TcpServer::HandleText(int fd) {
         q->Cancel();
       }
     }
+    SetActiveQuery(id, nullptr);
     if (!conn_ok) return;
     const exec::QueryOutcome& out = q->outcome();
     if (out.status.ok()) {

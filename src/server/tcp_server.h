@@ -15,18 +15,24 @@
 //                   stabilize, then "done <n> ..." or "error <code> ...".
 //
 // Each connection gets a handler thread; queries on it run through the
-// QueryService's admission control, so the connection count bounds
-// protocol handlers while max_pending bounds admitted work. Stop() (or
-// destruction) closes the listener, cancels in-flight queries and joins
-// every handler.
+// QueryService's admission control, so max_connections bounds protocol
+// handlers while max_pending bounds admitted work (a connection beyond
+// the cap is closed at accept). Handler threads are reaped as their
+// connections close, not hoarded until shutdown. Stop() (or destruction)
+// closes the listener, shuts down every live connection socket, cancels
+// the queries those connections have in flight, and joins every handler.
 
 #ifndef SQP_SERVER_TCP_SERVER_H_
 #define SQP_SERVER_TCP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -38,6 +44,9 @@ namespace sqp::server {
 struct TcpServerOptions {
   int port = 0;  // 0 = kernel-assigned; read the choice back with port()
   int backlog = 64;
+  // Concurrent-connection cap (one handler thread each); connections
+  // beyond it are closed at accept. Must be >= 1.
+  size_t max_connections = 256;
   // Cap on spans returned by /tracez (0 = the recorder's whole ring).
   size_t max_trace_spans = 256;
 };
@@ -54,18 +63,40 @@ class TcpServer {
   TcpServer& operator=(const TcpServer&) = delete;
 
   int port() const { return port_; }
-  // Idempotent. After it returns no handler thread is running.
+  // Idempotent (sequentially). After it returns no handler thread is
+  // running: live connection sockets are shut down (unblocking handlers
+  // parked in recv), their in-flight queries cancelled, and every
+  // handler joined.
   void Stop();
 
  private:
+  // One live connection: its socket, its handler thread, and the query
+  // it currently has in flight (null between queries) so Stop() can
+  // cancel instead of waiting the query out.
+  struct Conn {
+    int fd = -1;
+    std::shared_ptr<StreamingQuery> query;
+    std::thread thread;
+  };
+
   TcpServer(QueryService* service, const TcpServerOptions& options,
             int listen_fd, int port);
 
   void AcceptLoop();
-  void HandleConnection(int fd);
-  void HandleBinary(int fd);
-  void HandleHttp(int fd);
-  void HandleText(int fd);
+  // Joins handler threads that have already retired (cheap; called from
+  // the accept loop so a long-lived server does not hoard dead threads).
+  void ReapFinished();
+  // Handler epilogue: closes the socket and moves the thread handle to
+  // the reap list.
+  void RetireConnection(int fd, uint64_t id);
+  // Publishes the query the connection is streaming (null = none) so
+  // Stop() can cancel it; cancels immediately if Stop already swept.
+  void SetActiveQuery(uint64_t id, std::shared_ptr<StreamingQuery> q);
+
+  void HandleConnection(int fd, uint64_t id);
+  void HandleBinary(int fd, uint64_t id);
+  void HandleHttp(int fd, const std::string& initial);
+  void HandleText(int fd, uint64_t id, const std::string& initial);
   // Streams one admitted query to `fd` as kChunk/kDone frames, watching
   // the socket for kCancel between chunks. Returns false when the
   // connection died mid-stream.
@@ -79,7 +110,10 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex mu_;
-  std::vector<std::thread> handlers_;  // joined on Stop
+  std::condition_variable conns_cv_;  // signalled: a connection retired
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, Conn> conns_;  // live connections
+  std::vector<std::thread> done_;  // retired handlers awaiting join
 };
 
 }  // namespace sqp::server

@@ -405,6 +405,31 @@ TEST(StreamingServiceTest, CancellationStopsStreamAndReleasesPins) {
       << "cancelled query left pinned cache frames behind";
 }
 
+TEST(StreamingServiceTest, DestructorCancelsRunningQueryWithNoConsumer) {
+  const Dataset data = workload::MakeClustered(3000, 2, 10, 0.1, 23);
+  auto index = BuildIndex(data, 4, /*fanout=*/8);
+  EngineFixture f = EngineFixture::Create(*index, /*read_latency_s=*/0.002);
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_chunk = 1;
+  opts.max_buffered_chunks = 1;
+  {
+    QueryService service(*index, f.engine.get(), opts);
+    QuerySpec spec;
+    spec.mode = QueryMode::kKnnStream;
+    spec.point = Point{0.5, 0.5};
+    spec.k = 200;
+    auto submitted = service.Submit(spec);
+    ASSERT_TRUE(submitted.ok());
+    // Wait until the worker is provably producing, then abandon the
+    // handle without draining: the producer fills the 1-slot buffer and
+    // blocks in PushChunk with nobody left to consume.
+    std::vector<Neighbor> chunk;
+    ASSERT_TRUE((*submitted)->NextChunk(&chunk));
+  }  // ~QueryService must cancel the running query, not deadlock on join
+  EXPECT_EQ(f.engine->cache().PinnedFrames(), 0u);
+}
+
 // --- AdmissionTest --------------------------------------------------------
 
 TEST(AdmissionTest, OverloadShedsTypedAndConservesCounts) {
@@ -711,6 +736,58 @@ TEST(TcpServerTest, ClientCancelStopsAServerQuery) {
     EXPECT_LT(out.neighbors.size(), 500u);
   }
   EXPECT_EQ(f.engine.engine->cache().PinnedFrames(), 0u);
+}
+
+TEST(TcpServerTest, StopReturnsWithIdleConnectionsOpen) {
+  ServerFixture f = ServerFixture::Create();
+  // An idle client that connected but never sent a byte: Stop() must
+  // shut its socket down and join the handler instead of waiting for
+  // the peer to quiesce.
+  auto idle = ConnectTcp("127.0.0.1", f.server->port());
+  ASSERT_TRUE(idle.ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  f.server->Stop();
+  const double stop_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  EXPECT_LT(stop_s, 5.0) << "Stop() waited on an idle connection";
+  ::close(*idle);
+}
+
+TEST(TcpServerTest, PartialPreambleThenCloseDoesNotWedgeHandler) {
+  ServerFixture f = ServerFixture::Create();
+  // Two bytes that could still become the binary magic, then FIN: the
+  // handler must conclude EOF and retire (a peeking sniffer busy-spun
+  // here — the unread prefix keeps POLLIN raised forever).
+  auto fd = ConnectTcp("127.0.0.1", f.server->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteAll(*fd, "SQ", 2));
+  ::shutdown(*fd, SHUT_WR);
+  char buf[64];
+  while (::recv(*fd, buf, sizeof(buf), 0) > 0) {
+  }  // server closes its end once the handler exits
+  ::close(*fd);
+  f.server->Stop();
+}
+
+TEST(TcpServerTest, ShortTextLineAnswersWithoutWaitingForFourBytes) {
+  ServerFixture f = ServerFixture::Create();
+  auto fd = ConnectTcp("127.0.0.1", f.server->port());
+  ASSERT_TRUE(fd.ok());
+  // 3 bytes on a connection that stays open: the sniffer must route to
+  // the text protocol as soon as the prefix rules out binary and HTTP,
+  // not block for a 4th byte.
+  ASSERT_TRUE(WriteAll(*fd, "hi\n", 3));
+  std::string response;
+  char buf[256];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection closed before a reply";
+    response.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_NE(response.find("error invalid_argument"), std::string::npos)
+      << response;
+  ::close(*fd);
 }
 
 // --- ExpositionTest -------------------------------------------------------
