@@ -253,6 +253,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter w;
   w.BeginObject();
+  bench::StampBenchMeta(&w);
   w.Field("bench", "server");
   w.Field("mode", "knn-stream");
   w.Field("disks", disks);

@@ -206,6 +206,24 @@ class JsonWriter {
   bool first_ = true;
 };
 
+// Version of the BENCH_*.json document layout. Bump when a bench changes
+// the shape or meaning of its JSON (new/renamed series, changed row
+// fields), so trajectory tooling can tell format changes from perf
+// changes. v1: implicit, unstamped (PRs 2-6). v2: stamped meta fields +
+// prefetch hit/wasted columns and adaptive prefetch series.
+inline constexpr int kBenchSchemaVersion = 2;
+
+#ifndef SQP_GIT_DESCRIBE
+#define SQP_GIT_DESCRIBE "unknown"  // set by bench/CMakeLists.txt
+#endif
+
+// Stamps the shared meta fields into `w`'s current (top-level) object.
+// Call right after the opening BeginObject of every BENCH_*.json.
+inline void StampBenchMeta(JsonWriter* w) {
+  w->Field("schema_version", kBenchSchemaVersion);
+  w->Field("git_describe", SQP_GIT_DESCRIBE);
+}
+
 inline void PrintRow(const std::vector<std::string>& cells, int width = 12) {
   for (const std::string& c : cells) std::printf("%*s", width, c.c_str());
   std::printf("\n");

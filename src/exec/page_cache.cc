@@ -24,7 +24,18 @@ ShardedPageCache::ShardedPageCache(const PageCacheOptions& options,
   }
 }
 
-const FlatNode* ShardedPageCache::LookupPinned(rstar::PageId id) {
+void ShardedPageCache::ClaimIfSpeculativeLocked(Shard& shard, Frame& f,
+                                                bool* prefetched) {
+  if (!f.speculative) return;
+  f.speculative = false;
+  shard.speculative_resident -= 1;
+  ++shard.prefetch_hits;
+  if (m_prefetch_hits_ != nullptr) m_prefetch_hits_->Add(1);
+  if (prefetched != nullptr) *prefetched = true;
+}
+
+const FlatNode* ShardedPageCache::LookupPinned(rstar::PageId id,
+                                               bool* prefetched) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.frames.find(id);
@@ -36,25 +47,37 @@ const FlatNode* ShardedPageCache::LookupPinned(rstar::PageId id) {
   ++shard.hits;
   if (m_hits_ != nullptr) m_hits_->Add(1);
   Frame& f = it->second;
+  ClaimIfSpeculativeLocked(shard, f, prefetched);
   ++f.pins;
   shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
   return &f.node;
 }
 
-const FlatNode* ShardedPageCache::ProbePinned(rstar::PageId id) {
+const FlatNode* ShardedPageCache::ProbePinned(rstar::PageId id,
+                                              bool* prefetched) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) return nullptr;
   Frame& f = it->second;
+  // Only demand probes (prefetched != nullptr) may claim a speculative
+  // frame; a prefetch job probing its own target must not count a hit.
+  if (prefetched != nullptr) ClaimIfSpeculativeLocked(shard, f, prefetched);
   ++f.pins;
   shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
   return &f.node;
 }
 
+bool ShardedPageCache::Contains(rstar::PageId id) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.frames.find(id) != shard.frames.end();
+}
+
 const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
                                                FlatNode node,
-                                               uint32_t span) {
+                                               uint32_t span,
+                                               bool speculative) {
   SQP_CHECK(span >= 1);
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -62,6 +85,14 @@ const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
   if (it != shard.frames.end()) {
     // Raced with another inserter; keep the resident copy.
     Frame& f = it->second;
+    if (!speculative && f.speculative) {
+      // A demand read completed even though the page was (speculatively)
+      // resident: that speculation saved nothing. Resolve it as waste.
+      f.speculative = false;
+      shard.speculative_resident -= 1;
+      ++shard.prefetch_wasted;
+      if (m_prefetch_wasted_ != nullptr) m_prefetch_wasted_->Add(1);
+    }
     ++f.pins;
     shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
     return &f.node;
@@ -71,9 +102,14 @@ const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
   f.node = std::move(node);
   f.span = span;
   f.pins = 1;
+  f.speculative = speculative;
   f.lru_pos = shard.lru.begin();
   shard.resident_pages += span;
   ++shard.insertions;
+  if (speculative) {
+    ++shard.speculative_insertions;
+    shard.speculative_resident += 1;
+  }
   if (m_insertions_ != nullptr) m_insertions_->Add(1);
   if (m_resident_ != nullptr) m_resident_->Add(span);
   EvictLocked(shard);
@@ -109,6 +145,13 @@ void ShardedPageCache::EvictLocked(Shard& shard) {
     }
     shard.resident_pages -= it->second.span;
     ++shard.evictions;
+    if (it->second.speculative) {
+      // Evicted before any demand access claimed it: the prefetch read
+      // pages nobody wanted in time.
+      shard.speculative_resident -= 1;
+      ++shard.prefetch_wasted;
+      if (m_prefetch_wasted_ != nullptr) m_prefetch_wasted_->Add(1);
+    }
     if (m_evictions_ != nullptr) m_evictions_->Add(1);
     if (m_resident_ != nullptr) m_resident_->Add(-static_cast<int64_t>(it->second.span));
     pos = shard.lru.erase(pos);
@@ -125,6 +168,10 @@ PageCacheStats ShardedPageCache::GetStats() const {
     stats.insertions += shard.insertions;
     stats.evictions += shard.evictions;
     stats.resident_pages += shard.resident_pages;
+    stats.speculative_insertions += shard.speculative_insertions;
+    stats.prefetch_hits += shard.prefetch_hits;
+    stats.prefetch_wasted += shard.prefetch_wasted;
+    stats.speculative_resident += shard.speculative_resident;
   }
   return stats;
 }

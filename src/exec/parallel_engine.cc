@@ -31,12 +31,14 @@ struct BatchSync {
   common::Status error;
   IoFaultCounters counters;
   uint64_t coalesced = 0;  // pages found cached by the second-chance probe
+  uint64_t prefetch_hits = 0;  // of those, frames a prefetch put there
 
   void Done(const common::Status& status, const IoFaultCounters& job,
-            uint64_t job_coalesced) {
+            uint64_t job_coalesced, uint64_t job_prefetch_hits) {
     std::lock_guard<std::mutex> lock(mu);
     counters.Add(job);
     coalesced += job_coalesced;
+    prefetch_hits += job_prefetch_hits;
     if (error.ok() && !status.ok()) error = status;
     if (--pending == 0) cv.notify_one();
   }
@@ -99,6 +101,12 @@ ParallelQueryEngine::ParallelQueryEngine(
         metrics_->GetCounter("sqp_engine_coalesced_reads_total");
     instr_.prefetch_issued =
         metrics_->GetCounter("sqp_engine_prefetch_issued_total");
+    instr_.prefetch_hits =
+        metrics_->GetCounter("sqp_engine_prefetch_hits_total");
+    instr_.prefetch_wasted =
+        metrics_->GetCounter("sqp_engine_prefetch_wasted_total");
+    instr_.prefetch_pages_read =
+        metrics_->GetCounter("sqp_engine_prefetch_pages_read_total");
     instr_.deadline_exceeded =
         metrics_->GetCounter("sqp_engine_deadline_exceeded_total");
     instr_.cancelled = metrics_->GetCounter("sqp_engine_cancelled_total");
@@ -118,10 +126,31 @@ ParallelQueryEngine::ParallelQueryEngine(
   cache_options.capacity_pages = options.cache_pages;
   cache_options.shards = options.cache_shards;
   cache_ = std::make_unique<ShardedPageCache>(cache_options, metrics_);
+  // Prefetch hit/waste events are only observable inside the cache, but
+  // they are engine-level quantities; route them into our counters.
+  cache_->SetPrefetchInstruments(instr_.prefetch_hits,
+                                 instr_.prefetch_wasted);
   DiskIoPoolOptions pool_options;
   pool_options.max_queue_depth = options.io_queue_depth;
   io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks(), metrics_,
                                           pool_options);
+  if (options.prefetch_adaptive && !options.serial_io) {
+    AdaptivePrefetchController::Options ctl_options;
+    // At most one speculative read per spindle beyond demand work.
+    ctl_options.max_budget = reader_->num_disks();
+    prefetch_ctl_ = std::make_unique<AdaptivePrefetchController>(
+        ctl_options, [this] {
+          AdaptivePrefetchController::Signals s;
+          const PageCacheStats cs = cache_->GetStats();
+          s.issued = io_pool_->speculative_issued();
+          s.hits = cs.prefetch_hits;
+          s.wasted = cs.prefetch_wasted +
+                     prefetch_wasted_extra_.load(std::memory_order_relaxed);
+          s.evictions = cs.evictions;
+          s.insertions = cs.insertions;
+          return s;
+        });
+  }
 }
 
 ParallelQueryEngine::~ParallelQueryEngine() = default;
@@ -130,7 +159,7 @@ common::Status ParallelQueryEngine::FetchBatch(
     const std::vector<rstar::PageId>& ids,
     const std::vector<rstar::PageId>& prefetch_hints,
     std::vector<const FlatNode*>* slots, QueryOutcome* outcome,
-    obs::TraceSpan* span) {
+    obs::TraceSpan* span, const std::shared_ptr<PrefetchTally>& tally) {
   slots->assign(ids.size(), nullptr);
   // Lazily sized so a fully cached step leaves pages_per_disk empty.
   auto add_disk_pages = [this, span](int disk, uint32_t pages) {
@@ -146,9 +175,11 @@ common::Status ParallelQueryEngine::FetchBatch(
   // assignment: each group becomes one job on that disk's worker.
   std::map<int, std::vector<size_t>> misses_by_disk;
   for (size_t i = 0; i < ids.size(); ++i) {
-    if (const FlatNode* node = cache_->LookupPinned(ids[i])) {
+    bool prefetched = false;
+    if (const FlatNode* node = cache_->LookupPinned(ids[i], &prefetched)) {
       (*slots)[i] = node;
       ++outcome->cache_hits;
+      if (prefetched) ++outcome->prefetch_hits;
       if (span != nullptr) ++span->cache_hits;
       continue;
     }
@@ -202,7 +233,9 @@ common::Status ParallelQueryEngine::FetchBatch(
               failure = leader_status;
               break;
             }
-            (*slots)[i] = cache_->ProbePinned(id);
+            bool follower_prefetched = false;
+            (*slots)[i] = cache_->ProbePinned(id, &follower_prefetched);
+            if (follower_prefetched) ++outcome->prefetch_hits;
           }
         }
         if (!failure.ok()) break;
@@ -243,12 +276,16 @@ common::Status ParallelQueryEngine::FetchBatch(
         std::vector<rstar::PageId> to_read;
         std::vector<size_t> to_read_slots;
         uint64_t job_coalesced = 0;
+        uint64_t job_prefetch_hits = 0;
         to_read.reserve(group->size());
         to_read_slots.reserve(group->size());
         for (size_t i : *group) {
-          if (const FlatNode* node = cache_->ProbePinned(ids[i])) {
+          bool prefetched = false;
+          if (const FlatNode* node = cache_->ProbePinned(ids[i],
+                                                         &prefetched)) {
             (*slots)[i] = node;
             ++job_coalesced;
+            if (prefetched) ++job_prefetch_hits;
           } else {
             to_read.push_back(ids[i]);
             to_read_slots.push_back(i);
@@ -268,14 +305,15 @@ common::Status ParallelQueryEngine::FetchBatch(
             }
           }
         }
-        sync.Done(read, counters, job_coalesced);
+        sync.Done(read, counters, job_coalesced, job_prefetch_hits);
       });
     }
-    IssuePrefetch(prefetch_hints, misses_by_disk, outcome);
+    IssuePrefetch(prefetch_hints, misses_by_disk, outcome, tally);
     common::Status batch = sync.Wait();
     outcome->io_faults += sync.counters.faults;
     outcome->io_retries += sync.counters.retries;
     outcome->coalesced_reads += sync.coalesced;
+    outcome->prefetch_hits += sync.prefetch_hits;
     if (instr_.coalesced != nullptr && sync.coalesced > 0) {
       instr_.coalesced->Add(static_cast<int64_t>(sync.coalesced));
     }
@@ -291,47 +329,80 @@ common::Status ParallelQueryEngine::FetchBatch(
       return batch;
     }
   } else {
-    IssuePrefetch(prefetch_hints, misses_by_disk, outcome);
+    IssuePrefetch(prefetch_hints, misses_by_disk, outcome, tally);
   }
   return common::Status::OK();
+}
+
+void ParallelQueryEngine::NotePrefetchWasted(
+    const std::shared_ptr<PrefetchTally>& tally) {
+  prefetch_wasted_extra_.fetch_add(1, std::memory_order_relaxed);
+  if (instr_.prefetch_wasted != nullptr) instr_.prefetch_wasted->Add(1);
+  if (tally != nullptr) {
+    tally->wasted.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ParallelQueryEngine::IssuePrefetch(
     const std::vector<rstar::PageId>& hints,
     const std::map<int, std::vector<size_t>>& busy_disks,
-    QueryOutcome* outcome) {
-  if (options_.prefetch_budget <= 0 || hints.empty() || options_.serial_io) {
-    return;
-  }
-  int budget = options_.prefetch_budget;
+    QueryOutcome* outcome, const std::shared_ptr<PrefetchTally>& tally) {
+  if (options_.serial_io) return;
+  // Consult the controller every step (its refresh clock runs on
+  // consults) even when this step carries no hints.
+  int budget = prefetch_ctl_ != nullptr ? prefetch_ctl_->Consult()
+                                        : options_.prefetch_budget;
+  if (budget <= 0 || hints.empty()) return;
   for (rstar::PageId hint : hints) {
     if (budget <= 0) break;
     auto loc = reader_->LocationOf(hint);
     if (!loc.ok()) continue;
     // Demand misses own their disks this step; speculation only rides on
     // disks the batch left idle (batch < NumDisks — the idle-spindle
-    // window CRSS's candidate runs are meant to fill).
+    // window CRSS's candidate runs are meant to fill)...
     if (busy_disks.count(loc->disk) != 0) continue;
-    if (cache_->ProbePinned(hint) != nullptr) {
-      cache_->Unpin(hint);
-      continue;  // already cached, nothing to speculate
-    }
+    // ...and only on disks with no *other* queries' demand work queued
+    // or in service (demand_busy): under concurrency every spindle is
+    // somebody's demand spindle, and a speculative read still costs a
+    // full media service time. Queue depth alone misses the saturated
+    // case — a disk mid-demand-read with an empty queue is not idle.
+    if (io_pool_->demand_busy(loc->disk)) continue;
+    if (cache_->Contains(hint)) continue;  // already resident
     const int disk = loc->disk;
     const uint32_t span_pages = loc->span;
-    // Fire-and-forget: nobody waits on this job; a full queue simply
-    // drops the speculation (queue_rejections counts it). The engine's
+    // Fire-and-forget speculative-class job: demand jobs overtake it in
+    // queue, and the cancel predicate retires it unread if its page
+    // arrives some other way first. A full speculative queue simply
+    // drops it (queue_rejections counts the drop). The engine's
     // destruction order guarantees the pool drains before cache/reader
-    // go away.
-    const bool accepted = io_pool_->TrySubmit(disk, [this, hint, span_pages] {
-      if (cache_->ProbePinned(hint) != nullptr) {
-        cache_->Unpin(hint);
-        return;  // a demand read beat us to it
-      }
-      common::Result<core::FlatNode> node = reader_->ReadFlatNode(hint);
-      if (!node.ok()) return;  // speculation failing is not an error
-      cache_->InsertPinned(hint, std::move(*node), span_pages);
-      cache_->Unpin(hint);
-    });
+    // go away; `tally` is shared, so it outlives the issuing query.
+    const bool accepted = io_pool_->SubmitSpeculative(
+        disk,
+        [this, hint, span_pages, tally] {
+          if (cache_->Contains(hint)) {
+            // A demand read (or another prefetch) beat us between the
+            // cancel check and now.
+            NotePrefetchWasted(tally);
+            return;
+          }
+          common::Result<core::FlatNode> node = reader_->ReadFlatNode(hint);
+          if (!node.ok()) {
+            // Speculation failing is not an error, but it bought nothing.
+            NotePrefetchWasted(tally);
+            return;
+          }
+          if (instr_.prefetch_pages_read != nullptr) {
+            instr_.prefetch_pages_read->Add(span_pages);
+          }
+          cache_->InsertPinned(hint, std::move(*node), span_pages,
+                               /*speculative=*/true);
+          cache_->Unpin(hint);
+        },
+        [this, hint, tally] {
+          if (!cache_->Contains(hint)) return false;
+          NotePrefetchWasted(tally);
+          return true;
+        });
     if (accepted) {
       --budget;
       ++outcome->prefetch_issued;
@@ -397,6 +468,21 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
       options.deadline_s > 0.0 ? start + options.deadline_s
                                : std::numeric_limits<double>::infinity();
 
+  // Prefetch attribution shared with this traversal's fire-and-forget
+  // speculative jobs; their waste events recorded after the traversal
+  // returns go to the global counters only.
+  std::shared_ptr<PrefetchTally> tally;
+  if (!options_.serial_io &&
+      (options_.prefetch_budget > 0 || prefetch_ctl_ != nullptr)) {
+    tally = std::make_shared<PrefetchTally>();
+  }
+  auto tally_wasted = [&answer, &tally] {
+    if (tally != nullptr) {
+      answer.prefetch_wasted =
+          tally->wasted.load(std::memory_order_relaxed);
+    }
+  };
+
   std::vector<const FlatNode*> slots;
   core::StepResult step = traversal->Begin();
   uint32_t step_index = 0;
@@ -411,6 +497,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
           std::string(options.algo_name) + " query cancelled after " +
           std::to_string(answer.steps) + " steps");
       answer.latency_s = NowSeconds() - start;
+      tally_wasted();
       return answer;
     }
     if (NowSeconds() > deadline) {
@@ -419,6 +506,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
           std::string(options.algo_name) + " query exceeded its " +
           std::to_string(options.deadline_s) + " s deadline");
       answer.latency_s = NowSeconds() - start;
+      tally_wasted();
       return answer;
     }
     ++answer.steps;
@@ -437,7 +525,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
       span.start_s = fetch_start - trace_->epoch_seconds();
     }
     answer.status = FetchBatch(step.requests, step.prefetch_hints, &slots,
-                               &answer, span_ptr);
+                               &answer, span_ptr, tally);
     if (span_ptr != nullptr) fetch_end = NowSeconds();
     if (instr_.steps != nullptr) {
       instr_.steps->Add(1);
@@ -449,6 +537,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
         trace_->Record(std::move(span));
       }
       answer.latency_s = NowSeconds() - start;
+      tally_wasted();
       return answer;
     }
     std::vector<core::FetchedPage> pages;
@@ -477,6 +566,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
     ++step_index;
   }
   answer.latency_s = NowSeconds() - start;
+  tally_wasted();
   return answer;
 }
 

@@ -1,0 +1,62 @@
+#include "exec/prefetch_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sqp::exec {
+
+AdaptivePrefetchController::AdaptivePrefetchController(
+    const Options& options, std::function<Signals()> sampler)
+    : options_(options), sampler_(std::move(sampler)), budget_(1) {
+  SQP_CHECK(options_.max_budget >= 1);
+  SQP_CHECK(options_.refresh_interval >= 1);
+  SQP_CHECK(sampler_ != nullptr);
+}
+
+int AdaptivePrefetchController::Consult() {
+  const uint64_t n = consults_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.refresh_interval == 0) Refresh();
+  return budget_.load(std::memory_order_relaxed);
+}
+
+void AdaptivePrefetchController::Refresh() {
+  std::unique_lock<std::mutex> lock(refresh_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another thread is already refreshing
+  const Signals now = sampler_();
+  const uint64_t d_hits = now.hits - last_.hits;
+  const uint64_t d_wasted = now.wasted - last_.wasted;
+  const uint64_t d_evictions = now.evictions - last_.evictions;
+  const uint64_t d_insertions = now.insertions - last_.insertions;
+  last_ = now;
+
+  const uint64_t resolved = d_hits + d_wasted;
+  int b = budget_.load(std::memory_order_relaxed);
+  if (resolved < options_.min_resolved) {
+    // Too little evidence to judge. A zero budget generates no evidence
+    // at all, so after a few idle windows probe again with 1.
+    if (b == 0 && ++idle_windows_ >= options_.reprobe_windows) {
+      idle_windows_ = 0;
+      budget_.store(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  idle_windows_ = 0;
+  const double rate =
+      static_cast<double>(d_hits) / static_cast<double>(resolved);
+  const double pressure =
+      d_insertions == 0 ? 0.0
+                        : static_cast<double>(d_evictions) /
+                              static_cast<double>(d_insertions);
+  if (rate >= options_.grow_rate) {
+    b = std::min(options_.max_budget, std::max(1, b * 2));
+  } else if (rate < options_.shrink_rate ||
+             pressure >= options_.pressure_limit) {
+    b = b / 2;
+  }
+  // Rates in [shrink_rate, grow_rate) under low pressure hold steady.
+  budget_.store(b, std::memory_order_relaxed);
+}
+
+}  // namespace sqp::exec

@@ -1,0 +1,112 @@
+// Feedback controller for the engine's speculative prefetch budget.
+//
+// PR 5's static EngineOptions::prefetch_budget knob had the failure mode
+// the bench immediately recorded: a budget that helps a lone query on
+// idle spindles (CRSS hints fill the disks the activation batch left
+// idle) *steals demand bandwidth* once concurrent queries keep every
+// spindle busy — each speculative read still costs a full media service
+// time. Whether look-ahead pays is a property of the current workload,
+// not of the configuration — LAANN's thesis (PAPERS.md, "I/O-Aware
+// Look-Ahead Search") — so the budget must be measured, not declared.
+//
+// This controller turns the knob into a signal recomputed from the
+// stack's own accounting:
+//
+//   * windowed prefetch hit rate — of the speculative frames *resolved*
+//     since the last refresh (claimed by a demand access, or wasted),
+//     what fraction were claimed? The cache's speculative-origin marks
+//     (page_cache.h) make this exact.
+//   * cache pressure — evictions per insertion over the window. A cache
+//     churning near 1.0 evicts prefetched frames before anyone claims
+//     them, so speculation must prove itself harder.
+//   * per-disk demand queue depth — not sampled here but enforced at
+//     issue time: the engine only offers speculation to disks whose
+//     demand queue is empty (DiskIoPool::demand_queue_depth), the
+//     paper's D-independent-queue model saying demand work wins.
+//
+// Adjustment is AIMD-flavored multiplicative probing between 0 and
+// max_budget: a window whose resolved speculation mostly paid doubles
+// the budget, one that mostly missed halves it, and a budget driven to
+// zero re-probes with 1 after a few idle windows so a workload shift
+// (the concurrent burst ended) can be discovered. Starting at 1 means a
+// saturated system never pays more than a trickle of speculation before
+// the controller sees the evidence.
+//
+// Consult() is the per-step entry point: a relaxed atomic read plus,
+// every refresh_interval-th call, one sampling pass under a try-lock —
+// query threads never serialize on the controller.
+
+#ifndef SQP_EXEC_PREFETCH_CONTROLLER_H_
+#define SQP_EXEC_PREFETCH_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace sqp::exec {
+
+class AdaptivePrefetchController {
+ public:
+  // Cumulative totals the controller differences between refreshes. The
+  // sampler gathers them from the live cache/pool counters.
+  struct Signals {
+    uint64_t issued = 0;      // speculative jobs accepted by the pool
+    uint64_t hits = 0;        // speculative frames claimed by demand
+    uint64_t wasted = 0;      // speculative work resolved unclaimed
+    uint64_t evictions = 0;   // cache evictions (all traffic)
+    uint64_t insertions = 0;  // cache insertions (all traffic)
+  };
+
+  struct Options {
+    // Budget ceiling; the engine uses the disk count (at most one
+    // speculative read in flight per spindle beyond demand work).
+    int max_budget = 8;
+    // Consults between samplings. Small enough to react within a few
+    // dozen queries, large enough that sampling cost vanishes.
+    uint64_t refresh_interval = 256;
+    // Resolved speculations needed in a window before adjusting; below
+    // this the evidence is noise and the budget holds.
+    uint64_t min_resolved = 8;
+    // Idle windows (no evidence) after which a zero budget re-probes
+    // with 1, so a workload shift can be discovered.
+    int reprobe_windows = 4;
+    // Hit-rate thresholds: >= grow doubles, < shrink halves.
+    double grow_rate = 0.5;
+    double shrink_rate = 0.2;
+    // With evictions/insertions at or above this, a merely middling hit
+    // rate (< grow_rate) also shrinks: a churning cache evicts
+    // speculative frames before they can be claimed.
+    double pressure_limit = 0.95;
+  };
+
+  // `sampler` is called under the controller's refresh lock, from
+  // whichever query thread triggers the refresh; it must be safe to call
+  // concurrently with the rest of the engine (the cache/pool accessors
+  // are).
+  AdaptivePrefetchController(const Options& options,
+                             std::function<Signals()> sampler);
+
+  // Current budget, refreshing it every refresh_interval-th call. Called
+  // once per traversal step; thread-safe, never blocks on a concurrent
+  // refresh.
+  int Consult();
+
+  // Current budget without advancing the refresh clock (tests, stats).
+  int budget() const { return budget_.load(std::memory_order_relaxed); }
+
+ private:
+  void Refresh();
+
+  const Options options_;
+  const std::function<Signals()> sampler_;
+  std::atomic<uint64_t> consults_{0};
+  std::atomic<int> budget_;
+  std::mutex refresh_mu_;
+  Signals last_;        // guarded by refresh_mu_
+  int idle_windows_ = 0;  // guarded by refresh_mu_
+};
+
+}  // namespace sqp::exec
+
+#endif  // SQP_EXEC_PREFETCH_CONTROLLER_H_

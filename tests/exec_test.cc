@@ -213,28 +213,38 @@ TEST(DiskIoPoolTest, JobsOnOneDiskRunInSubmissionOrder) {
 
 TEST(DiskIoPoolTest, DisksProgressIndependently) {
   DiskIoPool pool(4);
-  std::atomic<int> done{0};
+  // Disk 0's worker parks on a gate; the other disks' jobs must still
+  // complete while it is parked — a shared or serialized queue would
+  // leave them stuck behind it. Gating on completion order instead of
+  // wall clock keeps the test deterministic under arbitrary host load.
   std::mutex mu;
   std::condition_variable cv;
-  // A deliberately slow job on disk 0 must not delay the other disks.
+  bool release = false;
+  std::atomic<int> fast_done{0};
   pool.Submit(0, [&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
-    if (done.fetch_add(1) + 1 == 4) cv.notify_one();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
   });
-  const auto start = std::chrono::steady_clock::now();
   for (int d = 1; d < 4; ++d) {
-    pool.Submit(d, [&] {
-      if (done.fetch_add(1) + 1 == 4) cv.notify_one();
-    });
+    pool.Submit(d, [&] { fast_done.fetch_add(1); });
   }
-  // Wait until only the slow job remains.
-  while (done.load() < 3) std::this_thread::yield();
-  const double fast_secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  EXPECT_LT(fast_secs, 0.15) << "independent disks were serialized";
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done.load() == 4; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fast_done.load() < 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "independent disks were serialized";
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(fast_done.load(), 3);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  while (pool.jobs_completed() < 4) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "gate job stuck";
+    std::this_thread::yield();
+  }
   EXPECT_EQ(pool.jobs_completed(), 4u);
 }
 

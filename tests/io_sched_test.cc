@@ -1,0 +1,470 @@
+// Two-class I/O scheduling (src/exec/io_pool.h) and the adaptive
+// prefetch controller (src/exec/prefetch_controller.h): demand work runs
+// strictly before queued speculation, speculative jobs are cancellable
+// and conserved (issued == completed + cancelled once drained), and the
+// feedback controller grows/shrinks the budget from the hit-rate and
+// cache-pressure signals alone. The engine-level tests pin the anchor
+// property — adaptive prefetch never changes answers — plus the cache's
+// speculative-frame identity on live traffic.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "exec/io_pool.h"
+#include "exec/page_cache.h"
+#include "exec/parallel_engine.h"
+#include "exec/prefetch_controller.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_tree.h"
+#include "storage/index_io.h"
+#include "storage/page_store.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using exec::AdaptivePrefetchController;
+using exec::DiskIoPool;
+using exec::DiskIoPoolOptions;
+using geometry::Point;
+
+// Parks the single worker of `pool` on a demand gate job so everything
+// submitted afterwards stays queued until Release().
+class WorkerGate {
+ public:
+  explicit WorkerGate(DiskIoPool* pool, int disk = 0) {
+    pool->Submit(disk, [this] {
+      entered_.store(true);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return release_; });
+    });
+    while (!entered_.load()) std::this_thread::yield();
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      release_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool release_ = false;
+  std::atomic<bool> entered_{false};
+};
+
+// --- Two-class ordering and cancellation ----------------------------------
+
+TEST(SpeculativeQueueTest, DemandRunsBeforeQueuedSpeculative) {
+  DiskIoPool pool(1);
+  WorkerGate gate(&pool);
+
+  // Speculation enqueued *first*, demand second: strict class priority
+  // must still run every demand job before any speculative one.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> order;
+  auto record = [&](const char* cls) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(cls);
+    if (order.size() == 6) cv.notify_one();
+  };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pool.SubmitSpeculative(0, [&] { record("spec"); }));
+  }
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(0, [&] { record("demand"); });
+  }
+  gate.Release();
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return order.size() == 6; });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(order[i], "demand") << "slot " << i;
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(order[i], "spec") << "slot " << i;
+  lock.unlock();
+
+  EXPECT_EQ(pool.speculative_issued(), 3u);
+  EXPECT_EQ(pool.speculative_completed(), 3u);
+  EXPECT_EQ(pool.speculative_cancelled(), 0u);
+  // Demand-only accounting: speculation shows up in no demand counter.
+  EXPECT_EQ(pool.jobs_completed(), 4u);  // gate + 3 demand
+}
+
+TEST(SpeculativeQueueTest, CancelPredicateSkipsStaleJobs) {
+  DiskIoPool pool(1);
+  WorkerGate gate(&pool);
+
+  std::atomic<int> ran{0};
+  std::atomic<int> predicate_calls{0};
+  ASSERT_TRUE(pool.SubmitSpeculative(
+      0, [&] { ran.fetch_add(1); },
+      [&] {
+        predicate_calls.fetch_add(1);
+        return true;  // page "arrived some other way": skip the read
+      }));
+  ASSERT_TRUE(pool.SubmitSpeculative(
+      0, [&] { ran.fetch_add(1); },
+      [&] {
+        predicate_calls.fetch_add(1);
+        return false;
+      }));
+  gate.Release();
+  while (pool.speculative_completed() + pool.speculative_cancelled() < 2) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 1);
+  // Each predicate is evaluated exactly once, at dequeue time.
+  EXPECT_EQ(predicate_calls.load(), 2);
+  EXPECT_EQ(pool.speculative_issued(), 2u);
+  EXPECT_EQ(pool.speculative_completed(), 1u);
+  EXPECT_EQ(pool.speculative_cancelled(), 1u);
+}
+
+TEST(SpeculativeQueueTest, ShutdownCancelsQueuedSpeculation) {
+  // The registry outlives the pool, so the per-disk speculative counters
+  // can still be checked after the destructor ran.
+  obs::MetricsRegistry reg;
+  std::atomic<int> spec_ran{0};
+  std::atomic<int> demand_ran{0};
+  {
+    auto pool = std::make_unique<DiskIoPool>(1, &reg);
+    WorkerGate gate(pool.get());  // outlives the pool below
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(pool->SubmitSpeculative(0, [&] { spec_ran.fetch_add(1); }));
+    }
+    pool->Submit(0, [&] { demand_ran.fetch_add(1); });
+
+    // The destructor marks the queue stopping within microseconds, then
+    // blocks joining the parked worker; the gate is released well after,
+    // so the worker wakes *into* shutdown — it must still drain the
+    // queued demand job but cancel all queued speculation unrun.
+    std::thread releaser([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      gate.Release();
+    });
+    pool.reset();  // ~DiskIoPool
+    releaser.join();
+  }
+  EXPECT_EQ(demand_ran.load(), 1);
+  EXPECT_EQ(spec_ran.load(), 0);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterSumByPrefix("sqp_io_speculative_issued_total"), 4u);
+  EXPECT_EQ(snap.CounterSumByPrefix("sqp_io_speculative_cancelled_total"),
+            4u);
+}
+
+TEST(SpeculativeQueueTest, SpeculativeQueueBoundRejectsWithoutBlocking) {
+  DiskIoPoolOptions opts;
+  opts.max_speculative_depth = 2;
+  DiskIoPool pool(1, nullptr, opts);
+  WorkerGate gate(&pool);
+
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.SubmitSpeculative(0, [&] { ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.SubmitSpeculative(0, [&] { ran.fetch_add(1); }));
+  // Full: rejected immediately (never blocks), counted, job dropped.
+  EXPECT_FALSE(pool.SubmitSpeculative(0, [&] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.queue_rejections(), 1u);
+  EXPECT_EQ(pool.speculative_issued(), 2u);
+
+  gate.Release();
+  while (pool.speculative_completed() < 2) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(pool.speculative_issued(),
+            pool.speculative_completed() + pool.speculative_cancelled());
+}
+
+TEST(SpeculativeQueueTest, DemandQueueDepthTracksQueuedDemandOnly) {
+  DiskIoPool pool(1);
+  EXPECT_EQ(pool.demand_queue_depth(0), 0u);
+  EXPECT_FALSE(pool.demand_busy(0));
+  WorkerGate gate(&pool);
+  // The gate job is *in service*, not queued: depth stays 0, but the
+  // engine's issue-time gate (demand_busy) still sees a working spindle.
+  EXPECT_EQ(pool.demand_queue_depth(0), 0u);
+  EXPECT_TRUE(pool.demand_busy(0));
+
+  pool.Submit(0, [] {});
+  pool.Submit(0, [] {});
+  ASSERT_TRUE(pool.SubmitSpeculative(0, [] {}));  // not demand: invisible
+  EXPECT_EQ(pool.demand_queue_depth(0), 2u);
+
+  gate.Release();
+  while (pool.jobs_completed() < 3) std::this_thread::yield();
+  EXPECT_EQ(pool.demand_queue_depth(0), 0u);
+  // An in-service *speculative* job does not count as demand-busy:
+  // speculation may chain on an otherwise idle disk. The queued
+  // speculative job above may be either state by now; both are fine.
+  EXPECT_FALSE(pool.demand_busy(0));
+}
+
+// Many threads hammering both classes with flapping cancel predicates:
+// after the dust settles every accepted speculative job is accounted for
+// exactly once. This is the TSan target for the two-class queue.
+TEST(SpeculativeQueueTest, ConservationAcrossConcurrentChurn) {
+  DiskIoPool pool(2);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::atomic<uint64_t> demand_ran{0};
+  std::atomic<uint64_t> spec_accepted{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int disk = (t + i) % 2;
+        pool.Submit(disk, [&] { demand_ran.fetch_add(1); });
+        const bool stale = (i % 3) == 0;
+        if (pool.SubmitSpeculative(
+                disk, [] {}, [stale] { return stale; })) {
+          spec_accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Drained means resolved: completed + cancelled catches up to issued.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (pool.speculative_completed() + pool.speculative_cancelled() <
+             pool.speculative_issued() ||
+         pool.jobs_completed() < kThreads * kIters) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "queues stuck";
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.speculative_issued(), spec_accepted.load());
+  EXPECT_EQ(pool.speculative_issued(),
+            pool.speculative_completed() + pool.speculative_cancelled());
+  EXPECT_EQ(demand_ran.load(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(pool.jobs_completed(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// --- Worker-thread submission guard ---------------------------------------
+
+#ifndef NDEBUG
+TEST(DiskIoPoolDeathTest, SubmitFromWorkerThreadAbortsInDebugBuilds) {
+  // Blocking Submit from a worker can self-deadlock on a full queue;
+  // debug builds turn the latent hazard into an immediate abort.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DiskIoPool pool(1);
+        std::atomic<bool> done{false};
+        pool.Submit(0, [&] {
+          pool.Submit(0, [] {});  // aborts here
+          done.store(true);
+        });
+        while (!done.load()) std::this_thread::yield();
+      },
+      "OnWorkerThread");
+}
+#endif  // NDEBUG
+
+// --- AdaptivePrefetchController (unit) ------------------------------------
+
+AdaptivePrefetchController::Options FastOptions() {
+  AdaptivePrefetchController::Options o;
+  o.max_budget = 8;
+  o.refresh_interval = 1;  // every Consult refreshes
+  o.min_resolved = 1;
+  o.reprobe_windows = 2;
+  return o;
+}
+
+TEST(AdaptivePrefetchControllerTest, GrowsWhileHitsDominate) {
+  AdaptivePrefetchController::Signals sig;
+  AdaptivePrefetchController ctl(FastOptions(), [&] {
+    sig.hits += 10;  // every window: all resolved speculation was claimed
+    return sig;
+  });
+  EXPECT_EQ(ctl.budget(), 1);
+  EXPECT_EQ(ctl.Consult(), 2);
+  EXPECT_EQ(ctl.Consult(), 4);
+  EXPECT_EQ(ctl.Consult(), 8);
+  EXPECT_EQ(ctl.Consult(), 8);  // capped at max_budget
+}
+
+TEST(AdaptivePrefetchControllerTest, ShrinksToZeroThenReprobes) {
+  AdaptivePrefetchController::Signals sig;
+  bool produce = true;
+  AdaptivePrefetchController ctl(FastOptions(), [&] {
+    if (produce) sig.wasted += 10;  // all resolved speculation missed
+    return sig;
+  });
+  EXPECT_EQ(ctl.Consult(), 0);  // 1 / 2
+  EXPECT_EQ(ctl.Consult(), 0);  // pinned at zero while evidence says waste
+
+  // A zero budget generates no evidence; after reprobe_windows idle
+  // windows the controller probes again with 1.
+  produce = false;
+  EXPECT_EQ(ctl.Consult(), 0);  // idle window 1
+  EXPECT_EQ(ctl.Consult(), 1);  // idle window 2: re-probe
+}
+
+TEST(AdaptivePrefetchControllerTest, CachePressureShrinksMiddlingHitRate) {
+  // Hit rate 0.3 sits between shrink (0.2) and grow (0.5): the budget
+  // holds under low pressure but halves when the cache churns.
+  AdaptivePrefetchController::Signals sig;
+  uint64_t evict_step = 0;
+  AdaptivePrefetchController ctl(FastOptions(), [&] {
+    sig.hits += 3;
+    sig.wasted += 7;
+    sig.insertions += 100;
+    sig.evictions += evict_step;
+    return sig;
+  });
+  EXPECT_EQ(ctl.Consult(), 1);  // low pressure: hold
+  evict_step = 100;             // pressure 1.0 >= limit
+  EXPECT_EQ(ctl.Consult(), 0);  // halve
+}
+
+TEST(AdaptivePrefetchControllerTest, SparseEvidenceHoldsBudget) {
+  AdaptivePrefetchController::Options o = FastOptions();
+  o.min_resolved = 8;
+  AdaptivePrefetchController::Signals sig;
+  AdaptivePrefetchController ctl(o, [&] {
+    sig.wasted += 2;  // below min_resolved: noise, not evidence
+    return sig;
+  });
+  EXPECT_EQ(ctl.Consult(), 1);
+  EXPECT_EQ(ctl.Consult(), 1);
+}
+
+// --- Adaptive prefetch through the engine ---------------------------------
+
+std::unique_ptr<parallel::ParallelRStarTree> PrefetchIndex(uint64_t seed,
+                                                           int disks) {
+  const workload::Dataset data = workload::MakeClustered(900, 2, 8, 0.1, seed);
+  rstar::TreeConfig tree_config;
+  tree_config.dim = 2;
+  tree_config.max_entries_override = 10;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = disks;
+  dc.policy = parallel::DeclusterPolicy::kProximityIndex;
+  dc.seed = seed;
+  return workload::BuildParallelIndex(data, tree_config, dc);
+}
+
+std::vector<exec::EngineQuery> PrefetchQueries() {
+  std::vector<exec::EngineQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back({Point{0.13f * static_cast<float>(i % 7), 0.4f}, 15,
+                       core::AlgorithmKind::kCrss});
+  }
+  return queries;
+}
+
+// The anchor property survives the controller: adaptive speculation
+// changes neither the answers nor the per-query demand accounting, and
+// the cache's speculative-origin marks balance on live traffic.
+TEST(AdaptivePrefetchTest, AdaptiveMatchesPrefetchOffAnswers) {
+  auto index = PrefetchIndex(41, 6);
+  storage::MemPageStore mem(6);
+  ASSERT_TRUE(storage::SaveIndex(*index, &mem).ok());
+  const auto queries = PrefetchQueries();
+
+  auto run = [&](bool adaptive) {
+    exec::EngineOptions options;
+    options.query_threads = 1;  // deterministic hint/idle-disk pattern
+    options.cache_pages = 256;
+    options.prefetch_adaptive = adaptive;
+    auto engine = exec::ParallelQueryEngine::Create(*index, &mem, options);
+    SQP_CHECK(engine.ok());
+    auto outcomes = (*engine)->RunBatch(queries);
+
+    uint64_t outcome_hits = 0;
+    for (const auto& o : outcomes) outcome_hits += o.prefetch_hits;
+    const obs::MetricsSnapshot snap = (*engine)->metrics()->Snapshot();
+    if (adaptive) {
+      // Every demand claim of a speculative frame was attributed to the
+      // claiming query's outcome.
+      EXPECT_EQ(snap.CounterValue("sqp_engine_prefetch_hits_total"),
+                outcome_hits);
+      // Speculative-origin marks balance at any instant: every marked
+      // insertion was claimed, wasted, or is still resident-unclaimed.
+      const exec::PageCacheStats cs = (*engine)->cache().GetStats();
+      EXPECT_EQ(cs.speculative_insertions,
+                cs.prefetch_hits + cs.prefetch_wasted + cs.speculative_resident);
+    } else {
+      EXPECT_EQ(snap.CounterSumByPrefix("sqp_io_speculative_issued_total"),
+                0u);
+      EXPECT_EQ(outcome_hits, 0u);
+    }
+    return outcomes;
+  };
+
+  const auto plain = run(false);
+  const auto adaptive = run(true);
+  ASSERT_EQ(plain.size(), adaptive.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(plain[i].status.ok()) << plain[i].status.message();
+    ASSERT_TRUE(adaptive[i].status.ok()) << adaptive[i].status.message();
+    ASSERT_EQ(plain[i].neighbors.size(), adaptive[i].neighbors.size());
+    for (size_t j = 0; j < plain[i].neighbors.size(); ++j) {
+      EXPECT_EQ(plain[i].neighbors[j].object, adaptive[i].neighbors[j].object);
+      EXPECT_EQ(plain[i].neighbors[j].dist_sq,
+                adaptive[i].neighbors[j].dist_sq);
+    }
+    // Speculative reads are charged to no query's demand fetches.
+    EXPECT_EQ(plain[i].pages_fetched, adaptive[i].pages_fetched);
+  }
+}
+
+// Pool-level conservation holds for engine-issued speculation too: after
+// the engine (and with it the pool) drains, every accepted job was
+// completed or cancelled — visible through the surviving registry.
+TEST(AdaptivePrefetchTest, EngineSpeculationConservesAfterDrain) {
+  auto index = PrefetchIndex(42, 6);
+  storage::MemPageStore mem(6);
+  ASSERT_TRUE(storage::SaveIndex(*index, &mem).ok());
+
+  obs::MetricsRegistry reg;  // outlives the engine
+  uint64_t outcome_issued = 0;
+  {
+    exec::EngineOptions options;
+    options.query_threads = 2;
+    options.cache_pages = 64;  // small: eviction pressure + waste events
+    options.prefetch_adaptive = true;
+    options.metrics = &reg;
+    auto engine = exec::ParallelQueryEngine::Create(*index, &mem, options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    for (const auto& o : (*engine)->RunBatch(PrefetchQueries())) {
+      ASSERT_TRUE(o.status.ok()) << o.status.message();
+      outcome_issued += o.prefetch_issued;
+    }
+  }  // ~ParallelQueryEngine drains the pool
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const uint64_t issued =
+      snap.CounterSumByPrefix("sqp_io_speculative_issued_total");
+  const uint64_t cancelled =
+      snap.CounterSumByPrefix("sqp_io_speculative_cancelled_total");
+  EXPECT_EQ(issued, outcome_issued);
+  EXPECT_EQ(snap.CounterValue("sqp_engine_prefetch_issued_total"), issued);
+  EXPECT_LE(cancelled, issued);
+  // Each issued job resolves at most once — skipped/cancelled/evicted as
+  // waste, or claimed as a hit — so hits + wasted never exceeds issued
+  // (the shortfall is frames still resident-unclaimed at teardown, plus
+  // jobs cancelled by pool shutdown, which count only in `cancelled`).
+  const uint64_t hits = snap.CounterValue("sqp_engine_prefetch_hits_total");
+  const uint64_t wasted =
+      snap.CounterValue("sqp_engine_prefetch_wasted_total");
+  EXPECT_LE(hits + wasted, issued);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -501,7 +501,11 @@ TEST(AdmissionTest, DeadlinesBoundLatencyOfAdmittedQueries) {
   const auto points = workload::MakeQueryPoints(
       data, 24, workload::QueryDistribution::kDataDistributed, 44);
 
-  const double deadline_s = 0.05;
+  // ~30 ms of engine work per query and ~700 ms queued behind one
+  // worker: the front of the queue completes inside the budget, the
+  // tail cannot. 100 ms (not 50) keeps ok_count > 0 robust against
+  // scheduler stalls on a loaded single-core CI host.
+  const double deadline_s = 0.1;
   std::vector<std::shared_ptr<StreamingQuery>> admitted;
   for (const Point& p : points) {
     QuerySpec spec;
@@ -655,14 +659,11 @@ TEST(TcpServerTest, MetricsEndpointSatisfiesConservation) {
     ASSERT_TRUE((*client)->Run(spec).status.ok());
   }
 
-  const std::string response =
-      Exchange(f.server->port(), "GET /metrics HTTP/1.0\r\n\r\n");
-  ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
-  ASSERT_NE(response.find("# TYPE sqp_server_submitted_total counter"),
-            std::string::npos);
-
-  // Parse the scrape the way a Prometheus server would and check the
-  // documented conservation identities on the *scraped* values.
+  // The submitted/completed identity holds *at rest* (service.h): the
+  // worker increments completed_total after the client already has its
+  // result, so a scrape fired immediately can catch the gap. Re-scrape
+  // until the service is quiescent, then assert on that scrape.
+  std::string response;
   auto counter = [&](const std::string& name) -> uint64_t {
     const std::string needle = "\n" + name + " ";
     const size_t pos = response.find(needle);
@@ -671,6 +672,27 @@ TEST(TcpServerTest, MetricsEndpointSatisfiesConservation) {
     return std::strtoull(response.c_str() + pos + needle.size(), nullptr,
                          10);
   };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    response = Exchange(f.server->port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    ASSERT_NE(response.find("# TYPE sqp_server_submitted_total counter"),
+              std::string::npos);
+    const std::string needle = "\nsqp_server_completed_total ";
+    const size_t pos = response.find(needle);
+    if (pos != std::string::npos &&
+        std::strtoull(response.c_str() + pos + needle.size(), nullptr, 10) >=
+            3) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "service never quiesced at completed_total >= 3";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Parse the scrape the way a Prometheus server would and check the
+  // documented conservation identities on the *scraped* values.
   EXPECT_EQ(counter("sqp_server_submitted_total"),
             counter("sqp_server_completed_total") +
                 counter("sqp_server_shed_total"));
