@@ -4,12 +4,12 @@
 
 namespace sqp::exec {
 
-bool ReadCoalescer::BeginOrWait(rstar::PageId id, common::Status* status) {
+bool ReadCoalescer::BeginOrWait(uint64_t key, common::Status* status) {
   SQP_CHECK(status != nullptr);
   std::unique_lock<std::mutex> lock(mu_);
-  auto it = inflight_.find(id);
+  auto it = inflight_.find(key);
   if (it == inflight_.end()) {
-    inflight_.emplace(id, std::make_shared<Flight>());
+    inflight_.emplace(key, std::make_shared<Flight>());
     return true;
   }
   ++coalesced_;
@@ -19,9 +19,9 @@ bool ReadCoalescer::BeginOrWait(rstar::PageId id, common::Status* status) {
   return false;
 }
 
-void ReadCoalescer::Complete(rstar::PageId id, const common::Status& status) {
+void ReadCoalescer::Complete(uint64_t key, const common::Status& status) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = inflight_.find(id);
+  auto it = inflight_.find(key);
   SQP_CHECK(it != inflight_.end());
   it->second->done = true;
   it->second->status = status;

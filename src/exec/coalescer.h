@@ -1,4 +1,6 @@
-// Cross-query read coalescing: an in-flight table keyed by PageId.
+// Cross-query read coalescing: an in-flight table keyed by the page's
+// stable 64-bit identity (storage::PageLocationKey against a mutable
+// index; bare PageIds work too against an immutable store).
 //
 // When N queries miss the same page at the same time, only the first
 // (the leader) should pay the pread + checksum + decode; the other N-1
@@ -46,10 +48,10 @@ class ReadCoalescer {
   // perform the read and call Complete(id, ...) exactly once. Returns
   // false if an in-flight leader's read was joined: the call blocks until
   // that leader Completes and `*status` receives the leader's outcome.
-  bool BeginOrWait(rstar::PageId id, common::Status* status);
+  bool BeginOrWait(uint64_t key, common::Status* status);
 
   // Leader only: publishes the read's outcome and wakes all followers.
-  void Complete(rstar::PageId id, const common::Status& status);
+  void Complete(uint64_t key, const common::Status& status);
 
   // Reads avoided so far: followers that joined a leader's in-flight read.
   uint64_t coalesced_reads() const;
@@ -64,7 +66,7 @@ class ReadCoalescer {
   std::condition_variable cv_;
   // Followers hold the shared_ptr across Complete's erase, so a Flight
   // outlives its table entry until the last waiter has read the status.
-  std::unordered_map<rstar::PageId, std::shared_ptr<Flight>> inflight_;
+  std::unordered_map<uint64_t, std::shared_ptr<Flight>> inflight_;
   uint64_t coalesced_ = 0;
 };
 

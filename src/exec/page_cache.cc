@@ -34,12 +34,12 @@ void ShardedPageCache::ClaimIfSpeculativeLocked(Shard& shard, Frame& f,
   if (prefetched != nullptr) *prefetched = true;
 }
 
-const FlatNode* ShardedPageCache::LookupPinned(rstar::PageId id,
+const FlatNode* ShardedPageCache::LookupPinned(uint64_t key,
                                                bool* prefetched) {
-  Shard& shard = ShardFor(id);
+  Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.frames.find(id);
-  if (it == shard.frames.end()) {
+  auto it = shard.frames.find(key);
+  if (it == shard.frames.end() || it->second.dying) {
     ++shard.misses;
     if (m_misses_ != nullptr) m_misses_->Add(1);
     return nullptr;
@@ -53,12 +53,12 @@ const FlatNode* ShardedPageCache::LookupPinned(rstar::PageId id,
   return &f.node;
 }
 
-const FlatNode* ShardedPageCache::ProbePinned(rstar::PageId id,
+const FlatNode* ShardedPageCache::ProbePinned(uint64_t key,
                                               bool* prefetched) {
-  Shard& shard = ShardFor(id);
+  Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.frames.find(id);
-  if (it == shard.frames.end()) return nullptr;
+  auto it = shard.frames.find(key);
+  if (it == shard.frames.end() || it->second.dying) return nullptr;
   Frame& f = it->second;
   // Only demand probes (prefetched != nullptr) may claim a speculative
   // frame; a prefetch job probing its own target must not count a hit.
@@ -68,21 +68,22 @@ const FlatNode* ShardedPageCache::ProbePinned(rstar::PageId id,
   return &f.node;
 }
 
-bool ShardedPageCache::Contains(rstar::PageId id) const {
-  const Shard& shard = ShardFor(id);
+bool ShardedPageCache::Contains(uint64_t key) const {
+  const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.frames.find(id) != shard.frames.end();
+  auto it = shard.frames.find(key);
+  return it != shard.frames.end() && !it->second.dying;
 }
 
-const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
+const FlatNode* ShardedPageCache::InsertPinned(uint64_t key,
                                                FlatNode node,
                                                uint32_t span,
                                                bool speculative) {
   SQP_CHECK(span >= 1);
-  Shard& shard = ShardFor(id);
+  Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.frames.find(id);
-  if (it != shard.frames.end()) {
+  auto it = shard.frames.find(key);
+  if (it != shard.frames.end() && !it->second.dying) {
     // Raced with another inserter; keep the resident copy.
     Frame& f = it->second;
     if (!speculative && f.speculative) {
@@ -97,8 +98,17 @@ const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
     shard.lru.splice(shard.lru.begin(), shard.lru, f.lru_pos);
     return &f.node;
   }
-  shard.lru.push_front(id);
-  Frame& f = shard.frames[id];
+  if (it != shard.frames.end()) {
+    // A dying frame still pinned by an old-snapshot reader. Location keys
+    // are never reissued before every invalidation of them has drained,
+    // so the incoming bytes are identical to the dying frame's; serve the
+    // resident copy rather than aliasing the key twice.
+    Frame& f = it->second;
+    ++f.pins;
+    return &f.node;
+  }
+  shard.lru.push_front(key);
+  Frame& f = shard.frames[key];
   f.node = std::move(node);
   f.span = span;
   f.pins = 1;
@@ -116,15 +126,69 @@ const FlatNode* ShardedPageCache::InsertPinned(rstar::PageId id,
   return &f.node;
 }
 
-void ShardedPageCache::Unpin(rstar::PageId id) {
-  Shard& shard = ShardFor(id);
+void ShardedPageCache::Unpin(uint64_t key) {
+  Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.frames.find(id);
+  auto it = shard.frames.find(key);
   SQP_CHECK(it != shard.frames.end());
   SQP_CHECK(it->second.pins > 0);
   --it->second.pins;
+  if (it->second.pins == 0 && it->second.dying) {
+    EraseFrameLocked(shard, it);
+    return;
+  }
   if (it->second.pins == 0 && shard.resident_pages > shard_capacity_) {
     EvictLocked(shard);
+  }
+}
+
+void ShardedPageCache::EraseFrameLocked(
+    Shard& shard, std::unordered_map<uint64_t, Frame>::iterator it) {
+  SQP_DCHECK(it->second.pins == 0);
+  shard.resident_pages -= it->second.span;
+  if (it->second.speculative) {
+    // Retired before any demand access claimed it: the prefetch read
+    // pages nobody wanted in time.
+    shard.speculative_resident -= 1;
+    ++shard.prefetch_wasted;
+    if (m_prefetch_wasted_ != nullptr) m_prefetch_wasted_->Add(1);
+  }
+  if (m_resident_ != nullptr) {
+    m_resident_->Add(-static_cast<int64_t>(it->second.span));
+  }
+  shard.lru.erase(it->second.lru_pos);
+  shard.frames.erase(it);
+}
+
+void ShardedPageCache::InvalidateOneLocked(
+    Shard& shard, std::unordered_map<uint64_t, Frame>::iterator it) {
+  if (it->second.dying) return;  // already retired
+  ++shard.invalidations;
+  if (it->second.pins > 0) {
+    it->second.dying = true;  // reclaimed on the last Unpin
+    return;
+  }
+  EraseFrameLocked(shard, it);
+}
+
+void ShardedPageCache::Invalidate(std::span<const uint64_t> keys) {
+  for (uint64_t key : keys) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(key);
+    if (it == shard.frames.end()) continue;
+    InvalidateOneLocked(shard, it);
+  }
+}
+
+void ShardedPageCache::InvalidateAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.frames.begin(); it != shard.frames.end();) {
+      auto next = std::next(it);
+      InvalidateOneLocked(shard, it);
+      it = next;
+    }
   }
 }
 
@@ -172,6 +236,7 @@ PageCacheStats ShardedPageCache::GetStats() const {
     stats.prefetch_hits += shard.prefetch_hits;
     stats.prefetch_wasted += shard.prefetch_wasted;
     stats.speculative_resident += shard.speculative_resident;
+    stats.invalidations += shard.invalidations;
   }
   return stats;
 }
@@ -180,7 +245,7 @@ size_t ShardedPageCache::PinnedFrames() const {
   size_t pinned = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [id, frame] : shard.frames) {
+    for (const auto& [key, frame] : shard.frames) {
       if (frame.pins > 0) ++pinned;
     }
   }

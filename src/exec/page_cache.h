@@ -30,6 +30,21 @@
 // entirely (prefetch probes pass demand=false), so the PR 4 conservation
 // identity `hits + misses == page_requests` keeps holding for demand
 // traffic with prefetch enabled.
+//
+// Keys are PHYSICAL LOCATIONS, not PageIds. The tree reuses PageIds after
+// a delete and the durable write path (storage::MutableIndex) moves a
+// surviving PageId to fresh bytes on every commit, so the stable identity
+// of a cached frame is storage::PageLocationKey(loc) — (disk, offset)
+// packed into one uint64_t. Two versions of one PageId never share a key,
+// and a key's bytes never change while any query snapshot can reach them,
+// which is what makes a hit unconditionally safe under concurrent
+// mutation. (Against an immutable store, PageIds passed as keys work
+// unchanged — they are just one particular stable 64-bit naming.)
+//
+// Invalidate() retires keys superseded by a commit; a pinned frame is only
+// marked dying (in-flight readers of an older snapshot finish against it)
+// and reclaimed on its last Unpin. Dying frames are invisible to every
+// lookup path.
 
 #ifndef SQP_EXEC_PAGE_CACHE_H_
 #define SQP_EXEC_PAGE_CACHE_H_
@@ -37,6 +52,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +87,9 @@ struct PageCacheStats {
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_wasted = 0;
   size_t speculative_resident = 0;
+  // Frames retired by Invalidate()/InvalidateAll() — erased outright, or
+  // marked dying and erased on their last Unpin.
+  uint64_t invalidations = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -93,13 +112,13 @@ class ShardedPageCache {
   ShardedPageCache(const ShardedPageCache&) = delete;
   ShardedPageCache& operator=(const ShardedPageCache&) = delete;
 
-  // If `id` is resident: pins it, moves it to MRU, and returns the node
+  // If `key` is resident: pins it, moves it to MRU, and returns the node
   // (stable until the matching Unpin). Returns nullptr on a miss. This is
   // a demand access: a hit on a still-speculative frame claims it (clears
   // the mark, counts a prefetch hit) and, when `prefetched` is non-null,
   // reports the claim there so the engine can attribute the hit to the
   // query's outcome.
-  const FlatNode* LookupPinned(rstar::PageId id, bool* prefetched = nullptr);
+  const FlatNode* LookupPinned(uint64_t key, bool* prefetched = nullptr);
 
   // Like LookupPinned, but does not touch the hit/miss statistics. Used
   // for the second-chance probe inside disk I/O jobs (read coalescing):
@@ -108,26 +127,37 @@ class ShardedPageCache {
   // non-null `prefetched` marks the probe as demand traffic (it claims a
   // speculative frame exactly like LookupPinned); prefetch jobs pass
   // nullptr so speculation can never claim its own insertions.
-  const FlatNode* ProbePinned(rstar::PageId id, bool* prefetched = nullptr);
+  const FlatNode* ProbePinned(uint64_t key, bool* prefetched = nullptr);
 
-  // True when `id` is resident right now. Takes no pin, no LRU
+  // True when `key` is resident right now. Takes no pin, no LRU
   // promotion, no statistics — the cancellation predicate of queued
   // speculative I/O jobs (a prefetch whose target already arrived is
   // pointless).
-  bool Contains(rstar::PageId id) const;
+  bool Contains(uint64_t key) const;
 
-  // Makes `id` resident with the given decoded contents and returns it
-  // pinned. If another thread inserted `id` first, the existing entry wins
+  // Makes `key` resident with the given decoded contents and returns it
+  // pinned. If another thread inserted `key` first, the existing entry wins
   // (the engine may decode the same missed page twice under contention)
   // and `node` is discarded. `span` is the record's size in disk pages.
   // `speculative` marks a prefetch insertion (see file comment); a
   // *demand* insert that races a still-speculative resident frame counts
   // that frame as prefetch waste — the demand read happened anyway.
-  const FlatNode* InsertPinned(rstar::PageId id, FlatNode node,
+  const FlatNode* InsertPinned(uint64_t key, FlatNode node,
                                uint32_t span, bool speculative = false);
 
   // Releases one pin taken by LookupPinned/InsertPinned.
-  void Unpin(rstar::PageId id);
+  void Unpin(uint64_t key);
+
+  // Retires the frames under `keys` (a commit superseded their bytes in
+  // the newest snapshot). Unpinned frames are erased outright; pinned
+  // frames are marked dying — invisible to all lookups from now on,
+  // reclaimed on their last Unpin. Keys not resident are ignored.
+  void Invalidate(std::span<const uint64_t> keys);
+
+  // Retires every frame (a checkpoint rewrote the base image, so any
+  // (disk, offset) key may now name different bytes). Same pin-safe
+  // semantics as Invalidate.
+  void InvalidateAll();
 
   // Aggregated over all shards (each shard counts under its own lock).
   PageCacheStats GetStats() const;
@@ -156,13 +186,16 @@ class ShardedPageCache {
     int pins = 0;
     // Inserted by a prefetch and not yet claimed by any demand access.
     bool speculative = false;
-    std::list<rstar::PageId>::iterator lru_pos;
+    // Invalidated while pinned; erased on the last Unpin, hidden from
+    // every lookup until then.
+    bool dying = false;
+    std::list<uint64_t>::iterator lru_pos;
   };
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<rstar::PageId, Frame> frames;
-    std::list<rstar::PageId> lru;  // front = MRU
+    std::unordered_map<uint64_t, Frame> frames;
+    std::list<uint64_t> lru;  // front = MRU
     size_t resident_pages = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -172,14 +205,15 @@ class ShardedPageCache {
     uint64_t prefetch_hits = 0;
     uint64_t prefetch_wasted = 0;
     size_t speculative_resident = 0;  // frames still marked speculative
+    uint64_t invalidations = 0;
   };
 
-  Shard& ShardFor(rstar::PageId id) {
-    return shards_[static_cast<size_t>(id) % shards_.size()];
+  Shard& ShardFor(uint64_t key) {
+    return shards_[static_cast<size_t>(key) % shards_.size()];
   }
 
-  const Shard& ShardFor(rstar::PageId id) const {
-    return shards_[static_cast<size_t>(id) % shards_.size()];
+  const Shard& ShardFor(uint64_t key) const {
+    return shards_[static_cast<size_t>(key) % shards_.size()];
   }
 
   // A demand access touched `f`: if it is still speculative, claim it as
@@ -189,6 +223,16 @@ class ShardedPageCache {
   // Evicts unpinned LRU entries of `shard` until it fits its share.
   // Caller holds shard.mu.
   void EvictLocked(Shard& shard);
+
+  // Retires one resident frame (erase now, or mark dying if pinned).
+  // Caller holds shard.mu; `it` must be valid.
+  void InvalidateOneLocked(Shard& shard,
+                           std::unordered_map<uint64_t, Frame>::iterator it);
+
+  // Removes `it`'s frame from the shard's bookkeeping and map. Caller
+  // holds shard.mu; the frame must be unpinned.
+  void EraseFrameLocked(Shard& shard,
+                        std::unordered_map<uint64_t, Frame>::iterator it);
 
   size_t capacity_pages_;
   size_t shard_capacity_;

@@ -3,9 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 
@@ -75,6 +78,48 @@ ParallelQueryEngine::Create(const parallel::ParallelRStarTree& index,
   }
   return std::unique_ptr<ParallelQueryEngine>(
       new ParallelQueryEngine(index, std::move(*reader), options));
+}
+
+common::Result<std::unique_ptr<ParallelQueryEngine>>
+ParallelQueryEngine::CreateMutable(storage::MutableIndex* index,
+                                   const EngineOptions& options) {
+  SQP_CHECK(index != nullptr);
+  if (options.query_threads < 1) {
+    return common::Status::InvalidArgument("query_threads must be >= 1");
+  }
+  EngineOptions opts = options;
+  // Prefetch hints name pages of one traversal's snapshot; issuing them
+  // against the live page map could read a location the next commit
+  // supersedes. Off until speculation is snapshot-aware.
+  opts.prefetch_budget = 0;
+  opts.prefetch_adaptive = false;
+
+  // Point-in-time layout copy: the reader only uses it for the disk
+  // count, page size and tree config, all immutable across commits.
+  storage::IndexLayout boot;
+  {
+    std::shared_lock<std::shared_mutex> lock(index->reader_mutex());
+    boot = *index->layout_snapshot_locked();
+  }
+  auto reader = StoredIndexReader::OpenWithLayout(index->data_store(),
+                                                 std::move(boot), opts.retry);
+  if (!reader.ok()) return reader.status();
+  auto engine = std::unique_ptr<ParallelQueryEngine>(
+      new ParallelQueryEngine(index->index(), std::move(*reader), opts));
+  engine->mindex_ = index;
+  // Retire superseded frames on every commit. The callback runs under the
+  // index's writer lock; the cache never calls back into the index, so
+  // there is no lock cycle. Cleared again in ~ParallelQueryEngine.
+  ShardedPageCache* cache = engine->cache_.get();
+  index->SetCommitCallback(
+      [cache](const std::vector<uint64_t>& superseded, bool full) {
+        if (full) {
+          cache->InvalidateAll();
+        } else {
+          cache->Invalidate(superseded);
+        }
+      });
+  return engine;
 }
 
 ParallelQueryEngine::ParallelQueryEngine(
@@ -153,14 +198,34 @@ ParallelQueryEngine::ParallelQueryEngine(
   }
 }
 
-ParallelQueryEngine::~ParallelQueryEngine() = default;
+ParallelQueryEngine::~ParallelQueryEngine() {
+  // Detach from the mutable index before the cache the commit callback
+  // points at is torn down.
+  if (mindex_ != nullptr) mindex_->SetCommitCallback(nullptr);
+}
 
 common::Status ParallelQueryEngine::FetchBatch(
     const std::vector<rstar::PageId>& ids,
     const std::vector<rstar::PageId>& prefetch_hints,
-    std::vector<const FlatNode*>* slots, QueryOutcome* outcome,
-    obs::TraceSpan* span, const std::shared_ptr<PrefetchTally>& tally) {
+    const storage::IndexLayout& layout,
+    std::vector<const FlatNode*>* slots, std::vector<uint64_t>* keys,
+    QueryOutcome* outcome, obs::TraceSpan* span,
+    const std::shared_ptr<PrefetchTally>& tally) {
   slots->assign(ids.size(), nullptr);
+  keys->assign(ids.size(), 0);
+  // Resolve every PageId against the traversal's snapshot up front: the
+  // locations are the cache keys, and the snapshot (not the reader's
+  // boot-time layout) is the authority on where a PageId's bytes live.
+  std::vector<storage::PageLocation> locs(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!layout.IsLive(ids[i])) {
+      return common::Status::InvalidArgument(
+          "page " + std::to_string(ids[i]) +
+          " is not live in this query's snapshot");
+    }
+    locs[i] = layout.pages[ids[i]];
+    (*keys)[i] = storage::PageLocationKey(locs[i]);
+  }
   // Lazily sized so a fully cached step leaves pages_per_disk empty.
   auto add_disk_pages = [this, span](int disk, uint32_t pages) {
     if (span == nullptr) return;
@@ -176,26 +241,18 @@ common::Status ParallelQueryEngine::FetchBatch(
   std::map<int, std::vector<size_t>> misses_by_disk;
   for (size_t i = 0; i < ids.size(); ++i) {
     bool prefetched = false;
-    if (const FlatNode* node = cache_->LookupPinned(ids[i], &prefetched)) {
+    if (const FlatNode* node =
+            cache_->LookupPinned((*keys)[i], &prefetched)) {
       (*slots)[i] = node;
       ++outcome->cache_hits;
       if (prefetched) ++outcome->prefetch_hits;
       if (span != nullptr) ++span->cache_hits;
       continue;
     }
-    auto loc = reader_->LocationOf(ids[i]);
-    if (!loc.ok()) {
-      // Unpin what this round already pinned before bailing.
-      for (size_t j = 0; j < i; ++j) {
-        if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
-      }
-      slots->assign(ids.size(), nullptr);
-      return loc.status();
-    }
     ++outcome->cache_misses;
     if (span != nullptr) ++span->cache_misses;
-    add_disk_pages(loc->disk, loc->span);
-    misses_by_disk[loc->disk].push_back(i);
+    add_disk_pages(locs[i].disk, locs[i].span);
+    misses_by_disk[locs[i].disk].push_back(i);
   }
 
   if (options_.serial_io) {
@@ -209,20 +266,32 @@ common::Status ParallelQueryEngine::FetchBatch(
     for (auto& [disk, slot_indices] : misses_by_disk) {
       for (size_t i : slot_indices) {
         const rstar::PageId id = ids[i];
+        const uint64_t key = (*keys)[i];
         while ((*slots)[i] == nullptr && failure.ok()) {
           common::Status leader_status;
-          if (coalescer_.BeginOrWait(id, &leader_status)) {
+          if (coalescer_.BeginOrWait(key, &leader_status)) {
+            // A previous leader may have read this page and completed in
+            // the window between our cache-lookup miss and becoming
+            // leader ourselves — re-probe before paying a duplicate read.
+            bool late_prefetched = false;
+            if (const core::FlatNode* cached =
+                    cache_->ProbePinned(key, &late_prefetched)) {
+              (*slots)[i] = cached;
+              if (late_prefetched) ++outcome->prefetch_hits;
+              coalescer_.Complete(key, common::Status::OK());
+              continue;
+            }
             common::Result<core::FlatNode> node =
-                reader_->ReadFlatNode(id, &counters);
+                reader_->ReadFlatNodeAt(id, locs[i], &counters);
             common::Status read =
                 node.ok() ? common::Status::OK() : node.status();
             if (node.ok()) {
-              (*slots)[i] = cache_->InsertPinned(
-                  id, std::move(*node), reader_->layout().pages[id].span);
+              (*slots)[i] = cache_->InsertPinned(key, std::move(*node),
+                                                 locs[i].span);
             } else {
               failure = read;
             }
-            coalescer_.Complete(id, read);
+            coalescer_.Complete(key, read);
           } else {
             // Joined a leader's read. The page was inserted just before
             // Complete; if it has already been evicted (tiny cache), loop
@@ -234,7 +303,7 @@ common::Status ParallelQueryEngine::FetchBatch(
               break;
             }
             bool follower_prefetched = false;
-            (*slots)[i] = cache_->ProbePinned(id, &follower_prefetched);
+            (*slots)[i] = cache_->ProbePinned(key, &follower_prefetched);
             if (follower_prefetched) ++outcome->prefetch_hits;
           }
         }
@@ -250,7 +319,7 @@ common::Status ParallelQueryEngine::FetchBatch(
     }
     if (!failure.ok()) {
       for (size_t j = 0; j < ids.size(); ++j) {
-        if ((*slots)[j] != nullptr) cache_->Unpin(ids[j]);
+        if ((*slots)[j] != nullptr) cache_->Unpin((*keys)[j]);
       }
       slots->assign(ids.size(), nullptr);
       return failure;
@@ -265,7 +334,9 @@ common::Status ParallelQueryEngine::FetchBatch(
       // The worker fills its group's slots with pinned cache entries.
       // Only fully decoded (checksum-verified) nodes are ever inserted,
       // so a faulty read can never poison the shared cache.
-      io_pool_->Submit(disk, [this, &ids, slots, &sync,
+      // `ids`, `locs` and `keys` live on this thread's stack across
+      // sync.Wait(), so the jobs borrow them by reference safely.
+      io_pool_->Submit(disk, [this, &ids, &locs, keys, slots, &sync,
                               group = &slot_indices] {
         // Second-chance probe: a page's primary location maps to exactly
         // one disk, and this worker runs that disk's jobs in order — so
@@ -274,20 +345,23 @@ common::Status ParallelQueryEngine::FetchBatch(
         // away. The probe is uncounted (the miss was already booked by
         // the query thread's lookup).
         std::vector<rstar::PageId> to_read;
+        std::vector<storage::PageLocation> to_read_locs;
         std::vector<size_t> to_read_slots;
         uint64_t job_coalesced = 0;
         uint64_t job_prefetch_hits = 0;
         to_read.reserve(group->size());
+        to_read_locs.reserve(group->size());
         to_read_slots.reserve(group->size());
         for (size_t i : *group) {
           bool prefetched = false;
-          if (const FlatNode* node = cache_->ProbePinned(ids[i],
+          if (const FlatNode* node = cache_->ProbePinned((*keys)[i],
                                                          &prefetched)) {
             (*slots)[i] = node;
             ++job_coalesced;
             if (prefetched) ++job_prefetch_hits;
           } else {
             to_read.push_back(ids[i]);
+            to_read_locs.push_back(locs[i]);
             to_read_slots.push_back(i);
           }
         }
@@ -295,13 +369,13 @@ common::Status ParallelQueryEngine::FetchBatch(
         IoFaultCounters counters;
         common::Status read = common::Status::OK();
         if (!to_read.empty()) {
-          read = reader_->ReadFlatNodes(to_read, &nodes, &counters);
+          read = reader_->ReadFlatNodesAt(to_read, to_read_locs, &nodes,
+                                          &counters);
           if (read.ok()) {
             for (size_t n = 0; n < to_read.size(); ++n) {
-              const rstar::PageId id = to_read[n];
-              const uint32_t span_pages = reader_->layout().pages[id].span;
-              (*slots)[to_read_slots[n]] =
-                  cache_->InsertPinned(id, std::move(nodes[n]), span_pages);
+              const size_t i = to_read_slots[n];
+              (*slots)[i] = cache_->InsertPinned(
+                  (*keys)[i], std::move(nodes[n]), to_read_locs[n].span);
             }
           }
         }
@@ -323,7 +397,7 @@ common::Status ParallelQueryEngine::FetchBatch(
     }
     if (!batch.ok()) {
       for (size_t i = 0; i < ids.size(); ++i) {
-        if ((*slots)[i] != nullptr) cache_->Unpin(ids[i]);
+        if ((*slots)[i] != nullptr) cache_->Unpin((*keys)[i]);
       }
       slots->assign(ids.size(), nullptr);
       return batch;
@@ -353,10 +427,14 @@ void ParallelQueryEngine::IssuePrefetch(
   int budget = prefetch_ctl_ != nullptr ? prefetch_ctl_->Consult()
                                         : options_.prefetch_budget;
   if (budget <= 0 || hints.empty()) return;
+  // Prefetch only runs in static-image mode (CreateMutable forces it
+  // off), so the reader's boot-time layout is the live page map and its
+  // location keys match the ones FetchBatch derives per snapshot.
   for (rstar::PageId hint : hints) {
     if (budget <= 0) break;
     auto loc = reader_->LocationOf(hint);
     if (!loc.ok()) continue;
+    const uint64_t key = storage::PageLocationKey(*loc);
     // Demand misses own their disks this step; speculation only rides on
     // disks the batch left idle (batch < NumDisks — the idle-spindle
     // window CRSS's candidate runs are meant to fill)...
@@ -367,9 +445,10 @@ void ParallelQueryEngine::IssuePrefetch(
     // full media service time. Queue depth alone misses the saturated
     // case — a disk mid-demand-read with an empty queue is not idle.
     if (io_pool_->demand_busy(loc->disk)) continue;
-    if (cache_->Contains(hint)) continue;  // already resident
+    if (cache_->Contains(key)) continue;  // already resident
     const int disk = loc->disk;
     const uint32_t span_pages = loc->span;
+    const storage::PageLocation hint_loc = *loc;
     // Fire-and-forget speculative-class job: demand jobs overtake it in
     // queue, and the cancel predicate retires it unread if its page
     // arrives some other way first. A full speculative queue simply
@@ -378,14 +457,15 @@ void ParallelQueryEngine::IssuePrefetch(
     // go away; `tally` is shared, so it outlives the issuing query.
     const bool accepted = io_pool_->SubmitSpeculative(
         disk,
-        [this, hint, span_pages, tally] {
-          if (cache_->Contains(hint)) {
+        [this, hint, hint_loc, key, span_pages, tally] {
+          if (cache_->Contains(key)) {
             // A demand read (or another prefetch) beat us between the
             // cancel check and now.
             NotePrefetchWasted(tally);
             return;
           }
-          common::Result<core::FlatNode> node = reader_->ReadFlatNode(hint);
+          common::Result<core::FlatNode> node =
+              reader_->ReadFlatNodeAt(hint, hint_loc);
           if (!node.ok()) {
             // Speculation failing is not an error, but it bought nothing.
             NotePrefetchWasted(tally);
@@ -394,12 +474,12 @@ void ParallelQueryEngine::IssuePrefetch(
           if (instr_.prefetch_pages_read != nullptr) {
             instr_.prefetch_pages_read->Add(span_pages);
           }
-          cache_->InsertPinned(hint, std::move(*node), span_pages,
+          cache_->InsertPinned(key, std::move(*node), span_pages,
                                /*speculative=*/true);
-          cache_->Unpin(hint);
+          cache_->Unpin(key);
         },
-        [this, hint, tally] {
-          if (!cache_->Contains(hint)) return false;
+        [this, key, tally] {
+          if (!cache_->Contains(key)) return false;
           NotePrefetchWasted(tally);
           return true;
         });
@@ -412,13 +492,25 @@ void ParallelQueryEngine::IssuePrefetch(
 }
 
 QueryOutcome ParallelQueryEngine::RunQuery(const EngineQuery& query) {
-  auto algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
-                                  query.k, reader_->num_disks());
   TraversalOptions topts;
   topts.algo_name = core::AlgorithmName(query.algo);
   topts.deadline_s = query.deadline_s;
   topts.control = query.control;
-  QueryOutcome answer = RunTraversal(algo.get(), topts);
+  // The algorithm is constructed inside the factory so that, in mutable
+  // mode, its Begin-time reads of the tree happen under the index's
+  // reader lock — the same hold that captured the page-map snapshot.
+  std::unique_ptr<core::SearchAlgorithm> algo;
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  if (instr_.inflight != nullptr) instr_.inflight->Add(1);
+  QueryOutcome answer = RunTraversalImpl(
+      [this, &query, &algo]() -> core::BatchTraversal* {
+        algo = core::MakeAlgorithm(query.algo, index_.tree(), query.point,
+                                   query.k, reader_->num_disks());
+        return algo.get();
+      },
+      topts, query_id);
+  FinishTraversal(&answer, topts, query_id);
   if (answer.status.ok()) answer.neighbors = algo->result().Sorted();
   return answer;
 }
@@ -428,7 +520,17 @@ QueryOutcome ParallelQueryEngine::RunTraversal(
   const uint64_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
   if (instr_.inflight != nullptr) instr_.inflight->Add(1);
-  QueryOutcome answer = RunTraversalImpl(traversal, options, query_id);
+  QueryOutcome answer = RunTraversalImpl(
+      [traversal]() -> core::BatchTraversal* { return traversal; }, options,
+      query_id);
+  FinishTraversal(&answer, options, query_id);
+  return answer;
+}
+
+void ParallelQueryEngine::FinishTraversal(QueryOutcome* answer_ptr,
+                                          const TraversalOptions& options,
+                                          uint64_t query_id) {
+  QueryOutcome& answer = *answer_ptr;
   if (instr_.queries != nullptr) {
     instr_.queries->Add(1);
     if (!answer.status.ok()) instr_.failures->Add(1);
@@ -455,12 +557,11 @@ QueryOutcome ParallelQueryEngine::RunTraversal(
     span.process_s = answer.latency_s;
     trace_->Record(std::move(span));
   }
-  return answer;
 }
 
 QueryOutcome ParallelQueryEngine::RunTraversalImpl(
-    core::BatchTraversal* traversal, const TraversalOptions& options,
-    uint64_t query_id) {
+    const std::function<core::BatchTraversal*()>& factory,
+    const TraversalOptions& options, uint64_t query_id) {
   QueryOutcome answer;
   answer.query_id = query_id;
   const double start = NowSeconds();
@@ -484,7 +585,48 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
   };
 
   std::vector<const FlatNode*> slots;
-  core::StepResult step = traversal->Begin();
+  std::vector<uint64_t> keys;
+
+  // Snapshot acquisition. In mutable mode the page map, the reclamation
+  // epoch and the traversal's Begin()-time reads of the tree must all be
+  // captured under one hold of the index's reader lock — Begin() is the
+  // only point an algorithm dereferences the tree, so after the lock
+  // drops the traversal runs entirely off the immutable snapshot. The
+  // epoch is released on every exit path; it keeps Checkpoint() from
+  // reclaiming bytes this query's locations still name.
+  struct GateExit {
+    storage::EpochGate* gate = nullptr;
+    uint64_t epoch = 0;
+    ~GateExit() {
+      if (gate != nullptr) gate->Exit(epoch);
+    }
+  } gate_exit;
+  std::shared_ptr<const storage::IndexLayout> layout;
+  core::BatchTraversal* traversal = nullptr;
+  core::StepResult step;
+  if (mindex_ != nullptr) {
+    std::shared_lock<std::shared_mutex> lock(mindex_->reader_mutex());
+    if (mindex_->failed()) {
+      answer.status = common::Status::Unavailable(
+          "index poisoned by an earlier commit failure; recover by "
+          "reopening from the log");
+      answer.latency_s = NowSeconds() - start;
+      tally_wasted();
+      return answer;
+    }
+    layout = mindex_->layout_snapshot_locked();
+    gate_exit.gate = &mindex_->gate();
+    gate_exit.epoch = gate_exit.gate->Enter();
+    traversal = factory();
+    step = traversal->Begin();
+  } else {
+    // Static image: the reader's boot-time layout IS the page map, and
+    // nothing ever supersedes it. Aliasing shared_ptr — no ownership.
+    layout = std::shared_ptr<const storage::IndexLayout>(
+        std::shared_ptr<void>(), &reader_->layout());
+    traversal = factory();
+    step = traversal->Begin();
+  }
   uint32_t step_index = 0;
   while (!step.done) {
     SQP_CHECK(!step.requests.empty());
@@ -524,8 +666,8 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
       fetch_start = NowSeconds();
       span.start_s = fetch_start - trace_->epoch_seconds();
     }
-    answer.status = FetchBatch(step.requests, step.prefetch_hints, &slots,
-                               &answer, span_ptr, tally);
+    answer.status = FetchBatch(step.requests, step.prefetch_hints, *layout,
+                               &slots, &keys, &answer, span_ptr, tally);
     if (span_ptr != nullptr) fetch_end = NowSeconds();
     if (instr_.steps != nullptr) {
       instr_.steps->Add(1);
@@ -545,7 +687,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
     uint32_t step_pages = 0;
     for (size_t i = 0; i < step.requests.size(); ++i) {
       pages.push_back({step.requests[i], slots[i]});
-      step_pages += reader_->layout().pages[step.requests[i]].span;
+      step_pages += layout->pages[step.requests[i]].span;
     }
     answer.pages_fetched += step_pages;
     if (instr_.pages_fetched != nullptr) {
@@ -555,7 +697,7 @@ QueryOutcome ParallelQueryEngine::RunTraversalImpl(
     step = traversal->OnPagesFetched(pages);
     // Pins are held across the callback (the algorithm borrows the node
     // pointers) and released immediately after.
-    for (const core::FetchedPage& p : pages) cache_->Unpin(p.id);
+    for (size_t i = 0; i < pages.size(); ++i) cache_->Unpin(keys[i]);
     if (span_ptr != nullptr) {
       span.pages = step_pages;
       span.fetch_s = fetch_end - fetch_start;

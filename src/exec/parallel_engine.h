@@ -40,6 +40,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_tree.h"
+#include "storage/index_io.h"
+#include "storage/mutable_index.h"
 #include "storage/page_store.h"
 
 namespace sqp::exec {
@@ -186,6 +188,20 @@ class ParallelQueryEngine {
       const parallel::ParallelRStarTree& index,
       const storage::PageStore* store, const EngineOptions& options);
 
+  // Serves queries from a durably mutable index while Insert/Delete/
+  // Checkpoint proceed concurrently. Every traversal runs against an
+  // immutable layout snapshot captured under the index's reader lock
+  // (with the algorithm constructed and Begin() run under that same hold,
+  // since construction walks the live tree), inside an epoch the index's
+  // checkpointer drains before reclaiming bytes — so a query never
+  // observes a torn, reclaimed or half-committed node. The engine
+  // registers the index's commit callback to retire superseded cache
+  // frames; `index` must outlive the engine, and only one engine may be
+  // attached to it at a time. Speculative prefetch is forced off in this
+  // mode (hints name pages of a snapshot, not of the live page map).
+  static common::Result<std::unique_ptr<ParallelQueryEngine>> CreateMutable(
+      storage::MutableIndex* index, const EngineOptions& options);
+
   ~ParallelQueryEngine();
 
   ParallelQueryEngine(const ParallelQueryEngine&) = delete;
@@ -232,16 +248,22 @@ class ParallelQueryEngine {
   };
 
   // Fetches `ids` — cache first, then one DiskIoPool job per missed disk —
-  // and stores pinned nodes into `slots` (aligned with `ids`). On error
-  // every successfully pinned slot is unpinned and cleared. `span`, when
-  // non-null, receives this step's cache/io breakdown (trace recording).
-  // `prefetch_hints` (may be empty) are speculative pages the algorithm
-  // would likely activate next; with a prefetch budget, hints are pushed
-  // to disks left idle by this step's demand misses. `tally` (null when
-  // prefetch is off) collects this traversal's speculative-waste events.
+  // and stores pinned nodes into `slots` (aligned with `ids`), with each
+  // slot's cache key in `keys` (pass these to Unpin). PageIds resolve
+  // through `layout`, the traversal's snapshot — the reader's own layout
+  // against an immutable store, a MutableIndex snapshot otherwise. On
+  // error every successfully pinned slot is unpinned and cleared. `span`,
+  // when non-null, receives this step's cache/io breakdown (trace
+  // recording). `prefetch_hints` (may be empty) are speculative pages the
+  // algorithm would likely activate next; with a prefetch budget, hints
+  // are pushed to disks left idle by this step's demand misses. `tally`
+  // (null when prefetch is off) collects this traversal's speculative-
+  // waste events.
   common::Status FetchBatch(const std::vector<rstar::PageId>& ids,
                             const std::vector<rstar::PageId>& prefetch_hints,
+                            const storage::IndexLayout& layout,
                             std::vector<const FlatNode*>* slots,
+                            std::vector<uint64_t>* keys,
                             QueryOutcome* outcome, obs::TraceSpan* span,
                             const std::shared_ptr<PrefetchTally>& tally);
 
@@ -259,12 +281,26 @@ class ParallelQueryEngine {
   // the issuing query's outcome.
   void NotePrefetchWasted(const std::shared_ptr<PrefetchTally>& tally);
 
-  QueryOutcome RunTraversalImpl(core::BatchTraversal* traversal,
-                                const TraversalOptions& options,
-                                uint64_t query_id);
+  // `factory` constructs (or just returns) the traversal and is invoked
+  // exactly once — under the mutable index's reader lock when attached to
+  // one, so that algorithm construction and Begin() observe a consistent
+  // tree state matching the captured layout snapshot.
+  QueryOutcome RunTraversalImpl(
+      const std::function<core::BatchTraversal*()>& factory,
+      const TraversalOptions& options, uint64_t query_id);
+
+  // Books the finished traversal into the engine counters and records its
+  // whole-query trace span (shared RunQuery/RunTraversal epilogue; pairs
+  // with the inflight gauge increment made before RunTraversalImpl).
+  void FinishTraversal(QueryOutcome* answer, const TraversalOptions& options,
+                       uint64_t query_id);
 
   const parallel::ParallelRStarTree& index_;
   EngineOptions options_;
+  // Non-null when created through CreateMutable: the durably mutable
+  // index whose snapshots, reader lock and epoch gate every traversal
+  // rides (see RunTraversalImpl).
+  storage::MutableIndex* mindex_ = nullptr;
 
   // Observability plumbing. The instruments live in metrics_ (owned or
   // external); the pointers below are null when unmetered. Declared

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/check.h"
 #include "storage/node_codec.h"
 #include "storage/page_format.h"
 
@@ -34,6 +35,21 @@ common::Result<std::unique_ptr<StoredIndexReader>> StoredIndexReader::Open(
   if (!layout.ok()) return layout.status();
   return std::unique_ptr<StoredIndexReader>(
       new StoredIndexReader(store, std::move(*layout), retry));
+}
+
+common::Result<std::unique_ptr<StoredIndexReader>>
+StoredIndexReader::OpenWithLayout(const storage::PageStore* store,
+                                  storage::IndexLayout layout,
+                                  const RetryPolicy& retry) {
+  if (retry.max_attempts < 1) {
+    return common::Status::InvalidArgument("retry max_attempts must be >= 1");
+  }
+  if (layout.page_size == 0 || layout.decluster.num_disks < 1) {
+    return common::Status::InvalidArgument(
+        "layout carries no page size / disk count");
+  }
+  return std::unique_ptr<StoredIndexReader>(
+      new StoredIndexReader(store, std::move(layout), retry));
 }
 
 common::Result<storage::PageLocation> StoredIndexReader::LocationOf(
@@ -156,18 +172,57 @@ common::Status StoredIndexReader::ReadFlatNodes(
   return common::Status::OK();
 }
 
+common::Result<core::FlatNode> StoredIndexReader::ReadFlatNodeAt(
+    rstar::PageId id, const storage::PageLocation& loc,
+    IoFaultCounters* counters) const {
+  std::vector<rstar::Node> nodes;
+  SQP_RETURN_IF_ERROR(ReadNodesAt(std::span<const rstar::PageId>(&id, 1),
+                                  std::span<const storage::PageLocation>(
+                                      &loc, 1),
+                                  &nodes, counters));
+  return core::FlatNode::FromNode(nodes[0], layout_.tree_config.dim);
+}
+
+common::Status StoredIndexReader::ReadFlatNodesAt(
+    std::span<const rstar::PageId> ids,
+    std::span<const storage::PageLocation> locs,
+    std::vector<core::FlatNode>* out, IoFaultCounters* counters) const {
+  std::vector<rstar::Node> nodes;
+  nodes.reserve(ids.size());
+  SQP_RETURN_IF_ERROR(ReadNodesAt(ids, locs, &nodes, counters));
+  out->reserve(out->size() + nodes.size());
+  for (const rstar::Node& n : nodes) {
+    out->push_back(core::FlatNode::FromNode(n, layout_.tree_config.dim));
+  }
+  return common::Status::OK();
+}
+
 common::Status StoredIndexReader::ReadNodes(
     std::span<const rstar::PageId> ids, std::vector<rstar::Node>* out,
     IoFaultCounters* counters) const {
-  const size_t page_size = layout_.page_size;
   std::vector<storage::PageLocation> locs;
   locs.reserve(ids.size());
-  size_t total_bytes = 0;
   for (rstar::PageId id : ids) {
     auto loc = LocationOf(id);
     if (!loc.ok()) return loc.status();
     locs.push_back(*loc);
-    total_bytes += static_cast<size_t>(loc->span) * page_size;
+  }
+  return ReadNodesAt(ids, locs, out, counters);
+}
+
+common::Status StoredIndexReader::ReadNodesAt(
+    std::span<const rstar::PageId> ids,
+    std::span<const storage::PageLocation> locs,
+    std::vector<rstar::Node>* out, IoFaultCounters* counters) const {
+  SQP_CHECK(ids.size() == locs.size());
+  const size_t page_size = layout_.page_size;
+  size_t total_bytes = 0;
+  for (const storage::PageLocation& loc : locs) {
+    if (loc.span == 0) {
+      return common::Status::InvalidArgument(
+          "read requested for a freed page location");
+    }
+    total_bytes += static_cast<size_t>(loc.span) * page_size;
   }
 
   // Fault-free fast path: one buffer and one ReadPages call for the whole

@@ -76,6 +76,19 @@ class StoredIndexReader {
   static common::Result<std::unique_ptr<StoredIndexReader>> Open(
       const storage::PageStore* store, const RetryPolicy& retry = {});
 
+  // Builds a reader over a caller-supplied layout instead of the store's
+  // on-disk directory — the mutable-index path, where the authoritative
+  // page map is a storage::MutableIndex snapshot, not the base image's
+  // superblocks. The reader's own layout() is a point-in-time copy used
+  // for num_disks/config only; per-query resolution goes through the
+  // ...At() entry points below with locations from the query's snapshot.
+  // Unlike Open(), the store's contents MAY grow while the reader is in
+  // use (copy-on-write appends); bytes under any location handed to the
+  // ...At() calls must stay immutable, which MutableIndex guarantees.
+  static common::Result<std::unique_ptr<StoredIndexReader>> OpenWithLayout(
+      const storage::PageStore* store, storage::IndexLayout layout,
+      const RetryPolicy& retry = {});
+
   const storage::IndexLayout& layout() const { return layout_; }
   int num_disks() const { return layout_.decluster.num_disks; }
   const RetryPolicy& retry_policy() const { return retry_; }
@@ -109,6 +122,24 @@ class StoredIndexReader {
   common::Status ReadFlatNodes(std::span<const rstar::PageId> ids,
                                std::vector<core::FlatNode>* out,
                                IoFaultCounters* counters = nullptr) const;
+
+  // Location-explicit forms: read the record for `ids[i]` at `locs[i]`
+  // instead of resolving through the reader's own layout. The engine's
+  // per-query snapshots resolve PageIds themselves (a mutable index moves
+  // PageIds between commits), then read here. Same batching, retry and
+  // fault semantics as the id-resolved forms. `locs` must align with
+  // `ids` and every span must be nonzero.
+  common::Status ReadNodesAt(std::span<const rstar::PageId> ids,
+                             std::span<const storage::PageLocation> locs,
+                             std::vector<rstar::Node>* out,
+                             IoFaultCounters* counters = nullptr) const;
+  common::Result<core::FlatNode> ReadFlatNodeAt(
+      rstar::PageId id, const storage::PageLocation& loc,
+      IoFaultCounters* counters = nullptr) const;
+  common::Status ReadFlatNodesAt(std::span<const rstar::PageId> ids,
+                                 std::span<const storage::PageLocation> locs,
+                                 std::vector<core::FlatNode>* out,
+                                 IoFaultCounters* counters = nullptr) const;
 
   // Aggregate fault activity since the reader was opened.
   ReaderFaultTotals fault_totals() const;

@@ -39,6 +39,7 @@ const Node& RStarTree::node(PageId id) const {
 
 Node& RStarTree::MutableNode(PageId id) {
   SQP_CHECK(id < nodes_.size() && nodes_[id] != nullptr);
+  if (recorder_ != nullptr) recorder_->OnNodeDirtied(id);
   return *nodes_[id];
 }
 
@@ -57,6 +58,7 @@ PageId RStarTree::AllocateNode(int level) {
   n.level = level;
   n.parent = kInvalidPage;
   ++live_nodes_;
+  if (recorder_ != nullptr) recorder_->OnNodeAllocated(id);
   return id;
 }
 
@@ -65,6 +67,7 @@ void RStarTree::FreeNode(PageId id) {
   nodes_[id].reset();
   free_list_.push_back(id);
   --live_nodes_;
+  if (recorder_ != nullptr) recorder_->OnNodeFreed(id);
   if (listener_ != nullptr) listener_->OnNodeFreed(id);
 }
 

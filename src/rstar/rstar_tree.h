@@ -28,6 +28,27 @@
 
 namespace sqp::rstar {
 
+// Observes which pages one tree operation touches. Attached around an
+// Insert/Delete by the durable write path (storage::MutableIndex), which
+// turns the dirty/allocated/freed sets into copy-on-write page versions
+// and a write-ahead-log record. Callbacks fire synchronously inside the
+// tree operation; implementations must not re-enter the tree.
+class MutationRecorder {
+ public:
+  virtual ~MutationRecorder() = default;
+
+  // A live node's content is about to be (or was just) mutated in place.
+  // Fires once per MutableNode access; implementations dedupe.
+  virtual void OnNodeDirtied(PageId id) = 0;
+
+  // A fresh node came into existence (also reported to the
+  // PlacementListener, which assigns its disk).
+  virtual void OnNodeAllocated(PageId id) = 0;
+
+  // A node was dropped and its PageId returned to the free list.
+  virtual void OnNodeFreed(PageId id) = 0;
+};
+
 class RStarTree {
  public:
   // `listener` may be null (no placement tracking). It must outlive the
@@ -99,6 +120,13 @@ class RStarTree {
   // subtree object counts, uniform leaf depth, fill factors, parent links.
   common::Status Validate() const;
 
+  // Attaches (or, with null, detaches) a recorder that sees every page the
+  // following operations dirty, allocate or free. The recorder must
+  // outlive its attachment and is typically installed per-operation.
+  void SetMutationRecorder(MutationRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   Node& MutableNode(PageId id);
   PageId AllocateNode(int level);
@@ -135,6 +163,7 @@ class RStarTree {
 
   TreeConfig config_;
   PlacementListener* listener_;  // not owned, may be null
+  MutationRecorder* recorder_ = nullptr;  // not owned, may be null
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PageId> free_list_;
   PageId root_;

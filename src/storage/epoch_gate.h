@@ -1,0 +1,75 @@
+// Epoch-based reclamation barrier for index readers.
+//
+// Copy-on-write keeps every page version a query snapshot can reach
+// byte-immutable, so queries never lock pages — but a Checkpoint folds the
+// log into a fresh base image by truncating and rewriting the data disks,
+// which WOULD yank bytes out from under an in-flight traversal. The gate
+// makes that safe: every traversal runs inside an epoch (Enter/Exit), and
+// the checkpointer — after taking the writer lock so no new traversal can
+// start — advances the epoch and drains everyone who entered before the
+// advance. Only then may old bytes be reclaimed.
+
+#ifndef SQP_STORAGE_EPOCH_GATE_H_
+#define SQP_STORAGE_EPOCH_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace sqp::storage {
+
+class EpochGate {
+ public:
+  // Registers a reader in the current epoch; never blocks. The returned
+  // token must be passed to Exit() when the traversal is done with every
+  // page byte it may dereference.
+  uint64_t Enter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_[current_];
+    return current_;
+  }
+
+  void Exit(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(epoch);
+    if (it != active_.end() && --it->second == 0) active_.erase(it);
+    cv_.notify_all();
+  }
+
+  // Starts a new epoch. Readers that entered earlier keep their old
+  // tokens; WaitForDrain() blocks on exactly those.
+  void Advance() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++current_;
+  }
+
+  // Blocks until every reader of every epoch before the current one has
+  // exited. Call with new Enter()s excluded (the caller holds the writer
+  // lock), or this may wait forever.
+  void WaitForDrain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      auto it = active_.begin();
+      return it == active_.end() || it->first >= current_;
+    });
+  }
+
+  // Readers currently inside any epoch (tests / metrics).
+  int ActiveReaders() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const auto& [epoch, count] : active_) n += count;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t current_ = 0;
+  std::map<uint64_t, int> active_;  // epoch -> readers still inside
+};
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_EPOCH_GATE_H_

@@ -21,6 +21,8 @@ const char* FaultKindName(FaultKind kind) {
       return "permanent_error";
     case FaultKind::kLatencySpike:
       return "latency_spike";
+    case FaultKind::kPowerCut:
+      return "power_cut";
   }
   return "unknown";
 }
@@ -45,6 +47,32 @@ void FaultInjectingPageStore::Reset() {
   hits_.clear();
   log_.clear();
   stats_ = FaultInjectionStats();
+  power_cut_armed_ = false;
+  power_cut_tripped_ = false;
+  power_cut_tear_first_ = false;
+  power_cut_allow_ops_ = 0;
+  power_cut_base_ops_ = 0;
+}
+
+void FaultInjectingPageStore::ArmPowerCut(uint64_t allow_ops,
+                                          bool tear_first) {
+  std::lock_guard<std::mutex> lock(mu_);
+  power_cut_armed_ = true;
+  power_cut_tripped_ = false;
+  power_cut_tear_first_ = tear_first;
+  power_cut_allow_ops_ = allow_ops;
+  power_cut_base_ops_ = stats_.write_ops;
+}
+
+void FaultInjectingPageStore::DisarmPowerCut() {
+  std::lock_guard<std::mutex> lock(mu_);
+  power_cut_armed_ = false;
+  power_cut_tripped_ = false;
+}
+
+uint64_t FaultInjectingPageStore::write_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.write_ops;
 }
 
 FaultInjectionStats FaultInjectingPageStore::stats() const {
@@ -118,6 +146,8 @@ common::Status FaultInjectingPageStore::ReadAt(int disk, uint64_t offset,
       case FaultKind::kBitFlip:
       case FaultKind::kTornRead:
         break;  // applied to the buffer after the base read
+      case FaultKind::kPowerCut:
+        break;  // write-side only; never decided for a read
     }
   }
   SQP_RETURN_IF_ERROR(base_->ReadAt(disk, offset, buf, len));
@@ -149,16 +179,75 @@ common::Status FaultInjectingPageStore::ReadPages(
   return first_error;
 }
 
+FaultInjectingPageStore::WriteDecision FaultInjectingPageStore::DecideWrite(
+    int disk, uint64_t offset, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t op = stats_.write_ops++;
+  WriteDecision d;
+  if (!power_cut_armed_) return d;
+  if (power_cut_tripped_) {
+    d.fail = true;
+  } else if (op - power_cut_base_ops_ >= power_cut_allow_ops_) {
+    // This operation is the cut boundary. A WriteAt is dropped or torn;
+    // Truncate and Sync (len == 0 sentinel via SIZE_MAX) just fail — the
+    // callers pass len = SIZE_MAX for non-WriteAt ops.
+    power_cut_tripped_ = true;
+    if (len == SIZE_MAX) {
+      d.fail = true;
+    } else if (power_cut_tear_first_ && len > 0) {
+      d.tear = true;
+      d.tear_len = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(len) - 1));
+    } else {
+      d.drop = true;
+    }
+  } else {
+    return d;  // before the cut: pass through, no event
+  }
+  ++stats_.faults;
+  ++stats_.by_kind[static_cast<int>(FaultKind::kPowerCut)];
+  FaultEvent event;
+  event.kind = FaultKind::kPowerCut;
+  event.spec_index = -1;  // power cuts are armed, not spec-scripted
+  event.disk = disk;
+  event.offset = offset;
+  event.len = (len == SIZE_MAX) ? 0 : len;
+  event.read_seq = op;  // write-op clock for write-side events
+  log_.push_back(event);
+  return d;
+}
+
 common::Status FaultInjectingPageStore::WriteAt(int disk, uint64_t offset,
                                                 const void* buf, size_t len) {
+  const WriteDecision d = DecideWrite(disk, offset, len);
+  if (d.fail) {
+    return common::Status::Unavailable(
+        "injected power cut (disk " + std::to_string(disk) + " offset " +
+        std::to_string(offset) + ")");
+  }
+  if (d.drop) return common::Status::OK();  // lost write: media untouched
+  if (d.tear) {
+    // Torn write: only a prefix reaches media, then the machine dies.
+    if (d.tear_len == 0) return common::Status::OK();
+    return base_->WriteAt(disk, offset, buf, d.tear_len);
+  }
   return base_->WriteAt(disk, offset, buf, len);
 }
 
 common::Status FaultInjectingPageStore::Truncate(int disk) {
+  const WriteDecision d = DecideWrite(disk, 0, SIZE_MAX);
+  if (d.fail) {
+    return common::Status::Unavailable("injected power cut (truncate disk " +
+                                       std::to_string(disk) + ")");
+  }
   return base_->Truncate(disk);
 }
 
 common::Status FaultInjectingPageStore::Sync() {
+  const WriteDecision d = DecideWrite(-1, 0, SIZE_MAX);
+  if (d.fail) {
+    return common::Status::Unavailable("injected power cut (sync)");
+  }
   return base_->Sync();
 }
 

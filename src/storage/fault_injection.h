@@ -21,9 +21,18 @@
 //                      (dead sector / dead drive) until the spec disarms.
 //   * kLatencySpike  — the read succeeds but only after `latency_s` of
 //                      wall-clock stall on the issuing I/O worker.
+//   * kPowerCut      — write-side: after a scripted number of write
+//                      operations the "machine dies": the next write is
+//                      dropped (or torn to a random prefix) and every write
+//                      operation after that fails. Reads are unaffected, so
+//                      a recovery pass can inspect exactly what made it to
+//                      media. Armed via ArmPowerCut(), not AddFault().
 //
-// Writes pass through unchanged (this PR's hardening targets the read
-// path; the store is typically layered over a sealed index image).
+// Read faults are scripted with AddFault() specs. The write path has its
+// own power-cut mode (ArmPowerCut) driven by a global write-operation
+// clock — WriteAt, Truncate and Sync each advance it by one — so a
+// crash-recovery sweep can kill a workload deterministically at every
+// write boundary.
 
 #ifndef SQP_STORAGE_FAULT_INJECTION_H_
 #define SQP_STORAGE_FAULT_INJECTION_H_
@@ -45,8 +54,9 @@ enum class FaultKind : uint8_t {
   kTransientError = 2,
   kPermanentError = 3,
   kLatencySpike = 4,
+  kPowerCut = 5,
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 6;
 
 // "bit_flip", "torn_read", ...
 const char* FaultKindName(FaultKind kind);
@@ -77,8 +87,9 @@ struct FaultEvent {
 };
 
 struct FaultInjectionStats {
-  uint64_t reads = 0;   // read attempts observed (batch = one per request)
-  uint64_t faults = 0;  // attempts that had a fault injected
+  uint64_t reads = 0;       // read attempts observed (batch = one per request)
+  uint64_t faults = 0;      // attempts that had a fault injected
+  uint64_t write_ops = 0;   // write operations observed (WriteAt/Truncate/Sync)
   uint64_t by_kind[kNumFaultKinds] = {};
 };
 
@@ -93,8 +104,27 @@ class FaultInjectingPageStore : public PageStore {
   // Arms `spec`; returns its index (the spec_index of its FaultEvents).
   int AddFault(const FaultSpec& spec);
 
-  // Disarms every spec and clears the log and counters.
+  // Disarms every spec (and any armed power cut) and clears the log and
+  // counters.
   void Reset();
+
+  // Arms the write-side power cut: the first `allow_ops` write operations
+  // (WriteAt, Truncate, Sync — one tick each) proceed normally; the
+  // (allow_ops+1)-th, if it is a WriteAt, is silently dropped — or, with
+  // `tear_first`, applied as a random prefix of the buffer — and every
+  // write operation after that fails Unavailable. A Truncate or Sync at
+  // the cut boundary simply fails. Reads are never affected, so recovery
+  // can run against the surviving bytes. Re-arming replaces the previous
+  // schedule; the write-op clock is NOT reset (use `stats().write_ops` as
+  // the clock base, or Reset() everything).
+  void ArmPowerCut(uint64_t allow_ops, bool tear_first);
+
+  // Disarms a pending or tripped power cut; subsequent writes succeed.
+  void DisarmPowerCut();
+
+  // Write operations observed so far (the power-cut clock). A clean run
+  // of a workload measures its kill-point space with this.
+  uint64_t write_ops() const;
 
   FaultInjectionStats stats() const;
   std::vector<FaultEvent> log() const;
@@ -110,8 +140,8 @@ class FaultInjectingPageStore : public PageStore {
   // the buffers of its batch siblings.
   common::Status ReadPages(
       std::span<const ReadRequest> requests) const override;
-  // Writes are outside the fault model and pass through to the base store
-  // (decorating a writable store keeps save-then-query tests simple).
+  // Writes pass through unless a power cut is armed (ArmPowerCut); each
+  // advances the write-op clock either way.
   common::Status WriteAt(int disk, uint64_t offset, const void* buf,
                          size_t len) override;
   common::Status Truncate(int disk) override;
@@ -131,6 +161,16 @@ class FaultInjectingPageStore : public PageStore {
 
   Decision Decide(int disk, uint64_t offset, size_t len) const;
 
+  // What one write operation should suffer, decided under the lock.
+  struct WriteDecision {
+    bool fail = false;      // the operation fails Unavailable (post-cut)
+    bool drop = false;      // WriteAt at the cut boundary: discard silently
+    bool tear = false;      // WriteAt at the cut boundary: write a prefix
+    size_t tear_len = 0;    // prefix length when tearing
+  };
+
+  WriteDecision DecideWrite(int disk, uint64_t offset, size_t len);
+
   PageStore* base_;  // not owned
   mutable std::mutex mu_;
   mutable common::Rng rng_;
@@ -138,6 +178,13 @@ class FaultInjectingPageStore : public PageStore {
   mutable std::vector<int> hits_;  // injections per spec, aligned to specs_
   mutable std::vector<FaultEvent> log_;
   mutable FaultInjectionStats stats_;
+
+  // Power-cut schedule (guarded by mu_).
+  bool power_cut_armed_ = false;
+  bool power_cut_tripped_ = false;
+  bool power_cut_tear_first_ = false;
+  uint64_t power_cut_allow_ops_ = 0;  // write ops allowed before the cut
+  uint64_t power_cut_base_ops_ = 0;   // write-op clock value when armed
 
   // `base_` is written only before the store is shared; everything else is
   // guarded by mu_, declared mutable because faults fire on const reads.

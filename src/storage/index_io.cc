@@ -578,6 +578,8 @@ common::Result<IndexLayout> ReadIndexLayout(const PageStore& store) {
       loc.offset = static_cast<uint64_t>(r.local_index) * page_size;
       loc.span = r.span;
       loc.level = r.level;
+      loc.mirror = r.mirror;
+      loc.cylinder = r.cylinder;
       ++live;
     }
   }

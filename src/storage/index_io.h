@@ -32,21 +32,38 @@ common::Status SaveIndex(const parallel::ParallelRStarTree& index,
                          PageStore* store);
 
 // Deserializes an index previously written by SaveIndex. The returned
-// index is fully live: queries, inserts and deletes all work, and its
-// declustering map (disk, mirror, cylinder per page) is identical to the
-// saved one, so simulated page-access counts match the original exactly.
+// in-memory index answers queries, and its declustering map (disk, mirror,
+// cylinder per page) is identical to the saved one, so simulated
+// page-access counts match the original exactly. Inserts and deletes on it
+// mutate only the in-memory tree; for mutations that survive a crash,
+// open the image through MutableIndex (mutable_index.h), which routes them
+// through the write-ahead log and copy-on-write page path.
 common::Result<std::unique_ptr<parallel::ParallelRStarTree>> OpenIndex(
     const PageStore& store);
 
 // Where one node record lives on the array: `span` whole pages starting at
 // byte `offset` of `disk`'s file. span == 0 marks a PageId with no record
-// (a free slot).
+// (a free slot). `mirror` / `cylinder` carry the declustering placement so
+// a recovered layout can rebuild the DiskAssigner without the base tree.
 struct PageLocation {
   int disk = -1;
   uint64_t offset = 0;
   uint32_t span = 0;
   uint8_t level = 0;
+  int32_t mirror = -1;    // mirror disk, -1 when unmirrored
+  uint32_t cylinder = 0;  // cylinder of the primary copy
 };
+
+// Stable identity of a physical node record: (disk, byte offset) packed
+// into one word. PageIds are reused after a delete (the tree keeps a free
+// list) and copy-on-write moves a surviving PageId to fresh bytes, so
+// caches and read-coalescers key on the *location* — two versions of the
+// same PageId never share a key, and a key's bytes never change while any
+// snapshot can reach them.
+inline uint64_t PageLocationKey(const PageLocation& loc) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(loc.disk)) << 48) |
+         (loc.offset & ((uint64_t{1} << 48) - 1));
+}
 
 // The metadata needed to serve queries straight from a PageStore without
 // materializing the tree: configuration, root, and the page -> location

@@ -1,0 +1,328 @@
+#include "storage/mutable_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "storage/node_codec.h"
+#include "storage/page_format.h"
+
+namespace sqp::storage {
+namespace {
+
+using parallel::PagePlacement;
+using parallel::ParallelRStarTree;
+using rstar::Node;
+using rstar::PageId;
+
+// Collects every page an operation dirtied, allocated or freed. The net
+// effect is resolved afterwards against the live tree (a page allocated
+// and freed within one op needs no durable trace at all).
+class TouchedSetRecorder : public rstar::MutationRecorder {
+ public:
+  void OnNodeDirtied(PageId id) override { touched_.insert(id); }
+  void OnNodeAllocated(PageId id) override { touched_.insert(id); }
+  void OnNodeFreed(PageId id) override { touched_.insert(id); }
+
+  std::vector<PageId> Sorted() const {
+    std::vector<PageId> out(touched_.begin(), touched_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::unordered_set<PageId> touched_;
+};
+
+// Applies one commit record's deltas to `layout` (page map, root, object
+// count, live-page total). Shared by recovery and the post-commit
+// snapshot swap.
+void ApplyCommit(const WalCommit& commit, IndexLayout* layout) {
+  for (const WalPageDelta& d : commit.deltas) {
+    if (d.page >= layout->pages.size()) {
+      layout->pages.resize(d.page + 1);
+    }
+    PageLocation& slot = layout->pages[d.page];
+    const bool was_live = slot.span > 0;
+    const bool now_live = d.loc.span > 0;
+    if (was_live && !now_live) --layout->live_pages;
+    if (!was_live && now_live) ++layout->live_pages;
+    slot = now_live ? d.loc : PageLocation{};
+  }
+  layout->root = commit.root;
+  layout->object_count = commit.object_count;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<MutableIndex>> MutableIndex::Open(
+    PageStore* data_store, PageStore* wal_store) {
+  SQP_CHECK(data_store != nullptr && wal_store != nullptr);
+  auto scan = ScanWal(*wal_store, /*disk=*/0);
+  if (!scan.ok()) return scan.status();
+
+  auto layout_or = ReadIndexLayout(*data_store);
+  if (!layout_or.ok()) return layout_or.status();
+  IndexLayout layout = std::move(*layout_or);
+  for (const WalCommit& commit : scan->records) {
+    ApplyCommit(commit, &layout);
+  }
+  if (layout.root >= layout.pages.size() ||
+      layout.pages[layout.root].span == 0) {
+    return CorruptionError("recovered root page " +
+                           std::to_string(layout.root) + " is not live");
+  }
+
+  // Rebuild the in-memory tree from the recovered page map, re-reading
+  // and checksum-verifying every live node (base image or WAL-referenced
+  // copy-on-write version alike).
+  const int dim = layout.tree_config.dim;
+  const size_t page_size = layout.page_size;
+  std::vector<std::unique_ptr<Node>> nodes(layout.pages.size());
+  std::vector<PagePlacement> placements;
+  std::vector<uint8_t> buf;
+  for (PageId id = 0; id < layout.pages.size(); ++id) {
+    const PageLocation& loc = layout.pages[id];
+    if (loc.span == 0) continue;
+    buf.resize(static_cast<size_t>(loc.span) * page_size);
+    SQP_RETURN_IF_ERROR(
+        data_store->ReadAt(loc.disk, loc.offset, buf.data(), buf.size()));
+    auto decoded = DecodeNode(buf.data(), loc.span, dim, page_size, id,
+                              "recovered page " + std::to_string(id));
+    if (!decoded.ok()) return decoded.status();
+    nodes[id] = std::make_unique<Node>(std::move(*decoded));
+    PagePlacement pl;
+    pl.page = id;
+    pl.disk = loc.disk;
+    pl.mirror = loc.mirror;
+    pl.cylinder = static_cast<int>(loc.cylinder);
+    placements.push_back(pl);
+  }
+
+  auto index = std::make_unique<ParallelRStarTree>(layout.tree_config,
+                                                   layout.decluster);
+  SQP_RETURN_IF_ERROR(index->Restore(layout.root, layout.object_count,
+                                     std::move(nodes), placements));
+
+  auto mi = std::unique_ptr<MutableIndex>(new MutableIndex());
+  mi->data_store_ = data_store;
+  mi->wal_store_ = wal_store;
+  mi->index_ = std::move(index);
+  mi->wal_ = std::make_unique<WalWriter>(wal_store, /*disk=*/0,
+                                         scan->next_lsn,
+                                         scan->valid_end_offset);
+  mi->tails_.resize(static_cast<size_t>(data_store->num_disks()));
+  for (int d = 0; d < data_store->num_disks(); ++d) {
+    auto size = data_store->SizeOf(d);
+    if (!size.ok()) return size.status();
+    mi->tails_[static_cast<size_t>(d)] = *size;
+  }
+  mi->layout_ = std::make_shared<const IndexLayout>(std::move(layout));
+  mi->recovery_.replayed = scan->records.size();
+  mi->recovery_.torn_tail_dropped = scan->torn_tail ? 1 : 0;
+  mi->recovery_.wal_records =
+      mi->recovery_.replayed + mi->recovery_.torn_tail_dropped;
+  return mi;
+}
+
+common::Result<std::unique_ptr<MutableIndex>> MutableIndex::OpenFromDir(
+    const std::string& dir) {
+  auto data = FilePageStore::Open(dir);
+  if (!data.ok()) return data.status();
+  const std::string wal_dir = dir + "/wal";
+  auto wal = FilePageStore::Open(wal_dir);
+  if (!wal.ok()) {
+    if (wal.status().code() != common::StatusCode::kNotFound) {
+      return wal.status();
+    }
+    wal = FilePageStore::Create(wal_dir, /*num_disks=*/1);
+    if (!wal.ok()) return wal.status();
+  }
+  auto mi = Open(data->get(), wal->get());
+  if (!mi.ok()) return mi.status();
+  (*mi)->owned_data_ = std::move(*data);
+  (*mi)->owned_wal_ = std::move(*wal);
+  return mi;
+}
+
+common::Status MutableIndex::Insert(const geometry::Point& p,
+                                    rstar::ObjectId id) {
+  return Mutate(p, id, /*insert=*/true);
+}
+
+common::Status MutableIndex::Delete(const geometry::Point& p,
+                                    rstar::ObjectId id) {
+  return Mutate(p, id, /*insert=*/false);
+}
+
+common::Status MutableIndex::Mutate(const geometry::Point& p,
+                                    rstar::ObjectId id, bool insert) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  if (failed_) {
+    return common::Status::FailedPrecondition(
+        "index poisoned by an earlier commit failure; reopen to recover");
+  }
+  TouchedSetRecorder recorder;
+  rstar::RStarTree& tree = index_->tree();
+  tree.SetMutationRecorder(&recorder);
+  common::Status op_status;
+  if (insert) {
+    tree.Insert(p, id);
+  } else {
+    op_status = tree.Delete(p, id);
+  }
+  tree.SetMutationRecorder(nullptr);
+  if (!op_status.ok()) return op_status;  // e.g. NotFound: tree untouched
+  return CommitLocked(recorder.Sorted());
+}
+
+common::Status MutableIndex::CommitLocked(
+    const std::vector<rstar::PageId>& touched) {
+  const IndexLayout& cur = *layout_;
+  const int dim = cur.tree_config.dim;
+  const size_t page_size = cur.page_size;
+
+  WalCommit commit;
+  commit.root = index_->tree().root();
+  commit.object_count = index_->tree().size();
+  std::vector<uint64_t> superseded;
+  std::vector<uint8_t> buf;
+  common::Status io;
+  uint64_t pages_written = 0;
+  for (PageId id : touched) {
+    const PageLocation* old = nullptr;
+    if (id < cur.pages.size() && cur.pages[id].span > 0) {
+      old = &cur.pages[id];
+    }
+    WalPageDelta delta;
+    delta.page = id;
+    if (index_->placement().IsLive(id)) {
+      // Copy-on-write: the node's new bytes go to its disk's file tail;
+      // the base image and every older version stay byte-identical.
+      const Node& n = index_->tree().node(id);
+      const int disk = index_->placement().DiskOf(id);
+      const int mirror = index_->placement().MirrorOf(id);
+      buf.clear();
+      EncodeNode(n, dim, page_size, &buf);
+      delta.loc.disk = disk;
+      delta.loc.offset = tails_[static_cast<size_t>(disk)];
+      delta.loc.span = static_cast<uint32_t>(buf.size() / page_size);
+      delta.loc.level = static_cast<uint8_t>(n.level);
+      delta.loc.mirror = mirror;
+      delta.loc.cylinder =
+          static_cast<uint32_t>(index_->placement().CylinderOf(id));
+      io = data_store_->WriteAt(disk, delta.loc.offset, buf.data(),
+                                buf.size());
+      if (!io.ok()) break;
+      tails_[static_cast<size_t>(disk)] += buf.size();
+      ++pages_written;
+      if (mirror >= 0) {
+        // Replica bytes ride along on the mirror disk's tail. Like the
+        // base image's replicas they are untracked recovery copies — the
+        // page map records primaries only.
+        io = data_store_->WriteAt(mirror,
+                                  tails_[static_cast<size_t>(mirror)],
+                                  buf.data(), buf.size());
+        if (!io.ok()) break;
+        tails_[static_cast<size_t>(mirror)] += buf.size();
+      }
+    } else if (old == nullptr) {
+      continue;  // created and freed within this op: no durable trace
+    }
+    // else: freed page, delta.loc stays span == 0
+    if (old != nullptr) superseded.push_back(PageLocationKey(*old));
+    commit.deltas.push_back(std::move(delta));
+  }
+  if (io.ok() && !commit.deltas.empty()) io = data_store_->Sync();
+  if (io.ok() && !commit.deltas.empty()) io = wal_->AppendCommit(&commit);
+  if (!io.ok()) {
+    // The in-memory tree is ahead of durable state — poison the index so
+    // the divergence can never be observed or widened. The on-disk bytes
+    // (partial copy-on-write pages, a torn WAL tail) recover to the last
+    // durable commit, exactly as after a power cut.
+    failed_ = true;
+    return io;
+  }
+  if (commit.deltas.empty()) return common::Status::OK();
+
+  ++commits_;
+  cow_pages_ += pages_written;
+  if (m_wal_records_ != nullptr) {
+    m_wal_records_->Increment();
+    m_applied_->Increment();
+    m_cow_pages_->Add(pages_written);
+  }
+
+  auto next = std::make_shared<IndexLayout>(*layout_);
+  ApplyCommit(commit, next.get());
+  layout_ = std::move(next);
+  if (commit_cb_) commit_cb_(superseded, /*full_invalidate=*/false);
+  return common::Status::OK();
+}
+
+common::Status MutableIndex::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  if (failed_) {
+    return common::Status::FailedPrecondition(
+        "index poisoned by an earlier commit failure; reopen to recover");
+  }
+  // New traversals cannot start (we hold the writer lock); wait out the
+  // ones already running off the current snapshot, since rewriting the
+  // base image reclaims the bytes under every old page location.
+  gate_.Advance();
+  gate_.WaitForDrain();
+
+  common::Status s = SaveIndex(*index_, data_store_);
+  if (s.ok()) s = wal_->Reset();
+  common::Result<IndexLayout> relayout = s.ok()
+                                             ? ReadIndexLayout(*data_store_)
+                                             : common::Result<IndexLayout>(s);
+  if (!relayout.ok()) {
+    failed_ = true;
+    return relayout.status();
+  }
+  for (int d = 0; d < data_store_->num_disks(); ++d) {
+    auto size = data_store_->SizeOf(d);
+    if (!size.ok()) {
+      failed_ = true;
+      return size.status();
+    }
+    tails_[static_cast<size_t>(d)] = *size;
+  }
+  layout_ = std::make_shared<const IndexLayout>(std::move(*relayout));
+  ++checkpoints_;
+  if (m_checkpoints_ != nullptr) m_checkpoints_->Increment();
+  if (commit_cb_) commit_cb_({}, /*full_invalidate=*/true);
+  return common::Status::OK();
+}
+
+MutationStats MutableIndex::mutation_stats() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  MutationStats out;
+  out.commits = commits_;
+  out.cow_pages = cow_pages_;
+  out.checkpoints = checkpoints_;
+  return out;
+}
+
+void MutableIndex::EnableMetrics(obs::MetricsRegistry* registry) {
+  m_wal_records_ = registry->GetCounter("sqp_wal_records_total");
+  m_applied_ = registry->GetCounter("sqp_wal_applied_total");
+  m_replayed_ = registry->GetCounter("sqp_wal_replayed_total");
+  m_torn_dropped_ = registry->GetCounter("sqp_wal_torn_tail_dropped_total");
+  m_cow_pages_ = registry->GetCounter("sqp_cow_pages_total");
+  m_checkpoints_ = registry->GetCounter("sqp_checkpoints_total");
+  // Seed with what recovery found so the conservation identity
+  //   wal_records == applied + replayed + torn_tail_dropped
+  // holds from the first scrape.
+  m_wal_records_->Add(recovery_.wal_records);
+  m_replayed_->Add(recovery_.replayed);
+  m_torn_dropped_->Add(recovery_.torn_tail_dropped);
+  m_wal_records_->Add(commits_);
+  m_applied_->Add(commits_);
+  m_cow_pages_->Add(cow_pages_);
+  m_checkpoints_->Add(checkpoints_);
+}
+
+}  // namespace sqp::storage

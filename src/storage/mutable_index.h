@@ -1,0 +1,191 @@
+// Durable mutation of a stored index: write-ahead log + copy-on-write
+// pages (docs/STORAGE.md).
+//
+// A MutableIndex wraps a saved index image (index_io.h) plus a one-disk
+// write-ahead log and makes Insert/Delete crash-atomic:
+//
+//   1. The in-memory R*-tree applies the operation while a
+//      rstar::MutationRecorder collects every page it touched.
+//   2. Each surviving touched page is re-encoded and APPENDED at its
+//      disk's file tail — never overwriting the base image or any earlier
+//      version — and the data store is synced (copy-on-write).
+//   3. One WAL commit record (new root, new object count, page-map
+//      deltas) is appended and synced. This append IS the commit point:
+//      crash before it and recovery sees the pre-op index; crash after
+//      and recovery replays the record onto the base layout. A crash
+//      mid-append leaves a torn tail the scanner provably drops, and the
+//      orphan page bytes it may reference are dead garbage until the next
+//      checkpoint reclaims them.
+//   4. A fresh immutable IndexLayout snapshot is published; queries opened
+//      against the old snapshot keep reading the old locations, whose
+//      bytes step 2 never disturbed.
+//
+// Checkpoint() folds the log into a fresh base image (SaveIndex) and
+// truncates the WAL; since rewriting the disks reclaims every old byte,
+// it first drains in-flight readers through the EpochGate.
+//
+// Concurrency contract: one writer at a time (Insert/Delete/Checkpoint
+// serialize on the writer lock). Readers snapshot under the shared lock:
+//
+//   shared_lock lk(idx.reader_mutex());
+//   if (idx.failed()) ...;                     // poisoned by an I/O error
+//   auto snap = idx.layout_snapshot_locked();  // immutable page map
+//   uint64_t epoch = idx.gate().Enter();       // pin bytes vs checkpoint
+//   ... construct traversal over idx.index().tree() ...
+//   lk.unlock();            // traversal runs lock-free off `snap`
+//   ...
+//   idx.gate().Exit(epoch);
+//
+// If a commit-path write fails midway the in-memory tree is ahead of the
+// durable state; the index poisons itself (failed()) and every later
+// mutation or snapshot refuses, exactly as if the machine had died — the
+// on-disk state recovers to the last durable commit.
+
+#ifndef SQP_STORAGE_MUTABLE_INDEX_H_
+#define SQP_STORAGE_MUTABLE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_tree.h"
+#include "storage/epoch_gate.h"
+#include "storage/index_io.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+
+namespace sqp::storage {
+
+// What Open() found in the log (also mirrored into the metrics registry
+// by EnableMetrics, where the conservation identity
+//   sqp_wal_records_total == applied + replayed + torn_tail_dropped
+// must hold on every scrape).
+struct RecoveryStats {
+  uint64_t wal_records = 0;        // valid records scanned
+  uint64_t replayed = 0;           // records replayed onto the base layout
+  uint64_t torn_tail_dropped = 0;  // 0 or 1: a crashed append's remnant
+};
+
+// Runtime mutation totals since Open().
+struct MutationStats {
+  uint64_t commits = 0;       // WAL records appended (== applied ops)
+  uint64_t cow_pages = 0;     // node records written copy-on-write
+  uint64_t checkpoints = 0;   // log foldings into a fresh base image
+};
+
+class MutableIndex {
+ public:
+  // After every commit: `superseded` holds the PageLocationKeys whose
+  // bytes are no longer reachable from the NEW snapshot (older query
+  // snapshots may still read them); `full_invalidate` marks a checkpoint,
+  // after which no pre-checkpoint location is valid at all. Invoked with
+  // the writer lock held — must not call back into the index.
+  using CommitCallback =
+      std::function<void(const std::vector<uint64_t>& superseded,
+                         bool full_invalidate)>;
+
+  // Opens the image in `data_store` (written by SaveIndex) and recovers
+  // from the log on disk 0 of `wal_store`: valid records are replayed
+  // onto the base layout, a torn tail is dropped, and the in-memory tree
+  // is rebuilt from the recovered page map with every node re-read and
+  // checksum-verified. An empty WAL disk is a clean start. Both stores
+  // must outlive the index.
+  static common::Result<std::unique_ptr<MutableIndex>> Open(
+      PageStore* data_store, PageStore* wal_store);
+
+  // Convenience: FilePageStore image under `dir`, one-disk WAL under
+  // `dir`/wal (created when absent). The stores are owned by the index.
+  static common::Result<std::unique_ptr<MutableIndex>> OpenFromDir(
+      const std::string& dir);
+
+  MutableIndex(const MutableIndex&) = delete;
+  MutableIndex& operator=(const MutableIndex&) = delete;
+
+  // Durable point insert. On return the mutation is committed: it
+  // survives any later crash.
+  common::Status Insert(const geometry::Point& p, rstar::ObjectId id);
+
+  // Durable delete of (p, id). NotFound leaves index and log untouched.
+  common::Status Delete(const geometry::Point& p, rstar::ObjectId id);
+
+  // Drains readers, rewrites the base image from the live tree, truncates
+  // the WAL and republishes the layout. Reclaims all orphaned page
+  // versions; afterwards the WAL is empty.
+  common::Status Checkpoint();
+
+  // --- Reader protocol (see file comment) --------------------------------
+
+  std::shared_mutex& reader_mutex() const { return rw_mu_; }
+  // Requires reader_mutex() held (shared or exclusive).
+  std::shared_ptr<const IndexLayout> layout_snapshot_locked() const {
+    return layout_;
+  }
+  EpochGate& gate() const { return gate_; }
+  bool failed() const { return failed_; }
+
+  const parallel::ParallelRStarTree& index() const { return *index_; }
+  PageStore* data_store() const { return data_store_; }
+  int num_disks() const { return index_->num_disks(); }
+
+  // Installs (or, with null, removes) the commit callback. Serializes
+  // against in-flight commits on the writer lock, so after this returns
+  // no further invocation of a previously installed callback can begin.
+  void SetCommitCallback(CommitCallback cb) {
+    std::unique_lock<std::shared_mutex> lock(rw_mu_);
+    commit_cb_ = std::move(cb);
+  }
+
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  MutationStats mutation_stats() const;
+
+  // Registers sqp_wal_records_total, sqp_wal_applied_total,
+  // sqp_wal_replayed_total, sqp_wal_torn_tail_dropped_total,
+  // sqp_cow_pages_total and sqp_checkpoints_total on `registry`, seeding
+  // the recovery counters with what Open() found. Call once, before the
+  // index is shared across threads.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  MutableIndex() = default;
+
+  common::Status Mutate(const geometry::Point& p, rstar::ObjectId id,
+                        bool insert);
+  common::Status CommitLocked(const std::vector<rstar::PageId>& touched);
+
+  PageStore* data_store_ = nullptr;  // not owned (see owned_*)
+  PageStore* wal_store_ = nullptr;
+  std::unique_ptr<PageStore> owned_data_;
+  std::unique_ptr<PageStore> owned_wal_;
+
+  std::unique_ptr<parallel::ParallelRStarTree> index_;
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<uint64_t> tails_;  // per-data-disk append offset
+
+  mutable std::shared_mutex rw_mu_;
+  mutable EpochGate gate_;
+  std::shared_ptr<const IndexLayout> layout_;  // swapped under rw_mu_
+  bool failed_ = false;
+
+  CommitCallback commit_cb_;
+  RecoveryStats recovery_;
+  uint64_t commits_ = 0;
+  uint64_t cow_pages_ = 0;
+  uint64_t checkpoints_ = 0;
+
+  obs::Counter* m_wal_records_ = nullptr;
+  obs::Counter* m_applied_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+  obs::Counter* m_torn_dropped_ = nullptr;
+  obs::Counter* m_cow_pages_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+};
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_MUTABLE_INDEX_H_

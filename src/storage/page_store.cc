@@ -302,6 +302,56 @@ common::Status FilePageStore::Sync() {
   return common::Status::OK();
 }
 
+// --- PageStoreSlice -------------------------------------------------------
+
+PageStoreSlice::PageStoreSlice(PageStore* base, int first_disk, int num_disks)
+    : base_(base), first_disk_(first_disk), num_disks_(num_disks) {
+  SQP_CHECK(base != nullptr);
+  SQP_CHECK(first_disk >= 0 && num_disks >= 1);
+  SQP_CHECK(first_disk + num_disks <= base->num_disks());
+}
+
+common::Status PageStoreSlice::CheckDisk(int disk) const {
+  if (disk < 0 || disk >= num_disks_) {
+    return common::Status::InvalidArgument("no such disk");
+  }
+  return common::Status::OK();
+}
+
+common::Result<uint64_t> PageStoreSlice::SizeOf(int disk) const {
+  SQP_RETURN_IF_ERROR(CheckDisk(disk));
+  return base_->SizeOf(first_disk_ + disk);
+}
+
+common::Status PageStoreSlice::ReadAt(int disk, uint64_t offset, void* buf,
+                                      size_t len) const {
+  SQP_RETURN_IF_ERROR(CheckDisk(disk));
+  return base_->ReadAt(first_disk_ + disk, offset, buf, len);
+}
+
+common::Status PageStoreSlice::ReadPages(
+    std::span<const ReadRequest> requests) const {
+  std::vector<ReadRequest> remapped(requests.begin(), requests.end());
+  for (ReadRequest& r : remapped) {
+    SQP_RETURN_IF_ERROR(CheckDisk(r.disk));
+    r.disk += first_disk_;
+  }
+  return base_->ReadPages(remapped);
+}
+
+common::Status PageStoreSlice::WriteAt(int disk, uint64_t offset,
+                                       const void* buf, size_t len) {
+  SQP_RETURN_IF_ERROR(CheckDisk(disk));
+  return base_->WriteAt(first_disk_ + disk, offset, buf, len);
+}
+
+common::Status PageStoreSlice::Truncate(int disk) {
+  SQP_RETURN_IF_ERROR(CheckDisk(disk));
+  return base_->Truncate(first_disk_ + disk);
+}
+
+common::Status PageStoreSlice::Sync() { return base_->Sync(); }
+
 // --- ThrottledPageStore ---------------------------------------------------
 
 namespace {

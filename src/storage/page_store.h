@@ -131,6 +131,38 @@ class FilePageStore : public PageStore {
   std::vector<int> fds_;  // one open file descriptor per disk
 };
 
+// Read-write view of a contiguous run of another store's disks, exposed
+// as a store of its own with disks renumbered from zero. Lets several
+// logical stores share one physical array — and, more importantly, share
+// one fault-injection decorator: the crash-recovery harness wraps a
+// (D+1)-disk MemPageStore in a single FaultInjectingPageStore so the index
+// image (disks 0..D-1) and its write-ahead log (disk D) count against the
+// same global write-operation clock, then hands each consumer its slice.
+class PageStoreSlice : public PageStore {
+ public:
+  // Exposes `base` disks [first_disk, first_disk + num_disks) as disks
+  // [0, num_disks). `base` must outlive the slice.
+  PageStoreSlice(PageStore* base, int first_disk, int num_disks);
+
+  int num_disks() const override { return num_disks_; }
+  common::Result<uint64_t> SizeOf(int disk) const override;
+  common::Status ReadAt(int disk, uint64_t offset, void* buf,
+                        size_t len) const override;
+  common::Status ReadPages(
+      std::span<const ReadRequest> requests) const override;
+  common::Status WriteAt(int disk, uint64_t offset, const void* buf,
+                         size_t len) override;
+  common::Status Truncate(int disk) override;
+  common::Status Sync() override;
+
+ private:
+  common::Status CheckDisk(int disk) const;
+
+  PageStore* base_;  // not owned
+  int first_disk_;
+  int num_disks_;
+};
+
 // Decorator that charges a fixed service time per media access of the
 // wrapped store. The backing files of a FilePageStore live in the OS page
 // cache (microsecond "seeks"), so engine benchmarks that want to observe

@@ -743,5 +743,159 @@ TEST(EngineFaultTest, LatencySpikesOnlySlowQueriesDown) {
             0u);
 }
 
+// --- Write-side power cuts ------------------------------------------------
+
+TEST(PowerCutTest, WriteOpClockCountsEveryWriteOperation) {
+  storage::MemPageStore base(2);
+  FaultInjectingPageStore faulty(&base, 1);
+  EXPECT_EQ(faulty.write_ops(), 0u);
+  const uint8_t b[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(faulty.WriteAt(0, 0, b, 4).ok());
+  ASSERT_TRUE(faulty.WriteAt(1, 0, b, 4).ok());
+  ASSERT_TRUE(faulty.Sync().ok());
+  ASSERT_TRUE(faulty.Truncate(1).ok());
+  EXPECT_EQ(faulty.write_ops(), 4u);
+  EXPECT_EQ(faulty.stats().write_ops, 4u);
+  // Reads do not advance the clock.
+  uint8_t r[4];
+  ASSERT_TRUE(faulty.ReadAt(0, 0, r, 4).ok());
+  EXPECT_EQ(faulty.write_ops(), 4u);
+}
+
+TEST(PowerCutTest, CutDropsTheBoundaryWriteAndFailsTheRest) {
+  storage::MemPageStore base(1);
+  FaultInjectingPageStore faulty(&base, 1);
+  const uint8_t ones[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+  const uint8_t twos[8] = {2, 2, 2, 2, 2, 2, 2, 2};
+  faulty.ArmPowerCut(/*allow_ops=*/1, /*tear_first=*/false);
+
+  ASSERT_TRUE(faulty.WriteAt(0, 0, ones, 8).ok());   // op 1: allowed
+  // Op 2 is the cut boundary: silently dropped — the caller sees OK (the
+  // machine died before the write reached media, not an I/O error).
+  ASSERT_TRUE(faulty.WriteAt(0, 8, twos, 8).ok());
+  // Every write operation after the cut fails.
+  EXPECT_FALSE(faulty.WriteAt(0, 16, ones, 8).ok());
+  EXPECT_FALSE(faulty.Sync().ok());
+  EXPECT_FALSE(faulty.Truncate(0).ok());
+
+  // Reads still serve the surviving bytes: op 1 landed, op 2 did not.
+  EXPECT_EQ(base.disk_bytes(0).size(), 8u);
+  uint8_t r[8];
+  ASSERT_TRUE(faulty.ReadAt(0, 0, r, 8).ok());
+  EXPECT_EQ(std::memcmp(r, ones, 8), 0);
+  // Every affected op logs an event: the dropped boundary write plus the
+  // three refused operations after it.
+  EXPECT_EQ(faulty.stats().by_kind[static_cast<int>(FaultKind::kPowerCut)],
+            4u);
+
+  // Disarming restores normal service (the next recovery generation).
+  faulty.DisarmPowerCut();
+  ASSERT_TRUE(faulty.WriteAt(0, 8, twos, 8).ok());
+  EXPECT_EQ(base.disk_bytes(0).size(), 16u);
+}
+
+TEST(PowerCutTest, TearFirstWritesARandomPrefix) {
+  storage::MemPageStore base(1);
+  FaultInjectingPageStore faulty(&base, /*seed=*/7);
+  std::vector<uint8_t> payload(64, 0xAB);
+  faulty.ArmPowerCut(/*allow_ops=*/0, /*tear_first=*/true);
+  ASSERT_TRUE(faulty.WriteAt(0, 0, payload.data(), payload.size()).ok());
+  // A strict prefix landed; everything after it never reached media.
+  const std::vector<uint8_t>& bytes = base.disk_bytes(0);
+  EXPECT_LT(bytes.size(), payload.size());
+  for (uint8_t b : bytes) EXPECT_EQ(b, 0xAB);
+  EXPECT_FALSE(faulty.Sync().ok());
+}
+
+TEST(PowerCutTest, SyncAtTheBoundarySimplyFails) {
+  storage::MemPageStore base(1);
+  FaultInjectingPageStore faulty(&base, 1);
+  const uint8_t b[4] = {9, 9, 9, 9};
+  faulty.ArmPowerCut(/*allow_ops=*/1, /*tear_first=*/false);
+  ASSERT_TRUE(faulty.WriteAt(0, 0, b, 4).ok());
+  // The boundary op is a Sync, not a WriteAt: nothing to drop or tear —
+  // it fails, and so does everything after.
+  EXPECT_FALSE(faulty.Sync().ok());
+  EXPECT_FALSE(faulty.WriteAt(0, 4, b, 4).ok());
+  // The pre-cut write survives (MemPageStore bytes are durable once
+  // written; the failed sync models dying before acknowledging).
+  EXPECT_EQ(base.disk_bytes(0).size(), 4u);
+}
+
+TEST(PowerCutTest, RearmReplacesTheSchedule) {
+  storage::MemPageStore base(1);
+  FaultInjectingPageStore faulty(&base, 1);
+  const uint8_t b[2] = {5, 5};
+  faulty.ArmPowerCut(/*allow_ops=*/0, /*tear_first=*/false);
+  ASSERT_TRUE(faulty.WriteAt(0, 0, b, 2).ok());  // dropped
+  EXPECT_EQ(base.disk_bytes(0).size(), 0u);
+  // Re-arm: two more ops allowed from NOW (the clock keeps running).
+  faulty.ArmPowerCut(/*allow_ops=*/2, /*tear_first=*/false);
+  ASSERT_TRUE(faulty.WriteAt(0, 0, b, 2).ok());
+  ASSERT_TRUE(faulty.WriteAt(0, 2, b, 2).ok());
+  ASSERT_TRUE(faulty.WriteAt(0, 4, b, 2).ok());  // boundary: dropped
+  EXPECT_FALSE(faulty.Sync().ok());
+  EXPECT_EQ(base.disk_bytes(0).size(), 4u);
+}
+
+// --- PageStoreSlice -------------------------------------------------------
+
+TEST(PageStoreSliceTest, RenumbersDisksAndDelegates) {
+  storage::MemPageStore base(4);
+  storage::PageStoreSlice head(&base, 0, 3);
+  storage::PageStoreSlice tail(&base, 3, 1);
+  EXPECT_EQ(head.num_disks(), 3);
+  EXPECT_EQ(tail.num_disks(), 1);
+
+  const uint8_t a[4] = {0xA, 0xA, 0xA, 0xA};
+  const uint8_t z[4] = {0xF, 0xF, 0xF, 0xF};
+  ASSERT_TRUE(head.WriteAt(2, 0, a, 4).ok());  // base disk 2
+  ASSERT_TRUE(tail.WriteAt(0, 0, z, 4).ok());  // base disk 3
+  EXPECT_EQ(base.disk_bytes(2)[0], 0xA);
+  EXPECT_EQ(base.disk_bytes(3)[0], 0xF);
+  auto head_size = head.SizeOf(2);
+  ASSERT_TRUE(head_size.ok());
+  EXPECT_EQ(*head_size, 4u);
+  auto tail_size = tail.SizeOf(0);
+  ASSERT_TRUE(tail_size.ok());
+  EXPECT_EQ(*tail_size, 4u);
+
+  uint8_t r[4];
+  ASSERT_TRUE(tail.ReadAt(0, 0, r, 4).ok());
+  EXPECT_EQ(std::memcmp(r, z, 4), 0);
+  // Batched reads remap per request (and still merge underneath).
+  uint8_t r2[4];
+  const std::vector<storage::ReadRequest> requests = {
+      {2, 0, r2, 4}};
+  ASSERT_TRUE(head.ReadPages(requests).ok());
+  EXPECT_EQ(std::memcmp(r2, a, 4), 0);
+
+  // Out-of-range slice disks are rejected, not forwarded.
+  EXPECT_FALSE(head.ReadAt(3, 0, r, 4).ok());
+  EXPECT_FALSE(tail.WriteAt(1, 0, a, 4).ok());
+}
+
+TEST(PageStoreSliceTest, SlicesShareOneFaultClock) {
+  // The crash-harness composition: ONE fault decorator over a (D+1)-disk
+  // array, sliced into a D-disk index view and a 1-disk WAL view, so
+  // writes through either view advance the same power-cut clock.
+  storage::MemPageStore base(3);
+  FaultInjectingPageStore faulty(&base, 1);
+  storage::PageStoreSlice data(&faulty, 0, 2);
+  storage::PageStoreSlice wal(&faulty, 2, 1);
+
+  const uint8_t b[2] = {1, 2};
+  faulty.ArmPowerCut(/*allow_ops=*/2, /*tear_first=*/false);
+  ASSERT_TRUE(data.WriteAt(0, 0, b, 2).ok());  // op 1 (data view)
+  ASSERT_TRUE(wal.WriteAt(0, 0, b, 2).ok());   // op 2 (wal view)
+  // Op 3 — through the data view — is the boundary: dropped.
+  ASSERT_TRUE(data.WriteAt(1, 0, b, 2).ok());
+  EXPECT_FALSE(wal.Sync().ok());  // and the WAL view is dead too
+  EXPECT_EQ(base.disk_bytes(0).size(), 2u);
+  EXPECT_EQ(base.disk_bytes(2).size(), 2u);
+  EXPECT_EQ(base.disk_bytes(1).size(), 0u);  // the dropped boundary write
+  EXPECT_EQ(faulty.write_ops(), 4u);
+}
+
 }  // namespace
 }  // namespace sqp

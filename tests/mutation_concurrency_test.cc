@@ -1,0 +1,153 @@
+// Concurrent readers racing durable mutations (run under TSan in CI):
+// reader threads stream k-NN queries through a CreateMutable engine while
+// a writer thread inserts, deletes and checkpoints. Every query must
+// succeed — no checksum failure (a torn or reclaimed node would fail
+// record verification), no reclaimed-byte read (the epoch gate drains
+// readers before a checkpoint rewrites the disks) — and honour the
+// exact-k contract: k neighbors, ascending distance, drawn from a
+// consistent snapshot.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "exec/parallel_engine.h"
+#include "geometry/point.h"
+#include "storage/mutable_index.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+using storage::MutableIndex;
+
+TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sqp_mut_conc_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // File-backed stores: pread/pwrite give byte-stable concurrent access,
+  // exactly the deployment shape (MemPageStore is single-threaded).
+  const workload::Dataset data = workload::MakeClustered(400, 2, 8, 0.1, 77);
+  rstar::TreeConfig tree_config;
+  tree_config.dim = 2;
+  tree_config.max_entries_override = 10;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = 4;
+  dc.policy = parallel::DeclusterPolicy::kProximityIndex;
+  dc.mirrored = false;
+  dc.seed = 77;
+  {
+    auto built =
+        workload::BuildAndSaveParallelIndex(data, tree_config, dc, dir);
+    ASSERT_TRUE(built.ok()) << built.status();
+  }
+  auto mi = MutableIndex::OpenFromDir(dir);
+  ASSERT_TRUE(mi.ok()) << mi.status();
+
+  exec::EngineOptions options;
+  options.query_threads = 4;
+  options.cache_pages = 64;  // small: force eviction + invalidation races
+  options.cache_shards = 4;
+  auto engine = exec::ParallelQueryEngine::CreateMutable(mi->get(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // The writer only deletes ids it inserted itself, so the live count
+  // never drops below the 400 base objects — with k = 25 every query
+  // must return exactly k neighbors no matter which snapshot it sees.
+  constexpr size_t kK = 25;
+  constexpr int kWriterOps = 240;
+  constexpr int kReaders = 3;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries_ok{0};
+
+  // No ASSERT_* in the writer: an early return would skip the done flag
+  // and strand the readers. Record failures and always signal completion.
+  std::thread writer([&] {
+    common::Rng rng(1234);
+    std::vector<std::pair<rstar::ObjectId, Point>> mine;
+    rstar::ObjectId next_id = 50000;
+    for (int i = 0; i < kWriterOps; ++i) {
+      common::Status s;
+      if (mine.empty() || rng.Uniform() < 0.6) {
+        const Point p{static_cast<geometry::Coord>(rng.Uniform()),
+                      static_cast<geometry::Coord>(rng.Uniform())};
+        s = (*mi)->Insert(p, next_id);
+        if (s.ok()) {
+          mine.emplace_back(next_id, p);
+          ++next_id;
+        }
+      } else {
+        const auto victim = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int>(mine.size()) - 1));
+        s = (*mi)->Delete(mine[victim].second, mine[victim].first);
+        if (s.ok()) mine.erase(mine.begin() + static_cast<long>(victim));
+      }
+      if (s.ok() && i > 0 && i % 80 == 0) {
+        // Checkpoint mid-traffic: drains the epoch gate, rewrites every
+        // byte readers' old locations named, and invalidates the cache.
+        s = (*mi)->Checkpoint();
+      }
+      if (!s.ok()) {
+        ADD_FAILURE() << "writer op " << i << ": " << s;
+        break;
+      }
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      common::Rng rng(static_cast<uint64_t>(r) * 997 + 5);
+      constexpr AlgorithmKind kAll[] = {
+          AlgorithmKind::kBbss, AlgorithmKind::kFpss, AlgorithmKind::kCrss,
+          AlgorithmKind::kWoptss};
+      uint64_t i = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        exec::EngineQuery q;
+        q.point = Point{static_cast<geometry::Coord>(rng.Uniform()),
+                        static_cast<geometry::Coord>(rng.Uniform())};
+        q.k = kK;
+        q.algo = kAll[i++ % 4];
+        const exec::QueryOutcome got = (*engine)->RunQuery(q);
+        ASSERT_TRUE(got.status.ok()) << got.status;
+        // Exact-k contract: full k, sorted ascending, no duplicates.
+        ASSERT_EQ(got.neighbors.size(), kK);
+        for (size_t n = 1; n < got.neighbors.size(); ++n) {
+          ASSERT_GE(got.neighbors[n].dist_sq, got.neighbors[n - 1].dist_sq);
+          ASSERT_NE(got.neighbors[n].object, got.neighbors[n - 1].object);
+        }
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(queries_ok.load(), 0u);
+
+  // Everything the writer committed survives a cold reopen.
+  const uint64_t final_size = (*mi)->index().tree().size();
+  engine->reset();
+  mi->reset();
+  auto reopened = MutableIndex::OpenFromDir(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->index().tree().size(), final_size);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,188 @@
+// The mutable-index anchor property (20-seed sweep, tests/test_seeds.h):
+// interleave durable inserts/deletes with queries, and at every quiescent
+// point all four algorithms' k-NN answers through the mutable engine are
+// bit-identical — same objects, same squared distances — to a freshly
+// rebuilt index over the same live set. This pins down the whole durable
+// write path (copy-on-write pages, WAL commits, snapshot publication,
+// cache invalidation, checkpointing) to "indistinguishable from rebuild".
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/sequential_executor.h"
+#include "exec/parallel_engine.h"
+#include "geometry/point.h"
+#include "parallel/parallel_tree.h"
+#include "storage/index_io.h"
+#include "storage/mutable_index.h"
+#include "storage/page_store.h"
+#include "tests/test_seeds.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using core::AlgorithmKind;
+using geometry::Point;
+using parallel::DeclusterPolicy;
+using storage::MemPageStore;
+using storage::MutableIndex;
+
+constexpr AlgorithmKind kAllAlgorithms[] = {
+    AlgorithmKind::kBbss, AlgorithmKind::kFpss, AlgorithmKind::kCrss,
+    AlgorithmKind::kWoptss};
+
+// Rebuilds a fresh index over `live` (same ids, same points, same
+// declustering config) and returns its exact k-NN answer. The k-NN result
+// is a function of the point set alone, so any divergence from the
+// mutable engine's answer means the durable path corrupted state.
+std::vector<core::Neighbor> RebuiltAnswer(
+    const std::vector<std::pair<rstar::ObjectId, Point>>& live,
+    const rstar::TreeConfig& tree_config,
+    const parallel::DeclusterConfig& dc, AlgorithmKind kind, const Point& q,
+    size_t k) {
+  parallel::ParallelRStarTree fresh(tree_config, dc);
+  for (const auto& [id, p] : live) fresh.tree().Insert(p, id);
+  auto algo =
+      core::MakeAlgorithm(kind, fresh.tree(), q, k, dc.num_disks);
+  core::RunToCompletion(fresh.tree(), algo.get());
+  return algo->result().Sorted();
+}
+
+TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
+  constexpr DeclusterPolicy kPolicies[] = {
+      DeclusterPolicy::kProximityIndex, DeclusterPolicy::kRoundRobin,
+      DeclusterPolicy::kRandom, DeclusterPolicy::kDataBalance,
+      DeclusterPolicy::kAreaBalance};
+  for (uint64_t seed = 1; seed <= test_seeds::kPropertySweepSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const DeclusterPolicy policy = kPolicies[seed % 5];
+    const bool mirrored = seed % 3 == 0;
+    const int disks = 3 + static_cast<int>(seed % 6);
+    const size_t k = 1 + seed % 30;
+
+    const workload::Dataset data =
+        workload::MakeClustered(250, 2, 8, 0.1, seed);
+    rstar::TreeConfig tree_config;
+    tree_config.dim = 2;
+    tree_config.max_entries_override = 10;
+    parallel::DeclusterConfig dc;
+    dc.num_disks = disks;
+    dc.policy = policy;
+    dc.mirrored = mirrored;
+    dc.seed = seed;
+    auto built = workload::BuildParallelIndex(data, tree_config, dc);
+
+    MemPageStore store(disks);
+    ASSERT_TRUE(storage::SaveIndex(*built, &store).ok());
+    MemPageStore wal(1);
+    auto mi = MutableIndex::Open(&store, &wal);
+    ASSERT_TRUE(mi.ok()) << mi.status();
+
+    exec::EngineOptions options;
+    options.query_threads = 2;
+    options.cache_pages = seed % 2 == 0 ? 256 : 16;  // exercise eviction
+    options.cache_shards = 4;
+    auto engine =
+        exec::ParallelQueryEngine::CreateMutable(mi->get(), options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+
+    // The tracked live set, mirrored op for op against the index.
+    std::vector<std::pair<rstar::ObjectId, Point>> live;
+    for (size_t i = 0; i < data.size(); ++i) {
+      live.emplace_back(static_cast<rstar::ObjectId>(i), data.points[i]);
+    }
+
+    common::Rng rng(seed * 31 + 7);
+    rstar::ObjectId next_id = 10000;
+    const int rounds = 3;
+    for (int round = 0; round < rounds; ++round) {
+      // Interleave: a burst of mutations, with queries issued mid-burst
+      // (still quiescent — this suite is single-threaded; the concurrency
+      // suite races them for real) so the cache sees hot frames get
+      // superseded and invalidated between queries.
+      for (int op = 0; op < 8; ++op) {
+        if (rng.Uniform() < 0.5 || live.size() < k + 5) {
+          const Point p{static_cast<geometry::Coord>(rng.Uniform()),
+                        static_cast<geometry::Coord>(rng.Uniform())};
+          ASSERT_TRUE((*mi)->Insert(p, next_id).ok());
+          live.emplace_back(next_id, p);
+          ++next_id;
+        } else {
+          const auto victim = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int>(live.size()) - 1));
+          ASSERT_TRUE(
+              (*mi)->Delete(live[victim].second, live[victim].first).ok());
+          live.erase(live.begin() + static_cast<long>(victim));
+        }
+        if (op == 3) {
+          // Mid-burst spot query: warms the cache so the NEXT mutations
+          // must actually invalidate superseded frames.
+          exec::EngineQuery warm;
+          warm.point = Point{0.5f, 0.5f};
+          warm.k = k;
+          warm.algo = AlgorithmKind::kCrss;
+          ASSERT_TRUE((*engine)->RunQuery(warm).status.ok());
+        }
+      }
+      if (round == 1 && seed % 4 == 0) {
+        // A checkpoint mid-sweep: folds the log, drains readers,
+        // invalidates the whole cache — the quiescent check after it
+        // must still be bit-exact.
+        ASSERT_TRUE((*mi)->Checkpoint().ok());
+      }
+
+      // Quiescent point: every algorithm, several query points, answers
+      // bit-identical to a fresh rebuild over the same live set.
+      std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+      });
+      common::Rng qrng(seed * 1000 + static_cast<uint64_t>(round));
+      for (int qi = 0; qi < 3; ++qi) {
+        const Point q{static_cast<geometry::Coord>(qrng.Uniform()),
+                      static_cast<geometry::Coord>(qrng.Uniform())};
+        for (AlgorithmKind kind : kAllAlgorithms) {
+          exec::EngineQuery eq;
+          eq.point = q;
+          eq.k = k;
+          eq.algo = kind;
+          const exec::QueryOutcome got = (*engine)->RunQuery(eq);
+          ASSERT_TRUE(got.status.ok())
+              << core::AlgorithmName(kind) << ": " << got.status;
+          const std::vector<core::Neighbor> want =
+              RebuiltAnswer(live, tree_config, dc, kind, q, k);
+          ASSERT_EQ(got.neighbors.size(), want.size())
+              << core::AlgorithmName(kind) << " round " << round;
+          for (size_t i = 0; i < want.size(); ++i) {
+            ASSERT_EQ(got.neighbors[i].object, want[i].object)
+                << core::AlgorithmName(kind) << " round " << round
+                << " rank " << i;
+            ASSERT_EQ(got.neighbors[i].dist_sq, want[i].dist_sq)
+                << core::AlgorithmName(kind) << " round " << round
+                << " rank " << i;
+          }
+        }
+      }
+    }
+
+    // End-to-end durability: reopen from the surviving bytes and compare
+    // the final live set object for object.
+    engine->reset();  // detach the commit callback before the index goes
+    mi->reset();
+    auto reopened = MutableIndex::Open(&store, &wal);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    EXPECT_EQ((*reopened)->index().tree().size(), live.size());
+  }
+}
+
+}  // namespace
+}  // namespace sqp

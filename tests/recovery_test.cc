@@ -1,0 +1,401 @@
+// Crash-recovery tests of the durable write path (storage::MutableIndex):
+// mutations surviving reopen, checkpoint log folding, commit-failure
+// poisoning, the metrics conservation identity — and the headline
+// deterministic kill-point sweep, which crashes a scripted mutation
+// workload at EVERY write-operation boundary (copy-on-write page writes,
+// mirror writes, data syncs, WAL appends, WAL syncs) and asserts that
+// recovery lands on exactly the pre- or post-op index, never a hybrid.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_tree.h"
+#include "storage/fault_injection.h"
+#include "storage/index_io.h"
+#include "storage/mutable_index.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using geometry::Point;
+using storage::FaultInjectingPageStore;
+using storage::MemPageStore;
+using storage::MutableIndex;
+using storage::PageStoreSlice;
+
+// One scripted mutation. Fresh-id inserts and known-live deletes only, so
+// every op commits exactly one WAL record.
+struct Op {
+  bool insert = true;
+  Point p;
+  rstar::ObjectId id = 0;
+};
+
+// The live set as (id, point) pairs in id order — the ground truth a
+// recovered index is compared against. Object ids are unique here, so a
+// sorted vector is a faithful set representation.
+using LiveSet = std::vector<std::pair<rstar::ObjectId, Point>>;
+
+LiveSet LiveObjects(const rstar::RStarTree& tree) {
+  LiveSet out;
+  for (rstar::PageId id : tree.LiveNodeIds()) {
+    const rstar::Node& node = tree.node(id);
+    if (node.level != 0) continue;
+    for (const rstar::Entry& e : node.entries) {
+      out.emplace_back(e.object, e.mbr.lo());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+LiveSet ApplyOp(LiveSet state, const Op& op) {
+  if (op.insert) {
+    state.emplace_back(op.id, op.p);
+    std::sort(state.begin(), state.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  } else {
+    state.erase(std::remove_if(state.begin(), state.end(),
+                               [&](const auto& e) { return e.first == op.id; }),
+                state.end());
+  }
+  return state;
+}
+
+// Deterministic fixture shared by every recovery test: a small mirrored
+// 3-disk index plus a 10-op script (5 fresh inserts, 5 deletes of base
+// points) whose per-state live sets are precomputed.
+struct Fixture {
+  std::unique_ptr<parallel::ParallelRStarTree> index;
+  std::vector<Op> ops;
+  std::vector<LiveSet> states;  // states[j] = live set after j ops
+  int disks = 3;
+};
+
+Fixture MakeFixture(uint64_t seed, bool mirrored) {
+  Fixture f;
+  const workload::Dataset data = workload::MakeClustered(80, 2, 6, 0.1, seed);
+  rstar::TreeConfig tree_config;
+  tree_config.dim = 2;
+  tree_config.max_entries_override = 10;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = f.disks;
+  dc.policy = parallel::DeclusterPolicy::kProximityIndex;
+  dc.mirrored = mirrored;
+  dc.seed = seed;
+  f.index = workload::BuildParallelIndex(data, tree_config, dc);
+
+  common::Rng rng(seed * 7 + 1);
+  for (int i = 0; i < 5; ++i) {
+    Op ins;
+    ins.insert = true;
+    ins.p = Point{static_cast<geometry::Coord>(rng.Uniform()),
+                  static_cast<geometry::Coord>(rng.Uniform())};
+    ins.id = static_cast<rstar::ObjectId>(5000 + i);
+    f.ops.push_back(ins);
+    Op del;
+    del.insert = false;
+    // Deleting an already-deleted object would be a NotFound no-op, which
+    // commits no record and would skew the op<->record accounting — walk
+    // forward from the draw until the target is distinct.
+    auto idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(data.size()) - 1));
+    auto taken = [&](size_t candidate) {
+      return std::any_of(f.ops.begin(), f.ops.end(), [&](const Op& o) {
+        return !o.insert && o.id == static_cast<rstar::ObjectId>(candidate);
+      });
+    };
+    while (taken(idx)) idx = (idx + 1) % data.size();
+    del.p = data.points[idx];
+    del.id = static_cast<rstar::ObjectId>(idx);
+    f.ops.push_back(del);
+  }
+
+  f.states.push_back(LiveObjects(f.index->tree()));
+  for (const Op& op : f.ops) {
+    f.states.push_back(ApplyOp(f.states.back(), op));
+  }
+  return f;
+}
+
+common::Status Apply(MutableIndex* mi, const Op& op) {
+  return op.insert ? mi->Insert(op.p, op.id) : mi->Delete(op.p, op.id);
+}
+
+// --- Basic durability -----------------------------------------------------
+
+TEST(RecoveryTest, MutationsSurviveReopen) {
+  Fixture f = MakeFixture(11, /*mirrored=*/false);
+  MemPageStore data(f.disks);
+  MemPageStore wal(1);
+  ASSERT_TRUE(storage::SaveIndex(*f.index, &data).ok());
+
+  {
+    auto mi = MutableIndex::Open(&data, &wal);
+    ASSERT_TRUE(mi.ok()) << mi.status();
+    EXPECT_EQ((*mi)->recovery_stats().wal_records, 0u);
+    for (const Op& op : f.ops) {
+      ASSERT_TRUE(Apply(mi->get(), op).ok());
+    }
+    EXPECT_EQ((*mi)->mutation_stats().commits, f.ops.size());
+    EXPECT_EQ(LiveObjects((*mi)->index().tree()), f.states.back());
+  }  // "crash": the in-memory index is simply dropped
+
+  auto reopened = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const storage::RecoveryStats& rs = (*reopened)->recovery_stats();
+  EXPECT_EQ(rs.replayed, f.ops.size());
+  EXPECT_EQ(rs.torn_tail_dropped, 0u);
+  EXPECT_EQ(rs.wal_records, rs.replayed + rs.torn_tail_dropped);
+  EXPECT_EQ(LiveObjects((*reopened)->index().tree()), f.states.back());
+  EXPECT_EQ((*reopened)->index().tree().size(), f.states.back().size());
+}
+
+TEST(RecoveryTest, NotFoundDeleteLeavesNoRecord) {
+  Fixture f = MakeFixture(12, /*mirrored=*/false);
+  MemPageStore data(f.disks);
+  MemPageStore wal(1);
+  ASSERT_TRUE(storage::SaveIndex(*f.index, &data).ok());
+  auto mi = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(mi.ok());
+
+  const common::Status s =
+      (*mi)->Delete(Point{0.5f, 0.5f}, /*id=*/999999);
+  EXPECT_EQ(s.code(), common::StatusCode::kNotFound);
+  EXPECT_EQ((*mi)->mutation_stats().commits, 0u);
+  auto scan = storage::ScanWal(wal, 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  // The index remains fully usable.
+  ASSERT_TRUE(Apply(mi->get(), f.ops[0]).ok());
+  EXPECT_EQ((*mi)->mutation_stats().commits, 1u);
+}
+
+TEST(RecoveryTest, CheckpointFoldsTheLog) {
+  Fixture f = MakeFixture(13, /*mirrored=*/true);
+  MemPageStore data(f.disks);
+  MemPageStore wal(1);
+  ASSERT_TRUE(storage::SaveIndex(*f.index, &data).ok());
+  auto mi = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(mi.ok());
+  for (const Op& op : f.ops) ASSERT_TRUE(Apply(mi->get(), op).ok());
+
+  ASSERT_TRUE((*mi)->Checkpoint().ok());
+  EXPECT_EQ((*mi)->mutation_stats().checkpoints, 1u);
+  auto scan = storage::ScanWal(wal, 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());  // folded into the base image
+
+  // Post-checkpoint mutations land in the restarted log, and a reopen
+  // replays exactly those.
+  Op extra;
+  extra.insert = true;
+  extra.p = Point{0.25f, 0.75f};
+  extra.id = 7777;
+  ASSERT_TRUE(Apply(mi->get(), extra).ok());
+  mi->reset();
+
+  auto reopened = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_stats().replayed, 1u);
+  EXPECT_EQ(LiveObjects((*reopened)->index().tree()),
+            ApplyOp(f.states.back(), extra));
+}
+
+TEST(RecoveryTest, CommitFailurePoisonsUntilReopen) {
+  Fixture f = MakeFixture(14, /*mirrored=*/false);
+  MemPageStore base(f.disks + 1);
+  {
+    PageStoreSlice setup(&base, 0, f.disks);
+    ASSERT_TRUE(storage::SaveIndex(*f.index, &setup).ok());
+  }
+  FaultInjectingPageStore faulty(&base, /*seed=*/99);
+  PageStoreSlice data(&faulty, 0, f.disks);
+  PageStoreSlice wal(&faulty, f.disks, 1);
+  auto mi = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(mi.ok());
+
+  ASSERT_TRUE(Apply(mi->get(), f.ops[0]).ok());
+  // Die mid-commit of op 2: allow one more write op, fail from there.
+  faulty.ArmPowerCut(/*allow_ops=*/1, /*tear_first=*/false);
+  EXPECT_FALSE(Apply(mi->get(), f.ops[1]).ok());
+  // Poisoned: every later mutation refuses without touching the store.
+  const common::Status refused = Apply(mi->get(), f.ops[2]);
+  EXPECT_EQ(refused.code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*mi)->mutation_stats().commits, 1u);
+  EXPECT_TRUE((*mi)->failed());
+
+  // The on-disk state recovers to the last durable commit (op 1).
+  faulty.DisarmPowerCut();
+  PageStoreSlice rdata(&base, 0, f.disks);
+  PageStoreSlice rwal(&base, f.disks, 1);
+  auto reopened = MutableIndex::Open(&rdata, &rwal);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_stats().replayed, 1u);
+  EXPECT_EQ(LiveObjects((*reopened)->index().tree()), f.states[1]);
+}
+
+TEST(RecoveryTest, ConservationIdentityHoldsInScrape) {
+  Fixture f = MakeFixture(15, /*mirrored=*/false);
+  MemPageStore data(f.disks);
+  MemPageStore wal(1);
+  ASSERT_TRUE(storage::SaveIndex(*f.index, &data).ok());
+  {
+    auto mi = MutableIndex::Open(&data, &wal);
+    ASSERT_TRUE(mi.ok());
+    obs::MetricsRegistry registry;
+    (*mi)->EnableMetrics(&registry);
+    for (size_t i = 0; i < 4; ++i) ASSERT_TRUE(Apply(mi->get(), f.ops[i]).ok());
+    // Live commits count as applied.
+    const obs::MetricsSnapshot scrape = registry.Snapshot();
+    EXPECT_EQ(scrape.CounterValue("sqp_wal_records_total"), 4u);
+    EXPECT_EQ(scrape.CounterValue("sqp_wal_records_total"),
+              scrape.CounterValue("sqp_wal_applied_total") +
+                  scrape.CounterValue("sqp_wal_replayed_total") +
+                  scrape.CounterValue("sqp_wal_torn_tail_dropped_total"));
+    EXPECT_GT(scrape.CounterValue("sqp_cow_pages_total"), 0u);
+  }
+  // Simulate a crashed append: garbage bytes past the valid tail.
+  auto scan = storage::ScanWal(wal, 0);
+  ASSERT_TRUE(scan.ok());
+  const uint8_t junk[7] = {0x51, 0x51, 0x51, 0x51, 1, 2, 3};
+  ASSERT_TRUE(
+      wal.WriteAt(0, scan->valid_end_offset, junk, sizeof(junk)).ok());
+
+  auto reopened = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  obs::MetricsRegistry registry;
+  (*reopened)->EnableMetrics(&registry);
+  // Replay-seeded identity: 4 replayed + 1 torn, 0 applied.
+  obs::MetricsSnapshot scrape = registry.Snapshot();
+  EXPECT_EQ(scrape.CounterValue("sqp_wal_records_total"), 5u);
+  EXPECT_EQ(scrape.CounterValue("sqp_wal_replayed_total"), 4u);
+  EXPECT_EQ(scrape.CounterValue("sqp_wal_torn_tail_dropped_total"), 1u);
+  EXPECT_EQ(scrape.CounterValue("sqp_wal_applied_total"), 0u);
+  EXPECT_EQ(scrape.CounterValue("sqp_wal_records_total"),
+            scrape.CounterValue("sqp_wal_applied_total") +
+                scrape.CounterValue("sqp_wal_replayed_total") +
+                scrape.CounterValue("sqp_wal_torn_tail_dropped_total"));
+  // And the identity keeps holding once live commits mix in.
+  ASSERT_TRUE(Apply(reopened->get(), f.ops[4]).ok());
+  scrape = registry.Snapshot();
+  EXPECT_EQ(scrape.CounterValue("sqp_wal_records_total"),
+            scrape.CounterValue("sqp_wal_applied_total") +
+                scrape.CounterValue("sqp_wal_replayed_total") +
+                scrape.CounterValue("sqp_wal_torn_tail_dropped_total"));
+}
+
+// --- The kill-point sweep (headline) --------------------------------------
+
+// Crashes the scripted workload at write-operation boundary `kill_at` (the
+// first `kill_at` write ops succeed; the next is dropped — or torn to a
+// random prefix — and everything after fails), then recovers from the
+// surviving bytes and checks the recovered index is EXACTLY one of the
+// scripted states: pre- or post-op of the crashed commit, never a hybrid.
+void RunKillPoint(const Fixture& f, uint64_t kill_at, bool tear,
+                  uint64_t* write_ops_out = nullptr) {
+  SCOPED_TRACE("kill_at=" + std::to_string(kill_at) +
+               (tear ? " tear" : " drop"));
+  MemPageStore base(f.disks + 1);
+  {
+    PageStoreSlice setup(&base, 0, f.disks);
+    ASSERT_TRUE(storage::SaveIndex(*f.index, &setup).ok());
+  }
+  // ONE fault decorator over the whole array: index image and WAL share
+  // the same global write-op clock, so the sweep covers both.
+  FaultInjectingPageStore faulty(&base, /*seed=*/kill_at * 2 + tear);
+  PageStoreSlice data(&faulty, 0, f.disks);
+  PageStoreSlice wal(&faulty, f.disks, 1);
+  auto mi = MutableIndex::Open(&data, &wal);
+  ASSERT_TRUE(mi.ok()) << mi.status();
+  if (write_ops_out == nullptr) {
+    faulty.ArmPowerCut(kill_at, tear);
+  }
+
+  size_t ok_ops = 0;
+  bool crashed = false;
+  for (const Op& op : f.ops) {
+    if (Apply(mi->get(), op).ok()) {
+      ++ok_ops;
+    } else {
+      crashed = true;
+      break;
+    }
+  }
+  if (write_ops_out != nullptr) {
+    ASSERT_FALSE(crashed);
+    *write_ops_out = faulty.write_ops();
+    return;
+  }
+  ASSERT_TRUE(crashed);  // kill_at < clean-run write ops, so the cut fires
+
+  // Recovery runs against the surviving bytes through pristine views.
+  // MutableIndex::Open re-reads and checksum-verifies every live node, so
+  // it succeeding IS the integrity half of the assertion.
+  PageStoreSlice rdata(&base, 0, f.disks);
+  PageStoreSlice rwal(&base, f.disks, 1);
+  auto recovered = MutableIndex::Open(&rdata, &rwal);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+
+  const storage::RecoveryStats& rs = (*recovered)->recovery_stats();
+  EXPECT_EQ(rs.wal_records, rs.replayed + rs.torn_tail_dropped);
+  // Atomicity: the crashed op either committed durably before the machine
+  // died (its WAL sync failed but the record bytes had landed) or left no
+  // accepted record at all. Nothing in between.
+  ASSERT_GE(rs.replayed, ok_ops);
+  ASSERT_LE(rs.replayed, ok_ops + 1);
+  const LiveSet& want = f.states[rs.replayed];
+  EXPECT_EQ(LiveObjects((*recovered)->index().tree()), want);
+  EXPECT_EQ((*recovered)->index().tree().size(), want.size());
+
+  // The recovered index must be fully mutable going forward: finish the
+  // script and land on the final state.
+  for (size_t i = rs.replayed; i < f.ops.size(); ++i) {
+    ASSERT_TRUE(Apply(recovered->get(), f.ops[i]).ok());
+  }
+  EXPECT_EQ(LiveObjects((*recovered)->index().tree()), f.states.back());
+}
+
+TEST(RecoveryKillPointTest, EveryWriteBoundaryRecoversConsistently) {
+  const Fixture f = MakeFixture(21, /*mirrored=*/true);
+  // Clean run: measure the workload's write-operation space.
+  uint64_t total_write_ops = 0;
+  RunKillPoint(f, 0, /*tear=*/false, &total_write_ops);
+  ASSERT_GT(total_write_ops, 20u);  // sanity: the sweep is non-trivial
+
+  for (uint64_t k = 0; k < total_write_ops; ++k) {
+    RunKillPoint(f, k, /*tear=*/false);
+    if (HasFatalFailure()) return;
+    RunKillPoint(f, k, /*tear=*/true);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(RecoveryKillPointTest, UnmirroredSweepSparse) {
+  // A second, unmirrored fixture swept at every third boundary (the dense
+  // sweep above already covers every boundary once).
+  const Fixture f = MakeFixture(22, /*mirrored=*/false);
+  uint64_t total_write_ops = 0;
+  RunKillPoint(f, 0, /*tear=*/false, &total_write_ops);
+  for (uint64_t k = 0; k < total_write_ops; k += 3) {
+    RunKillPoint(f, k, /*tear=*/(k % 2 == 1));
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace sqp

@@ -43,6 +43,20 @@
 //             [--host=127.0.0.1] [--radius=0.1] [--deadline-ms=100]
 //             [--priority=0] [--algo=crss] [--connect-wait-ms=5000]
 //
+//   ingest       apply durable mutations to the index saved under
+//                --index=<dir> through the write-ahead log
+//                (docs/STORAGE.md): opens with crash recovery, inserts
+//                --inserts fresh points (generated, or read from --file),
+//                deletes --deletes of them again, and reports the
+//                recovery and commit totals plus the WAL conservation
+//                identity. Every op is durable the moment it returns; a
+//                later load-index (or ingest) replays the log. Pass
+//                --checkpoint=1 to fold the log into a fresh base image.
+//
+//   $ sqp_cli ingest --index=places.index --inserts=1000 --deletes=200
+//             [--seed=1998] [--file=pts.csv] [--checkpoint=0]
+//             [--metrics=0]
+//
 // Flags (all optional, shown with defaults):
 //   --dataset=clustered|uniform|gaussian|california|longbeach
 //   --file=<csv or sqp>    overrides --dataset
@@ -83,11 +97,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/algorithms.h"
 #include "core/sequential_executor.h"
 #include "exec/parallel_engine.h"
@@ -101,6 +119,7 @@
 #include "sim/query_engine.h"
 #include "storage/fault_injection.h"
 #include "storage/index_io.h"
+#include "storage/mutable_index.h"
 #include "storage/page_store.h"
 #include "workload/dataset.h"
 #include "workload/dataset_io.h"
@@ -230,7 +249,7 @@ void PrintIndexSummary(const parallel::ParallelRStarTree& index) {
 
 // Runs the simulated workload the legacy invocation always ran.
 int RunWorkload(const Flags& flags, const workload::Dataset& data,
-                parallel::ParallelRStarTree& index) {
+                const parallel::ParallelRStarTree& index) {
   const size_t n_queries = static_cast<size_t>(flags.GetInt("queries", 100));
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   const double lambda = flags.GetDouble("lambda", 5.0);
@@ -342,38 +361,54 @@ int RunSaveIndex(const Flags& flags) {
 }
 
 // Runs the workload on the real concurrent engine (src/exec/) against the
-// saved disk files — wall-clock numbers, not simulated ones.
+// saved disk files — wall-clock numbers, not simulated ones. When
+// `mindex` is non-null the index carries an unfolded write-ahead log: the
+// engine rides its snapshots (CreateMutable) instead of the static reader,
+// and the store decorators (--faults, --throttle) don't apply — the
+// mutable index owns its stores.
 int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
                       const parallel::ParallelRStarTree& index,
-                      const std::string& dir) {
-  auto store = storage::FilePageStore::Open(dir);
-  if (!store.ok()) {
-    std::fprintf(stderr, "open store failed: %s\n",
-                 store.status().ToString().c_str());
-    return 1;
-  }
-  const storage::PageStore* page_store = store->get();
-
-  // Optional deterministic fault injection: a mix of transient faults the
-  // retry policy should absorb, at --faults per-read probability each.
+                      const std::string& dir,
+                      storage::MutableIndex* mindex = nullptr) {
+  std::unique_ptr<storage::FilePageStore> owned_store;
+  const storage::PageStore* page_store = nullptr;
   const double fault_rate = flags.GetDouble("faults", 0.0);
-  std::unique_ptr<storage::FaultInjectingPageStore> faulty;
-  if (fault_rate > 0) {
-    const uint64_t fault_seed =
-        static_cast<uint64_t>(flags.GetInt("fault-seed", 42));
-    faulty = std::make_unique<storage::FaultInjectingPageStore>(store->get(),
-                                                               fault_seed);
-    page_store = faulty.get();
-    // Specs are armed after the engine bootstraps (create first, arm
-    // after — docs/FAULTS.md), so faults land on query-time reads only.
-  }
-
   const double throttle = flags.GetDouble("throttle", 0.0);
+  std::unique_ptr<storage::FaultInjectingPageStore> faulty;
   std::unique_ptr<storage::ThrottledPageStore> throttled;
-  if (throttle > 0) {
-    throttled =
-        std::make_unique<storage::ThrottledPageStore>(page_store, throttle);
-    page_store = throttled.get();
+  if (mindex == nullptr) {
+    auto store = storage::FilePageStore::Open(dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "open store failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    owned_store = std::move(*store);
+    page_store = owned_store.get();
+
+    // Optional deterministic fault injection: a mix of transient faults
+    // the retry policy should absorb, at --faults per-read probability
+    // each.
+    if (fault_rate > 0) {
+      const uint64_t fault_seed =
+          static_cast<uint64_t>(flags.GetInt("fault-seed", 42));
+      faulty = std::make_unique<storage::FaultInjectingPageStore>(
+          owned_store.get(), fault_seed);
+      page_store = faulty.get();
+      // Specs are armed after the engine bootstraps (create first, arm
+      // after — docs/FAULTS.md), so faults land on query-time reads only.
+    }
+
+    if (throttle > 0) {
+      throttled =
+          std::make_unique<storage::ThrottledPageStore>(page_store, throttle);
+      page_store = throttled.get();
+    }
+  } else if (fault_rate > 0 || throttle > 0) {
+    std::fprintf(stderr,
+                 "--faults/--throttle are ignored with an unfolded WAL "
+                 "(run `sqp_cli ingest --index=%s --checkpoint=1` first)\n",
+                 dir.c_str());
   }
 
   exec::EngineOptions options;
@@ -390,7 +425,10 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
       return 1;
     }
   }
-  auto engine = exec::ParallelQueryEngine::Create(index, page_store, options);
+  auto engine =
+      mindex != nullptr
+          ? exec::ParallelQueryEngine::CreateMutable(mindex, options)
+          : exec::ParallelQueryEngine::Create(index, page_store, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine failed: %s\n",
                  engine.status().ToString().c_str());
@@ -548,22 +586,193 @@ int RunLoadIndex(const Flags& flags) {
     std::fprintf(stderr, "load-index requires --index=<dir>\n");
     return 1;
   }
-  auto opened = workload::LoadParallelIndex(dir);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "open failed: %s\n",
-                 opened.status().ToString().c_str());
-    return 1;
+  // A WAL beside the image means commits may postdate the saved base
+  // (docs/STORAGE.md): open through crash recovery so the run sees the
+  // replayed state, not the stale base image.
+  std::unique_ptr<storage::MutableIndex> mindex;
+  std::unique_ptr<parallel::ParallelRStarTree> owned_index;
+  const parallel::ParallelRStarTree* index = nullptr;
+  if (std::filesystem::exists(std::filesystem::path(dir) / "wal")) {
+    auto mi = storage::MutableIndex::OpenFromDir(dir);
+    if (!mi.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   mi.status().ToString().c_str());
+      return 1;
+    }
+    mindex = std::move(*mi);
+    index = &mindex->index();
+    const storage::RecoveryStats& rs = mindex->recovery_stats();
+    if (rs.wal_records > 0) {
+      std::printf("log:     %llu records replayed over the base image"
+                  "%s (fold with `ingest --checkpoint=1`)\n",
+                  static_cast<unsigned long long>(rs.replayed),
+                  rs.torn_tail_dropped > 0 ? ", torn tail dropped" : "");
+    }
+  } else {
+    auto opened = workload::LoadParallelIndex(dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    owned_index = std::move(*opened);
+    index = owned_index.get();
   }
-  std::unique_ptr<parallel::ParallelRStarTree> index = std::move(*opened);
   const workload::Dataset data =
       workload::ExtractDataset(index->tree(), "index:" + dir);
   std::printf("dataset: %s, %zu points, %d-d (restored from leaves)\n",
               data.name.c_str(), data.size(), data.dim);
   PrintIndexSummary(*index);
   if (flags.Get("engine", "sim") == "parallel") {
-    return RunParallelEngine(flags, data, *index, dir);
+    return RunParallelEngine(flags, data, *index, dir, mindex.get());
   }
   return RunWorkload(flags, data, *index);
+}
+
+// --- ingest: durable mutations through the write-ahead log ----------------
+
+// Applies a scripted mutation workload to a saved index: opens with crash
+// recovery, commits --inserts fresh points (generated, or read from
+// --file) and --deletes of them again — each op durable the moment it
+// returns — then reports recovery and commit totals and checks the WAL
+// conservation identity on a live metrics scrape.
+int RunIngest(const Flags& flags) {
+  const std::string dir = flags.Get("index", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "ingest requires --index=<dir>\n");
+    return 1;
+  }
+  auto opened = storage::MutableIndex::OpenFromDir(dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<storage::MutableIndex> mi = std::move(*opened);
+  obs::MetricsRegistry registry;
+  mi->EnableMetrics(&registry);
+  const storage::RecoveryStats& rs = mi->recovery_stats();
+  std::printf("recovery: %llu log records (%llu replayed%s)\n",
+              static_cast<unsigned long long>(rs.wal_records),
+              static_cast<unsigned long long>(rs.replayed),
+              rs.torn_tail_dropped > 0 ? ", torn tail dropped" : "");
+  PrintIndexSummary(mi->index());
+
+  const int dim = mi->index().tree().config().dim;
+  size_t n_inserts = static_cast<size_t>(flags.GetInt("inserts", 100));
+  std::vector<geometry::Point> points;
+  if (!flags.Get("file", "").empty()) {
+    workload::Dataset data;
+    if (!MakeDataset(flags, &data)) return 1;
+    if (data.dim != dim) {
+      std::fprintf(stderr, "--file is %d-d but the index is %d-d\n",
+                   data.dim, dim);
+      return 1;
+    }
+    if (flags.values.count("inserts") == 0 || n_inserts > data.size()) {
+      n_inserts = data.size();
+    }
+    points.assign(data.points.begin(),
+                  data.points.begin() + static_cast<long>(n_inserts));
+  } else {
+    common::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1998)));
+    for (size_t i = 0; i < n_inserts; ++i) {
+      std::vector<geometry::Coord> coords(static_cast<size_t>(dim));
+      for (auto& c : coords) {
+        c = static_cast<geometry::Coord>(rng.Uniform());
+      }
+      points.push_back(geometry::Point::FromVector(std::move(coords)));
+    }
+  }
+  const size_t n_deletes = static_cast<size_t>(flags.GetInt("deletes", 0));
+  if (n_deletes > n_inserts) {
+    std::fprintf(stderr, "--deletes=%zu exceeds --inserts=%zu (ingest only "
+                 "deletes objects it inserted itself)\n",
+                 n_deletes, n_inserts);
+    return 1;
+  }
+
+  // Fresh ids continue above the highest live object id, so repeated
+  // ingest runs against the same index never collide.
+  rstar::ObjectId next_id = 0;
+  const rstar::RStarTree& tree = mi->index().tree();
+  for (rstar::PageId pid : tree.LiveNodeIds()) {
+    const rstar::Node& node = tree.node(pid);
+    if (node.level != 0) continue;
+    for (const rstar::Entry& e : node.entries) {
+      next_id = std::max(next_id, e.object + 1);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::pair<rstar::ObjectId, geometry::Point>> inserted;
+  inserted.reserve(n_inserts);
+  for (size_t i = 0; i < n_inserts; ++i) {
+    const common::Status s = mi->Insert(points[i], next_id);
+    if (!s.ok()) {
+      std::fprintf(stderr, "insert %zu failed: %s\n", i,
+                   s.ToString().c_str());
+      return 2;
+    }
+    inserted.emplace_back(next_id, points[i]);
+    ++next_id;
+  }
+  for (size_t i = 0; i < n_deletes; ++i) {
+    const auto& [id, p] = inserted[inserted.size() - 1 - i];
+    const common::Status s = mi->Delete(p, id);
+    if (!s.ok()) {
+      std::fprintf(stderr, "delete of object %llu failed: %s\n",
+                   static_cast<unsigned long long>(id),
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
+  if (flags.GetInt("checkpoint", 0) != 0) {
+    const common::Status s = mi->Checkpoint();
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const storage::MutationStats ms = mi->mutation_stats();
+  std::printf(
+      "ingested: %zu inserts, %zu deletes in %.3f s (%.0f commits/s)\n"
+      "durable:  %llu commits, %llu copy-on-write pages, %llu "
+      "checkpoints, %zu objects live\n",
+      n_inserts, n_deletes, wall,
+      static_cast<double>(n_inserts + n_deletes) / std::max(wall, 1e-9),
+      static_cast<unsigned long long>(ms.commits),
+      static_cast<unsigned long long>(ms.cow_pages),
+      static_cast<unsigned long long>(ms.checkpoints), tree.size());
+
+  // The conservation identity must hold on every scrape
+  // (docs/STORAGE.md): every record the WAL ever carried is accounted
+  // for exactly once.
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const uint64_t records = snap.CounterValue("sqp_wal_records_total");
+  const uint64_t accounted =
+      snap.CounterValue("sqp_wal_applied_total") +
+      snap.CounterValue("sqp_wal_replayed_total") +
+      snap.CounterValue("sqp_wal_torn_tail_dropped_total");
+  if (records != accounted) {
+    std::fprintf(stderr,
+                 "conservation identity VIOLATED: %llu records, "
+                 "%llu accounted\n",
+                 static_cast<unsigned long long>(records),
+                 static_cast<unsigned long long>(accounted));
+    return 2;
+  }
+  std::printf("identity: wal_records == applied + replayed + "
+              "torn_tail_dropped == %llu\n",
+              static_cast<unsigned long long>(records));
+  if (flags.GetInt("metrics", 0) != 0) {
+    std::printf("\n%s", snap.ToPrometheus().c_str());
+  }
+  return 0;
 }
 
 // --- serve / query: the streaming service front end (src/server/) ---
@@ -578,32 +787,58 @@ int RunServe(const Flags& flags) {
     std::fprintf(stderr, "serve requires --index=<dir>\n");
     return 1;
   }
-  auto opened = workload::LoadParallelIndex(dir);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "open failed: %s\n",
-                 opened.status().ToString().c_str());
-    return 1;
-  }
-  std::unique_ptr<parallel::ParallelRStarTree> index = std::move(*opened);
-  auto store = storage::FilePageStore::Open(dir);
-  if (!store.ok()) {
-    std::fprintf(stderr, "open store failed: %s\n",
-                 store.status().ToString().c_str());
-    return 1;
-  }
-  const storage::PageStore* page_store = store->get();
+  // Like load-index: an unfolded WAL beside the image means the saved
+  // base is stale — serve the replayed state, never the stale bytes.
+  std::unique_ptr<storage::MutableIndex> mindex;
+  std::unique_ptr<parallel::ParallelRStarTree> owned_index;
+  const parallel::ParallelRStarTree* index = nullptr;
+  std::unique_ptr<storage::FilePageStore> owned_store;
+  const storage::PageStore* page_store = nullptr;
   const double throttle = flags.GetDouble("throttle", 0.0);
   std::unique_ptr<storage::ThrottledPageStore> throttled;
-  if (throttle > 0) {
-    throttled =
-        std::make_unique<storage::ThrottledPageStore>(page_store, throttle);
-    page_store = throttled.get();
+  if (std::filesystem::exists(std::filesystem::path(dir) / "wal")) {
+    auto mi = storage::MutableIndex::OpenFromDir(dir);
+    if (!mi.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   mi.status().ToString().c_str());
+      return 1;
+    }
+    mindex = std::move(*mi);
+    index = &mindex->index();
+    if (throttle > 0) {
+      std::fprintf(stderr, "--throttle is ignored with an unfolded WAL\n");
+    }
+  } else {
+    auto opened = workload::LoadParallelIndex(dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    owned_index = std::move(*opened);
+    index = owned_index.get();
+    auto store = storage::FilePageStore::Open(dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "open store failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    owned_store = std::move(*store);
+    page_store = owned_store.get();
+    if (throttle > 0) {
+      throttled =
+          std::make_unique<storage::ThrottledPageStore>(page_store, throttle);
+      page_store = throttled.get();
+    }
   }
 
   exec::EngineOptions eopts;
   eopts.query_threads = static_cast<int>(flags.GetInt("threads", 8));
   eopts.cache_pages = static_cast<size_t>(flags.GetInt("cache", 4096));
-  auto engine = exec::ParallelQueryEngine::Create(*index, page_store, eopts);
+  auto engine =
+      mindex != nullptr
+          ? exec::ParallelQueryEngine::CreateMutable(mindex.get(), eopts)
+          : exec::ParallelQueryEngine::Create(*index, page_store, eopts);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine failed: %s\n",
                  engine.status().ToString().c_str());
@@ -750,17 +985,18 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, first_flag, &flags)) {
     std::fprintf(stderr,
-                 "usage: sqp_cli [save-index|load-index] --key=value ... "
-                 "(see header)\n");
+                 "usage: sqp_cli [save-index|load-index|ingest|serve|query] "
+                 "--key=value ... (see header)\n");
     return 1;
   }
   if (command == "save-index") return RunSaveIndex(flags);
   if (command == "load-index") return RunLoadIndex(flags);
+  if (command == "ingest") return RunIngest(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "query") return RunQueryCommand(flags);
   if (!command.empty()) {
     std::fprintf(stderr, "unknown subcommand '%s' (try save-index, "
-                 "load-index, serve, query, or flags only)\n",
+                 "load-index, ingest, serve, query, or flags only)\n",
                  command.c_str());
     return 1;
   }
