@@ -95,12 +95,18 @@ ParallelQueryEngine::CreateMutable(storage::MutableIndex* index,
   opts.prefetch_adaptive = false;
 
   // Point-in-time layout copy: the reader only uses it for the disk
-  // count, page size and tree config, all immutable across commits.
+  // count, page size and tree config, all immutable across commits AND
+  // across generation flips (a checkpoint folds the same index into a
+  // fresh generation; the shape never changes).
   storage::IndexLayout boot;
   {
     std::shared_lock<std::shared_mutex> lock(index->reader_mutex());
     boot = *index->layout_snapshot_locked();
   }
+  // data_store() is the index's SwitchablePageStore facade, stable across
+  // generation flips: the reader captures this one pointer for its
+  // lifetime, and a checkpoint retargets the facade (under the writer
+  // lock, epoch gate drained) instead of invalidating the pointer.
   auto reader = StoredIndexReader::OpenWithLayout(index->data_store(),
                                                  std::move(boot), opts.retry);
   if (!reader.ok()) return reader.status();
@@ -110,6 +116,9 @@ ParallelQueryEngine::CreateMutable(storage::MutableIndex* index,
   // Retire superseded frames on every commit. The callback runs under the
   // index's writer lock; the cache never calls back into the index, so
   // there is no lock cycle. Cleared again in ~ParallelQueryEngine.
+  // full=true arrives on checkpoints — including background-compaction
+  // folds — where every cached frame names a location in the retired
+  // generation and the whole cache must go.
   ShardedPageCache* cache = engine->cache_.get();
   index->SetCommitCallback(
       [cache](const std::vector<uint64_t>& superseded, bool full) {

@@ -194,11 +194,15 @@ class ParallelQueryEngine {
   // (with the algorithm constructed and Begin() run under that same hold,
   // since construction walks the live tree), inside an epoch the index's
   // checkpointer drains before reclaiming bytes — so a query never
-  // observes a torn, reclaimed or half-committed node. The engine
-  // registers the index's commit callback to retire superseded cache
-  // frames; `index` must outlive the engine, and only one engine may be
-  // attached to it at a time. Speculative prefetch is forced off in this
-  // mode (hints name pages of a snapshot, not of the live page map).
+  // observes a torn, reclaimed or half-committed node. Checkpoints
+  // (explicit or background-compaction folds) flip the index to a fresh
+  // generation mid-serve: the engine reads through the index's switchable
+  // store facade, which is retargeted under the same drain, and the flip
+  // arrives as a full-invalidate commit callback. The engine registers
+  // the index's commit callback to retire superseded cache frames;
+  // `index` must outlive the engine, and only one engine may be attached
+  // to it at a time. Speculative prefetch is forced off in this mode
+  // (hints name pages of a snapshot, not of the live page map).
   static common::Result<std::unique_ptr<ParallelQueryEngine>> CreateMutable(
       storage::MutableIndex* index, const EngineOptions& options);
 

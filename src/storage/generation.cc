@@ -1,0 +1,402 @@
+#include "storage/generation.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "storage/index_io.h"
+#include "storage/page_format.h"
+
+namespace sqp::storage {
+
+namespace {
+
+std::string GenName(uint64_t gen) { return "gen-" + std::to_string(gen); }
+
+}  // namespace
+
+// --- MemGenerationEnv ---------------------------------------------------
+
+MemGenerationEnv::MemGenerationEnv(PageStore* base, int data_disks)
+    : base_(base), data_disks_(data_disks) {
+  int usable = base_->num_disks() - 1;  // disk 0 is the pointer log
+  max_gens_ = usable > 0 ? static_cast<uint64_t>(usable / (data_disks_ + 1)) : 0;
+}
+
+int MemGenerationEnv::first_disk_of(uint64_t gen) const {
+  return 1 + static_cast<int>((gen - 1) * (data_disks_ + 1));
+}
+
+int MemGenerationEnv::wal_disk_of(uint64_t gen) const {
+  return first_disk_of(gen) + data_disks_;
+}
+
+common::Status MemGenerationEnv::CheckGen(uint64_t gen) const {
+  if (gen == 0 || gen > max_gens_) {
+    return common::Status::InvalidArgument(
+        "generation " + std::to_string(gen) + " outside base store capacity (" +
+        std::to_string(max_gens_) + " generations of " +
+        std::to_string(data_disks_) + " data disks)");
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::pair<uint64_t, uint64_t>> MemGenerationEnv::ScanPointerLog()
+    const {
+  auto size = base_->SizeOf(0);
+  SQP_RETURN_IF_ERROR(size.status());
+  uint64_t end = 0;
+  uint64_t gen = 0;
+  uint8_t rec[kCurrentRecordBytes];
+  while (end + kCurrentRecordBytes <= *size) {
+    SQP_RETURN_IF_ERROR(base_->ReadAt(0, end, rec, sizeof(rec)));
+    if (GetU32(rec) != kCurrentMagic) break;
+    uint32_t stored_crc = GetU32(rec + 4);
+    uint8_t zeroed[kCurrentRecordBytes];
+    std::memcpy(zeroed, rec, sizeof(rec));
+    std::memset(zeroed + 4, 0, 4);
+    if (Crc32c(zeroed, sizeof(zeroed)) != stored_crc) break;
+    gen = GetU64(rec + 8);
+    end += kCurrentRecordBytes;
+  }
+  return std::make_pair(end, gen);
+}
+
+common::Result<uint64_t> MemGenerationEnv::ReadCurrent() {
+  auto scan = ScanPointerLog();
+  SQP_RETURN_IF_ERROR(scan.status());
+  if (scan->second == 0) {
+    return common::Status::NotFound("no generation has been published");
+  }
+  return scan->second;
+}
+
+common::Status MemGenerationEnv::PublishCurrent(uint64_t gen) {
+  SQP_RETURN_IF_ERROR(CheckGen(gen));
+  auto scan = ScanPointerLog();
+  SQP_RETURN_IF_ERROR(scan.status());
+  uint8_t rec[kCurrentRecordBytes];
+  PutU32(rec, kCurrentMagic);
+  PutU32(rec + 4, 0);
+  PutU64(rec + 8, gen);
+  PutU32(rec + 4, Crc32c(rec, sizeof(rec)));
+  // The append + sync is the flip: a dropped or torn write fails the CRC
+  // gate on the next scan and the previous record keeps winning.
+  SQP_RETURN_IF_ERROR(base_->WriteAt(0, scan->first, rec, sizeof(rec)));
+  return base_->Sync();
+}
+
+common::Result<std::vector<uint64_t>> MemGenerationEnv::ListGenerations() {
+  std::vector<uint64_t> gens;
+  for (uint64_t g = 1; g <= max_gens_; ++g) {
+    bool live = false;
+    for (int d = first_disk_of(g); d <= wal_disk_of(g); ++d) {
+      auto size = base_->SizeOf(d);
+      SQP_RETURN_IF_ERROR(size.status());
+      if (*size > 0) {
+        live = true;
+        break;
+      }
+    }
+    if (live) gens.push_back(g);
+  }
+  return gens;
+}
+
+common::Result<GenerationStores> MemGenerationEnv::OpenGeneration(
+    uint64_t gen) {
+  SQP_RETURN_IF_ERROR(CheckGen(gen));
+  auto data_size = base_->SizeOf(first_disk_of(gen));
+  SQP_RETURN_IF_ERROR(data_size.status());
+  if (*data_size == 0) {
+    return common::Status::FailedPrecondition(
+        "CURRENT names generation " + GenName(gen) +
+        " but its disks are empty — the generation was lost or never "
+        "written");
+  }
+  GenerationStores stores;
+  auto data = std::make_unique<PageStoreSlice>(base_, first_disk_of(gen),
+                                               data_disks_);
+  auto wal = std::make_unique<PageStoreSlice>(base_, wal_disk_of(gen), 1);
+  stores.data = data.get();
+  stores.wal = wal.get();
+  stores.owned.push_back(std::move(data));
+  stores.owned.push_back(std::move(wal));
+  return stores;
+}
+
+common::Result<GenerationStores> MemGenerationEnv::CreateGeneration(
+    uint64_t gen, int data_disks) {
+  SQP_RETURN_IF_ERROR(CheckGen(gen));
+  if (data_disks != data_disks_) {
+    return common::Status::InvalidArgument(
+        "mem env was laid out for " + std::to_string(data_disks_) +
+        " data disks per generation, asked for " + std::to_string(data_disks));
+  }
+  // Truncate only disks that actually hold bytes (remnants of a crashed
+  // earlier attempt at this generation) so a clean create costs zero
+  // write ops — keeping the kill-point space tight and deterministic.
+  for (int d = first_disk_of(gen); d <= wal_disk_of(gen); ++d) {
+    auto size = base_->SizeOf(d);
+    SQP_RETURN_IF_ERROR(size.status());
+    if (*size > 0) SQP_RETURN_IF_ERROR(base_->Truncate(d));
+  }
+  return OpenGenerationAfterCreate(gen);
+}
+
+common::Result<GenerationStores> MemGenerationEnv::OpenGenerationAfterCreate(
+    uint64_t gen) {
+  GenerationStores stores;
+  auto data = std::make_unique<PageStoreSlice>(base_, first_disk_of(gen),
+                                               data_disks_);
+  auto wal = std::make_unique<PageStoreSlice>(base_, wal_disk_of(gen), 1);
+  stores.data = data.get();
+  stores.wal = wal.get();
+  stores.owned.push_back(std::move(data));
+  stores.owned.push_back(std::move(wal));
+  return stores;
+}
+
+common::Status MemGenerationEnv::RemoveGeneration(uint64_t gen) {
+  SQP_RETURN_IF_ERROR(CheckGen(gen));
+  for (int d = first_disk_of(gen); d <= wal_disk_of(gen); ++d) {
+    auto size = base_->SizeOf(d);
+    SQP_RETURN_IF_ERROR(size.status());
+    if (*size > 0) SQP_RETURN_IF_ERROR(base_->Truncate(d));
+  }
+  return common::Status::OK();
+}
+
+// --- FileGenerationEnv --------------------------------------------------
+
+std::string FileGenerationEnv::GenerationPath(uint64_t gen) const {
+  if (gen == 0) return dir_;
+  return (std::filesystem::path(dir_) / GenName(gen)).string();
+}
+
+common::Result<uint64_t> FileGenerationEnv::ReadCurrent() {
+  std::filesystem::path current = std::filesystem::path(dir_) / "CURRENT";
+  std::error_code ec;
+  if (std::filesystem::exists(current, ec)) {
+    FILE* f = std::fopen(current.c_str(), "r");
+    if (f == nullptr) {
+      return common::Status::Unavailable("cannot open " + current.string() +
+                                         ": " + std::strerror(errno));
+    }
+    char buf[64] = {};
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    uint64_t gen = 0;
+    if (n == 0 || std::sscanf(buf, "gen-%llu",
+                              reinterpret_cast<unsigned long long*>(&gen)) != 1 ||
+        gen == 0) {
+      return CorruptionError("malformed CURRENT pointer in " + dir_ + ": \"" +
+                             std::string(buf, n) + "\"");
+    }
+    return gen;
+  }
+  // No pointer: a directory written by SaveIndexToDir before generations
+  // existed has its disk files at the root — read it as generation 0.
+  if (std::filesystem::exists(
+          std::filesystem::path(dir_) / FilePageStore::DiskFileName(0), ec)) {
+    return uint64_t{0};
+  }
+  return common::Status::NotFound("no CURRENT pointer or legacy index in " +
+                                  dir_);
+}
+
+common::Status FileGenerationEnv::PublishCurrent(uint64_t gen) {
+  if (gen == 0) {
+    return common::Status::InvalidArgument(
+        "generation 0 is the legacy layout and cannot be published");
+  }
+  std::filesystem::path dir(dir_);
+  std::string tmp = (dir / "CURRENT.tmp").string();
+  std::string final_path = (dir / "CURRENT").string();
+  std::string content = GenName(gen) + "\n";
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return common::Status::Unavailable("cannot create " + tmp + ": " +
+                                       std::strerror(errno));
+  }
+  ssize_t written = ::write(fd, content.data(), content.size());
+  if (written != static_cast<ssize_t>(content.size()) || ::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return common::Status::Unavailable("cannot write " + tmp + ": " +
+                                       std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return common::Status::Unavailable("cannot close " + tmp + ": " +
+                                       std::strerror(errno));
+  }
+  // rename(2) is the atomic commit point; the directory fsync makes the
+  // new name itself durable.
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return common::Status::Unavailable("cannot rename " + tmp + " -> " +
+                                       final_path + ": " +
+                                       std::strerror(err));
+  }
+  int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return common::Status::Unavailable("cannot open directory " + dir_ +
+                                       " for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    int err = errno;
+    ::close(dfd);
+    return common::Status::Unavailable("cannot fsync directory " + dir_ +
+                                       ": " + std::strerror(err));
+  }
+  ::close(dfd);
+  return common::Status::OK();
+}
+
+common::Result<std::vector<uint64_t>> FileGenerationEnv::ListGenerations() {
+  std::vector<uint64_t> gens;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) {
+    return common::Status::Unavailable("cannot list " + dir_ + ": " +
+                                       ec.message());
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_directory(ec)) continue;
+    std::string name = entry.path().filename().string();
+    unsigned long long gen = 0;
+    char trailing = 0;
+    if (std::sscanf(name.c_str(), "gen-%llu%c", &gen, &trailing) == 1 &&
+        gen > 0) {
+      gens.push_back(gen);
+    }
+  }
+  if (std::filesystem::exists(
+          std::filesystem::path(dir_) / FilePageStore::DiskFileName(0), ec)) {
+    gens.push_back(0);  // legacy image at the directory root
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+common::Result<GenerationStores> FileGenerationEnv::OpenGeneration(
+    uint64_t gen) {
+  std::string path = GenerationPath(gen);
+  std::error_code ec;
+  if (gen != 0 && !std::filesystem::exists(path, ec)) {
+    return common::Status::FailedPrecondition(
+        "CURRENT names generation " + GenName(gen) + " but " + path +
+        " is missing — the index directory was partially copied or its "
+        "generation directory deleted");
+  }
+  auto data = FilePageStore::Open(path);
+  if (!data.ok()) {
+    if (gen != 0 && data.status().code() == common::StatusCode::kNotFound) {
+      return common::Status::FailedPrecondition(
+          "CURRENT names generation " + GenName(gen) + " but " + path +
+          " holds no disk files — the generation is incomplete");
+    }
+    return data.status();
+  }
+  auto wal = FilePageStore::Open((std::filesystem::path(path) / "wal").string());
+  if (!wal.ok()) {
+    if (wal.status().code() != common::StatusCode::kNotFound) {
+      return wal.status();
+    }
+    // A generation saved cold (or a legacy image never opened mutably)
+    // has no log yet; create an empty one.
+    wal = FilePageStore::Create((std::filesystem::path(path) / "wal").string(),
+                                1);
+    SQP_RETURN_IF_ERROR(wal.status());
+  }
+  GenerationStores stores;
+  stores.data = data->get();
+  stores.wal = wal->get();
+  stores.owned.push_back(std::move(*data));
+  stores.owned.push_back(std::move(*wal));
+  return stores;
+}
+
+common::Result<GenerationStores> FileGenerationEnv::CreateGeneration(
+    uint64_t gen, int data_disks) {
+  if (gen == 0) {
+    return common::Status::InvalidArgument(
+        "generation 0 is the legacy layout and cannot be created");
+  }
+  std::string path = GenerationPath(gen);
+  auto data = FilePageStore::Create(path, data_disks);  // truncates remnants
+  SQP_RETURN_IF_ERROR(data.status());
+  auto wal =
+      FilePageStore::Create((std::filesystem::path(path) / "wal").string(), 1);
+  SQP_RETURN_IF_ERROR(wal.status());
+  GenerationStores stores;
+  stores.data = data->get();
+  stores.wal = wal->get();
+  stores.owned.push_back(std::move(*data));
+  stores.owned.push_back(std::move(*wal));
+  return stores;
+}
+
+common::Status FileGenerationEnv::RemoveGeneration(uint64_t gen) {
+  std::error_code ec;
+  if (gen == 0) {
+    // The legacy image lives at the directory root next to CURRENT and
+    // gen-N/ subdirectories: remove only its pieces. Unlinking files a
+    // live FilePageStore still holds open is fine on POSIX — the old
+    // stores keep their descriptors until the checkpoint drops them.
+    for (int d = 0;; ++d) {
+      std::filesystem::path f =
+          std::filesystem::path(dir_) / FilePageStore::DiskFileName(d);
+      if (!std::filesystem::exists(f, ec)) break;
+      std::filesystem::remove(f, ec);
+      if (ec) {
+        return common::Status::Unavailable("cannot remove " + f.string() +
+                                           ": " + ec.message());
+      }
+    }
+    std::filesystem::remove_all(std::filesystem::path(dir_) / "wal", ec);
+    if (ec) {
+      return common::Status::Unavailable("cannot remove legacy wal of " +
+                                         dir_ + ": " + ec.message());
+    }
+    return common::Status::OK();
+  }
+  std::filesystem::remove_all(GenerationPath(gen), ec);
+  if (ec) {
+    return common::Status::Unavailable("cannot remove " + GenerationPath(gen) +
+                                       ": " + ec.message());
+  }
+  return common::Status::OK();
+}
+
+// --- Bootstrap ----------------------------------------------------------
+
+common::Status InitializeGenerations(GenerationEnv* env,
+                                     const parallel::ParallelRStarTree& index) {
+  auto current = env->ReadCurrent();
+  if (current.ok()) {
+    return common::Status::AlreadyExists(
+        "environment already holds generation " +
+        std::to_string(*current));
+  }
+  if (current.status().code() != common::StatusCode::kNotFound) {
+    return current.status();
+  }
+  auto stores = env->CreateGeneration(1, index.num_disks());
+  SQP_RETURN_IF_ERROR(stores.status());
+  SQP_RETURN_IF_ERROR(SaveIndex(index, stores->data));
+  return env->PublishCurrent(1);
+}
+
+}  // namespace sqp::storage

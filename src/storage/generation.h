@@ -1,0 +1,175 @@
+// Generation directories + the CURRENT pointer: the crash-atomic
+// checkpoint protocol (docs/STORAGE.md).
+//
+// A *generation* is one immutable base image plus the write-ahead log
+// that grows on top of it. The log is folded by writing a brand-new
+// generation aside — the old one is never touched — and then publishing
+// the new one through a single atomic flip of the CURRENT pointer:
+//
+//   gen-N   (base image + WAL)          <- CURRENT
+//   gen-N+1 (fresh fold of gen-N + log) <- written aside, fsynced
+//   CURRENT := gen-N+1                  <- THE commit point (atomic)
+//
+// Because every generation carries its own WAL, the flip atomically
+// switches to an *empty* log: there is no window where a stale log could
+// be replayed onto the freshly folded base. Recovery on open reads
+// CURRENT, opens exactly that generation (half-written ones are never
+// named by it), and garbage-collects every other generation as an orphan
+// of a crashed or interrupted checkpoint.
+//
+// GenerationEnv abstracts where generations live:
+//   * FileGenerationEnv — the durable backend. CURRENT is a text file
+//     published via write-tmp + fsync + rename (+ directory fsync);
+//     generation N is the subdirectory gen-N/ holding the disk files and
+//     a gen-N/wal/ log. A directory written by SaveIndexToDir (disk files
+//     at the root, log in wal/) is read as legacy "generation 0", so
+//     pre-generation images open unchanged; their first checkpoint
+//     migrates them to gen-1 + CURRENT.
+//   * MemGenerationEnv — the crash-harness backend: all generations and
+//     the pointer share ONE caller-provided PageStore, so a single
+//     fault-injection decorator runs the power-cut clock through every
+//     write of the fold — generation writes, syncs, and the pointer flip
+//     itself — and a second env over the same bytes sees exactly the
+//     surviving state. The pointer lives on disk 0 as an append-only log
+//     of checksummed records (last valid record wins), which models
+//     rename atomicity faithfully: a dropped or torn append fails the
+//     CRC gate and the pointer falls back to its previous value.
+
+#ifndef SQP_STORAGE_GENERATION_H_
+#define SQP_STORAGE_GENERATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_store.h"
+
+namespace sqp::parallel {
+class ParallelRStarTree;
+}  // namespace sqp::parallel
+
+namespace sqp::storage {
+
+// One opened (or freshly created) generation: the D-disk data store of
+// the base image and the generation's one-disk WAL. `owned` keeps the
+// backing objects alive; `data`/`wal` point into it.
+struct GenerationStores {
+  PageStore* data = nullptr;
+  PageStore* wal = nullptr;
+  std::vector<std::unique_ptr<PageStore>> owned;
+};
+
+class GenerationEnv {
+ public:
+  virtual ~GenerationEnv() = default;
+
+  // The durably published current generation. NotFound when nothing has
+  // ever been published (and, for FileGenerationEnv, no legacy image
+  // exists either).
+  virtual common::Result<uint64_t> ReadCurrent() = 0;
+
+  // Atomically and durably publishes `gen` as CURRENT. Once this returns
+  // OK the flip survives any crash; on error the caller must re-read the
+  // pointer to learn whether the flip landed (a sync can fail after the
+  // bytes reached media).
+  virtual common::Status PublishCurrent(uint64_t gen) = 0;
+
+  // Every generation that holds any bytes, published or not, ascending.
+  virtual common::Result<std::vector<uint64_t>> ListGenerations() = 0;
+
+  // Opens an existing generation. A generation named by CURRENT but
+  // missing its bytes is kFailedPrecondition with a descriptive message
+  // (the directory was partially copied or damaged).
+  virtual common::Result<GenerationStores> OpenGeneration(uint64_t gen) = 0;
+
+  // Creates (or truncates, after a crashed earlier attempt) generation
+  // `gen` with `data_disks` data disks and an empty WAL. gen >= 1.
+  virtual common::Result<GenerationStores> CreateGeneration(
+      uint64_t gen, int data_disks) = 0;
+
+  // Reclaims a generation's bytes. Failure is not fatal to the caller —
+  // an unreclaimed generation is an orphan the next open collects.
+  virtual common::Status RemoveGeneration(uint64_t gen) = 0;
+};
+
+// --- In-memory env over one shared base store (crash harness) -----------
+
+// Record framing of the mem env's CURRENT pointer log (disk 0), 16 bytes:
+//   0  u32 magic "SQPC"
+//   4  u32 crc32c over the record with this field zeroed
+//   8  u64 generation
+inline constexpr uint32_t kCurrentMagic = 0x43505153;
+inline constexpr size_t kCurrentRecordBytes = 16;
+
+class MemGenerationEnv : public GenerationEnv {
+ public:
+  // Lays generations out on `base` (not owned, must outlive the env):
+  // disk 0 is the pointer log; generation g >= 1 occupies the
+  // (data_disks + 1)-disk run starting at disk 1 + (g-1)*(data_disks+1),
+  // data disks first, the generation's WAL disk last. Capacity is
+  // whatever fits in base: (num_disks - 1) / (data_disks + 1)
+  // generations. Several envs over the same base see the same durable
+  // state — the recovery harness opens a pristine one over the bytes a
+  // faulty one left behind.
+  MemGenerationEnv(PageStore* base, int data_disks);
+
+  common::Result<uint64_t> ReadCurrent() override;
+  common::Status PublishCurrent(uint64_t gen) override;
+  common::Result<std::vector<uint64_t>> ListGenerations() override;
+  common::Result<GenerationStores> OpenGeneration(uint64_t gen) override;
+  common::Result<GenerationStores> CreateGeneration(uint64_t gen,
+                                                    int data_disks) override;
+  common::Status RemoveGeneration(uint64_t gen) override;
+
+  uint64_t max_generations() const { return max_gens_; }
+  // Base-store disk indexes of generation `gen`'s run, for tests that
+  // forge or inspect bytes directly.
+  int first_disk_of(uint64_t gen) const;
+  int wal_disk_of(uint64_t gen) const;
+
+ private:
+  common::Status CheckGen(uint64_t gen) const;
+  common::Result<GenerationStores> OpenGenerationAfterCreate(uint64_t gen);
+  // Scan the pointer log: offset just past the last valid record, and
+  // that record's generation (0 if none).
+  common::Result<std::pair<uint64_t, uint64_t>> ScanPointerLog() const;
+
+  PageStore* base_;  // not owned
+  int data_disks_;
+  uint64_t max_gens_;
+};
+
+// --- File-backed env (the durable backend) ------------------------------
+
+class FileGenerationEnv : public GenerationEnv {
+ public:
+  explicit FileGenerationEnv(std::string dir) : dir_(std::move(dir)) {}
+
+  common::Result<uint64_t> ReadCurrent() override;
+  common::Status PublishCurrent(uint64_t gen) override;
+  common::Result<std::vector<uint64_t>> ListGenerations() override;
+  common::Result<GenerationStores> OpenGeneration(uint64_t gen) override;
+  common::Result<GenerationStores> CreateGeneration(uint64_t gen,
+                                                    int data_disks) override;
+  common::Status RemoveGeneration(uint64_t gen) override;
+
+  const std::string& dir() const { return dir_; }
+  // "<dir>" for the legacy generation 0, "<dir>/gen-N" otherwise.
+  std::string GenerationPath(uint64_t gen) const;
+
+ private:
+  std::string dir_;
+};
+
+// Bootstraps an env that has never held an index: saves `index` into
+// generation 1 and publishes it. (File directories usually arrive through
+// SaveIndexToDir instead, which the env reads as legacy generation 0.)
+common::Status InitializeGenerations(GenerationEnv* env,
+                                     const parallel::ParallelRStarTree& index);
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_GENERATION_H_

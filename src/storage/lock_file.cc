@@ -1,0 +1,107 @@
+#include "storage/lock_file.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sqp::storage {
+
+namespace {
+
+// This boot's id, or "" when the kernel does not expose one (non-Linux);
+// absence disables the boot-id staleness check but keeps the pid check.
+std::string ReadBootId() {
+  FILE* f = std::fopen("/proc/sys/kernel/random/boot_id", "r");
+  if (f == nullptr) return "";
+  char buf[128] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  while (n > 0 && (buf[n - 1] == '\n' || buf[n - 1] == ' ')) --n;
+  return std::string(buf, n);
+}
+
+struct Holder {
+  bool parsed = false;
+  pid_t pid = 0;
+  std::string boot_id;
+};
+
+Holder ReadHolder(const std::string& path) {
+  Holder h;
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return h;  // vanished — racing release; retry handles it
+  char buf[192] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  (void)n;
+  long long pid = 0;
+  char boot[128] = {};
+  int fields = std::sscanf(buf, "%lld %127s", &pid, boot);
+  if (fields >= 1 && pid > 0) {
+    h.parsed = true;
+    h.pid = static_cast<pid_t>(pid);
+    if (fields == 2) h.boot_id = boot;
+  }
+  return h;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<LockFile>> LockFile::Acquire(
+    const std::string& path) {
+  const std::string boot_id = ReadBootId();
+  bool broke_stale = false;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      std::string content = std::to_string(::getpid()) +
+                            (boot_id.empty() ? "" : " " + boot_id) + "\n";
+      ssize_t written = ::write(fd, content.data(), content.size());
+      if (written != static_cast<ssize_t>(content.size())) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        return common::Status::Unavailable("cannot write lock file " + path +
+                                           ": " + std::strerror(err));
+      }
+      return std::unique_ptr<LockFile>(new LockFile(path, fd, broke_stale));
+    }
+    if (errno != EEXIST) {
+      return common::Status::Unavailable("cannot create lock file " + path +
+                                         ": " + std::strerror(errno));
+    }
+
+    Holder holder = ReadHolder(path);
+    bool stale = false;
+    if (!holder.parsed) {
+      stale = true;  // garbage content: a torn write from a crashed holder
+    } else if (!boot_id.empty() && !holder.boot_id.empty() &&
+               holder.boot_id != boot_id) {
+      stale = true;  // lock predates this boot; every pid was recycled
+    } else if (::kill(holder.pid, 0) != 0 && errno == ESRCH) {
+      stale = true;  // holder process is gone
+    }
+    if (!stale) {
+      return common::Status::FailedPrecondition(
+          "index locked by pid " + std::to_string(holder.pid) + " (" + path +
+          "); only one writer may open an index directory");
+    }
+    std::fprintf(stderr, "breaking stale lock %s (held by dead pid %lld)\n",
+                 path.c_str(), static_cast<long long>(holder.pid));
+    broke_stale = true;
+    ::unlink(path.c_str());  // then race for O_EXCL again
+  }
+  return common::Status::Unavailable(
+      "lock file " + path + " kept reappearing; giving up after 3 attempts");
+}
+
+LockFile::~LockFile() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+}  // namespace sqp::storage

@@ -1,0 +1,55 @@
+// Cross-process index lock (docs/STORAGE.md).
+//
+// MutableIndex allows exactly one writer per index directory across all
+// processes on the machine. The lock is a file created with
+// O_CREAT | O_EXCL holding "pid boot_id\n"; creation succeeding IS the
+// acquisition (atomic on POSIX), and the file is unlinked on release.
+//
+// A crash leaves the file behind, so acquisition distinguishes a live
+// holder from a stale one: the lock is stale when its content does not
+// parse, when the recorded boot id differs from this boot's
+// /proc/sys/kernel/random/boot_id (the pid namespace was recycled
+// wholesale), or when kill(pid, 0) says the process is gone. Stale locks
+// are broken — logged to stderr — and acquisition retries; a live holder
+// is a typed kFailedPrecondition so callers and the CLI can present
+// "index locked by pid N" rather than a generic failure.
+
+#ifndef SQP_STORAGE_LOCK_FILE_H_
+#define SQP_STORAGE_LOCK_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace sqp::storage {
+
+class LockFile {
+ public:
+  // Acquires `path`, breaking stale locks. kFailedPrecondition when a
+  // live process holds it; Unavailable on repeated races or I/O errors.
+  static common::Result<std::unique_ptr<LockFile>> Acquire(
+      const std::string& path);
+
+  // Releases the lock (closes and unlinks).
+  ~LockFile();
+
+  LockFile(const LockFile&) = delete;
+  LockFile& operator=(const LockFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  // Whether acquisition had to break a stale lock left by a dead process.
+  bool broke_stale() const { return broke_stale_; }
+
+ private:
+  LockFile(std::string path, int fd, bool broke_stale)
+      : path_(std::move(path)), fd_(fd), broke_stale_(broke_stale) {}
+
+  std::string path_;
+  int fd_;
+  bool broke_stale_;
+};
+
+}  // namespace sqp::storage
+
+#endif  // SQP_STORAGE_LOCK_FILE_H_

@@ -1,6 +1,7 @@
 #include "storage/mutable_index.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 #include <utility>
 
@@ -54,11 +55,22 @@ void ApplyCommit(const WalCommit& commit, IndexLayout* layout) {
   layout->object_count = commit.object_count;
 }
 
+bool PolicyEnabled(const CompactionPolicy& p) {
+  return p.max_wal_bytes > 0 || p.max_wal_records > 0;
+}
+
 }  // namespace
 
 common::Result<std::unique_ptr<MutableIndex>> MutableIndex::Open(
-    PageStore* data_store, PageStore* wal_store) {
-  SQP_CHECK(data_store != nullptr && wal_store != nullptr);
+    GenerationEnv* env) {
+  SQP_CHECK(env != nullptr);
+  auto current = env->ReadCurrent();
+  if (!current.ok()) return current.status();
+  auto stores = env->OpenGeneration(*current);
+  if (!stores.ok()) return stores.status();
+  PageStore* data_store = stores->data;
+  PageStore* wal_store = stores->wal;
+
   auto scan = ScanWal(*wal_store, /*disk=*/0);
   if (!scan.ok()) return scan.status();
 
@@ -106,8 +118,12 @@ common::Result<std::unique_ptr<MutableIndex>> MutableIndex::Open(
                                      std::move(nodes), placements));
 
   auto mi = std::unique_ptr<MutableIndex>(new MutableIndex());
+  mi->env_ = env;
+  mi->gen_stores_ = std::move(*stores);
+  mi->generation_ = *current;
   mi->data_store_ = data_store;
   mi->wal_store_ = wal_store;
+  mi->facade_.SetTarget(data_store);
   mi->index_ = std::move(index);
   mi->wal_ = std::make_unique<WalWriter>(wal_store, /*disk=*/0,
                                          scan->next_lsn,
@@ -123,28 +139,37 @@ common::Result<std::unique_ptr<MutableIndex>> MutableIndex::Open(
   mi->recovery_.torn_tail_dropped = scan->torn_tail ? 1 : 0;
   mi->recovery_.wal_records =
       mi->recovery_.replayed + mi->recovery_.torn_tail_dropped;
+  mi->recovery_.generation = *current;
+
+  // Garbage-collect orphans: generations a crashed (or interrupted)
+  // checkpoint wrote aside but never published, or published-over bytes
+  // whose removal didn't complete. Best-effort — a survivor is collected
+  // by the next open.
+  auto listed = env->ListGenerations();
+  if (listed.ok()) {
+    for (uint64_t g : *listed) {
+      if (g == *current) continue;
+      if (env->RemoveGeneration(g).ok()) {
+        ++mi->recovery_.orphan_generations_removed;
+      }
+    }
+  }
   return mi;
 }
 
 common::Result<std::unique_ptr<MutableIndex>> MutableIndex::OpenFromDir(
     const std::string& dir) {
-  auto data = FilePageStore::Open(dir);
-  if (!data.ok()) return data.status();
-  const std::string wal_dir = dir + "/wal";
-  auto wal = FilePageStore::Open(wal_dir);
-  if (!wal.ok()) {
-    if (wal.status().code() != common::StatusCode::kNotFound) {
-      return wal.status();
-    }
-    wal = FilePageStore::Create(wal_dir, /*num_disks=*/1);
-    if (!wal.ok()) return wal.status();
-  }
-  auto mi = Open(data->get(), wal->get());
+  auto lock = LockFile::Acquire(dir + "/LOCK");
+  if (!lock.ok()) return lock.status();
+  auto env = std::make_unique<FileGenerationEnv>(dir);
+  auto mi = Open(env.get());
   if (!mi.ok()) return mi.status();
-  (*mi)->owned_data_ = std::move(*data);
-  (*mi)->owned_wal_ = std::move(*wal);
+  (*mi)->owned_env_ = std::move(env);
+  (*mi)->lock_ = std::move(*lock);
   return mi;
 }
+
+MutableIndex::~MutableIndex() { StopCompaction(); }
 
 common::Status MutableIndex::Insert(const geometry::Point& p,
                                     rstar::ObjectId id) {
@@ -158,23 +183,35 @@ common::Status MutableIndex::Delete(const geometry::Point& p,
 
 common::Status MutableIndex::Mutate(const geometry::Point& p,
                                     rstar::ObjectId id, bool insert) {
-  std::unique_lock<std::shared_mutex> lock(rw_mu_);
-  if (failed_) {
-    return common::Status::FailedPrecondition(
-        "index poisoned by an earlier commit failure; reopen to recover");
+  bool kick = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(rw_mu_);
+    if (failed_) {
+      return common::Status::FailedPrecondition(
+          "index poisoned by an earlier commit failure; reopen to recover");
+    }
+    TouchedSetRecorder recorder;
+    rstar::RStarTree& tree = index_->tree();
+    tree.SetMutationRecorder(&recorder);
+    common::Status op_status;
+    if (insert) {
+      tree.Insert(p, id);
+    } else {
+      op_status = tree.Delete(p, id);
+    }
+    tree.SetMutationRecorder(nullptr);
+    if (!op_status.ok()) return op_status;  // e.g. NotFound: tree untouched
+    SQP_RETURN_IF_ERROR(CommitLocked(recorder.Sorted()));
+    kick = true;
   }
-  TouchedSetRecorder recorder;
-  rstar::RStarTree& tree = index_->tree();
-  tree.SetMutationRecorder(&recorder);
-  common::Status op_status;
-  if (insert) {
-    tree.Insert(p, id);
-  } else {
-    op_status = tree.Delete(p, id);
+  if (kick) {
+    std::lock_guard<std::mutex> lk(compact_mu_);
+    if (compact_thread_.joinable()) {
+      compact_kick_ = true;
+      compact_cv_.notify_one();
+    }
   }
-  tree.SetMutationRecorder(nullptr);
-  if (!op_status.ok()) return op_status;  // e.g. NotFound: tree untouched
-  return CommitLocked(recorder.Sorted());
+  return common::Status::OK();
 }
 
 common::Status MutableIndex::CommitLocked(
@@ -247,6 +284,7 @@ common::Status MutableIndex::CommitLocked(
   if (commit.deltas.empty()) return common::Status::OK();
 
   ++commits_;
+  ++commits_since_checkpoint_;
   cow_pages_ += pages_written;
   if (m_wal_records_ != nullptr) {
     m_wal_records_->Increment();
@@ -263,25 +301,78 @@ common::Status MutableIndex::CommitLocked(
 
 common::Status MutableIndex::Checkpoint() {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  return CheckpointLocked(lock);
+}
+
+common::Status MutableIndex::CheckpointLocked(
+    std::unique_lock<std::shared_mutex>& lock) {
+  SQP_DCHECK(lock.owns_lock());
+  (void)lock;
   if (failed_) {
     return common::Status::FailedPrecondition(
         "index poisoned by an earlier commit failure; reopen to recover");
   }
   // New traversals cannot start (we hold the writer lock); wait out the
-  // ones already running off the current snapshot, since rewriting the
-  // base image reclaims the bytes under every old page location.
+  // ones already running off the current snapshot — after the flip the
+  // facade points at the new generation and the old one's bytes go away.
   gate_.Advance();
   gate_.WaitForDrain();
 
-  common::Status s = SaveIndex(*index_, data_store_);
-  if (s.ok()) s = wal_->Reset();
-  common::Result<IndexLayout> relayout = s.ok()
-                                             ? ReadIndexLayout(*data_store_)
-                                             : common::Result<IndexLayout>(s);
+  const uint64_t old_gen = generation_;
+  const uint64_t next_gen = generation_ + 1;
+  const uint64_t wal_bytes_before = wal_->tail_offset();
+
+  // Write-aside: fold the live tree into a brand-new generation. Nothing
+  // here touches the current generation, so any failure up to the flip
+  // is a clean abort — drop the half-written generation and keep going.
+  auto fresh = env_->CreateGeneration(next_gen, index_->num_disks());
+  if (!fresh.ok()) {
+    (void)env_->RemoveGeneration(next_gen);
+    return fresh.status();
+  }
+  common::Status s = SaveIndex(*index_, fresh->data);
+  if (!s.ok()) {
+    fresh->owned.clear();
+    (void)env_->RemoveGeneration(next_gen);
+    return s;
+  }
+
+  // The flip. On error the pointer may or may not have landed (a sync
+  // can fail after the bytes reached media) — re-read it to find out.
+  s = env_->PublishCurrent(next_gen);
+  if (!s.ok()) {
+    auto cur = env_->ReadCurrent();
+    if (!cur.ok()) {
+      // Cannot even tell which generation is current: the index's view
+      // may diverge from disk, so stop serving.
+      failed_ = true;
+      return cur.status();
+    }
+    if (*cur != next_gen) {
+      fresh->owned.clear();
+      (void)env_->RemoveGeneration(next_gen);
+      return s;  // clean abort: still on the old generation, un-poisoned
+    }
+    // The flip landed despite the error; proceed as a success.
+  }
+
+  // Committed. Everything from here must leave the index consistent with
+  // the new generation or poison it.
+  auto relayout = ReadIndexLayout(*fresh->data);
   if (!relayout.ok()) {
     failed_ = true;
     return relayout.status();
   }
+  GenerationStores old_stores = std::move(gen_stores_);
+  gen_stores_ = std::move(*fresh);
+  data_store_ = gen_stores_.data;
+  wal_store_ = gen_stores_.wal;
+  facade_.SetTarget(data_store_);
+  // The new generation carries its own, empty log — the flip atomically
+  // discarded every folded record with the old generation.
+  wal_ = std::make_unique<WalWriter>(wal_store_, /*disk=*/0, /*next_lsn=*/1,
+                                     /*tail_offset=*/0);
+  tails_.assign(static_cast<size_t>(data_store_->num_disks()), 0);
   for (int d = 0; d < data_store_->num_disks(); ++d) {
     auto size = data_store_->SizeOf(d);
     if (!size.ok()) {
@@ -291,10 +382,105 @@ common::Status MutableIndex::Checkpoint() {
     tails_[static_cast<size_t>(d)] = *size;
   }
   layout_ = std::make_shared<const IndexLayout>(std::move(*relayout));
+  generation_ = next_gen;
+  wal_bytes_reclaimed_ += wal_bytes_before;
+  commits_since_checkpoint_ = 0;
+  last_checkpoint_ = std::chrono::steady_clock::now();
   ++checkpoints_;
   if (m_checkpoints_ != nullptr) m_checkpoints_->Increment();
+
+  // Reclaim the old generation. Failure just leaves an orphan for the
+  // next open's garbage collection — never poisons.
+  old_stores.owned.clear();  // close descriptors before removing files
+  (void)env_->RemoveGeneration(old_gen);
+
   if (commit_cb_) commit_cb_({}, /*full_invalidate=*/true);
   return common::Status::OK();
+}
+
+void MutableIndex::StartCompaction(const CompactionPolicy& policy) {
+  if (!PolicyEnabled(policy)) {
+    StopCompaction();
+    return;
+  }
+  std::unique_lock<std::mutex> lk(compact_mu_);
+  compact_policy_ = policy;
+  if (!compact_thread_.joinable()) {
+    compact_stop_ = false;
+    compact_kick_ = false;
+    compact_thread_ = std::thread([this] { CompactionLoop(); });
+  } else {
+    compact_kick_ = true;
+    compact_cv_.notify_one();
+  }
+}
+
+void MutableIndex::StopCompaction() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lk(compact_mu_);
+    if (!compact_thread_.joinable()) return;
+    compact_stop_ = true;
+    compact_cv_.notify_one();
+    t = std::move(compact_thread_);
+  }
+  t.join();
+  std::lock_guard<std::mutex> lk(compact_mu_);
+  compact_stop_ = false;
+}
+
+void MutableIndex::CompactionLoop() {
+  std::unique_lock<std::mutex> lk(compact_mu_);
+  while (!compact_stop_) {
+    // The periodic tick re-evaluates min_interval deferrals; commits set
+    // the kick so a bursty writer is checked without waiting a full tick.
+    compact_cv_.wait_for(lk, std::chrono::milliseconds(200),
+                         [this] { return compact_stop_ || compact_kick_; });
+    if (compact_stop_) break;
+    compact_kick_ = false;
+    CompactionPolicy policy = compact_policy_;
+    lk.unlock();
+    {
+      bool due = false;
+      {
+        std::shared_lock<std::shared_mutex> rl(rw_mu_);
+        if (!failed_) {
+          const uint64_t bytes = wal_->tail_offset();
+          const uint64_t records = commits_since_checkpoint_;
+          due = (policy.max_wal_bytes > 0 && bytes > policy.max_wal_bytes) ||
+                (policy.max_wal_records > 0 &&
+                 records >= policy.max_wal_records);
+          if (due && policy.min_interval_s > 0) {
+            const auto since =
+                std::chrono::steady_clock::now() - last_checkpoint_;
+            due = std::chrono::duration<double>(since).count() >=
+                  policy.min_interval_s;
+          }
+        }
+      }
+      if (due) {
+        std::unique_lock<std::shared_mutex> wl(rw_mu_);
+        // Re-check under the writer lock: an explicit checkpoint (or a
+        // poisoning failure) may have raced the evaluation above.
+        const bool still_due =
+            !failed_ &&
+            ((policy.max_wal_bytes > 0 &&
+              wal_->tail_offset() > policy.max_wal_bytes) ||
+             (policy.max_wal_records > 0 &&
+              commits_since_checkpoint_ >= policy.max_wal_records));
+        if (still_due) {
+          common::Status s = CheckpointLocked(wl);
+          if (s.ok()) {
+            ++auto_checkpoints_;
+          } else {
+            std::fprintf(stderr, "background compaction failed: %s\n",
+                         s.ToString().c_str());
+          }
+        }
+      }
+    }
+    lk.lock();
+  }
 }
 
 MutationStats MutableIndex::mutation_stats() const {
@@ -303,6 +489,10 @@ MutationStats MutableIndex::mutation_stats() const {
   out.commits = commits_;
   out.cow_pages = cow_pages_;
   out.checkpoints = checkpoints_;
+  out.auto_checkpoints = auto_checkpoints_;
+  out.generation = generation_;
+  out.wal_bytes = wal_ != nullptr ? wal_->tail_offset() : 0;
+  out.wal_bytes_reclaimed = wal_bytes_reclaimed_;
   return out;
 }
 

@@ -1,8 +1,9 @@
 // Durable mutation of a stored index: write-ahead log + copy-on-write
-// pages (docs/STORAGE.md).
+// pages + crash-atomic generation checkpoints (docs/STORAGE.md).
 //
-// A MutableIndex wraps a saved index image (index_io.h) plus a one-disk
-// write-ahead log and makes Insert/Delete crash-atomic:
+// A MutableIndex opens the CURRENT generation of a GenerationEnv — one
+// saved index image (index_io.h) plus that generation's one-disk
+// write-ahead log — and makes Insert/Delete crash-atomic:
 //
 //   1. The in-memory R*-tree applies the operation while a
 //      rstar::MutationRecorder collects every page it touched.
@@ -20,9 +21,28 @@
 //      against the old snapshot keep reading the old locations, whose
 //      bytes step 2 never disturbed.
 //
-// Checkpoint() folds the log into a fresh base image (SaveIndex) and
-// truncates the WAL; since rewriting the disks reclaims every old byte,
-// it first drains in-flight readers through the EpochGate.
+// Checkpoint() folds the log crash-atomically: it saves the live tree
+// into a NEW generation (write-aside — the current generation's bytes
+// are never touched), syncs it, then flips the env's CURRENT pointer.
+// The flip is the commit point: a crash anywhere before it recovers to
+// the old generation with its full WAL intact; a crash after it recovers
+// to the folded image with an empty WAL (each generation carries its own
+// log, so the flip atomically discards the folded records). The
+// generation left behind either way is an orphan the next Open()
+// garbage-collects. Readers are drained through the EpochGate first and
+// the engine-facing data_store() is a SwitchablePageStore retargeted to
+// the new generation under the writer lock.
+//
+// Background compaction: StartCompaction(policy) spawns a thread that
+// calls Checkpoint() whenever the WAL outgrows the policy's byte/record
+// thresholds (respecting min_interval). Off by default — explicit
+// Checkpoint() calls remain valid and count separately from automatic
+// ones in MutationStats.
+//
+// Cross-process exclusion: OpenFromDir takes a `LOCK` file in the index
+// directory (lock_file.h) — a second opener, same process or not, gets
+// kFailedPrecondition while the first holds it; stale locks from dead
+// processes are broken automatically.
 //
 // Concurrency contract: one writer at a time (Insert/Delete/Checkpoint
 // serialize on the writer lock). Readers snapshot under the shared lock:
@@ -39,16 +59,22 @@
 // If a commit-path write fails midway the in-memory tree is ahead of the
 // durable state; the index poisons itself (failed()) and every later
 // mutation or snapshot refuses, exactly as if the machine had died — the
-// on-disk state recovers to the last durable commit.
+// on-disk state recovers to the last durable commit. A checkpoint that
+// fails BEFORE the pointer flip does NOT poison: the current generation
+// was never touched, so the index simply keeps running on it.
 
 #ifndef SQP_STORAGE_MUTABLE_INDEX_H_
 #define SQP_STORAGE_MUTABLE_INDEX_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -56,53 +82,73 @@
 #include "obs/metrics.h"
 #include "parallel/parallel_tree.h"
 #include "storage/epoch_gate.h"
+#include "storage/generation.h"
 #include "storage/index_io.h"
+#include "storage/lock_file.h"
 #include "storage/page_store.h"
 #include "storage/wal.h"
 
 namespace sqp::storage {
 
-// What Open() found in the log (also mirrored into the metrics registry
-// by EnableMetrics, where the conservation identity
+// What Open() found (also mirrored into the metrics registry by
+// EnableMetrics, where the conservation identity
 //   sqp_wal_records_total == applied + replayed + torn_tail_dropped
 // must hold on every scrape).
 struct RecoveryStats {
   uint64_t wal_records = 0;        // valid records scanned
   uint64_t replayed = 0;           // records replayed onto the base layout
   uint64_t torn_tail_dropped = 0;  // 0 or 1: a crashed append's remnant
+  uint64_t generation = 0;         // the generation CURRENT named
+  uint64_t orphan_generations_removed = 0;  // crashed-checkpoint leftovers
 };
 
 // Runtime mutation totals since Open().
 struct MutationStats {
-  uint64_t commits = 0;       // WAL records appended (== applied ops)
-  uint64_t cow_pages = 0;     // node records written copy-on-write
-  uint64_t checkpoints = 0;   // log foldings into a fresh base image
+  uint64_t commits = 0;        // WAL records appended (== applied ops)
+  uint64_t cow_pages = 0;      // node records written copy-on-write
+  uint64_t checkpoints = 0;    // generation folds, explicit + automatic
+  uint64_t auto_checkpoints = 0;  // of those, triggered by the policy
+  uint64_t generation = 0;        // current generation number
+  uint64_t wal_bytes = 0;         // bytes in the live generation's WAL
+  uint64_t wal_bytes_reclaimed = 0;  // WAL bytes folded away, cumulative
+};
+
+// When the background thread folds the log. A zero threshold disables
+// that trigger; all-zero (the default) disables compaction entirely.
+struct CompactionPolicy {
+  uint64_t max_wal_bytes = 0;    // fold when the WAL exceeds this size
+  uint64_t max_wal_records = 0;  // ... or holds this many commit records
+  double min_interval_s = 0;     // but never fold more often than this
 };
 
 class MutableIndex {
  public:
   // After every commit: `superseded` holds the PageLocationKeys whose
   // bytes are no longer reachable from the NEW snapshot (older query
-  // snapshots may still read them); `full_invalidate` marks a checkpoint,
-  // after which no pre-checkpoint location is valid at all. Invoked with
-  // the writer lock held — must not call back into the index.
+  // snapshots may still read them); `full_invalidate` marks a checkpoint
+  // (generation flip), after which no pre-checkpoint location is valid at
+  // all. Invoked with the writer lock held — must not call back into the
+  // index.
   using CommitCallback =
       std::function<void(const std::vector<uint64_t>& superseded,
                          bool full_invalidate)>;
 
-  // Opens the image in `data_store` (written by SaveIndex) and recovers
-  // from the log on disk 0 of `wal_store`: valid records are replayed
-  // onto the base layout, a torn tail is dropped, and the in-memory tree
-  // is rebuilt from the recovered page map with every node re-read and
-  // checksum-verified. An empty WAL disk is a clean start. Both stores
-  // must outlive the index.
+  // Opens the generation named by the env's CURRENT pointer and recovers
+  // from that generation's log: valid records are replayed onto the base
+  // layout, a torn tail is dropped, and the in-memory tree is rebuilt
+  // from the recovered page map with every node re-read and
+  // checksum-verified. Orphan generations (leftovers of a crashed
+  // checkpoint) are garbage-collected. The env must outlive the index.
   static common::Result<std::unique_ptr<MutableIndex>> Open(
-      PageStore* data_store, PageStore* wal_store);
+      GenerationEnv* env);
 
-  // Convenience: FilePageStore image under `dir`, one-disk WAL under
-  // `dir`/wal (created when absent). The stores are owned by the index.
+  // Convenience: FileGenerationEnv over `dir`, guarded by `dir`/LOCK.
+  // kFailedPrecondition when another live process (or this one) already
+  // holds the directory open for writing.
   static common::Result<std::unique_ptr<MutableIndex>> OpenFromDir(
       const std::string& dir);
+
+  ~MutableIndex();
 
   MutableIndex(const MutableIndex&) = delete;
   MutableIndex& operator=(const MutableIndex&) = delete;
@@ -114,10 +160,17 @@ class MutableIndex {
   // Durable delete of (p, id). NotFound leaves index and log untouched.
   common::Status Delete(const geometry::Point& p, rstar::ObjectId id);
 
-  // Drains readers, rewrites the base image from the live tree, truncates
-  // the WAL and republishes the layout. Reclaims all orphaned page
-  // versions; afterwards the WAL is empty.
+  // Drains readers, folds the log into a fresh generation and flips
+  // CURRENT (see file comment). On success the WAL is empty and the old
+  // generation's bytes are reclaimed; on failure before the flip the
+  // index keeps running on the old generation un-poisoned.
   common::Status Checkpoint();
+
+  // Starts (or reconfigures) the background compaction thread. No-op
+  // policy (all thresholds zero) stops it.
+  void StartCompaction(const CompactionPolicy& policy);
+  // Stops the background thread; joins it. Safe when never started.
+  void StopCompaction();
 
   // --- Reader protocol (see file comment) --------------------------------
 
@@ -130,7 +183,9 @@ class MutableIndex {
   bool failed() const { return failed_; }
 
   const parallel::ParallelRStarTree& index() const { return *index_; }
-  PageStore* data_store() const { return data_store_; }
+  // Stable across generation flips: a SwitchablePageStore the checkpoint
+  // retargets under the writer lock. Engines capture this pointer once.
+  PageStore* data_store() const { return &facade_; }
   int num_disks() const { return index_->num_disks(); }
 
   // Installs (or, with null, removes) the commit callback. Serializes
@@ -157,11 +212,19 @@ class MutableIndex {
   common::Status Mutate(const geometry::Point& p, rstar::ObjectId id,
                         bool insert);
   common::Status CommitLocked(const std::vector<rstar::PageId>& touched);
+  common::Status CheckpointLocked(std::unique_lock<std::shared_mutex>& lock);
+  void CompactionLoop();
+  // One policy evaluation; checkpoints when a threshold is exceeded.
+  void MaybeCompact();
 
-  PageStore* data_store_ = nullptr;  // not owned (see owned_*)
+  GenerationEnv* env_ = nullptr;  // not owned (see owned_env_)
+  std::unique_ptr<GenerationEnv> owned_env_;
+  std::unique_ptr<LockFile> lock_;
+  GenerationStores gen_stores_;
+  uint64_t generation_ = 0;
+  PageStore* data_store_ = nullptr;  // current generation's stores
   PageStore* wal_store_ = nullptr;
-  std::unique_ptr<PageStore> owned_data_;
-  std::unique_ptr<PageStore> owned_wal_;
+  mutable SwitchablePageStore facade_;  // what data_store() hands out
 
   std::unique_ptr<parallel::ParallelRStarTree> index_;
   std::unique_ptr<WalWriter> wal_;
@@ -177,6 +240,21 @@ class MutableIndex {
   uint64_t commits_ = 0;
   uint64_t cow_pages_ = 0;
   uint64_t checkpoints_ = 0;
+  uint64_t auto_checkpoints_ = 0;
+  uint64_t wal_bytes_reclaimed_ = 0;
+  uint64_t commits_since_checkpoint_ = 0;
+  // Epoch start, not now(): the first policy-triggered fold must not be
+  // suppressed by min_interval when the index has never checkpointed.
+  std::chrono::steady_clock::time_point last_checkpoint_{};
+
+  // Background compaction. compact_mu_ orders only the thread's own
+  // state (policy, stop/kick flags); the fold itself takes rw_mu_.
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  std::thread compact_thread_;
+  CompactionPolicy compact_policy_;
+  bool compact_stop_ = false;
+  bool compact_kick_ = false;
 
   obs::Counter* m_wal_records_ = nullptr;
   obs::Counter* m_applied_ = nullptr;

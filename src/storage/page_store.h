@@ -15,6 +15,7 @@
 #ifndef SQP_STORAGE_PAGE_STORE_H_
 #define SQP_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -161,6 +162,47 @@ class PageStoreSlice : public PageStore {
   PageStore* base_;  // not owned
   int first_disk_;
   int num_disks_;
+};
+
+// Retargetable facade over another store. MutableIndex hands one of
+// these out as its data_store(): the engine's StoredIndexReader captures
+// the pointer once at CreateMutable, and a crash-atomic checkpoint flips
+// the target from the old generation's store to the new one's. The swap
+// happens only under the writer lock with the epoch gate drained — no
+// read is in flight — so plain acquire/release on the target pointer is
+// enough; readers that start after the flip (and after the commit
+// callback invalidated their cache) see the new generation's bytes.
+class SwitchablePageStore : public PageStore {
+ public:
+  SwitchablePageStore() = default;
+  explicit SwitchablePageStore(PageStore* target) : target_(target) {}
+
+  void SetTarget(PageStore* target) {
+    target_.store(target, std::memory_order_release);
+  }
+  PageStore* target() const { return target_.load(std::memory_order_acquire); }
+
+  int num_disks() const override { return target()->num_disks(); }
+  common::Result<uint64_t> SizeOf(int disk) const override {
+    return target()->SizeOf(disk);
+  }
+  common::Status ReadAt(int disk, uint64_t offset, void* buf,
+                        size_t len) const override {
+    return target()->ReadAt(disk, offset, buf, len);
+  }
+  common::Status ReadPages(
+      std::span<const ReadRequest> requests) const override {
+    return target()->ReadPages(requests);
+  }
+  common::Status WriteAt(int disk, uint64_t offset, const void* buf,
+                         size_t len) override {
+    return target()->WriteAt(disk, offset, buf, len);
+  }
+  common::Status Truncate(int disk) override { return target()->Truncate(disk); }
+  common::Status Sync() override { return target()->Sync(); }
+
+ private:
+  std::atomic<PageStore*> target_{nullptr};  // not owned
 };
 
 // Decorator that charges a fixed service time per media access of the

@@ -1,0 +1,247 @@
+// Generation environments (storage/generation.h): CURRENT pointer
+// publish/read round trips, torn-pointer fallback in the mem env, legacy
+// layout detection and the missing-generation refusal in the file env,
+// and orphan garbage collection through MutableIndex::Open.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/generation.h"
+#include "storage/index_io.h"
+#include "storage/mutable_index.h"
+#include "storage/page_store.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using storage::FileGenerationEnv;
+using storage::MemGenerationEnv;
+using storage::MemPageStore;
+using storage::MutableIndex;
+
+std::unique_ptr<parallel::ParallelRStarTree> SmallIndex(uint64_t seed,
+                                                        int disks) {
+  const workload::Dataset data = workload::MakeClustered(60, 2, 4, 0.1, seed);
+  rstar::TreeConfig tree_config;
+  tree_config.dim = 2;
+  tree_config.max_entries_override = 10;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = disks;
+  dc.policy = parallel::DeclusterPolicy::kProximityIndex;
+  dc.mirrored = false;
+  dc.seed = seed;
+  return workload::BuildParallelIndex(data, tree_config, dc);
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// --- MemGenerationEnv -----------------------------------------------------
+
+TEST(GenerationTest, MemEnvPublishReadRoundTrip) {
+  MemPageStore base(1 + 3 * 4);  // pointer log + 3 generations of 3+1
+  MemGenerationEnv env(&base, /*data_disks=*/3);
+  EXPECT_EQ(env.max_generations(), 3u);
+
+  auto none = env.ReadCurrent();
+  EXPECT_EQ(none.status().code(), common::StatusCode::kNotFound);
+
+  ASSERT_TRUE(env.PublishCurrent(1).ok());
+  auto one = env.ReadCurrent();
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+  // Re-publishing appends; the last valid record wins.
+  ASSERT_TRUE(env.PublishCurrent(2).ok());
+  ASSERT_TRUE(env.PublishCurrent(3).ok());
+  auto three = env.ReadCurrent();
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ(*three, 3u);
+  // Out-of-capacity generations are refused outright.
+  EXPECT_FALSE(env.PublishCurrent(4).ok());
+  EXPECT_FALSE(env.PublishCurrent(0).ok());
+}
+
+TEST(GenerationTest, MemEnvTornPointerFallsBackToPrevious) {
+  MemPageStore base(1 + 2 * 4);
+  MemGenerationEnv env(&base, /*data_disks=*/3);
+  ASSERT_TRUE(env.PublishCurrent(1).ok());
+
+  // Model a torn flip: first a short fragment of a record appended past
+  // the valid one (the write died mid-way) — too short to even frame.
+  auto size = base.SizeOf(0);
+  ASSERT_TRUE(size.ok());
+  const uint8_t partial[6] = {0x53, 0x51, 0x50, 0x43, 0x99, 0x99};
+  ASSERT_TRUE(base.WriteAt(0, *size, partial, sizeof(partial)).ok());
+  auto current = env.ReadCurrent();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 1u);
+
+  // Then a full-length record whose checksum is garbage (torn in the
+  // middle): the CRC gate must reject it and the previous pointer keeps
+  // winning — exactly the semantics of a crashed rename.
+  uint8_t bad[storage::kCurrentRecordBytes] = {0x53, 0x51, 0x50, 0x43,
+                                               0xEF, 0xBE, 0xAD, 0xDE,
+                                               0x02, 0,    0,    0,
+                                               0,    0,    0,    0};
+  ASSERT_TRUE(base.WriteAt(0, *size, bad, sizeof(bad)).ok());
+  current = env.ReadCurrent();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 1u);
+
+  // A later publish overwrites the remnant in place (records are fixed
+  // size) and the new pointer becomes visible.
+  ASSERT_TRUE(env.PublishCurrent(2).ok());
+  current = env.ReadCurrent();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 2u);
+}
+
+TEST(GenerationTest, MemEnvListAndRemove) {
+  auto index = SmallIndex(7, 3);
+  MemPageStore base(1 + 3 * 4);
+  MemGenerationEnv env(&base, 3);
+  ASSERT_TRUE(storage::InitializeGenerations(&env, *index).ok());
+
+  auto listed = env.ListGenerations();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, std::vector<uint64_t>{1});
+
+  // A created-but-unpublished generation is listed (it holds bytes)...
+  auto fresh = env.CreateGeneration(2, 3);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(storage::SaveIndex(*index, fresh->data).ok());
+  listed = env.ListGenerations();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<uint64_t>{1, 2}));
+  // ...and removal reclaims it without disturbing CURRENT.
+  ASSERT_TRUE(env.RemoveGeneration(2).ok());
+  listed = env.ListGenerations();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, std::vector<uint64_t>{1});
+  auto current = env.ReadCurrent();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 1u);
+}
+
+// --- FileGenerationEnv ----------------------------------------------------
+
+TEST(GenerationTest, FileEnvPublishWritesCurrentAtomically) {
+  const std::string dir = FreshDir("sqp_gen_file_publish");
+  auto index = SmallIndex(8, 3);
+  FileGenerationEnv env(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(storage::InitializeGenerations(&env, *index).ok());
+
+  // CURRENT is a plain one-line text file naming the generation.
+  std::ifstream in(dir + "/CURRENT");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "gen-1");
+  EXPECT_FALSE(std::filesystem::exists(dir + "/CURRENT.tmp"));
+  auto current = env.ReadCurrent();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 1u);
+  auto stores = env.OpenGeneration(1);
+  ASSERT_TRUE(stores.ok()) << stores.status();
+  EXPECT_EQ(stores->data->num_disks(), 3);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GenerationTest, FileEnvReadsLegacyLayoutAsGenerationZero) {
+  const std::string dir = FreshDir("sqp_gen_file_legacy");
+  auto index = SmallIndex(9, 3);
+  // A pre-generation directory: disk files at the root, no CURRENT.
+  ASSERT_TRUE(storage::SaveIndexToDir(*index, dir).ok());
+
+  FileGenerationEnv env(dir);
+  auto current = env.ReadCurrent();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 0u);
+  auto stores = env.OpenGeneration(0);
+  ASSERT_TRUE(stores.ok()) << stores.status();
+
+  // The first checkpoint migrates it: open mutably, fold, and the image
+  // moves into gen-1 with CURRENT published and the root files gone.
+  stores->owned.clear();
+  auto mi = MutableIndex::OpenFromDir(dir);
+  ASSERT_TRUE(mi.ok()) << mi.status();
+  EXPECT_EQ((*mi)->recovery_stats().generation, 0u);
+  ASSERT_TRUE((*mi)->Checkpoint().ok());
+  EXPECT_EQ((*mi)->mutation_stats().generation, 1u);
+  mi->reset();
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(dir) / storage::FilePageStore::DiskFileName(0)));
+  auto migrated = env.ReadCurrent();
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_EQ(*migrated, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GenerationTest, FileEnvRefusesMissingGeneration) {
+  const std::string dir = FreshDir("sqp_gen_file_missing");
+  auto index = SmallIndex(10, 3);
+  std::filesystem::create_directories(dir);
+  FileGenerationEnv env(dir);
+  ASSERT_TRUE(storage::InitializeGenerations(&env, *index).ok());
+
+  // Sabotage: CURRENT survives but its generation directory does not
+  // (a partial copy of the index directory, say).
+  std::filesystem::rename(dir + "/gen-1", dir + "/gen-1.hidden");
+  auto stores = env.OpenGeneration(1);
+  ASSERT_FALSE(stores.ok());
+  EXPECT_EQ(stores.status().code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_NE(stores.status().message().find("CURRENT names generation"),
+            std::string::npos)
+      << stores.status();
+  // The same refusal surfaces through the full mutable open.
+  auto mi = MutableIndex::OpenFromDir(dir);
+  ASSERT_FALSE(mi.ok());
+  EXPECT_EQ(mi.status().code(), common::StatusCode::kFailedPrecondition);
+  // Restoring the directory restores the index — nothing was "repaired".
+  std::filesystem::rename(dir + "/gen-1.hidden", dir + "/gen-1");
+  auto healed = MutableIndex::OpenFromDir(dir);
+  EXPECT_TRUE(healed.ok()) << healed.status();
+  healed->reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GenerationTest, OpenCollectsOrphanGenerations) {
+  const std::string dir = FreshDir("sqp_gen_file_orphans");
+  auto index = SmallIndex(11, 3);
+  std::filesystem::create_directories(dir);
+  FileGenerationEnv env(dir);
+  ASSERT_TRUE(storage::InitializeGenerations(&env, *index).ok());
+
+  // Fake a crashed checkpoint: a written-aside generation that was never
+  // published (no flip), plus a stray half-written one.
+  auto aside = env.CreateGeneration(2, 3);
+  ASSERT_TRUE(aside.ok());
+  ASSERT_TRUE(storage::SaveIndex(*index, aside->data).ok());
+  aside->owned.clear();
+  std::filesystem::create_directories(dir + "/gen-7");
+
+  auto mi = MutableIndex::OpenFromDir(dir);
+  ASSERT_TRUE(mi.ok()) << mi.status();
+  EXPECT_EQ((*mi)->recovery_stats().generation, 1u);
+  EXPECT_GE((*mi)->recovery_stats().orphan_generations_removed, 2u);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/gen-2"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/gen-7"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/gen-1"));
+  mi->reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sqp

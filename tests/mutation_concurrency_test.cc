@@ -5,9 +5,12 @@
 // record verification), no reclaimed-byte read (the epoch gate drains
 // readers before a checkpoint rewrites the disks) — and honour the
 // exact-k contract: k neighbors, ascending distance, drawn from a
-// consistent snapshot.
+// consistent snapshot. Two variants: explicit writer-thread checkpoints,
+// and size-triggered BACKGROUND compaction folding the log on its own
+// thread while both the writer and the readers keep running.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -32,10 +35,12 @@ using core::AlgorithmKind;
 using geometry::Point;
 using storage::MutableIndex;
 
-TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
+// The race body. With `background_compaction` the generation flips come
+// from the policy thread (size-triggered) instead of the writer, so the
+// fold races BOTH the writer's commits and the readers' queries.
+void RunReaderRace(bool background_compaction, const std::string& dir_name) {
   const std::string dir =
-      (std::filesystem::temp_directory_path() / "sqp_mut_conc_test")
-          .string();
+      (std::filesystem::temp_directory_path() / dir_name).string();
   std::filesystem::remove_all(dir);
 
   // File-backed stores: pread/pwrite give byte-stable concurrent access,
@@ -63,6 +68,14 @@ TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
   options.cache_shards = 4;
   auto engine = exec::ParallelQueryEngine::CreateMutable(mi->get(), options);
   ASSERT_TRUE(engine.ok()) << engine.status();
+
+  if (background_compaction) {
+    // Low byte threshold: the writer's 240 commits overflow it many times
+    // over, so several folds land while queries are in flight.
+    storage::CompactionPolicy policy;
+    policy.max_wal_bytes = 4096;
+    (*mi)->StartCompaction(policy);
+  }
 
   // The writer only deletes ids it inserted itself, so the live count
   // never drops below the 400 base objects — with k = 25 every query
@@ -95,7 +108,7 @@ TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
         s = (*mi)->Delete(mine[victim].second, mine[victim].first);
         if (s.ok()) mine.erase(mine.begin() + static_cast<long>(victim));
       }
-      if (s.ok() && i > 0 && i % 80 == 0) {
+      if (!background_compaction && s.ok() && i > 0 && i % 80 == 0) {
         // Checkpoint mid-traffic: drains the epoch gate, rewrites every
         // byte readers' old locations named, and invalidates the cache.
         s = (*mi)->Checkpoint();
@@ -139,6 +152,19 @@ TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
   for (std::thread& t : readers) t.join();
   EXPECT_GT(queries_ok.load(), 0u);
 
+  if (background_compaction) {
+    // The fold is asynchronous; wait for at least one before stopping.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((*mi)->mutation_stats().auto_checkpoints == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    (*mi)->StopCompaction();
+    EXPECT_GE((*mi)->mutation_stats().auto_checkpoints, 1u)
+        << "background compaction never folded";
+  }
+
   // Everything the writer committed survives a cold reopen.
   const uint64_t final_size = (*mi)->index().tree().size();
   engine->reset();
@@ -147,6 +173,14 @@ TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_EQ((*reopened)->index().tree().size(), final_size);
   std::filesystem::remove_all(dir);
+}
+
+TEST(MutationConcurrencyTest, ReadersNeverObserveTornState) {
+  RunReaderRace(/*background_compaction=*/false, "sqp_mut_conc_test");
+}
+
+TEST(CompactionConcurrencyTest, BackgroundFoldsRaceReadersAndWriter) {
+  RunReaderRace(/*background_compaction=*/true, "sqp_compact_conc_test");
 }
 
 }  // namespace

@@ -4,12 +4,20 @@
 // bit-identical — same objects, same squared distances — to a freshly
 // rebuilt index over the same live set. This pins down the whole durable
 // write path (copy-on-write pages, WAL commits, snapshot publication,
-// cache invalidation, checkpointing) to "indistinguishable from rebuild".
+// cache invalidation, generation checkpointing) to "indistinguishable
+// from rebuild". Two variants share the sweep body: explicit mid-sweep
+// checkpoints over an in-memory generation env, and size-triggered
+// BACKGROUND compaction over a real file-backed directory — the folds
+// then race the queries (run under TSan in CI), and the answers must
+// still be bit-exact.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -21,6 +29,7 @@
 #include "exec/parallel_engine.h"
 #include "geometry/point.h"
 #include "parallel/parallel_tree.h"
+#include "storage/generation.h"
 #include "storage/index_io.h"
 #include "storage/mutable_index.h"
 #include "storage/page_store.h"
@@ -34,12 +43,15 @@ namespace {
 using core::AlgorithmKind;
 using geometry::Point;
 using parallel::DeclusterPolicy;
+using storage::MemGenerationEnv;
 using storage::MemPageStore;
 using storage::MutableIndex;
 
 constexpr AlgorithmKind kAllAlgorithms[] = {
     AlgorithmKind::kBbss, AlgorithmKind::kFpss, AlgorithmKind::kCrss,
     AlgorithmKind::kWoptss};
+
+constexpr int kMaxGens = 4;  // boot + at most one fold + headroom
 
 // Rebuilds a fresh index over `live` (same ids, same points, same
 // declustering config) and returns its exact k-NN answer. The k-NN result
@@ -58,7 +70,11 @@ std::vector<core::Neighbor> RebuiltAnswer(
   return algo->result().Sorted();
 }
 
-TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
+// The 20-seed sweep body. With `background_compaction` the index lives in
+// a real file-backed generation directory and a size-triggered background
+// thread folds the log while queries run; otherwise it lives in a mem
+// generation env and checkpoints explicitly mid-sweep.
+void RunQuiescentSweep(bool background_compaction) {
   constexpr DeclusterPolicy kPolicies[] = {
       DeclusterPolicy::kProximityIndex, DeclusterPolicy::kRoundRobin,
       DeclusterPolicy::kRandom, DeclusterPolicy::kDataBalance,
@@ -82,10 +98,24 @@ TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
     dc.seed = seed;
     auto built = workload::BuildParallelIndex(data, tree_config, dc);
 
-    MemPageStore store(disks);
-    ASSERT_TRUE(storage::SaveIndex(*built, &store).ok());
-    MemPageStore wal(1);
-    auto mi = MutableIndex::Open(&store, &wal);
+    std::unique_ptr<MemPageStore> base;
+    std::unique_ptr<MemGenerationEnv> env;
+    std::string dir;
+    common::Result<std::unique_ptr<MutableIndex>> mi =
+        common::Status::Internal("unset");
+    if (background_compaction) {
+      dir = (std::filesystem::temp_directory_path() /
+             ("sqp_compaction_prop_" + std::to_string(seed)))
+                .string();
+      std::filesystem::remove_all(dir);
+      ASSERT_TRUE(storage::SaveIndexToDir(*built, dir).ok());
+      mi = MutableIndex::OpenFromDir(dir);
+    } else {
+      base = std::make_unique<MemPageStore>(1 + kMaxGens * (disks + 1));
+      env = std::make_unique<MemGenerationEnv>(base.get(), disks);
+      ASSERT_TRUE(storage::InitializeGenerations(env.get(), *built).ok());
+      mi = MutableIndex::Open(env.get());
+    }
     ASSERT_TRUE(mi.ok()) << mi.status();
 
     exec::EngineOptions options;
@@ -95,6 +125,14 @@ TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
     auto engine =
         exec::ParallelQueryEngine::CreateMutable(mi->get(), options);
     ASSERT_TRUE(engine.ok()) << engine.status();
+
+    if (background_compaction) {
+      // Small threshold: the mutation bursts below overflow it several
+      // times over, so folds land mid-traffic, racing the queries.
+      storage::CompactionPolicy policy_cfg;
+      policy_cfg.max_wal_bytes = 1024;
+      (*mi)->StartCompaction(policy_cfg);
+    }
 
     // The tracked live set, mirrored op for op against the index.
     std::vector<std::pair<rstar::ObjectId, Point>> live;
@@ -134,10 +172,10 @@ TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
           ASSERT_TRUE((*engine)->RunQuery(warm).status.ok());
         }
       }
-      if (round == 1 && seed % 4 == 0) {
-        // A checkpoint mid-sweep: folds the log, drains readers,
-        // invalidates the whole cache — the quiescent check after it
-        // must still be bit-exact.
+      if (!background_compaction && round == 1 && seed % 4 == 0) {
+        // An explicit checkpoint mid-sweep: flips the generation, drains
+        // readers, invalidates the whole cache — the quiescent check
+        // after it must still be bit-exact.
         ASSERT_TRUE((*mi)->Checkpoint().ok());
       }
 
@@ -174,14 +212,41 @@ TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
       }
     }
 
+    if (background_compaction) {
+      // The policy thread is asynchronous; give it a moment to observe
+      // the final burst, then require that it actually folded.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while ((*mi)->mutation_stats().auto_checkpoints == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      (*mi)->StopCompaction();
+      const storage::MutationStats ms = (*mi)->mutation_stats();
+      EXPECT_GE(ms.auto_checkpoints, 1u) << "compaction never triggered";
+      EXPECT_GT(ms.wal_bytes_reclaimed, 0u);
+    }
+
     // End-to-end durability: reopen from the surviving bytes and compare
     // the final live set object for object.
     engine->reset();  // detach the commit callback before the index goes
     mi->reset();
-    auto reopened = MutableIndex::Open(&store, &wal);
+    common::Result<std::unique_ptr<MutableIndex>> reopened =
+        background_compaction ? MutableIndex::OpenFromDir(dir)
+                              : MutableIndex::Open(env.get());
     ASSERT_TRUE(reopened.ok()) << reopened.status();
     EXPECT_EQ((*reopened)->index().tree().size(), live.size());
+    reopened->reset();
+    if (background_compaction) std::filesystem::remove_all(dir);
   }
+}
+
+TEST(MutationPropertyTest, QuiescentPointsMatchFreshRebuildAcrossSeeds) {
+  RunQuiescentSweep(/*background_compaction=*/false);
+}
+
+TEST(CompactionPropertyTest, BackgroundFoldsKeepAnswersBitIdentical) {
+  RunQuiescentSweep(/*background_compaction=*/true);
 }
 
 }  // namespace

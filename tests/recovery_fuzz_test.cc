@@ -1,0 +1,258 @@
+// Seeded randomized crash-recovery fuzz (ctest -L recovery), the
+// stochastic complement of recovery_test.cc's exhaustive boundary sweep:
+// random mutate/checkpoint schedules crossed with random kill offsets and
+// drop/tear coins. Every recovered index must be EXACTLY a scripted
+// state — base image of the surviving generation plus its replayed log —
+// with orphan generations collected and the script resumable to its
+// final state.
+//
+// Scale with environment variables, like the stress suite:
+//   SQP_RECOVERY_FUZZ_SEEDS=32 SQP_RECOVERY_FUZZ_KILLS=16 ctest -L recovery
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "parallel/parallel_tree.h"
+#include "storage/fault_injection.h"
+#include "storage/generation.h"
+#include "storage/index_io.h"
+#include "storage/mutable_index.h"
+#include "storage/page_store.h"
+#include "workload/dataset.h"
+#include "workload/index_builder.h"
+
+namespace sqp {
+namespace {
+
+using geometry::Point;
+using storage::FaultInjectingPageStore;
+using storage::MemGenerationEnv;
+using storage::MemPageStore;
+using storage::MutableIndex;
+
+constexpr int kMaxGens = 10;
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+struct Action {
+  bool checkpoint = false;
+  bool insert = false;
+  Point p;
+  rstar::ObjectId id = 0;
+};
+
+using LiveSet = std::vector<std::pair<rstar::ObjectId, Point>>;
+
+LiveSet LiveObjects(const rstar::RStarTree& tree) {
+  LiveSet out;
+  for (rstar::PageId id : tree.LiveNodeIds()) {
+    const rstar::Node& node = tree.node(id);
+    if (node.level != 0) continue;
+    for (const rstar::Entry& e : node.entries) {
+      out.emplace_back(e.object, e.mbr.lo());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+// One random scenario: index, schedule, and the ground truth needed to
+// judge any recovery point.
+struct Scenario {
+  std::unique_ptr<parallel::ParallelRStarTree> index;
+  int disks = 3;
+  std::vector<Action> actions;
+  std::vector<Action> ops;      // the actions that are ops, in order
+  std::vector<LiveSet> states;  // states[j] = live set after j ops
+  // base_ops_of[g] = ops folded into generation g's base image (g=1 is
+  // the boot image: 0). Recovering generation g with r replayed records
+  // means exactly base_ops_of[g] + r ops applied.
+  std::vector<size_t> base_ops_of;
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  Scenario sc;
+  common::Rng rng(seed * 977 + 13);
+  sc.disks = 3 + static_cast<int>(rng.UniformInt(0, 2));
+  const bool mirrored = rng.Uniform() < 0.5;
+  const size_t base_points = 60 + static_cast<size_t>(rng.UniformInt(0, 40));
+  const workload::Dataset data =
+      workload::MakeClustered(base_points, 2, 5, 0.1, seed);
+  rstar::TreeConfig tree_config;
+  tree_config.dim = 2;
+  tree_config.max_entries_override = 10;
+  parallel::DeclusterConfig dc;
+  dc.num_disks = sc.disks;
+  dc.policy = parallel::DeclusterPolicy::kProximityIndex;
+  dc.mirrored = mirrored;
+  dc.seed = seed;
+  sc.index = workload::BuildParallelIndex(data, tree_config, dc);
+
+  // Random schedule: ~12 actions at 70% insert / 20% delete / 10%
+  // checkpoint, at least one checkpoint, never one as the final action
+  // (the recovery judge wants a committed op after the last fold so a
+  // kill during the fold's best-effort cleanup still crashes something).
+  LiveSet live = LiveObjects(sc.index->tree());
+  sc.states.push_back(live);
+  size_t checkpoints = 0;
+  rstar::ObjectId next_id = 5000;
+  const size_t num_actions = 10 + static_cast<size_t>(rng.UniformInt(0, 4));
+  for (size_t a = 0; a < num_actions; ++a) {
+    const double draw = rng.Uniform();
+    Action act;
+    const bool force_checkpoint =
+        checkpoints == 0 && a == num_actions / 2;  // guarantee one fold
+    if ((force_checkpoint || draw < 0.1) && a + 1 < num_actions &&
+        checkpoints + 2 < kMaxGens) {
+      act.checkpoint = true;
+      ++checkpoints;
+      sc.actions.push_back(act);
+      continue;
+    }
+    if (draw < 0.3 && !live.empty() && !force_checkpoint) {
+      const auto victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(live.size()) - 1));
+      act.insert = false;
+      act.id = live[victim].first;
+      act.p = live[victim].second;
+    } else {
+      act.insert = true;
+      act.id = next_id++;
+      act.p = Point{static_cast<geometry::Coord>(rng.Uniform()),
+                    static_cast<geometry::Coord>(rng.Uniform())};
+    }
+    if (act.insert) {
+      live.emplace_back(act.id, act.p);
+      std::sort(live.begin(), live.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+    } else {
+      live.erase(std::remove_if(
+                     live.begin(), live.end(),
+                     [&](const auto& e) { return e.first == act.id; }),
+                 live.end());
+    }
+    sc.actions.push_back(act);
+    sc.ops.push_back(act);
+    sc.states.push_back(live);
+  }
+
+  sc.base_ops_of.assign(checkpoints + 2, 0);
+  size_t gen = 1;
+  size_t count = 0;
+  for (const Action& act : sc.actions) {
+    if (act.checkpoint) {
+      ++gen;
+      sc.base_ops_of[gen] = count;
+    } else {
+      ++count;
+    }
+  }
+  return sc;
+}
+
+common::Status DoAction(MutableIndex* mi, const Action& act) {
+  if (act.checkpoint) return mi->Checkpoint();
+  return act.insert ? mi->Insert(act.p, act.id) : mi->Delete(act.p, act.id);
+}
+
+std::unique_ptr<MemPageStore> MakeGenerationBase(const Scenario& sc) {
+  auto base = std::make_unique<MemPageStore>(1 + kMaxGens * (sc.disks + 1));
+  MemGenerationEnv setup(base.get(), sc.disks);
+  EXPECT_TRUE(storage::InitializeGenerations(&setup, *sc.index).ok());
+  return base;
+}
+
+// Runs the schedule over a power-cut store; with write_ops_out set, runs
+// clean and only measures the write-op space.
+void RunFuzzKill(const Scenario& sc, uint64_t kill_at, bool tear,
+                 uint64_t* write_ops_out = nullptr) {
+  SCOPED_TRACE("kill_at=" + std::to_string(kill_at) +
+               (tear ? " tear" : " drop"));
+  auto base = MakeGenerationBase(sc);
+  FaultInjectingPageStore faulty(base.get(), /*seed=*/kill_at * 31 + tear);
+  MemGenerationEnv env(&faulty, sc.disks);
+  auto mi = MutableIndex::Open(&env);
+  ASSERT_TRUE(mi.ok()) << mi.status();
+  if (write_ops_out == nullptr) faulty.ArmPowerCut(kill_at, tear);
+
+  size_t ok_ops = 0;
+  bool crashed = false;
+  for (const Action& act : sc.actions) {
+    if (DoAction(mi->get(), act).ok()) {
+      if (!act.checkpoint) ++ok_ops;
+    } else {
+      crashed = true;
+      break;
+    }
+  }
+  if (write_ops_out != nullptr) {
+    ASSERT_FALSE(crashed);
+    *write_ops_out = faulty.write_ops();
+    return;
+  }
+  ASSERT_TRUE(crashed);
+  mi->reset();
+
+  MemGenerationEnv renv(base.get(), sc.disks);
+  auto recovered = MutableIndex::Open(&renv);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const storage::RecoveryStats& rs = (*recovered)->recovery_stats();
+  EXPECT_EQ(rs.wal_records, rs.replayed + rs.torn_tail_dropped);
+  ASSERT_GE(rs.generation, 1u);
+  ASSERT_LT(rs.generation, sc.base_ops_of.size());
+  const size_t applied = sc.base_ops_of[rs.generation] + rs.replayed;
+  ASSERT_GE(applied, ok_ops);
+  ASSERT_LE(applied, ok_ops + 1);
+  ASSERT_LT(applied, sc.states.size());
+  const LiveSet& want = sc.states[applied];
+  EXPECT_EQ(LiveObjects((*recovered)->index().tree()), want);
+
+  auto listed = renv.ListGenerations();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, std::vector<uint64_t>{rs.generation});
+
+  // Resume the remaining ops and land on the schedule's final state.
+  for (size_t i = applied; i < sc.ops.size(); ++i) {
+    ASSERT_TRUE(DoAction(recovered->get(), sc.ops[i]).ok());
+  }
+  EXPECT_EQ(LiveObjects((*recovered)->index().tree()), sc.states.back());
+}
+
+TEST(RecoveryFuzzTest, RandomSchedulesRandomKillPoints) {
+  const int seeds = EnvInt("SQP_RECOVERY_FUZZ_SEEDS", 4);
+  const int kills = EnvInt("SQP_RECOVERY_FUZZ_KILLS", 6);
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Scenario sc = MakeScenario(static_cast<uint64_t>(seed));
+    uint64_t total_write_ops = 0;
+    RunFuzzKill(sc, 0, /*tear=*/false, &total_write_ops);
+    if (HasFatalFailure()) return;
+    ASSERT_GT(total_write_ops, 10u);
+
+    common::Rng kill_rng(static_cast<uint64_t>(seed) * 131 + 7);
+    for (int k = 0; k < kills; ++k) {
+      const auto kill_at = static_cast<uint64_t>(kill_rng.UniformInt(
+          0, static_cast<int>(total_write_ops) - 1));
+      const bool tear = kill_rng.Uniform() < 0.5;
+      RunFuzzKill(sc, kill_at, tear);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp

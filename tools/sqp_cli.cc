@@ -33,6 +33,8 @@
 //   $ sqp_cli serve --index=places.index --port=7788
 //             --workers=4 --max-pending=64 --threads=8 --cache=4096
 //             [--port-file=<path>]   # written once bound; port 0 = auto
+//             [--compact=BYTES[,RECORDS[,MIN_INTERVAL_S]]]  # background
+//             log compaction while serving (docs/STORAGE.md)
 //
 //   query        one streamed query against a running server; chunks are
 //                printed as they arrive (before the query completes).
@@ -51,11 +53,16 @@
 //                recovery and commit totals plus the WAL conservation
 //                identity. Every op is durable the moment it returns; a
 //                later load-index (or ingest) replays the log. Pass
-//                --checkpoint=1 to fold the log into a fresh base image.
+//                --checkpoint=1 to fold the log into a fresh generation
+//                (write-aside + atomic CURRENT flip, docs/STORAGE.md), or
+//                --compact=BYTES[,RECORDS[,MIN_INTERVAL_S]] to let a
+//                background thread fold it whenever the log exceeds the
+//                thresholds while the ops run. --queries=N interleaves N
+//                spot queries through the live engine during the ingest.
 //
 //   $ sqp_cli ingest --index=places.index --inserts=1000 --deletes=200
 //             [--seed=1998] [--file=pts.csv] [--checkpoint=0]
-//             [--metrics=0]
+//             [--compact=...] [--queries=0] [--metrics=0]
 //
 // Flags (all optional, shown with defaults):
 //   --dataset=clustered|uniform|gaussian|california|longbeach
@@ -580,19 +587,48 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
   return failed == 0 ? 0 : 2;
 }
 
+// A directory that has ever been opened mutably carries either a CURRENT
+// generation pointer or a legacy root-level WAL; both mean commits may
+// postdate any saved base image, so it must be opened through crash
+// recovery (docs/STORAGE.md) — never read as raw disk files.
+bool IsMutableIndexDir(const std::string& dir) {
+  return std::filesystem::exists(std::filesystem::path(dir) / "CURRENT") ||
+         std::filesystem::exists(std::filesystem::path(dir) / "wal");
+}
+
+// Parses --compact=BYTES[,RECORDS[,MIN_INTERVAL_S]] into a policy.
+bool ParseCompactFlag(const std::string& spec,
+                      storage::CompactionPolicy* out) {
+  unsigned long long bytes = 0;
+  unsigned long long records = 0;
+  double interval = 0;
+  const int n = std::sscanf(spec.c_str(), "%llu,%llu,%lf", &bytes, &records,
+                            &interval);
+  if (n < 1) {
+    std::fprintf(stderr,
+                 "--compact wants BYTES[,RECORDS[,MIN_INTERVAL_S]], "
+                 "got \"%s\"\n",
+                 spec.c_str());
+    return false;
+  }
+  out->max_wal_bytes = bytes;
+  out->max_wal_records = records;
+  out->min_interval_s = interval;
+  return true;
+}
+
 int RunLoadIndex(const Flags& flags) {
   const std::string dir = flags.Get("index", "");
   if (dir.empty()) {
     std::fprintf(stderr, "load-index requires --index=<dir>\n");
     return 1;
   }
-  // A WAL beside the image means commits may postdate the saved base
-  // (docs/STORAGE.md): open through crash recovery so the run sees the
-  // replayed state, not the stale base image.
+  // Open through crash recovery so the run sees the replayed state of
+  // the published generation, not a stale base image.
   std::unique_ptr<storage::MutableIndex> mindex;
   std::unique_ptr<parallel::ParallelRStarTree> owned_index;
   const parallel::ParallelRStarTree* index = nullptr;
-  if (std::filesystem::exists(std::filesystem::path(dir) / "wal")) {
+  if (IsMutableIndexDir(dir)) {
     auto mi = storage::MutableIndex::OpenFromDir(dir);
     if (!mi.ok()) {
       std::fprintf(stderr, "open failed: %s\n",
@@ -704,6 +740,58 @@ int RunIngest(const Flags& flags) {
     }
   }
 
+  // --compact: a background thread folds the log whenever it exceeds the
+  // policy thresholds, racing the mutations below (docs/STORAGE.md).
+  storage::CompactionPolicy compact_policy;
+  const std::string compact = flags.Get("compact", "");
+  if (!compact.empty()) {
+    if (!ParseCompactFlag(compact, &compact_policy)) return 1;
+    mi->StartCompaction(compact_policy);
+  }
+
+  // --queries=N: interleave spot queries through a live mutable engine
+  // while the ops run, so the soak exercises the read path against
+  // mid-ingest (and mid-compaction) snapshots. Scoped so the engine dies
+  // before the index does.
+  const size_t n_queries = static_cast<size_t>(flags.GetInt("queries", 0));
+  std::unique_ptr<exec::ParallelQueryEngine> engine;
+  if (n_queries > 0) {
+    exec::EngineOptions eopts;
+    eopts.query_threads = 2;
+    eopts.cache_pages = 256;
+    auto created = exec::ParallelQueryEngine::CreateMutable(mi.get(), eopts);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(*created);
+  }
+  const size_t total_ops = n_inserts + n_deletes;
+  const size_t query_every =
+      n_queries > 0 ? std::max<size_t>(1, total_ops / n_queries) : 0;
+  common::Rng qrng(static_cast<uint64_t>(flags.GetInt("seed", 1998)) + 1);
+  size_t queries_run = 0;
+  size_t op_index = 0;
+  auto maybe_query = [&]() -> bool {
+    ++op_index;
+    if (engine == nullptr || op_index % query_every != 0) return true;
+    exec::EngineQuery q;
+    std::vector<geometry::Coord> coords(static_cast<size_t>(dim));
+    for (auto& c : coords) c = static_cast<geometry::Coord>(qrng.Uniform());
+    q.point = geometry::Point::FromVector(std::move(coords));
+    q.k = 10;
+    q.algo = core::AlgorithmKind::kCrss;
+    const exec::QueryOutcome got = engine->RunQuery(q);
+    if (!got.status.ok()) {
+      std::fprintf(stderr, "interleaved query %zu failed: %s\n",
+                   queries_run, got.status.ToString().c_str());
+      return false;
+    }
+    ++queries_run;
+    return true;
+  };
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::pair<rstar::ObjectId, geometry::Point>> inserted;
   inserted.reserve(n_inserts);
@@ -716,6 +804,7 @@ int RunIngest(const Flags& flags) {
     }
     inserted.emplace_back(next_id, points[i]);
     ++next_id;
+    if (!maybe_query()) return 2;
   }
   for (size_t i = 0; i < n_deletes; ++i) {
     const auto& [id, p] = inserted[inserted.size() - 1 - i];
@@ -726,6 +815,7 @@ int RunIngest(const Flags& flags) {
                    s.ToString().c_str());
       return 2;
     }
+    if (!maybe_query()) return 2;
   }
   if (flags.GetInt("checkpoint", 0) != 0) {
     const common::Status s = mi->Checkpoint();
@@ -733,6 +823,37 @@ int RunIngest(const Flags& flags) {
       std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
       return 2;
     }
+    const storage::MutationStats cs = mi->mutation_stats();
+    std::printf("checkpoint: now generation %llu, %llu WAL bytes "
+                "reclaimed\n",
+                static_cast<unsigned long long>(cs.generation),
+                static_cast<unsigned long long>(cs.wal_bytes_reclaimed));
+  }
+  if (!compact.empty()) {
+    // The fold is asynchronous: if the log still exceeds the byte
+    // threshold, give the policy thread a moment to catch up so the
+    // reported count reflects the whole run.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (compact_policy.max_wal_bytes > 0) {
+      const storage::MutationStats cs = mi->mutation_stats();
+      if (cs.wal_bytes <= compact_policy.max_wal_bytes ||
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    mi->StopCompaction();
+    const storage::MutationStats cs = mi->mutation_stats();
+    std::printf("compaction: %llu background checkpoints (generation %llu, "
+                "%llu WAL bytes reclaimed)\n",
+                static_cast<unsigned long long>(cs.auto_checkpoints),
+                static_cast<unsigned long long>(cs.generation),
+                static_cast<unsigned long long>(cs.wal_bytes_reclaimed));
+  }
+  if (engine != nullptr) {
+    std::printf("queries:  %zu interleaved spot queries ok\n", queries_run);
+    engine.reset();
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -787,8 +908,8 @@ int RunServe(const Flags& flags) {
     std::fprintf(stderr, "serve requires --index=<dir>\n");
     return 1;
   }
-  // Like load-index: an unfolded WAL beside the image means the saved
-  // base is stale — serve the replayed state, never the stale bytes.
+  // Like load-index: a mutable directory (CURRENT pointer or legacy WAL)
+  // must be served through crash recovery, never as raw bytes.
   std::unique_ptr<storage::MutableIndex> mindex;
   std::unique_ptr<parallel::ParallelRStarTree> owned_index;
   const parallel::ParallelRStarTree* index = nullptr;
@@ -796,7 +917,7 @@ int RunServe(const Flags& flags) {
   const storage::PageStore* page_store = nullptr;
   const double throttle = flags.GetDouble("throttle", 0.0);
   std::unique_ptr<storage::ThrottledPageStore> throttled;
-  if (std::filesystem::exists(std::filesystem::path(dir) / "wal")) {
+  if (IsMutableIndexDir(dir)) {
     auto mi = storage::MutableIndex::OpenFromDir(dir);
     if (!mi.ok()) {
       std::fprintf(stderr, "open failed: %s\n",
@@ -806,9 +927,24 @@ int RunServe(const Flags& flags) {
     mindex = std::move(*mi);
     index = &mindex->index();
     if (throttle > 0) {
-      std::fprintf(stderr, "--throttle is ignored with an unfolded WAL\n");
+      std::fprintf(stderr, "--throttle is ignored with a mutable index\n");
+    }
+    const std::string compact = flags.Get("compact", "");
+    if (!compact.empty()) {
+      storage::CompactionPolicy policy;
+      if (!ParseCompactFlag(compact, &policy)) return 1;
+      mindex->StartCompaction(policy);
+      std::printf("compaction: background fold when log exceeds %llu bytes"
+                  " / %llu records (min interval %.1f s)\n",
+                  static_cast<unsigned long long>(policy.max_wal_bytes),
+                  static_cast<unsigned long long>(policy.max_wal_records),
+                  policy.min_interval_s);
     }
   } else {
+    if (!flags.Get("compact", "").empty()) {
+      std::fprintf(stderr, "--compact needs a mutable index directory\n");
+      return 1;
+    }
     auto opened = workload::LoadParallelIndex(dir);
     if (!opened.ok()) {
       std::fprintf(stderr, "open failed: %s\n",
