@@ -91,7 +91,9 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
                   const std::vector<exec::EngineQuery>& queries, int threads,
                   size_t cache_pages, bool warm_up, bool serial_io = false,
                   bool metered = true, int prefetch_budget = 0,
-                  bool prefetch_adaptive = false) {
+                  bool prefetch_adaptive = false,
+                  exec::IoBackendKind io_backend =
+                      exec::IoBackendKind::kThreads) {
   exec::EngineOptions options;
   options.query_threads = threads;
   options.cache_pages = cache_pages;
@@ -99,6 +101,7 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
   options.prefetch_budget = prefetch_budget;
   options.prefetch_adaptive = prefetch_adaptive;
   options.enable_metrics = metered;
+  options.io_backend = io_backend;
   if (!metered) options.trace_capacity = 0;
   auto engine = exec::ParallelQueryEngine::Create(index, store, options);
   SQP_CHECK(engine.ok());
@@ -161,7 +164,7 @@ RunResult RunOnce(const parallel::ParallelRStarTree& index,
 // `baseline_qps` anchors the speedup column (the series' own first row
 // when 0).
 void PrintSeries(const char* name, const std::vector<RunResult>& series,
-                 double baseline_qps = 0.0) {
+                 double baseline_qps = 0.0, bool uring_active = false) {
   if (baseline_qps == 0.0) baseline_qps = series.front().qps;
   std::printf("\n%s:\n%8s %10s %10s %10s %10s %8s %8s %9s %9s %8s %8s %9s\n",
               name, "threads", "q/s", "p50(ms)", "p95(ms)", "p99(ms)",
@@ -178,6 +181,10 @@ void PrintSeries(const char* name, const std::vector<RunResult>& series,
         static_cast<unsigned long long>(r.prefetch_wasted),
         r.qps / baseline_qps);
   }
+  // The uring backend parks no thread per disk — the reactor drives every
+  // spindle from one thread — so the worker-thread oversubscription
+  // caveat does not apply to it.
+  if (uring_active) return;
   const unsigned hw = std::thread::hardware_concurrency();
   for (const RunResult& r : series) {
     if (hw > 0 && static_cast<unsigned>(r.threads) > hw) {
@@ -408,6 +415,26 @@ int main(int argc, char** argv) {
       0;
   const double gate_tolerance = std::atof(
       bench::ArgValue(argc, argv, "gate-tolerance", "0.85").c_str());
+  // I/O backend of the headline series: threads (default, comparable to
+  // the historical JSONs) or uring. A uring request on a kernel without
+  // io_uring prints the probe's reason and proceeds on threads — the same
+  // graceful fallback the engine itself makes.
+  const std::string io_mode = bench::ArgValue(argc, argv, "io", "threads");
+  SQP_CHECK(io_mode == "threads" || io_mode == "uring");
+  const exec::UringProbe uring_probe = exec::ProbeIoUring();
+  exec::IoBackendKind io_kind = exec::IoBackendKind::kThreads;
+  std::string io_active = "threads";
+  if (io_mode == "uring") {
+    if (uring_probe.available) {
+      io_kind = exec::IoBackendKind::kUring;
+      io_active = "uring";
+    } else {
+      std::printf("--io=uring requested but io_uring is unavailable (%s); "
+                  "running on threads\n",
+                  uring_probe.detail.c_str());
+    }
+  }
+  const bool uring_active = io_kind == exec::IoBackendKind::kUring;
   const size_t k = 10;
   const int threads[] = {1, 2, 4, 8};
 
@@ -472,10 +499,13 @@ int main(int argc, char** argv) {
   std::vector<RunResult> warm;
   for (int t : threads) {
     warm.push_back(RunOnce(*index, store->get(), warm_queries, t,
-                           /*cache_pages=*/8192, /*warm_up=*/true));
+                           /*cache_pages=*/8192, /*warm_up=*/true,
+                           /*serial_io=*/false, /*metered=*/true,
+                           /*prefetch_budget=*/0,
+                           /*prefetch_adaptive=*/false, io_kind));
   }
   PrintSeries("warm cache (CPU-bound; scaling bounded by core count)",
-              warm);
+              warm, 0.0, uring_active);
 
   // The single-threaded baseline: same engine, same cache, but every
   // missed page is one blocking read — the single-disk-at-a-time system
@@ -511,11 +541,14 @@ int main(int argc, char** argv) {
     RunResult off, pf;
     for (int rep = 0; rep < kGateReps; ++rep) {
       const RunResult o = RunOnce(*index, &slow, queries, t,
-                                  /*cache_pages=*/64, /*warm_up=*/true);
+                                  /*cache_pages=*/64, /*warm_up=*/true,
+                                  /*serial_io=*/false, /*metered=*/true,
+                                  /*prefetch_budget=*/0,
+                                  /*prefetch_adaptive=*/false, io_kind);
       const RunResult p = RunOnce(*index, &slow, queries, t,
                                   /*cache_pages=*/64, /*warm_up=*/true,
                                   /*serial_io=*/false, /*metered=*/true,
-                                  pf_budget, pf_adaptive);
+                                  pf_budget, pf_adaptive, io_kind);
       if (rep == 0 || o.qps > off.qps) off = o;
       if (rep == 0 || p.qps > pf.qps) pf = p;
     }
@@ -525,10 +558,10 @@ int main(int argc, char** argv) {
   PrintSeries(
       "throttled media (I/O-bound; per-disk workers overlap; speedup vs "
       "serial baseline)",
-      throttled, serial.qps);
+      throttled, serial.qps, uring_active);
   PrintSeries(("throttled media + CRSS prefetch (" + prefetch_mode + ")")
                   .c_str(),
-              prefetch_series, serial.qps);
+              prefetch_series, serial.qps, uring_active);
   // The regression the two-class queue exists to prevent, checked inline:
   // prefetch should never lose to the plain throttled series.
   for (size_t i = 0; i < prefetch_series.size(); ++i) {
@@ -537,6 +570,158 @@ int main(int argc, char** argv) {
                 prefetch_series[i].threads, ratio,
                 ratio < 1.0 ? "  (prefetch losing!)" : "");
   }
+
+  // Threads vs uring, point-for-point on the same throttled media. Best
+  // of kIoCompareReps alternating reps per side — more than the other
+  // sweeps because the bar ("uring never loses") is pointwise. The
+  // throttle decorator hides the store's raw fds, so uring's batches run
+  // on its per-disk executors; the comparison isolates the architectural
+  // difference under identical per-access charged service times. The
+  // threads backend parks ONE worker per disk, so a wave whose batch
+  // merges into R runs on a disk serializes R charges there; the
+  // completion-driven backend submits each merged run independently up to
+  // its per-disk window (per-run READV SQEs on the ring, per-run executor
+  // jobs here), overlapping those charges — deep per-device queue depth
+  // is the point of the design, and it shows at every thread count.
+  constexpr int kIoCompareReps = 7;
+  std::vector<RunResult> io_threads_series, io_uring_series;
+  if (uring_probe.available) {
+    for (int t : threads) {
+      RunResult th, ur;
+      for (int rep = 0; rep < kIoCompareReps; ++rep) {
+        // Alternate which side runs first so slow drift on a shared
+        // host (cache state, background load) cannot systematically
+        // favor one backend.
+        const auto run_threads = [&] {
+          return RunOnce(*index, &slow, queries, t,
+                         /*cache_pages=*/64, /*warm_up=*/true);
+        };
+        const auto run_uring = [&] {
+          return RunOnce(*index, &slow, queries, t, /*cache_pages=*/64,
+                         /*warm_up=*/true, /*serial_io=*/false,
+                         /*metered=*/true, /*prefetch_budget=*/0,
+                         /*prefetch_adaptive=*/false,
+                         exec::IoBackendKind::kUring);
+        };
+        RunResult a, u;
+        if (rep % 2 == 0) {
+          a = run_threads();
+          u = run_uring();
+        } else {
+          u = run_uring();
+          a = run_threads();
+        }
+        if (rep == 0 || a.qps > th.qps) th = a;
+        if (rep == 0 || u.qps > ur.qps) ur = u;
+      }
+      io_threads_series.push_back(th);
+      io_uring_series.push_back(ur);
+    }
+    PrintSeries("io backend: threads (throttled media)", io_threads_series,
+                serial.qps);
+    PrintSeries("io backend: uring (throttled media)", io_uring_series,
+                serial.qps, /*uring_active=*/true);
+    for (size_t i = 0; i < io_uring_series.size(); ++i) {
+      const double ratio = io_uring_series[i].qps / io_threads_series[i].qps;
+      std::printf("  uring vs threads at %d threads: %.3fx%s\n",
+                  io_uring_series[i].threads, ratio,
+                  ratio < 1.0 ? "  (uring losing!)" : "");
+    }
+  } else {
+    std::printf("\nio backend comparison skipped: %s\n",
+                uring_probe.detail.c_str());
+  }
+
+  // Hot-neighbor placement (storage::SaveIndexOptions): the same tree
+  // saved with and without the placement pass, read through the same
+  // throttled store. k-NN activation batches cannot show the effect by
+  // design — declustering spreads each activation batch one page per
+  // disk, so there is nothing for the layout to merge. The access
+  // pattern the placement targets is the multi-child expansion (range
+  // queries, breadth traversals, speculative sibling runs): every
+  // internal node's children batch-read through the StoredIndexReader
+  // that serves the engine. pages/read is delivered pages over physical
+  // media accesses (merged runs; StoredIndexReader::media_reads) — the
+  // figure the placement exists to raise; fewer runs means fewer
+  // charged service times on slow media. A k-NN run over both images
+  // guards that placement stays neutral for the paper's own workload.
+  const std::string legacy_dir = dir + ".legacy";
+  std::filesystem::remove_all(legacy_dir);
+  auto legacy_files = storage::FilePageStore::Create(legacy_dir, disks);
+  SQP_CHECK(legacy_files.ok());
+  storage::SaveIndexOptions legacy_opts;
+  legacy_opts.hot_neighbor_placement = false;
+  SQP_CHECK(storage::SaveIndex(*index, legacy_files->get(), legacy_opts)
+                .ok());
+  struct PlacementRow {
+    double pages_per_read = 0.0;
+    double sweep_s = 0.0;  // wall time of the expansion sweep
+    double qps = 0.0;      // k-NN guard (expected ~neutral)
+    uint64_t media_reads = 0;
+    uint64_t pages = 0;
+  };
+  const auto measure_placement =
+      [&](const storage::PageStore* base) -> PlacementRow {
+    storage::ThrottledPageStore throttled_store(base, throttle);
+    PlacementRow row;
+    {
+      auto sweep_reader = exec::StoredIndexReader::Open(&throttled_store);
+      SQP_CHECK(sweep_reader.ok());
+      const auto start = std::chrono::steady_clock::now();
+      for (rstar::PageId id : index->tree().LiveNodeIds()) {
+        const rstar::Node& n = index->tree().node(id);
+        if (n.IsLeaf()) continue;
+        std::vector<rstar::PageId> children;
+        children.reserve(n.entries.size());
+        for (const rstar::Entry& e : n.entries) children.push_back(e.child);
+        std::vector<rstar::Node> nodes;
+        SQP_CHECK((*sweep_reader)->ReadNodes(children, &nodes).ok());
+        row.pages += children.size();
+      }
+      row.sweep_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      row.media_reads = (*sweep_reader)->media_reads();
+      row.pages_per_read = static_cast<double>(row.pages) /
+                           static_cast<double>(row.media_reads);
+    }
+    exec::EngineOptions options;
+    options.query_threads = 4;
+    options.cache_pages = 64;
+    options.io_backend = io_kind;
+    auto engine = exec::ParallelQueryEngine::Create(*index, &throttled_store,
+                                                    options);
+    SQP_CHECK(engine.ok());
+    const auto start = std::chrono::steady_clock::now();
+    const auto answers = (*engine)->RunBatch(queries);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    for (const exec::QueryAnswer& a : answers) SQP_CHECK(a.status.ok());
+    row.qps = static_cast<double>(answers.size()) / wall;
+    return row;
+  };
+  const PlacementRow placed = measure_placement(store->get());
+  const PlacementRow legacy = measure_placement(legacy_files->get());
+  std::printf(
+      "\nhot-neighbor placement (sibling-expansion sweep, throttled "
+      "media):\n"
+      "  placed  %6.3f pages/read (%llu pages over %llu media reads), "
+      "sweep %.2fs, k-NN %.0f q/s\n"
+      "  legacy  %6.3f pages/read (%llu pages over %llu media reads), "
+      "sweep %.2fs, k-NN %.0f q/s\n"
+      "  -> %.2fx pages per media read%s\n",
+      placed.pages_per_read,
+      static_cast<unsigned long long>(placed.pages),
+      static_cast<unsigned long long>(placed.media_reads), placed.sweep_s,
+      placed.qps, legacy.pages_per_read,
+      static_cast<unsigned long long>(legacy.pages),
+      static_cast<unsigned long long>(legacy.media_reads), legacy.sweep_s,
+      legacy.qps, placed.pages_per_read / legacy.pages_per_read,
+      placed.pages_per_read <= legacy.pages_per_read
+          ? "  (placement not helping!)"
+          : "");
+  std::filesystem::remove_all(legacy_dir);
 
   // Metering overhead: the observability layer on vs fully off (no
   // registry, no trace) in the warm-cache single-thread configuration —
@@ -569,7 +754,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter w;
   w.BeginObject();
-  bench::StampBenchMeta(&w);
+  bench::StampBenchMeta(&w, io_active);
   w.Field("bench", "parallel_engine");
   w.Field("algo", "crss");
   w.Field("prefetch_mode", prefetch_mode);
@@ -591,6 +776,20 @@ int main(int argc, char** argv) {
   JsonSeries(&w, "warm_cache", warm);
   JsonSeries(&w, "throttled_media", throttled, serial.qps);
   JsonSeries(&w, "throttled_media_prefetch", prefetch_series, serial.qps);
+  if (!io_uring_series.empty()) {
+    JsonSeries(&w, "io_backend_threads", io_threads_series, serial.qps);
+    JsonSeries(&w, "io_backend_uring", io_uring_series, serial.qps);
+  }
+  w.BeginObject("hot_neighbor_placement");
+  w.Field("placed_pages_per_media_read", placed.pages_per_read, 5);
+  w.Field("legacy_pages_per_media_read", legacy.pages_per_read, 5);
+  w.Field("placed_media_reads", placed.media_reads);
+  w.Field("legacy_media_reads", legacy.media_reads);
+  w.Field("placed_sweep_seconds", placed.sweep_s, 5);
+  w.Field("legacy_sweep_seconds", legacy.sweep_s, 5);
+  w.Field("placed_knn_queries_per_sec", placed.qps, 5);
+  w.Field("legacy_knn_queries_per_sec", legacy.qps, 5);
+  w.EndObject();
   w.BeginObject("metering");
   w.Field("metered_queries_per_sec", metered_qps, 5);
   w.Field("unmetered_queries_per_sec", unmetered_qps, 5);

@@ -6,6 +6,8 @@
 #ifndef SQP_BENCH_BENCH_UTIL_H_
 #define SQP_BENCH_BENCH_UTIL_H_
 
+#include <sys/utsname.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -14,6 +16,7 @@
 
 #include "core/algorithms.h"
 #include "core/sequential_executor.h"
+#include "exec/uring_backend.h"
 #include "parallel/parallel_tree.h"
 #include "sim/query_engine.h"
 #include "workload/dataset.h"
@@ -210,18 +213,35 @@ class JsonWriter {
 // the shape or meaning of its JSON (new/renamed series, changed row
 // fields), so trajectory tooling can tell format changes from perf
 // changes. v1: implicit, unstamped (PRs 2-6). v2: stamped meta fields +
-// prefetch hit/wasted columns and adaptive prefetch series.
-inline constexpr int kBenchSchemaVersion = 2;
+// prefetch hit/wasted columns and adaptive prefetch series. v3: kernel +
+// io_uring probe meta fields, io-backend series in bench_parallel_engine,
+// hot-neighbor placement section.
+inline constexpr int kBenchSchemaVersion = 3;
 
 #ifndef SQP_GIT_DESCRIBE
 #define SQP_GIT_DESCRIBE "unknown"  // set by bench/CMakeLists.txt
 #endif
 
+// Kernel release of the machine the bench ran on — io_uring availability
+// and behavior are kernel properties, so the number rides with the data.
+inline std::string KernelRelease() {
+  struct utsname u;
+  if (uname(&u) != 0) return "unknown";
+  return std::string(u.sysname) + " " + u.release;
+}
+
 // Stamps the shared meta fields into `w`'s current (top-level) object.
 // Call right after the opening BeginObject of every BENCH_*.json.
-inline void StampBenchMeta(JsonWriter* w) {
+// `io_backend` is the backend the bench's engine runs actually used
+// ("threads", "uring", or "" for benches that never touch an engine).
+inline void StampBenchMeta(JsonWriter* w, const std::string& io_backend = "") {
   w->Field("schema_version", kBenchSchemaVersion);
   w->Field("git_describe", SQP_GIT_DESCRIBE);
+  w->Field("kernel", KernelRelease());
+  const exec::UringProbe probe = exec::ProbeIoUring();
+  w->Field("io_uring_available", probe.available);
+  w->Field("io_uring_detail", probe.detail);
+  if (!io_backend.empty()) w->Field("io_backend", io_backend);
 }
 
 inline void PrintRow(const std::vector<std::string>& cells, int width = 12) {

@@ -19,6 +19,13 @@ bool ReadCoalescer::BeginOrWait(uint64_t key, common::Status* status) {
   return false;
 }
 
+bool ReadCoalescer::TryBegin(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = inflight_.try_emplace(key);
+  if (inserted) it->second = std::make_shared<Flight>();
+  return inserted;
+}
+
 void ReadCoalescer::Complete(uint64_t key, const common::Status& status) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = inflight_.find(key);

@@ -50,6 +50,14 @@ class ReadCoalescer {
   // that leader Completes and `*status` receives the leader's outcome.
   bool BeginOrWait(uint64_t key, common::Status* status);
 
+  // Non-blocking leadership probe: true means the caller became the
+  // leader for `key` (and owes exactly one Complete); false means another
+  // leader's read is in flight — the caller has NOT joined it and is not
+  // counted as a coalesced read. Pair with a later BeginOrWait to wait.
+  // The completion-driven backends use this to partition a batch into
+  // pages to submit and pages to pick up after submission.
+  bool TryBegin(uint64_t key);
+
   // Leader only: publishes the read's outcome and wakes all followers.
   void Complete(uint64_t key, const common::Status& status);
 

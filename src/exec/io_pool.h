@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/io_backend.h"
 #include "obs/metrics.h"
 
 namespace sqp::exec {
@@ -75,7 +76,7 @@ struct DiskIoPoolOptions {
   size_t max_speculative_depth = 64;
 };
 
-class DiskIoPool {
+class DiskIoPool : public IoBackend {
  public:
   // Starts one worker per disk. `num_disks` >= 1. When `metrics` is
   // non-null the per-disk instruments above are registered on it; null
@@ -86,12 +87,14 @@ class DiskIoPool {
 
   // Drains every demand queue and cancels every queued speculative job,
   // then joins the workers.
-  ~DiskIoPool();
+  ~DiskIoPool() override;
 
   DiskIoPool(const DiskIoPool&) = delete;
   DiskIoPool& operator=(const DiskIoPool&) = delete;
 
-  int num_disks() const { return static_cast<int>(queues_.size()); }
+  const char* name() const override { return "threads"; }
+
+  int num_disks() const override { return static_cast<int>(queues_.size()); }
 
   // Enqueues a demand job on `disk`'s queue, blocking while the queue is
   // at capacity. The job runs on that disk's worker thread; completion
@@ -99,11 +102,11 @@ class DiskIoPool {
   // counter + condvar). Must not be called from a worker thread — the
   // blocking path would self-deadlock on a full queue — and debug builds
   // abort if it is (see OnWorkerThread).
-  void Submit(int disk, std::function<void()> job);
+  void Submit(int disk, std::function<void()> job) override;
 
   // Non-blocking demand variant: enqueues `job` if the queue has space,
   // returns false (dropping the job) if it is full or stopping.
-  bool TrySubmit(int disk, std::function<void()> job);
+  bool TrySubmit(int disk, std::function<void()> job) override;
 
   // Enqueues a speculative job: runs only when `disk` has no demand work
   // queued, and is skipped — counted cancelled, `job` destroyed unrun —
@@ -113,38 +116,38 @@ class DiskIoPool {
   // the pool is stopping. `cancel` is invoked at most once, off the
   // queue lock, on the worker thread.
   bool SubmitSpeculative(int disk, std::function<void()> job,
-                         std::function<bool()> cancel = nullptr);
+                         std::function<bool()> cancel = nullptr) override;
 
   // Demand jobs executed so far, summed over all disks (monotonic).
-  uint64_t jobs_completed() const;
+  uint64_t jobs_completed() const override;
 
   // Times Submit had to wait for queue space, summed over all disks.
-  uint64_t backpressure_waits() const;
+  uint64_t backpressure_waits() const override;
 
   // Jobs TrySubmit / SubmitSpeculative rejected for lack of space,
   // summed over all disks.
-  uint64_t queue_rejections() const;
+  uint64_t queue_rejections() const override;
 
   // Speculative-class accounting, summed over all disks. Once the
   // queues are drained: issued == completed + cancelled.
-  uint64_t speculative_issued() const;     // accepted into a queue
-  uint64_t speculative_completed() const;  // actually ran
-  uint64_t speculative_cancelled() const;  // skipped (predicate/shutdown)
+  uint64_t speculative_issued() const override;     // accepted into a queue
+  uint64_t speculative_completed() const override;  // actually ran
+  uint64_t speculative_cancelled() const override;  // skipped
 
   // Demand jobs queued on `disk` right now (not counting one in
   // service). The prefetch controller's per-disk pressure signal: a
   // nonzero depth means speculation would queue behind waiting queries.
-  size_t demand_queue_depth(int disk) const;
+  size_t demand_queue_depth(int disk) const override;
 
   // True when `disk` has demand work queued *or in service*. The
   // engine's prefetch issue-time gate: a spindle mid-demand-read is not
   // idle, and speculation offered to it would extend the very queue the
   // paper's response-time analysis wants short. (A speculative job in
   // service does not count — speculation may chain on an idle disk.)
-  bool demand_busy(int disk) const;
+  bool demand_busy(int disk) const override;
 
   // True when the calling thread is one of this pool's I/O workers.
-  bool OnWorkerThread() const;
+  bool OnWorkerThread() const override;
 
  private:
   struct QueuedJob {

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "exec/uring_backend.h"
 
 namespace sqp::exec {
 namespace {
@@ -184,10 +185,27 @@ ParallelQueryEngine::ParallelQueryEngine(
   // they are engine-level quantities; route them into our counters.
   cache_->SetPrefetchInstruments(instr_.prefetch_hits,
                                  instr_.prefetch_wasted);
-  DiskIoPoolOptions pool_options;
-  pool_options.max_queue_depth = options.io_queue_depth;
-  io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks(), metrics_,
-                                          pool_options);
+  if (options.io_backend == IoBackendKind::kUring) {
+    if (options.serial_io) {
+      io_fallback_reason_ = "serial_io mode reads on the query thread";
+    } else {
+      UringBackendOptions uring_options;
+      uring_options.max_queue_depth = options.io_queue_depth;
+      auto uring =
+          UringIoBackend::Create(reader_->store(), metrics_, uring_options);
+      if (uring.ok()) {
+        io_pool_ = std::move(*uring);
+      } else {
+        io_fallback_reason_ = uring.status().message();
+      }
+    }
+  }
+  if (io_pool_ == nullptr) {
+    DiskIoPoolOptions pool_options;
+    pool_options.max_queue_depth = options.io_queue_depth;
+    io_pool_ = std::make_unique<DiskIoPool>(reader_->num_disks(), metrics_,
+                                            pool_options);
+  }
   if (options.prefetch_adaptive && !options.serial_io) {
     AdaptivePrefetchController::Options ctl_options;
     // At most one speculative read per spindle beyond demand work.
@@ -332,6 +350,171 @@ common::Status ParallelQueryEngine::FetchBatch(
       }
       slots->assign(ids.size(), nullptr);
       return failure;
+    }
+    return common::Status::OK();
+  }
+
+  if (!misses_by_disk.empty() && io_pool_->completion_driven()) {
+    // Completion-driven path: plan each disk's batched read up front
+    // (buffer + merged-run accounting), hand the raw requests to the
+    // backend, and finish — decode, fault-fallback, insert-pinned — from
+    // the backend's completion context. No thread parks per disk; the
+    // traversal resumes when the last disk's completion fires sync.Done.
+    //
+    // Deep in-flight windows mean the per-disk FIFO no longer serializes
+    // duplicate reads the way DiskIoPool's single worker does, so the
+    // second-chance probe of the pooled path can't coalesce here: two
+    // queries missing the same page would both reach the media. The
+    // in-flight table partitions each disk's misses instead — pages this
+    // query *leads* (it submits the read and publishes the outcome) and
+    // pages some other query is already reading (joined after our own
+    // submissions, below).
+    BatchSync sync;
+    struct LeaderGroup {
+      int disk;
+      std::vector<size_t> slots;  // indices into ids/keys/slots
+    };
+    std::vector<LeaderGroup> groups;
+    groups.reserve(misses_by_disk.size());
+    std::vector<size_t> deferred;
+    for (auto& [disk, slot_indices] : misses_by_disk) {
+      LeaderGroup g{disk, {}};
+      for (size_t i : slot_indices) {
+        if (coalescer_.TryBegin((*keys)[i])) {
+          g.slots.push_back(i);
+        } else {
+          deferred.push_back(i);
+        }
+      }
+      if (!g.slots.empty()) groups.push_back(std::move(g));
+    }
+    sync.pending = static_cast<int>(groups.size());
+    for (LeaderGroup& group : groups) {
+      auto plan = std::make_shared<ReadBatchPlan>();
+      {
+        std::vector<rstar::PageId> group_ids;
+        std::vector<storage::PageLocation> group_locs;
+        group_ids.reserve(group.slots.size());
+        group_locs.reserve(group.slots.size());
+        for (size_t i : group.slots) {
+          group_ids.push_back(ids[i]);
+          group_locs.push_back(locs[i]);
+        }
+        common::Status planned =
+            reader_->PlanBatchRead(group_ids, group_locs, plan.get());
+        if (!planned.ok()) {
+          for (size_t i : group.slots) {
+            coalescer_.Complete((*keys)[i], planned);
+          }
+          sync.Done(planned, IoFaultCounters{}, 0, 0);
+          continue;
+        }
+      }
+      // The requests point into plan->bytes; the plan (and with it the
+      // buffer) is kept alive by the completion closure. `keys`, `slots`
+      // and `groups` live on this thread's stack across sync.Wait(), so
+      // the closure borrows them safely.
+      std::vector<storage::ReadRequest> requests = plan->requests;
+      io_pool_->SubmitBatchRead(
+          group.disk, std::move(requests),
+          [this, plan, keys, slots, &sync,
+           group_slots = &group.slots](common::Status batch) {
+            IoFaultCounters counters;
+            bool bytes_valid = false;
+            common::Status result =
+                reader_->NoteBatchOutcome(batch, &bytes_valid, &counters);
+            size_t n = 0;
+            if (result.ok()) {
+              for (; n < group_slots->size(); ++n) {
+                const size_t i = (*group_slots)[n];
+                auto flat =
+                    reader_->FinishFlatRecord(plan.get(), n, bytes_valid,
+                                              &counters);
+                if (!flat.ok()) {
+                  result = flat.status();
+                  break;
+                }
+                (*slots)[i] = cache_->InsertPinned(
+                    (*keys)[i], std::move(*flat), plan->locs[n].span);
+                coalescer_.Complete((*keys)[i], common::Status::OK());
+              }
+            }
+            // Keys not published above (batch failure, or a decode
+            // stopping the loop early) still owe their followers an
+            // outcome.
+            for (; n < group_slots->size(); ++n) {
+              coalescer_.Complete((*keys)[(*group_slots)[n]], result);
+            }
+            sync.Done(result, counters, 0, 0);
+          });
+    }
+    IssuePrefetch(prefetch_hints, misses_by_disk, outcome, tally);
+    // Pick up the deferred pages: their leaders (other queries' batches,
+    // or our own submissions above) complete via the backend's reactor,
+    // never on this thread, so blocking here cannot deadlock.
+    common::Status follow_failure;
+    uint64_t followed = 0;
+    uint64_t follow_prefetch_hits = 0;
+    IoFaultCounters follow_counters;
+    for (size_t i : deferred) {
+      const uint64_t key = (*keys)[i];
+      while ((*slots)[i] == nullptr && follow_failure.ok()) {
+        common::Status leader_status;
+        if (coalescer_.BeginOrWait(key, &leader_status)) {
+          // The leader finished but its page is already gone (tiny
+          // cache): re-probe, then read serially ourselves. Rare by
+          // construction.
+          bool late_prefetched = false;
+          if (const core::FlatNode* cached =
+                  cache_->ProbePinned(key, &late_prefetched)) {
+            (*slots)[i] = cached;
+            if (late_prefetched) ++follow_prefetch_hits;
+            coalescer_.Complete(key, common::Status::OK());
+            continue;
+          }
+          common::Result<core::FlatNode> node =
+              reader_->ReadFlatNodeAt(ids[i], locs[i], &follow_counters);
+          common::Status read =
+              node.ok() ? common::Status::OK() : node.status();
+          if (node.ok()) {
+            (*slots)[i] = cache_->InsertPinned(key, std::move(*node),
+                                               locs[i].span);
+          } else {
+            follow_failure = read;
+          }
+          coalescer_.Complete(key, read);
+        } else {
+          ++followed;
+          if (!leader_status.ok()) {
+            follow_failure = leader_status;
+            break;
+          }
+          bool follower_prefetched = false;
+          (*slots)[i] = cache_->ProbePinned(key, &follower_prefetched);
+          if (follower_prefetched) ++follow_prefetch_hits;
+        }
+      }
+      if (!follow_failure.ok()) break;
+    }
+    common::Status batch = sync.Wait();
+    if (batch.ok() && !follow_failure.ok()) batch = follow_failure;
+    outcome->coalesced_reads += followed;
+    if (instr_.coalesced != nullptr && followed > 0) {
+      instr_.coalesced->Add(static_cast<int64_t>(followed));
+    }
+    outcome->io_faults += sync.counters.faults + follow_counters.faults;
+    outcome->io_retries += sync.counters.retries + follow_counters.retries;
+    outcome->prefetch_hits += sync.prefetch_hits + follow_prefetch_hits;
+    if (span != nullptr) {
+      span->io_faults += sync.counters.faults + follow_counters.faults;
+      span->io_retries += sync.counters.retries + follow_counters.retries;
+    }
+    if (!batch.ok()) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if ((*slots)[i] != nullptr) cache_->Unpin((*keys)[i]);
+      }
+      slots->assign(ids.size(), nullptr);
+      return batch;
     }
     return common::Status::OK();
   }

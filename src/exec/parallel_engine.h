@@ -46,6 +46,16 @@
 
 namespace sqp::exec {
 
+// Which IoBackend carries the engine's disk work (docs/EXECUTION.md,
+// "I/O backends"). kUring is a request, not a guarantee: when the runtime
+// probe or ring setup fails the engine silently falls back to kThreads
+// and records why (io_backend_fallback_reason()). Results are
+// bit-identical across backends.
+enum class IoBackendKind {
+  kThreads,  // DiskIoPool: one blocking worker thread per disk
+  kUring,    // UringIoBackend: one completion reactor, io_uring submission
+};
+
 struct EngineOptions {
   // Concurrent in-flight queries (query worker threads of RunBatch).
   int query_threads = 8;
@@ -60,6 +70,9 @@ struct EngineOptions {
   bool serial_io = false;
   // Per-disk I/O queue bound (see DiskIoPoolOptions::max_queue_depth).
   size_t io_queue_depth = 1024;
+  // Backend the per-disk demand/speculative work runs on. Ignored in
+  // serial_io mode (no backend work there). See IoBackendKind.
+  IoBackendKind io_backend = IoBackendKind::kThreads;
   // Speculative prefetch: when a step's activation batch leaves disks
   // idle and the algorithm supplied prefetch hints (CRSS hints its top
   // deferred candidate-run pages), up to this many hinted pages per step
@@ -233,6 +246,17 @@ class ParallelQueryEngine {
   const StoredIndexReader& reader() const { return *reader_; }
   int num_disks() const { return reader_->num_disks(); }
 
+  // The backend actually serving I/O ("threads" or "uring") — may differ
+  // from the requested EngineOptions::io_backend after a fallback.
+  const char* io_backend_name() const { return io_pool_->name(); }
+  // Why a kUring request ended up on threads (probe failure, serial_io,
+  // ...); empty when the requested backend is the active one.
+  const std::string& io_backend_fallback_reason() const {
+    return io_fallback_reason_;
+  }
+  // The live backend, for tests asserting its conservation identities.
+  const IoBackend& io_backend() const { return *io_pool_; }
+
   // The registry this engine (and its cache/pool/reader) reports into —
   // the external one from EngineOptions::metrics or the engine-owned one.
   // Null when the engine was created with enable_metrics = false.
@@ -331,10 +355,12 @@ class ParallelQueryEngine {
   // In-flight read table for serial_io mode; pooled mode coalesces via
   // the per-disk worker serialization + second-chance cache probe.
   ReadCoalescer coalescer_;
-  // Declared last so it is destroyed first: the worker threads drain
+  // Empty unless a requested backend could not be built (see accessor).
+  std::string io_fallback_reason_;
+  // Declared last so it is destroyed first: the backend's threads drain
   // (including fire-and-forget prefetch jobs that touch cache_ and
   // reader_) before anything they reference goes away.
-  std::unique_ptr<DiskIoPool> io_pool_;
+  std::unique_ptr<IoBackend> io_pool_;
   std::atomic<uint64_t> next_query_id_{0};
   struct Instruments {
     obs::Counter* queries = nullptr;

@@ -74,6 +74,7 @@ void StoredIndexReader::EnableMetrics(obs::MetricsRegistry* registry) {
   m_faults_ = registry->GetCounter("sqp_reader_faults_total");
   m_retries_ = registry->GetCounter("sqp_reader_retries_total");
   m_failed_records_ = registry->GetCounter("sqp_reader_failed_records_total");
+  m_media_reads_ = registry->GetCounter("sqp_reader_media_reads_total");
   m_pages_by_disk_.resize(static_cast<size_t>(num_disks()));
   for (int d = 0; d < num_disks(); ++d) {
     m_pages_by_disk_[static_cast<size_t>(d)] = registry->GetCounter(
@@ -125,6 +126,8 @@ common::Result<rstar::Node> StoredIndexReader::ReadOneWithRetry(
       }
     }
     attempts_made = attempt + 1;
+    media_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (m_media_reads_ != nullptr) m_media_reads_->Add(1);
     common::Status s = store_->ReadAt(loc.disk, loc.offset, buf, len);
     if (s.ok()) {
       auto node = DecodeRecord(id, loc, buf);
@@ -210,10 +213,9 @@ common::Status StoredIndexReader::ReadNodes(
   return ReadNodesAt(ids, locs, out, counters);
 }
 
-common::Status StoredIndexReader::ReadNodesAt(
+common::Status StoredIndexReader::PlanBatchRead(
     std::span<const rstar::PageId> ids,
-    std::span<const storage::PageLocation> locs,
-    std::vector<rstar::Node>* out, IoFaultCounters* counters) const {
+    std::span<const storage::PageLocation> locs, ReadBatchPlan* plan) const {
   SQP_CHECK(ids.size() == locs.size());
   const size_t page_size = layout_.page_size;
   size_t total_bytes = 0;
@@ -224,82 +226,118 @@ common::Status StoredIndexReader::ReadNodesAt(
     }
     total_bytes += static_cast<size_t>(loc.span) * page_size;
   }
-
-  // Fault-free fast path: one buffer and one ReadPages call for the whole
-  // batch, so the store can merge per-disk adjacent records.
-  std::vector<uint8_t> bytes(total_bytes);
-  std::vector<storage::ReadRequest> requests;
-  requests.reserve(ids.size());
+  plan->ids.assign(ids.begin(), ids.end());
+  plan->locs.assign(locs.begin(), locs.end());
+  plan->bytes.resize(total_bytes);
+  plan->requests.clear();
+  plan->requests.reserve(ids.size());
   size_t pos = 0;
   for (const storage::PageLocation& loc : locs) {
     storage::ReadRequest r;
     r.disk = loc.disk;
     r.offset = loc.offset;
-    r.buf = bytes.data() + pos;
+    r.buf = plan->bytes.data() + pos;
     r.len = static_cast<size_t>(loc.span) * page_size;
-    requests.push_back(r);
+    plan->requests.push_back(r);
     pos += r.len;
   }
+  plan->planned_media_reads = storage::PlanReadRuns(plan->requests).size();
+  media_reads_.fetch_add(plan->planned_media_reads,
+                         std::memory_order_relaxed);
+  if (m_media_reads_ != nullptr) {
+    m_media_reads_->Add(plan->planned_media_reads);
+  }
+  return common::Status::OK();
+}
+
+common::Status StoredIndexReader::NoteBatchOutcome(
+    const common::Status& batch, bool* bytes_valid,
+    IoFaultCounters* counters) const {
+  *bytes_valid = batch.ok();
+  if (batch.ok()) return common::Status::OK();
+  // The batch API reports only its first error without naming the failing
+  // request, so the caller falls back to individual retried reads record
+  // by record. A permanent error class fails the call right away.
+  total_faults_.fetch_add(1, std::memory_order_relaxed);
+  if (m_faults_ != nullptr) m_faults_->Add(1);
+  if (counters != nullptr) ++counters->faults;
+  if (!IsRetryableReadError(batch)) return batch;
+  return common::Status::OK();
+}
+
+common::Result<rstar::Node> StoredIndexReader::FinishNodeRecord(
+    ReadBatchPlan* plan, size_t i, bool bytes_valid,
+    IoFaultCounters* counters) const {
+  const rstar::PageId id = plan->ids[i];
+  const storage::PageLocation& loc = plan->locs[i];
+  uint8_t* buf = static_cast<uint8_t*>(plan->requests[i].buf);
+
+  common::Result<rstar::Node> node = common::Status::Unavailable("");
+  if (bytes_valid) {
+    const double decode_start_s =
+        m_decode_seconds_ != nullptr ? NowSeconds() : 0.0;
+    node = DecodeRecord(id, loc, buf);
+    if (m_decode_seconds_ != nullptr) {
+      m_decode_seconds_->Observe(NowSeconds() - decode_start_s);
+    }
+    if (!node.ok()) {
+      total_faults_.fetch_add(1, std::memory_order_relaxed);
+      if (m_faults_ != nullptr) m_faults_->Add(1);
+      if (counters != nullptr) ++counters->faults;
+      if (!IsRetryableReadError(node.status())) return node.status();
+    }
+  }
+  if (!node.ok()) {
+    // Re-read just this record with the retry loop (its buffer region is
+    // private to it, so siblings decoded from the batch stay valid). The
+    // fallback's first attempt is itself a re-issued read.
+    total_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (m_retries_ != nullptr) m_retries_->Add(1);
+    if (counters != nullptr) ++counters->retries;
+    node = ReadOneWithRetry(id, loc, buf, counters);
+    if (!node.ok()) return node.status();
+  }
+  // Delivered: count the record once, under its disk, so the per-disk
+  // page totals sum to exactly what the engine fetched from the store.
+  if (m_records_ != nullptr) {
+    m_records_->Add(1);
+    m_pages_by_disk_[static_cast<size_t>(loc.disk)]->Add(loc.span);
+  }
+  return node;
+}
+
+common::Result<core::FlatNode> StoredIndexReader::FinishFlatRecord(
+    ReadBatchPlan* plan, size_t i, bool bytes_valid,
+    IoFaultCounters* counters) const {
+  auto node = FinishNodeRecord(plan, i, bytes_valid, counters);
+  if (!node.ok()) return node.status();
+  return core::FlatNode::FromNode(*node, layout_.tree_config.dim);
+}
+
+common::Status StoredIndexReader::ReadNodesAt(
+    std::span<const rstar::PageId> ids,
+    std::span<const storage::PageLocation> locs,
+    std::vector<rstar::Node>* out, IoFaultCounters* counters) const {
+  ReadBatchPlan plan;
+  SQP_RETURN_IF_ERROR(PlanBatchRead(ids, locs, &plan));
+
+  // Fault-free fast path: one buffer and one ReadPages call for the whole
+  // batch, so the store can merge per-disk adjacent records.
   const double read_start_s =
       m_read_seconds_ != nullptr ? NowSeconds() : 0.0;
-  common::Status batch = store_->ReadPages(requests);
+  common::Status batch = store_->ReadPages(plan.requests);
   if (m_read_seconds_ != nullptr) {
     m_read_seconds_->Observe(NowSeconds() - read_start_s);
   }
-  bool batch_bytes_valid = batch.ok();
-  if (!batch.ok()) {
-    // The batch API reports only its first error without naming the
-    // failing request, so fall back to individual retried reads below.
-    // A permanent error class fails the call right away.
-    total_faults_.fetch_add(1, std::memory_order_relaxed);
-    if (m_faults_ != nullptr) m_faults_->Add(1);
-    if (counters != nullptr) ++counters->faults;
-    if (!IsRetryableReadError(batch)) return batch;
-  }
+  bool bytes_valid = false;
+  SQP_RETURN_IF_ERROR(NoteBatchOutcome(batch, &bytes_valid, counters));
 
   const size_t first_out = out->size();
-  pos = 0;
   for (size_t i = 0; i < ids.size(); ++i) {
-    const size_t len = static_cast<size_t>(locs[i].span) * page_size;
-    uint8_t* buf = bytes.data() + pos;
-    pos += len;
-
-    common::Result<rstar::Node> node = common::Status::Unavailable("");
-    if (batch_bytes_valid) {
-      const double decode_start_s =
-          m_decode_seconds_ != nullptr ? NowSeconds() : 0.0;
-      node = DecodeRecord(ids[i], locs[i], buf);
-      if (m_decode_seconds_ != nullptr) {
-        m_decode_seconds_->Observe(NowSeconds() - decode_start_s);
-      }
-      if (!node.ok()) {
-        total_faults_.fetch_add(1, std::memory_order_relaxed);
-        if (m_faults_ != nullptr) m_faults_->Add(1);
-        if (counters != nullptr) ++counters->faults;
-        if (!IsRetryableReadError(node.status())) {
-          out->resize(first_out);
-          return node.status();
-        }
-      }
-    }
+    auto node = FinishNodeRecord(&plan, i, bytes_valid, counters);
     if (!node.ok()) {
-      // Re-read just this record with the retry loop (its buffer region
-      // is private to it, so siblings decoded from the batch stay valid).
-      // The fallback's first attempt is itself a re-issued read.
-      total_retries_.fetch_add(1, std::memory_order_relaxed);
-      if (m_retries_ != nullptr) m_retries_->Add(1);
-      if (counters != nullptr) ++counters->retries;
-      node = ReadOneWithRetry(ids[i], locs[i], buf, counters);
-      if (!node.ok()) {
-        out->resize(first_out);
-        return node.status();
-      }
-    }
-    // Delivered: count the record once, under its disk, so the per-disk
-    // page totals sum to exactly what the engine fetched from the store.
-    if (m_records_ != nullptr) {
-      m_records_->Add(1);
-      m_pages_by_disk_[static_cast<size_t>(locs[i].disk)]->Add(locs[i].span);
+      out->resize(first_out);
+      return node.status();
     }
     out->push_back(std::move(*node));
   }

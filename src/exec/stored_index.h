@@ -69,6 +69,26 @@ struct ReaderFaultTotals {
 // permanent media error) fails immediately.
 bool IsRetryableReadError(const common::Status& s);
 
+// A batched read split into its plan and its finish. PlanBatchRead sizes
+// one contiguous buffer and lays one ReadRequest per record into it; the
+// caller then executes the requests however it likes — the reader's own
+// ReadPages call, or a completion-driven I/O backend — and finishes each
+// record with FinishNodeRecord / FinishFlatRecord, which carry the exact
+// decode / fault-count / retry-fallback semantics of ReadNodesAt.
+//
+// `requests[i].buf` points into `bytes`, so a plan may be MOVED but never
+// copied while the requests are outstanding.
+struct ReadBatchPlan {
+  std::vector<rstar::PageId> ids;
+  std::vector<storage::PageLocation> locs;
+  std::vector<uint8_t> bytes;
+  std::vector<storage::ReadRequest> requests;  // one per record, into bytes
+  // PlanReadRuns(requests).size(): physical media accesses the batch costs
+  // after offset-adjacent records merge. The reader's media-read totals
+  // count the batch at plan time (a plan is always executed).
+  size_t planned_media_reads = 0;
+};
+
 class StoredIndexReader {
  public:
   // Reads and validates the store's layout. `store` must outlive the
@@ -141,6 +161,40 @@ class StoredIndexReader {
                                  std::vector<core::FlatNode>* out,
                                  IoFaultCounters* counters = nullptr) const;
 
+  // --- Split batched read: plan / execute / finish --------------------
+  // The completion-driven engine path. PlanBatchRead validates the
+  // locations and builds the buffer + requests (counting the batch's
+  // planned media reads); the caller executes the requests; then
+  // NoteBatchOutcome accounts the batch-level status (retryable failure
+  // invalidates the buffer and falls back per record, permanent failure
+  // is returned for the caller to propagate) and Finish*Record delivers
+  // record `i` — decoding from the plan's buffer when `bytes_valid`,
+  // otherwise re-reading just that record through the retry loop. Each
+  // delivered record is counted exactly as on the ReadNodesAt path.
+  common::Status PlanBatchRead(std::span<const rstar::PageId> ids,
+                               std::span<const storage::PageLocation> locs,
+                               ReadBatchPlan* plan) const;
+  common::Status NoteBatchOutcome(const common::Status& batch,
+                                  bool* bytes_valid,
+                                  IoFaultCounters* counters) const;
+  common::Result<rstar::Node> FinishNodeRecord(ReadBatchPlan* plan, size_t i,
+                                               bool bytes_valid,
+                                               IoFaultCounters* counters) const;
+  common::Result<core::FlatNode> FinishFlatRecord(
+      ReadBatchPlan* plan, size_t i, bool bytes_valid,
+      IoFaultCounters* counters) const;
+
+  // The store this reader reads from (the engine hands it to kernel-native
+  // I/O backends, which probe it for raw fds).
+  const storage::PageStore* store() const { return store_; }
+
+  // Physical media accesses issued so far: merged batch runs at plan time
+  // plus every individual (retry) read. pages_read / media_reads is the
+  // pages-per-read figure the hot-neighbor placement pass exists to raise.
+  uint64_t media_reads() const {
+    return media_reads_.load(std::memory_order_relaxed);
+  }
+
   // Aggregate fault activity since the reader was opened.
   ReaderFaultTotals fault_totals() const;
 
@@ -175,12 +229,14 @@ class StoredIndexReader {
   mutable std::atomic<uint64_t> total_faults_{0};
   mutable std::atomic<uint64_t> total_retries_{0};
   mutable std::atomic<uint64_t> total_failed_records_{0};
+  mutable std::atomic<uint64_t> media_reads_{0};
 
   // Registry instruments (EnableMetrics); all null when unmetered.
   obs::Counter* m_records_ = nullptr;
   obs::Counter* m_faults_ = nullptr;
   obs::Counter* m_retries_ = nullptr;
   obs::Counter* m_failed_records_ = nullptr;
+  obs::Counter* m_media_reads_ = nullptr;
   std::vector<obs::Counter*> m_pages_by_disk_;
   obs::Histogram* m_read_seconds_ = nullptr;
   obs::Histogram* m_decode_seconds_ = nullptr;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -342,9 +344,53 @@ common::Status ReadBootstrap(const PageStore& store, size_t* page_size,
   return common::Status::OK();
 }
 
+// Emission ranks of the hot-neighbor placement (SaveIndexOptions). A
+// breadth-first walk from the root emits every node's children as one
+// consecutive run, ordered by descending subtree object count (Entry.count
+// — derivable from the tree itself, no access trace needed), so after the
+// per-disk sort a sibling group activated together by a traversal lands at
+// adjacent offsets and merges into one pread. Pages not reachable from the
+// root (none, in a valid tree) keep rank UINT32_MAX and sort last.
+std::vector<uint32_t> HotNeighborRanks(const rstar::RStarTree& tree,
+                                       PageId page_slots) {
+  std::vector<uint32_t> rank(page_slots,
+                             std::numeric_limits<uint32_t>::max());
+  if (tree.root() == rstar::kInvalidPage || page_slots == 0) return rank;
+  uint32_t next = 0;
+  std::deque<PageId> queue = {tree.root()};
+  std::vector<std::pair<uint32_t, PageId>> kids;
+  while (!queue.empty()) {
+    const PageId id = queue.front();
+    queue.pop_front();
+    if (id >= page_slots ||
+        rank[id] != std::numeric_limits<uint32_t>::max()) {
+      continue;
+    }
+    rank[id] = next++;
+    const Node& n = tree.node(id);
+    if (n.IsLeaf()) continue;
+    kids.clear();
+    for (const rstar::Entry& e : n.entries) {
+      kids.emplace_back(e.count, e.child);
+    }
+    std::stable_sort(kids.begin(), kids.end(),
+                     [](const std::pair<uint32_t, PageId>& a,
+                        const std::pair<uint32_t, PageId>& b) {
+                       return a.first > b.first;
+                     });
+    for (const auto& [weight, child] : kids) queue.push_back(child);
+  }
+  return rank;
+}
+
 }  // namespace
 
 common::Status SaveIndex(const ParallelRStarTree& index, PageStore* store) {
+  return SaveIndex(index, store, SaveIndexOptions{});
+}
+
+common::Status SaveIndex(const ParallelRStarTree& index, PageStore* store,
+                         const SaveIndexOptions& options) {
   SQP_CHECK(store != nullptr);
   const rstar::RStarTree& tree = index.tree();
   const parallel::DiskAssigner& placement = index.placement();
@@ -377,6 +423,17 @@ common::Status SaveIndex(const ParallelRStarTree& index, PageStore* store) {
       RecordPlan replica = plan;
       replica.replica = true;
       plans[static_cast<size_t>(plan.mirror)].push_back(replica);
+    }
+  }
+
+  if (options.hot_neighbor_placement) {
+    const std::vector<uint32_t> rank = HotNeighborRanks(tree, page_slots);
+    for (std::vector<RecordPlan>& records : plans) {
+      std::stable_sort(records.begin(), records.end(),
+                       [&rank](const RecordPlan& a, const RecordPlan& b) {
+                         if (a.replica != b.replica) return b.replica;
+                         return rank[a.page] < rank[b.page];
+                       });
     }
   }
 

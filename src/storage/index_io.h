@@ -26,10 +26,25 @@
 
 namespace sqp::storage {
 
+// Knobs of the serialization pass.
+struct SaveIndexOptions {
+  // Hot-neighbor page placement: order each disk's node records so that
+  // the children of one parent — the pages a traversal activates together
+  // when it expands that parent — sit at adjacent file offsets, hottest
+  // subtree (largest Entry.count) first. Offset-adjacent records merge
+  // into a single pread on the batched read path (PlanReadRuns), so the
+  // layout raises pages-per-media-read without changing a single answer:
+  // only the record order inside each file moves, never which disk a page
+  // lives on. Off = legacy order (tree allocation order per disk).
+  bool hot_neighbor_placement = true;
+};
+
 // Serializes `index` into `store`, replacing its contents. The store must
 // have exactly index.num_disks() disks.
 common::Status SaveIndex(const parallel::ParallelRStarTree& index,
                          PageStore* store);
+common::Status SaveIndex(const parallel::ParallelRStarTree& index,
+                         PageStore* store, const SaveIndexOptions& options);
 
 // Deserializes an index previously written by SaveIndex. The returned
 // in-memory index answers queries, and its declustering map (disk, mirror,

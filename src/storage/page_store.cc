@@ -24,21 +24,9 @@ common::Status Errno(const std::string& op, const std::string& target) {
                                   std::strerror(errno));
 }
 
-// A maximal run of batch requests that one media access can serve: all on
-// the same disk, contiguous in file offsets. `indices` orders the requests
-// by offset within the run.
-struct MergedRun {
-  int disk = 0;
-  uint64_t offset = 0;
-  size_t len = 0;
-  std::vector<size_t> indices;
-};
+}  // namespace
 
-// Groups `requests` per disk and merges offset-adjacent ones. Requests
-// that overlap or arrive unsorted still end up in correct runs (the plan
-// sorts), but only exact adjacency (offset + len == next offset) merges.
-std::vector<MergedRun> PlanMergedRuns(
-    std::span<const ReadRequest> requests) {
+std::vector<ReadRun> PlanReadRuns(std::span<const ReadRequest> requests) {
   std::vector<size_t> order(requests.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -47,7 +35,7 @@ std::vector<MergedRun> PlanMergedRuns(
     }
     return requests[a].offset < requests[b].offset;
   });
-  std::vector<MergedRun> runs;
+  std::vector<ReadRun> runs;
   for (size_t i : order) {
     const ReadRequest& r = requests[i];
     if (!runs.empty() && runs.back().disk == r.disk &&
@@ -56,7 +44,7 @@ std::vector<MergedRun> PlanMergedRuns(
       runs.back().indices.push_back(i);
       continue;
     }
-    MergedRun run;
+    ReadRun run;
     run.disk = r.disk;
     run.offset = r.offset;
     run.len = r.len;
@@ -65,8 +53,6 @@ std::vector<MergedRun> PlanMergedRuns(
   }
   return runs;
 }
-
-}  // namespace
 
 common::Status PageStore::ReadPages(
     std::span<const ReadRequest> requests) const {
@@ -246,7 +232,7 @@ common::Status FilePageStore::ReadPages(
     }
   }
   std::vector<uint8_t> scratch;
-  for (const MergedRun& run : PlanMergedRuns(requests)) {
+  for (const ReadRun& run : PlanReadRuns(requests)) {
     if (run.indices.size() == 1) {
       const ReadRequest& r = requests[run.indices[0]];
       SQP_RETURN_IF_ERROR(ReadAt(r.disk, r.offset, r.buf, r.len));
@@ -300,6 +286,11 @@ common::Status FilePageStore::Sync() {
     }
   }
   return common::Status::OK();
+}
+
+int FilePageStore::RawFd(int disk) const {
+  if (disk < 0 || disk >= num_disks()) return -1;
+  return fds_[static_cast<size_t>(disk)];
 }
 
 // --- PageStoreSlice -------------------------------------------------------
@@ -375,7 +366,7 @@ common::Status ThrottledPageStore::ReadPages(
   // One service time per merged media access, matching what the backing
   // FilePageStore would issue.
   ChargeServiceTime(read_latency_s_,
-                    static_cast<int>(PlanMergedRuns(requests).size()));
+                    static_cast<int>(PlanReadRuns(requests).size()));
   return base_->ReadPages(requests);
 }
 

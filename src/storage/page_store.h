@@ -35,6 +35,25 @@ struct ReadRequest {
   size_t len = 0;
 };
 
+// A maximal run of batch requests that one media access can serve: all on
+// the same disk, contiguous in file offsets. `indices` orders the requests
+// by offset within the run.
+struct ReadRun {
+  int disk = 0;
+  uint64_t offset = 0;
+  size_t len = 0;
+  std::vector<size_t> indices;
+};
+
+// Groups `requests` per disk and merges offset-adjacent ones — the merge
+// plan FilePageStore::ReadPages executes, ThrottledPageStore charges
+// service time by, and completion-driven I/O backends turn into vectored
+// submissions. Requests that overlap or arrive unsorted still end up in
+// correct runs (the plan sorts), but only exact adjacency
+// (offset + len == next offset) merges. One run == one media access, so
+// runs.size() is the batch's physical read count.
+std::vector<ReadRun> PlanReadRuns(std::span<const ReadRequest> requests);
+
 class PageStore {
  public:
   virtual ~PageStore() = default;
@@ -65,6 +84,17 @@ class PageStore {
 
   // Flushes buffered writes to durable media where applicable.
   virtual common::Status Sync() = 0;
+
+  // Capability probe for kernel-native I/O backends: the open file
+  // descriptor backing `disk`, or -1 when this store is not a plain
+  // per-disk file (in-memory stores, and every decorator — throttling and
+  // fault injection must keep sitting below the I/O backend, so a
+  // decorated store deliberately reports no fds and the backend routes
+  // its reads through ReadPages instead).
+  virtual int RawFd(int disk) const {
+    (void)disk;
+    return -1;
+  }
 };
 
 // In-memory store; contents survive only as long as the object.
@@ -119,6 +149,9 @@ class FilePageStore : public PageStore {
                          size_t len) override;
   common::Status Truncate(int disk) override;
   common::Status Sync() override;
+  // The real per-disk file descriptor — this is the one store a
+  // kernel-native backend may read directly.
+  int RawFd(int disk) const override;
 
   const std::string& dir() const { return dir_; }
 

@@ -77,6 +77,11 @@
 //   --threads=8 --cache=4096 --throttle=0   parallel engine: query
 //         threads, page-cache capacity (pages; 0 disables), and a modeled
 //         per-read disk service time in seconds (0 = raw files)
+//   --io=threads|uring     parallel engine / serve / ingest: I/O backend
+//         for disk work — per-disk worker threads (default) or the
+//         io_uring completion reactor. uring falls back to threads (and
+//         says so) when the kernel lacks io_uring; answers are
+//         bit-identical either way (docs/EXECUTION.md)
 //   --prefetch=off|N|adaptive   parallel engine: CRSS-hint speculative
 //         prefetch policy — off (default), a fixed per-step budget of N
 //         pages, or the feedback-controlled budget (two-class disk
@@ -184,6 +189,32 @@ core::AlgorithmKind ParseAlgo(const std::string& name) {
   if (name == "fpss") return core::AlgorithmKind::kFpss;
   if (name == "woptss") return core::AlgorithmKind::kWoptss;
   return core::AlgorithmKind::kCrss;
+}
+
+// --io=threads|uring (threads default); false + stderr on anything else.
+bool ParseIoFlag(const Flags& flags, exec::IoBackendKind* kind) {
+  const std::string io = flags.Get("io", "threads");
+  if (io == "threads") {
+    *kind = exec::IoBackendKind::kThreads;
+    return true;
+  }
+  if (io == "uring") {
+    *kind = exec::IoBackendKind::kUring;
+    return true;
+  }
+  std::fprintf(stderr, "bad --io=%s (want threads or uring)\n", io.c_str());
+  return false;
+}
+
+// The backend actually serving I/O, with the fallback reason when a
+// requested backend could not be built: "uring", or
+// "threads (fell back: io_uring unavailable: ...)".
+std::string IoBackendBanner(const exec::ParallelQueryEngine& engine) {
+  std::string s = engine.io_backend_name();
+  if (!engine.io_backend_fallback_reason().empty()) {
+    s += " (fell back: " + engine.io_backend_fallback_reason() + ")";
+  }
+  return s;
 }
 
 parallel::DeclusterPolicy ParsePolicy(const std::string& name) {
@@ -421,6 +452,7 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
   exec::EngineOptions options;
   options.query_threads = static_cast<int>(flags.GetInt("threads", 8));
   options.cache_pages = static_cast<size_t>(flags.GetInt("cache", 4096));
+  if (!ParseIoFlag(flags, &options.io_backend)) return 1;
   const std::string prefetch = flags.Get("prefetch", "off");
   if (prefetch == "adaptive") {
     options.prefetch_adaptive = true;
@@ -441,6 +473,7 @@ int RunParallelEngine(const Flags& flags, const workload::Dataset& data,
                  engine.status().ToString().c_str());
     return 1;
   }
+  std::printf("io backend: %s\n", IoBackendBanner(**engine).c_str());
   if (faulty != nullptr) {
     for (storage::FaultKind kind :
          {storage::FaultKind::kBitFlip, storage::FaultKind::kTornRead,
@@ -759,6 +792,7 @@ int RunIngest(const Flags& flags) {
     exec::EngineOptions eopts;
     eopts.query_threads = 2;
     eopts.cache_pages = 256;
+    if (!ParseIoFlag(flags, &eopts.io_backend)) return 1;
     auto created = exec::ParallelQueryEngine::CreateMutable(mi.get(), eopts);
     if (!created.ok()) {
       std::fprintf(stderr, "engine failed: %s\n",
@@ -766,6 +800,7 @@ int RunIngest(const Flags& flags) {
       return 1;
     }
     engine = std::move(*created);
+    std::printf("io backend: %s\n", IoBackendBanner(*engine).c_str());
   }
   const size_t total_ops = n_inserts + n_deletes;
   const size_t query_every =
@@ -971,6 +1006,7 @@ int RunServe(const Flags& flags) {
   exec::EngineOptions eopts;
   eopts.query_threads = static_cast<int>(flags.GetInt("threads", 8));
   eopts.cache_pages = static_cast<size_t>(flags.GetInt("cache", 4096));
+  if (!ParseIoFlag(flags, &eopts.io_backend)) return 1;
   auto engine =
       mindex != nullptr
           ? exec::ParallelQueryEngine::CreateMutable(mindex.get(), eopts)
@@ -1001,9 +1037,9 @@ int RunServe(const Flags& flags) {
     return 1;
   }
   std::printf("serving %s on port %d (%d workers, %zu pending slots, "
-              "%d query threads)\n",
+              "%d query threads, io backend %s)\n",
               dir.c_str(), (*srv)->port(), sopts.workers, sopts.max_pending,
-              eopts.query_threads);
+              eopts.query_threads, IoBackendBanner(**engine).c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
